@@ -1,0 +1,97 @@
+"""Figure 6 — YCSB throughput vs dataset size for every (θ, write-ratio) panel.
+
+The paper's Figure 6 has nine panels: Zipfian skew θ ∈ {0, 0.5, 0.9} ×
+write ratio ∈ {0, 0.5, 1}, each plotting throughput (operations/second)
+against the number of records for POS-Tree, MBT, MPT and the MVMB+-Tree
+baseline.
+
+Expected shape (paper): throughput decreases as the dataset grows for all
+indexes; POS-Tree tracks (reads) or beats (writes, thanks to batching) the
+baseline; MPT is the slowest; MBT starts fastest on reads but degrades as
+its buckets grow; skew (θ) has little effect.
+"""
+
+import pytest
+
+from common import (
+    INDEX_NAMES,
+    load_in_batches,
+    make_index,
+    report_series,
+    run_read_workload,
+    run_write_workload,
+    scaled,
+    throughput,
+)
+from repro.storage.memory import InMemoryNodeStore
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+RECORD_COUNTS = [scaled(1_000), scaled(2_000), scaled(4_000), scaled(8_000)]
+OPERATION_COUNT = scaled(2_000)
+BATCH_SIZE = scaled(1_000)
+PANELS = [(0.0, 0.0), (0.0, 0.5), (0.0, 1.0), (0.5, 0.5), (0.9, 0.0), (0.9, 1.0)]
+
+
+def run_panel(theta: float, write_ratio: float):
+    """One Figure-6 panel: throughput vs #records for every index."""
+    series = {name: [] for name in INDEX_NAMES}
+    for record_count in RECORD_COUNTS:
+        workload = YCSBWorkload(YCSBConfig(
+            record_count=record_count,
+            operation_count=OPERATION_COUNT,
+            write_ratio=write_ratio,
+            theta=theta,
+            batch_size=BATCH_SIZE,
+            seed=61,
+        ))
+        dataset = workload.initial_dataset()
+        operations = list(workload.operations())
+        for name in INDEX_NAMES:
+            index = make_index(name, InMemoryNodeStore(), dataset_size=record_count)
+            snapshot, _ = load_in_batches(index, dataset, BATCH_SIZE)
+
+            read_keys = [op.key for op in operations if not op.is_write]
+            write_batches = []
+            pending = {}
+            for op in operations:
+                if op.is_write:
+                    pending[op.key] = op.value
+                    if len(pending) >= BATCH_SIZE:
+                        write_batches.append(pending)
+                        pending = {}
+            if pending:
+                write_batches.append(pending)
+
+            seconds = 0.0
+            if read_keys:
+                seconds += run_read_workload(snapshot, read_keys)
+            if write_batches:
+                _, _, write_seconds = run_write_workload(snapshot, write_batches)
+                seconds += write_seconds
+            series[name].append(round(throughput(len(operations), seconds)))
+    return series
+
+
+@pytest.mark.parametrize("theta,write_ratio", PANELS,
+                         ids=[f"theta={t}-write={w}" for t, w in PANELS])
+def test_fig06_ycsb_throughput(benchmark, theta, write_ratio):
+    series = benchmark.pedantic(run_panel, args=(theta, write_ratio), rounds=1, iterations=1)
+    report_series(
+        f"fig06_ycsb_theta{theta}_write{write_ratio}",
+        f"Figure 6 panel (θ={theta}, write ratio={write_ratio}): "
+        f"throughput (ops/s) vs #records",
+        "#Records",
+        RECORD_COUNTS,
+        series,
+    )
+    # Paper shape: every index slows down as the dataset grows.
+    for name in INDEX_NAMES:
+        assert series[name][0] >= series[name][-1] * 0.5
+    if write_ratio >= 0.5:
+        # Paper shape: POS-Tree's batched bottom-up writes beat MPT's per-key
+        # path copies.  (For read-only panels the paper finds POS-Tree ≈
+        # baseline and MPT below it; in this pure-Python port per-node decode
+        # constants and measurement noise dominate the read side at laptop
+        # scale, so no cross-index ordering is asserted there — the measured
+        # series are still reported and discussed in EXPERIMENTS.md.)
+        assert series["POS-Tree"][-1] > series["MPT"][-1]

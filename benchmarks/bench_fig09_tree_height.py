@@ -1,0 +1,54 @@
+"""Figure 9 — distribution of traversed tree heights per operation.
+
+For a uniform write workload the paper records how many tree levels each
+operation traverses.  POS-Tree and the MVMB+-Tree baseline cluster tightly
+around their balanced height, MPT spreads over several levels (keys
+terminate at different trie depths), and MBT is a single constant.
+
+Expected shape (paper): MBT constant (3 in the paper's setting); POS-Tree
+around 4; MPT spread over 5–7 with several peaks.
+"""
+
+from common import INDEX_NAMES, make_index, report_table, scaled
+from repro.analysis.treestats import depth_distribution
+from repro.storage.memory import InMemoryNodeStore
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+RECORD_COUNT = scaled(8_000)
+PROBE_COUNT = scaled(2_000)
+
+
+def run_experiment():
+    workload = YCSBWorkload(YCSBConfig(record_count=RECORD_COUNT, operation_count=PROBE_COUNT,
+                                       write_ratio=1.0, seed=91))
+    dataset = workload.initial_dataset()
+    probe_keys = [op.key for op in workload.operations()]
+
+    distributions = {}
+    for name in INDEX_NAMES:
+        index = make_index(name, InMemoryNodeStore(), dataset_size=RECORD_COUNT)
+        snapshot = index.from_items(dataset)
+        distributions[name] = depth_distribution(snapshot, probe_keys)
+    return distributions
+
+
+def test_fig09_tree_height(benchmark):
+    distributions = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    max_depth = max(depth for dist in distributions.values() for depth in dist)
+    headers = ["index"] + [f"height={d}" for d in range(1, max_depth + 1)]
+    rows = []
+    for name in INDEX_NAMES:
+        dist = distributions[name]
+        rows.append([name] + [dist.get(d, 0) for d in range(1, max_depth + 1)])
+    report_table("fig09_tree_height",
+                 f"Figure 9: #operations per traversed tree height "
+                 f"({RECORD_COUNT} records, {PROBE_COUNT} uniform write probes)",
+                 headers, rows)
+
+    # Paper shape: MBT hits exactly one height; MPT spreads over more
+    # distinct heights than POS-Tree; MPT's typical path is the longest.
+    assert len(distributions["MBT"]) == 1
+    assert len(distributions["MPT"]) >= len(distributions["POS-Tree"])
+    deepest = {name: max(dist) for name, dist in distributions.items()}
+    assert deepest["MPT"] >= deepest["POS-Tree"]

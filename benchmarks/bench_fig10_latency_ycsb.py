@@ -1,0 +1,74 @@
+"""Figure 10 — per-operation latency distributions on YCSB.
+
+The paper plots the distribution of individual read and write latencies
+for a 160 000-record dataset under balanced (θ=0) and highly skewed
+(θ=0.9) request distributions.
+
+Expected shape (paper): the ranking matches the throughput experiment —
+POS-Tree and the baseline are fastest and tightly clustered, MPT is the
+slowest with several peaks (different trie depths), MBT reads are fast but
+MBT writes fall behind POS-Tree.
+"""
+
+import time
+
+import pytest
+
+from common import INDEX_NAMES, make_index, report_table, scaled
+from repro.analysis.histogram import LatencyRecorder
+from repro.storage.memory import InMemoryNodeStore
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+RECORD_COUNT = scaled(8_000)
+OPERATION_COUNT = scaled(1_500)
+
+
+def run_panel(write_ratio: float, theta: float):
+    workload = YCSBWorkload(YCSBConfig(record_count=RECORD_COUNT,
+                                       operation_count=OPERATION_COUNT,
+                                       write_ratio=write_ratio, theta=theta, seed=101))
+    dataset = workload.initial_dataset()
+    operations = list(workload.operations())
+
+    summaries = {}
+    for name in INDEX_NAMES:
+        index = make_index(name, InMemoryNodeStore(), dataset_size=RECORD_COUNT)
+        snapshot = index.from_items(dataset)
+        recorder = LatencyRecorder()
+        for op in operations:
+            if op.is_write:
+                start = time.perf_counter()
+                snapshot = snapshot.put(op.key, op.value)
+                recorder.record(time.perf_counter() - start)
+            else:
+                start = time.perf_counter()
+                snapshot.get(op.key)
+                recorder.record(time.perf_counter() - start)
+        summaries[name] = recorder.summary()
+    return summaries
+
+
+PANELS = [("read-balanced", 0.0, 0.0), ("read-skewed", 0.0, 0.9),
+          ("write-balanced", 1.0, 0.0), ("write-skewed", 1.0, 0.9)]
+
+
+@pytest.mark.parametrize("panel,write_ratio,theta", PANELS, ids=[p[0] for p in PANELS])
+def test_fig10_latency_distribution(benchmark, panel, write_ratio, theta):
+    summaries = benchmark.pedantic(run_panel, args=(write_ratio, theta), rounds=1, iterations=1)
+    rows = [[name,
+             round(summaries[name]["mean"] * 1e6, 1),
+             round(summaries[name]["p50"] * 1e6, 1),
+             round(summaries[name]["p90"] * 1e6, 1),
+             round(summaries[name]["p99"] * 1e6, 1)]
+            for name in INDEX_NAMES]
+    report_table(f"fig10_latency_{panel}",
+                 f"Figure 10 ({panel}): per-operation latency (µs), "
+                 f"{RECORD_COUNT} records, {OPERATION_COUNT} operations",
+                 ["index", "mean", "p50", "p90", "p99"], rows)
+
+    medians = {name: summaries[name]["p50"] for name in INDEX_NAMES}
+    assert all(value > 0 for value in medians.values())
+    if write_ratio == 0.0:
+        # Paper shape (reads): MBT outperforms every other candidate on the
+        # read-only workload (its lookup path is a constant three levels).
+        assert medians["MBT"] == min(medians.values())

@@ -1,0 +1,111 @@
+"""Figures 11 and 12 — latency distributions on the Wiki and Ethereum data.
+
+Figure 11 repeats the latency measurement on the Wikipedia-abstract
+dataset (same qualitative ranking as YCSB).  Figure 12 repeats it on the
+Ethereum transaction workload, where the block-list scan dominates reads,
+so all candidates show similar read latency while writes (per-block
+bottom-up builds) differ.
+
+Expected shape (paper): Figure 11 mirrors Figure 10; in Figure 12 the read
+latencies of all structures are close to each other.
+"""
+
+import time
+
+from common import INDEX_NAMES, make_index, report_table, scaled, throughput
+from repro.analysis.histogram import LatencyRecorder
+from repro.blockchain import Ledger
+from repro.storage.memory import InMemoryNodeStore
+from repro.workloads.ethereum import EthereumDatasetGenerator
+from repro.workloads.wiki import WikiDatasetGenerator
+
+
+def run_wiki_latency():
+    generator = WikiDatasetGenerator(page_count=scaled(3_000), versions=5,
+                                     edits_per_version=scaled(100), seed=111)
+    dataset = generator.initial_dataset()
+    read_keys = generator.read_keys(scaled(1_500))
+    write_changes = list(generator.version_stream())
+
+    results = {}
+    for name in INDEX_NAMES:
+        index = make_index(name, InMemoryNodeStore(), dataset_size=generator.page_count,
+                           value_size=100)
+        snapshot = index.from_items(dataset)
+
+        reads = LatencyRecorder()
+        for key in read_keys:
+            start = time.perf_counter()
+            snapshot.get(key)
+            reads.record(time.perf_counter() - start)
+
+        writes = LatencyRecorder()
+        for version in write_changes:
+            for key, value in list(version.changes.items())[: scaled(60)]:
+                start = time.perf_counter()
+                snapshot = snapshot.put(key, value)
+                writes.record(time.perf_counter() - start)
+        results[name] = (reads.summary(), writes.summary())
+    return results
+
+
+def run_ethereum_latency():
+    generator = EthereumDatasetGenerator(blocks=max(4, scaled(8)),
+                                         transactions_per_block=scaled(150), seed=112)
+    blocks = generator.all_blocks()
+
+    results = {}
+    for name in INDEX_NAMES:
+        store = InMemoryNodeStore()
+        ledger = Ledger(index_factory=lambda n=name, s=store: make_index(
+            n, s, dataset_size=generator.transactions_per_block, value_size=532))
+
+        writes = LatencyRecorder()
+        for block in blocks:
+            start = time.perf_counter()
+            ledger.append_block(block.records())
+            writes.record(time.perf_counter() - start)
+
+        reads = LatencyRecorder()
+        for block in blocks:
+            for tx in block.transactions[::15]:
+                start = time.perf_counter()
+                ledger.get_transaction(tx.key)
+                reads.record(time.perf_counter() - start)
+        results[name] = (reads.summary(), writes.summary())
+    return results
+
+
+def _rows(results):
+    rows = []
+    for name in INDEX_NAMES:
+        read_summary, write_summary = results[name]
+        rows.append([
+            name,
+            round(read_summary["p50"] * 1e6, 1),
+            round(read_summary["p99"] * 1e6, 1),
+            round(write_summary["p50"] * 1e6, 1),
+            round(write_summary["p99"] * 1e6, 1),
+        ])
+    return rows
+
+
+def test_fig11_wiki_latency(benchmark):
+    results = benchmark.pedantic(run_wiki_latency, rounds=1, iterations=1)
+    report_table("fig11_wiki_latency",
+                 "Figure 11: Wiki per-operation latency (µs)",
+                 ["index", "read p50", "read p99", "write p50", "write p99"],
+                 _rows(results))
+    assert results["MPT"][0]["p50"] >= results["POS-Tree"][0]["p50"]
+
+
+def test_fig12_ethereum_latency(benchmark):
+    results = benchmark.pedantic(run_ethereum_latency, rounds=1, iterations=1)
+    report_table("fig12_ethereum_latency",
+                 "Figure 12: Ethereum per-operation latency (µs; writes are per block)",
+                 ["index", "read p50", "read p99", "write(block) p50", "write(block) p99"],
+                 _rows(results))
+    # Paper shape: read latencies are similar across structures because the
+    # block scan dominates — within a small factor of each other.
+    read_medians = [results[name][0]["p50"] for name in INDEX_NAMES]
+    assert max(read_medians) < 12 * min(read_medians)

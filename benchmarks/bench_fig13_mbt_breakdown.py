@@ -1,0 +1,72 @@
+"""Figure 13 — MBT lookup-latency breakdown: node loading vs leaf scanning.
+
+The paper explains MBT's read degradation by splitting its lookup latency
+into (i) the time to traverse internal nodes and load the bucket and
+(ii) the time to scan the bucket contents.  The traversal part stays
+constant (the tree shape never changes) while the scan part grows with the
+number of records, because bucket size is N/B.
+
+Expected shape (paper): "load" roughly flat, "scan" growing with N and
+eventually dominating.
+"""
+
+import time
+
+from common import report_series, scaled
+from repro.indexes import MerkleBucketTree
+from repro.storage.memory import InMemoryNodeStore
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+RECORD_COUNTS = [scaled(2_000), scaled(4_000), scaled(8_000), scaled(16_000)]
+BUCKETS = 256
+PROBES = scaled(1_000)
+
+
+def run_experiment():
+    load_series, scan_series = [], []
+    for record_count in RECORD_COUNTS:
+        workload = YCSBWorkload(YCSBConfig(record_count=record_count, seed=131))
+        dataset = workload.initial_dataset()
+        tree = MerkleBucketTree(InMemoryNodeStore(), capacity=BUCKETS, fanout=4)
+        snapshot = tree.from_items(dataset)
+        probe_keys = workload.keys[:PROBES]
+
+        load_seconds = 0.0
+        scan_seconds = 0.0
+        for key in probe_keys:
+            bucket_index = tree.bucket_of(key)
+
+            # Load phase: traverse the internal nodes and fetch the bucket bytes.
+            start = time.perf_counter()
+            digest = snapshot.root_digest
+            for child_index in tree._bucket_path_indices(bucket_index):
+                children = tree._deserialize_internal(tree._get_node(digest))
+                digest = children[child_index]
+            bucket_bytes = tree._get_node(digest)
+            load_seconds += time.perf_counter() - start
+
+            # Scan phase: decode the bucket contents and search them.
+            start = time.perf_counter()
+            entries = tree._deserialize_bucket(bucket_bytes)
+            tree._binary_search(entries, key)
+            scan_seconds += time.perf_counter() - start
+
+        load_series.append(round(load_seconds * 1_000, 2))
+        scan_series.append(round(scan_seconds * 1_000, 2))
+    return load_series, scan_series
+
+
+def test_fig13_mbt_breakdown(benchmark):
+    load_series, scan_series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report_series(
+        "fig13_mbt_breakdown",
+        f"Figure 13: MBT lookup breakdown (ms for {PROBES} lookups, {BUCKETS} buckets) — "
+        "node traversal/load time vs bucket scan time",
+        "#Records",
+        RECORD_COUNTS,
+        {"Load time (ms)": load_series, "Scan time (ms)": scan_series},
+    )
+    # Paper shape: the scan part grows with N (buckets hold N/B records each)
+    # while the traversal/load part stays roughly constant.
+    assert scan_series[-1] > 2 * scan_series[0]
+    assert load_series[-1] < 4 * max(load_series[0], 1e-6)

@@ -1,0 +1,63 @@
+"""Figure 14 — storage usage and node counts for single-group data access.
+
+A single group loads a YCSB dataset and applies update batches; the figure
+reports, per index, the total storage consumed and the total number of
+nodes created across the resulting versions.
+
+Expected shape (paper): MPT consumes the most storage (tallest trees, most
+nodes per update); MBT creates the fewest *nodes* (its node count is fixed)
+but large ones; POS-Tree is the most compact overall and comparable to the
+baseline.
+"""
+
+from common import INDEX_NAMES, load_in_batches, make_index, report_series, scaled
+from repro.storage.memory import InMemoryNodeStore
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+RECORD_COUNTS = [scaled(2_000), scaled(4_000), scaled(8_000), scaled(16_000)]
+UPDATE_BATCHES = 5
+BATCH_SIZE = scaled(1_000)
+
+
+def run_experiment():
+    """Total storage written while loading and updating (every created node).
+
+    As in the paper, all nodes created by the write path count towards the
+    storage consumption — versions are immutable and nothing is garbage
+    collected — so structures that create more or larger nodes per update
+    (tall tries, big buckets) pay for it here.
+    """
+    storage_mb = {name: [] for name in INDEX_NAMES}
+    node_counts = {name: [] for name in INDEX_NAMES}
+    for record_count in RECORD_COUNTS:
+        workload = YCSBWorkload(YCSBConfig(record_count=record_count, batch_size=BATCH_SIZE,
+                                           seed=141))
+        dataset = workload.initial_dataset()
+        update_stream = list(workload.version_stream(UPDATE_BATCHES, BATCH_SIZE))
+        for name in INDEX_NAMES:
+            store = InMemoryNodeStore()
+            index = make_index(name, store, dataset_size=record_count)
+            snapshot, _ = load_in_batches(index, dataset, BATCH_SIZE)
+            for batch in update_stream:
+                snapshot = snapshot.update(batch)
+            storage_mb[name].append(round(store.total_bytes() / 1e6, 2))
+            node_counts[name].append(len(store))
+    return storage_mb, node_counts
+
+
+def test_fig14_storage_single_group(benchmark):
+    storage_mb, node_counts = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report_series("fig14a_storage_single_group",
+                  f"Figure 14(a): storage usage (MB) after load + {UPDATE_BATCHES} update batches",
+                  "#Records", RECORD_COUNTS, storage_mb)
+    report_series("fig14b_nodes_single_group",
+                  "Figure 14(b): number of unique nodes stored",
+                  "#Records", RECORD_COUNTS, node_counts)
+
+    largest = -1
+    # Paper shape: MPT consumes more storage than POS-Tree (tall trie, many
+    # nodes rewritten per update); MBT's node *count* grows the slowest of all
+    # candidates because its tree shape is fixed.
+    assert storage_mb["MPT"][largest] > storage_mb["POS-Tree"][largest]
+    growth = {name: node_counts[name][-1] / node_counts[name][0] for name in INDEX_NAMES}
+    assert growth["MBT"] == min(growth.values())

@@ -1,0 +1,109 @@
+"""Figures 19 and 20 — breakdown analysis: disabling SIRI properties in POS-Tree.
+
+Figure 19 disables the Structurally Invariant property (forced positional
+splits instead of purely content-defined boundaries); Figure 20 disables
+the Recursively Identical property (every version copies every node).  The
+multi-group overlap workload of Figure 17 is re-run and the deduplication
+and node sharing ratios are compared against the unmodified POS-Tree.
+
+Expected shape (paper): disabling Structurally Invariant lowers both
+ratios by double-digit percentage points; disabling Recursively Identical
+collapses both ratios to zero.
+"""
+
+import random
+
+from common import make_index, report_series, scaled
+from repro.core.metrics import storage_breakdown
+from repro.indexes.ablation import NonRecursivelyIdenticalPOSTree, NonStructurallyInvariantPOSTree
+from repro.storage.memory import InMemoryNodeStore
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+OVERLAP_RATIOS = [0.2, 0.5, 0.8, 1.0]
+GROUPS = 5
+BASE_RECORDS = scaled(1_500)
+OPERATIONS_PER_GROUP = scaled(4_000)
+BATCH_SIZE = scaled(1_000)
+
+VARIANTS = {
+    "POS-Tree": lambda store: make_index("POS-Tree", store, value_size=256),
+    "non-structurally-invariant": lambda store: NonStructurallyInvariantPOSTree(
+        store, target_node_size=1024, estimated_entry_size=272),
+    "non-recursively-identical": lambda store: NonRecursivelyIdenticalPOSTree(
+        store, target_node_size=1024, estimated_entry_size=272),
+}
+
+
+def group_workloads(overlap: float):
+    """Per-group record streams sharing ``overlap`` of their content.
+
+    Every group writes the same *shared* records plus its own private ones,
+    interleaved over the same key space, and each group receives them in a
+    different order.  Structurally invariant indexes end up sharing the pages
+    holding the shared records no matter the order; the ablated variants do
+    not — which is exactly what Figures 19 and 20 isolate.
+    """
+    workload = YCSBWorkload(YCSBConfig(record_count=BASE_RECORDS, seed=191))
+    base = workload.initial_dataset()
+    shared_count = int(OPERATIONS_PER_GROUP * overlap)
+    private_count = OPERATIONS_PER_GROUP - shared_count
+    shared = {f"op{i:08d}".encode(): (b"shared-%08d-" % i) * 16 for i in range(shared_count)}
+
+    groups = []
+    for group in range(GROUPS):
+        private = {
+            f"op{i:08d}-g{group:02d}".encode(): (b"private-%02d-%08d-" % (group, i)) * 12
+            for i in range(private_count)
+        }
+        records = list(shared.items()) + list(private.items())
+        random.Random(191 + group).shuffle(records)
+        groups.append(records)
+    return base, groups
+
+
+def run_variant(build, overlap: float):
+    base_dataset, groups = group_workloads(overlap)
+    store = InMemoryNodeStore()
+    index = build(store)
+    base = index.from_items(base_dataset)
+    snapshots = [base]
+    for records in groups:
+        snapshot = base
+        for start in range(0, len(records), BATCH_SIZE):
+            snapshot = snapshot.update(dict(records[start : start + BATCH_SIZE]))
+        snapshots.append(snapshot)
+    return storage_breakdown(snapshots)
+
+
+def run_experiment():
+    dedup = {name: [] for name in VARIANTS}
+    sharing = {name: [] for name in VARIANTS}
+    for overlap in OVERLAP_RATIOS:
+        for name, build in VARIANTS.items():
+            breakdown = run_variant(build, overlap)
+            dedup[name].append(round(breakdown.deduplication_ratio, 3))
+            sharing[name].append(round(breakdown.node_sharing_ratio, 3))
+    return dedup, sharing
+
+
+def test_fig19_20_property_ablation(benchmark):
+    dedup, sharing = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    x_values = [f"{int(o * 100)}%" for o in OVERLAP_RATIOS]
+    report_series("fig19_ablation_dedup",
+                  "Figures 19(a)/20(a): deduplication ratio vs overlap ratio "
+                  "(POS-Tree vs property-disabled variants)",
+                  "Overlap ratio", x_values, dedup)
+    report_series("fig19_ablation_sharing",
+                  "Figures 19(b)/20(b): node sharing ratio vs overlap ratio "
+                  "(POS-Tree vs property-disabled variants)",
+                  "Overlap ratio", x_values, sharing)
+
+    # Figure 19: losing structural invariance costs deduplication and sharing
+    # (checked at the highest overlap, where the shared content dominates).
+    assert dedup["non-structurally-invariant"][-1] < dedup["POS-Tree"][-1]
+    assert sharing["non-structurally-invariant"][-1] < sharing["POS-Tree"][-1]
+    # Figure 20: losing recursive identity eliminates page sharing entirely —
+    # every version carries its own private copy of every node.
+    assert dedup["non-recursively-identical"][-1] <= 0.01
+    assert sharing["non-recursively-identical"][-1] <= 0.01
+    assert dedup["non-recursively-identical"][-1] < dedup["non-structurally-invariant"][-1]

@@ -1,0 +1,94 @@
+"""Figure 21 — system-level throughput with the indexes integrated in Forkbase.
+
+The indexes are plugged into the mini Forkbase engine (single servlet,
+single client).  Reads resolve the branch head and traverse the index on
+the client, fetching nodes from the servlet through the client-side LRU
+cache; each remote fetch is charged a simulated round-trip cost.  Writes
+execute entirely on the server.
+
+Expected shape (paper): read throughput is dominated by remote access and
+therefore by the cache hit ratio — POS-Tree and the baseline do well, MPT
+is the worst; write throughput mirrors the index-level experiment.
+"""
+
+import time
+
+from common import INDEX_NAMES, make_index, report_series, scaled, throughput
+from repro.forkbase import ForkbaseClient, ForkbaseEngine
+from repro.storage.memory import InMemoryNodeStore
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+RECORD_COUNTS = [scaled(1_000), scaled(4_000), scaled(8_000)]
+OPERATION_COUNT = scaled(2_000)
+BATCH_SIZE = scaled(1_000)
+CLIENT_CACHE_BYTES = 2 * 1024 * 1024
+
+
+def run_experiment():
+    read_series = {name: [] for name in INDEX_NAMES}
+    write_series = {name: [] for name in INDEX_NAMES}
+    hit_ratio_series = {name: [] for name in INDEX_NAMES}
+
+    for record_count in RECORD_COUNTS:
+        workload = YCSBWorkload(YCSBConfig(record_count=record_count,
+                                           operation_count=OPERATION_COUNT,
+                                           batch_size=BATCH_SIZE, seed=211))
+        dataset = workload.initial_dataset()
+        read_keys = [op.key for op in workload.operations()]
+        write_stream = list(workload.version_stream(2, BATCH_SIZE))
+
+        for name in INDEX_NAMES:
+            engine = ForkbaseEngine()
+            factory = lambda store, n=name, rc=record_count: make_index(n, store, dataset_size=rc)
+            engine.create_dataset("bench", factory)
+            client = ForkbaseClient(engine, "bench", factory,
+                                    cache_capacity_bytes=CLIENT_CACHE_BYTES)
+
+            # Load the dataset (server side, batched).
+            for start in range(0, record_count, BATCH_SIZE):
+                batch = dict(list(dataset.items())[start : start + BATCH_SIZE])
+                client.write(batch)
+
+            # Read workload through the cached client: wall-clock time plus the
+            # simulated remote round-trip time charged by the engine.
+            engine.reset_meters()
+            start_time = time.perf_counter()
+            for key in read_keys:
+                client.get(key)
+            read_seconds = (time.perf_counter() - start_time) + engine.simulated_seconds
+            read_series[name].append(round(throughput(len(read_keys), read_seconds)))
+            hit_ratio_series[name].append(round(client.cache_hit_ratio, 3))
+
+            # Write workload (server side).
+            engine.reset_meters()
+            start_time = time.perf_counter()
+            written = 0
+            for batch in write_stream:
+                client.write(batch)
+                written += len(batch)
+            write_seconds = (time.perf_counter() - start_time) + engine.simulated_seconds
+            write_series[name].append(round(throughput(written, write_seconds)))
+
+    return read_series, write_series, hit_ratio_series
+
+
+def test_fig21_forkbase_integration(benchmark):
+    read_series, write_series, hit_ratio_series = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1)
+    report_series("fig21a_forkbase_read",
+                  "Figure 21(a): system-level read throughput (ops/s, simulated network)",
+                  "#Records", RECORD_COUNTS, read_series)
+    report_series("fig21b_forkbase_write",
+                  "Figure 21(b): system-level write throughput (ops/s, simulated network)",
+                  "#Records", RECORD_COUNTS, write_series)
+    report_series("fig21c_forkbase_hit_ratio",
+                  "Figure 21 (supplement): client cache hit ratio during reads",
+                  "#Records", RECORD_COUNTS, hit_ratio_series)
+
+    # Paper shape: remote access dominates reads, so no candidate beats the
+    # cached baseline by much and MPT never exceeds it; POS-Tree stays within
+    # a small factor of the baseline.
+    assert read_series["MPT"][-1] <= read_series["MVMB+-Tree"][-1]
+    assert read_series["POS-Tree"][-1] >= read_series["MVMB+-Tree"][-1] * 0.5
+    # Writes mirror the index-level experiment: POS-Tree beats MPT clearly.
+    assert write_series["POS-Tree"][-1] > write_series["MPT"][-1]

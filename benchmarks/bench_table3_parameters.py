@@ -1,0 +1,102 @@
+"""Table 3 — effect of the structure parameters on the deduplication ratio.
+
+The paper sweeps one tuning knob per structure and reports the resulting
+deduplication ratio over a multi-version workload:
+
+* POS-Tree: the boundary pattern (i.e. the expected node size, 512–4096 B),
+* MBT: the number of buckets (4 000–10 000),
+* MPT: the mean key length of the dataset (10.2–13.7 bytes).
+
+Expected shape (paper): the ratio *decreases* as POS-Tree nodes get larger
+(bigger nodes are less likely to be identical), *increases* with MBT's
+bucket count (smaller buckets), and *increases* with MPT's mean key length
+(wider tries share more of their structure).
+
+Note: the paper's Table 3 reports POS-Tree's ratio as increasing with node
+size in the text but its numbers decrease; we follow the numbers (and the
+underlying argument that fewer, larger nodes yield fewer duplicate pages).
+"""
+
+from common import report_table, scaled
+from repro.core.metrics import deduplication_ratio
+from repro.indexes import MerkleBucketTree, MerklePatriciaTrie, POSTree
+from repro.storage.memory import InMemoryNodeStore
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+RECORD_COUNT = scaled(6_000)
+VERSIONS = 8
+UPDATES_PER_VERSION = scaled(500)
+
+POS_NODE_SIZES = [512, 1024, 2048, 4096]
+MBT_BUCKET_COUNTS = [scaled(512), scaled(1_024), scaled(2_048), scaled(4_096)]
+MPT_MIN_KEY_LENGTHS = [5, 8, 11, 14]
+
+
+def build_versions(index, workload):
+    snapshot = index.from_items(workload.initial_dataset())
+    versions = [snapshot]
+    for batch in workload.version_stream(VERSIONS, UPDATES_PER_VERSION):
+        snapshot = snapshot.update(batch)
+        versions.append(snapshot)
+    return versions
+
+
+def run_pos_tree_sweep():
+    workload = YCSBWorkload(YCSBConfig(record_count=RECORD_COUNT, seed=31))
+    rows = []
+    for node_size in POS_NODE_SIZES:
+        index = POSTree(InMemoryNodeStore(), target_node_size=node_size,
+                        estimated_entry_size=272)
+        versions = build_versions(index, workload)
+        rows.append([node_size, round(deduplication_ratio(versions), 4)])
+    return rows
+
+
+def run_mbt_sweep():
+    workload = YCSBWorkload(YCSBConfig(record_count=RECORD_COUNT, seed=32))
+    rows = []
+    for buckets in MBT_BUCKET_COUNTS:
+        index = MerkleBucketTree(InMemoryNodeStore(), capacity=buckets, fanout=4)
+        versions = build_versions(index, workload)
+        rows.append([buckets, round(deduplication_ratio(versions), 4)])
+    return rows
+
+
+def run_mpt_sweep():
+    rows = []
+    for minimum_key_length in MPT_MIN_KEY_LENGTHS:
+        workload = YCSBWorkload(YCSBConfig(record_count=RECORD_COUNT, seed=33,
+                                           key_length_min=max(5, minimum_key_length),
+                                           key_length_max=15))
+        mean_key_length = sum(len(k) for k in workload.keys) / len(workload.keys)
+        index = MerklePatriciaTrie(InMemoryNodeStore())
+        versions = build_versions(index, workload)
+        rows.append([round(mean_key_length, 1), round(deduplication_ratio(versions), 4)])
+    return rows
+
+
+def test_table3_pos_tree_node_size(benchmark):
+    rows = benchmark.pedantic(run_pos_tree_sweep, rounds=1, iterations=1)
+    report_table("table3_pos_node_size",
+                 "Table 3 (left): POS-Tree deduplication ratio vs node size",
+                 ["node size", "dedup ratio"], rows)
+    ratios = [ratio for _, ratio in rows]
+    assert ratios[0] > ratios[-1]  # bigger nodes ⇒ fewer shareable pages
+
+
+def test_table3_mbt_bucket_count(benchmark):
+    rows = benchmark.pedantic(run_mbt_sweep, rounds=1, iterations=1)
+    report_table("table3_mbt_buckets",
+                 "Table 3 (middle): MBT deduplication ratio vs #buckets",
+                 ["#buckets", "dedup ratio"], rows)
+    ratios = [ratio for _, ratio in rows]
+    assert ratios[-1] > ratios[0]  # more buckets ⇒ smaller buckets ⇒ more sharing
+
+
+def test_table3_mpt_key_length(benchmark):
+    rows = benchmark.pedantic(run_mpt_sweep, rounds=1, iterations=1)
+    report_table("table3_mpt_key_length",
+                 "Table 3 (right): MPT deduplication ratio vs mean key length",
+                 ["mean key length", "dedup ratio"], rows)
+    ratios = [ratio for _, ratio in rows]
+    assert ratios[-1] >= ratios[0] - 0.01  # longer keys ⇒ wider trie ⇒ more reuse

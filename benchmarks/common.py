@@ -1,0 +1,150 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation (Section 5).  They all go through the helpers here so that:
+
+* each index is tuned the way the paper tunes it (node sizes of roughly
+  1 KB, Section 5 "we tune the size of each index node to be approximately
+  1 KB"), with MBT's bucket count chosen relative to the dataset size;
+* workloads are generated deterministically from the same
+  :mod:`repro.workloads` generators the tests use;
+* results are printed as plain-text tables *and* written to
+  ``benchmarks/results/<experiment>.txt`` so they survive pytest's output
+  capturing;
+* the experiment scale can be adjusted with the ``REPRO_BENCH_SCALE``
+  environment variable (``tiny``, ``small`` (default), ``large``) — the
+  paper's absolute sizes do not fit a laptop-scale pure-Python run, so the
+  defaults are scaled down while preserving every ratio the figures are
+  about.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_series, format_table
+from repro.indexes import MVMBTree, MerkleBucketTree, MerklePatriciaTrie, POSTree
+from repro.storage.memory import InMemoryNodeStore
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Display order used by every table (matches the paper's legends).
+INDEX_NAMES = ["POS-Tree", "MBT", "MPT", "MVMB+-Tree"]
+
+_SCALES = {
+    "tiny": 0.25,
+    "small": 1.0,
+    "large": 4.0,
+}
+
+
+def scale_factor() -> float:
+    """Multiplier applied to dataset sizes (REPRO_BENCH_SCALE=tiny|small|large)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    return _SCALES.get(name, 1.0)
+
+
+def scaled(count: int) -> int:
+    """Scale a dataset/operation count by the configured factor."""
+    return max(64, int(count * scale_factor()))
+
+
+# ---------------------------------------------------------------------------
+# Index construction tuned to ~1 KB nodes (paper Section 5)
+# ---------------------------------------------------------------------------
+
+def make_index(name: str, store: Optional[InMemoryNodeStore] = None,
+               dataset_size: int = 10_000, value_size: int = 256,
+               node_size: int = 1024, mbt_capacity: Optional[int] = None):
+    """Build one index candidate tuned the way the paper tunes it.
+
+    ``value_size`` keeps the tree node sizes near ``node_size`` bytes.  MBT's
+    bucket count is *fixed* (the structure cannot change it over its life
+    cycle), so by default it uses a constant capacity independent of the
+    dataset size — which is exactly why its buckets, and therefore its leaf
+    scan/update costs, grow as the data grows.
+    """
+    store = store if store is not None else InMemoryNodeStore()
+    entry_size = value_size + 16
+    if name == "POS-Tree":
+        return POSTree(store, target_node_size=node_size, estimated_entry_size=entry_size)
+    if name == "MBT":
+        capacity = mbt_capacity if mbt_capacity is not None else scaled(1_024)
+        return MerkleBucketTree(store, capacity=capacity, fanout=4)
+    if name == "MPT":
+        return MerklePatriciaTrie(store)
+    if name == "MVMB+-Tree":
+        leaf_capacity = max(2, node_size // entry_size)
+        internal_capacity = max(4, node_size // 48)
+        return MVMBTree(store, leaf_capacity=leaf_capacity, internal_capacity=internal_capacity)
+    raise ValueError(f"unknown index name: {name}")
+
+
+# ---------------------------------------------------------------------------
+# Workload execution helpers
+# ---------------------------------------------------------------------------
+
+def load_in_batches(index, dataset: Mapping[bytes, bytes], batch_size: int):
+    """Load a dataset into a fresh snapshot in batches; return (snapshot, seconds)."""
+    snapshot = index.empty_snapshot()
+    items = list(dataset.items())
+    start = time.perf_counter()
+    for begin in range(0, len(items), batch_size):
+        snapshot = snapshot.update(dict(items[begin : begin + batch_size]))
+    elapsed = time.perf_counter() - start
+    return snapshot, elapsed
+
+
+def run_read_workload(snapshot, keys: Sequence[bytes]) -> float:
+    """Execute point lookups; return the elapsed wall-clock seconds."""
+    start = time.perf_counter()
+    for key in keys:
+        snapshot.get(key)
+    return time.perf_counter() - start
+
+
+def run_write_workload(snapshot, batches: Iterable[Mapping[bytes, bytes]]):
+    """Apply write batches; return (final snapshot, versions, elapsed seconds)."""
+    versions = [snapshot]
+    start = time.perf_counter()
+    for batch in batches:
+        snapshot = snapshot.update(batch)
+        versions.append(snapshot)
+    elapsed = time.perf_counter() - start
+    return snapshot, versions, elapsed
+
+
+def throughput(operations: int, seconds: float) -> float:
+    """Operations per second (guarding against zero elapsed time)."""
+    if seconds <= 0:
+        return float("inf")
+    return operations / seconds
+
+
+# ---------------------------------------------------------------------------
+# Result reporting
+# ---------------------------------------------------------------------------
+
+def report(experiment: str, title: str, body: str) -> None:
+    """Print one experiment's table and persist it under benchmarks/results/."""
+    separator = "#" * max(len(title) + 4, 40)
+    text = f"{separator}\n# {title}\n{separator}\n{body}\n"
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def report_series(experiment: str, title: str, x_label: str, x_values: Sequence,
+                  series: Mapping[str, Sequence[float]]) -> None:
+    """Format one figure's data series and report it."""
+    report(experiment, title, format_series(x_label, x_values, series))
+
+
+def report_table(experiment: str, title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence]) -> None:
+    """Format one table and report it."""
+    report(experiment, title, format_table(headers, rows))

@@ -1,0 +1,14 @@
+"""Shared pytest fixtures for the benchmark harness."""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def results_dir():
+    """Directory where every benchmark writes its paper-style data table."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,106 @@
+"""repro — reproduction of "Analysis of Indexing Structures for Immutable Data".
+
+This library implements and benchmarks the index structures analysed in
+the SIGMOD 2020 paper by Yue et al.:
+
+* :class:`~repro.indexes.mpt.MerklePatriciaTrie` (MPT),
+* :class:`~repro.indexes.mbt.MerkleBucketTree` (MBT),
+* :class:`~repro.indexes.pos_tree.POSTree` (POS-Tree),
+* :class:`~repro.indexes.mvmbt.MVMBTree` (the MVMB+-Tree baseline),
+
+all built on a shared content-addressed, copy-on-write node store, plus
+the SIRI framework utilities (deduplication metrics, diff/merge, Merkle
+proofs, property checkers), the paper's workload generators (YCSB-like,
+Wikipedia-like, Ethereum-like), a mini Forkbase-style versioned storage
+engine with a Noms-style Prolly Tree for the system comparison, and a
+benchmark harness regenerating every figure and table of the evaluation.
+
+Quickstart::
+
+    from repro import InMemoryNodeStore, POSTree
+
+    store = InMemoryNodeStore()
+    tree = POSTree(store)
+    v1 = tree.from_items({b"alice": b"100", b"bob": b"250"})
+    v2 = v1.put(b"carol", b"75")
+    assert v1[b"alice"] == b"100"          # old versions stay readable
+    assert v2.root_digest != v1.root_digest
+    proof = v2.prove(b"carol")
+    assert proof.verify(v2.root_digest)     # tamper-evident lookups
+"""
+
+from repro.core.diff import diff_snapshots, merge_snapshots, three_way_merge
+from repro.core.errors import (
+    CorruptNodeError,
+    ImmutableWriteError,
+    MergeConflictError,
+    NodeNotFoundError,
+    ProofVerificationError,
+    ReproError,
+)
+from repro.core.interfaces import IndexSnapshot, SIRIIndex, WriteBatch
+from repro.core.metrics import (
+    StorageBreakdown,
+    deduplication_ratio,
+    node_sharing_ratio,
+    storage_breakdown,
+)
+from repro.core.properties import check_siri_properties
+from repro.core.proof import MerkleProof
+from repro.core.version import Commit, VersionGraph
+from repro.hashing.digest import Digest
+from repro.indexes import (
+    ALL_INDEX_CLASSES,
+    MVMBTree,
+    MerkleBucketTree,
+    MerklePatriciaTrie,
+    POSTree,
+)
+from repro.storage import (
+    CachingNodeStore,
+    FileNodeStore,
+    InMemoryNodeStore,
+    MeteredNodeStore,
+    RefCountingNodeStore,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "NodeNotFoundError",
+    "CorruptNodeError",
+    "MergeConflictError",
+    "ProofVerificationError",
+    "ImmutableWriteError",
+    # core
+    "SIRIIndex",
+    "IndexSnapshot",
+    "WriteBatch",
+    "MerkleProof",
+    "Digest",
+    "VersionGraph",
+    "Commit",
+    "diff_snapshots",
+    "merge_snapshots",
+    "three_way_merge",
+    "deduplication_ratio",
+    "node_sharing_ratio",
+    "storage_breakdown",
+    "StorageBreakdown",
+    "check_siri_properties",
+    # indexes
+    "MerklePatriciaTrie",
+    "MerkleBucketTree",
+    "POSTree",
+    "MVMBTree",
+    "ALL_INDEX_CLASSES",
+    # storage
+    "InMemoryNodeStore",
+    "FileNodeStore",
+    "CachingNodeStore",
+    "MeteredNodeStore",
+    "RefCountingNodeStore",
+]

@@ -1,0 +1,40 @@
+"""Analysis utilities: theoretical bounds, latency histograms, reports.
+
+* :mod:`repro.analysis.bounds` — the asymptotic cost model of Section 4.1
+  and the deduplication-ratio predictions of Section 4.2, as evaluable
+  formulas (used both for documentation and for empirical-vs-theoretical
+  validation tests).
+* :mod:`repro.analysis.histogram` — latency distribution collection
+  (Figures 10–12) and percentile summaries.
+* :mod:`repro.analysis.treestats` — lookup-path-length distributions
+  (Figure 9) and structural statistics.
+* :mod:`repro.analysis.report` — plain-text table/series rendering used by
+  the benchmark harness to print paper-style outputs.
+"""
+
+from repro.analysis.bounds import (
+    OperationCostModel,
+    mbt_cost_model,
+    mpt_cost_model,
+    pos_tree_cost_model,
+    mvmbt_cost_model,
+    predicted_deduplication_ratio,
+)
+from repro.analysis.histogram import LatencyHistogram, LatencyRecorder
+from repro.analysis.treestats import depth_distribution, tree_statistics
+from repro.analysis.report import format_series, format_table
+
+__all__ = [
+    "OperationCostModel",
+    "mpt_cost_model",
+    "mbt_cost_model",
+    "pos_tree_cost_model",
+    "mvmbt_cost_model",
+    "predicted_deduplication_ratio",
+    "LatencyHistogram",
+    "LatencyRecorder",
+    "depth_distribution",
+    "tree_statistics",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,171 @@
+"""Asymptotic cost models from Section 4 of the paper.
+
+These functions express the operation bounds of Table/Section 4.1 and the
+deduplication-ratio analysis of Section 4.2 as evaluable formulas.  They
+return *abstract cost units* (number of node visits / node creations /
+entry comparisons), not seconds: the tests compare their growth trends
+against the empirical node-access counters of the implementations, and the
+documentation uses them to explain crossover points (e.g. when MBT's
+``N/B`` term starts to dominate).
+
+Notation (paper Table 1):
+
+=========  =====================================================
+``N``      total number of records
+``m``      fan-out of POS-Tree and MBT (entries per node)
+``B``      number of buckets in MBT (its fixed capacity)
+``L``      key length in nibbles for MPT
+``delta``  number of differing records between two versions
+``alpha``  differing fraction of records between two versions
+``r``      average record size in bytes
+``c``      size of a cryptographic hash in bytes
+=========  =====================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class OperationCostModel:
+    """Cost formulas (in abstract node-visit units) for one index structure."""
+
+    name: str
+    lookup: Callable[..., float]
+    update: Callable[..., float]
+    diff: Callable[..., float]
+    merge: Callable[..., float]
+
+    def describe(self) -> str:
+        return f"{self.name} cost model (lookup/update/diff/merge)"
+
+
+def _log(base: float, value: float) -> float:
+    if value <= 1:
+        return 1.0
+    return math.log(value, base)
+
+
+# ---------------------------------------------------------------------------
+# MPT — Section 4.1: lookup/update O(max(L, log_m N)) ≈ O(L) in practice.
+# ---------------------------------------------------------------------------
+
+def mpt_lookup_cost(n: int, key_length_nibbles: int, fanout: int = 16) -> float:
+    """MPT lookup: bounded by the compacted key path, at least log_m N."""
+    return max(float(key_length_nibbles), _log(fanout, n))
+
+
+def mpt_update_cost(n: int, key_length_nibbles: int, fanout: int = 16) -> float:
+    """MPT update: a lookup plus O(1) node copies per visited level."""
+    return 2.0 * mpt_lookup_cost(n, key_length_nibbles, fanout)
+
+
+def mpt_diff_cost(delta: int, n: int, key_length_nibbles: int, fanout: int = 16) -> float:
+    """MPT diff: δ lookups in the naive model (Section 4.1.3)."""
+    return delta * mpt_lookup_cost(n, key_length_nibbles, fanout)
+
+
+def mpt_cost_model(key_length_nibbles: int = 20, fanout: int = 16) -> OperationCostModel:
+    return OperationCostModel(
+        name="MPT",
+        lookup=lambda n: mpt_lookup_cost(n, key_length_nibbles, fanout),
+        update=lambda n: mpt_update_cost(n, key_length_nibbles, fanout),
+        diff=lambda n, delta: mpt_diff_cost(delta, n, key_length_nibbles, fanout),
+        merge=lambda n, delta: mpt_diff_cost(delta, n, key_length_nibbles, fanout),
+    )
+
+
+# ---------------------------------------------------------------------------
+# MBT — lookup O(log_m B + log2(N/B)); update O(log_m B + N/B).
+# ---------------------------------------------------------------------------
+
+def mbt_lookup_cost(n: int, buckets: int, fanout: int) -> float:
+    traversal = _log(fanout, buckets)
+    scan = _log(2, max(1.0, n / buckets))
+    return traversal + scan
+
+
+def mbt_update_cost(n: int, buckets: int, fanout: int) -> float:
+    traversal = _log(fanout, buckets)
+    bucket_rewrite = max(1.0, n / buckets)
+    return traversal + bucket_rewrite
+
+
+def mbt_diff_cost(delta: int, n: int, buckets: int, fanout: int) -> float:
+    return delta * mbt_lookup_cost(n, buckets, fanout)
+
+
+def mbt_cost_model(buckets: int = 1024, fanout: int = 4) -> OperationCostModel:
+    return OperationCostModel(
+        name="MBT",
+        lookup=lambda n: mbt_lookup_cost(n, buckets, fanout),
+        update=lambda n: mbt_update_cost(n, buckets, fanout),
+        diff=lambda n, delta: mbt_diff_cost(delta, n, buckets, fanout),
+        merge=lambda n, delta: mbt_diff_cost(delta, n, buckets, fanout),
+    )
+
+
+# ---------------------------------------------------------------------------
+# POS-Tree (and the MVMB+-Tree baseline) — balanced search trees: O(log_m N).
+# ---------------------------------------------------------------------------
+
+def pos_lookup_cost(n: int, fanout: int) -> float:
+    return _log(fanout, n)
+
+
+def pos_update_cost(n: int, fanout: int) -> float:
+    return 2.0 * _log(fanout, n)
+
+
+def pos_diff_cost(delta: int, n: int, fanout: int) -> float:
+    return delta * pos_lookup_cost(n, fanout)
+
+
+def pos_tree_cost_model(fanout: int = 16) -> OperationCostModel:
+    return OperationCostModel(
+        name="POS-Tree",
+        lookup=lambda n: pos_lookup_cost(n, fanout),
+        update=lambda n: pos_update_cost(n, fanout),
+        diff=lambda n, delta: pos_diff_cost(delta, n, fanout),
+        merge=lambda n, delta: pos_diff_cost(delta, n, fanout),
+    )
+
+
+def mvmbt_cost_model(fanout: int = 16) -> OperationCostModel:
+    """The baseline shares the balanced-search-tree bounds of POS-Tree."""
+    model = pos_tree_cost_model(fanout)
+    return OperationCostModel(
+        name="MVMB+-Tree",
+        lookup=model.lookup,
+        update=model.update,
+        diff=model.diff,
+        merge=model.merge,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deduplication-ratio predictions (Section 4.2.2)
+# ---------------------------------------------------------------------------
+
+def predicted_deduplication_ratio(alpha: float, structure: str = "POS-Tree",
+                                  key_length: float = 10.0,
+                                  mean_key_length: float = 10.0) -> float:
+    """η prediction for two consecutive versions differing by fraction α.
+
+    For MBT and POS-Tree the paper derives η ≈ 1/2 − α/2 for a two-version
+    set; for MPT the ratio additionally depends on the relation between the
+    maximum key length ``L`` and the mean key length ``L̄`` — η is at least
+    (resp. at most) 1/2 − α/2 when L ≥ L̄ (resp. L ≤ L̄).
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must be within [0, 1]")
+    base = 0.5 - alpha / 2.0
+    if structure.upper().startswith("MPT"):
+        if key_length >= mean_key_length:
+            # Lower bound — the trie shares at least this much.
+            return base
+        return base * (key_length / mean_key_length)
+    return base

@@ -1,0 +1,106 @@
+"""Latency measurement and histogram utilities (Figures 10–12).
+
+The paper reports read/write latency *distributions*: the x-axis is the
+latency range and the y-axis the number of operations falling into each
+range.  :class:`LatencyRecorder` collects per-operation latencies (either
+measured with a real clock or accounted from simulated costs) and
+:class:`LatencyHistogram` bins them into a paper-style series.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class LatencyRecorder:
+    """Collects individual operation latencies in seconds."""
+
+    def __init__(self):
+        self.samples: List[float] = []
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample."""
+        self.samples.append(seconds)
+
+    def time(self, fn: Callable[[], object]) -> object:
+        """Run ``fn`` and record its wall-clock latency; return its result."""
+        start = time.perf_counter()
+        result = fn()
+        self.record(time.perf_counter() - start)
+        return result
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    # -- summary statistics --------------------------------------------------
+
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """The ``fraction``-quantile (e.g. 0.5 for the median, 0.99 for p99)."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        position = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+        return ordered[position]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(len(self.samples)),
+            "mean": self.mean(),
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "max": max(self.samples) if self.samples else 0.0,
+        }
+
+    def histogram(self, bins: int = 20, lower: Optional[float] = None,
+                  upper: Optional[float] = None) -> "LatencyHistogram":
+        """Bin the collected samples into a :class:`LatencyHistogram`."""
+        return LatencyHistogram.from_samples(self.samples, bins=bins, lower=lower, upper=upper)
+
+
+@dataclass
+class LatencyHistogram:
+    """A binned latency distribution: bin upper edges and per-bin counts."""
+
+    bin_edges: List[float]
+    counts: List[int]
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float], bins: int = 20,
+                     lower: Optional[float] = None, upper: Optional[float] = None) -> "LatencyHistogram":
+        if bins <= 0:
+            raise ValueError("bins must be positive")
+        if not samples:
+            return cls(bin_edges=[], counts=[])
+        low = min(samples) if lower is None else lower
+        high = max(samples) if upper is None else upper
+        if high <= low:
+            high = low + 1e-9
+        width = (high - low) / bins
+        edges = [low + width * (i + 1) for i in range(bins)]
+        counts = [0] * bins
+        for sample in samples:
+            position = int((sample - low) / width)
+            position = min(bins - 1, max(0, position))
+            counts[position] += 1
+        return cls(bin_edges=edges, counts=counts)
+
+    def series(self) -> List[Tuple[float, int]]:
+        """(bin upper edge, count) pairs — the paper's figure series."""
+        return list(zip(self.bin_edges, self.counts))
+
+    def mode_bin(self) -> Tuple[float, int]:
+        """The most populated bin (its upper edge and count)."""
+        if not self.counts:
+            return 0.0, 0
+        best = max(range(len(self.counts)), key=lambda i: self.counts[i])
+        return self.bin_edges[best], self.counts[best]
+
+    def total(self) -> int:
+        return sum(self.counts)

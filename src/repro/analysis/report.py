@@ -1,0 +1,68 @@
+"""Plain-text table and series rendering for the benchmark harness.
+
+Every benchmark module regenerates one of the paper's figures or tables
+and prints it in a readable, diffable plain-text form: a header block
+naming the experiment, then an aligned table whose rows correspond to the
+paper's data series (one column per index, one row per x-axis point).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned plain-text table."""
+    string_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append(render_row(["-" * w for w in widths]))
+    for row in string_rows:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def format_series(x_label: str, x_values: Sequence[object],
+                  series: Mapping[str, Sequence[Number]], title: str = "") -> str:
+    """Render one figure's data as a table: x column plus one column per series."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[i] if i < len(values) else "")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def print_experiment(title: str, body: str) -> None:
+    """Print one experiment block with a visual separator (used by benches)."""
+    separator = "#" * max(len(title) + 4, 40)
+    print(f"\n{separator}\n# {title}\n{separator}\n{body}\n")

@@ -1,0 +1,45 @@
+"""Tree-shape statistics: lookup path lengths and structural summaries.
+
+Figure 9 of the paper plots, for a write workload, how many tree levels
+each operation had to traverse: POS-Tree and the baseline hover around
+their balanced height, MPT shows several peaks (keys terminate at
+different trie depths), and MBT is constant.  These helpers collect that
+distribution and related structural statistics for any snapshot.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def depth_distribution(snapshot, keys: Iterable[bytes]) -> Dict[int, int]:
+    """Histogram of lookup path lengths (levels traversed) for ``keys``."""
+    counter: Counter = Counter()
+    for key in keys:
+        counter[snapshot.lookup_depth(key)] += 1
+    return dict(sorted(counter.items()))
+
+
+def tree_statistics(snapshot) -> Dict[str, float]:
+    """Structural summary of one snapshot: nodes, bytes, height, fan-out."""
+    digests = snapshot.node_digests()
+    store = snapshot.index.store
+    sizes = [store.size_of(d) for d in digests]
+    node_count = len(digests)
+    total_bytes = sum(sizes)
+    return {
+        "records": float(len(snapshot)),
+        "nodes": float(node_count),
+        "total_bytes": float(total_bytes),
+        "avg_node_bytes": total_bytes / node_count if node_count else 0.0,
+        "max_node_bytes": float(max(sizes)) if sizes else 0.0,
+        "height": float(snapshot.height()),
+    }
+
+
+def average_depth(snapshot, keys: Sequence[bytes]) -> float:
+    """Mean lookup path length over ``keys``."""
+    if not keys:
+        return 0.0
+    return sum(snapshot.lookup_depth(key) for key in keys) / len(keys)

@@ -1,0 +1,17 @@
+"""Blockchain-style ledger built on the SIRI indexes.
+
+The paper's Ethereum experiment models how a blockchain actually stores
+transactions (Section 5.3.1): for every block an index is built over the
+transactions of that block (keyed by transaction hash), the index's root
+hash is recorded in the block header, and the block headers form a global
+hash-linked list.  Reads scan the block list for the block containing a
+transaction and then traverse that block's index; writes append a new
+block (a batch load from scratch).
+
+:mod:`repro.blockchain.ledger` implements that model for any of the index
+candidates, including tamper detection across the header chain.
+"""
+
+from repro.blockchain.ledger import BlockHeader, Ledger
+
+__all__ = ["BlockHeader", "Ledger"]

@@ -1,0 +1,66 @@
+"""The SIRI framework core.
+
+This package contains everything that is shared across the concrete index
+structures:
+
+* :mod:`repro.core.errors` — the library's exception hierarchy.
+* :mod:`repro.core.interfaces` — the :class:`SIRIIndex` abstract interface
+  (lookup, insert, batch update, diff, merge, proofs) every candidate
+  implements, plus the immutable snapshot/version handle types.
+* :mod:`repro.core.proof` — Merkle proof objects and verification.
+* :mod:`repro.core.metrics` — deduplication ratio, node sharing ratio and
+  storage statistics (Section 4.2 and Section 5.4 of the paper).
+* :mod:`repro.core.diff` — generic diff/merge engine with conflict
+  detection (Section 4.1.3/4.1.4).
+* :mod:`repro.core.properties` — empirical checkers for the three SIRI
+  properties (Definition 3.1).
+* :mod:`repro.core.version` — a commit DAG recording index versions and
+  branches, used by the Forkbase-style engine and the examples.
+"""
+
+from repro.core.errors import (
+    ReproError,
+    NodeNotFoundError,
+    CorruptNodeError,
+    MergeConflictError,
+    ProofVerificationError,
+    ImmutableWriteError,
+)
+from repro.core.interfaces import IndexSnapshot, SIRIIndex, WriteBatch
+from repro.core.proof import MerkleProof, ProofStep
+from repro.core.metrics import (
+    StorageBreakdown,
+    deduplication_ratio,
+    node_sharing_ratio,
+    snapshot_page_sets,
+)
+from repro.core.diff import DiffResult, MergeResult, diff_snapshots, merge_snapshots, three_way_merge
+from repro.core.properties import SIRIPropertyReport, check_siri_properties
+from repro.core.version import Commit, VersionGraph
+
+__all__ = [
+    "ReproError",
+    "NodeNotFoundError",
+    "CorruptNodeError",
+    "MergeConflictError",
+    "ProofVerificationError",
+    "ImmutableWriteError",
+    "IndexSnapshot",
+    "SIRIIndex",
+    "WriteBatch",
+    "MerkleProof",
+    "ProofStep",
+    "StorageBreakdown",
+    "deduplication_ratio",
+    "node_sharing_ratio",
+    "snapshot_page_sets",
+    "DiffResult",
+    "MergeResult",
+    "diff_snapshots",
+    "merge_snapshots",
+    "three_way_merge",
+    "SIRIPropertyReport",
+    "check_siri_properties",
+    "Commit",
+    "VersionGraph",
+]

@@ -1,0 +1,257 @@
+"""Diff and merge over index snapshots (Section 4.1.3 and 4.1.4).
+
+*Diff* returns all records that are present in only one of two versions or
+that carry different values in the two.  *Merge* combines all records from
+both versions; when both versions changed the same key to different values
+the merge must stop and ask the caller for a resolution strategy (the
+paper interrupts the process; we raise :class:`MergeConflictError` unless
+a resolver is supplied).
+
+Two diff strategies are provided:
+
+* :func:`diff_snapshots` — a *structural* diff: it walks the two versions'
+  ordered record streams but first prunes identical subtrees by comparing
+  node digests where the index exposes subtree boundaries.  For all SIRI
+  candidates, identical content ⇒ identical digests, so shared subtrees
+  are skipped wholesale.  This is what makes diff over structurally
+  invariant indexes fast (Figure 8).
+* :func:`diff_by_lookup` — the paper's "naive implementation" used in the
+  complexity analysis: iterate one version and look every key up in the
+  other.  Kept for the asymptotic-validation tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.errors import MergeConflictError
+
+
+@dataclass
+class DiffEntry:
+    """One differing key between two versions."""
+
+    key: bytes
+    #: Value in the left/base version (None when the key is absent there).
+    left: Optional[bytes]
+    #: Value in the right/other version (None when the key is absent there).
+    right: Optional[bytes]
+
+    @property
+    def kind(self) -> str:
+        """"added" (only right), "removed" (only left) or "changed"."""
+        if self.left is None:
+            return "added"
+        if self.right is None:
+            return "removed"
+        return "changed"
+
+
+@dataclass
+class DiffResult:
+    """The outcome of diffing two snapshots."""
+
+    entries: List[DiffEntry] = field(default_factory=list)
+    #: Number of record comparisons actually performed (pruning makes this
+    #: much smaller than the record count for similar versions).
+    comparisons: int = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[DiffEntry]:
+        return iter(self.entries)
+
+    @property
+    def added(self) -> List[DiffEntry]:
+        return [e for e in self.entries if e.kind == "added"]
+
+    @property
+    def removed(self) -> List[DiffEntry]:
+        return [e for e in self.entries if e.kind == "removed"]
+
+    @property
+    def changed(self) -> List[DiffEntry]:
+        return [e for e in self.entries if e.kind == "changed"]
+
+    def keys(self) -> List[bytes]:
+        return [e.key for e in self.entries]
+
+    def is_empty(self) -> bool:
+        return not self.entries
+
+
+@dataclass
+class MergeResult:
+    """The outcome of merging two snapshots."""
+
+    snapshot: object
+    merged_keys: List[bytes] = field(default_factory=list)
+    conflicts_resolved: List[bytes] = field(default_factory=list)
+
+
+def _merge_ordered_streams(
+    left_items: Iterator[Tuple[bytes, bytes]],
+    right_items: Iterator[Tuple[bytes, bytes]],
+) -> Iterator[DiffEntry]:
+    """Merge-join two ascending (key, value) streams, yielding differences."""
+    sentinel = object()
+    left_iter = iter(left_items)
+    right_iter = iter(right_items)
+    left = next(left_iter, sentinel)
+    right = next(right_iter, sentinel)
+    while left is not sentinel or right is not sentinel:
+        if left is sentinel:
+            yield DiffEntry(right[0], None, right[1])
+            right = next(right_iter, sentinel)
+        elif right is sentinel:
+            yield DiffEntry(left[0], left[1], None)
+            left = next(left_iter, sentinel)
+        elif left[0] == right[0]:
+            if left[1] != right[1]:
+                yield DiffEntry(left[0], left[1], right[1])
+            left = next(left_iter, sentinel)
+            right = next(right_iter, sentinel)
+        elif left[0] < right[0]:
+            yield DiffEntry(left[0], left[1], None)
+            left = next(left_iter, sentinel)
+        else:
+            yield DiffEntry(right[0], None, right[1])
+            right = next(right_iter, sentinel)
+
+
+def diff_snapshots(left, right) -> DiffResult:
+    """Diff two snapshots of the same index class.
+
+    If both snapshots have the same root digest they are — by the
+    structural invariance / tamper evidence argument — identical, and the
+    diff is empty without reading a single node.  Otherwise the two
+    ordered record streams are merge-joined; indexes that expose a pruned
+    iterator (``iterate_diff``) get subtree-level pruning for free.
+    """
+    result = DiffResult()
+    if left.root_digest == right.root_digest:
+        return result
+
+    index = left.index
+    prune_capable = hasattr(index, "iterate_diff") and left.index is right.index
+    if prune_capable:
+        stream = index.iterate_diff(left.root_digest, right.root_digest)
+        for key, left_value, right_value in stream:
+            result.comparisons += 1
+            if left_value != right_value:
+                result.entries.append(DiffEntry(key, left_value, right_value))
+        return result
+
+    for entry in _merge_ordered_streams(left.items(), right.items()):
+        result.comparisons += 1
+        result.entries.append(entry)
+    return result
+
+
+def diff_by_lookup(left, right) -> DiffResult:
+    """The naive diff of the paper's complexity analysis: per-key lookups.
+
+    Iterates the union of both key sets and looks each key up in both
+    versions.  O(δ · lookup) as analyzed in Section 4.1.3.
+    """
+    result = DiffResult()
+    left_map = dict(left.items())
+    for key, right_value in right.items():
+        result.comparisons += 1
+        left_value = left_map.pop(key, None)
+        if left_value != right_value:
+            result.entries.append(DiffEntry(key, left_value, right_value))
+    for key, left_value in left_map.items():
+        result.comparisons += 1
+        result.entries.append(DiffEntry(key, left_value, None))
+    result.entries.sort(key=lambda e: e.key)
+    return result
+
+
+Resolver = Callable[[bytes, bytes, bytes], bytes]
+
+
+def merge_snapshots(base, other, resolver: Optional[Resolver] = None) -> "object":
+    """Two-way merge: combine all records of ``base`` and ``other``.
+
+    Keys present in only one version are taken as-is.  Keys present in
+    both with equal values are untouched.  Keys present in both with
+    *different* values are conflicts: without a ``resolver`` the merge is
+    interrupted with :class:`MergeConflictError` (as the paper specifies);
+    with a resolver, ``resolver(key, base_value, other_value)`` chooses the
+    surviving value.
+
+    Returns the merged snapshot (built on top of ``base``).
+    """
+    differences = diff_snapshots(base, other)
+    puts: Dict[bytes, bytes] = {}
+    conflicts: List[bytes] = []
+    resolved: List[bytes] = []
+
+    for entry in differences:
+        if entry.left is None:
+            puts[entry.key] = entry.right
+        elif entry.right is None:
+            # Key exists only in base: merge keeps the union, nothing to do.
+            continue
+        else:
+            if resolver is None:
+                conflicts.append(entry.key)
+            else:
+                puts[entry.key] = resolver(entry.key, entry.left, entry.right)
+                resolved.append(entry.key)
+
+    if conflicts:
+        raise MergeConflictError(conflicts)
+
+    merged = base.update(puts) if puts else base
+    return merged
+
+
+def three_way_merge(base, ours, theirs, resolver: Optional[Resolver] = None):
+    """Three-way merge with a common ancestor (collaborative branching).
+
+    A key conflicts only when *both* branches changed it relative to
+    ``base`` and the new values differ.  A branch that left a key
+    untouched never overrides the other branch's change — the semantics
+    used by the collaborative-analytics scenarios the paper motivates.
+
+    Returns a :class:`MergeResult` whose snapshot is built on ``ours``.
+    """
+    ours_diff = {e.key: e for e in diff_snapshots(base, ours)}
+    theirs_diff = {e.key: e for e in diff_snapshots(base, theirs)}
+
+    puts: Dict[bytes, bytes] = {}
+    removes: List[bytes] = []
+    conflicts: List[bytes] = []
+    resolved: List[bytes] = []
+    merged_keys: List[bytes] = []
+
+    for key, theirs_entry in theirs_diff.items():
+        ours_entry = ours_diff.get(key)
+        if ours_entry is None:
+            # Only the other branch touched this key: take their change.
+            if theirs_entry.right is None:
+                removes.append(key)
+            else:
+                puts[key] = theirs_entry.right
+            merged_keys.append(key)
+            continue
+        if ours_entry.right == theirs_entry.right:
+            continue
+        if resolver is None:
+            conflicts.append(key)
+        else:
+            ours_value = ours_entry.right if ours_entry.right is not None else b""
+            theirs_value = theirs_entry.right if theirs_entry.right is not None else b""
+            puts[key] = resolver(key, ours_value, theirs_value)
+            resolved.append(key)
+            merged_keys.append(key)
+
+    if conflicts:
+        raise MergeConflictError(conflicts)
+
+    merged = ours.update(puts, removes=removes) if (puts or removes) else ours
+    return MergeResult(snapshot=merged, merged_keys=merged_keys, conflicts_resolved=resolved)

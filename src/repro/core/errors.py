@@ -1,0 +1,78 @@
+"""Exception hierarchy for the SIRI reproduction library.
+
+All library-specific exceptions derive from :class:`ReproError` so callers
+can catch everything coming out of this package with a single ``except``
+clause while still being able to distinguish the individual failure modes
+that matter operationally (missing node, corrupted node, merge conflict,
+failed proof verification).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NodeNotFoundError(ReproError, KeyError):
+    """A node digest was requested that the node store does not contain.
+
+    In a content-addressed store this indicates either data loss or a
+    dangling reference (e.g. a version whose nodes were garbage
+    collected).
+    """
+
+    def __init__(self, digest, message: str = ""):
+        self.digest = digest
+        detail = message or f"node {digest!r} not found in store"
+        super().__init__(detail)
+
+
+class CorruptNodeError(ReproError):
+    """Stored node bytes do not hash to the digest they are filed under.
+
+    This is the tamper-evidence path: any bit flip in a stored node is
+    detected when the node is re-hashed on read (or during proof
+    verification) and surfaces as this exception.
+    """
+
+    def __init__(self, digest, message: str = ""):
+        self.digest = digest
+        detail = message or f"node {digest!r} failed integrity verification"
+        super().__init__(detail)
+
+
+class KeyNotFoundError(ReproError, KeyError):
+    """A lookup key is not present in the index snapshot."""
+
+    def __init__(self, key, message: str = ""):
+        self.key = key
+        detail = message or f"key {key!r} not found"
+        super().__init__(detail)
+
+
+class MergeConflictError(ReproError):
+    """Two index versions assign different values to the same key.
+
+    The paper's merge operation must be interrupted on conflicts and a
+    resolution strategy supplied by the caller (Section 4.1.4); this
+    exception carries the conflicting keys so the caller can resolve and
+    retry.
+    """
+
+    def __init__(self, conflicts, message: str = ""):
+        self.conflicts = list(conflicts)
+        detail = message or f"merge conflict on {len(self.conflicts)} key(s)"
+        super().__init__(detail)
+
+
+class ProofVerificationError(ReproError):
+    """A Merkle proof failed to verify against the trusted root digest."""
+
+
+class ImmutableWriteError(ReproError):
+    """An attempt was made to mutate an immutable snapshot in place."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """An index or workload was configured with invalid parameters."""

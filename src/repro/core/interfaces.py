@@ -1,0 +1,335 @@
+"""Abstract interfaces shared by every SIRI index candidate.
+
+The paper evaluates four structures — MPT, MBT, POS-Tree and the
+MVMB+-Tree baseline — under exactly the same operations: lookup, update
+(batched writes producing a new immutable version), diff, and merge, plus
+storage/dedup accounting over the node store.  This module defines:
+
+* :class:`SIRIIndex` — the abstract index *class*: it owns a node store
+  and knows how to read and produce immutable versions (roots).  Concrete
+  subclasses implement the structure-specific parts.
+* :class:`IndexSnapshot` — an immutable handle on one version (a root
+  digest).  All reads go through snapshots; all writes return a *new*
+  snapshot and leave the original untouched (node-level copy-on-write).
+* :class:`WriteBatch` — a small builder for accumulating puts/deletes and
+  applying them in one batched update, which is how the paper drives the
+  write workloads (Table 2's batch sizes).
+
+Keys and values are ``bytes`` end to end.  Convenience coercion from
+``str`` (UTF-8) and ``int`` (decimal ASCII) is provided at the snapshot
+API boundary so examples stay readable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple, Union
+
+from repro.core.errors import ImmutableWriteError, KeyNotFoundError
+from repro.core.proof import MerkleProof
+from repro.hashing.digest import Digest
+from repro.storage.store import NodeStore
+
+KeyLike = Union[bytes, bytearray, str, int]
+ValueLike = Union[bytes, bytearray, str, int]
+
+
+def coerce_key(key: KeyLike) -> bytes:
+    """Normalize a user-facing key to bytes (UTF-8 for str, decimal for int)."""
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, bytearray):
+        return bytes(key)
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, int):
+        return str(key).encode("ascii")
+    raise TypeError(f"unsupported key type: {type(key).__name__}")
+
+
+def coerce_value(value: ValueLike) -> bytes:
+    """Normalize a user-facing value to bytes."""
+    return coerce_key(value)
+
+
+class SIRIIndex:
+    """Abstract base for the index structures under evaluation.
+
+    A :class:`SIRIIndex` instance is bound to one :class:`NodeStore`.  It
+    never holds mutable tree state itself; every version of the index is
+    fully described by a root digest, and all structural data lives in the
+    (shared, content-addressed) store.  This is what allows many versions,
+    branches, users and even *different index types* to share one store
+    and deduplicate at the page level.
+    """
+
+    #: Human-readable structure name used in reports ("POS-Tree", "MPT", ...).
+    name: str = "abstract"
+
+    def __init__(self, store: NodeStore):
+        self.store = store
+
+    # ------------------------------------------------------------------
+    # Structure-specific primitives (implemented by subclasses)
+    # ------------------------------------------------------------------
+
+    def empty_root(self) -> Optional[Digest]:
+        """The root digest of the empty index (``None`` for all candidates)."""
+        return None
+
+    def lookup(self, root: Optional[Digest], key: bytes) -> Optional[bytes]:
+        """Return the value bound to ``key`` in the version ``root``, or None."""
+        raise NotImplementedError
+
+    def write(
+        self,
+        root: Optional[Digest],
+        puts: Mapping[bytes, bytes],
+        removes: Iterable[bytes] = (),
+    ) -> Optional[Digest]:
+        """Apply a batch of puts/removes to version ``root``.
+
+        Returns the root digest of the *new* version.  The old version
+        remains fully readable: only nodes on modified paths are re-created
+        (copy-on-write); untouched nodes are shared between the versions.
+        """
+        raise NotImplementedError
+
+    def iterate(self, root: Optional[Digest]) -> Iterator[Tuple[bytes, bytes]]:
+        """Iterate ``(key, value)`` pairs of a version in ascending key order."""
+        raise NotImplementedError
+
+    def node_digests(self, root: Optional[Digest]) -> Set[Digest]:
+        """The page set P(I): digests of every node reachable from ``root``."""
+        raise NotImplementedError
+
+    def prove(self, root: Optional[Digest], key: bytes) -> MerkleProof:
+        """Build a Merkle proof for ``key`` (existence or absence) in ``root``."""
+        raise NotImplementedError
+
+    def lookup_depth(self, root: Optional[Digest], key: bytes) -> int:
+        """Number of nodes traversed (tree levels) to resolve ``key``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Generic helpers built on the primitives
+    # ------------------------------------------------------------------
+
+    def empty_snapshot(self) -> "IndexSnapshot":
+        """An immutable snapshot of the empty index."""
+        return IndexSnapshot(self, self.empty_root(), record_count=0)
+
+    def snapshot(self, root: Optional[Digest], record_count: Optional[int] = None) -> "IndexSnapshot":
+        """Wrap an existing root digest in a snapshot handle."""
+        return IndexSnapshot(self, root, record_count=record_count)
+
+    def from_items(self, items: Union[Mapping[KeyLike, ValueLike], Iterable[Tuple[KeyLike, ValueLike]]]) -> "IndexSnapshot":
+        """Build a snapshot containing ``items`` starting from the empty index."""
+        return self.empty_snapshot().update(items)
+
+    def height(self, root: Optional[Digest]) -> int:
+        """Height of the version's tree (max node count on any root→leaf path)."""
+        if root is None:
+            return 0
+        # Default implementation: maximum lookup depth over all keys.  The
+        # concrete indexes override this with cheaper structure walks.
+        depths = [self.lookup_depth(root, key) for key, _ in self.iterate(root)]
+        return max(depths) if depths else 0
+
+    def count(self, root: Optional[Digest]) -> int:
+        """Number of records stored in a version (O(N) by iteration)."""
+        return sum(1 for _ in self.iterate(root))
+
+    def storage_bytes(self, root: Optional[Digest]) -> int:
+        """Total byte size of the version's page set."""
+        return sum(self.store.size_of(d) for d in self.node_digests(root))
+
+
+class IndexSnapshot:
+    """An immutable view of one index version.
+
+    A snapshot never changes.  Mutating operations (:meth:`put`,
+    :meth:`update`, :meth:`remove`) return a *new* snapshot that shares
+    all unmodified nodes with this one through the content-addressed node
+    store.
+    """
+
+    __slots__ = ("index", "root", "_record_count")
+
+    def __init__(self, index: SIRIIndex, root: Optional[Digest], record_count: Optional[int] = None):
+        self.index = index
+        self.root = root
+        self._record_count = record_count
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def root_digest(self) -> Optional[Digest]:
+        """The cryptographic root digest identifying this version."""
+        return self.root
+
+    @property
+    def root_hex(self) -> str:
+        """Hex rendering of the root digest ("" for the empty snapshot)."""
+        return self.root.hex if self.root is not None else ""
+
+    def is_empty(self) -> bool:
+        """Whether this snapshot holds no records."""
+        return self.root is None
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, key: KeyLike, default: Optional[bytes] = None) -> Optional[bytes]:
+        """Return the value for ``key`` or ``default`` when absent."""
+        value = self.index.lookup(self.root, coerce_key(key))
+        return default if value is None else value
+
+    def __getitem__(self, key: KeyLike) -> bytes:
+        value = self.index.lookup(self.root, coerce_key(key))
+        if value is None:
+            raise KeyNotFoundError(key)
+        return value
+
+    def __contains__(self, key: KeyLike) -> bool:
+        return self.index.lookup(self.root, coerce_key(key)) is not None
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Iterate ``(key, value)`` pairs in ascending key order."""
+        return self.index.iterate(self.root)
+
+    def keys(self) -> Iterator[bytes]:
+        for key, _ in self.items():
+            yield key
+
+    def values(self) -> Iterator[bytes]:
+        for _, value in self.items():
+            yield value
+
+    def to_dict(self) -> Dict[bytes, bytes]:
+        """Materialize the full content as a plain dictionary."""
+        return dict(self.items())
+
+    def __len__(self) -> int:
+        if self._record_count is None:
+            self._record_count = self.index.count(self.root)
+        return self._record_count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IndexSnapshot):
+            return NotImplemented
+        return self.index is other.index and self.root == other.root
+
+    def __hash__(self) -> int:
+        return hash((id(self.index), self.root))
+
+    def __repr__(self) -> str:
+        root = self.root.short() if self.root is not None else "empty"
+        return f"IndexSnapshot({self.index.name}, root={root})"
+
+    def __setitem__(self, key, value) -> None:
+        raise ImmutableWriteError(
+            "snapshots are immutable; use put()/update() which return a new snapshot"
+        )
+
+    # -- writes (return new snapshots) --------------------------------------
+
+    def put(self, key: KeyLike, value: ValueLike) -> "IndexSnapshot":
+        """Return a new snapshot with ``key`` bound to ``value``."""
+        return self.update({key: value})
+
+    def update(
+        self,
+        items: Union[Mapping[KeyLike, ValueLike], Iterable[Tuple[KeyLike, ValueLike]]],
+        removes: Iterable[KeyLike] = (),
+    ) -> "IndexSnapshot":
+        """Return a new snapshot with a batch of puts and removes applied."""
+        if isinstance(items, Mapping):
+            pairs = items.items()
+        else:
+            pairs = items
+        puts = {coerce_key(k): coerce_value(v) for k, v in pairs}
+        removed = [coerce_key(k) for k in removes]
+        new_root = self.index.write(self.root, puts, removed)
+        return IndexSnapshot(self.index, new_root)
+
+    def remove(self, *keys: KeyLike) -> "IndexSnapshot":
+        """Return a new snapshot with ``keys`` removed (absent keys ignored)."""
+        return self.update({}, removes=keys)
+
+    # -- structure and verification ------------------------------------------
+
+    def node_digests(self) -> Set[Digest]:
+        """The page set P(I) of this version."""
+        return self.index.node_digests(self.root)
+
+    def storage_bytes(self) -> int:
+        """Total bytes of this version's pages (shared pages counted once)."""
+        return self.index.storage_bytes(self.root)
+
+    def height(self) -> int:
+        """Tree height of this version."""
+        return self.index.height(self.root)
+
+    def lookup_depth(self, key: KeyLike) -> int:
+        """Number of nodes traversed when looking up ``key``."""
+        return self.index.lookup_depth(self.root, coerce_key(key))
+
+    def prove(self, key: KeyLike) -> MerkleProof:
+        """Produce a Merkle proof for ``key`` against this version's root."""
+        return self.index.prove(self.root, coerce_key(key))
+
+    def diff(self, other: "IndexSnapshot"):
+        """Differences between this snapshot and ``other`` (see :mod:`repro.core.diff`)."""
+        from repro.core.diff import diff_snapshots
+
+        return diff_snapshots(self, other)
+
+    def merge(self, other: "IndexSnapshot", resolver=None) -> "IndexSnapshot":
+        """Merge ``other`` into this snapshot (see :mod:`repro.core.diff`)."""
+        from repro.core.diff import merge_snapshots
+
+        return merge_snapshots(self, other, resolver=resolver)
+
+
+class WriteBatch:
+    """Accumulates puts and removes to apply to a snapshot in one update.
+
+    The paper's write workloads apply updates in batches (Table 2's batch
+    sizes from 1 000 to 16 000); batching matters in particular for
+    POS-Tree, whose bottom-up build touches each node once per batch
+    instead of once per key.
+    """
+
+    def __init__(self):
+        self._puts: Dict[bytes, bytes] = {}
+        self._removes: Set[bytes] = set()
+
+    def put(self, key: KeyLike, value: ValueLike) -> "WriteBatch":
+        key_bytes = coerce_key(key)
+        self._puts[key_bytes] = coerce_value(value)
+        self._removes.discard(key_bytes)
+        return self
+
+    def remove(self, key: KeyLike) -> "WriteBatch":
+        key_bytes = coerce_key(key)
+        self._removes.add(key_bytes)
+        self._puts.pop(key_bytes, None)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._puts) + len(self._removes)
+
+    @property
+    def puts(self) -> Dict[bytes, bytes]:
+        return dict(self._puts)
+
+    @property
+    def removes(self) -> List[bytes]:
+        return sorted(self._removes)
+
+    def apply_to(self, snapshot: IndexSnapshot) -> IndexSnapshot:
+        """Apply this batch to ``snapshot`` and return the new snapshot."""
+        return snapshot.update(self._puts, removes=self._removes)
+
+    def clear(self) -> None:
+        self._puts.clear()
+        self._removes.clear()

@@ -1,0 +1,166 @@
+"""Deduplication and storage metrics (Section 4.2 and Section 5.4).
+
+The paper formulates two metrics over a set of index instances
+``S = {I_1, ..., I_k}``, each with page set ``P_i``:
+
+* **Deduplication ratio**::
+
+      η(S) = 1 − byte(P_1 ∪ … ∪ P_k) / (byte(P_1) + … + byte(P_k))
+
+  — the fraction of total page *bytes* that page-level sharing avoids
+  storing.
+
+* **Node sharing ratio** (Section 5.4.2)::
+
+      σ(S) = 1 − |P_1 ∪ … ∪ P_k| / (|P_1| + … + |P_k|)
+
+  — the fraction of page *count* eliminated by sharing.
+
+Both are computed here directly from snapshots' page sets, so they apply
+uniformly to every index type (and to the ablation variants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.hashing.digest import Digest
+
+
+@dataclass
+class StorageBreakdown:
+    """Physical/logical storage accounting for a set of index versions."""
+
+    #: Number of unique pages across all versions (|P_1 ∪ … ∪ P_k|).
+    unique_nodes: int
+    #: Sum of per-version page counts (|P_1| + … + |P_k|).
+    total_nodes: int
+    #: Bytes of unique pages (byte(P_1 ∪ … ∪ P_k)).
+    unique_bytes: int
+    #: Sum of per-version page bytes.
+    total_bytes: int
+
+    @property
+    def deduplication_ratio(self) -> float:
+        """η(S): byte-level saving from page sharing (0 when nothing shared)."""
+        if self.total_bytes == 0:
+            return 0.0
+        return 1.0 - self.unique_bytes / self.total_bytes
+
+    @property
+    def node_sharing_ratio(self) -> float:
+        """σ(S): node-count-level saving from page sharing."""
+        if self.total_nodes == 0:
+            return 0.0
+        return 1.0 - self.unique_nodes / self.total_nodes
+
+    @property
+    def raw_bytes(self) -> int:
+        """Bytes that would be stored without any deduplication."""
+        return self.total_bytes
+
+    @property
+    def deduplicated_bytes(self) -> int:
+        """Bytes actually stored with page-level deduplication."""
+        return self.unique_bytes
+
+
+def snapshot_page_sets(snapshots: Sequence) -> List[Set[Digest]]:
+    """Collect the page (node digest) set of each snapshot."""
+    return [snap.node_digests() for snap in snapshots]
+
+
+def _page_bytes(snapshots: Sequence, page_sets: List[Set[Digest]]) -> Dict[Digest, int]:
+    """Map every referenced page digest to its byte size (looked up once)."""
+    sizes: Dict[Digest, int] = {}
+    for snap, pages in zip(snapshots, page_sets):
+        store = snap.index.store
+        for digest in pages:
+            if digest not in sizes:
+                sizes[digest] = store.size_of(digest)
+    return sizes
+
+
+def storage_breakdown(snapshots: Sequence) -> StorageBreakdown:
+    """Compute the full storage breakdown for a set of snapshots.
+
+    Snapshots may come from the same index evolving over time (versions),
+    from different branches, or from entirely separate indexes sharing a
+    store — the metric only looks at page sets, exactly as the paper's
+    definition does.
+    """
+    page_sets = snapshot_page_sets(snapshots)
+    sizes = _page_bytes(snapshots, page_sets)
+
+    union: Set[Digest] = set()
+    total_nodes = 0
+    total_bytes = 0
+    for pages in page_sets:
+        union |= pages
+        total_nodes += len(pages)
+        total_bytes += sum(sizes[d] for d in pages)
+    unique_bytes = sum(sizes[d] for d in union)
+
+    return StorageBreakdown(
+        unique_nodes=len(union),
+        total_nodes=total_nodes,
+        unique_bytes=unique_bytes,
+        total_bytes=total_bytes,
+    )
+
+
+def deduplication_ratio(snapshots: Sequence) -> float:
+    """η(S) over the given snapshots (paper Section 4.2.1)."""
+    return storage_breakdown(snapshots).deduplication_ratio
+
+
+def node_sharing_ratio(snapshots: Sequence) -> float:
+    """Node sharing ratio over the given snapshots (paper Section 5.4.2)."""
+    return storage_breakdown(snapshots).node_sharing_ratio
+
+
+def incremental_version_growth(snapshots: Sequence) -> List[Tuple[int, int, int]]:
+    """Per-version storage growth: list of (version, raw bytes, dedup bytes).
+
+    ``raw`` accumulates each version's page bytes independently (what a
+    store-every-version-separately system would pay); ``dedup`` is the size
+    of the union of page sets up to that version (what a content-addressed
+    store pays).  This is the data series behind the paper's Figure 1.
+    """
+    growth: List[Tuple[int, int, int]] = []
+    seen: Set[Digest] = set()
+    sizes: Dict[Digest, int] = {}
+    raw_total = 0
+    dedup_total = 0
+    for version, snap in enumerate(snapshots):
+        pages = snap.node_digests()
+        store = snap.index.store
+        for digest in pages:
+            if digest not in sizes:
+                sizes[digest] = store.size_of(digest)
+        raw_total += sum(sizes[d] for d in pages)
+        for digest in pages:
+            if digest not in seen:
+                seen.add(digest)
+                dedup_total += sizes[digest]
+        growth.append((version, raw_total, dedup_total))
+    return growth
+
+
+@dataclass
+class OperationCounters:
+    """Mutable counters used by benchmarks to accumulate operation metrics."""
+
+    operations: int = 0
+    records_touched: int = 0
+    nodes_created: int = 0
+    nodes_read: int = 0
+    elapsed_seconds: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def throughput(self) -> float:
+        """Operations per second (0 when no time has been recorded)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.operations / self.elapsed_seconds

@@ -1,0 +1,150 @@
+"""Merkle proofs: verifying a single record against a trusted root digest.
+
+Tamper evidence in all three SIRI structures works the same way (Section
+2.3): the digest of every node covers the digests of its children, so the
+root digest commits to the entire content.  To convince a verifier that a
+particular key/value binding belongs to a version identified by a root
+digest, the prover supplies the node bytes along the lookup path (the
+"proof"); the verifier re-hashes each node, checks that each node's digest
+is referenced by its parent, that the top node hashes to the trusted root,
+and that the bottom node actually binds the key to the claimed value.
+
+The proof format here is structure-agnostic: each step carries the node's
+canonical bytes, and the parent→child commitment is checked by locating
+the child digest inside the parent's serialized bytes.  Because digests
+are 32-byte collision-resistant values, finding the digest embedded in the
+parent bytes is (up to negligible probability) only possible when the
+parent genuinely references the child.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.errors import ProofVerificationError
+from repro.hashing.digest import Digest, HashFunction, default_hash_function
+
+
+class ProofStep:
+    """One node on the proof path, top (root) to bottom (leaf/bucket)."""
+
+    __slots__ = ("node_bytes", "level")
+
+    def __init__(self, node_bytes: bytes, level: int):
+        self.node_bytes = bytes(node_bytes)
+        self.level = level
+
+    def digest(self, hash_function: Optional[HashFunction] = None) -> Digest:
+        """The digest of this node's bytes."""
+        return (hash_function or default_hash_function()).hash(self.node_bytes)
+
+    def __repr__(self) -> str:
+        return f"ProofStep(level={self.level}, bytes={len(self.node_bytes)})"
+
+
+class MerkleProof:
+    """A proof that a key (and optionally its value) is bound in a version.
+
+    Attributes
+    ----------
+    key:
+        The key being proven.
+    value:
+        The value the proof claims is bound to ``key`` — ``None`` for
+        proofs of absence.
+    steps:
+        Node bytes along the root→leaf lookup path, root first.
+    index_name:
+        Name of the structure the proof was generated from (informational).
+    """
+
+    def __init__(
+        self,
+        key: bytes,
+        value: Optional[bytes],
+        steps: List[ProofStep],
+        index_name: str = "",
+        hash_function: Optional[HashFunction] = None,
+        binding_check: Optional[Callable[[bytes, bytes, Optional[bytes]], bool]] = None,
+    ):
+        self.key = bytes(key)
+        self.value = None if value is None else bytes(value)
+        self.steps = list(steps)
+        self.index_name = index_name
+        self.hash_function = hash_function or default_hash_function()
+        #: Structure-specific check of the bottom node's key/value binding,
+        #: attached by the index that produced the proof.
+        self.binding_check = binding_check
+
+    @property
+    def is_membership_proof(self) -> bool:
+        """True when the proof asserts presence of a value for the key."""
+        return self.value is not None
+
+    def proof_size_bytes(self) -> int:
+        """Total byte size of the proof path (the paper's "proof of data")."""
+        return sum(len(step.node_bytes) for step in self.steps)
+
+    def root_digest(self) -> Digest:
+        """Digest of the top node in the proof (what should equal the trusted root)."""
+        if not self.steps:
+            raise ProofVerificationError("proof contains no steps")
+        return self.steps[0].digest(self.hash_function)
+
+    def verify(
+        self,
+        trusted_root: Digest,
+        binding_check: Optional[Callable[[bytes, bytes, Optional[bytes]], bool]] = None,
+    ) -> bool:
+        """Verify this proof against a trusted root digest.
+
+        Parameters
+        ----------
+        trusted_root:
+            The root digest the verifier trusts (e.g. stored in a block
+            header or obtained out of band).
+        binding_check:
+            Optional callable ``(leaf_bytes, key, value) -> bool`` supplied
+            by the index implementation to check that the bottom node of
+            the proof actually binds ``key`` to ``value``.  When omitted,
+            a conservative default is used: the leaf bytes must contain the
+            key bytes, and the value bytes when present.
+
+        Raises
+        ------
+        ProofVerificationError
+            If any link of the proof fails.  Returns True otherwise.
+        """
+        if not self.steps:
+            raise ProofVerificationError("proof contains no steps")
+
+        if self.steps[0].digest(self.hash_function) != trusted_root:
+            raise ProofVerificationError("top of proof does not hash to the trusted root")
+
+        for parent, child in zip(self.steps, self.steps[1:]):
+            child_digest = child.digest(self.hash_function)
+            if child_digest.raw not in parent.node_bytes:
+                raise ProofVerificationError(
+                    f"node at level {child.level} is not referenced by its parent"
+                )
+
+        leaf_bytes = self.steps[-1].node_bytes
+        check = binding_check or self.binding_check
+        if check is not None:
+            if not check(leaf_bytes, self.key, self.value):
+                raise ProofVerificationError("leaf node does not bind the claimed key/value")
+        else:
+            if self.is_membership_proof:
+                if self.value not in leaf_bytes:
+                    raise ProofVerificationError("leaf node does not contain the claimed binding")
+        return True
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:
+        kind = "membership" if self.is_membership_proof else "absence"
+        return (
+            f"MerkleProof({kind}, key={self.key!r}, steps={len(self.steps)}, "
+            f"bytes={self.proof_size_bytes()})"
+        )

@@ -1,0 +1,141 @@
+"""Empirical checkers for the three SIRI properties (Definition 3.1).
+
+The paper defines SIRI membership through three properties.  These cannot
+be *proven* by running code, but they can be checked empirically over
+concrete workloads, which is useful both as a test oracle for our
+implementations and as an analysis tool when exploring new structures:
+
+1. **Structurally Invariant** — the same record set always produces the
+   same page set (and hence the same root digest), regardless of the order
+   in which updates were applied.
+2. **Recursively Identical** — a version that differs by one record from
+   another shares more pages with it than it differs by:
+   ``|P(I) ∩ P(I')| ≥ |P(I) − P(I')|``.
+3. **Universally Reusable** — any version's pages can appear in a larger
+   version; empirically, we check that a superset instance reuses at least
+   one page of the smaller instance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class SIRIPropertyReport:
+    """Outcome of empirically checking the three SIRI properties."""
+
+    index_name: str
+    structurally_invariant: bool
+    recursively_identical: bool
+    universally_reusable: bool
+    #: Supporting measurements, e.g. shared/differing page counts.
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def is_siri(self) -> bool:
+        """Whether all three properties held on the tested workload."""
+        return (
+            self.structurally_invariant
+            and self.recursively_identical
+            and self.universally_reusable
+        )
+
+
+def check_structurally_invariant(index_factory, items: Sequence[Tuple[bytes, bytes]],
+                                 permutations: int = 3, seed: int = 7,
+                                 batch_size: int = 16) -> bool:
+    """Insert the same items in several random orders; roots must coincide.
+
+    ``index_factory`` must return a *fresh* index (over any store) each
+    time it is called, so each permutation builds from scratch.
+    """
+    rng = random.Random(seed)
+    reference_root: Optional[object] = None
+    for _ in range(permutations):
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        index = index_factory()
+        snapshot = index.empty_snapshot()
+        for start in range(0, len(shuffled), batch_size):
+            snapshot = snapshot.update(dict(shuffled[start : start + batch_size]))
+        if reference_root is None:
+            reference_root = snapshot.root_digest
+        elif snapshot.root_digest != reference_root:
+            return False
+    return True
+
+
+def check_recursively_identical(index_factory, items: Sequence[Tuple[bytes, bytes]],
+                                extra: Tuple[bytes, bytes]) -> Tuple[bool, Dict[str, float]]:
+    """Check |P(I) ∩ P(I')| ≥ |P(I) − P(I')| for I = I' + one record."""
+    index = index_factory()
+    smaller = index.from_items(dict(items))
+    larger = smaller.update({extra[0]: extra[1]})
+
+    pages_small = smaller.node_digests()
+    pages_large = larger.node_digests()
+    shared = len(pages_large & pages_small)
+    different = len(pages_large - pages_small)
+    details = {
+        "shared_pages": float(shared),
+        "new_pages": float(different),
+        "small_pages": float(len(pages_small)),
+        "large_pages": float(len(pages_large)),
+    }
+    return shared >= different, details
+
+
+def check_universally_reusable(index_factory, items: Sequence[Tuple[bytes, bytes]],
+                               extra_items: Sequence[Tuple[bytes, bytes]]) -> bool:
+    """Check that a larger instance reuses at least one page of a smaller one."""
+    index = index_factory()
+    small = index.from_items(dict(items))
+    larger = small.update(dict(extra_items))
+    if len(larger.node_digests()) <= len(small.node_digests()):
+        # The extended instance must actually be larger for the check to
+        # be meaningful.
+        return False
+    return bool(small.node_digests() & larger.node_digests())
+
+
+def check_siri_properties(index_factory, items: Sequence[Tuple[bytes, bytes]],
+                          extra_items: Optional[Sequence[Tuple[bytes, bytes]]] = None,
+                          permutations: int = 3, seed: int = 7) -> SIRIPropertyReport:
+    """Run all three empirical SIRI property checks on one index class.
+
+    Parameters
+    ----------
+    index_factory:
+        Zero-argument callable returning a fresh index instance.
+    items:
+        The base record set used for the checks.
+    extra_items:
+        Additional records used for the Recursively Identical and
+        Universally Reusable checks; defaults to a derived set.
+    """
+    items = list(items)
+    if not items:
+        raise ValueError("property checks need a non-empty item set")
+    if extra_items is None:
+        extra_items = [
+            (key + b"@extra", value + b"@extra") for key, value in items[: max(1, len(items) // 10)]
+        ]
+    extra_items = list(extra_items)
+
+    invariant = check_structurally_invariant(
+        index_factory, items, permutations=permutations, seed=seed
+    )
+    recursive, details = check_recursively_identical(index_factory, items, extra_items[0])
+    reusable = check_universally_reusable(index_factory, items, extra_items)
+
+    sample_index = index_factory()
+    return SIRIPropertyReport(
+        index_name=sample_index.name,
+        structurally_invariant=invariant,
+        recursively_identical=recursive,
+        universally_reusable=reusable,
+        details=details,
+    )

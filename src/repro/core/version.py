@@ -1,0 +1,186 @@
+"""Version graph: commits, branches, and history over index snapshots.
+
+Immutable indexes make every update a new version; applications then need
+a way to *name* versions, relate them (parent links, branches, merges) and
+walk their history — exactly what blockchains (linear history, one version
+per block) and collaborative analytics (branching and merging datasets) do
+on top of SIRI structures.  :class:`VersionGraph` is that bookkeeping
+layer: a tiny git-like commit DAG whose payload is an index root digest.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.core.errors import ReproError
+from repro.hashing.digest import Digest, default_hash_function
+
+
+class UnknownBranchError(ReproError, KeyError):
+    """A branch name was referenced that the version graph does not contain."""
+
+
+class UnknownCommitError(ReproError, KeyError):
+    """A commit id was referenced that the version graph does not contain."""
+
+
+@dataclass(frozen=True)
+class Commit:
+    """One committed index version.
+
+    Attributes
+    ----------
+    commit_id:
+        Digest over (root digest, parents, message, author, timestamp) —
+        tamper-evident in the same way as the index itself.
+    root:
+        Root digest of the committed index snapshot (None = empty index).
+    parents:
+        Parent commit ids (0 for the initial commit, 2 for merge commits).
+    """
+
+    commit_id: Digest
+    root: Optional[Digest]
+    parents: Sequence[Digest]
+    message: str = ""
+    author: str = ""
+    timestamp: float = 0.0
+
+    def short_id(self) -> str:
+        return self.commit_id.short()
+
+
+class VersionGraph:
+    """A git-like commit DAG naming immutable index versions.
+
+    The graph does not store any index data itself — only root digests —
+    so it composes with any of the index candidates and with any node
+    store.
+    """
+
+    DEFAULT_BRANCH = "master"
+
+    def __init__(self, clock=time.time):
+        self._commits: Dict[Digest, Commit] = {}
+        self._branches: Dict[str, Digest] = {}
+        self._clock = clock
+        self._hash = default_hash_function()
+
+    # -- commit construction -------------------------------------------------
+
+    def _commit_digest(self, root: Optional[Digest], parents: Sequence[Digest],
+                       message: str, author: str, timestamp: float) -> Digest:
+        parts = [root.raw if root is not None else b"\x00" * 32]
+        parts.extend(p.raw for p in parents)
+        parts.append(message.encode("utf-8"))
+        parts.append(author.encode("utf-8"))
+        parts.append(repr(timestamp).encode("ascii"))
+        return self._hash.hash_many(parts)
+
+    def commit(self, root: Optional[Digest], branch: str = DEFAULT_BRANCH,
+               message: str = "", author: str = "") -> Commit:
+        """Record a new version on ``branch`` whose parent is the branch head."""
+        parents: List[Digest] = []
+        head = self._branches.get(branch)
+        if head is not None:
+            parents.append(head)
+        timestamp = self._clock()
+        commit_id = self._commit_digest(root, parents, message, author, timestamp)
+        commit = Commit(
+            commit_id=commit_id,
+            root=root,
+            parents=tuple(parents),
+            message=message,
+            author=author,
+            timestamp=timestamp,
+        )
+        self._commits[commit_id] = commit
+        self._branches[branch] = commit_id
+        return commit
+
+    def merge_commit(self, root: Optional[Digest], ours: str, theirs: str,
+                     message: str = "", author: str = "") -> Commit:
+        """Record a merge of branch ``theirs`` into branch ``ours``."""
+        ours_head = self.head(ours).commit_id
+        theirs_head = self.head(theirs).commit_id
+        timestamp = self._clock()
+        parents = (ours_head, theirs_head)
+        commit_id = self._commit_digest(root, parents, message, author, timestamp)
+        commit = Commit(
+            commit_id=commit_id,
+            root=root,
+            parents=parents,
+            message=message,
+            author=author,
+            timestamp=timestamp,
+        )
+        self._commits[commit_id] = commit
+        self._branches[ours] = commit_id
+        return commit
+
+    # -- branch management ----------------------------------------------------
+
+    def branch(self, name: str, from_branch: str = DEFAULT_BRANCH) -> None:
+        """Create branch ``name`` pointing at the head of ``from_branch``."""
+        head = self._branches.get(from_branch)
+        if head is None:
+            raise UnknownBranchError(from_branch)
+        self._branches[name] = head
+
+    def branches(self) -> List[str]:
+        return sorted(self._branches.keys())
+
+    def head(self, branch: str = DEFAULT_BRANCH) -> Commit:
+        """The latest commit on ``branch``."""
+        head = self._branches.get(branch)
+        if head is None:
+            raise UnknownBranchError(branch)
+        return self._commits[head]
+
+    def get(self, commit_id: Digest) -> Commit:
+        commit = self._commits.get(commit_id)
+        if commit is None:
+            raise UnknownCommitError(commit_id)
+        return commit
+
+    def __len__(self) -> int:
+        return len(self._commits)
+
+    # -- history --------------------------------------------------------------
+
+    def log(self, branch: str = DEFAULT_BRANCH) -> Iterator[Commit]:
+        """Walk the first-parent history of ``branch``, newest first."""
+        current: Optional[Digest] = self._branches.get(branch)
+        if current is None:
+            raise UnknownBranchError(branch)
+        while current is not None:
+            commit = self._commits[current]
+            yield commit
+            current = commit.parents[0] if commit.parents else None
+
+    def ancestors(self, commit_id: Digest) -> Iterator[Commit]:
+        """All ancestors of a commit (breadth-first, deduplicated)."""
+        seen = set()
+        frontier = [commit_id]
+        while frontier:
+            current = frontier.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            commit = self.get(current)
+            yield commit
+            frontier.extend(commit.parents)
+
+    def common_ancestor(self, branch_a: str, branch_b: str) -> Optional[Commit]:
+        """The nearest common ancestor of two branch heads (merge base)."""
+        ancestors_a = {c.commit_id for c in self.ancestors(self.head(branch_a).commit_id)}
+        for commit in self.ancestors(self.head(branch_b).commit_id):
+            if commit.commit_id in ancestors_a:
+                return commit
+        return None
+
+    def roots_on_branch(self, branch: str = DEFAULT_BRANCH) -> List[Optional[Digest]]:
+        """Root digests along a branch's first-parent history, oldest first."""
+        return [commit.root for commit in reversed(list(self.log(branch)))]

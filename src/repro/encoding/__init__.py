@@ -1,0 +1,44 @@
+"""Serialization and key-encoding utilities.
+
+* :mod:`repro.encoding.nibbles` — key-to-nibble conversion and the
+  Ethereum hex-prefix compact encoding used by the Merkle Patricia Trie.
+* :mod:`repro.encoding.rlp` — Recursive Length Prefix encoding, the
+  serialization format used by Ethereum for transactions (and used by the
+  paper's Ethereum workload).
+* :mod:`repro.encoding.binary` — small binary helpers (varints,
+  length-prefixed byte strings) used for canonical node serialization.
+"""
+
+from repro.encoding.nibbles import (
+    bytes_to_nibbles,
+    nibbles_to_bytes,
+    hex_prefix_encode,
+    hex_prefix_decode,
+    common_prefix_length,
+)
+from repro.encoding.rlp import rlp_encode, rlp_decode, RLPDecodingError
+from repro.encoding.binary import (
+    encode_uvarint,
+    decode_uvarint,
+    encode_bytes,
+    decode_bytes,
+    encode_bytes_list,
+    decode_bytes_list,
+)
+
+__all__ = [
+    "bytes_to_nibbles",
+    "nibbles_to_bytes",
+    "hex_prefix_encode",
+    "hex_prefix_decode",
+    "common_prefix_length",
+    "rlp_encode",
+    "rlp_decode",
+    "RLPDecodingError",
+    "encode_uvarint",
+    "decode_uvarint",
+    "encode_bytes",
+    "decode_bytes",
+    "encode_bytes_list",
+    "decode_bytes_list",
+]

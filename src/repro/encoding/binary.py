@@ -1,0 +1,103 @@
+"""Compact binary serialization helpers for canonical node encodings.
+
+All index nodes must serialize to a *canonical* byte form: two logically
+identical nodes must produce identical bytes so that they hash to the same
+digest and deduplicate to a single stored copy.  The helpers here provide
+the building blocks for those canonical encodings:
+
+* unsigned varints (LEB128-style),
+* length-prefixed byte strings,
+* length-prefixed lists of byte strings.
+
+They are deliberately minimal and dependency-free; higher-level node
+serialization lives with each index implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def encode_uvarint(value: int) -> bytes:
+    """Encode a non-negative integer as a LEB128 varint."""
+    if value < 0:
+        raise ValueError("uvarint cannot encode negative values")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a varint from ``data`` at ``offset``; return ``(value, next_offset)``."""
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated uvarint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise ValueError("uvarint too long")
+
+
+def encode_bytes(value: bytes) -> bytes:
+    """Length-prefix a byte string with a varint length."""
+    return encode_uvarint(len(value)) + value
+
+
+def decode_bytes(data: bytes, offset: int = 0) -> Tuple[bytes, int]:
+    """Decode a length-prefixed byte string; return ``(value, next_offset)``."""
+    length, pos = decode_uvarint(data, offset)
+    end = pos + length
+    if end > len(data):
+        raise ValueError("truncated length-prefixed bytes")
+    return data[pos:end], end
+
+
+def encode_bytes_list(values: Sequence[bytes]) -> bytes:
+    """Encode a list of byte strings as count + length-prefixed items."""
+    out = bytearray(encode_uvarint(len(values)))
+    for value in values:
+        out.extend(encode_bytes(value))
+    return bytes(out)
+
+
+def decode_bytes_list(data: bytes, offset: int = 0) -> Tuple[List[bytes], int]:
+    """Decode a list written by :func:`encode_bytes_list`."""
+    count, pos = decode_uvarint(data, offset)
+    values: List[bytes] = []
+    for _ in range(count):
+        value, pos = decode_bytes(data, pos)
+        values.append(value)
+    return values, pos
+
+
+def encode_kv_pairs(pairs: Sequence[Tuple[bytes, bytes]]) -> bytes:
+    """Encode a sequence of (key, value) byte pairs canonically."""
+    out = bytearray(encode_uvarint(len(pairs)))
+    for key, value in pairs:
+        out.extend(encode_bytes(key))
+        out.extend(encode_bytes(value))
+    return bytes(out)
+
+
+def decode_kv_pairs(data: bytes, offset: int = 0) -> Tuple[List[Tuple[bytes, bytes]], int]:
+    """Decode a sequence written by :func:`encode_kv_pairs`."""
+    count, pos = decode_uvarint(data, offset)
+    pairs: List[Tuple[bytes, bytes]] = []
+    for _ in range(count):
+        key, pos = decode_bytes(data, pos)
+        value, pos = decode_bytes(data, pos)
+        pairs.append((key, value))
+    return pairs, pos

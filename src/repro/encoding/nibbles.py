@@ -1,0 +1,111 @@
+"""Nibble (half-byte) key encoding for the Merkle Patricia Trie.
+
+MPT navigates keys one *nibble* (4 bits) at a time: a branch node has 16
+children, one per possible nibble value.  Keys are therefore converted
+from bytes into a sequence of nibbles before insertion, and compacted
+paths stored inside leaf/extension nodes are serialized with the
+*hex-prefix* encoding (as in the Ethereum yellow paper): the first nibble
+of the encoded form carries a flag distinguishing leaf from extension
+nodes and the parity of the path length.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def bytes_to_nibbles(key: bytes) -> List[int]:
+    """Split a byte string into its sequence of high/low nibbles.
+
+    >>> bytes_to_nibbles(b"\\x38")
+    [3, 8]
+    """
+    nibbles: List[int] = []
+    for byte in key:
+        nibbles.append(byte >> 4)
+        nibbles.append(byte & 0x0F)
+    return nibbles
+
+
+def nibbles_to_bytes(nibbles: Sequence[int]) -> bytes:
+    """Reassemble bytes from an even-length nibble sequence.
+
+    Raises
+    ------
+    ValueError
+        If the nibble sequence has odd length or contains values outside
+        the range 0–15.
+    """
+    if len(nibbles) % 2 != 0:
+        raise ValueError("nibble sequence must have even length to form bytes")
+    out = bytearray()
+    for i in range(0, len(nibbles), 2):
+        high, low = nibbles[i], nibbles[i + 1]
+        if not (0 <= high <= 15 and 0 <= low <= 15):
+            raise ValueError("nibble values must be in [0, 15]")
+        out.append((high << 4) | low)
+    return bytes(out)
+
+
+def common_prefix_length(a: Sequence[int], b: Sequence[int]) -> int:
+    """Length of the longest common prefix of two nibble sequences."""
+    length = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        length += 1
+    return length
+
+
+# Hex-prefix flag nibbles (Ethereum yellow paper, appendix C).
+_FLAG_EXTENSION_EVEN = 0x0
+_FLAG_EXTENSION_ODD = 0x1
+_FLAG_LEAF_EVEN = 0x2
+_FLAG_LEAF_ODD = 0x3
+
+
+def hex_prefix_encode(nibbles: Sequence[int], is_leaf: bool) -> bytes:
+    """Compact-encode a nibble path with the hex-prefix scheme.
+
+    The encoding prepends one flag nibble (and, for even-length paths, a
+    padding zero nibble) so that the result is always a whole number of
+    bytes and self-describes both the leaf/extension distinction and the
+    path parity.
+    """
+    for nib in nibbles:
+        if not 0 <= nib <= 15:
+            raise ValueError("nibble values must be in [0, 15]")
+    odd = len(nibbles) % 2 == 1
+    if is_leaf:
+        flag = _FLAG_LEAF_ODD if odd else _FLAG_LEAF_EVEN
+    else:
+        flag = _FLAG_EXTENSION_ODD if odd else _FLAG_EXTENSION_EVEN
+    if odd:
+        prefixed = [flag] + list(nibbles)
+    else:
+        prefixed = [flag, 0x0] + list(nibbles)
+    return nibbles_to_bytes(prefixed)
+
+
+def hex_prefix_decode(encoded: bytes) -> Tuple[List[int], bool]:
+    """Decode a hex-prefix encoded path back into ``(nibbles, is_leaf)``."""
+    if not encoded:
+        raise ValueError("cannot decode an empty hex-prefix path")
+    nibbles = bytes_to_nibbles(encoded)
+    flag = nibbles[0]
+    if flag not in (
+        _FLAG_EXTENSION_EVEN,
+        _FLAG_EXTENSION_ODD,
+        _FLAG_LEAF_EVEN,
+        _FLAG_LEAF_ODD,
+    ):
+        raise ValueError(f"invalid hex-prefix flag nibble: {flag}")
+    is_leaf = flag in (_FLAG_LEAF_EVEN, _FLAG_LEAF_ODD)
+    odd = flag in (_FLAG_EXTENSION_ODD, _FLAG_LEAF_ODD)
+    if odd:
+        path = nibbles[1:]
+    else:
+        if nibbles[1] != 0:
+            raise ValueError("padding nibble of even-length hex-prefix path must be zero")
+        path = nibbles[2:]
+    return path, is_leaf

@@ -1,0 +1,158 @@
+"""Recursive Length Prefix (RLP) encoding.
+
+RLP is Ethereum's canonical serialization for transactions, receipts and
+trie nodes.  The paper's Ethereum workload stores *RLP-encoded raw
+transactions* as values and notes that RLP's hex expansion roughly doubles
+key lengths for MPT, which is one of the reasons MPT's storage consumption
+grows so quickly on that dataset.  This module implements the full RLP
+specification for byte strings and nested lists.
+
+Encoding rules (yellow paper, appendix B):
+
+* A single byte in ``[0x00, 0x7f]`` is its own encoding.
+* A byte string of length 0–55 is encoded as ``0x80 + len`` followed by
+  the string.
+* A longer byte string is encoded as ``0xb7 + len(len)`` followed by the
+  big-endian length and then the string.
+* A list whose encoded payload is 0–55 bytes is ``0xc0 + len`` followed by
+  the concatenated encodings of its items.
+* A longer list uses ``0xf7 + len(len)`` followed by the big-endian
+  payload length and the payload.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+RLPItem = Union[bytes, "RLPList"]
+RLPList = List["RLPItem"]
+
+
+class RLPDecodingError(ValueError):
+    """Raised when a byte string is not a valid RLP encoding."""
+
+
+def _encode_length(length: int, offset: int) -> bytes:
+    """Encode a payload length with the given single-byte/long-form offset."""
+    if length <= 55:
+        return bytes([offset + length])
+    length_bytes = length.to_bytes((length.bit_length() + 7) // 8, "big")
+    return bytes([offset + 55 + len(length_bytes)]) + length_bytes
+
+
+def rlp_encode(item: Union[bytes, bytearray, int, str, list, tuple]) -> bytes:
+    """RLP-encode ``item``.
+
+    Accepted input types:
+
+    * ``bytes`` / ``bytearray`` — encoded as a byte string.
+    * ``str`` — UTF-8 encoded, then treated as bytes.
+    * ``int`` (non-negative) — big-endian minimal byte representation, as
+      Ethereum encodes scalars (zero encodes as the empty string).
+    * ``list`` / ``tuple`` — encoded as an RLP list of its items.
+    """
+    if isinstance(item, (bytes, bytearray)):
+        data = bytes(item)
+        if len(data) == 1 and data[0] <= 0x7F:
+            return data
+        return _encode_length(len(data), 0x80) + data
+    if isinstance(item, str):
+        return rlp_encode(item.encode("utf-8"))
+    if isinstance(item, bool):
+        raise TypeError("booleans are not RLP-serializable")
+    if isinstance(item, int):
+        if item < 0:
+            raise TypeError("negative integers are not RLP-serializable")
+        if item == 0:
+            return rlp_encode(b"")
+        data = item.to_bytes((item.bit_length() + 7) // 8, "big")
+        return rlp_encode(data)
+    if isinstance(item, (list, tuple)):
+        payload = b"".join(rlp_encode(sub) for sub in item)
+        return _encode_length(len(payload), 0xC0) + payload
+    raise TypeError(f"cannot RLP-encode object of type {type(item).__name__}")
+
+
+def _decode_item(data: bytes, offset: int) -> Tuple[RLPItem, int]:
+    """Decode one item starting at ``offset``; return ``(item, next_offset)``."""
+    if offset >= len(data):
+        raise RLPDecodingError("unexpected end of input")
+    prefix = data[offset]
+
+    if prefix <= 0x7F:
+        return bytes([prefix]), offset + 1
+
+    if prefix <= 0xB7:
+        length = prefix - 0x80
+        start = offset + 1
+        end = start + length
+        if end > len(data):
+            raise RLPDecodingError("string payload exceeds input length")
+        payload = data[start:end]
+        if length == 1 and payload[0] <= 0x7F:
+            raise RLPDecodingError("non-canonical single-byte encoding")
+        return payload, end
+
+    if prefix <= 0xBF:
+        length_of_length = prefix - 0xB7
+        start = offset + 1
+        if start + length_of_length > len(data):
+            raise RLPDecodingError("string length field exceeds input length")
+        length = int.from_bytes(data[start : start + length_of_length], "big")
+        if length <= 55:
+            raise RLPDecodingError("non-canonical long-form string length")
+        payload_start = start + length_of_length
+        end = payload_start + length
+        if end > len(data):
+            raise RLPDecodingError("string payload exceeds input length")
+        return data[payload_start:end], end
+
+    if prefix <= 0xF7:
+        length = prefix - 0xC0
+        start = offset + 1
+        end = start + length
+        if end > len(data):
+            raise RLPDecodingError("list payload exceeds input length")
+        return _decode_list(data, start, end), end
+
+    length_of_length = prefix - 0xF7
+    start = offset + 1
+    if start + length_of_length > len(data):
+        raise RLPDecodingError("list length field exceeds input length")
+    length = int.from_bytes(data[start : start + length_of_length], "big")
+    if length <= 55:
+        raise RLPDecodingError("non-canonical long-form list length")
+    payload_start = start + length_of_length
+    end = payload_start + length
+    if end > len(data):
+        raise RLPDecodingError("list payload exceeds input length")
+    return _decode_list(data, payload_start, end), end
+
+
+def _decode_list(data: bytes, start: int, end: int) -> RLPList:
+    """Decode the concatenated items of a list payload in ``data[start:end]``."""
+    items: RLPList = []
+    offset = start
+    while offset < end:
+        item, offset = _decode_item(data, offset)
+        if offset > end:
+            raise RLPDecodingError("list item overruns list payload")
+        items.append(item)
+    return items
+
+
+def rlp_decode(data: bytes) -> RLPItem:
+    """Decode an RLP byte string into nested bytes/lists.
+
+    Raises
+    ------
+    RLPDecodingError
+        If the input is empty, truncated, non-canonical, or has trailing
+        bytes after the first item.
+    """
+    if not data:
+        raise RLPDecodingError("cannot decode empty input")
+    item, offset = _decode_item(bytes(data), 0)
+    if offset != len(data):
+        raise RLPDecodingError("trailing bytes after RLP item")
+    return item

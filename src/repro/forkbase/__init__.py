@@ -1,0 +1,28 @@
+"""A miniature Forkbase-style versioned storage engine (Section 5.6).
+
+Forkbase is the storage engine the paper integrates the indexes into for
+its system-level experiments.  The pieces reproduced here:
+
+* :mod:`repro.forkbase.engine` — the servlet: owns the node store and a
+  branch/commit registry per dataset, applies writes, and charges a
+  simulated remote-access cost per request.
+* :mod:`repro.forkbase.client` — the client: caches retrieved nodes in an
+  LRU cache so repeated reads of hot nodes avoid the remote round trip
+  (the effect behind Figure 21's read results).
+* :mod:`repro.forkbase.noms` — a Noms-style Prolly Tree (internal layers
+  re-hash a sliding window instead of reusing child hashes) and the
+  remote-cost configuration used for the Forkbase-vs-Noms comparison
+  (Figure 22).
+"""
+
+from repro.forkbase.engine import ForkbaseEngine, RemoteCostModel
+from repro.forkbase.client import ForkbaseClient
+from repro.forkbase.noms import NomsProllyTree, noms_remote_cost_model
+
+__all__ = [
+    "ForkbaseEngine",
+    "ForkbaseClient",
+    "RemoteCostModel",
+    "NomsProllyTree",
+    "noms_remote_cost_model",
+]

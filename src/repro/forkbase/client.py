@@ -1,0 +1,139 @@
+"""The Forkbase client: remote reads through a local node cache.
+
+Reads in the client/server deployment traverse the index *on the client*:
+the client resolves the branch head root, then fetches the nodes along the
+lookup path from the servlet.  Forkbase mitigates the round-trip cost by
+caching fetched nodes locally, so subsequent reads that touch the same
+nodes (upper tree levels, hot leaves) are served from the cache.  The
+cache hit ratio — and therefore the read throughput — differs by index
+type, which is exactly the effect Figure 21 shows.
+
+Writes are forwarded to the servlet and executed there; they invalidate
+the client's cached branch head so later reads observe the new version.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.core.interfaces import IndexSnapshot, SIRIIndex, coerce_key, coerce_value
+from repro.core.version import VersionGraph
+from repro.forkbase.engine import ForkbaseEngine, RemoteCostModel
+from repro.hashing.digest import Digest
+from repro.storage.cache import CachingNodeStore
+from repro.storage.store import NodeStore
+
+
+class _RemoteNodeStore(NodeStore):
+    """A read-only node store view backed by engine fetch requests."""
+
+    def __init__(self, engine: ForkbaseEngine):
+        super().__init__(hash_function=engine.store.hash_function, verify_on_read=False)
+        self.engine = engine
+
+    def put_bytes(self, digest: Digest, data: bytes) -> bool:
+        raise NotImplementedError("clients never write nodes directly; use ForkbaseClient.write")
+
+    def get_bytes(self, digest: Digest) -> bytes:
+        return self.engine.fetch_node(digest)
+
+    def contains(self, digest: Digest) -> bool:
+        return self.engine.store.contains(digest)
+
+    def digests(self):
+        return self.engine.store.digests()
+
+    def __len__(self) -> int:
+        return len(self.engine.store)
+
+
+class ForkbaseClient:
+    """A client session bound to one dataset (and branch) of the engine.
+
+    Parameters
+    ----------
+    engine:
+        The servlet to talk to.
+    dataset:
+        Name of the dataset (must already exist on the engine).
+    index_factory:
+        Callable building the same index class the dataset uses, over an
+        arbitrary node store — the client needs its own instance wired to
+        the remote (cached) store to traverse nodes locally.
+    cache_capacity_bytes:
+        Size of the client-side node cache.
+    branch:
+        The branch this client reads from and writes to.
+    """
+
+    def __init__(
+        self,
+        engine: ForkbaseEngine,
+        dataset: str,
+        index_factory,
+        cache_capacity_bytes: int = 16 * 1024 * 1024,
+        branch: str = VersionGraph.DEFAULT_BRANCH,
+    ):
+        self.engine = engine
+        self.dataset = dataset
+        self.branch = branch
+        self._remote_store = _RemoteNodeStore(engine)
+        self.cache = CachingNodeStore(self._remote_store, capacity_bytes=cache_capacity_bytes,
+                                      write_through=False)
+        self.index: SIRIIndex = index_factory(self.cache)
+        self._cached_root: Optional[Digest] = None
+        self._root_valid = False
+
+    # -- root resolution ------------------------------------------------------------
+
+    def _root(self, refresh: bool = False) -> Optional[Digest]:
+        if refresh or not self._root_valid:
+            self._cached_root = self.engine.head_root(self.dataset, self.branch)
+            self._root_valid = True
+        return self._cached_root
+
+    def invalidate(self) -> None:
+        """Drop the cached branch head (e.g. after another client wrote)."""
+        self._root_valid = False
+
+    # -- reads ------------------------------------------------------------------------
+
+    def get(self, key, default: Optional[bytes] = None) -> Optional[bytes]:
+        """Read one key from the branch head, fetching nodes through the cache."""
+        value = self.index.lookup(self._root(), coerce_key(key))
+        return default if value is None else value
+
+    def snapshot(self) -> IndexSnapshot:
+        """A snapshot handle of the branch head, readable through the cache."""
+        return self.index.snapshot(self._root())
+
+    def prove(self, key):
+        """A Merkle proof for ``key`` against the branch head root."""
+        return self.index.prove(self._root(), coerce_key(key))
+
+    # -- writes ---------------------------------------------------------------------------
+
+    def write(self, puts: Mapping, removes: Iterable = (), message: str = "") -> Optional[Digest]:
+        """Apply a write batch on the server and refresh the cached head."""
+        encoded_puts = {coerce_key(k): coerce_value(v) for k, v in dict(puts).items()}
+        encoded_removes = [coerce_key(k) for k in removes]
+        new_root = self.engine.write(
+            self.dataset, encoded_puts, encoded_removes, branch=self.branch, message=message
+        )
+        self._cached_root = new_root
+        self._root_valid = True
+        return new_root
+
+    def put(self, key, value) -> Optional[Digest]:
+        return self.write({key: value})
+
+    # -- metrics ---------------------------------------------------------------------------
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of node reads served from the client cache."""
+        return self.cache.hit_ratio
+
+    def simulated_read_seconds(self) -> float:
+        """Total simulated network time charged by the engine for this session."""
+        return self.engine.simulated_seconds

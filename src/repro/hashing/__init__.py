@@ -1,0 +1,39 @@
+"""Cryptographic and rolling-hash primitives used by all SIRI indexes.
+
+This subpackage provides the two hashing layers the paper's index
+structures are built on:
+
+* :mod:`repro.hashing.digest` — collision-resistant digests (SHA-256 by
+  default) wrapped in a small :class:`~repro.hashing.digest.Digest` value
+  object.  Every node of every index is addressed by the digest of its
+  canonical serialization, which is what makes the structures
+  *tamper-evident* and enables content-addressed deduplication.
+* :mod:`repro.hashing.rabin` — Rabin-fingerprint style rolling hashes used
+  by POS-Tree (and the Noms-style Prolly Tree) for content-defined
+  chunking.
+* :mod:`repro.hashing.chunker` — boundary detection / content-defined
+  chunking built on top of the rolling hash.
+"""
+
+from repro.hashing.digest import Digest, HashFunction, default_hash_function, hash_bytes
+from repro.hashing.rabin import RabinFingerprint, RollingHash, BuzHash
+from repro.hashing.chunker import (
+    BoundaryPattern,
+    ContentDefinedChunker,
+    FixedSizeChunker,
+    chunk_items,
+)
+
+__all__ = [
+    "Digest",
+    "HashFunction",
+    "default_hash_function",
+    "hash_bytes",
+    "RabinFingerprint",
+    "RollingHash",
+    "BuzHash",
+    "BoundaryPattern",
+    "ContentDefinedChunker",
+    "FixedSizeChunker",
+    "chunk_items",
+]

@@ -1,0 +1,159 @@
+"""Collision-resistant digests for content-addressed nodes.
+
+Every index node in this library is stored in a content-addressed node
+store keyed by the cryptographic digest of the node's canonical byte
+serialization.  This module provides:
+
+* :class:`Digest` — an immutable value object wrapping the raw digest
+  bytes.  It compares by value, hashes cheaply, and renders as hex.
+* :class:`HashFunction` — a tiny strategy object so that experiments can
+  swap the digest algorithm (SHA-256 by default, SHA-1 or BLAKE2 for
+  speed-oriented runs) without touching index code.
+
+The paper (Section 2.3 and 3) relies on the digest both for *tamper
+evidence* (Merkle-style recursive hashing) and for *deduplication*
+(structurally identical nodes serialize to identical bytes, hence share a
+digest and a single stored copy).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Optional
+
+
+class Digest:
+    """An immutable cryptographic digest identifying one stored node.
+
+    Instances behave as value objects: equality and hashing are defined
+    over the raw digest bytes, so a :class:`Digest` can be used directly
+    as a dictionary key in node stores and caches.
+    """
+
+    __slots__ = ("_raw",)
+
+    def __init__(self, raw: bytes):
+        if not isinstance(raw, (bytes, bytearray)):
+            raise TypeError(f"Digest requires bytes, got {type(raw).__name__}")
+        if len(raw) == 0:
+            raise ValueError("Digest cannot be empty")
+        self._raw = bytes(raw)
+
+    @property
+    def raw(self) -> bytes:
+        """The raw digest bytes."""
+        return self._raw
+
+    @property
+    def hex(self) -> str:
+        """Hexadecimal rendering of the digest."""
+        return self._raw.hex()
+
+    def short(self, length: int = 8) -> str:
+        """A truncated hex form, convenient for logs and reprs."""
+        return self.hex[:length]
+
+    @classmethod
+    def from_hex(cls, hexstr: str) -> "Digest":
+        """Reconstruct a digest from its hexadecimal form."""
+        return cls(bytes.fromhex(hexstr))
+
+    def __bytes__(self) -> bytes:
+        return self._raw
+
+    def __len__(self) -> int:
+        return len(self._raw)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Digest):
+            return self._raw == other._raw
+        if isinstance(other, (bytes, bytearray)):
+            return self._raw == bytes(other)
+        return NotImplemented
+
+    def __lt__(self, other: "Digest") -> bool:
+        if not isinstance(other, Digest):
+            return NotImplemented
+        return self._raw < other._raw
+
+    def __hash__(self) -> int:
+        return hash(self._raw)
+
+    def __repr__(self) -> str:
+        return f"Digest({self.short()}…)"
+
+
+class HashFunction:
+    """A named digest algorithm producing :class:`Digest` objects.
+
+    Parameters
+    ----------
+    name:
+        Any algorithm name accepted by :func:`hashlib.new`
+        (e.g. ``"sha256"``, ``"sha1"``, ``"blake2b"``).
+    digest_size:
+        Optional digest size in bytes for variable-length algorithms
+        (BLAKE2); ignored for fixed-size algorithms.
+    """
+
+    def __init__(self, name: str = "sha256", digest_size: Optional[int] = None):
+        self.name = name
+        self.digest_size_override = digest_size
+        # Validate eagerly so misconfiguration fails at construction time.
+        self._new()
+
+    def _new(self):
+        if self.digest_size_override is not None and self.name.startswith("blake2"):
+            return hashlib.new(self.name, digest_size=self.digest_size_override)
+        return hashlib.new(self.name)
+
+    @property
+    def digest_size(self) -> int:
+        """Size in bytes of digests produced by this function."""
+        return self._new().digest_size
+
+    def hash(self, data: bytes) -> Digest:
+        """Digest a byte string."""
+        h = self._new()
+        h.update(data)
+        return Digest(h.digest())
+
+    def hash_many(self, parts) -> Digest:
+        """Digest the concatenation of several byte strings.
+
+        This is the primitive used to roll up children hashes into a
+        parent hash in the Merkle structures: the parent digest covers
+        the ordered concatenation of its children's digests (plus any
+        split keys), so any tampering below propagates to the root.
+        """
+        h = self._new()
+        for part in parts:
+            h.update(part)
+        return Digest(h.digest())
+
+    def __call__(self, data: bytes) -> Digest:
+        return self.hash(data)
+
+    def __repr__(self) -> str:
+        return f"HashFunction({self.name!r})"
+
+
+_DEFAULT = HashFunction("sha256")
+
+
+def default_hash_function() -> HashFunction:
+    """The library-wide default digest algorithm (SHA-256)."""
+    return _DEFAULT
+
+
+def hash_bytes(data: bytes, function: Optional[HashFunction] = None) -> Digest:
+    """Convenience helper: digest ``data`` with ``function`` (default SHA-256)."""
+    return (function or _DEFAULT).hash(data)
+
+
+def hash_pair(left: bytes, right: bytes, function: Optional[HashFunction] = None) -> Digest:
+    """Digest the concatenation of two byte strings (classic Merkle combine)."""
+    return (function or _DEFAULT).hash_many((left, right))
+
+
+HashCallable = Callable[[bytes], Digest]

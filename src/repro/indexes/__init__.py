@@ -1,0 +1,39 @@
+"""Concrete index structures evaluated by the paper.
+
+* :mod:`repro.indexes.mpt` — Merkle Patricia Trie (Ethereum-style radix
+  trie with path compaction).
+* :mod:`repro.indexes.mbt` — Merkle Bucket Tree (Hyperledger Fabric
+  0.6-style Merkle tree over hash buckets).
+* :mod:`repro.indexes.pos_tree` — Pattern-Oriented-Split Tree (Forkbase's
+  content-defined-chunked Merkle search tree).
+* :mod:`repro.indexes.mvmbt` — Multi-Version Merkle B+-Tree, the paper's
+  non-SIRI baseline.
+* :mod:`repro.indexes.ablation` — POS-Tree variants with individual SIRI
+  properties disabled (Section 5.5).
+
+All of them implement :class:`repro.core.interfaces.SIRIIndex` and are
+interchangeable from the caller's perspective.
+"""
+
+from repro.indexes.base import MerkleIndex
+from repro.indexes.mpt import MerklePatriciaTrie
+from repro.indexes.mbt import MerkleBucketTree
+from repro.indexes.pos_tree import POSTree
+from repro.indexes.mvmbt import MVMBTree
+from repro.indexes.ablation import (
+    NonRecursivelyIdenticalPOSTree,
+    NonStructurallyInvariantPOSTree,
+)
+
+ALL_INDEX_CLASSES = (MerklePatriciaTrie, MerkleBucketTree, POSTree, MVMBTree)
+
+__all__ = [
+    "MerkleIndex",
+    "MerklePatriciaTrie",
+    "MerkleBucketTree",
+    "POSTree",
+    "MVMBTree",
+    "NonStructurallyInvariantPOSTree",
+    "NonRecursivelyIdenticalPOSTree",
+    "ALL_INDEX_CLASSES",
+]

@@ -1,0 +1,130 @@
+"""POS-Tree ablation variants (Section 5.5 of the paper).
+
+The breakdown analysis isolates the contribution of each SIRI property by
+disabling it in POS-Tree and re-measuring the deduplication and node
+sharing ratios:
+
+* :class:`NonStructurallyInvariantPOSTree` — Figure 19.  Chunk boundaries
+  are no longer a pure function of content: a forced split is taken after
+  a fixed number of entries when no (rare) pattern match occurs, so the
+  chunking depends on where a rewrite region started — i.e. on the order
+  in which updates arrived.  Identical record sets reached through
+  different histories stop sharing pages.
+* :class:`NonRecursivelyIdenticalPOSTree` — Figure 20.  Every write
+  rebuilds the *entire* tree with a fresh per-version salt mixed into the
+  node serialization, so no node is ever shared between versions (the
+  paper's "forcibly copying all nodes in the tree").  Deduplication and
+  node sharing collapse to zero.
+
+The Universally Reusable property is common to every copy-on-write Merkle
+index and is therefore not ablated, matching the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.encoding.binary import encode_uvarint
+from repro.hashing.digest import Digest
+from repro.indexes.pos_tree import POSTree
+from repro.storage.store import NodeStore
+
+
+class NonStructurallyInvariantPOSTree(POSTree):
+    """POS-Tree with the Structurally Invariant property disabled.
+
+    The boundary pattern is made ``extra_pattern_bits`` harder to match, and
+    a chunk is force-closed once it reaches ``forced_split_items`` entries.
+    Forced splits are positional rather than content-defined, so the node
+    layout depends on the update history.
+    """
+
+    name = "POS-Tree (non-SI)"
+
+    def __init__(
+        self,
+        store: NodeStore,
+        target_node_size: int = 1024,
+        estimated_entry_size: int = 256,
+        extra_pattern_bits: int = 3,
+        forced_split_items: Optional[int] = None,
+        **kwargs,
+    ):
+        super().__init__(
+            store,
+            target_node_size=target_node_size,
+            estimated_entry_size=estimated_entry_size,
+            **kwargs,
+        )
+        # Make genuine pattern matches rarer so forced splits dominate.
+        self.leaf_pattern_bits += extra_pattern_bits
+        self._leaf_chunker.pattern.bits += extra_pattern_bits
+        self._leaf_chunker.pattern.mask = (1 << self._leaf_chunker.pattern.bits) - 1
+        self._leaf_chunker.pattern.value = self._leaf_chunker.pattern.mask
+        if forced_split_items is None:
+            forced_split_items = max(2, target_node_size // estimated_entry_size)
+        self.forced_split_items = forced_split_items
+
+    def _chunk_records_closed(
+        self, records: Sequence[Tuple[bytes, bytes]]
+    ) -> Tuple[List[List[Tuple[bytes, bytes]]], List[Tuple[bytes, bytes]]]:
+        closed: List[List[Tuple[bytes, bytes]]] = []
+        current: List[Tuple[bytes, bytes]] = []
+        for key, value in records:
+            current.append((key, value))
+            if self._leaf_entry_is_boundary(key, value) or len(current) >= self.forced_split_items:
+                closed.append(current)
+                current = []
+        if current:
+            # Force-close the tail instead of letting re-chunking cascade into
+            # the next node.  Boundaries therefore depend on *where* a rewrite
+            # region started (i.e. on update history), not purely on content —
+            # which is exactly the Structurally Invariant property being
+            # disabled.
+            closed.append(current)
+        return closed, []
+
+
+class NonRecursivelyIdenticalPOSTree(POSTree):
+    """POS-Tree with the Recursively Identical property disabled.
+
+    Each write produces a version whose every node carries a fresh salt, so
+    the new version shares no page with any previous version — the paper's
+    "copy all nodes" configuration.  The record-level behaviour (lookups,
+    iteration, proofs) is unchanged.
+    """
+
+    name = "POS-Tree (non-RI)"
+
+    def __init__(self, store: NodeStore, **kwargs):
+        super().__init__(store, **kwargs)
+        self._version_counter = 0
+
+    def write(
+        self,
+        root: Optional[Digest],
+        puts: Mapping[bytes, bytes],
+        removes: Iterable[bytes] = (),
+    ) -> Optional[Digest]:
+        removes = list(removes)
+        if not puts and not removes:
+            return root
+
+        # Materialize the full record set of the previous version, apply the
+        # batch, and rebuild everything under a fresh version salt.
+        records = dict(self.iterate(root)) if root is not None else {}
+        records.update(puts)
+        for key in removes:
+            records.pop(key, None)
+        if not records:
+            return None
+
+        self._version_counter += 1
+        self._node_salt = b"version:" + encode_uvarint(self._version_counter)
+        try:
+            leaf_entries = self._build_leaf_level(sorted(records.items()))
+            if len(leaf_entries) == 1:
+                return leaf_entries[0][1]
+            return self._build_internal_levels(leaf_entries)
+        finally:
+            self._node_salt = b""

@@ -1,0 +1,119 @@
+"""Shared machinery for the Merkle index implementations.
+
+Every candidate index follows the same storage discipline:
+
+* a node is an immutable value object with a *canonical* byte
+  serialization,
+* the node's identity is the digest of those bytes,
+* nodes reference children by digest (never by memory pointer),
+* writes never mutate stored nodes — they write new nodes for the
+  modified paths and leave everything else shared (copy-on-write).
+
+:class:`MerkleIndex` factors the store plumbing (put/get node bytes,
+reachable-set walks, proof assembly) out of the concrete structures so
+each of them only implements its own node formats and traversal logic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import NodeNotFoundError
+from repro.core.interfaces import SIRIIndex
+from repro.core.proof import MerkleProof, ProofStep
+from repro.hashing.digest import Digest
+from repro.storage.store import NodeStore
+
+
+class MerkleIndex(SIRIIndex):
+    """Base class for content-addressed, copy-on-write Merkle indexes."""
+
+    def __init__(self, store: NodeStore):
+        super().__init__(store)
+        #: Number of node (page) writes issued by this index instance;
+        #: includes writes deduplicated by the store.  Used by benchmarks.
+        self.nodes_written = 0
+        #: Number of node reads issued by this index instance.
+        self.nodes_read = 0
+
+    # -- store plumbing ---------------------------------------------------
+
+    def _put_node(self, data: bytes) -> Digest:
+        """Store one canonical node serialization and return its digest."""
+        self.nodes_written += 1
+        return self.store.put(data)
+
+    def _get_node(self, digest: Digest) -> bytes:
+        """Load one node's canonical bytes from the store."""
+        self.nodes_read += 1
+        return self.store.get(digest)
+
+    # -- structure-specific hook -------------------------------------------
+
+    def _child_digests(self, node_bytes: bytes) -> List[Digest]:
+        """Extract the digests of the children referenced by a node.
+
+        Used by the generic reachability walk; concrete indexes override
+        this according to their node formats.
+        """
+        raise NotImplementedError
+
+    # -- generic reachability ------------------------------------------------
+
+    def node_digests(self, root: Optional[Digest]) -> Set[Digest]:
+        """All node digests reachable from ``root`` (the page set P(I))."""
+        reachable: Set[Digest] = set()
+        if root is None:
+            return reachable
+        stack = [root]
+        while stack:
+            digest = stack.pop()
+            if digest in reachable:
+                continue
+            reachable.add(digest)
+            node_bytes = self._get_node(digest)
+            stack.extend(self._child_digests(node_bytes))
+        return reachable
+
+    # -- proof assembly --------------------------------------------------------
+
+    def _build_proof(
+        self,
+        key: bytes,
+        value: Optional[bytes],
+        path_nodes: Sequence[bytes],
+    ) -> MerkleProof:
+        """Assemble a :class:`MerkleProof` from the node bytes along a path."""
+        steps = [ProofStep(node_bytes, level) for level, node_bytes in enumerate(path_nodes)]
+        return MerkleProof(
+            key=key,
+            value=value,
+            steps=steps,
+            index_name=self.name,
+            hash_function=self.store.hash_function,
+            binding_check=self.proof_binding_check,
+        )
+
+    def proof_binding_check(self, leaf_bytes: bytes, key: bytes, value: Optional[bytes]) -> bool:
+        """Check that a proof's bottom node binds ``key`` to ``value``.
+
+        The default is conservative (value bytes must appear in the node);
+        concrete indexes override it with an exact structural check.
+        """
+        if value is None:
+            return True
+        return value in leaf_bytes
+
+    # -- reporting --------------------------------------------------------------
+
+    def reset_counters(self) -> None:
+        """Zero the per-instance node read/write counters."""
+        self.nodes_written = 0
+        self.nodes_read = 0
+
+    def describe(self) -> str:
+        """One-line description used in benchmark reports."""
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(store={type(self.store).__name__})"

@@ -1,0 +1,490 @@
+"""Merkle Patricia Trie (MPT) — Section 3.4.1 of the paper.
+
+A radix trie over the *nibbles* (4-bit halves) of the key bytes, with path
+compaction and cryptographic node hashing, as used by Ethereum for its
+state and transaction tries.  Node types:
+
+* **leaf** — a compacted remaining path plus the value.
+* **extension** — a compacted shared path plus one child reference.
+* **branch** — a 16-slot child array (one per nibble value) plus an
+  optional value for keys that terminate at this node.
+* the **null** node is represented by the absence of a digest (``None``).
+
+The trie is *structurally invariant*: the shape depends only on the set of
+keys stored (each node's position is determined by key bytes), never on
+the order of insertions or deletions.  Combined with node-level
+copy-on-write this yields high page sharing across versions, at the cost
+of tall trees when keys are long (lookup cost O(L), Section 4.1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.proof import MerkleProof
+from repro.encoding.binary import decode_bytes, encode_bytes
+from repro.encoding.nibbles import (
+    bytes_to_nibbles,
+    common_prefix_length,
+    hex_prefix_decode,
+    hex_prefix_encode,
+    nibbles_to_bytes,
+)
+from repro.hashing.digest import Digest
+from repro.indexes.base import MerkleIndex
+from repro.storage.store import NodeStore
+
+# Node kind tags used in the canonical serialization.
+_TAG_LEAF = b"L"
+_TAG_EXTENSION = b"E"
+_TAG_BRANCH = b"B"
+
+_BRANCH_WIDTH = 16
+
+
+class _Leaf:
+    """In-memory form of a leaf node: remaining path nibbles plus value."""
+
+    __slots__ = ("path", "value")
+
+    def __init__(self, path: Sequence[int], value: bytes):
+        self.path = list(path)
+        self.value = value
+
+
+class _Extension:
+    """In-memory form of an extension node: shared path plus one child."""
+
+    __slots__ = ("path", "child")
+
+    def __init__(self, path: Sequence[int], child: Digest):
+        self.path = list(path)
+        self.child = child
+
+
+class _Branch:
+    """In-memory form of a branch node: 16 child slots plus optional value."""
+
+    __slots__ = ("children", "value")
+
+    def __init__(self, children: Sequence[Optional[Digest]], value: Optional[bytes]):
+        self.children = list(children)
+        self.value = value
+
+
+class MerklePatriciaTrie(MerkleIndex):
+    """The MPT candidate: radix trie with path compaction and Merkle hashing."""
+
+    name = "MPT"
+
+    def __init__(self, store: NodeStore):
+        super().__init__(store)
+
+    # ------------------------------------------------------------------
+    # Node serialization
+    # ------------------------------------------------------------------
+
+    def _serialize(self, node) -> bytes:
+        if isinstance(node, _Leaf):
+            return (
+                _TAG_LEAF
+                + encode_bytes(hex_prefix_encode(node.path, is_leaf=True))
+                + encode_bytes(node.value)
+            )
+        if isinstance(node, _Extension):
+            return (
+                _TAG_EXTENSION
+                + encode_bytes(hex_prefix_encode(node.path, is_leaf=False))
+                + encode_bytes(node.child.raw)
+            )
+        if isinstance(node, _Branch):
+            out = bytearray(_TAG_BRANCH)
+            for child in node.children:
+                out.extend(encode_bytes(child.raw if child is not None else b""))
+            if node.value is None:
+                out.extend(b"\x00")
+                out.extend(encode_bytes(b""))
+            else:
+                out.extend(b"\x01")
+                out.extend(encode_bytes(node.value))
+            return bytes(out)
+        raise TypeError(f"unknown MPT node type: {type(node).__name__}")
+
+    def _deserialize(self, data: bytes):
+        tag = data[:1]
+        if tag == _TAG_LEAF:
+            encoded_path, offset = decode_bytes(data, 1)
+            value, _ = decode_bytes(data, offset)
+            path, is_leaf = hex_prefix_decode(encoded_path)
+            if not is_leaf:
+                raise ValueError("leaf node carries an extension-encoded path")
+            return _Leaf(path, value)
+        if tag == _TAG_EXTENSION:
+            encoded_path, offset = decode_bytes(data, 1)
+            child_raw, _ = decode_bytes(data, offset)
+            path, is_leaf = hex_prefix_decode(encoded_path)
+            if is_leaf:
+                raise ValueError("extension node carries a leaf-encoded path")
+            return _Extension(path, Digest(child_raw))
+        if tag == _TAG_BRANCH:
+            offset = 1
+            children: List[Optional[Digest]] = []
+            for _ in range(_BRANCH_WIDTH):
+                raw, offset = decode_bytes(data, offset)
+                children.append(Digest(raw) if raw else None)
+            has_value = data[offset]
+            offset += 1
+            value_bytes, _ = decode_bytes(data, offset)
+            value = value_bytes if has_value else None
+            return _Branch(children, value)
+        raise ValueError(f"unknown MPT node tag: {tag!r}")
+
+    def _store_node(self, node) -> Digest:
+        return self._put_node(self._serialize(node))
+
+    def _load_node(self, digest: Digest):
+        return self._deserialize(self._get_node(digest))
+
+    def _child_digests(self, node_bytes: bytes) -> List[Digest]:
+        node = self._deserialize(node_bytes)
+        if isinstance(node, _Extension):
+            return [node.child]
+        if isinstance(node, _Branch):
+            return [child for child in node.children if child is not None]
+        return []
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, root: Optional[Digest], key: bytes) -> Optional[bytes]:
+        if root is None:
+            return None
+        nibbles = bytes_to_nibbles(key)
+        digest: Optional[Digest] = root
+        while digest is not None:
+            node = self._load_node(digest)
+            if isinstance(node, _Leaf):
+                return node.value if node.path == nibbles else None
+            if isinstance(node, _Extension):
+                length = len(node.path)
+                if nibbles[:length] != node.path:
+                    return None
+                nibbles = nibbles[length:]
+                digest = node.child
+                continue
+            # Branch node.
+            if not nibbles:
+                return node.value
+            digest = node.children[nibbles[0]]
+            nibbles = nibbles[1:]
+        return None
+
+    def lookup_depth(self, root: Optional[Digest], key: bytes) -> int:
+        if root is None:
+            return 0
+        nibbles = bytes_to_nibbles(key)
+        digest: Optional[Digest] = root
+        depth = 0
+        while digest is not None:
+            depth += 1
+            node = self._load_node(digest)
+            if isinstance(node, _Leaf):
+                return depth
+            if isinstance(node, _Extension):
+                length = len(node.path)
+                if nibbles[:length] != node.path:
+                    return depth
+                nibbles = nibbles[length:]
+                digest = node.child
+                continue
+            if not nibbles:
+                return depth
+            digest = node.children[nibbles[0]]
+            nibbles = nibbles[1:]
+        return depth
+
+    # ------------------------------------------------------------------
+    # Write (batched puts and removes)
+    # ------------------------------------------------------------------
+
+    def write(
+        self,
+        root: Optional[Digest],
+        puts: Mapping[bytes, bytes],
+        removes: Iterable[bytes] = (),
+    ) -> Optional[Digest]:
+        new_root = root
+        for key, value in puts.items():
+            new_root = self._insert_at(new_root, bytes_to_nibbles(key), value)
+        for key in removes:
+            new_root = self._delete_at(new_root, bytes_to_nibbles(key))
+        return new_root
+
+    def _insert_at(self, digest: Optional[Digest], nibbles: List[int], value: bytes) -> Digest:
+        if digest is None:
+            return self._store_node(_Leaf(nibbles, value))
+
+        node = self._load_node(digest)
+
+        if isinstance(node, _Leaf):
+            return self._insert_into_leaf(node, nibbles, value)
+        if isinstance(node, _Extension):
+            return self._insert_into_extension(node, nibbles, value)
+        return self._insert_into_branch(node, nibbles, value)
+
+    def _insert_into_leaf(self, node: _Leaf, nibbles: List[int], value: bytes) -> Digest:
+        common = common_prefix_length(node.path, nibbles)
+        if common == len(node.path) == len(nibbles):
+            # Same key: replace the value.
+            return self._store_node(_Leaf(node.path, value))
+
+        children: List[Optional[Digest]] = [None] * _BRANCH_WIDTH
+        branch_value: Optional[bytes] = None
+
+        existing_rest = node.path[common:]
+        new_rest = nibbles[common:]
+        if existing_rest:
+            children[existing_rest[0]] = self._store_node(_Leaf(existing_rest[1:], node.value))
+        else:
+            branch_value = node.value
+        if new_rest:
+            children[new_rest[0]] = self._store_node(_Leaf(new_rest[1:], value))
+        else:
+            branch_value = value
+
+        branch_digest = self._store_node(_Branch(children, branch_value))
+        if common:
+            return self._store_node(_Extension(nibbles[:common], branch_digest))
+        return branch_digest
+
+    def _insert_into_extension(self, node: _Extension, nibbles: List[int], value: bytes) -> Digest:
+        common = common_prefix_length(node.path, nibbles)
+        if common == len(node.path):
+            new_child = self._insert_at(node.child, nibbles[common:], value)
+            return self._store_node(_Extension(node.path, new_child))
+
+        children: List[Optional[Digest]] = [None] * _BRANCH_WIDTH
+        branch_value: Optional[bytes] = None
+
+        existing_rest = node.path[common:]
+        new_rest = nibbles[common:]
+        # The existing subtree hangs below the first diverging nibble of the
+        # original extension path.
+        if len(existing_rest) == 1:
+            children[existing_rest[0]] = node.child
+        else:
+            children[existing_rest[0]] = self._store_node(
+                _Extension(existing_rest[1:], node.child)
+            )
+        if new_rest:
+            children[new_rest[0]] = self._store_node(_Leaf(new_rest[1:], value))
+        else:
+            branch_value = value
+
+        branch_digest = self._store_node(_Branch(children, branch_value))
+        if common:
+            return self._store_node(_Extension(nibbles[:common], branch_digest))
+        return branch_digest
+
+    def _insert_into_branch(self, node: _Branch, nibbles: List[int], value: bytes) -> Digest:
+        if not nibbles:
+            return self._store_node(_Branch(node.children, value))
+        index = nibbles[0]
+        new_child = self._insert_at(node.children[index], nibbles[1:], value)
+        children = list(node.children)
+        children[index] = new_child
+        return self._store_node(_Branch(children, node.value))
+
+    # ------------------------------------------------------------------
+    # Delete (with canonical collapsing, preserving structural invariance)
+    # ------------------------------------------------------------------
+
+    def _delete_at(self, digest: Optional[Digest], nibbles: List[int]) -> Optional[Digest]:
+        if digest is None:
+            return None
+
+        node = self._load_node(digest)
+
+        if isinstance(node, _Leaf):
+            if node.path == nibbles:
+                return None
+            return digest
+
+        if isinstance(node, _Extension):
+            length = len(node.path)
+            if nibbles[:length] != node.path:
+                return digest
+            new_child = self._delete_at(node.child, nibbles[length:])
+            if new_child == node.child:
+                return digest
+            if new_child is None:
+                return None
+            return self._collapse_extension(node.path, new_child)
+
+        # Branch node.
+        children = list(node.children)
+        value = node.value
+        if not nibbles:
+            if value is None:
+                return digest
+            value = None
+        else:
+            index = nibbles[0]
+            child = children[index]
+            if child is None:
+                return digest
+            new_child = self._delete_at(child, nibbles[1:])
+            if new_child == child:
+                return digest
+            children[index] = new_child
+        return self._collapse_branch(children, value)
+
+    def _collapse_extension(self, prefix: List[int], child_digest: Digest) -> Digest:
+        """Merge an extension with its (possibly compacted) new child."""
+        child = self._load_node(child_digest)
+        if isinstance(child, _Leaf):
+            return self._store_node(_Leaf(list(prefix) + child.path, child.value))
+        if isinstance(child, _Extension):
+            return self._store_node(_Extension(list(prefix) + child.path, child.child))
+        return self._store_node(_Extension(list(prefix), child_digest))
+
+    def _collapse_branch(
+        self, children: List[Optional[Digest]], value: Optional[bytes]
+    ) -> Optional[Digest]:
+        """Re-canonicalize a branch node after one of its slots changed."""
+        present = [(i, child) for i, child in enumerate(children) if child is not None]
+        if not present:
+            if value is None:
+                return None
+            return self._store_node(_Leaf([], value))
+        if len(present) == 1 and value is None:
+            index, child_digest = present[0]
+            return self._collapse_extension([index], child_digest)
+        return self._store_node(_Branch(children, value))
+
+    # ------------------------------------------------------------------
+    # Iteration, diff and proofs
+    # ------------------------------------------------------------------
+
+    def iterate(self, root: Optional[Digest]) -> Iterator[Tuple[bytes, bytes]]:
+        yield from self._iterate_subtree(root, [])
+
+    def _iterate_subtree(self, digest: Optional[Digest], prefix: List[int]):
+        if digest is None:
+            return
+        node = self._load_node(digest)
+        if isinstance(node, _Leaf):
+            yield nibbles_to_bytes(prefix + node.path), node.value
+            return
+        if isinstance(node, _Extension):
+            yield from self._iterate_subtree(node.child, prefix + node.path)
+            return
+        if node.value is not None:
+            yield nibbles_to_bytes(prefix), node.value
+        for index, child in enumerate(node.children):
+            if child is not None:
+                yield from self._iterate_subtree(child, prefix + [index])
+
+    def iterate_diff(self, left_root: Optional[Digest], right_root: Optional[Digest]):
+        """Yield ``(key, left_value, right_value)`` for keys differing between roots.
+
+        Identical subtrees are pruned by digest comparison, so the cost is
+        proportional to the amount of difference (plus the path down to
+        it), not to the total size — the behaviour Figure 8 measures.
+        """
+        yield from self._diff_subtrees(left_root, right_root, [])
+
+    def _diff_subtrees(self, left: Optional[Digest], right: Optional[Digest], prefix: List[int]):
+        if left == right:
+            return
+        if left is None:
+            for key, value in self._iterate_subtree(right, prefix):
+                yield key, None, value
+            return
+        if right is None:
+            for key, value in self._iterate_subtree(left, prefix):
+                yield key, value, None
+            return
+
+        left_node = self._load_node(left)
+        right_node = self._load_node(right)
+        if isinstance(left_node, _Branch) and isinstance(right_node, _Branch):
+            if left_node.value != right_node.value:
+                yield nibbles_to_bytes(prefix), left_node.value, right_node.value
+            for index in range(_BRANCH_WIDTH):
+                yield from self._diff_subtrees(
+                    left_node.children[index], right_node.children[index], prefix + [index]
+                )
+            return
+
+        # Mixed node kinds: fall back to merge-joining the two subtrees'
+        # ordered record streams.
+        left_items = dict(self._iterate_subtree(left, prefix))
+        right_items = dict(self._iterate_subtree(right, prefix))
+        for key in sorted(set(left_items) | set(right_items)):
+            left_value = left_items.get(key)
+            right_value = right_items.get(key)
+            if left_value != right_value:
+                yield key, left_value, right_value
+
+    def prove(self, root: Optional[Digest], key: bytes) -> MerkleProof:
+        path_nodes: List[bytes] = []
+        value: Optional[bytes] = None
+        nibbles = bytes_to_nibbles(key)
+        digest: Optional[Digest] = root
+        while digest is not None:
+            node_bytes = self._get_node(digest)
+            path_nodes.append(node_bytes)
+            node = self._deserialize(node_bytes)
+            if isinstance(node, _Leaf):
+                value = node.value if node.path == nibbles else None
+                break
+            if isinstance(node, _Extension):
+                length = len(node.path)
+                if nibbles[:length] != node.path:
+                    break
+                nibbles = nibbles[length:]
+                digest = node.child
+                continue
+            if not nibbles:
+                value = node.value
+                break
+            digest = node.children[nibbles[0]]
+            nibbles = nibbles[1:]
+        return self._build_proof(key, value, path_nodes)
+
+    def proof_binding_check(self, leaf_bytes: bytes, key: bytes, value: Optional[bytes]) -> bool:
+        """Structural binding check for MPT proofs.
+
+        The bottom node of a membership proof is either a leaf whose
+        compacted path is a suffix of the key's nibbles and whose value
+        matches, or a branch node whose value slot matches (for keys that
+        terminate at a branch).
+        """
+        if value is None:
+            return True
+        node = self._deserialize(leaf_bytes)
+        nibbles = bytes_to_nibbles(key)
+        if isinstance(node, _Leaf):
+            suffix = nibbles[len(nibbles) - len(node.path) :] if node.path else []
+            return node.value == value and suffix == node.path
+        if isinstance(node, _Branch):
+            return node.value == value
+        return False
+
+    def height(self, root: Optional[Digest]) -> int:
+        return self._subtree_height(root)
+
+    def _subtree_height(self, digest: Optional[Digest]) -> int:
+        if digest is None:
+            return 0
+        node = self._load_node(digest)
+        if isinstance(node, _Leaf):
+            return 1
+        if isinstance(node, _Extension):
+            return 1 + self._subtree_height(node.child)
+        return 1 + max(
+            (self._subtree_height(child) for child in node.children if child is not None),
+            default=0,
+        )

@@ -1,0 +1,170 @@
+"""Multi-Version Merkle B+-Tree (MVMB+-Tree) — the paper's baseline (Section 5.2).
+
+An immutable B+-tree with tamper evidence: child pointers are replaced by
+the cryptographic hashes of the children, and every update copies the
+nodes along the modified path (node-level copy-on-write), so each version
+is identified by its root hash and old versions remain readable.
+
+The structure is *not* a SIRI instance: node boundaries are determined by
+the usual capacity-and-split rules, so the final shape depends on the
+order in which keys were inserted (Figure 2 of the paper).  Two instances
+holding identical data can therefore have disjoint page sets, which is
+exactly the deduplication weakness the paper contrasts against the SIRI
+candidates.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import InvalidParameterError
+from repro.hashing.digest import Digest
+from repro.indexes.ranged import Entry, RangedMerkleSearchTree
+from repro.storage.store import NodeStore
+
+
+class MVMBTree(RangedMerkleSearchTree):
+    """The baseline: an immutable, Merkle-ized B+-tree with copy-on-write.
+
+    Parameters
+    ----------
+    store:
+        The content-addressed node store.
+    leaf_capacity:
+        Maximum number of records per leaf before it splits.
+    internal_capacity:
+        Maximum number of child entries per internal node before it splits.
+    """
+
+    name = "MVMB+-Tree"
+
+    def __init__(self, store: NodeStore, leaf_capacity: int = 8, internal_capacity: int = 24):
+        super().__init__(store)
+        if leaf_capacity < 2 or internal_capacity < 2:
+            raise InvalidParameterError("node capacities must be at least 2")
+        self.leaf_capacity = leaf_capacity
+        self.internal_capacity = internal_capacity
+
+    # ------------------------------------------------------------------
+    # Write path: per-key top-down insertion with node splits
+    # ------------------------------------------------------------------
+
+    def write(
+        self,
+        root: Optional[Digest],
+        puts: Mapping[bytes, bytes],
+        removes: Iterable[bytes] = (),
+    ) -> Optional[Digest]:
+        new_root = root
+        for key, value in puts.items():
+            new_root = self._insert_key(new_root, key, value)
+        for key in removes:
+            new_root = self._remove_key(new_root, key)
+        return new_root
+
+    # -- insertion ---------------------------------------------------------
+
+    def _insert_key(self, root: Optional[Digest], key: bytes, value: bytes) -> Digest:
+        if root is None:
+            _, digest = self._store_leaf([(key, value)])
+            return digest
+        new_entries = self._insert_into(root, key, value)
+        if len(new_entries) == 1:
+            return new_entries[0][1]
+        # The root split: grow the tree by one level.
+        level = self._node_level(new_entries[0][1]) + 1
+        return self._put_node(self._serialize_internal(level, new_entries))
+
+    def _node_level(self, digest: Digest) -> int:
+        """Level of a node: 0 for leaves, >= 1 for internal nodes."""
+        node_bytes = self._get_node(digest)
+        if self._is_leaf_bytes(node_bytes):
+            return 0
+        level, _ = self._deserialize_internal(node_bytes)
+        return level
+
+    def _store_leaf(self, records: Sequence[Tuple[bytes, bytes]]) -> Entry:
+        digest = self._put_node(self._serialize_leaf(records))
+        return records[-1][0], digest
+
+    def _insert_into(self, digest: Digest, key: bytes, value: bytes) -> List[Entry]:
+        """Insert into the subtree at ``digest``; return 1 or 2 replacement entries."""
+        node_bytes = self._get_node(digest)
+
+        if self._is_leaf_bytes(node_bytes):
+            records = self._deserialize_leaf(node_bytes)
+            merged = dict(records)
+            merged[key] = value
+            records = sorted(merged.items())
+            if len(records) <= self.leaf_capacity:
+                return [self._store_leaf(records)]
+            middle = len(records) // 2
+            return [self._store_leaf(records[:middle]), self._store_leaf(records[middle:])]
+
+        level, entries = self._deserialize_internal(node_bytes)
+        position = self._child_position(entries, key)
+        _, child = entries[position]
+        replacement = self._insert_into(child, key, value)
+        entries = list(entries[:position]) + replacement + list(entries[position + 1 :])
+        if len(entries) <= self.internal_capacity:
+            return [self._store_internal(level, entries)]
+        middle = len(entries) // 2
+        return [
+            self._store_internal(level, entries[:middle]),
+            self._store_internal(level, entries[middle:]),
+        ]
+
+    def _store_internal(self, level: int, entries: Sequence[Entry]) -> Entry:
+        digest = self._put_node(self._serialize_internal(level, entries))
+        return entries[-1][0], digest
+
+    # -- removal -------------------------------------------------------------
+
+    def _remove_key(self, root: Optional[Digest], key: bytes) -> Optional[Digest]:
+        if root is None:
+            return None
+        replacement = self._remove_from(root, key)
+        if replacement is None:
+            return None
+        split_key, digest = replacement
+        # Collapse a root that degenerated to a single child chain.
+        node_bytes = self._get_node(digest)
+        while not self._is_leaf_bytes(node_bytes):
+            _, entries = self._deserialize_internal(node_bytes)
+            if len(entries) > 1:
+                break
+            digest = entries[0][1]
+            node_bytes = self._get_node(digest)
+        return digest
+
+    def _remove_from(self, digest: Digest, key: bytes) -> Optional[Entry]:
+        """Remove ``key`` from the subtree; return its replacement entry or None.
+
+        Underflowed nodes are not rebalanced (sufficient for the baseline's
+        role in the evaluation); empty nodes are removed from their parent.
+        """
+        node_bytes = self._get_node(digest)
+
+        if self._is_leaf_bytes(node_bytes):
+            records = self._deserialize_leaf(node_bytes)
+            filtered = [(k, v) for k, v in records if k != key]
+            if len(filtered) == len(records):
+                return records[-1][0], digest
+            if not filtered:
+                return None
+            return self._store_leaf(filtered)
+
+        level, entries = self._deserialize_internal(node_bytes)
+        position = self._child_position(entries, key)
+        _, child = entries[position]
+        replacement = self._remove_from(child, key)
+        if replacement == entries[position]:
+            return entries[-1][0], digest
+        new_entries = list(entries[:position])
+        if replacement is not None:
+            new_entries.append(replacement)
+        new_entries.extend(entries[position + 1 :])
+        if not new_entries:
+            return None
+        return self._store_internal(level, new_entries)

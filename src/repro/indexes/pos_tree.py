@@ -1,0 +1,282 @@
+"""Pattern-Oriented-Split Tree (POS-Tree) — Section 3.4.3 of the paper.
+
+A probabilistically balanced Merkle search tree whose node boundaries are
+chosen by *content-defined chunking*: the ordered record sequence at the
+bottom, and the ``(split key, child hash)`` entry sequences of the internal
+layers, are split wherever a fingerprint of the local content matches a
+boundary pattern.  Because boundaries depend only on content:
+
+* the structure is **Structurally Invariant** — the same record set always
+  produces the same tree, byte for byte, regardless of update order;
+* an update perturbs only the chunks containing the modified records plus,
+  occasionally, one neighbouring chunk (boundary re-synchronization), so
+  versions share the overwhelming majority of their pages;
+* internal layers avoid re-hashing a sliding window by matching the
+  boundary pattern directly against the child hashes they store — the
+  optimization that distinguishes POS-Tree from Noms' Prolly Tree
+  (Figure 22).
+
+Writes are applied batched and bottom-up: the affected leaf regions are
+re-chunked (cascading right until chunking re-synchronizes with an
+existing boundary) and the internal layers are rebuilt from the leaf
+descriptor list.  Unchanged nodes re-serialize to identical bytes and are
+therefore deduplicated by the content-addressed store rather than
+rewritten.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import InvalidParameterError
+from repro.hashing.chunker import BoundaryPattern, ContentDefinedChunker
+from repro.hashing.digest import Digest
+from repro.indexes.ranged import Entry, RangedMerkleSearchTree
+from repro.storage.store import NodeStore
+
+
+class POSTree(RangedMerkleSearchTree):
+    """The POS-Tree candidate: content-defined-chunked Merkle search tree.
+
+    Parameters
+    ----------
+    store:
+        The content-addressed node store.
+    target_node_size:
+        Desired average node size in bytes (the paper tunes all indexes to
+        roughly 1 KB; Table 3 sweeps 512–4096).  Together with
+        ``estimated_entry_size`` it determines the expected number of
+        entries per leaf chunk.
+    estimated_entry_size:
+        Expected serialized size of one record; used only to derive the
+        boundary pattern for leaf chunks.
+    leaf_pattern_bits / internal_pattern_bits:
+        Explicit boundary-pattern widths (expected entries per chunk is
+        ``2**bits``).  When provided they override the size-based
+        derivation.
+    leaf_fingerprint_mode:
+        How leaf-entry fingerprints are computed (see
+        :class:`~repro.hashing.chunker.ContentDefinedChunker`).  The
+        default hashes each serialized record once; ``"window"`` emulates
+        the byte-wise sliding window of the original description (slower).
+    """
+
+    name = "POS-Tree"
+
+    def __init__(
+        self,
+        store: NodeStore,
+        target_node_size: int = 1024,
+        estimated_entry_size: int = 256,
+        leaf_pattern_bits: Optional[int] = None,
+        internal_pattern_bits: Optional[int] = None,
+        leaf_fingerprint_mode: str = "item_hash",
+    ):
+        super().__init__(store)
+        if target_node_size <= 0:
+            raise InvalidParameterError("target_node_size must be positive")
+        if estimated_entry_size <= 0:
+            raise InvalidParameterError("estimated_entry_size must be positive")
+        self.target_node_size = target_node_size
+        self.estimated_entry_size = estimated_entry_size
+
+        if leaf_pattern_bits is None:
+            expected_entries = max(2, target_node_size // estimated_entry_size)
+            leaf_pattern_bits = max(1, expected_entries.bit_length() - 1)
+        if internal_pattern_bits is None:
+            # Internal entries are roughly split_key + 32-byte digest; aim
+            # for the same target node size.
+            expected_entries = max(2, target_node_size // 48)
+            internal_pattern_bits = max(1, expected_entries.bit_length() - 1)
+        self.leaf_pattern_bits = leaf_pattern_bits
+        self.internal_pattern_bits = internal_pattern_bits
+
+        # Boundary decisions must be a pure function of the single entry so
+        # that incremental re-chunking converges to exactly the same chunk
+        # sequence a from-scratch build would produce (min_items=1, no cap).
+        self._leaf_chunker = ContentDefinedChunker(
+            pattern=BoundaryPattern(bits=leaf_pattern_bits),
+            min_items=1,
+            max_items=None,
+            fingerprint_mode=leaf_fingerprint_mode,
+        )
+        self._internal_chunker = ContentDefinedChunker(
+            pattern=BoundaryPattern(bits=internal_pattern_bits),
+            min_items=1,
+            max_items=None,
+            fingerprint_mode="digest_tail",
+        )
+
+    # ------------------------------------------------------------------
+    # Boundary predicates
+    # ------------------------------------------------------------------
+
+    def _leaf_entry_is_boundary(self, key: bytes, value: bytes) -> bool:
+        item = self._leaf_item_bytes(key, value)
+        if self._leaf_chunker.fingerprint_mode == "item_hash":
+            fingerprint = self._leaf_chunker._item_fingerprint_hash(item)
+        elif self._leaf_chunker.fingerprint_mode == "digest_tail":
+            fingerprint = self._leaf_chunker._item_fingerprint_direct(item)
+        else:
+            roller = self._leaf_chunker.rolling_hash_factory(self._leaf_chunker.window_size)
+            fingerprint = roller.digest_window(item)
+        return self._leaf_chunker.pattern.matches(fingerprint)
+
+    def _internal_entry_is_boundary(self, split_key: bytes, digest: Digest) -> bool:
+        item = self._internal_item_bytes(split_key, digest)
+        fingerprint = self._internal_chunker._item_fingerprint_direct(item)
+        return self._internal_chunker.pattern.matches(fingerprint)
+
+    # ------------------------------------------------------------------
+    # Chunking of record runs / entry runs
+    # ------------------------------------------------------------------
+
+    def _chunk_records_closed(
+        self, records: Sequence[Tuple[bytes, bytes]]
+    ) -> Tuple[List[List[Tuple[bytes, bytes]]], List[Tuple[bytes, bytes]]]:
+        """Split records into closed chunks plus an open (unterminated) tail.
+
+        A chunk is closed when its last record matches the boundary
+        pattern; records after the last boundary form the open tail, which
+        either absorbs the next old leaf (during incremental writes) or
+        becomes the final leaf of the level.
+        """
+        closed: List[List[Tuple[bytes, bytes]]] = []
+        current: List[Tuple[bytes, bytes]] = []
+        for key, value in records:
+            current.append((key, value))
+            if self._leaf_entry_is_boundary(key, value):
+                closed.append(current)
+                current = []
+        return closed, current
+
+    def _chunk_entries_closed(
+        self, entries: Sequence[Entry]
+    ) -> Tuple[List[List[Entry]], List[Entry]]:
+        """Same as :meth:`_chunk_records_closed` but for internal entries."""
+        closed: List[List[Entry]] = []
+        current: List[Entry] = []
+        for split_key, digest in entries:
+            current.append((split_key, digest))
+            if self._internal_entry_is_boundary(split_key, digest):
+                closed.append(current)
+                current = []
+        return closed, current
+
+    # ------------------------------------------------------------------
+    # Build / write
+    # ------------------------------------------------------------------
+
+    def _store_leaf(self, records: Sequence[Tuple[bytes, bytes]]) -> Entry:
+        digest = self._put_node(self._serialize_leaf(records))
+        return records[-1][0], digest
+
+    def _build_leaf_level(self, records: Sequence[Tuple[bytes, bytes]]) -> List[Entry]:
+        """Chunk a full sorted record list into leaves (bottom-up build)."""
+        closed, tail = self._chunk_records_closed(records)
+        if tail:
+            closed.append(tail)
+        return [self._store_leaf(chunk) for chunk in closed]
+
+    def _build_internal_levels(self, leaf_entries: List[Entry]) -> Digest:
+        """Roll leaf descriptors up into internal levels; return the root digest."""
+        entries = leaf_entries
+        level = 1
+        while len(entries) > 1:
+            closed, tail = self._chunk_entries_closed(entries)
+            if tail:
+                closed.append(tail)
+            if len(closed) >= len(entries):
+                # Degenerate case: every entry is a boundary, so chunking
+                # makes no progress.  Collapse everything into one node to
+                # guarantee termination (still a pure function of content).
+                closed = [list(entries)]
+            next_entries: List[Entry] = []
+            for chunk in closed:
+                digest = self._put_node(self._serialize_internal(level, chunk))
+                next_entries.append((chunk[-1][0], digest))
+            entries = next_entries
+            level += 1
+        return entries[0][1]
+
+    def write(
+        self,
+        root: Optional[Digest],
+        puts: Mapping[bytes, bytes],
+        removes: Iterable[bytes] = (),
+    ) -> Optional[Digest]:
+        removes = list(removes)
+        if not puts and not removes:
+            return root
+
+        if root is None:
+            records = sorted(puts.items())
+            if not records:
+                return None
+            leaf_entries = self._build_leaf_level(records)
+            if len(leaf_entries) == 1:
+                return leaf_entries[0][1]
+            return self._build_internal_levels(leaf_entries)
+
+        old_leaves = self._leaf_descriptors(root)
+        new_leaves = self._rewrite_leaf_level(old_leaves, puts, removes)
+        if not new_leaves:
+            return None
+        if len(new_leaves) == 1:
+            return new_leaves[0][1]
+        return self._build_internal_levels(new_leaves)
+
+    def _rewrite_leaf_level(
+        self,
+        old_leaves: List[Entry],
+        puts: Mapping[bytes, bytes],
+        removes: Iterable[bytes],
+    ) -> List[Entry]:
+        """Rewrite the affected leaves, reusing untouched ones verbatim.
+
+        Changes are routed to the leaf whose key range covers them; each
+        affected region is merged, re-chunked, and the re-chunking cascades
+        rightwards (absorbing the next old leaf) until it closes exactly on
+        an existing boundary — the algorithm described in Section 3.4.3.
+        """
+        if not old_leaves:
+            records = self._apply_changes([], puts, removes)
+            return self._build_leaf_level(records) if records else []
+
+        split_keys = [split for split, _ in old_leaves]
+
+        per_leaf_puts: Dict[int, Dict[bytes, bytes]] = {}
+        per_leaf_removes: Dict[int, Set[bytes]] = {}
+        for key, value in puts.items():
+            position = bisect.bisect_left(split_keys, key)
+            if position >= len(old_leaves):
+                position = len(old_leaves) - 1
+            per_leaf_puts.setdefault(position, {})[key] = value
+        for key in removes:
+            position = bisect.bisect_left(split_keys, key)
+            if position >= len(old_leaves):
+                position = len(old_leaves) - 1
+            per_leaf_removes.setdefault(position, set()).add(key)
+
+        affected = set(per_leaf_puts) | set(per_leaf_removes)
+
+        new_leaves: List[Entry] = []
+        pending: List[Tuple[bytes, bytes]] = []
+        for position, (split_key, digest) in enumerate(old_leaves):
+            if position not in affected and not pending:
+                new_leaves.append((split_key, digest))
+                continue
+            records = self._load_leaf(digest)
+            records = self._apply_changes(
+                records,
+                per_leaf_puts.get(position, {}),
+                per_leaf_removes.get(position, ()),
+            )
+            records = pending + records
+            closed, pending = self._chunk_records_closed(records)
+            for chunk in closed:
+                new_leaves.append(self._store_leaf(chunk))
+        if pending:
+            new_leaves.append(self._store_leaf(pending))
+        return new_leaves

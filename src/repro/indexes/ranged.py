@@ -1,0 +1,310 @@
+"""Shared machinery for range-partitioned Merkle search trees.
+
+POS-Tree and the MVMB+-Tree baseline share the same *logical* layout: an
+ordered bottom layer of (key, value) records grouped into leaf nodes, and
+internal layers whose entries are ``(split_key, child_digest)`` pairs where
+``split_key`` is the maximum key stored under the child.  They differ only
+in *how node boundaries are chosen* (content-defined chunking vs fixed
+capacity with splits) and in how writes are applied (batched bottom-up
+rebuild of affected regions vs per-key top-down insertion).
+
+:class:`RangedMerkleSearchTree` implements everything that depends only on
+the layout — node serialization, lookup, ordered iteration, pruned diff,
+proofs, heights — so the two concrete structures only implement their
+write paths.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.proof import MerkleProof
+from repro.encoding.binary import (
+    decode_bytes,
+    decode_kv_pairs,
+    decode_uvarint,
+    encode_bytes,
+    encode_kv_pairs,
+    encode_uvarint,
+)
+from repro.hashing.digest import Digest
+from repro.indexes.base import MerkleIndex
+
+_TAG_LEAF = b"l"
+_TAG_INTERNAL = b"n"
+
+#: A leaf descriptor or internal entry: (split key = max key below, digest).
+Entry = Tuple[bytes, Digest]
+
+
+class RangedMerkleSearchTree(MerkleIndex):
+    """Base class for POS-Tree and MVMB+-Tree (range-partitioned Merkle trees)."""
+
+    #: Optional extra bytes mixed into every node serialization.  The
+    #: non-Recursively-Identical ablation uses this to force distinct node
+    #: identities per version; it is empty for all real structures.
+    _node_salt: bytes = b""
+
+    # ------------------------------------------------------------------
+    # Node serialization
+    # ------------------------------------------------------------------
+
+    def _serialize_leaf(self, entries: Sequence[Tuple[bytes, bytes]]) -> bytes:
+        return _TAG_LEAF + encode_bytes(self._node_salt) + encode_kv_pairs(entries)
+
+    def _deserialize_leaf(self, data: bytes) -> List[Tuple[bytes, bytes]]:
+        if data[:1] != _TAG_LEAF:
+            raise ValueError("not a leaf node")
+        _, offset = decode_bytes(data, 1)
+        entries, _ = decode_kv_pairs(data, offset)
+        return entries
+
+    def _serialize_internal(self, level: int, entries: Sequence[Entry]) -> bytes:
+        out = bytearray(_TAG_INTERNAL)
+        out.extend(encode_bytes(self._node_salt))
+        out.extend(encode_uvarint(level))
+        out.extend(encode_uvarint(len(entries)))
+        for split_key, digest in entries:
+            out.extend(encode_bytes(split_key))
+            out.extend(encode_bytes(digest.raw))
+        return bytes(out)
+
+    def _deserialize_internal(self, data: bytes) -> Tuple[int, List[Entry]]:
+        if data[:1] != _TAG_INTERNAL:
+            raise ValueError("not an internal node")
+        _, offset = decode_bytes(data, 1)
+        level, offset = decode_uvarint(data, offset)
+        count, offset = decode_uvarint(data, offset)
+        entries: List[Entry] = []
+        for _ in range(count):
+            split_key, offset = decode_bytes(data, offset)
+            raw, offset = decode_bytes(data, offset)
+            entries.append((split_key, Digest(raw)))
+        return level, entries
+
+    def _is_leaf_bytes(self, data: bytes) -> bool:
+        return data[:1] == _TAG_LEAF
+
+    def _child_digests(self, node_bytes: bytes) -> List[Digest]:
+        if self._is_leaf_bytes(node_bytes):
+            return []
+        _, entries = self._deserialize_internal(node_bytes)
+        return [digest for _, digest in entries]
+
+    # -- entry byte forms used for content-defined chunking ---------------
+
+    @staticmethod
+    def _leaf_item_bytes(key: bytes, value: bytes) -> bytes:
+        """Canonical byte form of one record, used for boundary detection."""
+        return encode_bytes(key) + encode_bytes(value)
+
+    @staticmethod
+    def _internal_item_bytes(split_key: bytes, digest: Digest) -> bytes:
+        """Canonical byte form of one internal entry (digest last, so its
+        uniformly-random tail bytes can serve directly as the boundary
+        fingerprint — the POS-Tree internal-layer optimization)."""
+        return encode_bytes(split_key) + digest.raw
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _child_position(entries: Sequence[Entry], key: bytes) -> int:
+        """Index of the child whose key range covers ``key``.
+
+        Entries carry the maximum key of their subtree, so the covering
+        child is the first entry with ``split_key >= key``; keys beyond
+        the last split key fall into the last child (which is where an
+        insertion of a new maximum would go).
+        """
+        split_keys = [split for split, _ in entries]
+        position = bisect.bisect_left(split_keys, key)
+        if position >= len(entries):
+            position = len(entries) - 1
+        return position
+
+    def lookup(self, root: Optional[Digest], key: bytes) -> Optional[bytes]:
+        if root is None:
+            return None
+        node_bytes = self._get_node(root)
+        while not self._is_leaf_bytes(node_bytes):
+            _, entries = self._deserialize_internal(node_bytes)
+            _, child = entries[self._child_position(entries, key)]
+            node_bytes = self._get_node(child)
+        entries = self._deserialize_leaf(node_bytes)
+        position = self._binary_search(entries, key)
+        return entries[position][1] if position >= 0 else None
+
+    @staticmethod
+    def _binary_search(entries: Sequence[Tuple[bytes, bytes]], key: bytes) -> int:
+        low, high = 0, len(entries) - 1
+        while low <= high:
+            mid = (low + high) // 2
+            mid_key = entries[mid][0]
+            if mid_key == key:
+                return mid
+            if mid_key < key:
+                low = mid + 1
+            else:
+                high = mid - 1
+        return -1
+
+    def lookup_depth(self, root: Optional[Digest], key: bytes) -> int:
+        if root is None:
+            return 0
+        depth = 1
+        node_bytes = self._get_node(root)
+        while not self._is_leaf_bytes(node_bytes):
+            _, entries = self._deserialize_internal(node_bytes)
+            _, child = entries[self._child_position(entries, key)]
+            node_bytes = self._get_node(child)
+            depth += 1
+        return depth
+
+    def height(self, root: Optional[Digest]) -> int:
+        if root is None:
+            return 0
+        height = 1
+        node_bytes = self._get_node(root)
+        while not self._is_leaf_bytes(node_bytes):
+            _, entries = self._deserialize_internal(node_bytes)
+            _, child = entries[0]
+            node_bytes = self._get_node(child)
+            height += 1
+        return height
+
+    # ------------------------------------------------------------------
+    # Leaf enumeration, iteration, diff
+    # ------------------------------------------------------------------
+
+    def _leaf_descriptors(self, root: Optional[Digest]) -> List[Entry]:
+        """Descriptors (split key, digest) of every leaf, left to right.
+
+        Only internal nodes are read — leaf contents stay untouched, which
+        keeps batched writes and diffs cheap.
+        """
+        if root is None:
+            return []
+        root_bytes = self._get_node(root)
+        if self._is_leaf_bytes(root_bytes):
+            entries = self._deserialize_leaf(root_bytes)
+            split = entries[-1][0] if entries else b""
+            return [(split, root)]
+        level, entries = self._deserialize_internal(root_bytes)
+        current = entries
+        while level > 1:
+            next_entries: List[Entry] = []
+            for _, digest in current:
+                child_level, child_entries = self._deserialize_internal(self._get_node(digest))
+                next_entries.extend(child_entries)
+            current = next_entries
+            level -= 1
+        return current
+
+    def _load_leaf(self, digest: Digest) -> List[Tuple[bytes, bytes]]:
+        return self._deserialize_leaf(self._get_node(digest))
+
+    def iterate(self, root: Optional[Digest]) -> Iterator[Tuple[bytes, bytes]]:
+        for _, digest in self._leaf_descriptors(root):
+            for key, value in self._load_leaf(digest):
+                yield key, value
+
+    def iterate_diff(self, left_root: Optional[Digest], right_root: Optional[Digest]):
+        """Yield ``(key, left_value, right_value)`` for differing keys.
+
+        Leaves whose digests appear in both versions are skipped without
+        being loaded: identical digest ⇒ identical content, and a digest
+        can appear at most once per version because keys are unique.  The
+        remaining (changed-region) record streams are merge-joined.
+        """
+        if left_root == right_root:
+            return
+        left_leaves = self._leaf_descriptors(left_root)
+        right_leaves = self._leaf_descriptors(right_root)
+        shared = {digest for _, digest in left_leaves} & {digest for _, digest in right_leaves}
+
+        def stream(leaves: List[Entry]) -> Iterator[Tuple[bytes, bytes]]:
+            for _, digest in leaves:
+                if digest in shared:
+                    continue
+                for key, value in self._load_leaf(digest):
+                    yield key, value
+
+        sentinel = object()
+        left_iter = stream(left_leaves)
+        right_iter = stream(right_leaves)
+        left = next(left_iter, sentinel)
+        right = next(right_iter, sentinel)
+        while left is not sentinel or right is not sentinel:
+            if left is sentinel:
+                yield right[0], None, right[1]
+                right = next(right_iter, sentinel)
+            elif right is sentinel:
+                yield left[0], left[1], None
+                left = next(left_iter, sentinel)
+            elif left[0] == right[0]:
+                if left[1] != right[1]:
+                    yield left[0], left[1], right[1]
+                left = next(left_iter, sentinel)
+                right = next(right_iter, sentinel)
+            elif left[0] < right[0]:
+                yield left[0], left[1], None
+                left = next(left_iter, sentinel)
+            else:
+                yield right[0], None, right[1]
+                right = next(right_iter, sentinel)
+
+    # ------------------------------------------------------------------
+    # Proofs
+    # ------------------------------------------------------------------
+
+    def prove(self, root: Optional[Digest], key: bytes) -> MerkleProof:
+        if root is None:
+            return self._build_proof(key, None, [])
+        path_nodes: List[bytes] = []
+        node_bytes = self._get_node(root)
+        path_nodes.append(node_bytes)
+        while not self._is_leaf_bytes(node_bytes):
+            _, entries = self._deserialize_internal(node_bytes)
+            _, child = entries[self._child_position(entries, key)]
+            node_bytes = self._get_node(child)
+            path_nodes.append(node_bytes)
+        entries = self._deserialize_leaf(node_bytes)
+        position = self._binary_search(entries, key)
+        value = entries[position][1] if position >= 0 else None
+        return self._build_proof(key, value, path_nodes)
+
+    def proof_binding_check(self, leaf_bytes: bytes, key: bytes, value: Optional[bytes]) -> bool:
+        """Structural binding check: the leaf must contain the exact pair."""
+        if not self._is_leaf_bytes(leaf_bytes):
+            return False
+        entries = self._deserialize_leaf(leaf_bytes)
+        position = self._binary_search(entries, key)
+        if value is None:
+            return position < 0
+        return position >= 0 and entries[position][1] == value
+
+    # ------------------------------------------------------------------
+    # Helpers shared by the write paths
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _apply_changes(
+        entries: Sequence[Tuple[bytes, bytes]],
+        puts: Mapping[bytes, bytes],
+        removes: Iterable[bytes],
+    ) -> List[Tuple[bytes, bytes]]:
+        """Merge a batch of puts/removes into a sorted record list."""
+        merged = dict(entries)
+        merged.update(puts)
+        for key in removes:
+            merged.pop(key, None)
+        return sorted(merged.items())
+
+    def count(self, root: Optional[Digest]) -> int:
+        total = 0
+        for _, digest in self._leaf_descriptors(root):
+            total += len(self._load_leaf(digest))
+        return total

@@ -1,0 +1,41 @@
+"""Content-addressed node storage.
+
+Every index in this library persists its nodes into a *node store*: a
+content-addressed map from :class:`~repro.hashing.digest.Digest` to the
+node's canonical byte serialization.  Because the key is the hash of the
+value, structurally identical nodes — whether they come from two versions
+of the same index, two branches, or two entirely different indexes — are
+stored exactly once.  That single mechanism is what realizes the paper's
+page-level deduplication.
+
+Provided stores:
+
+* :class:`~repro.storage.memory.InMemoryNodeStore` — dictionary-backed,
+  used by unit tests and most benchmarks.
+* :class:`~repro.storage.file.FileNodeStore` — append-only segment files
+  with an in-memory digest index, for persistence across processes.
+* :class:`~repro.storage.cache.CachingNodeStore` — an LRU read cache in
+  front of another store, modelling Forkbase's client-side node cache
+  (Section 5.6.1).
+* :class:`~repro.storage.metered.MeteredNodeStore` — wraps another store
+  and counts gets/puts/bytes, used by the benchmark harness.
+* :class:`~repro.storage.refcount.RefCountingNodeStore` — reference
+  counting and garbage collection of unreachable versions.
+"""
+
+from repro.storage.store import NodeStore, StoreStats
+from repro.storage.memory import InMemoryNodeStore
+from repro.storage.file import FileNodeStore
+from repro.storage.cache import CachingNodeStore
+from repro.storage.metered import MeteredNodeStore
+from repro.storage.refcount import RefCountingNodeStore
+
+__all__ = [
+    "NodeStore",
+    "StoreStats",
+    "InMemoryNodeStore",
+    "FileNodeStore",
+    "CachingNodeStore",
+    "MeteredNodeStore",
+    "RefCountingNodeStore",
+]

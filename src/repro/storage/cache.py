@@ -1,0 +1,111 @@
+"""LRU read cache in front of a node store.
+
+Forkbase's system-level experiments (Section 5.6.1) show that remote read
+throughput is dominated by client↔server round trips, and that the client
+mitigates this by caching retrieved nodes locally.  The hit ratio differs
+by index type: indexes with large, frequently re-read nodes (POS-Tree,
+MVMB+-Tree) benefit more than MBT whose nodes have small fixed fan-out.
+
+:class:`CachingNodeStore` models exactly that: it wraps any backing store,
+serves repeated reads from an LRU cache of bounded size, and counts hits
+and misses so the benchmark harness can report hit ratios.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+from repro.hashing.digest import Digest
+from repro.storage.store import NodeStore, StoreStats
+
+
+class CachingNodeStore(NodeStore):
+    """A read-through LRU cache over another :class:`NodeStore`.
+
+    Parameters
+    ----------
+    backing:
+        The store that owns the data (e.g. the "servlet side" store).
+    capacity_bytes:
+        Maximum total size of cached node bytes; least recently used nodes
+        are evicted beyond this.
+    write_through:
+        When True (default) puts go to the backing store and are also
+        cached locally.
+    """
+
+    def __init__(
+        self,
+        backing: NodeStore,
+        capacity_bytes: int = 64 * 1024 * 1024,
+        write_through: bool = True,
+    ):
+        super().__init__(hash_function=backing.hash_function, verify_on_read=False)
+        self.backing = backing
+        self.capacity_bytes = capacity_bytes
+        self.write_through = write_through
+        self._cache: "OrderedDict[Digest, bytes]" = OrderedDict()
+        self._cached_bytes = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- cache internals ---------------------------------------------------
+
+    def _evict_if_needed(self) -> None:
+        while self._cached_bytes > self.capacity_bytes and self._cache:
+            _, evicted = self._cache.popitem(last=False)
+            self._cached_bytes -= len(evicted)
+
+    def _cache_put(self, digest: Digest, data: bytes) -> None:
+        if digest in self._cache:
+            self._cache.move_to_end(digest)
+            return
+        self._cache[digest] = data
+        self._cached_bytes += len(data)
+        self._evict_if_needed()
+
+    def invalidate(self) -> None:
+        """Drop every cached node (does not touch the backing store)."""
+        self._cache.clear()
+        self._cached_bytes = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of reads served from the cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    # -- NodeStore primitives ----------------------------------------------
+
+    def put_bytes(self, digest: Digest, data: bytes) -> bool:
+        is_new = self.backing.put_bytes(digest, data) if self.write_through else True
+        self._cache_put(digest, bytes(data))
+        return is_new
+
+    def get_bytes(self, digest: Digest) -> bytes:
+        cached = self._cache.get(digest)
+        if cached is not None:
+            self._cache.move_to_end(digest)
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        data = self.backing.get_bytes(digest)
+        self._cache_put(digest, data)
+        return data
+
+    def contains(self, digest: Digest) -> bool:
+        return digest in self._cache or self.backing.contains(digest)
+
+    def digests(self) -> Iterator[Digest]:
+        return self.backing.digests()
+
+    def __len__(self) -> int:
+        return len(self.backing)
+
+    def total_bytes(self) -> int:
+        return self.backing.total_bytes()
+
+    def combined_stats(self) -> StoreStats:
+        """Statistics of this cache layer merged with the backing store's."""
+        return self.stats.merge(self.backing.stats)

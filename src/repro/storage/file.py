@@ -1,0 +1,147 @@
+"""Append-only file-backed node store.
+
+Nodes are appended to fixed-capacity segment files under a directory; an
+in-memory index maps each digest to ``(segment, offset, length)``.  On
+re-open the index is rebuilt by scanning the segments, verifying each
+record's digest as it goes, so silent corruption of the files is detected
+at load time.
+
+Record layout (little-endian framing, self-delimiting):
+
+``[digest_len: uvarint][digest bytes][data_len: uvarint][data bytes]``
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.core.errors import CorruptNodeError, NodeNotFoundError
+from repro.encoding.binary import decode_bytes, encode_bytes
+from repro.hashing.digest import Digest, HashFunction
+from repro.storage.store import NodeStore
+
+
+class FileNodeStore(NodeStore):
+    """A persistent content-addressed store over append-only segment files.
+
+    Parameters
+    ----------
+    directory:
+        Directory that holds the segment files; created if missing.
+    segment_capacity_bytes:
+        A new segment file is started once the active one grows beyond
+        this size.
+    verify_on_load:
+        Whether to re-hash every record while rebuilding the index when
+        the store is opened over existing files.
+    """
+
+    SEGMENT_PREFIX = "segment-"
+    SEGMENT_SUFFIX = ".nodes"
+
+    def __init__(
+        self,
+        directory: str,
+        hash_function: Optional[HashFunction] = None,
+        verify_on_read: bool = False,
+        segment_capacity_bytes: int = 16 * 1024 * 1024,
+        verify_on_load: bool = True,
+    ):
+        super().__init__(hash_function=hash_function, verify_on_read=verify_on_read)
+        self.directory = directory
+        self.segment_capacity_bytes = segment_capacity_bytes
+        self._index: Dict[Digest, Tuple[int, int, int]] = {}
+        self._active_segment = 0
+        self._active_size = 0
+        os.makedirs(directory, exist_ok=True)
+        self._load_existing(verify_on_load)
+
+    # -- segment helpers --------------------------------------------------
+
+    def _segment_path(self, segment: int) -> str:
+        return os.path.join(self.directory, f"{self.SEGMENT_PREFIX}{segment:06d}{self.SEGMENT_SUFFIX}")
+
+    def _existing_segments(self):
+        names = []
+        for name in os.listdir(self.directory):
+            if name.startswith(self.SEGMENT_PREFIX) and name.endswith(self.SEGMENT_SUFFIX):
+                number = int(name[len(self.SEGMENT_PREFIX) : -len(self.SEGMENT_SUFFIX)])
+                names.append(number)
+        return sorted(names)
+
+    def _load_existing(self, verify: bool) -> None:
+        segments = self._existing_segments()
+        for segment in segments:
+            path = self._segment_path(segment)
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            offset = 0
+            while offset < len(blob):
+                record_start = offset
+                digest_bytes, offset = decode_bytes(blob, offset)
+                data, offset = decode_bytes(blob, offset)
+                digest = Digest(digest_bytes)
+                if verify and self.hash_function.hash(data) != digest:
+                    raise CorruptNodeError(digest, f"corrupt record in {path} at {record_start}")
+                self._index[digest] = (segment, record_start, offset - record_start)
+            if segment == segments[-1]:
+                self._active_segment = segment
+                self._active_size = len(blob)
+        if segments:
+            self._active_segment = segments[-1]
+        else:
+            self._active_segment = 0
+            self._active_size = 0
+
+    # -- NodeStore primitives ---------------------------------------------
+
+    def put_bytes(self, digest: Digest, data: bytes) -> bool:
+        if digest in self._index:
+            return False
+        record = encode_bytes(digest.raw) + encode_bytes(data)
+        if self._active_size + len(record) > self.segment_capacity_bytes and self._active_size > 0:
+            self._active_segment += 1
+            self._active_size = 0
+        path = self._segment_path(self._active_segment)
+        offset = self._active_size
+        with open(path, "ab") as handle:
+            handle.write(record)
+        self._index[digest] = (self._active_segment, offset, len(record))
+        self._active_size += len(record)
+        return True
+
+    def get_bytes(self, digest: Digest) -> bytes:
+        entry = self._index.get(digest)
+        if entry is None:
+            raise NodeNotFoundError(digest)
+        segment, offset, length = entry
+        path = self._segment_path(segment)
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            record = handle.read(length)
+        digest_bytes, pos = decode_bytes(record, 0)
+        data, _ = decode_bytes(record, pos)
+        if digest_bytes != digest.raw:
+            raise CorruptNodeError(digest, "record digest does not match index entry")
+        return data
+
+    def contains(self, digest: Digest) -> bool:
+        return digest in self._index
+
+    def digests(self) -> Iterator[Digest]:
+        return iter(list(self._index.keys()))
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def total_bytes(self) -> int:
+        # Report logical node bytes (framing and digest overhead excluded),
+        # consistent with the in-memory store.
+        return sum(len(self.get_bytes(d)) for d in self._index.keys())
+
+    def close(self) -> None:
+        """No-op for API symmetry; files are opened per operation."""
+
+    def flush(self) -> None:
+        """No-op: every put is written through immediately."""

@@ -1,0 +1,67 @@
+"""Dictionary-backed in-memory node store.
+
+This is the default store used throughout the tests, examples and
+benchmarks.  It keeps every node in a Python ``dict`` keyed by digest,
+which makes deduplication trivially visible: ``len(store)`` is exactly the
+number of *unique* nodes across every index version sharing the store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.core.errors import NodeNotFoundError
+from repro.hashing.digest import Digest, HashFunction
+from repro.storage.store import NodeStore
+
+
+class InMemoryNodeStore(NodeStore):
+    """A content-addressed node store held entirely in memory."""
+
+    def __init__(self, hash_function: Optional[HashFunction] = None, verify_on_read: bool = False):
+        super().__init__(hash_function=hash_function, verify_on_read=verify_on_read)
+        self._nodes: Dict[Digest, bytes] = {}
+
+    def put_bytes(self, digest: Digest, data: bytes) -> bool:
+        if digest in self._nodes:
+            return False
+        self._nodes[digest] = bytes(data)
+        return True
+
+    def get_bytes(self, digest: Digest) -> bytes:
+        try:
+            return self._nodes[digest]
+        except KeyError:
+            raise NodeNotFoundError(digest) from None
+
+    def contains(self, digest: Digest) -> bool:
+        return digest in self._nodes
+
+    def digests(self) -> Iterator[Digest]:
+        return iter(list(self._nodes.keys()))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def total_bytes(self) -> int:
+        return sum(len(v) for v in self._nodes.values())
+
+    def delete(self, digest: Digest) -> bool:
+        """Remove a node (used by garbage collection); returns True if present."""
+        return self._nodes.pop(digest, None) is not None
+
+    def clear(self) -> None:
+        """Drop every stored node and reset statistics."""
+        self._nodes.clear()
+        self.stats.reset()
+
+    def corrupt(self, digest: Digest, data: bytes) -> None:
+        """Overwrite the bytes of a stored node *without* re-hashing.
+
+        Only used by tests and the tamper-detection example to simulate
+        malicious modification of the underlying storage; a subsequent
+        verified read or proof check must detect the mismatch.
+        """
+        if digest not in self._nodes:
+            raise NodeNotFoundError(digest)
+        self._nodes[digest] = bytes(data)

@@ -1,0 +1,92 @@
+"""A pass-through node store that meters access latency and volume.
+
+The benchmark harness needs two things the plain stores do not provide:
+
+* per-operation latency accounting that can include a *simulated* network
+  round-trip cost (the Forkbase client/server and Noms experiments add a
+  fixed per-request delay instead of real sockets), and
+* counters split by direction (gets vs puts, bytes in vs out).
+
+:class:`MeteredNodeStore` wraps any other store and adds both.  The
+simulated latency is accounted, not slept, so benchmarks remain fast while
+still letting the harness report remote-access-dominated read costs the
+way the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.hashing.digest import Digest
+from repro.storage.store import NodeStore
+
+
+class MeteredNodeStore(NodeStore):
+    """Wrap a store, counting operations and accumulating simulated cost.
+
+    Parameters
+    ----------
+    backing:
+        The underlying node store.
+    get_cost_seconds / put_cost_seconds:
+        Simulated per-operation overhead added to :attr:`simulated_seconds`
+        (e.g. a network round trip).  Defaults to zero (pure counting).
+    per_byte_cost_seconds:
+        Additional simulated cost per byte transferred, modelling limited
+        bandwidth (used by the Figure 1 motivation experiment).
+    """
+
+    def __init__(
+        self,
+        backing: NodeStore,
+        get_cost_seconds: float = 0.0,
+        put_cost_seconds: float = 0.0,
+        per_byte_cost_seconds: float = 0.0,
+    ):
+        super().__init__(hash_function=backing.hash_function, verify_on_read=False)
+        self.backing = backing
+        self.get_cost_seconds = get_cost_seconds
+        self.put_cost_seconds = put_cost_seconds
+        self.per_byte_cost_seconds = per_byte_cost_seconds
+        self.simulated_seconds = 0.0
+        self.get_count = 0
+        self.put_count = 0
+        self.bytes_fetched = 0
+        self.bytes_stored = 0
+
+    def reset_meters(self) -> None:
+        """Zero every meter (does not touch stored data)."""
+        self.simulated_seconds = 0.0
+        self.get_count = 0
+        self.put_count = 0
+        self.bytes_fetched = 0
+        self.bytes_stored = 0
+
+    # -- NodeStore primitives ----------------------------------------------
+
+    def put_bytes(self, digest: Digest, data: bytes) -> bool:
+        is_new = self.backing.put_bytes(digest, data)
+        self.put_count += 1
+        if is_new:
+            self.bytes_stored += len(data)
+            self.simulated_seconds += self.put_cost_seconds + len(data) * self.per_byte_cost_seconds
+        return is_new
+
+    def get_bytes(self, digest: Digest) -> bytes:
+        data = self.backing.get_bytes(digest)
+        self.get_count += 1
+        self.bytes_fetched += len(data)
+        self.simulated_seconds += self.get_cost_seconds + len(data) * self.per_byte_cost_seconds
+        return data
+
+    def contains(self, digest: Digest) -> bool:
+        return self.backing.contains(digest)
+
+    def digests(self) -> Iterator[Digest]:
+        return self.backing.digests()
+
+    def __len__(self) -> int:
+        return len(self.backing)
+
+    def total_bytes(self) -> int:
+        return self.backing.total_bytes()

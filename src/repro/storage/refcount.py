@@ -1,0 +1,122 @@
+"""Reference counting and garbage collection of unreachable nodes.
+
+Immutable indexes never delete nodes in place, but real deployments still
+need to reclaim space once *versions* are dropped (e.g. retention policies
+on old snapshots).  Because nodes are shared between versions, a node can
+only be reclaimed when no retained version references it.
+
+:class:`RefCountingNodeStore` tracks, per root digest, the set of nodes
+reachable from that root (the index registers reachable sets when a
+version is committed) and deletes nodes whose reference count drops to
+zero when a root is released.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Set
+
+from repro.core.errors import NodeNotFoundError
+from repro.hashing.digest import Digest
+from repro.storage.memory import InMemoryNodeStore
+from repro.storage.store import NodeStore
+
+
+class RefCountingNodeStore(NodeStore):
+    """A node store with per-version reference counting.
+
+    The store delegates all byte storage to ``backing`` (an in-memory
+    store by default) and layers a root → reachable-node registry on top.
+
+    Typical lifecycle::
+
+        store = RefCountingNodeStore()
+        tree = POSTree(store)
+        snap = tree.insert_batch(...)
+        store.pin(snap.root_digest, snap.reachable_digests())
+        ...
+        store.release(snap.root_digest)   # may free nodes
+    """
+
+    def __init__(self, backing: Optional[NodeStore] = None):
+        # Note: an empty store is falsy (len() == 0), so test identity, not truth.
+        backing = backing if backing is not None else InMemoryNodeStore()
+        super().__init__(hash_function=backing.hash_function, verify_on_read=False)
+        self.backing = backing
+        self._refcounts: Dict[Digest, int] = {}
+        self._pinned_roots: Dict[Digest, Set[Digest]] = {}
+
+    # -- pinning ------------------------------------------------------------
+
+    def pin(self, root: Digest, reachable: Iterable[Digest]) -> None:
+        """Register a version root and the set of nodes reachable from it."""
+        if root in self._pinned_roots:
+            return
+        reachable_set = set(reachable)
+        self._pinned_roots[root] = reachable_set
+        for digest in reachable_set:
+            self._refcounts[digest] = self._refcounts.get(digest, 0) + 1
+
+    def release(self, root: Digest) -> int:
+        """Unpin a version root; garbage collect nodes with zero references.
+
+        Returns the number of nodes physically deleted.
+        """
+        reachable = self._pinned_roots.pop(root, None)
+        if reachable is None:
+            return 0
+        deleted = 0
+        for digest in reachable:
+            count = self._refcounts.get(digest, 0) - 1
+            if count <= 0:
+                self._refcounts.pop(digest, None)
+                if self._delete_from_backing(digest):
+                    deleted += 1
+            else:
+                self._refcounts[digest] = count
+        return deleted
+
+    def _delete_from_backing(self, digest: Digest) -> bool:
+        delete = getattr(self.backing, "delete", None)
+        if delete is None:
+            return False
+        return bool(delete(digest))
+
+    def pinned_roots(self):
+        """The currently pinned version roots."""
+        return list(self._pinned_roots.keys())
+
+    def reference_count(self, digest: Digest) -> int:
+        """How many pinned versions reference this node."""
+        return self._refcounts.get(digest, 0)
+
+    def unreferenced_digests(self):
+        """Digests present in the backing store but not referenced by any pin."""
+        return [d for d in self.backing.digests() if d not in self._refcounts]
+
+    def collect_garbage(self) -> int:
+        """Delete every node not reachable from any pinned root."""
+        deleted = 0
+        for digest in self.unreferenced_digests():
+            if self._delete_from_backing(digest):
+                deleted += 1
+        return deleted
+
+    # -- NodeStore primitives -------------------------------------------------
+
+    def put_bytes(self, digest: Digest, data: bytes) -> bool:
+        return self.backing.put_bytes(digest, data)
+
+    def get_bytes(self, digest: Digest) -> bytes:
+        return self.backing.get_bytes(digest)
+
+    def contains(self, digest: Digest) -> bool:
+        return self.backing.contains(digest)
+
+    def digests(self) -> Iterator[Digest]:
+        return self.backing.digests()
+
+    def __len__(self) -> int:
+        return len(self.backing)
+
+    def total_bytes(self) -> int:
+        return self.backing.total_bytes()

@@ -1,0 +1,158 @@
+"""Abstract node-store interface and shared storage statistics.
+
+A node store is the only stateful component under a SIRI index.  It maps a
+:class:`~repro.hashing.digest.Digest` to the canonical bytes of one node
+and is *content addressed*: the digest of the bytes is the key, so the
+store can always verify integrity by re-hashing, and identical nodes are
+stored once regardless of how many index versions reference them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.core.errors import CorruptNodeError, NodeNotFoundError
+from repro.hashing.digest import Digest, HashFunction, default_hash_function
+
+
+@dataclass
+class StoreStats:
+    """Operation counters maintained by node stores.
+
+    These counters drive the paper's storage figures (number of nodes,
+    bytes stored) and are also used by the benchmark harness to report
+    logical vs physical byte counts.
+    """
+
+    puts: int = 0
+    gets: int = 0
+    hits: int = 0
+    misses: int = 0
+    duplicate_puts: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+    def merge(self, other: "StoreStats") -> "StoreStats":
+        """Return a new :class:`StoreStats` summing self and ``other``."""
+        return StoreStats(
+            puts=self.puts + other.puts,
+            gets=self.gets + other.gets,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            duplicate_puts=self.duplicate_puts + other.duplicate_puts,
+            bytes_written=self.bytes_written + other.bytes_written,
+            bytes_read=self.bytes_read + other.bytes_read,
+        )
+
+    def reset(self) -> None:
+        """Zero all counters in place."""
+        self.puts = 0
+        self.gets = 0
+        self.hits = 0
+        self.misses = 0
+        self.duplicate_puts = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+
+class NodeStore:
+    """Interface of a content-addressed node store.
+
+    Concrete stores must implement :meth:`put_bytes`, :meth:`get_bytes`,
+    :meth:`contains`, :meth:`digests` and :meth:`__len__`.  The base class
+    provides digest computation, integrity verification, and aggregate
+    size helpers on top of those primitives.
+    """
+
+    def __init__(self, hash_function: Optional[HashFunction] = None, verify_on_read: bool = False):
+        self.hash_function = hash_function or default_hash_function()
+        self.verify_on_read = verify_on_read
+        self.stats = StoreStats()
+
+    # -- primitives every concrete store implements ----------------------
+
+    def put_bytes(self, digest: Digest, data: bytes) -> bool:
+        """Store ``data`` under ``digest``; return True if it was new."""
+        raise NotImplementedError
+
+    def get_bytes(self, digest: Digest) -> bytes:
+        """Fetch the bytes stored under ``digest``.
+
+        Raises :class:`NodeNotFoundError` when the digest is unknown.
+        """
+        raise NotImplementedError
+
+    def contains(self, digest: Digest) -> bool:
+        """Whether the store holds a node with this digest."""
+        raise NotImplementedError
+
+    def digests(self) -> Iterator[Digest]:
+        """Iterate over all stored digests."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    # -- shared convenience API ------------------------------------------
+
+    def put(self, data: bytes) -> Digest:
+        """Hash ``data``, store it, and return its digest.
+
+        This is the write path used by every index: the node's canonical
+        serialization is hashed and filed under that digest, so a
+        duplicate node (same bytes) is detected here and not stored again.
+        """
+        digest = self.hash_function.hash(data)
+        is_new = self.put_bytes(digest, data)
+        self.stats.puts += 1
+        if is_new:
+            self.stats.bytes_written += len(data)
+        else:
+            self.stats.duplicate_puts += 1
+        return digest
+
+    def get(self, digest: Digest) -> bytes:
+        """Fetch node bytes, optionally verifying them against the digest."""
+        data = self.get_bytes(digest)
+        self.stats.gets += 1
+        self.stats.bytes_read += len(data)
+        if self.verify_on_read:
+            actual = self.hash_function.hash(data)
+            if actual != digest:
+                raise CorruptNodeError(digest)
+        return data
+
+    def verify(self, digest: Digest) -> bool:
+        """Re-hash the stored bytes and compare with the digest."""
+        data = self.get_bytes(digest)
+        return self.hash_function.hash(data) == digest
+
+    def verify_all(self) -> Tuple[int, list]:
+        """Verify every stored node; return (checked_count, corrupt_digests)."""
+        corrupt = []
+        checked = 0
+        for digest in list(self.digests()):
+            checked += 1
+            if not self.verify(digest):
+                corrupt.append(digest)
+        return checked, corrupt
+
+    def __contains__(self, digest: Digest) -> bool:
+        return self.contains(digest)
+
+    def total_bytes(self) -> int:
+        """Total physical bytes stored (each unique node counted once)."""
+        return sum(len(self.get_bytes(d)) for d in self.digests())
+
+    def node_count(self) -> int:
+        """Number of unique nodes stored."""
+        return len(self)
+
+    def size_of(self, digest: Digest) -> int:
+        """Byte size of one stored node."""
+        return len(self.get_bytes(digest))
+
+    def missing(self, digests: Iterable[Digest]) -> list:
+        """Return the subset of ``digests`` the store does not hold."""
+        return [d for d in digests if not self.contains(d)]

@@ -1,0 +1,36 @@
+"""Workload and dataset generators used by the evaluation (Section 5.1).
+
+* :mod:`repro.workloads.distributions` — uniform and Zipfian request
+  distributions (YCSB-style, with the paper's θ ∈ {0, 0.5, 0.9}).
+* :mod:`repro.workloads.ycsb` — the synthetic YCSB key-value dataset and
+  read/write/mixed operation streams (Table 2 parameters).
+* :mod:`repro.workloads.wiki` — a synthetic stand-in for the Wikipedia
+  abstract dumps: URL-like keys and abstract-like values with the paper's
+  length statistics, delivered as a stream of dataset versions.
+* :mod:`repro.workloads.ethereum` — synthetic RLP-encoded transactions
+  grouped into blocks, matching the paper's Ethereum workload shape.
+* :mod:`repro.workloads.collaboration` — multi-group workloads with a
+  controlled key/value overlap ratio for the deduplication experiments.
+"""
+
+from repro.workloads.distributions import UniformKeyChooser, ZipfianKeyChooser, make_chooser
+from repro.workloads.ycsb import Operation, YCSBConfig, YCSBWorkload
+from repro.workloads.wiki import WikiDatasetGenerator, WikiVersion
+from repro.workloads.ethereum import Block, EthereumDatasetGenerator, Transaction
+from repro.workloads.collaboration import CollaborationWorkload, batched
+
+__all__ = [
+    "UniformKeyChooser",
+    "ZipfianKeyChooser",
+    "make_chooser",
+    "Operation",
+    "YCSBConfig",
+    "YCSBWorkload",
+    "WikiDatasetGenerator",
+    "WikiVersion",
+    "EthereumDatasetGenerator",
+    "Transaction",
+    "Block",
+    "CollaborationWorkload",
+    "batched",
+]

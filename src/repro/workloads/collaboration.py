@@ -1,0 +1,117 @@
+"""Multi-group collaboration workloads with controlled overlap (Section 5.4.2).
+
+The paper's deduplication experiments simulate several groups of users who
+start from the *same* base dataset and then apply their own workloads.  A
+parameter called the *overlap ratio* controls what fraction of the groups'
+updates are identical (same key and same value) across groups — the higher
+the overlap, the more page sharing a SIRI index can exploit.
+
+:class:`CollaborationWorkload` reproduces that setup: a shared base
+dataset, ``group_count`` per-group update streams of ``operations_per_group``
+records each, where ``overlap_ratio`` of the records are drawn from a
+common pool shared by every group and the rest are group-private.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+
+def batched(items: Sequence[Tuple[bytes, bytes]], batch_size: int) -> Iterator[Dict[bytes, bytes]]:
+    """Split a record sequence into update batches of ``batch_size``."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    batch: Dict[bytes, bytes] = {}
+    for key, value in items:
+        batch[key] = value
+        if len(batch) >= batch_size:
+            yield batch
+            batch = {}
+    if batch:
+        yield batch
+
+
+@dataclass
+class CollaborationWorkload:
+    """Shared-base, multi-group workload with a configurable overlap ratio.
+
+    Parameters
+    ----------
+    base_records:
+        Number of records every group starts from (identical across groups).
+    group_count:
+        Number of collaborating groups (the paper uses 10).
+    operations_per_group:
+        Number of records each group writes on top of the base.
+    overlap_ratio:
+        Fraction of each group's writes drawn from the shared pool
+        (identical key *and* value across groups); the rest are private.
+    batch_size:
+        Update batch size used when applying a group's workload.
+    seed:
+        Determinism seed.
+    """
+
+    base_records: int = 4_000
+    group_count: int = 10
+    operations_per_group: int = 16_000
+    overlap_ratio: float = 0.5
+    batch_size: int = 4_000
+    seed: int = 13
+
+    def __post_init__(self):
+        if not 0.0 <= self.overlap_ratio <= 1.0:
+            raise ValueError("overlap_ratio must be within [0, 1]")
+        self._ycsb = YCSBWorkload(
+            YCSBConfig(record_count=self.base_records, seed=self.seed, batch_size=self.batch_size)
+        )
+
+    # -- base dataset -----------------------------------------------------------
+
+    def base_dataset(self) -> Dict[bytes, bytes]:
+        """The dataset every group initializes with."""
+        return self._ycsb.initial_dataset()
+
+    # -- per-group workloads ------------------------------------------------------
+
+    def _shared_record(self, serial: int) -> Tuple[bytes, bytes]:
+        """A record from the shared pool: identical for every group."""
+        rng = random.Random((self.seed << 8) ^ serial)
+        key = f"shared{serial:08d}".encode("ascii")
+        value = rng.getrandbits(64).to_bytes(8, "big") * 32
+        return key, value
+
+    def _private_record(self, group: int, serial: int) -> Tuple[bytes, bytes]:
+        """A record private to one group (never collides across groups)."""
+        rng = random.Random((self.seed << 12) ^ (group << 24) ^ serial)
+        key = f"group{group:02d}-{serial:08d}".encode("ascii")
+        value = rng.getrandbits(64).to_bytes(8, "big") * 32
+        return key, value
+
+    def group_records(self, group: int) -> List[Tuple[bytes, bytes]]:
+        """The records group ``group`` writes, in application order."""
+        rng = random.Random(self.seed + 100 + group)
+        records: List[Tuple[bytes, bytes]] = []
+        shared_serial = 0
+        private_serial = 0
+        for _ in range(self.operations_per_group):
+            if rng.random() < self.overlap_ratio:
+                records.append(self._shared_record(shared_serial))
+                shared_serial += 1
+            else:
+                records.append(self._private_record(group, private_serial))
+                private_serial += 1
+        return records
+
+    def group_batches(self, group: int) -> Iterator[Dict[bytes, bytes]]:
+        """Group ``group``'s records as update batches of ``batch_size``."""
+        return batched(self.group_records(group), self.batch_size)
+
+    def all_groups(self) -> Iterator[Tuple[int, Iterator[Dict[bytes, bytes]]]]:
+        """Iterate ``(group number, its batch stream)`` for every group."""
+        for group in range(self.group_count):
+            yield group, self.group_batches(group)

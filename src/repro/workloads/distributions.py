@@ -1,0 +1,107 @@
+"""Request distributions for workload generation.
+
+The paper's YCSB workloads select request keys either uniformly (θ = 0) or
+with a Zipfian skew (θ = 0.5 or 0.9), where a higher θ concentrates the
+requests on a smaller set of hot records.  The Zipfian generator below
+follows the standard YCSB/Gray et al. construction: it draws ranks from a
+Zipf distribution with exponent θ using the precomputed generalized
+harmonic number ζ(n, θ), then scatters the ranks over the key space with a
+hash so the hot keys are not clustered at one end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Optional
+
+
+class UniformKeyChooser:
+    """Selects key indexes uniformly at random from ``[0, population)``."""
+
+    def __init__(self, population: int, seed: int = 0):
+        if population <= 0:
+            raise ValueError("population must be positive")
+        self.population = population
+        self._rng = random.Random(seed)
+
+    def next_index(self) -> int:
+        """The index of the next requested record."""
+        return self._rng.randrange(self.population)
+
+    @property
+    def theta(self) -> float:
+        return 0.0
+
+
+class ZipfianKeyChooser:
+    """YCSB-style scrambled Zipfian selection over ``[0, population)``.
+
+    Parameters
+    ----------
+    population:
+        Number of records to choose from.
+    theta:
+        Skew parameter; 0 degenerates to uniform, 0.99 is heavily skewed.
+    seed:
+        Seed for the underlying pseudo-random generator.
+    scramble:
+        When True (default), ranks are scattered over the key space with a
+        hash so that popular keys are spread out — the behaviour of YCSB's
+        ``ScrambledZipfianGenerator``.
+    """
+
+    def __init__(self, population: int, theta: float = 0.99, seed: int = 0, scramble: bool = True):
+        if population <= 0:
+            raise ValueError("population must be positive")
+        if not 0.0 <= theta < 1.0:
+            raise ValueError("theta must be in [0, 1)")
+        self.population = population
+        self.theta = theta
+        self.scramble = scramble
+        self._rng = random.Random(seed)
+        self._zetan = self._zeta(population, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta) if theta > 0 else 1.0
+        self._eta = self._compute_eta()
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        """Generalized harmonic number ζ(n, θ) = Σ_{i=1..n} 1 / i^θ."""
+        return sum(1.0 / math.pow(i, theta) for i in range(1, n + 1))
+
+    def _compute_eta(self) -> float:
+        if self.theta == 0:
+            return 0.0
+        return (1.0 - math.pow(2.0 / self.population, 1.0 - self.theta)) / (
+            1.0 - self._zeta2 / self._zetan
+        )
+
+    def _zipf_rank(self) -> int:
+        """Draw a rank in [0, population) with Zipf(θ) probability."""
+        if self.theta == 0:
+            return self._rng.randrange(self.population)
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + math.pow(0.5, self.theta):
+            return 1
+        rank = int(self.population * math.pow(self._eta * u - self._eta + 1.0, self._alpha))
+        return min(rank, self.population - 1)
+
+    def next_index(self) -> int:
+        """The index of the next requested record."""
+        rank = self._zipf_rank()
+        if not self.scramble:
+            return rank
+        scattered = hashlib.blake2b(rank.to_bytes(8, "big"), digest_size=8).digest()
+        return int.from_bytes(scattered, "big") % self.population
+
+
+def make_chooser(population: int, theta: float = 0.0, seed: int = 0):
+    """Build the appropriate chooser for a skew parameter θ."""
+    if theta <= 0.0:
+        return UniformKeyChooser(population, seed=seed)
+    return ZipfianKeyChooser(population, theta=theta, seed=seed)

@@ -1,0 +1,147 @@
+"""Synthetic Wikipedia-abstract dataset (stand-in for the paper's WIKI dumps).
+
+The paper uses real Wikipedia page-abstract dumps: the key is the page URL
+(31–298 bytes, average ≈ 50) and the value is the abstract text (1–1036
+bytes, average ≈ 96), split into 300 versions covering three months of
+edits.  The dumps themselves are not redistributable at laptop scale, so
+this module generates a synthetic dataset matching those key/value length
+statistics and edit dynamics:
+
+* URL-shaped keys (``https://en.wikipedia.org/wiki/<Title>``) whose title
+  lengths follow a long-tailed distribution bounded to the paper's range;
+* abstract-shaped values built from a word pool, lengths drawn from a
+  truncated geometric-like distribution with the paper's mean;
+* an edit stream where each version modifies a subset of pages and adds a
+  few new ones, so consecutive versions overlap heavily (which is what the
+  storage experiments exercise).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+_WORDS = (
+    "data index structure immutable version merkle tree hash block chain "
+    "storage system analysis query update record page node dedup ledger "
+    "history branch merge commit abstract article page reference study "
+    "model theory result evaluation performance experiment measure ratio"
+).split()
+
+
+@dataclass
+class WikiVersion:
+    """One dataset version: the records changed relative to the previous one."""
+
+    number: int
+    changes: Dict[bytes, bytes]
+
+
+class WikiDatasetGenerator:
+    """Generates the synthetic WIKI dataset and its version stream.
+
+    Parameters
+    ----------
+    page_count:
+        Number of pages in the initial version.
+    versions:
+        Number of versions to generate after the initial load.
+    edits_per_version:
+        How many existing pages each version modifies.
+    new_pages_per_version:
+        How many new pages each version adds.
+    seed:
+        Determinism seed.
+    """
+
+    URL_PREFIX = "https://en.wikipedia.org/wiki/"
+
+    def __init__(
+        self,
+        page_count: int = 2_000,
+        versions: int = 20,
+        edits_per_version: int = 100,
+        new_pages_per_version: int = 10,
+        seed: int = 7,
+    ):
+        if page_count <= 0:
+            raise ValueError("page_count must be positive")
+        self.page_count = page_count
+        self.versions = versions
+        self.edits_per_version = edits_per_version
+        self.new_pages_per_version = new_pages_per_version
+        self.seed = seed
+        self._keys: Optional[List[bytes]] = None
+
+    # -- key/value synthesis -------------------------------------------------
+
+    def _make_title(self, rng: random.Random) -> str:
+        word_count = max(1, min(12, int(rng.expovariate(1 / 2.0)) + 1))
+        words = [rng.choice(_WORDS).capitalize() for _ in range(word_count)]
+        return "_".join(words) + f"_{rng.randrange(10**6)}"
+
+    def _make_key(self, index: int) -> bytes:
+        rng = random.Random((self.seed << 16) ^ index)
+        url = self.URL_PREFIX + self._make_title(rng)
+        # Bound to the paper's observed key length range (31..298 bytes).
+        return url.encode("utf-8")[:298]
+
+    def _make_value(self, index: int, revision: int = 0) -> bytes:
+        rng = random.Random((self.seed << 20) ^ (index << 6) ^ revision)
+        # Abstract lengths: 1..1036 bytes, mean ≈ 96.
+        target = max(1, min(1036, int(rng.expovariate(1 / 96.0)) + 1))
+        words: List[str] = []
+        length = 0
+        while length < target:
+            word = rng.choice(_WORDS)
+            words.append(word)
+            length += len(word) + 1
+        return " ".join(words).encode("utf-8")[:1036]
+
+    @property
+    def keys(self) -> List[bytes]:
+        if self._keys is None:
+            self._keys = [self._make_key(i) for i in range(self.page_count)]
+        return self._keys
+
+    # -- dataset and version stream -----------------------------------------------
+
+    def initial_dataset(self) -> Dict[bytes, bytes]:
+        """The initial version (all pages at revision 0)."""
+        return {key: self._make_value(i) for i, key in enumerate(self.keys)}
+
+    def version_stream(self) -> Iterator[WikiVersion]:
+        """Per-version change sets (edits of existing pages + new pages)."""
+        rng = random.Random(self.seed + 1)
+        next_new = self.page_count
+        for number in range(1, self.versions + 1):
+            changes: Dict[bytes, bytes] = {}
+            edited = rng.sample(range(self.page_count), min(self.edits_per_version, self.page_count))
+            for index in edited:
+                changes[self.keys[index]] = self._make_value(index, revision=number)
+            for _ in range(self.new_pages_per_version):
+                key = self._make_key(next_new)
+                changes[key] = self._make_value(next_new, revision=number)
+                next_new += 1
+            yield WikiVersion(number=number, changes=changes)
+
+    def read_keys(self, count: int, seed_offset: int = 2) -> List[bytes]:
+        """Uniformly selected keys for the read workload."""
+        rng = random.Random(self.seed + seed_offset)
+        return [self.keys[rng.randrange(self.page_count)] for _ in range(count)]
+
+    def statistics(self) -> Dict[str, float]:
+        """Key/value length statistics of the generated dataset (for reports)."""
+        dataset = self.initial_dataset()
+        key_lengths = [len(k) for k in dataset]
+        value_lengths = [len(v) for v in dataset.values()]
+        return {
+            "pages": float(len(dataset)),
+            "key_len_min": float(min(key_lengths)),
+            "key_len_avg": sum(key_lengths) / len(key_lengths),
+            "key_len_max": float(max(key_lengths)),
+            "value_len_min": float(min(value_lengths)),
+            "value_len_avg": sum(value_lengths) / len(value_lengths),
+            "value_len_max": float(max(value_lengths)),
+        }

@@ -1,0 +1,203 @@
+"""Synthetic YCSB-style key-value dataset and operation streams (Section 5.1.1).
+
+The paper's primary micro-benchmark dataset follows YCSB conventions:
+
+* keys of 5–15 bytes,
+* values with an average length of 256 bytes,
+* dataset sizes from 10 000 to 2 560 000 records,
+* read-only, write-only and 50 %-write mixed operation streams,
+* request skew controlled by a Zipfian θ ∈ {0, 0.5, 0.9},
+* batched execution with batch sizes from 1 000 to 16 000 (Table 2).
+
+All generation is deterministic given the seed, so experiments are
+repeatable and two indexes fed the same workload see exactly the same byte
+sequences.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.workloads.distributions import make_chooser
+
+READ = "read"
+WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One workload operation: a read of ``key`` or a write of ``key = value``."""
+
+    kind: str
+    key: bytes
+    value: Optional[bytes] = None
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == WRITE
+
+
+@dataclass
+class YCSBConfig:
+    """Parameters of a YCSB-style workload run (the paper's Table 2 grid)."""
+
+    record_count: int = 10_000
+    operation_count: int = 10_000
+    write_ratio: float = 0.0
+    theta: float = 0.0
+    batch_size: int = 4_000
+    key_length_min: int = 5
+    key_length_max: int = 15
+    value_length_mean: int = 256
+    value_length_spread: int = 64
+    seed: int = 42
+
+    def __post_init__(self):
+        if self.record_count <= 0:
+            raise ValueError("record_count must be positive")
+        if not 0.0 <= self.write_ratio <= 1.0:
+            raise ValueError("write_ratio must be within [0, 1]")
+        if self.key_length_min < 5 or self.key_length_max < self.key_length_min:
+            raise ValueError("invalid key length range")
+
+
+class YCSBWorkload:
+    """Generates the dataset and operation stream for one YCSB configuration."""
+
+    def __init__(self, config: Optional[YCSBConfig] = None, **overrides):
+        if config is None:
+            config = YCSBConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config object or keyword overrides, not both")
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._keys: Optional[List[bytes]] = None
+
+    # -- dataset -----------------------------------------------------------
+
+    _KEY_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+    def _index_token(self, index: int) -> str:
+        """A fixed-width base-36 rendering of the record index.
+
+        The fixed width guarantees that no key is a prefix of another and
+        that keys never collide, regardless of the random suffix length.
+        """
+        width = max(3, len(self._to_base36(max(1, self.config.record_count - 1))))
+        return self._to_base36(index).rjust(width, "0")
+
+    @staticmethod
+    def _to_base36(value: int) -> str:
+        alphabet = "0123456789abcdefghijklmnopqrstuvwxyz"
+        if value == 0:
+            return "0"
+        digits = []
+        while value:
+            value, remainder = divmod(value, 36)
+            digits.append(alphabet[remainder])
+        return "".join(reversed(digits))
+
+    def _make_key(self, index: int) -> bytes:
+        """A deterministic, collision-free key within the configured length range.
+
+        Keys embed a fixed-width base-36 record index (uniqueness) padded
+        with a pseudo-random alphanumeric suffix whose length varies per
+        record to realize the 5–15 byte key length distribution.
+        """
+        config = self.config
+        rng = random.Random((config.seed << 20) ^ index)
+        length = rng.randint(config.key_length_min, config.key_length_max)
+        prefix = "u" + self._index_token(index)
+        if len(prefix) >= length:
+            return prefix.encode("ascii")
+        suffix = "".join(rng.choice(self._KEY_ALPHABET) for _ in range(length - len(prefix)))
+        return (prefix + suffix).encode("ascii")
+
+    def _make_value(self, index: int, revision: int = 0) -> bytes:
+        """A deterministic value of roughly the configured mean length."""
+        config = self.config
+        rng = random.Random((config.seed << 24) ^ (index << 4) ^ revision)
+        spread = config.value_length_spread
+        length = max(1, config.value_length_mean + rng.randint(-spread, spread))
+        block = rng.getrandbits(64).to_bytes(8, "big")
+        value = (block * ((length // 8) + 1))[:length]
+        return value
+
+    @property
+    def keys(self) -> List[bytes]:
+        """The dataset's keys, generated once and cached."""
+        if self._keys is None:
+            self._keys = [self._make_key(i) for i in range(self.config.record_count)]
+        return self._keys
+
+    def initial_dataset(self) -> Dict[bytes, bytes]:
+        """The full initial record set (revision 0 of every key)."""
+        return {key: self._make_value(i) for i, key in enumerate(self.keys)}
+
+    def load_batches(self) -> Iterator[Dict[bytes, bytes]]:
+        """The initial dataset split into load batches of ``batch_size``."""
+        batch: Dict[bytes, bytes] = {}
+        for i, key in enumerate(self.keys):
+            batch[key] = self._make_value(i)
+            if len(batch) >= self.config.batch_size:
+                yield batch
+                batch = {}
+        if batch:
+            yield batch
+
+    # -- operations -----------------------------------------------------------
+
+    def operations(self, operation_count: Optional[int] = None) -> Iterator[Operation]:
+        """The request stream: reads and writes over the loaded dataset."""
+        config = self.config
+        count = operation_count if operation_count is not None else config.operation_count
+        chooser = make_chooser(config.record_count, theta=config.theta, seed=config.seed + 1)
+        op_rng = random.Random(config.seed + 2)
+        keys = self.keys
+        for serial in range(count):
+            index = chooser.next_index()
+            key = keys[index]
+            if op_rng.random() < config.write_ratio:
+                yield Operation(WRITE, key, self._make_value(index, revision=serial + 1))
+            else:
+                yield Operation(READ, key)
+
+    def operation_batches(self, operation_count: Optional[int] = None) -> Iterator[List[Operation]]:
+        """Operations grouped into batches of ``batch_size`` (write batching)."""
+        batch: List[Operation] = []
+        for operation in self.operations(operation_count):
+            batch.append(operation)
+            if len(batch) >= self.config.batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    # -- version streams for storage experiments ---------------------------------
+
+    def version_stream(self, versions: int, updates_per_version: int,
+                       insert_ratio: float = 0.0) -> Iterator[Dict[bytes, bytes]]:
+        """Yield per-version update batches for the storage/dedup experiments.
+
+        Each version updates ``updates_per_version`` records chosen by the
+        configured distribution; a fraction ``insert_ratio`` of them are
+        brand new keys (appended to the key space), matching the paper's
+        continuous differential model of Section 4.2.2.
+        """
+        chooser = make_chooser(self.config.record_count, theta=self.config.theta,
+                               seed=self.config.seed + 3)
+        rng = random.Random(self.config.seed + 4)
+        next_new_index = self.config.record_count
+        for version in range(1, versions + 1):
+            batch: Dict[bytes, bytes] = {}
+            while len(batch) < updates_per_version:
+                if rng.random() < insert_ratio:
+                    key = self._make_key(next_new_index)
+                    batch[key] = self._make_value(next_new_index, revision=version)
+                    next_new_index += 1
+                else:
+                    index = chooser.next_index()
+                    batch[self.keys[index]] = self._make_value(index, revision=version)
+            yield batch

@@ -1,0 +1,104 @@
+"""Tests validating the Section-4 cost models against the implementations."""
+
+import pytest
+
+from repro.analysis.bounds import (
+    mbt_cost_model,
+    mbt_lookup_cost,
+    mbt_update_cost,
+    mpt_cost_model,
+    mpt_lookup_cost,
+    mvmbt_cost_model,
+    pos_lookup_cost,
+    pos_tree_cost_model,
+    predicted_deduplication_ratio,
+)
+from repro.indexes import MerkleBucketTree, POSTree
+from repro.storage.memory import InMemoryNodeStore
+
+
+class TestFormulaShapes:
+    def test_mpt_lookup_dominated_by_key_length(self):
+        """For realistic key lengths L > log_m N, the bound is O(L)."""
+        assert mpt_lookup_cost(10**6, key_length_nibbles=64) == 64
+        # When the key is shorter than log_m N, the tree-height term dominates.
+        assert mpt_lookup_cost(10**9, key_length_nibbles=4) > 4
+
+    def test_mbt_lookup_grows_with_n_over_b(self):
+        small = mbt_lookup_cost(10_000, buckets=1_000, fanout=4)
+        large = mbt_lookup_cost(1_000_000, buckets=1_000, fanout=4)
+        assert large > small
+
+    def test_mbt_update_linear_in_bucket_size(self):
+        cost_1x = mbt_update_cost(100_000, buckets=1_000, fanout=4)
+        cost_10x = mbt_update_cost(1_000_000, buckets=1_000, fanout=4)
+        assert cost_10x / cost_1x > 5  # dominated by the N/B term
+
+    def test_pos_lookup_logarithmic(self):
+        assert pos_lookup_cost(16**4, fanout=16) == pytest.approx(4)
+        assert pos_lookup_cost(16**6, fanout=16) == pytest.approx(6)
+
+    def test_mbt_loses_to_pos_once_buckets_saturate(self):
+        """The crossover the paper describes: MBT's lookup/update cost keeps
+        growing with N at fixed B, while POS-Tree's grows only
+        logarithmically, so MBT eventually loses."""
+        pos = pos_tree_cost_model(fanout=16)
+        mbt = mbt_cost_model(buckets=1_000, fanout=4)
+        mbt_growth = mbt.lookup(10_000_000) - mbt.lookup(10_000)
+        pos_growth = pos.lookup(10_000_000) - pos.lookup(10_000)
+        assert mbt_growth > pos_growth
+        assert mbt.update(1_000_000) > pos.update(1_000_000)
+
+    def test_diff_costs_scale_with_delta(self):
+        for model in (mpt_cost_model(), mbt_cost_model(), pos_tree_cost_model(), mvmbt_cost_model()):
+            assert model.diff(10**5, 10) < model.diff(10**5, 1000)
+            assert model.merge(10**5, 10) == model.diff(10**5, 10)
+
+    def test_models_have_names(self):
+        assert mpt_cost_model().name == "MPT"
+        assert "cost model" in mbt_cost_model().describe()
+
+
+class TestDedupPrediction:
+    def test_eta_decreases_linearly_with_alpha(self):
+        assert predicted_deduplication_ratio(0.0) == pytest.approx(0.5)
+        assert predicted_deduplication_ratio(0.5) == pytest.approx(0.25)
+        assert predicted_deduplication_ratio(1.0) == pytest.approx(0.0)
+
+    def test_mpt_prediction_depends_on_key_lengths(self):
+        favourable = predicted_deduplication_ratio(0.2, "MPT", key_length=20, mean_key_length=10)
+        unfavourable = predicted_deduplication_ratio(0.2, "MPT", key_length=5, mean_key_length=10)
+        assert favourable >= unfavourable
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            predicted_deduplication_ratio(1.5)
+
+
+class TestEmpiricalAgreement:
+    """The implementations' observed access patterns follow the predicted trends."""
+
+    def test_mbt_lookup_work_grows_with_records_at_fixed_buckets(self):
+        store = InMemoryNodeStore()
+        tree = MerkleBucketTree(store, capacity=32, fanout=4)
+        small = tree.from_items({f"k{i:05d}".encode(): b"v" * 10 for i in range(400)})
+        large = small.update({f"x{i:05d}".encode(): b"v" * 10 for i in range(4_000)})
+
+        tree.buckets_scanned_entries = 0
+        for i in range(0, 400, 20):
+            small.get(f"k{i:05d}")
+        small_scanned = tree.buckets_scanned_entries
+
+        tree.buckets_scanned_entries = 0
+        for i in range(0, 400, 20):
+            large.get(f"k{i:05d}")
+        large_scanned = tree.buckets_scanned_entries
+
+        assert large_scanned > 5 * small_scanned
+
+    def test_pos_tree_depth_grows_logarithmically(self):
+        store = InMemoryNodeStore()
+        tree = POSTree(store, target_node_size=512, estimated_entry_size=32)
+        small = tree.from_items({f"k{i:05d}".encode(): b"v" * 8 for i in range(200)})
+        large = tree.from_items({f"k{i:05d}".encode(): b"v" * 8 for i in range(6_000)})
+        assert small.height() <= large.height() <= small.height() + 3

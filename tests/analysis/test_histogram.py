@@ -1,0 +1,79 @@
+"""Tests for latency recording and histogram binning."""
+
+import pytest
+
+from repro.analysis.histogram import LatencyHistogram, LatencyRecorder
+
+
+class TestLatencyRecorder:
+    def test_record_and_summary(self):
+        recorder = LatencyRecorder()
+        for value in [0.001, 0.002, 0.003, 0.004, 0.010]:
+            recorder.record(value)
+        summary = recorder.summary()
+        assert summary["count"] == 5
+        assert summary["mean"] == pytest.approx(0.004)
+        assert summary["max"] == 0.010
+        assert summary["p50"] == 0.003
+
+    def test_empty_recorder_summary(self):
+        recorder = LatencyRecorder()
+        summary = recorder.summary()
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0
+        assert recorder.percentile(0.99) == 0.0
+
+    def test_time_helper_returns_result_and_records(self):
+        recorder = LatencyRecorder()
+        result = recorder.time(lambda: sum(range(1000)))
+        assert result == sum(range(1000))
+        assert len(recorder) == 1
+        assert recorder.samples[0] > 0
+
+    def test_percentiles_ordered(self):
+        recorder = LatencyRecorder()
+        for i in range(100):
+            recorder.record(i / 1000)
+        assert recorder.percentile(0.5) <= recorder.percentile(0.9) <= recorder.percentile(0.99)
+
+
+class TestLatencyHistogram:
+    def test_bins_cover_all_samples(self):
+        samples = [i / 100 for i in range(100)]
+        histogram = LatencyHistogram.from_samples(samples, bins=10)
+        assert histogram.total() == 100
+        assert len(histogram.counts) == 10
+        assert len(histogram.bin_edges) == 10
+
+    def test_empty_samples(self):
+        histogram = LatencyHistogram.from_samples([], bins=5)
+        assert histogram.series() == []
+        assert histogram.total() == 0
+        assert histogram.mode_bin() == (0.0, 0)
+
+    def test_identical_samples_single_bin(self):
+        histogram = LatencyHistogram.from_samples([0.5] * 20, bins=4)
+        assert histogram.total() == 20
+        assert max(histogram.counts) == 20
+
+    def test_explicit_range(self):
+        histogram = LatencyHistogram.from_samples([0.2, 0.4, 2.0], bins=4, lower=0.0, upper=1.0)
+        # The out-of-range sample lands in the last bin rather than being lost.
+        assert histogram.total() == 3
+
+    def test_mode_bin(self):
+        samples = [0.1] * 5 + [0.9] * 20
+        edge, count = LatencyHistogram.from_samples(samples, bins=4).mode_bin()
+        assert count == 20
+        assert edge > 0.5
+
+    def test_invalid_bins_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram.from_samples([1.0], bins=0)
+
+    def test_recorder_histogram_integration(self):
+        recorder = LatencyRecorder()
+        for i in range(50):
+            recorder.record(0.001 * (i % 5 + 1))
+        histogram = recorder.histogram(bins=5)
+        assert histogram.total() == 50

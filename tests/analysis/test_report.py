@@ -1,0 +1,48 @@
+"""Tests for the plain-text report formatting."""
+
+from repro.analysis.report import format_series, format_table, print_experiment
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        table = format_table(["name", "value"], [["a", 1], ["long-name", 123456]])
+        lines = table.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1].replace(" ", "")) == {"-"}
+        assert len(lines) == 4
+        # All rows have equal rendered width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title_rendering(self):
+        table = format_table(["x"], [[1]], title="My Title")
+        assert table.splitlines()[0] == "My Title"
+        assert table.splitlines()[1] == "=" * len("My Title")
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[0.123456], [12345.6], [12.34]])
+        assert "0.1235" in table
+        assert "12,346" in table
+        assert "12.3" in table
+
+    def test_zero_renders_compactly(self):
+        assert "0" in format_table(["v"], [[0.0]])
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        text = format_series("N", [1, 2, 3], {"POS-Tree": [10, 20, 30], "MPT": [5, 6, 7]})
+        lines = text.splitlines()
+        assert "POS-Tree" in lines[0] and "MPT" in lines[0]
+        assert len(lines) == 2 + 3
+
+    def test_missing_trailing_values_rendered_empty(self):
+        text = format_series("x", [1, 2], {"partial": [9]})
+        assert text.splitlines()[-1].strip().startswith("2")
+
+
+class TestPrintExperiment:
+    def test_prints_title_and_body(self, capsys):
+        print_experiment("Figure 99", "body text")
+        captured = capsys.readouterr().out
+        assert "Figure 99" in captured
+        assert "body text" in captured

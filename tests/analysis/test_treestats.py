@@ -1,0 +1,54 @@
+"""Tests for tree-shape statistics (Figure 9 support)."""
+
+from repro.analysis.treestats import average_depth, depth_distribution, tree_statistics
+from tests.conftest import build_index
+from repro.indexes import MerkleBucketTree, MerklePatriciaTrie, POSTree
+
+
+class TestDepthDistribution:
+    def test_distribution_counts_all_probes(self, any_index, small_dataset):
+        snapshot = any_index.from_items(small_dataset)
+        keys = sorted(small_dataset)[:50]
+        distribution = depth_distribution(snapshot, keys)
+        assert sum(distribution.values()) == 50
+        assert all(depth >= 1 for depth in distribution)
+
+    def test_mbt_depth_is_single_valued(self):
+        index = build_index(MerkleBucketTree)
+        snapshot = index.from_items({f"k{i}".encode(): b"v" for i in range(500)})
+        distribution = depth_distribution(snapshot, [f"k{i}".encode() for i in range(100)])
+        assert len(distribution) == 1
+
+    def test_mpt_depth_has_multiple_peaks(self):
+        """MPT lookups terminate at different levels — the paper's Figure 9."""
+        index = build_index(MerklePatriciaTrie)
+        items = {f"{i:04d}".encode(): b"v" for i in range(400)}
+        items[b"outlier-very-long-key-with-unique-prefix"] = b"v"
+        snapshot = index.from_items(items)
+        distribution = depth_distribution(snapshot, list(items))
+        assert len(distribution) >= 2
+
+    def test_average_depth(self, any_index, small_dataset):
+        snapshot = any_index.from_items(small_dataset)
+        keys = sorted(small_dataset)[:20]
+        mean = average_depth(snapshot, keys)
+        assert 1 <= mean <= snapshot.height()
+        assert average_depth(snapshot, []) == 0.0
+
+
+class TestTreeStatistics:
+    def test_statistics_fields(self, any_index, small_dataset):
+        snapshot = any_index.from_items(small_dataset)
+        stats = tree_statistics(snapshot)
+        assert stats["records"] == len(small_dataset)
+        assert stats["nodes"] == len(snapshot.node_digests())
+        assert stats["total_bytes"] > 0
+        assert stats["avg_node_bytes"] <= stats["max_node_bytes"]
+        assert stats["height"] == snapshot.height()
+
+    def test_node_size_reflects_target(self):
+        small_nodes = POSTree(build_index(POSTree).store, target_node_size=256,
+                              estimated_entry_size=32)
+        snapshot = small_nodes.from_items({f"k{i:04d}".encode(): b"v" * 20 for i in range(2_000)})
+        stats = tree_statistics(snapshot)
+        assert stats["avg_node_bytes"] < 2_000

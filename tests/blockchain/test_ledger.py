@@ -1,0 +1,84 @@
+"""Tests for the blockchain ledger built over SIRI indexes."""
+
+import pytest
+
+from repro.blockchain.ledger import BlockHeader, Ledger, TamperDetectedError
+from repro.storage.memory import InMemoryNodeStore
+from repro.workloads.ethereum import EthereumDatasetGenerator
+from tests.conftest import build_index
+
+
+@pytest.fixture
+def ledger_and_blocks(index_class):
+    store = InMemoryNodeStore()
+    ledger = Ledger(index_factory=lambda: build_index(index_class, store))
+    generator = EthereumDatasetGenerator(blocks=4, transactions_per_block=30, seed=2)
+    blocks = generator.all_blocks()
+    for block in blocks:
+        ledger.append_block(block.records())
+    return ledger, blocks
+
+
+class TestLedger:
+    def test_append_creates_linked_headers(self, ledger_and_blocks):
+        ledger, _ = ledger_and_blocks
+        assert len(ledger) == 4
+        assert ledger.headers[0].parent_digest is None
+        for previous, header in zip(ledger.headers, ledger.headers[1:]):
+            assert header.parent_digest == previous.digest()
+
+    def test_transaction_lookup(self, ledger_and_blocks):
+        ledger, blocks = ledger_and_blocks
+        sample = blocks[2].transactions[5]
+        assert ledger.get_transaction(sample.key) == sample.raw
+        number, raw = ledger.get_transaction_with_block(sample.key)
+        assert number == 2
+        assert raw == sample.raw
+
+    def test_missing_transaction_returns_none(self, ledger_and_blocks):
+        ledger, _ = ledger_and_blocks
+        assert ledger.get_transaction(b"f" * 64) is None
+        assert ledger.get_transaction_with_block(b"f" * 64) is None
+
+    def test_block_snapshot_contents(self, ledger_and_blocks):
+        ledger, blocks = ledger_and_blocks
+        snapshot = ledger.block_snapshot(1)
+        assert snapshot.to_dict() == blocks[1].records()
+        assert ledger.headers[1].index_root == snapshot.root_digest
+
+    def test_proof_against_block_root(self, ledger_and_blocks):
+        ledger, blocks = ledger_and_blocks
+        sample = blocks[3].transactions[0]
+        proof = ledger.prove_transaction(3, sample.key)
+        assert proof.verify(ledger.headers[3].index_root)
+
+    def test_chain_verification_passes(self, ledger_and_blocks):
+        ledger, _ = ledger_and_blocks
+        assert ledger.verify_chain()
+
+    def test_total_transactions(self, ledger_and_blocks):
+        ledger, _ = ledger_and_blocks
+        assert ledger.total_transactions() == 4 * 30
+
+    def test_header_tampering_detected(self, ledger_and_blocks):
+        ledger, _ = ledger_and_blocks
+        original = ledger.headers[1]
+        ledger.headers[1] = BlockHeader(
+            number=original.number,
+            parent_digest=original.parent_digest,
+            index_root=original.index_root,
+            transaction_count=original.transaction_count + 1,
+        )
+        with pytest.raises(TamperDetectedError):
+            ledger.verify_chain()
+
+    def test_storage_tampering_detected(self, index_class):
+        store = InMemoryNodeStore()
+        ledger = Ledger(index_factory=lambda: build_index(index_class, store))
+        block = EthereumDatasetGenerator(blocks=1, transactions_per_block=20, seed=3).all_blocks()[0]
+        ledger.append_block(block.records())
+        victim = next(iter(ledger.block_snapshot(0).node_digests()))
+        data = store.get_bytes(victim)
+        store.corrupt(victim, data + b"!")
+        with pytest.raises(TamperDetectedError):
+            ledger.verify_block_contents(0)

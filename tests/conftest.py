@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite.
+
+The most important fixture is ``index_factory``/``any_index``: most
+behavioural tests are parameterized over all four index candidates so
+every structure is exercised by the same scenarios (the same discipline
+the paper applies in its evaluation).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.indexes import MerkleBucketTree, MerklePatriciaTrie, MVMBTree, POSTree
+from repro.storage.memory import InMemoryNodeStore
+
+
+def build_index(index_class, store=None, **overrides):
+    """Construct an index with small, test-friendly parameters."""
+    # An empty store is falsy (len() == 0), so test identity, not truth.
+    store = store if store is not None else InMemoryNodeStore()
+    if index_class is MerkleBucketTree:
+        params = {"capacity": 64, "fanout": 4}
+        params.update(overrides)
+        return index_class(store, **params)
+    if index_class is POSTree:
+        params = {"target_node_size": 512, "estimated_entry_size": 64}
+        params.update(overrides)
+        return index_class(store, **params)
+    if index_class is MVMBTree:
+        params = {"leaf_capacity": 8, "internal_capacity": 8}
+        params.update(overrides)
+        return index_class(store, **params)
+    return index_class(store, **overrides)
+
+
+ALL_INDEXES = [MerklePatriciaTrie, MerkleBucketTree, POSTree, MVMBTree]
+SIRI_INDEXES = [MerklePatriciaTrie, MerkleBucketTree, POSTree]
+
+
+@pytest.fixture(params=ALL_INDEXES, ids=lambda cls: cls.name)
+def index_class(request):
+    """Every index candidate, one at a time."""
+    return request.param
+
+
+@pytest.fixture(params=SIRI_INDEXES, ids=lambda cls: cls.name)
+def siri_index_class(request):
+    """Only the three SIRI candidates (excludes the MVMB+-Tree baseline)."""
+    return request.param
+
+
+@pytest.fixture
+def store():
+    return InMemoryNodeStore()
+
+
+@pytest.fixture
+def any_index(index_class, store):
+    """A freshly-built index of the parameterized class."""
+    return build_index(index_class, store)
+
+
+@pytest.fixture
+def small_dataset():
+    """A deterministic 300-record dataset with mixed key/value lengths."""
+    rng = random.Random(1234)
+    dataset = {}
+    for i in range(300):
+        key = f"k{i:04d}-{rng.randrange(1000):03d}".encode()
+        value = bytes(rng.getrandbits(8) for _ in range(rng.randint(5, 120)))
+        dataset[key] = value
+    return dataset
+
+
+@pytest.fixture
+def tiny_dataset():
+    """A 20-record dataset for tests that inspect structures in detail."""
+    return {f"key{i:02d}".encode(): f"value{i}".encode() for i in range(20)}

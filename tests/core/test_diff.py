@@ -1,0 +1,166 @@
+"""Tests for diff and merge (paper Sections 4.1.3 and 4.1.4)."""
+
+import pytest
+
+from repro.core.diff import (
+    DiffEntry,
+    diff_by_lookup,
+    diff_snapshots,
+    merge_snapshots,
+    three_way_merge,
+)
+from repro.core.errors import MergeConflictError
+from tests.conftest import build_index
+
+
+class TestDiffEntry:
+    def test_kind_classification(self):
+        assert DiffEntry(b"k", None, b"v").kind == "added"
+        assert DiffEntry(b"k", b"v", None).kind == "removed"
+        assert DiffEntry(b"k", b"a", b"b").kind == "changed"
+
+
+class TestDiff:
+    def test_identical_snapshots_diff_empty(self, any_index, small_dataset):
+        snapshot = any_index.from_items(small_dataset)
+        result = diff_snapshots(snapshot, snapshot)
+        assert result.is_empty()
+        assert result.comparisons == 0  # pruned entirely via root equality
+
+    def test_diff_reports_adds_changes_removes(self, any_index, small_dataset):
+        v1 = any_index.from_items(small_dataset)
+        some_key = sorted(small_dataset)[10]
+        removed_key = sorted(small_dataset)[20]
+        v2 = v1.update({some_key: b"changed", b"added-key": b"new"}, removes=[removed_key])
+
+        result = diff_snapshots(v1, v2)
+        by_key = {entry.key: entry for entry in result}
+        assert by_key[some_key].kind == "changed"
+        assert by_key[some_key].left == small_dataset[some_key]
+        assert by_key[some_key].right == b"changed"
+        assert by_key[b"added-key"].kind == "added"
+        assert by_key[removed_key].kind == "removed"
+        assert len(result) == 3
+        assert set(result.keys()) == {some_key, b"added-key", removed_key}
+
+    def test_diff_matches_naive_lookup_diff(self, any_index, small_dataset):
+        v1 = any_index.from_items(small_dataset)
+        keys = sorted(small_dataset)
+        v2 = v1.update({keys[3]: b"x", keys[7]: b"y"}, removes=[keys[50]])
+        fast = diff_snapshots(v1, v2)
+        naive = diff_by_lookup(v1, v2)
+        as_set = lambda result: {(e.key, e.left, e.right) for e in result}
+        assert as_set(fast) == as_set(naive)
+
+    def test_diff_pruning_skips_unchanged_regions(self, any_index, small_dataset):
+        """The structural diff must not compare every record when only one changed."""
+        v1 = any_index.from_items(small_dataset)
+        v2 = v1.put(sorted(small_dataset)[0], b"changed")
+        result = diff_snapshots(v1, v2)
+        assert len(result) == 1
+        assert result.comparisons < len(small_dataset) / 2
+
+    def test_diff_against_empty(self, any_index, small_dataset):
+        empty = any_index.empty_snapshot()
+        full = any_index.from_items(small_dataset)
+        result = diff_snapshots(empty, full)
+        assert len(result) == len(small_dataset)
+        assert all(entry.kind == "added" for entry in result)
+
+    def test_added_removed_changed_accessors(self, any_index, tiny_dataset):
+        v1 = any_index.from_items(tiny_dataset)
+        v2 = v1.update({b"key00": b"different", b"brand": b"new"}, removes=[b"key01"])
+        result = diff_snapshots(v1, v2)
+        assert [e.key for e in result.added] == [b"brand"]
+        assert [e.key for e in result.removed] == [b"key01"]
+        assert [e.key for e in result.changed] == [b"key00"]
+
+
+class TestTwoWayMerge:
+    def test_merge_disjoint_additions(self, any_index, small_dataset):
+        """Two-way merge combines records added on either side (no conflicts)."""
+        base = any_index.from_items(small_dataset)
+        ours = base.update({b"our-key": b"ours"})
+        theirs = base.update({b"their-key": b"theirs"})
+        merged = merge_snapshots(ours, theirs)
+        assert merged[b"our-key"] == b"ours"
+        assert merged[b"their-key"] == b"theirs"
+
+    def test_two_way_merge_treats_any_value_difference_as_conflict(self, any_index, small_dataset):
+        """Per the paper's merge definition, a key with different values in the
+        two instances interrupts the merge — even if only one side changed it
+        relative to some earlier version (that distinction needs a three-way
+        merge with an ancestor)."""
+        base = any_index.from_items(small_dataset)
+        key = sorted(small_dataset)[0]
+        ours = base.update({key: b"ours"})
+        with pytest.raises(MergeConflictError):
+            merge_snapshots(ours, base)
+
+    def test_merge_conflict_raises_with_keys(self, any_index, tiny_dataset):
+        base = any_index.from_items(tiny_dataset)
+        ours = base.put(b"key00", b"ours")
+        theirs = base.put(b"key00", b"theirs")
+        with pytest.raises(MergeConflictError) as excinfo:
+            merge_snapshots(ours, theirs)
+        assert excinfo.value.conflicts == [b"key00"]
+
+    def test_merge_conflict_resolved_by_resolver(self, any_index, tiny_dataset):
+        base = any_index.from_items(tiny_dataset)
+        ours = base.put(b"key00", b"ours")
+        theirs = base.put(b"key00", b"theirs")
+        merged = merge_snapshots(ours, theirs, resolver=lambda key, a, b: a + b"+" + b)
+        assert merged[b"key00"] == b"ours+theirs"
+
+    def test_merge_identical_changes_is_not_conflict(self, any_index, tiny_dataset):
+        base = any_index.from_items(tiny_dataset)
+        ours = base.put(b"key00", b"same")
+        theirs = base.put(b"key00", b"same")
+        merged = merge_snapshots(ours, theirs)
+        assert merged[b"key00"] == b"same"
+
+    def test_merge_result_contains_union(self, any_index, tiny_dataset):
+        base = any_index.from_items(tiny_dataset)
+        ours = base.update({b"only-ours": b"1"})
+        theirs = base.update({b"only-theirs": b"2"})
+        merged = merge_snapshots(ours, theirs)
+        expected = dict(tiny_dataset)
+        expected.update({b"only-ours": b"1", b"only-theirs": b"2"})
+        assert merged.to_dict() == expected
+
+
+class TestThreeWayMerge:
+    def test_non_overlapping_changes(self, any_index, tiny_dataset):
+        base = any_index.from_items(tiny_dataset)
+        ours = base.update({b"key00": b"ours"})
+        theirs = base.update({b"key05": b"theirs"})
+        result = three_way_merge(base, ours, theirs)
+        assert result.snapshot[b"key00"] == b"ours"
+        assert result.snapshot[b"key05"] == b"theirs"
+        assert result.conflicts_resolved == []
+
+    def test_their_deletion_propagates(self, any_index, tiny_dataset):
+        base = any_index.from_items(tiny_dataset)
+        ours = base.update({b"key00": b"ours"})
+        theirs = base.remove(b"key10")
+        result = three_way_merge(base, ours, theirs)
+        assert b"key10" not in result.snapshot
+        assert result.snapshot[b"key00"] == b"ours"
+
+    def test_conflict_detection_and_resolution(self, any_index, tiny_dataset):
+        base = any_index.from_items(tiny_dataset)
+        ours = base.put(b"key02", b"ours")
+        theirs = base.put(b"key02", b"theirs")
+        with pytest.raises(MergeConflictError):
+            three_way_merge(base, ours, theirs)
+        result = three_way_merge(base, ours, theirs, resolver=lambda k, a, b: b)
+        assert result.snapshot[b"key02"] == b"theirs"
+        assert result.conflicts_resolved == [b"key02"]
+
+    def test_untouched_branch_does_not_override(self, any_index, tiny_dataset):
+        """A branch that never touched a key must not undo the other branch's edit."""
+        base = any_index.from_items(tiny_dataset)
+        ours = base.put(b"key07", b"ours-edit")
+        theirs = base.put(b"unrelated", b"x")
+        result = three_way_merge(base, ours, theirs)
+        assert result.snapshot[b"key07"] == b"ours-edit"

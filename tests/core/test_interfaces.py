@@ -1,0 +1,169 @@
+"""Tests for the snapshot API shared by every index (repro.core.interfaces)."""
+
+import pytest
+
+from repro.core.errors import ImmutableWriteError, KeyNotFoundError
+from repro.core.interfaces import WriteBatch, coerce_key, coerce_value
+from tests.conftest import build_index
+
+
+class TestCoercion:
+    def test_bytes_pass_through(self):
+        assert coerce_key(b"abc") == b"abc"
+
+    def test_bytearray(self):
+        assert coerce_key(bytearray(b"abc")) == b"abc"
+
+    def test_str_utf8(self):
+        assert coerce_key("héllo") == "héllo".encode("utf-8")
+
+    def test_int_decimal(self):
+        assert coerce_key(42) == b"42"
+        assert coerce_value(0) == b"0"
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            coerce_key(3.5)
+
+
+class TestSnapshotAPI:
+    def test_empty_snapshot(self, any_index):
+        snapshot = any_index.empty_snapshot()
+        assert snapshot.is_empty()
+        assert snapshot.root_digest is None
+        assert snapshot.root_hex == ""
+        assert snapshot.get(b"anything") is None
+        assert len(snapshot) == 0
+        assert list(snapshot.items()) == []
+
+    def test_from_items_and_getitem(self, any_index, tiny_dataset):
+        snapshot = any_index.from_items(tiny_dataset)
+        assert snapshot[b"key05"] == b"value5"
+        with pytest.raises(KeyNotFoundError):
+            snapshot[b"missing"]
+
+    def test_get_with_default(self, any_index, tiny_dataset):
+        snapshot = any_index.from_items(tiny_dataset)
+        assert snapshot.get(b"missing", b"fallback") == b"fallback"
+
+    def test_contains(self, any_index, tiny_dataset):
+        snapshot = any_index.from_items(tiny_dataset)
+        assert b"key00" in snapshot
+        assert b"nope" not in snapshot
+
+    def test_items_sorted_and_complete(self, any_index, small_dataset):
+        snapshot = any_index.from_items(small_dataset)
+        items = list(snapshot.items())
+        assert dict(items) == small_dataset
+        assert [k for k, _ in items] == sorted(small_dataset)
+
+    def test_keys_values_to_dict(self, any_index, tiny_dataset):
+        snapshot = any_index.from_items(tiny_dataset)
+        assert sorted(snapshot.keys()) == sorted(tiny_dataset)
+        assert sorted(snapshot.values()) == sorted(tiny_dataset.values())
+        assert snapshot.to_dict() == tiny_dataset
+
+    def test_len_counts_records(self, any_index, small_dataset):
+        snapshot = any_index.from_items(small_dataset)
+        assert len(snapshot) == len(small_dataset)
+
+    def test_put_returns_new_snapshot_and_preserves_old(self, any_index, tiny_dataset):
+        v1 = any_index.from_items(tiny_dataset)
+        v2 = v1.put(b"key00", b"overwritten")
+        assert v1[b"key00"] == b"value0"
+        assert v2[b"key00"] == b"overwritten"
+        assert v1.root_digest != v2.root_digest
+
+    def test_update_accepts_mappings_and_pairs(self, any_index):
+        snapshot = any_index.empty_snapshot()
+        from_mapping = snapshot.update({b"a": b"1"})
+        from_pairs = snapshot.update([(b"a", b"1")])
+        assert from_mapping[b"a"] == from_pairs[b"a"] == b"1"
+
+    def test_update_with_string_keys(self, any_index):
+        snapshot = any_index.empty_snapshot().update({"alpha": "one", "beta": 2})
+        assert snapshot["alpha"] == b"one"
+        assert snapshot[b"beta"] == b"2"
+
+    def test_remove(self, any_index, tiny_dataset):
+        v1 = any_index.from_items(tiny_dataset)
+        v2 = v1.remove(b"key03", b"key04")
+        assert b"key03" in v1
+        assert b"key03" not in v2
+        assert b"key04" not in v2
+        assert len(v2) == len(tiny_dataset) - 2
+
+    def test_remove_missing_key_is_noop(self, any_index, tiny_dataset):
+        v1 = any_index.from_items(tiny_dataset)
+        v2 = v1.remove(b"not-present")
+        assert v2.to_dict() == tiny_dataset
+
+    def test_snapshot_is_immutable(self, any_index, tiny_dataset):
+        snapshot = any_index.from_items(tiny_dataset)
+        with pytest.raises(ImmutableWriteError):
+            snapshot[b"key00"] = b"mutation"
+
+    def test_equality_by_root(self, any_index, tiny_dataset):
+        v1 = any_index.from_items(tiny_dataset)
+        v2 = v1.put(b"new", b"x")
+        v3 = v2.remove(b"new")
+        assert v1 != v2
+        # MVMB+-Tree is not structurally invariant, so v3 may legitimately
+        # differ from v1; SIRI candidates must return to the same root.
+        if any_index.name != "MVMB+-Tree":
+            assert v3 == v1
+            assert hash(v3) == hash(v1)
+
+    def test_empty_value_allowed(self, any_index):
+        snapshot = any_index.empty_snapshot().update({b"empty": b""})
+        assert snapshot[b"empty"] == b""
+        assert b"empty" in snapshot
+
+    def test_node_digests_and_storage_bytes(self, any_index, tiny_dataset):
+        snapshot = any_index.from_items(tiny_dataset)
+        digests = snapshot.node_digests()
+        assert digests
+        assert snapshot.root_digest in digests
+        assert snapshot.storage_bytes() == sum(
+            any_index.store.size_of(d) for d in digests
+        )
+
+    def test_height_and_depth_positive(self, any_index, small_dataset):
+        snapshot = any_index.from_items(small_dataset)
+        assert snapshot.height() >= 1
+        key = next(iter(small_dataset))
+        assert 1 <= snapshot.lookup_depth(key) <= snapshot.height()
+
+    def test_repr_mentions_index_name(self, any_index, tiny_dataset):
+        snapshot = any_index.from_items(tiny_dataset)
+        assert any_index.name in repr(snapshot)
+
+
+class TestWriteBatch:
+    def test_accumulates_and_applies(self, any_index, tiny_dataset):
+        snapshot = any_index.from_items(tiny_dataset)
+        batch = WriteBatch()
+        batch.put(b"key00", b"rewritten").put("newkey", "newvalue").remove(b"key01")
+        assert len(batch) == 3
+        result = batch.apply_to(snapshot)
+        assert result[b"key00"] == b"rewritten"
+        assert result[b"newkey"] == b"newvalue"
+        assert b"key01" not in result
+
+    def test_put_then_remove_same_key(self):
+        batch = WriteBatch()
+        batch.put(b"k", b"v").remove(b"k")
+        assert batch.puts == {}
+        assert batch.removes == [b"k"]
+
+    def test_remove_then_put_same_key(self):
+        batch = WriteBatch()
+        batch.remove(b"k").put(b"k", b"v")
+        assert batch.puts == {b"k": b"v"}
+        assert batch.removes == []
+
+    def test_clear(self):
+        batch = WriteBatch()
+        batch.put(b"a", b"b")
+        batch.clear()
+        assert len(batch) == 0

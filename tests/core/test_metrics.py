@@ -1,0 +1,127 @@
+"""Tests for deduplication/storage metrics (paper Section 4.2, 5.4)."""
+
+import pytest
+
+from repro.core.metrics import (
+    StorageBreakdown,
+    deduplication_ratio,
+    incremental_version_growth,
+    node_sharing_ratio,
+    storage_breakdown,
+)
+from repro.analysis.bounds import predicted_deduplication_ratio
+from repro.indexes import MerkleBucketTree, POSTree
+from repro.storage.memory import InMemoryNodeStore
+from tests.conftest import build_index
+
+
+class TestStorageBreakdown:
+    def test_ratios_from_counts(self):
+        breakdown = StorageBreakdown(unique_nodes=6, total_nodes=10,
+                                     unique_bytes=600, total_bytes=1000)
+        assert breakdown.deduplication_ratio == pytest.approx(0.4)
+        assert breakdown.node_sharing_ratio == pytest.approx(0.4)
+        assert breakdown.raw_bytes == 1000
+        assert breakdown.deduplicated_bytes == 600
+
+    def test_zero_division_guarded(self):
+        empty = StorageBreakdown(0, 0, 0, 0)
+        assert empty.deduplication_ratio == 0.0
+        assert empty.node_sharing_ratio == 0.0
+
+
+class TestSnapshotMetrics:
+    def test_single_snapshot_has_zero_dedup(self, any_index, small_dataset):
+        snapshot = any_index.from_items(small_dataset)
+        assert deduplication_ratio([snapshot]) == pytest.approx(0.0)
+        assert node_sharing_ratio([snapshot]) == pytest.approx(0.0)
+
+    def test_identical_snapshots_dedup_fully(self, siri_index_class, small_dataset):
+        store = InMemoryNodeStore()
+        index = build_index(siri_index_class, store)
+        v1 = index.from_items(small_dataset)
+        v2 = index.from_items(small_dataset)  # same content, built separately
+        assert v1.root_digest == v2.root_digest
+        assert deduplication_ratio([v1, v2]) == pytest.approx(0.5)
+        assert node_sharing_ratio([v1, v2]) == pytest.approx(0.5)
+
+    def test_small_update_dedups_heavily(self, any_index, small_dataset):
+        v1 = any_index.from_items(small_dataset)
+        v2 = v1.put(sorted(small_dataset)[0], b"changed")
+        ratio = deduplication_ratio([v1, v2])
+        assert 0.3 < ratio < 0.5  # close to the 1/2 ceiling for 2 versions
+
+    def test_ratio_bounds(self, any_index, small_dataset):
+        versions = [any_index.from_items(small_dataset)]
+        for i in range(4):
+            versions.append(versions[-1].put(f"extra{i}", f"value{i}"))
+        ratio = deduplication_ratio(versions)
+        sharing = node_sharing_ratio(versions)
+        assert 0.0 <= ratio < 1.0
+        assert 0.0 <= sharing < 1.0
+
+    def test_breakdown_consistency(self, any_index, small_dataset):
+        v1 = any_index.from_items(small_dataset)
+        v2 = v1.put(b"zz", b"yy")
+        breakdown = storage_breakdown([v1, v2])
+        assert breakdown.unique_nodes <= breakdown.total_nodes
+        assert breakdown.unique_bytes <= breakdown.total_bytes
+        assert breakdown.unique_nodes == len(v1.node_digests() | v2.node_digests())
+
+    def test_disjoint_indexes_share_nothing(self):
+        store = InMemoryNodeStore()
+        index = POSTree(store)
+        a = index.from_items({f"a{i}".encode(): bytes([i]) * 10 for i in range(50)})
+        b = index.from_items({f"b{i}".encode(): bytes([255 - i]) * 10 for i in range(50)})
+        assert deduplication_ratio([a, b]) == pytest.approx(0.0, abs=0.05)
+
+
+class TestContinuousDifferentialPrediction:
+    """Empirical check of the paper's η ≈ 1/2 − α/2 analysis (Section 4.2.2)."""
+
+    @pytest.mark.parametrize("alpha", [0.05, 0.2, 0.5])
+    def test_pos_tree_matches_prediction(self, alpha):
+        store = InMemoryNodeStore()
+        index = POSTree(store, target_node_size=512, estimated_entry_size=40)
+        records = {f"key{i:06d}".encode(): (b"v%06d" % i) * 4 for i in range(2_000)}
+        v1 = index.from_items(records)
+        keys = sorted(records)
+        changed = {key: b"changed-" + records[key] for key in keys[: int(alpha * len(keys))]}
+        v2 = v1.update(changed)
+
+        measured = deduplication_ratio([v1, v2])
+        predicted = predicted_deduplication_ratio(alpha, "POS-Tree")
+        assert measured == pytest.approx(predicted, abs=0.12)
+
+    def test_mbt_matches_prediction_at_moderate_alpha(self):
+        alpha = 0.1
+        store = InMemoryNodeStore()
+        index = MerkleBucketTree(store, capacity=256, fanout=4)
+        records = {f"key{i:06d}".encode(): (b"v%06d" % i) * 4 for i in range(2_000)}
+        v1 = index.from_items(records)
+        keys = sorted(records)
+        # A contiguous key range of size alpha*N, as in the paper's model.
+        changed = {key: b"changed-" + records[key] for key in keys[: int(alpha * len(keys))]}
+        v2 = v1.update(changed)
+
+        measured = deduplication_ratio([v1, v2])
+        predicted = predicted_deduplication_ratio(alpha, "MBT")
+        # MBT's large hashed buckets spread a contiguous key range over many
+        # buckets, so the measured value sits below the ideal prediction.
+        assert measured <= predicted + 0.05
+        assert measured > 0.0
+
+
+class TestVersionGrowth:
+    def test_growth_series_monotone_and_dedup_never_larger(self, any_index, small_dataset):
+        versions = [any_index.from_items(small_dataset)]
+        for i in range(5):
+            versions.append(versions[-1].put(f"v{i}", f"value{i}"))
+        growth = incremental_version_growth(versions)
+        assert len(growth) == len(versions)
+        raw_values = [raw for _, raw, _ in growth]
+        dedup_values = [dedup for _, _, dedup in growth]
+        assert raw_values == sorted(raw_values)
+        assert dedup_values == sorted(dedup_values)
+        for raw, dedup in zip(raw_values, dedup_values):
+            assert dedup <= raw

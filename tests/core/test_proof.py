@@ -1,0 +1,98 @@
+"""Tests for Merkle proofs and their verification."""
+
+import pytest
+
+from repro.core.errors import ProofVerificationError
+from repro.core.proof import MerkleProof, ProofStep
+from repro.hashing.digest import hash_bytes
+from tests.conftest import build_index
+
+
+class TestProofGeneration:
+    def test_membership_proof_verifies(self, any_index, small_dataset):
+        snapshot = any_index.from_items(small_dataset)
+        key = sorted(small_dataset)[17]
+        proof = snapshot.prove(key)
+        assert proof.is_membership_proof
+        assert proof.value == small_dataset[key]
+        assert proof.verify(snapshot.root_digest)
+
+    def test_proof_root_matches_snapshot_root(self, any_index, small_dataset):
+        snapshot = any_index.from_items(small_dataset)
+        proof = snapshot.prove(sorted(small_dataset)[0])
+        assert proof.root_digest() == snapshot.root_digest
+
+    def test_absence_proof(self, any_index, small_dataset):
+        snapshot = any_index.from_items(small_dataset)
+        proof = snapshot.prove(b"definitely-not-present")
+        assert not proof.is_membership_proof
+        assert proof.verify(snapshot.root_digest)
+
+    def test_proof_fails_against_other_version(self, any_index, small_dataset):
+        v1 = any_index.from_items(small_dataset)
+        key = sorted(small_dataset)[5]
+        v2 = v1.put(key, b"changed")
+        proof_v1 = v1.prove(key)
+        with pytest.raises(ProofVerificationError):
+            proof_v1.verify(v2.root_digest)
+
+    def test_proof_fails_when_value_substituted(self, any_index, small_dataset):
+        snapshot = any_index.from_items(small_dataset)
+        key = sorted(small_dataset)[9]
+        proof = snapshot.prove(key)
+        proof.value = b"forged value"
+        with pytest.raises(ProofVerificationError):
+            proof.verify(snapshot.root_digest)
+
+    def test_proof_fails_when_path_tampered(self, any_index, small_dataset):
+        snapshot = any_index.from_items(small_dataset)
+        key = sorted(small_dataset)[3]
+        proof = snapshot.prove(key)
+        tampered = proof.steps[-1].node_bytes[:-1] + bytes(
+            [proof.steps[-1].node_bytes[-1] ^ 0x01]
+        )
+        proof.steps[-1] = ProofStep(tampered, proof.steps[-1].level)
+        with pytest.raises(ProofVerificationError):
+            proof.verify(snapshot.root_digest)
+
+    def test_proof_size_is_reasonable(self, any_index, small_dataset):
+        snapshot = any_index.from_items(small_dataset)
+        proof = snapshot.prove(sorted(small_dataset)[11])
+        assert proof.proof_size_bytes() < snapshot.storage_bytes()
+        assert len(proof) == len(proof.steps) >= 1
+
+    def test_proof_depth_matches_lookup_depth(self, any_index, small_dataset):
+        snapshot = any_index.from_items(small_dataset)
+        key = sorted(small_dataset)[20]
+        assert len(snapshot.prove(key)) == snapshot.lookup_depth(key)
+
+
+class TestProofObject:
+    def test_empty_proof_rejected(self):
+        proof = MerkleProof(key=b"k", value=b"v", steps=[])
+        with pytest.raises(ProofVerificationError):
+            proof.verify(hash_bytes(b"root"))
+        with pytest.raises(ProofVerificationError):
+            proof.root_digest()
+
+    def test_single_node_proof(self):
+        node = b"node containing key and value"
+        proof = MerkleProof(key=b"key", value=b"value", steps=[ProofStep(node, 0)])
+        assert proof.verify(hash_bytes(node))
+
+    def test_default_binding_check_requires_value_bytes(self):
+        node = b"something else entirely"
+        proof = MerkleProof(key=b"key", value=b"value", steps=[ProofStep(node, 0)])
+        with pytest.raises(ProofVerificationError):
+            proof.verify(hash_bytes(node))
+
+    def test_custom_binding_check_is_used(self):
+        node = b"opaque"
+        proof = MerkleProof(key=b"key", value=b"value", steps=[ProofStep(node, 0)])
+        assert proof.verify(hash_bytes(node), binding_check=lambda *_: True)
+
+    def test_repr_mentions_kind(self):
+        membership = MerkleProof(key=b"k", value=b"v", steps=[ProofStep(b"n", 0)])
+        absence = MerkleProof(key=b"k", value=None, steps=[ProofStep(b"n", 0)])
+        assert "membership" in repr(membership)
+        assert "absence" in repr(absence)

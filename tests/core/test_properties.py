@@ -1,0 +1,72 @@
+"""Tests for the empirical SIRI property checkers (paper Definition 3.1, Section 5.5)."""
+
+import pytest
+
+from repro.core.properties import (
+    check_recursively_identical,
+    check_siri_properties,
+    check_structurally_invariant,
+    check_universally_reusable,
+)
+from repro.indexes import MVMBTree, MerkleBucketTree, MerklePatriciaTrie, POSTree
+from repro.indexes.ablation import NonRecursivelyIdenticalPOSTree, NonStructurallyInvariantPOSTree
+from repro.storage.memory import InMemoryNodeStore
+from tests.conftest import build_index
+
+
+def make_items(count=150):
+    return [(f"item{i:05d}".encode(), (b"payload-%d-" % i) * 3) for i in range(count)]
+
+
+class TestPropertyCheckers:
+    def test_siri_candidates_pass_all_properties(self, siri_index_class):
+        report = check_siri_properties(
+            lambda: build_index(siri_index_class), make_items()
+        )
+        assert report.structurally_invariant
+        assert report.recursively_identical
+        assert report.universally_reusable
+        assert report.is_siri
+        assert report.index_name == siri_index_class.name
+
+    def test_baseline_fails_structural_invariance(self):
+        report = check_siri_properties(lambda: build_index(MVMBTree), make_items())
+        assert not report.structurally_invariant
+        assert not report.is_siri
+
+    def test_structural_invariance_checker_detects_order_dependence(self):
+        assert check_structurally_invariant(lambda: build_index(POSTree), make_items())
+        assert not check_structurally_invariant(lambda: build_index(MVMBTree), make_items())
+
+    def test_recursively_identical_details(self):
+        passed, details = check_recursively_identical(
+            lambda: build_index(POSTree), make_items(), (b"zz-extra", b"value")
+        )
+        assert passed
+        assert details["shared_pages"] >= details["new_pages"]
+        assert details["small_pages"] > 0
+
+    def test_universally_reusable(self):
+        assert check_universally_reusable(
+            lambda: build_index(MerklePatriciaTrie),
+            make_items(100),
+            [(f"extra{i:03d}".encode(), b"x" * 20) for i in range(50)],
+        )
+
+    def test_non_recursively_identical_variant_fails_that_property(self):
+        passed, _ = check_recursively_identical(
+            lambda: NonRecursivelyIdenticalPOSTree(InMemoryNodeStore(),
+                                                   target_node_size=512,
+                                                   estimated_entry_size=64),
+            make_items(),
+            (b"zz-extra", b"value"),
+        )
+        assert not passed
+
+    def test_empty_items_rejected(self):
+        with pytest.raises(ValueError):
+            check_siri_properties(lambda: build_index(POSTree), [])
+
+    def test_report_details_populated(self):
+        report = check_siri_properties(lambda: build_index(MerkleBucketTree), make_items(80))
+        assert "shared_pages" in report.details

@@ -1,0 +1,98 @@
+"""Tests for the commit DAG / version graph."""
+
+import pytest
+
+from repro.core.version import UnknownBranchError, UnknownCommitError, VersionGraph
+from repro.hashing.digest import hash_bytes
+
+
+class TestVersionGraph:
+    def test_commit_and_head(self):
+        graph = VersionGraph(clock=lambda: 1.0)
+        root = hash_bytes(b"v1")
+        commit = graph.commit(root, message="first")
+        assert graph.head().commit_id == commit.commit_id
+        assert graph.head().root == root
+        assert len(graph) == 1
+
+    def test_history_is_newest_first(self):
+        graph = VersionGraph(clock=lambda: 1.0)
+        for i in range(5):
+            graph.commit(hash_bytes(f"v{i}".encode()), message=f"commit {i}")
+        log = list(graph.log())
+        assert len(log) == 5
+        assert log[0].message == "commit 4"
+        assert log[-1].message == "commit 0"
+
+    def test_roots_on_branch_oldest_first(self):
+        graph = VersionGraph(clock=lambda: 1.0)
+        roots = [hash_bytes(f"v{i}".encode()) for i in range(3)]
+        for root in roots:
+            graph.commit(root)
+        assert graph.roots_on_branch() == roots
+
+    def test_branching_and_independent_heads(self):
+        graph = VersionGraph(clock=lambda: 1.0)
+        graph.commit(hash_bytes(b"base"))
+        graph.branch("feature")
+        graph.commit(hash_bytes(b"feature-work"), branch="feature")
+        assert graph.head("master").root == hash_bytes(b"base")
+        assert graph.head("feature").root == hash_bytes(b"feature-work")
+        assert graph.branches() == ["feature", "master"]
+
+    def test_branch_from_unknown_branch_fails(self):
+        graph = VersionGraph()
+        with pytest.raises(UnknownBranchError):
+            graph.branch("feature", from_branch="nope")
+
+    def test_head_of_unknown_branch_fails(self):
+        graph = VersionGraph()
+        with pytest.raises(UnknownBranchError):
+            graph.head("ghost")
+
+    def test_get_unknown_commit_fails(self):
+        graph = VersionGraph()
+        with pytest.raises(UnknownCommitError):
+            graph.get(hash_bytes(b"no such commit"))
+
+    def test_merge_commit_has_two_parents(self):
+        graph = VersionGraph(clock=lambda: 1.0)
+        graph.commit(hash_bytes(b"base"))
+        graph.branch("other")
+        graph.commit(hash_bytes(b"ours"), branch="master")
+        graph.commit(hash_bytes(b"theirs"), branch="other")
+        merge = graph.merge_commit(hash_bytes(b"merged"), ours="master", theirs="other")
+        assert len(merge.parents) == 2
+        assert graph.head("master").root == hash_bytes(b"merged")
+
+    def test_common_ancestor(self):
+        graph = VersionGraph(clock=lambda: 1.0)
+        base = graph.commit(hash_bytes(b"base"))
+        graph.branch("other")
+        graph.commit(hash_bytes(b"ours"), branch="master")
+        graph.commit(hash_bytes(b"theirs"), branch="other")
+        ancestor = graph.common_ancestor("master", "other")
+        assert ancestor is not None
+        assert ancestor.commit_id == base.commit_id
+
+    def test_ancestors_walk_both_parents(self):
+        graph = VersionGraph(clock=lambda: 1.0)
+        graph.commit(hash_bytes(b"base"))
+        graph.branch("other")
+        graph.commit(hash_bytes(b"ours"), branch="master")
+        graph.commit(hash_bytes(b"theirs"), branch="other")
+        merge = graph.merge_commit(hash_bytes(b"merged"), ours="master", theirs="other")
+        ancestor_ids = {c.commit_id for c in graph.ancestors(merge.commit_id)}
+        assert len(ancestor_ids) == 4  # merge + ours + theirs + base
+
+    def test_commit_ids_are_unique_and_tamper_evident(self):
+        graph = VersionGraph(clock=lambda: 2.0)
+        a = graph.commit(hash_bytes(b"same-root"), message="a")
+        b = graph.commit(hash_bytes(b"same-root"), message="b")
+        assert a.commit_id != b.commit_id
+        assert a.short_id() != b.short_id()
+
+    def test_commit_with_none_root(self):
+        graph = VersionGraph()
+        commit = graph.commit(None, message="empty dataset")
+        assert commit.root is None

@@ -1,0 +1,105 @@
+"""Unit and property tests for the binary serialization helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.binary import (
+    decode_bytes,
+    decode_bytes_list,
+    decode_kv_pairs,
+    decode_uvarint,
+    encode_bytes,
+    encode_bytes_list,
+    encode_kv_pairs,
+    encode_uvarint,
+)
+
+
+class TestUvarint:
+    def test_known_small_values(self):
+        assert encode_uvarint(0) == b"\x00"
+        assert encode_uvarint(1) == b"\x01"
+        assert encode_uvarint(127) == b"\x7f"
+        assert encode_uvarint(128) == b"\x80\x01"
+        assert encode_uvarint(300) == b"\xac\x02"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_uvarint(-1)
+
+    def test_truncated_input_rejected(self):
+        with pytest.raises(ValueError):
+            decode_uvarint(b"\x80")
+
+    def test_decode_with_offset(self):
+        data = b"junk" + encode_uvarint(300)
+        value, offset = decode_uvarint(data, 4)
+        assert value == 300
+        assert offset == len(data)
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_property_round_trip(self, value):
+        encoded = encode_uvarint(value)
+        decoded, offset = decode_uvarint(encoded)
+        assert decoded == value
+        assert offset == len(encoded)
+
+
+class TestLengthPrefixedBytes:
+    def test_round_trip(self):
+        encoded = encode_bytes(b"hello")
+        assert decode_bytes(encoded) == (b"hello", len(encoded))
+
+    def test_empty(self):
+        assert decode_bytes(encode_bytes(b"")) == (b"", 1)
+
+    def test_truncated_payload_rejected(self):
+        with pytest.raises(ValueError):
+            decode_bytes(encode_uvarint(10) + b"abc")
+
+    def test_concatenated_values_decode_sequentially(self):
+        data = encode_bytes(b"one") + encode_bytes(b"two")
+        first, offset = decode_bytes(data)
+        second, end = decode_bytes(data, offset)
+        assert (first, second) == (b"one", b"two")
+        assert end == len(data)
+
+    @given(st.binary(max_size=500))
+    @settings(max_examples=100, deadline=None)
+    def test_property_round_trip(self, value):
+        assert decode_bytes(encode_bytes(value))[0] == value
+
+
+class TestBytesList:
+    def test_round_trip(self):
+        values = [b"", b"a", b"bb", b"c" * 100]
+        encoded = encode_bytes_list(values)
+        decoded, offset = decode_bytes_list(encoded)
+        assert decoded == values
+        assert offset == len(encoded)
+
+    @given(st.lists(st.binary(max_size=40), max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_property_round_trip(self, values):
+        assert decode_bytes_list(encode_bytes_list(values))[0] == values
+
+
+class TestKVPairs:
+    def test_round_trip(self):
+        pairs = [(b"k1", b"v1"), (b"", b""), (b"key", b"x" * 50)]
+        encoded = encode_kv_pairs(pairs)
+        decoded, offset = decode_kv_pairs(encoded)
+        assert decoded == pairs
+        assert offset == len(encoded)
+
+    def test_canonical_encoding_is_injective_on_pairs(self):
+        a = encode_kv_pairs([(b"ab", b"c")])
+        b = encode_kv_pairs([(b"a", b"bc")])
+        assert a != b
+
+    @given(st.lists(st.tuples(st.binary(max_size=20), st.binary(max_size=60)), max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_property_round_trip(self, pairs):
+        assert decode_kv_pairs(encode_kv_pairs(pairs))[0] == pairs

@@ -1,0 +1,91 @@
+"""Unit and property tests for nibble / hex-prefix encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.nibbles import (
+    bytes_to_nibbles,
+    common_prefix_length,
+    hex_prefix_decode,
+    hex_prefix_encode,
+    nibbles_to_bytes,
+)
+
+
+class TestNibbleConversion:
+    def test_known_value(self):
+        assert bytes_to_nibbles(b"\x38") == [3, 8]
+        assert bytes_to_nibbles(b"\xab\xcd") == [0xA, 0xB, 0xC, 0xD]
+
+    def test_empty(self):
+        assert bytes_to_nibbles(b"") == []
+        assert nibbles_to_bytes([]) == b""
+
+    def test_round_trip(self):
+        for data in (b"", b"\x00", b"hello world", bytes(range(256))):
+            assert nibbles_to_bytes(bytes_to_nibbles(data)) == data
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            nibbles_to_bytes([1, 2, 3])
+
+    def test_out_of_range_nibble_rejected(self):
+        with pytest.raises(ValueError):
+            nibbles_to_bytes([1, 16])
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_property_round_trip(self, data):
+        nibbles = bytes_to_nibbles(data)
+        assert len(nibbles) == 2 * len(data)
+        assert all(0 <= n <= 15 for n in nibbles)
+        assert nibbles_to_bytes(nibbles) == data
+
+
+class TestCommonPrefix:
+    def test_basic(self):
+        assert common_prefix_length([1, 2, 3], [1, 2, 4]) == 2
+        assert common_prefix_length([1, 2], [1, 2, 3]) == 2
+        assert common_prefix_length([], [1]) == 0
+        assert common_prefix_length([5], [6]) == 0
+
+
+class TestHexPrefix:
+    def test_even_extension(self):
+        encoded = hex_prefix_encode([1, 2, 3, 4], is_leaf=False)
+        assert hex_prefix_decode(encoded) == ([1, 2, 3, 4], False)
+
+    def test_odd_leaf(self):
+        encoded = hex_prefix_encode([0xF, 0x1, 0xC], is_leaf=True)
+        assert hex_prefix_decode(encoded) == ([0xF, 0x1, 0xC], True)
+
+    def test_empty_paths(self):
+        assert hex_prefix_decode(hex_prefix_encode([], True)) == ([], True)
+        assert hex_prefix_decode(hex_prefix_encode([], False)) == ([], False)
+
+    def test_leaf_and_extension_encodings_differ(self):
+        path = [1, 2, 3]
+        assert hex_prefix_encode(path, True) != hex_prefix_encode(path, False)
+
+    def test_rejects_invalid_nibbles(self):
+        with pytest.raises(ValueError):
+            hex_prefix_encode([16], True)
+
+    def test_rejects_empty_encoded_input(self):
+        with pytest.raises(ValueError):
+            hex_prefix_decode(b"")
+
+    def test_rejects_bad_padding(self):
+        # Even-length encoding must have a zero padding nibble.
+        corrupted = bytes([0x05]) + b"\x12"
+        with pytest.raises(ValueError):
+            hex_prefix_decode(corrupted)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=15), max_size=40),
+        st.booleans(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_round_trip(self, nibbles, is_leaf):
+        assert hex_prefix_decode(hex_prefix_encode(nibbles, is_leaf)) == (nibbles, is_leaf)

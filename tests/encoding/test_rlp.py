@@ -1,0 +1,125 @@
+"""Unit and property tests for RLP encoding/decoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.rlp import RLPDecodingError, rlp_decode, rlp_encode
+
+
+class TestRLPKnownVectors:
+    """Vectors from the Ethereum yellow paper / wiki examples."""
+
+    def test_single_byte_below_0x80(self):
+        assert rlp_encode(b"\x00") == b"\x00"
+        assert rlp_encode(b"\x7f") == b"\x7f"
+
+    def test_short_string(self):
+        assert rlp_encode(b"dog") == b"\x83dog"
+
+    def test_empty_string(self):
+        assert rlp_encode(b"") == b"\x80"
+
+    def test_empty_list(self):
+        assert rlp_encode([]) == b"\xc0"
+
+    def test_list_of_strings(self):
+        assert rlp_encode([b"cat", b"dog"]) == b"\xc8\x83cat\x83dog"
+
+    def test_integer_scalars(self):
+        assert rlp_encode(0) == b"\x80"
+        assert rlp_encode(15) == b"\x0f"
+        assert rlp_encode(1024) == b"\x82\x04\x00"
+
+    def test_long_string_uses_long_form(self):
+        data = b"a" * 56
+        encoded = rlp_encode(data)
+        assert encoded[0] == 0xB8
+        assert encoded[1] == 56
+        assert encoded[2:] == data
+
+    def test_nested_list(self):
+        # The "set theoretical representation of three" example.
+        encoded = rlp_encode([[], [[]], [[], [[]]]])
+        assert encoded == b"\xc7\xc0\xc1\xc0\xc3\xc0\xc1\xc0"
+
+    def test_str_encoded_as_utf8(self):
+        assert rlp_encode("dog") == rlp_encode(b"dog")
+
+
+class TestRLPErrors:
+    def test_negative_integer_rejected(self):
+        with pytest.raises(TypeError):
+            rlp_encode(-1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            rlp_encode(True)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            rlp_encode(3.14)
+
+    def test_decode_empty_input(self):
+        with pytest.raises(RLPDecodingError):
+            rlp_decode(b"")
+
+    def test_decode_truncated_string(self):
+        with pytest.raises(RLPDecodingError):
+            rlp_decode(b"\x85abc")
+
+    def test_decode_truncated_list(self):
+        with pytest.raises(RLPDecodingError):
+            rlp_decode(b"\xc8\x83cat")
+
+    def test_decode_trailing_garbage(self):
+        with pytest.raises(RLPDecodingError):
+            rlp_decode(b"\x83dog!")
+
+    def test_decode_non_canonical_single_byte(self):
+        # 0x81 0x05 encodes byte 5 redundantly; canonical form is plain 0x05.
+        with pytest.raises(RLPDecodingError):
+            rlp_decode(b"\x81\x05")
+
+    def test_decode_non_canonical_long_form(self):
+        with pytest.raises(RLPDecodingError):
+            rlp_decode(b"\xb8\x03abc")
+
+
+# Strategy for nested RLP structures of bytes.
+rlp_structure = st.recursive(
+    st.binary(max_size=80),
+    lambda children: st.lists(children, max_size=6),
+    max_leaves=25,
+)
+
+
+class TestRLPRoundTrip:
+    def test_transaction_like_structure(self):
+        transaction = [1_000_000, 20 * 10**9, 21_000, b"\xaa" * 20, 10**18, b"calldata" * 30, 27,
+                       2**255 - 19, 2**254 + 7]
+        encoded = rlp_encode(transaction)
+        decoded = rlp_decode(encoded)
+        assert isinstance(decoded, list)
+        assert decoded[3] == b"\xaa" * 20
+        assert decoded[5] == b"calldata" * 30
+        # Scalars decode to their minimal big-endian byte strings.
+        assert int.from_bytes(decoded[0], "big") == 1_000_000
+
+    @given(rlp_structure)
+    @settings(max_examples=150, deadline=None)
+    def test_property_round_trip(self, structure):
+        assert rlp_decode(rlp_encode(structure)) == structure
+
+    @given(st.binary(min_size=0, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_property_bytes_round_trip(self, data):
+        assert rlp_decode(rlp_encode(data)) == data
+
+    @given(st.integers(min_value=0, max_value=2**256))
+    @settings(max_examples=100, deadline=None)
+    def test_property_integers_decode_to_minimal_bytes(self, value):
+        decoded = rlp_decode(rlp_encode(value))
+        assert int.from_bytes(decoded, "big") == value
+        if value:
+            assert decoded[0] != 0  # minimal encoding: no leading zero bytes

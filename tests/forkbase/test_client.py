@@ -1,0 +1,102 @@
+"""Tests for the caching Forkbase client."""
+
+import pytest
+
+from repro.forkbase.client import ForkbaseClient
+from repro.forkbase.engine import ForkbaseEngine
+from repro.indexes import MerkleBucketTree, POSTree
+from repro.storage.memory import InMemoryNodeStore
+
+
+def make_engine_and_client(index_factory=None, cache_capacity_bytes=1 << 20):
+    index_factory = index_factory or (lambda store: POSTree(store))
+    engine = ForkbaseEngine()
+    engine.create_dataset("kv", index_factory)
+    client = ForkbaseClient(engine, "kv", index_factory,
+                            cache_capacity_bytes=cache_capacity_bytes)
+    return engine, client
+
+
+class TestClientReadsAndWrites:
+    def test_write_then_read(self):
+        _, client = make_engine_and_client()
+        client.write({b"alpha": b"1", b"beta": b"2"})
+        assert client.get(b"alpha") == b"1"
+        assert client.get(b"missing") is None
+        assert client.get(b"missing", b"default") == b"default"
+
+    def test_put_single_key(self):
+        _, client = make_engine_and_client()
+        client.put("key", "value")
+        assert client.get("key") == b"value"
+
+    def test_snapshot_and_proof(self):
+        engine, client = make_engine_and_client()
+        client.write({f"k{i}".encode(): b"v" for i in range(200)})
+        snapshot = client.snapshot()
+        assert snapshot[b"k42"] == b"v"
+        proof = client.prove(b"k42")
+        assert proof.verify(engine.head_root("kv"))
+
+    def test_writes_visible_to_other_clients_after_invalidate(self):
+        engine, writer = make_engine_and_client()
+        reader = ForkbaseClient(engine, "kv", lambda store: POSTree(store))
+        writer.write({b"x": b"1"})
+        reader.invalidate()
+        assert reader.get(b"x") == b"1"
+        writer.write({b"x": b"2"})
+        # The reader still sees the head it resolved before (stale cache)...
+        assert reader.get(b"x") == b"1"
+        # ...until it invalidates its cached root.
+        reader.invalidate()
+        assert reader.get(b"x") == b"2"
+
+
+class TestClientCacheEffects:
+    def test_repeated_reads_hit_cache(self):
+        engine, client = make_engine_and_client()
+        client.write({f"k{i:04d}".encode(): b"v" * 50 for i in range(500)})
+        engine.reset_meters()
+        for _ in range(20):
+            client.get(b"k0100")
+        # Only the first traversal should fetch nodes remotely.
+        first_round_requests = engine.requests_served
+        for _ in range(100):
+            client.get(b"k0100")
+        assert engine.requests_served == first_round_requests
+        assert client.cache_hit_ratio > 0.5
+
+    def test_cold_cache_pays_remote_cost(self):
+        engine, client = make_engine_and_client(cache_capacity_bytes=1)
+        client.write({f"k{i:04d}".encode(): b"v" * 50 for i in range(300)})
+        engine.reset_meters()
+        client.get(b"k0000")
+        client.get(b"k0299")
+        assert engine.requests_served > 0
+        assert client.simulated_read_seconds() > 0
+
+    def test_cache_serves_hot_working_set_for_every_index_type(self):
+        """Once a working set has been traversed, re-reading it is served
+        almost entirely from the client cache (the mechanism behind the
+        Figure 21 read results; the cross-index comparison itself is done at
+        proper scale by the Figure 21 benchmark)."""
+
+        for index_factory in (
+            lambda store: POSTree(store),
+            lambda store: MerkleBucketTree(store, capacity=512, fanout=4),
+        ):
+            engine, client = make_engine_and_client(index_factory)
+            client.write({f"k{i:05d}".encode(): b"v" * 60 for i in range(2_000)})
+            hot_keys = [f"k{i:05d}".encode() for i in range(0, 2_000, 7)]
+            for key in hot_keys:
+                client.get(key)
+            engine.reset_meters()
+            for key in hot_keys:
+                client.get(key)
+            assert engine.requests_served == 0
+            assert client.cache_hit_ratio > 0.5
+
+    def test_client_cannot_write_nodes_directly(self):
+        _, client = make_engine_and_client()
+        with pytest.raises(NotImplementedError):
+            client.cache.backing.put_bytes(None, b"data")

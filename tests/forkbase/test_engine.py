@@ -1,0 +1,85 @@
+"""Tests for the Forkbase-style engine (servlet side)."""
+
+import pytest
+
+from repro.forkbase.engine import ForkbaseEngine, RemoteCostModel, UnknownDatasetError
+from repro.indexes import POSTree
+from repro.storage.memory import InMemoryNodeStore
+
+
+@pytest.fixture
+def engine():
+    engine = ForkbaseEngine()
+    engine.create_dataset("data", lambda store: POSTree(store))
+    return engine
+
+
+class TestDatasets:
+    def test_create_and_list(self, engine):
+        assert engine.datasets() == ["data"]
+        engine.create_dataset("other", lambda store: POSTree(store))
+        assert engine.datasets() == ["data", "other"]
+
+    def test_duplicate_creation_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.create_dataset("data", lambda store: POSTree(store))
+
+    def test_unknown_dataset_rejected(self, engine):
+        with pytest.raises(UnknownDatasetError):
+            engine.head_root("missing")
+
+    def test_initial_head_is_empty(self, engine):
+        assert engine.head_root("data") is None
+        assert engine.snapshot("data").is_empty()
+
+
+class TestWritesAndBranches:
+    def test_write_advances_head_and_history(self, engine):
+        root = engine.write("data", {b"a": b"1"}, message="first")
+        assert engine.head_root("data") == root
+        assert engine.snapshot("data")[b"a"] == b"1"
+        messages = [commit.message for commit in engine.history("data")]
+        assert messages[0] == "first"
+
+    def test_successive_writes_accumulate(self, engine):
+        engine.write("data", {b"a": b"1"})
+        engine.write("data", {b"b": b"2"}, removes=[b"a"])
+        snapshot = engine.snapshot("data")
+        assert b"a" not in snapshot
+        assert snapshot[b"b"] == b"2"
+
+    def test_branching_isolated_heads(self, engine):
+        engine.write("data", {b"shared": b"base"})
+        engine.branch("data", "experiment")
+        engine.write("data", {b"only-exp": b"1"}, branch="experiment")
+        assert b"only-exp" not in engine.snapshot("data")
+        assert engine.snapshot("data", "experiment")[b"only-exp"] == b"1"
+        assert engine.branches("data") == ["experiment", "master"]
+
+    def test_commit_external_root(self, engine):
+        root = engine.write("data", {b"a": b"1"})
+        engine.branch("data", "copy")
+        engine.commit_root("data", root, branch="copy", message="adopt root")
+        assert engine.snapshot("data", "copy")[b"a"] == b"1"
+
+
+class TestCostAccounting:
+    def test_requests_and_costs_accumulate(self, engine):
+        engine.reset_meters()
+        engine.write("data", {b"a": b"1" * 100})
+        engine.head_root("data")
+        digest = engine.snapshot("data").root_digest
+        engine.fetch_node(digest)
+        assert engine.requests_served == 3
+        assert engine.simulated_seconds > 0
+
+    def test_cost_model_scales_with_payload(self):
+        model = RemoteCostModel(request_latency=1e-3, per_byte=1e-6)
+        assert model.request_cost(0) == pytest.approx(1e-3)
+        assert model.request_cost(1000) == pytest.approx(2e-3)
+
+    def test_reset_meters(self, engine):
+        engine.write("data", {b"a": b"1"})
+        engine.reset_meters()
+        assert engine.requests_served == 0
+        assert engine.simulated_seconds == 0.0

@@ -1,0 +1,66 @@
+"""Tests for the Noms-style Prolly Tree and its cost model."""
+
+from repro.forkbase.engine import forkbase_remote_cost_model
+from repro.forkbase.noms import NomsProllyTree, noms_remote_cost_model
+from repro.indexes import POSTree
+from repro.storage.memory import InMemoryNodeStore
+
+
+def make_items(count):
+    return {f"key{i:05d}".encode(): (b"value-%05d" % i) * 3 for i in range(count)}
+
+
+class TestNomsProllyTree:
+    def test_is_a_correct_index(self):
+        tree = NomsProllyTree(InMemoryNodeStore(), target_node_size=512, estimated_entry_size=48)
+        items = make_items(500)
+        snapshot = tree.from_items(items)
+        assert snapshot.to_dict() == items
+        v2 = snapshot.put(b"key00100", b"changed")
+        assert v2[b"key00100"] == b"changed"
+        assert snapshot[b"key00100"] == items[b"key00100"]
+
+    def test_structurally_invariant_like_pos_tree(self):
+        items = list(make_items(400).items())
+        a = NomsProllyTree(InMemoryNodeStore(), target_node_size=512,
+                           estimated_entry_size=48).from_items(dict(items))
+        tree_b = NomsProllyTree(InMemoryNodeStore(), target_node_size=512, estimated_entry_size=48)
+        b = tree_b.empty_snapshot()
+        for start in range(0, len(items), 150):
+            b = b.update(dict(items[start : start + 150]))
+        assert a.root_digest == b.root_digest
+
+    def test_rolling_hash_work_accounted(self):
+        """The Prolly Tree pays rolling-hash work POS-Tree avoids in internal
+        layers — the mechanism behind the Figure 22 write gap."""
+        store = InMemoryNodeStore()
+        noms = NomsProllyTree(store, target_node_size=512, estimated_entry_size=48)
+        assert noms.rolling_hash_bytes == 0
+        noms.from_items(make_items(500))
+        assert noms.rolling_hash_bytes > 0
+
+    def test_pos_tree_does_not_pay_rolling_hash_on_internal_layers(self):
+        pos = POSTree(InMemoryNodeStore(), target_node_size=512, estimated_entry_size=48)
+        assert not hasattr(pos, "rolling_hash_bytes") or pos.rolling_hash_bytes == 0
+
+    def test_different_structure_than_pos_tree(self):
+        items = make_items(300)
+        pos = POSTree(InMemoryNodeStore(), target_node_size=512,
+                      estimated_entry_size=48).from_items(items)
+        noms = NomsProllyTree(InMemoryNodeStore(), target_node_size=512,
+                              estimated_entry_size=48).from_items(items)
+        assert pos.to_dict() == noms.to_dict()
+        assert pos.root_digest != noms.root_digest  # different chunking decisions
+
+    def test_default_node_size_matches_noms(self):
+        tree = NomsProllyTree(InMemoryNodeStore())
+        assert tree.target_node_size == 4096
+        assert tree.window_size == 67
+
+
+class TestRemoteCostModels:
+    def test_noms_protocol_slower_than_forkbase(self):
+        noms = noms_remote_cost_model()
+        forkbase = forkbase_remote_cost_model()
+        assert noms.request_latency > forkbase.request_latency
+        assert noms.request_cost(1000) > forkbase.request_cost(1000)

@@ -1,0 +1,143 @@
+"""Unit and property tests for content-defined chunking."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.chunker import (
+    BoundaryPattern,
+    ContentDefinedChunker,
+    FixedSizeChunker,
+    chunk_items,
+)
+
+
+def make_items(count, seed=0, size=40):
+    rng = random.Random(seed)
+    return [bytes(rng.getrandbits(8) for _ in range(size)) for _ in range(count)]
+
+
+class TestBoundaryPattern:
+    def test_rejects_invalid_bits(self):
+        with pytest.raises(ValueError):
+            BoundaryPattern(bits=0)
+        with pytest.raises(ValueError):
+            BoundaryPattern(bits=64)
+
+    def test_default_value_is_all_ones(self):
+        pattern = BoundaryPattern(bits=4)
+        assert pattern.value == 0b1111
+        assert pattern.matches(0xFF)
+        assert not pattern.matches(0xF0)
+
+    def test_expected_chunk_items(self):
+        assert BoundaryPattern(bits=5).expected_chunk_items == 32
+
+    def test_for_target_size(self):
+        pattern = BoundaryPattern.for_target_size(1024, 64)
+        assert pattern.expected_chunk_items in (8, 16)
+        with pytest.raises(ValueError):
+            BoundaryPattern.for_target_size(0, 10)
+
+
+class TestContentDefinedChunker:
+    def test_empty_input(self):
+        chunker = ContentDefinedChunker()
+        assert chunker.chunk([]) == []
+        assert chunker.boundaries([]) == []
+
+    def test_chunks_preserve_items_and_order(self):
+        items = make_items(500, seed=1)
+        chunks = ContentDefinedChunker(BoundaryPattern(bits=4)).chunk(items)
+        reassembled = [item for chunk in chunks for item in chunk.items]
+        assert reassembled == items
+
+    def test_chunking_is_deterministic(self):
+        items = make_items(300, seed=2)
+        chunker = ContentDefinedChunker(BoundaryPattern(bits=4))
+        assert chunker.boundaries(items) == chunker.boundaries(items)
+
+    def test_average_chunk_size_follows_pattern(self):
+        items = make_items(4000, seed=3, size=24)
+        chunker = ContentDefinedChunker(BoundaryPattern(bits=4), min_items=1)
+        chunks = chunker.chunk(items)
+        average = len(items) / len(chunks)
+        assert 8 < average < 40  # expected 16, loose bounds
+
+    def test_min_items_respected_except_tail(self):
+        items = make_items(1000, seed=4)
+        chunker = ContentDefinedChunker(BoundaryPattern(bits=2), min_items=4)
+        chunks = chunker.chunk(items)
+        for chunk in chunks[:-1]:
+            assert len(chunk) >= 4
+
+    def test_max_items_respected(self):
+        items = make_items(1000, seed=5)
+        chunker = ContentDefinedChunker(BoundaryPattern(bits=12), min_items=1, max_items=16)
+        chunks = chunker.chunk(items)
+        for chunk in chunks:
+            assert len(chunk) <= 16
+
+    def test_boundary_shifting_resistance(self):
+        """Inserting one item near the front must not re-chunk the far tail."""
+        items = make_items(2000, seed=6, size=32)
+        chunker = ContentDefinedChunker(BoundaryPattern(bits=5), min_items=1)
+        original_cuts = set(chunker.boundaries(items))
+
+        modified = items[:100] + make_items(1, seed=99, size=32) + items[100:]
+        shifted_cuts = {cut - 1 for cut in chunker.boundaries(modified) if cut > 100}
+        late_original = {cut for cut in original_cuts if cut > 150}
+        # Every late original boundary must survive the early insertion.
+        assert late_original <= shifted_cuts
+
+    def test_fingerprint_modes_differ_but_both_work(self):
+        items = make_items(500, seed=7)
+        by_hash = ContentDefinedChunker(BoundaryPattern(bits=4), fingerprint_mode="item_hash")
+        by_window = ContentDefinedChunker(BoundaryPattern(bits=4), fingerprint_mode="window")
+        assert [i for c in by_hash.chunk(items) for i in c.items] == items
+        assert [i for c in by_window.chunk(items) for i in c.items] == items
+
+    def test_invalid_fingerprint_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ContentDefinedChunker(fingerprint_mode="bogus")
+
+    def test_hash_item_directly_alias(self):
+        chunker = ContentDefinedChunker(hash_item_directly=True)
+        assert chunker.fingerprint_mode == "digest_tail"
+        assert chunker.hash_item_directly
+
+    def test_chunk_items_helper(self):
+        items = make_items(100, seed=8)
+        chunks = chunk_items(items)
+        assert [i for c in chunks for i in c.items] == items
+
+    @given(st.lists(st.binary(min_size=1, max_size=60), min_size=0, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_partition_is_exact(self, items):
+        """Chunking always partitions the input: nothing lost, nothing added."""
+        chunker = ContentDefinedChunker(BoundaryPattern(bits=3), min_items=1)
+        chunks = chunker.chunk(items)
+        assert [i for c in chunks for i in c.items] == list(items)
+        assert sum(c.byte_size for c in chunks) == sum(len(i) for i in items)
+
+
+class TestFixedSizeChunker:
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            FixedSizeChunker(0)
+
+    def test_fixed_chunks(self):
+        items = make_items(100, seed=9)
+        chunks = FixedSizeChunker(items_per_chunk=16).chunk(items)
+        assert all(len(c) == 16 for c in chunks[:-1])
+        assert [i for c in chunks for i in c.items] == items
+
+    def test_boundaries_depend_on_position_not_content(self):
+        """The defining non-property: early insertions shift every later boundary."""
+        items = make_items(200, seed=10)
+        chunker = FixedSizeChunker(items_per_chunk=16)
+        original = chunker.boundaries(items)
+        shifted = chunker.boundaries(items[:1] + make_items(1, seed=11) + items[1:])
+        assert original != [cut - 1 for cut in shifted]

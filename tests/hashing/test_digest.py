@@ -1,0 +1,87 @@
+"""Unit tests for repro.hashing.digest."""
+
+import pytest
+
+from repro.hashing.digest import Digest, HashFunction, default_hash_function, hash_bytes, hash_pair
+
+
+class TestDigest:
+    def test_wraps_raw_bytes(self):
+        digest = Digest(b"\x01\x02\x03")
+        assert digest.raw == b"\x01\x02\x03"
+        assert bytes(digest) == b"\x01\x02\x03"
+        assert len(digest) == 3
+
+    def test_rejects_empty_and_non_bytes(self):
+        with pytest.raises(ValueError):
+            Digest(b"")
+        with pytest.raises(TypeError):
+            Digest("abc")
+
+    def test_hex_round_trip(self):
+        digest = hash_bytes(b"hello")
+        assert Digest.from_hex(digest.hex) == digest
+
+    def test_short_form_prefix_of_hex(self):
+        digest = hash_bytes(b"hello")
+        assert digest.hex.startswith(digest.short(10))
+        assert len(digest.short(10)) == 10
+
+    def test_equality_and_hashing(self):
+        a = hash_bytes(b"x")
+        b = hash_bytes(b"x")
+        c = hash_bytes(b"y")
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+        assert a == b.raw  # comparison against raw bytes is supported
+
+    def test_ordering_by_raw_bytes(self):
+        a = Digest(b"\x01")
+        b = Digest(b"\x02")
+        assert a < b
+        assert sorted([b, a]) == [a, b]
+
+    def test_usable_as_dict_key(self):
+        mapping = {hash_bytes(b"a"): 1, hash_bytes(b"b"): 2}
+        assert mapping[hash_bytes(b"a")] == 1
+
+    def test_repr_contains_prefix(self):
+        digest = hash_bytes(b"hello")
+        assert digest.short() in repr(digest)
+
+
+class TestHashFunction:
+    def test_default_is_sha256(self):
+        fn = default_hash_function()
+        assert fn.name == "sha256"
+        assert fn.digest_size == 32
+
+    def test_deterministic(self):
+        fn = HashFunction("sha256")
+        assert fn.hash(b"data") == fn.hash(b"data")
+
+    def test_different_inputs_differ(self):
+        fn = HashFunction("sha256")
+        assert fn.hash(b"data1") != fn.hash(b"data2")
+
+    def test_hash_many_equals_concatenation(self):
+        fn = HashFunction("sha256")
+        assert fn.hash_many([b"ab", b"cd"]) == fn.hash(b"abcd")
+
+    def test_alternative_algorithms(self):
+        sha1 = HashFunction("sha1")
+        assert sha1.digest_size == 20
+        blake = HashFunction("blake2b", digest_size=16)
+        assert blake.digest_size == 16
+
+    def test_invalid_algorithm_rejected_eagerly(self):
+        with pytest.raises(ValueError):
+            HashFunction("not-a-real-hash")
+
+    def test_callable_interface(self):
+        fn = HashFunction("sha256")
+        assert fn(b"abc") == fn.hash(b"abc")
+
+    def test_hash_pair_helper(self):
+        assert hash_pair(b"l", b"r") == default_hash_function().hash(b"lr")

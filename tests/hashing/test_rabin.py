@@ -1,0 +1,98 @@
+"""Unit tests for the rolling hashes (Rabin fingerprint and BuzHash)."""
+
+import random
+
+import pytest
+
+from repro.hashing.rabin import BuzHash, RabinFingerprint
+
+
+@pytest.fixture(params=[RabinFingerprint, BuzHash], ids=["rabin", "buzhash"])
+def roller_class(request):
+    return request.param
+
+
+class TestRollingHashes:
+    def test_rejects_non_positive_window(self, roller_class):
+        with pytest.raises(ValueError):
+            roller_class(0)
+
+    def test_deterministic(self, roller_class):
+        data = bytes(range(200))
+        a = roller_class(16)
+        b = roller_class(16)
+        assert [a.update(x) for x in data] == [b.update(x) for x in data]
+
+    def test_reset_restores_initial_state(self, roller_class):
+        roller = roller_class(8)
+        for byte in b"some data to hash":
+            roller.update(byte)
+        roller.reset()
+        fresh = roller_class(8)
+        assert [roller.update(b) for b in b"abc"] == [fresh.update(b) for b in b"abc"]
+
+    def test_window_property_rolling_equals_recompute(self, roller_class):
+        """The fingerprint after n bytes depends only on the last `window` bytes."""
+        window = 16
+        rng = random.Random(5)
+        data = bytes(rng.getrandbits(8) for _ in range(300))
+
+        rolled = roller_class(window)
+        rolled_values = [rolled.update(b) for b in data]
+
+        for end in range(window, len(data), 37):
+            fresh = roller_class(window)
+            recomputed = fresh.digest_window(data[end - window : end])
+            assert recomputed == rolled_values[end - 1], f"mismatch at position {end}"
+
+    def test_different_windows_give_different_streams(self, roller_class):
+        data = bytes(range(100))
+        small = roller_class(4)
+        large = roller_class(64)
+        small_values = [small.update(b) for b in data]
+        large_values = [large.update(b) for b in data]
+        assert small_values != large_values
+
+    def test_value_property_tracks_last_update(self, roller_class):
+        roller = roller_class(8)
+        last = 0
+        for byte in b"hello world":
+            last = roller.update(byte)
+        assert roller.value == last
+
+
+class TestBuzHashSpecifics:
+    def test_table_is_deterministic_per_seed(self):
+        assert BuzHash._build_table(1) == BuzHash._build_table(1)
+        assert BuzHash._build_table(1) != BuzHash._build_table(2)
+
+    def test_values_fit_in_64_bits(self):
+        roller = BuzHash(32)
+        for byte in bytes(range(256)):
+            assert 0 <= roller.update(byte) < (1 << 64)
+
+    def test_rotl_wraps(self):
+        assert BuzHash._rotl(1, 64) == 1
+        assert BuzHash._rotl(1 << 63, 1) == 1
+
+
+class TestRabinSpecifics:
+    def test_values_bounded_by_polynomial_degree(self):
+        roller = RabinFingerprint(32)
+        for byte in bytes(range(256)):
+            assert roller.update(byte).bit_length() <= roller.degree
+
+    def test_distribution_of_low_bits_roughly_uniform(self):
+        """Low bits of the fingerprint should hit a boundary pattern at the
+        expected rate (within a loose tolerance) — this is what chunk size
+        control relies on."""
+        rng = random.Random(11)
+        roller = RabinFingerprint(48)
+        matches = 0
+        trials = 4000
+        for _ in range(trials):
+            fingerprint = roller.update(rng.getrandbits(8))
+            if fingerprint & 0x0F == 0x0F:
+                matches += 1
+        expected = trials / 16
+        assert expected * 0.5 < matches < expected * 1.8

@@ -1,0 +1,108 @@
+"""Tests for the POS-Tree ablation variants (paper Section 5.5)."""
+
+import pytest
+
+from repro.core.metrics import deduplication_ratio, node_sharing_ratio
+from repro.indexes.ablation import NonRecursivelyIdenticalPOSTree, NonStructurallyInvariantPOSTree
+from repro.indexes.pos_tree import POSTree
+from repro.storage.memory import InMemoryNodeStore
+
+
+def make_items(count, prefix="key"):
+    return {f"{prefix}{i:05d}".encode(): (b"value-%05d-" % i) * 3 for i in range(count)}
+
+
+def build(cls, **kwargs):
+    params = {"target_node_size": 512, "estimated_entry_size": 48}
+    params.update(kwargs)
+    return cls(InMemoryNodeStore(), **params)
+
+
+class TestNonStructurallyInvariant:
+    def test_still_a_correct_key_value_index(self):
+        tree = build(NonStructurallyInvariantPOSTree)
+        items = make_items(500)
+        snapshot = tree.from_items(items)
+        assert snapshot.to_dict() == items
+        v2 = snapshot.put(b"key00010", b"changed")
+        assert v2[b"key00010"] == b"changed"
+        assert snapshot[b"key00010"] == items[b"key00010"]
+
+    def test_update_history_affects_structure(self):
+        """Identical content reached through different update orders produces
+        different trees — the property the ablation is designed to break."""
+        items = sorted(make_items(800).items())
+
+        def build_with_batches(batches):
+            tree = build(NonStructurallyInvariantPOSTree)
+            snapshot = tree.empty_snapshot()
+            for batch in batches:
+                snapshot = snapshot.update(dict(batch))
+            return snapshot
+
+        one_shot = build_with_batches([items])
+        # The second history loads everything except a middle slice first and
+        # then fills the hole, so the hole-filling rewrite starts at a node
+        # boundary the one-shot build never had.
+        two_phase = build_with_batches([items[:300] + items[500:], items[300:500]])
+        assert one_shot.to_dict() == two_phase.to_dict()
+        assert one_shot.root_digest != two_phase.root_digest
+
+    def test_dedup_lower_than_standard_pos_tree(self):
+        """Figure 19: disabling structural invariance lowers dedup/sharing."""
+
+        def shared_dataset_ratio(index_class):
+            base = sorted(make_items(600).items())
+            extra = sorted(make_items(300, prefix="shared").items())
+            snapshots = []
+            for group in range(4):
+                tree = build(index_class)
+                snapshot = tree.empty_snapshot()
+                # Each group interleaves its loading differently but ends with
+                # the same content.
+                offset = group * 150
+                reordered = base[offset:] + base[:offset]
+                for start in range(0, len(reordered), 200):
+                    snapshot = snapshot.update(dict(reordered[start : start + 200]))
+                snapshot = snapshot.update(dict(extra))
+                snapshots.append(snapshot)
+            return node_sharing_ratio(snapshots)
+
+        invariant = shared_dataset_ratio(POSTree)
+        ablated = shared_dataset_ratio(NonStructurallyInvariantPOSTree)
+        assert ablated < invariant
+
+
+class TestNonRecursivelyIdentical:
+    def test_still_a_correct_key_value_index(self):
+        tree = build(NonRecursivelyIdenticalPOSTree)
+        items = make_items(300)
+        v1 = tree.from_items(items)
+        v2 = v1.update({b"key00000": b"new", b"added": b"x"})
+        assert v1.to_dict() == items
+        assert v2[b"key00000"] == b"new"
+        assert v2[b"added"] == b"x"
+
+    def test_versions_share_no_pages(self):
+        """Figure 20: with the property disabled, dedup and sharing collapse to 0."""
+        tree = build(NonRecursivelyIdenticalPOSTree)
+        v1 = tree.from_items(make_items(400))
+        v2 = v1.put(b"key00123", b"changed")
+        assert not (v1.node_digests() & v2.node_digests())
+        assert deduplication_ratio([v1, v2]) == pytest.approx(0.0)
+        assert node_sharing_ratio([v1, v2]) == pytest.approx(0.0)
+
+    def test_standard_pos_tree_shares_pages_in_same_scenario(self):
+        tree = build(POSTree)
+        v1 = tree.from_items(make_items(400))
+        v2 = v1.put(b"key00123", b"changed")
+        assert deduplication_ratio([v1, v2]) > 0.3
+
+    def test_old_versions_remain_readable(self):
+        tree = build(NonRecursivelyIdenticalPOSTree)
+        versions = [tree.from_items(make_items(100))]
+        for i in range(5):
+            versions.append(versions[-1].put(f"extra{i}", f"value{i}"))
+        assert versions[0][b"key00000"] == make_items(1)[b"key00000"]
+        for i, version in enumerate(versions[1:], start=0):
+            assert version[f"extra{i}".encode()] == f"value{i}".encode()

@@ -1,0 +1,145 @@
+"""Structure-specific tests for the Merkle Bucket Tree."""
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.indexes.mbt import MerkleBucketTree
+from repro.storage.memory import InMemoryNodeStore
+
+
+def make_tree(capacity=16, fanout=4):
+    return MerkleBucketTree(InMemoryNodeStore(), capacity=capacity, fanout=fanout)
+
+
+class TestConfiguration:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MerkleBucketTree(InMemoryNodeStore(), capacity=0)
+        with pytest.raises(InvalidParameterError):
+            MerkleBucketTree(InMemoryNodeStore(), fanout=1)
+
+    @pytest.mark.parametrize("capacity,fanout,expected_levels", [
+        (1, 2, 1),
+        (8, 2, 4),
+        (16, 4, 3),
+        (100, 10, 3),
+        (1024, 4, 6),
+    ])
+    def test_level_count(self, capacity, fanout, expected_levels):
+        tree = make_tree(capacity, fanout)
+        assert tree.levels == expected_levels
+
+    def test_bucket_assignment_stable_and_in_range(self):
+        tree = make_tree(capacity=32)
+        for i in range(200):
+            key = f"key{i}".encode()
+            bucket = tree.bucket_of(key)
+            assert 0 <= bucket < 32
+            assert tree.bucket_of(key) == bucket
+
+
+class TestStructure:
+    def test_fixed_node_count_regardless_of_data_size(self):
+        """MBT's defining characteristic: the tree shape never changes."""
+        tree = make_tree(capacity=16, fanout=4)
+        small = tree.from_items({f"k{i}".encode(): b"v" for i in range(10)})
+        large = small.update({f"x{i}".encode(): b"v" for i in range(500)})
+        # 16 buckets + 4 internal + 1 root = 21 positions; page-set size can
+        # only be smaller due to identical (e.g. empty) buckets deduplicating.
+        assert len(small.node_digests()) <= 21
+        assert len(large.node_digests()) <= 21
+        assert small.height() == large.height() == 3
+
+    def test_empty_buckets_deduplicate_to_one_node(self):
+        tree = make_tree(capacity=64, fanout=4)
+        snapshot = tree.from_items({b"only-one": b"record"})
+        # 64 buckets exist logically, but 63 identical empty buckets are one
+        # stored node.
+        assert len(snapshot.node_digests()) < 64
+
+    def test_bucket_growth_with_records(self):
+        """Bucket (leaf) size grows linearly with N: the paper's N/B effect."""
+        tree = make_tree(capacity=8, fanout=2)
+        small = tree.from_items({f"k{i:04d}".encode(): b"v" * 10 for i in range(40)})
+        large = tree.from_items({f"k{i:04d}".encode(): b"v" * 10 for i in range(400)})
+        small_max = max(tree.store.size_of(d) for d in small.node_digests())
+        large_max = max(tree.store.size_of(d) for d in large.node_digests())
+        assert large_max > small_max * 5
+
+    def test_lookup_depth_is_constant(self):
+        tree = make_tree(capacity=16, fanout=4)
+        snapshot = tree.from_items({f"k{i}".encode(): b"v" for i in range(300)})
+        depths = {snapshot.lookup_depth(f"k{i}".encode()) for i in range(0, 300, 17)}
+        assert depths == {3}
+
+    def test_records_sorted_within_buckets(self):
+        tree = make_tree(capacity=4, fanout=2)
+        snapshot = tree.from_items({f"k{i:03d}".encode(): b"v" for i in range(50)})
+        for digest in snapshot.index._bucket_digests(snapshot.root_digest):
+            entries = tree._deserialize_bucket(tree._get_node(digest))
+            keys = [k for k, _ in entries]
+            assert keys == sorted(keys)
+
+
+class TestOperations:
+    def test_update_changes_only_bucket_path(self):
+        tree = make_tree(capacity=64, fanout=4)
+        v1 = tree.from_items({f"k{i:04d}".encode(): b"v" * 20 for i in range(500)})
+        v2 = v1.put(b"k0007", b"changed")
+        new_pages = v2.node_digests() - v1.node_digests()
+        # Only the bucket holding k0007 plus its ancestors are new.
+        assert len(new_pages) <= tree.levels
+
+    def test_structural_invariance_under_batching(self):
+        items = {f"key{i:04d}".encode(): f"val{i}".encode() for i in range(300)}
+        one_shot = make_tree(capacity=32).from_items(items)
+        tree2 = make_tree(capacity=32)
+        incremental = tree2.empty_snapshot()
+        ordered = sorted(items.items(), reverse=True)
+        for start in range(0, len(ordered), 37):
+            incremental = incremental.update(dict(ordered[start : start + 37]))
+        assert one_shot.root_digest == incremental.root_digest
+
+    def test_different_capacity_gives_different_roots(self):
+        items = {f"k{i}".encode(): b"v" for i in range(50)}
+        a = make_tree(capacity=8).from_items(items)
+        b = make_tree(capacity=16).from_items(items)
+        assert a.root_digest != b.root_digest
+
+    def test_remove_then_empty_bucket_matches_fresh_tree(self):
+        tree = make_tree(capacity=8, fanout=2)
+        with_extra = tree.from_items({b"keep": b"1", b"drop": b"2"})
+        only_keep = with_extra.remove(b"drop")
+        fresh = tree.from_items({b"keep": b"1"})
+        assert only_keep.root_digest == fresh.root_digest
+
+    def test_write_empty_batch_returns_same_root(self):
+        tree = make_tree()
+        snapshot = tree.from_items({b"a": b"1"})
+        assert tree.write(snapshot.root_digest, {}, []) == snapshot.root_digest
+
+    def test_instrumentation_counters_advance(self):
+        tree = make_tree(capacity=16, fanout=4)
+        snapshot = tree.from_items({f"k{i}".encode(): b"v" for i in range(100)})
+        before = tree.buckets_scanned_entries
+        snapshot.get(b"k50")
+        assert tree.buckets_scanned_entries > before
+        assert tree.internal_nodes_traversed > 0
+
+
+class TestDiff:
+    def test_bucket_aligned_diff(self):
+        tree = make_tree(capacity=32, fanout=4)
+        v1 = tree.from_items({f"k{i:04d}".encode(): b"value" for i in range(400)})
+        v2 = v1.update({b"k0100": b"changed", b"new-key": b"added"})
+        differences = {key: (left, right)
+                       for key, left, right in tree.iterate_diff(v1.root_digest, v2.root_digest)}
+        assert differences == {
+            b"k0100": (b"value", b"changed"),
+            b"new-key": (None, b"added"),
+        }
+
+    def test_diff_of_identical_roots_is_empty(self):
+        tree = make_tree()
+        snapshot = tree.from_items({b"a": b"1"})
+        assert list(tree.iterate_diff(snapshot.root_digest, snapshot.root_digest)) == []

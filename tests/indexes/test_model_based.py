@@ -1,0 +1,134 @@
+"""Model-based and property-based tests applied uniformly to every index.
+
+Each index is driven with randomized command sequences (hypothesis) and
+compared against a plain ``dict`` model after every batch.  This exercises
+insertion, overwriting, deletion, iteration order, version isolation, and
+proof generation across all four structures with the same scenarios.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import deduplication_ratio
+from tests.conftest import ALL_INDEXES, SIRI_INDEXES, build_index
+
+# Small keyspace so operations collide (overwrites and deletes of existing keys).
+keys = st.binary(min_size=1, max_size=6)
+values = st.binary(min_size=0, max_size=24)
+
+batch_strategy = st.lists(
+    st.tuples(st.sampled_from(["put", "remove"]), keys, values),
+    min_size=1,
+    max_size=25,
+)
+command_strategy = st.lists(batch_strategy, min_size=1, max_size=6)
+
+
+@pytest.mark.parametrize("index_class", ALL_INDEXES, ids=lambda c: c.name)
+class TestModelBased:
+    @given(commands=command_strategy)
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_matches_dict_model(self, index_class, commands):
+        index = build_index(index_class)
+        snapshot = index.empty_snapshot()
+        model = {}
+        for batch in commands:
+            puts = {}
+            removes = []
+            for op, key, value in batch:
+                if op == "put":
+                    puts[key] = value
+                    model[key] = value
+                    removes = [k for k in removes if k != key]
+                else:
+                    puts.pop(key, None)
+                    model.pop(key, None)
+                    removes.append(key)
+            snapshot = snapshot.update(puts, removes=removes)
+            assert snapshot.to_dict() == model
+            assert list(snapshot.keys()) == sorted(model)
+
+    @given(commands=command_strategy)
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_old_versions_are_isolated(self, index_class, commands):
+        """Every intermediate version stays readable and equal to its model."""
+        index = build_index(index_class)
+        snapshot = index.empty_snapshot()
+        model = {}
+        history = [(snapshot, dict(model))]
+        for batch in commands:
+            puts = {key: value for op, key, value in batch if op == "put"}
+            removes = [key for op, key, _ in batch if op == "remove" and key not in puts]
+            model.update(puts)
+            for key in removes:
+                model.pop(key, None)
+            snapshot = snapshot.update(puts, removes=removes)
+            history.append((snapshot, dict(model)))
+        for old_snapshot, old_model in history:
+            assert old_snapshot.to_dict() == old_model
+
+
+@pytest.mark.parametrize("index_class", SIRI_INDEXES, ids=lambda c: c.name)
+class TestSIRIInvariants:
+    @given(items=st.dictionaries(keys, values, min_size=1, max_size=60),
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_root_depends_only_on_content(self, index_class, items, seed):
+        """Structural invariance: any permutation/batching yields the same root."""
+        import random
+
+        ordered = list(items.items())
+        random.Random(seed).shuffle(ordered)
+        batch = max(1, len(ordered) // 3)
+
+        direct = build_index(index_class).from_items(items)
+        incremental_index = build_index(index_class)
+        incremental = incremental_index.empty_snapshot()
+        for start in range(0, len(ordered), batch):
+            incremental = incremental.update(dict(ordered[start : start + batch]))
+        assert direct.root_digest == incremental.root_digest
+
+    @given(items=st.dictionaries(keys, values, min_size=2, max_size=50))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_insert_then_delete_is_identity(self, index_class, items):
+        index = build_index(index_class)
+        base = index.from_items(items)
+        extra = {b"\xff" + k: v + b"x" for k, v in list(items.items())[:5]}
+        modified = base.update(extra)
+        restored = modified.remove(*extra.keys())
+        assert restored.root_digest == base.root_digest
+
+    @given(items=st.dictionaries(keys, values, min_size=5, max_size=60))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_dedup_ratio_bounds_over_versions(self, index_class, items):
+        index = build_index(index_class)
+        v1 = index.from_items(items)
+        some_key = sorted(items)[0]
+        v2 = v1.put(some_key, b"changed-value")
+        ratio = deduplication_ratio([v1, v2])
+        assert 0.0 <= ratio < 1.0
+
+
+@pytest.mark.parametrize("index_class", ALL_INDEXES, ids=lambda c: c.name)
+class TestProofProperties:
+    @given(items=st.dictionaries(keys, values, min_size=1, max_size=40),
+           probe=keys)
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_proofs_verify_for_members_and_absences(self, index_class, items, probe):
+        index = build_index(index_class)
+        snapshot = index.from_items(items)
+        member = sorted(items)[0]
+        member_proof = snapshot.prove(member)
+        assert member_proof.verify(snapshot.root_digest)
+        assert member_proof.value == items[member]
+
+        probe_proof = snapshot.prove(probe)
+        assert probe_proof.verify(snapshot.root_digest)
+        assert probe_proof.is_membership_proof == (probe in items)

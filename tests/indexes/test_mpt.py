@@ -1,0 +1,160 @@
+"""Structure-specific tests for the Merkle Patricia Trie."""
+
+import random
+
+import pytest
+
+from repro.encoding.nibbles import bytes_to_nibbles
+from repro.indexes.mpt import MerklePatriciaTrie, _Branch, _Extension, _Leaf
+from repro.storage.memory import InMemoryNodeStore
+
+
+@pytest.fixture
+def trie():
+    return MerklePatriciaTrie(InMemoryNodeStore())
+
+
+class TestNodeSerialization:
+    def test_leaf_round_trip(self, trie):
+        node = _Leaf([1, 2, 3], b"value")
+        restored = trie._deserialize(trie._serialize(node))
+        assert isinstance(restored, _Leaf)
+        assert restored.path == [1, 2, 3]
+        assert restored.value == b"value"
+
+    def test_extension_round_trip(self, trie):
+        child = trie.store.put(b"child node")
+        node = _Extension([0xA, 0xB], child)
+        restored = trie._deserialize(trie._serialize(node))
+        assert isinstance(restored, _Extension)
+        assert restored.path == [0xA, 0xB]
+        assert restored.child == child
+
+    def test_branch_round_trip_with_and_without_value(self, trie):
+        children = [None] * 16
+        children[3] = trie.store.put(b"a child")
+        with_value = trie._deserialize(trie._serialize(_Branch(children, b"val")))
+        without_value = trie._deserialize(trie._serialize(_Branch(children, None)))
+        assert with_value.value == b"val"
+        assert without_value.value is None
+        assert with_value.children[3] == children[3]
+        assert with_value.children[0] is None
+
+    def test_branch_empty_value_distinct_from_absent_value(self, trie):
+        children = [None] * 16
+        empty = trie._serialize(_Branch(children, b""))
+        absent = trie._serialize(_Branch(children, None))
+        assert empty != absent
+
+    def test_unknown_tag_rejected(self, trie):
+        with pytest.raises(ValueError):
+            trie._deserialize(b"X???")
+
+
+class TestTrieShape:
+    def test_single_key_is_one_leaf(self, trie):
+        snapshot = trie.from_items({b"\x12\x34": b"v"})
+        assert len(snapshot.node_digests()) == 1
+        assert snapshot.height() == 1
+
+    def test_keys_sharing_prefix_create_extension(self, trie):
+        snapshot = trie.from_items({b"\x12\x34": b"a", b"\x12\x35": b"b"})
+        # Shared prefix nibbles 1,2,3 -> extension + branch + two leaves.
+        kinds = set()
+        for digest in snapshot.node_digests():
+            kinds.add(trie._get_node(digest)[:1])
+        assert kinds == {b"L", b"E", b"B"}
+        assert snapshot[b"\x12\x34"] == b"a"
+        assert snapshot[b"\x12\x35"] == b"b"
+
+    def test_key_prefix_of_another_key(self, trie):
+        """A key whose nibbles are a strict prefix of another key's nibbles
+        terminates in a branch-node value slot."""
+        snapshot = trie.from_items({b"\x12": b"short", b"\x12\x34": b"long"})
+        assert snapshot[b"\x12"] == b"short"
+        assert snapshot[b"\x12\x34"] == b"long"
+        assert snapshot.to_dict() == {b"\x12": b"short", b"\x12\x34": b"long"}
+
+    def test_empty_key_supported(self, trie):
+        snapshot = trie.from_items({b"": b"root value", b"\x01": b"other"})
+        assert snapshot[b""] == b"root value"
+        assert snapshot.to_dict() == {b"": b"root value", b"\x01": b"other"}
+
+    def test_lookup_depth_tracks_key_structure(self, trie):
+        snapshot = trie.from_items({b"\x11\x11": b"a", b"\x11\x12": b"b", b"\x99": b"c"})
+        assert snapshot.lookup_depth(b"\x99") <= snapshot.lookup_depth(b"\x11\x11")
+
+    def test_height_grows_with_key_length(self):
+        short_store, long_store = InMemoryNodeStore(), InMemoryNodeStore()
+        short_keys = MerklePatriciaTrie(short_store).from_items(
+            {bytes([i, j]): b"v" for i in range(8) for j in range(8)}
+        )
+        long_keys = MerklePatriciaTrie(long_store).from_items(
+            {bytes([i, j]) + b"suffix-making-key-longer" * 2: b"v" for i in range(8) for j in range(8)}
+        )
+        assert short_keys.height() <= long_keys.height()
+
+
+class TestStructuralInvariance:
+    def test_insertion_order_does_not_matter(self):
+        items = {f"key-{i:03d}".encode(): f"value-{i}".encode() for i in range(200)}
+        roots = set()
+        for seed in range(4):
+            ordered = list(items.items())
+            random.Random(seed).shuffle(ordered)
+            trie = MerklePatriciaTrie(InMemoryNodeStore())
+            snapshot = trie.empty_snapshot()
+            for key, value in ordered:
+                snapshot = snapshot.put(key, value)
+            roots.add(snapshot.root_digest)
+        assert len(roots) == 1
+
+    def test_delete_restores_previous_root(self, trie):
+        base_items = {f"key-{i:03d}".encode(): b"v" for i in range(100)}
+        base = trie.from_items(base_items)
+        extended = base.put(b"temporary", b"x")
+        restored = extended.remove(b"temporary")
+        assert restored.root_digest == base.root_digest
+
+    def test_delete_collapses_paths_canonically(self, trie):
+        """Deleting down to one key must produce the same trie as inserting
+        just that key (branch/extension collapse)."""
+        snapshot = trie.from_items({b"\x12\x34": b"keep", b"\x12\x35": b"drop", b"\x12\x44": b"drop2"})
+        only = snapshot.remove(b"\x12\x35", b"\x12\x44")
+        fresh = trie.from_items({b"\x12\x34": b"keep"})
+        assert only.root_digest == fresh.root_digest
+
+    def test_remove_all_returns_empty(self, trie):
+        snapshot = trie.from_items({b"a": b"1", b"b": b"2"})
+        empty = snapshot.remove(b"a", b"b")
+        assert empty.root_digest is None
+        assert empty.is_empty()
+
+
+class TestDiffPruning:
+    def test_iterate_diff_only_touches_changed_subtrees(self, trie):
+        items = {f"prefix-{i:04d}".encode(): b"value" for i in range(500)}
+        v1 = trie.from_items(items)
+        v2 = v1.put(b"prefix-0123", b"changed")
+        differences = list(trie.iterate_diff(v1.root_digest, v2.root_digest))
+        assert differences == [(b"prefix-0123", b"value", b"changed")]
+
+    def test_iterate_diff_against_empty(self, trie):
+        v1 = trie.from_items({b"a": b"1", b"b": b"2"})
+        added = list(trie.iterate_diff(None, v1.root_digest))
+        assert {(key, right) for key, _, right in added} == {(b"a", b"1"), (b"b", b"2")}
+        removed = list(trie.iterate_diff(v1.root_digest, None))
+        assert all(right is None for _, _, right in removed)
+
+
+class TestProofBinding:
+    def test_branch_value_binding(self, trie):
+        snapshot = trie.from_items({b"\x12": b"at-branch", b"\x12\x34": b"below"})
+        proof = snapshot.prove(b"\x12")
+        assert proof.verify(snapshot.root_digest)
+
+    def test_binding_check_rejects_wrong_value(self, trie):
+        snapshot = trie.from_items({b"\x12\x34": b"real"})
+        leaf_bytes = trie._get_node(snapshot.root_digest)
+        assert trie.proof_binding_check(leaf_bytes, b"\x12\x34", b"real")
+        assert not trie.proof_binding_check(leaf_bytes, b"\x12\x34", b"forged")

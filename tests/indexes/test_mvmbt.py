@@ -1,0 +1,128 @@
+"""Structure-specific tests for the MVMB+-Tree baseline."""
+
+import random
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.indexes.mvmbt import MVMBTree
+from repro.storage.memory import InMemoryNodeStore
+
+
+def make_tree(store=None, leaf_capacity=4, internal_capacity=4):
+    return MVMBTree(store or InMemoryNodeStore(), leaf_capacity=leaf_capacity,
+                    internal_capacity=internal_capacity)
+
+
+def make_items(count, seed=0):
+    rng = random.Random(seed)
+    return {f"key{i:05d}".encode(): bytes(rng.getrandbits(8) for _ in range(30)) for i in range(count)}
+
+
+class TestConfiguration:
+    def test_invalid_capacities_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MVMBTree(InMemoryNodeStore(), leaf_capacity=1)
+        with pytest.raises(InvalidParameterError):
+            MVMBTree(InMemoryNodeStore(), internal_capacity=0)
+
+
+class TestBPlusTreeInvariants:
+    def test_leaf_capacity_respected(self):
+        tree = make_tree(leaf_capacity=4, internal_capacity=4)
+        snapshot = tree.from_items(make_items(300))
+        for _, digest in tree._leaf_descriptors(snapshot.root_digest):
+            assert len(tree._load_leaf(digest)) <= 4
+
+    def test_internal_capacity_respected(self):
+        tree = make_tree(leaf_capacity=4, internal_capacity=4)
+        snapshot = tree.from_items(make_items(300))
+        for digest in snapshot.node_digests():
+            node_bytes = tree._get_node(digest)
+            if not tree._is_leaf_bytes(node_bytes):
+                _, entries = tree._deserialize_internal(node_bytes)
+                assert len(entries) <= 4
+
+    def test_height_grows_logarithmically(self):
+        tree = make_tree(leaf_capacity=4, internal_capacity=4)
+        small = tree.from_items(make_items(20))
+        large = tree.from_items(make_items(1_000))
+        # Half-full splits mean the effective fan-out is ~capacity/2, so the
+        # height of 1 000 records stays well below a linear structure's.
+        assert small.height() < large.height() <= 12
+
+    def test_root_split_grows_height_by_one(self):
+        tree = make_tree(leaf_capacity=2, internal_capacity=2)
+        snapshot = tree.empty_snapshot()
+        heights = []
+        for i in range(12):
+            snapshot = snapshot.put(f"k{i:02d}".encode(), b"v")
+            heights.append(snapshot.height())
+        assert heights == sorted(heights)
+        assert heights[-1] > heights[0]
+
+    def test_iteration_sorted_after_random_inserts(self):
+        items = make_items(400)
+        ordered = list(items.items())
+        random.Random(3).shuffle(ordered)
+        tree = make_tree()
+        snapshot = tree.empty_snapshot()
+        for key, value in ordered:
+            snapshot = snapshot.put(key, value)
+        assert list(snapshot.keys()) == sorted(items)
+
+
+class TestNotStructurallyInvariant:
+    def test_insertion_order_changes_structure(self):
+        """Figure 2 of the paper: same records, different internal structure."""
+        items = list(make_items(200).items())
+        forward_tree = make_tree()
+        forward = forward_tree.empty_snapshot()
+        for key, value in items:
+            forward = forward.put(key, value)
+        backward_tree = make_tree()
+        backward = backward_tree.empty_snapshot()
+        for key, value in reversed(items):
+            backward = backward.put(key, value)
+        assert forward.to_dict() == backward.to_dict()
+        assert forward.root_digest != backward.root_digest
+
+    def test_copy_on_write_still_shares_pages_between_versions(self):
+        """Not SIRI, but still Recursively Identical thanks to copy-on-write."""
+        tree = make_tree(leaf_capacity=8, internal_capacity=8)
+        v1 = tree.from_items(make_items(500))
+        v2 = v1.put(b"key00250", b"changed")
+        shared = v1.node_digests() & v2.node_digests()
+        assert len(shared) > 0.8 * len(v1.node_digests())
+
+
+class TestDeletion:
+    def test_delete_and_lookup(self):
+        tree = make_tree()
+        snapshot = tree.from_items(make_items(100))
+        pruned = snapshot.remove(b"key00050", b"key00051")
+        assert b"key00050" not in pruned
+        assert b"key00051" not in pruned
+        assert len(pruned) == 98
+
+    def test_delete_all_records_empties_tree(self):
+        tree = make_tree()
+        items = make_items(50)
+        snapshot = tree.from_items(items)
+        empty = snapshot.remove(*items.keys())
+        assert empty.is_empty() or len(empty) == 0
+
+    def test_delete_collapses_single_child_root(self):
+        tree = make_tree(leaf_capacity=2, internal_capacity=2)
+        items = make_items(20)
+        snapshot = tree.from_items(items)
+        keys = sorted(items)
+        survivor = keys[0]
+        pruned = snapshot.remove(*keys[1:])
+        assert pruned[survivor] == items[survivor]
+        assert pruned.height() == 1
+
+    def test_delete_missing_key_is_noop(self):
+        tree = make_tree()
+        snapshot = tree.from_items(make_items(30))
+        assert snapshot.remove(b"not-there").to_dict() == snapshot.to_dict()

@@ -1,0 +1,192 @@
+"""Structure-specific tests for the Pattern-Oriented-Split Tree."""
+
+import random
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.indexes.pos_tree import POSTree
+from repro.storage.memory import InMemoryNodeStore
+
+
+def make_tree(store=None, **kwargs):
+    params = {"target_node_size": 512, "estimated_entry_size": 64}
+    params.update(kwargs)
+    return POSTree(store or InMemoryNodeStore(), **params)
+
+
+def make_items(count, value_size=40, seed=0):
+    rng = random.Random(seed)
+    return {
+        f"key{i:06d}".encode(): bytes(rng.getrandbits(8) for _ in range(value_size))
+        for i in range(count)
+    }
+
+
+class TestConfiguration:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            POSTree(InMemoryNodeStore(), target_node_size=0)
+        with pytest.raises(InvalidParameterError):
+            POSTree(InMemoryNodeStore(), estimated_entry_size=-1)
+
+    def test_pattern_bits_derived_from_target_size(self):
+        small_nodes = POSTree(InMemoryNodeStore(), target_node_size=512, estimated_entry_size=64)
+        large_nodes = POSTree(InMemoryNodeStore(), target_node_size=4096, estimated_entry_size=64)
+        assert large_nodes.leaf_pattern_bits > small_nodes.leaf_pattern_bits
+
+    def test_explicit_pattern_bits_override(self):
+        tree = POSTree(InMemoryNodeStore(), leaf_pattern_bits=7, internal_pattern_bits=3)
+        assert tree.leaf_pattern_bits == 7
+        assert tree.internal_pattern_bits == 3
+
+    def test_node_size_tracks_target(self):
+        items = make_items(3_000)
+        small = make_tree(target_node_size=256).from_items(items)
+        large = make_tree(target_node_size=2048).from_items(items)
+
+        def average_leaf_size(snapshot):
+            index = snapshot.index
+            leaves = index._leaf_descriptors(snapshot.root_digest)
+            return sum(index.store.size_of(d) for _, d in leaves) / len(leaves)
+
+        assert average_leaf_size(large) > 2 * average_leaf_size(small)
+
+
+class TestStructuralInvariance:
+    def test_incremental_updates_equal_from_scratch_build(self):
+        """The heart of POS-Tree: any update path converges to the canonical tree."""
+        base_items = make_items(2_000)
+        tree = make_tree()
+        snapshot = tree.from_items(base_items)
+
+        updates = {f"key{i:06d}".encode(): b"updated-value-%d" % i for i in range(500, 700)}
+        inserts = {f"zzz{i:04d}".encode(): b"inserted-%d" % i for i in range(50)}
+        removes = [f"key{i:06d}".encode() for i in range(100, 130)]
+        snapshot = snapshot.update(updates)
+        snapshot = snapshot.update(inserts, removes=removes)
+
+        final_items = dict(base_items)
+        final_items.update(updates)
+        final_items.update(inserts)
+        for key in removes:
+            final_items.pop(key)
+        scratch = make_tree().from_items(final_items)
+        assert snapshot.root_digest == scratch.root_digest
+        assert snapshot.to_dict() == final_items
+
+    def test_insertion_order_and_batching_do_not_matter(self):
+        items = list(make_items(800).items())
+        roots = set()
+        for seed, batch in [(1, 50), (2, 117), (3, 800)]:
+            shuffled = list(items)
+            random.Random(seed).shuffle(shuffled)
+            tree = make_tree()
+            snapshot = tree.empty_snapshot()
+            for start in range(0, len(shuffled), batch):
+                snapshot = snapshot.update(dict(shuffled[start : start + batch]))
+            roots.add(snapshot.root_digest)
+        assert len(roots) == 1
+
+    def test_remove_restores_canonical_structure(self):
+        items = make_items(500)
+        tree = make_tree()
+        base = tree.from_items(items)
+        modified = base.update({b"extra-1": b"x", b"extra-2": b"y"})
+        restored = modified.remove(b"extra-1", b"extra-2")
+        assert restored.root_digest == base.root_digest
+
+
+class TestCopyOnWriteLocality:
+    def test_small_update_touches_few_nodes(self):
+        tree = make_tree()
+        v1 = tree.from_items(make_items(3_000))
+        v2 = v1.put(b"key001500", b"changed")
+        new_nodes = v2.node_digests() - v1.node_digests()
+        # Only the containing leaf plus the internal path should be new
+        # (occasionally one neighbouring leaf when re-chunking cascades).
+        assert len(new_nodes) <= v1.height() + 2
+
+    def test_leaf_level_sharing_after_batch(self):
+        tree = make_tree()
+        v1 = tree.from_items(make_items(2_000))
+        v2 = v1.update(make_items(50, seed=9))
+        shared = v1.node_digests() & v2.node_digests()
+        assert len(shared) > 0.5 * len(v1.node_digests())
+
+
+class TestChunking:
+    def test_leaf_boundary_is_pure_function_of_entry(self):
+        tree = make_tree()
+        key, value = b"some-key", b"some-value"
+        assert tree._leaf_entry_is_boundary(key, value) == tree._leaf_entry_is_boundary(key, value)
+
+    def test_internal_build_terminates_on_degenerate_input(self):
+        """Even if every entry matches the boundary pattern, the build must
+        terminate (degenerate-progress guard)."""
+        tree = make_tree(internal_pattern_bits=1)
+        snapshot = tree.from_items(make_items(400))
+        assert snapshot.height() >= 2
+        assert snapshot.to_dict() == make_items(400)
+
+    def test_window_fingerprint_mode_also_works(self):
+        tree = POSTree(InMemoryNodeStore(), target_node_size=512, estimated_entry_size=64,
+                       leaf_fingerprint_mode="window")
+        items = make_items(300)
+        snapshot = tree.from_items(items)
+        assert snapshot.to_dict() == items
+
+
+class TestLeafDescriptors:
+    def test_descriptors_cover_all_records_in_order(self):
+        tree = make_tree()
+        items = make_items(1_000)
+        snapshot = tree.from_items(items)
+        descriptors = tree._leaf_descriptors(snapshot.root_digest)
+        seen = []
+        for split_key, digest in descriptors:
+            leaf_records = tree._load_leaf(digest)
+            assert leaf_records[-1][0] == split_key
+            seen.extend(k for k, _ in leaf_records)
+        assert seen == sorted(items)
+
+    def test_split_keys_strictly_increasing(self):
+        tree = make_tree()
+        snapshot = tree.from_items(make_items(1_000))
+        descriptors = tree._leaf_descriptors(snapshot.root_digest)
+        split_keys = [split for split, _ in descriptors]
+        assert split_keys == sorted(split_keys)
+        assert len(split_keys) == len(set(split_keys))
+
+    def test_single_leaf_tree(self):
+        tree = make_tree()
+        snapshot = tree.from_items({b"a": b"1", b"b": b"2"})
+        descriptors = tree._leaf_descriptors(snapshot.root_digest)
+        assert len(descriptors) == 1
+        assert snapshot.height() == 1
+
+
+class TestEdgeCases:
+    def test_write_empty_batch_is_identity(self):
+        tree = make_tree()
+        snapshot = tree.from_items({b"a": b"1"})
+        assert tree.write(snapshot.root_digest, {}, []) == snapshot.root_digest
+
+    def test_remove_everything_returns_none_root(self):
+        tree = make_tree()
+        snapshot = tree.from_items({b"a": b"1", b"b": b"2"})
+        assert tree.write(snapshot.root_digest, {}, [b"a", b"b"]) is None
+
+    def test_insert_before_and_after_existing_range(self):
+        tree = make_tree()
+        base = tree.from_items(make_items(200))
+        extended = base.update({b"aaa-before-everything": b"front", b"zzz-after": b"back"})
+        assert extended[b"aaa-before-everything"] == b"front"
+        assert extended[b"zzz-after"] == b"back"
+        assert list(extended.keys())[0] == b"aaa-before-everything"
+
+    def test_large_values_supported(self):
+        tree = make_tree()
+        big = b"x" * 50_000
+        snapshot = tree.from_items({b"big": big, b"small": b"s"})
+        assert snapshot[b"big"] == big

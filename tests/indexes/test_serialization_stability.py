@@ -1,0 +1,58 @@
+"""Golden-digest regression tests for the canonical node serializations.
+
+The whole design hinges on canonical serialization: two logically identical
+nodes must produce byte-identical encodings (and therefore one shared
+stored copy), and the root digest of a version must be reproducible across
+processes, platforms and library versions — it is what block headers,
+commits and proofs reference.  These tests pin the root digests of small,
+fixed datasets; any change to a node format, hash composition or chunking
+parameter defaults will (intentionally) fail them and must be treated as a
+breaking format change.
+"""
+
+import pytest
+
+from repro.indexes import MerkleBucketTree, MerklePatriciaTrie, MVMBTree, POSTree
+from tests.conftest import build_index
+
+FIXED_ITEMS = {f"key{i:03d}".encode(): f"value-{i}".encode() for i in range(50)}
+
+GOLDEN_ROOTS = {
+    "MPT": "2b4ab1fd9743fec9fd5d29bd52a688659b44b6c6543a046e4ea27e716734864b",
+    "MBT": "7b86ecd4de83431d77aefb2e36d3637854fdd24c5ce2de424d59f31a5794e4ba",
+    "POS-Tree": "3ddad44439db6a3cf8270d0bffb410aad936700d251900a29c87779ceb66834f",
+    "MVMB+-Tree": "6fc76527c7401102dcff0f8385c4052c62db2ce1337f280d531f885e4e085ff7",
+}
+
+
+class TestGoldenRootDigests:
+    def test_root_digest_is_stable(self, index_class):
+        snapshot = build_index(index_class).from_items(FIXED_ITEMS)
+        assert snapshot.root_hex == GOLDEN_ROOTS[index_class.name]
+
+    def test_rebuilding_reproduces_the_same_root(self, index_class):
+        first = build_index(index_class).from_items(FIXED_ITEMS)
+        second = build_index(index_class).from_items(FIXED_ITEMS)
+        assert first.root_digest == second.root_digest
+
+    def test_different_content_changes_the_root(self, index_class):
+        baseline = build_index(index_class).from_items(FIXED_ITEMS)
+        modified_items = dict(FIXED_ITEMS)
+        modified_items[b"key000"] = b"value-0-changed"
+        modified = build_index(index_class).from_items(modified_items)
+        assert modified.root_hex != GOLDEN_ROOTS[index_class.name]
+        assert baseline.root_digest != modified.root_digest
+
+    def test_index_types_never_collide(self):
+        """Different structures over the same data have different roots (their
+        canonical serializations are tagged differently)."""
+        roots = {
+            name: build_index(cls).from_items(FIXED_ITEMS).root_hex
+            for name, cls in (
+                ("MPT", MerklePatriciaTrie),
+                ("MBT", MerkleBucketTree),
+                ("POS-Tree", POSTree),
+                ("MVMB+-Tree", MVMBTree),
+            )
+        }
+        assert len(set(roots.values())) == 4

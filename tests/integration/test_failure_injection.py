@@ -1,0 +1,84 @@
+"""Failure-injection tests: corruption, missing nodes, and recovery behaviour."""
+
+import pytest
+
+from repro.core.errors import CorruptNodeError, NodeNotFoundError, ProofVerificationError
+from repro.storage.memory import InMemoryNodeStore
+from tests.conftest import build_index
+
+
+class TestCorruptionDetection:
+    def test_verified_store_detects_bit_flips_on_read(self, index_class):
+        store = InMemoryNodeStore(verify_on_read=True)
+        index = build_index(index_class, store)
+        snapshot = index.from_items({f"k{i}".encode(): b"v" * 30 for i in range(200)})
+
+        victim = max(snapshot.node_digests(), key=store.size_of)
+        original = store.get_bytes(victim)
+        store.corrupt(victim, original[:-1] + bytes([original[-1] ^ 0x01]))
+
+        with pytest.raises(CorruptNodeError):
+            for key in snapshot.keys():
+                snapshot.get(key)
+
+    def test_unverified_store_still_detected_by_verify_all(self, index_class):
+        store = InMemoryNodeStore()
+        index = build_index(index_class, store)
+        snapshot = index.from_items({f"k{i}".encode(): b"v" for i in range(100)})
+        victim = next(iter(snapshot.node_digests()))
+        store.corrupt(victim, b"attacker-controlled bytes")
+        checked, corrupt = store.verify_all()
+        assert victim in corrupt
+
+    def test_tampered_value_invalidates_proofs(self, index_class):
+        """Changing a stored value breaks either the proof chain or the binding."""
+        store = InMemoryNodeStore()
+        index = build_index(index_class, store)
+        items = {f"k{i:03d}".encode(): b"honest-value" for i in range(150)}
+        snapshot = index.from_items(items)
+        trusted_root = snapshot.root_digest
+
+        # The attacker rewrites a leaf in place (content-addressed stores make
+        # this the only way to "change" data without touching the root).
+        proof = snapshot.prove(b"k075")
+        leaf_digest = None
+        for digest in snapshot.node_digests():
+            if store.get_bytes(digest) == proof.steps[-1].node_bytes:
+                leaf_digest = digest
+                break
+        assert leaf_digest is not None
+        tampered = store.get_bytes(leaf_digest).replace(b"honest-value", b"forged-value")
+        store.corrupt(leaf_digest, tampered)
+
+        forged_proof = snapshot.prove(b"k075")
+        if forged_proof.value == b"honest-value":
+            # The proof path did not touch the tampered copy; nothing to check.
+            return
+        with pytest.raises(ProofVerificationError):
+            forged_proof.verify(trusted_root)
+
+
+class TestMissingNodes:
+    def test_missing_node_raises_node_not_found(self, index_class):
+        store = InMemoryNodeStore()
+        index = build_index(index_class, store)
+        snapshot = index.from_items({f"k{i}".encode(): b"v" for i in range(300)})
+        # Delete some non-root node.
+        victim = next(d for d in snapshot.node_digests() if d != snapshot.root_digest)
+        store.delete(victim)
+        with pytest.raises(NodeNotFoundError):
+            for key in snapshot.keys():
+                snapshot.get(key)
+
+    def test_unaffected_versions_survive_partial_loss(self, index_class):
+        """Losing nodes unique to one version leaves other versions intact."""
+        store = InMemoryNodeStore()
+        index = build_index(index_class, store)
+        v1 = index.from_items({f"k{i:03d}".encode(): b"v" * 10 for i in range(300)})
+        v2 = v1.put(b"k000", b"changed")
+        for digest in v2.node_digests() - v1.node_digests():
+            store.delete(digest)
+        # v1 is fully readable even though v2 lost its unique nodes.
+        assert v1.to_dict() == {f"k{i:03d}".encode(): b"v" * 10 for i in range(300)}
+        with pytest.raises(NodeNotFoundError):
+            v2[b"k000"]

@@ -1,0 +1,81 @@
+"""Unit tests for the LRU caching node store."""
+
+import pytest
+
+from repro.core.errors import NodeNotFoundError
+from repro.storage.cache import CachingNodeStore
+from repro.storage.memory import InMemoryNodeStore
+
+
+class TestCachingNodeStore:
+    def test_reads_pass_through_and_then_hit_cache(self):
+        backing = InMemoryNodeStore()
+        digest = backing.put(b"payload")
+        cache = CachingNodeStore(backing, capacity_bytes=1024)
+
+        assert cache.get(digest) == b"payload"
+        assert cache.cache_misses == 1
+        assert cache.get(digest) == b"payload"
+        assert cache.cache_hits == 1
+        assert 0 < cache.hit_ratio < 1
+
+    def test_write_through(self):
+        backing = InMemoryNodeStore()
+        cache = CachingNodeStore(backing, capacity_bytes=1024)
+        digest = cache.put(b"written via cache")
+        assert backing.get(digest) == b"written via cache"
+        # The node was cached by the put, so the read is a hit.
+        cache.get(digest)
+        assert cache.cache_hits == 1
+
+    def test_eviction_respects_capacity(self):
+        backing = InMemoryNodeStore()
+        cache = CachingNodeStore(backing, capacity_bytes=100)
+        digests = [cache.put(bytes([i]) * 40) for i in range(5)]
+        assert cache._cached_bytes <= 100
+        # All nodes remain available through the backing store.
+        for digest in digests:
+            assert cache.get(digest) is not None
+
+    def test_lru_order(self):
+        backing = InMemoryNodeStore()
+        cache = CachingNodeStore(backing, capacity_bytes=100)
+        a = cache.put(b"a" * 40)
+        b = cache.put(b"b" * 40)
+        cache.get(a)              # a becomes most recently used
+        cache.put(b"c" * 40)      # evicts b, not a
+        hits_before = cache.cache_hits
+        cache.get(a)
+        assert cache.cache_hits == hits_before + 1
+        misses_before = cache.cache_misses
+        cache.get(b)
+        assert cache.cache_misses == misses_before + 1
+
+    def test_invalidate_clears_cache_only(self):
+        backing = InMemoryNodeStore()
+        cache = CachingNodeStore(backing)
+        digest = cache.put(b"kept in backing")
+        cache.invalidate()
+        assert cache.get(digest) == b"kept in backing"
+        assert cache.cache_misses == 1
+
+    def test_missing_node_propagates(self):
+        backing = InMemoryNodeStore()
+        cache = CachingNodeStore(backing)
+        with pytest.raises(NodeNotFoundError):
+            cache.get(backing.hash_function.hash(b"nope"))
+
+    def test_len_and_total_bytes_reflect_backing(self):
+        backing = InMemoryNodeStore()
+        cache = CachingNodeStore(backing)
+        cache.put(b"12345")
+        assert len(cache) == len(backing) == 1
+        assert cache.total_bytes() == backing.total_bytes() == 5
+
+    def test_combined_stats(self):
+        backing = InMemoryNodeStore()
+        cache = CachingNodeStore(backing)
+        digest = cache.put(b"x")
+        cache.get(digest)
+        combined = cache.combined_stats()
+        assert combined.puts >= 1

@@ -1,0 +1,85 @@
+"""Unit tests for the append-only file-backed node store."""
+
+import os
+
+import pytest
+
+from repro.core.errors import CorruptNodeError, NodeNotFoundError
+from repro.hashing.digest import hash_bytes
+from repro.storage.file import FileNodeStore
+
+
+class TestFileNodeStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = FileNodeStore(str(tmp_path / "nodes"))
+        digest = store.put(b"persisted node")
+        assert store.get(digest) == b"persisted node"
+        assert len(store) == 1
+
+    def test_survives_reopen(self, tmp_path):
+        directory = str(tmp_path / "nodes")
+        store = FileNodeStore(directory)
+        digests = [store.put(f"node-{i}".encode() * 10) for i in range(20)]
+
+        reopened = FileNodeStore(directory)
+        assert len(reopened) == 20
+        for i, digest in enumerate(digests):
+            assert reopened.get(digest) == f"node-{i}".encode() * 10
+
+    def test_duplicate_put_not_written_twice(self, tmp_path):
+        store = FileNodeStore(str(tmp_path / "nodes"))
+        store.put(b"dup")
+        size_after_first = store.total_bytes()
+        store.put(b"dup")
+        assert store.total_bytes() == size_after_first
+        assert len(store) == 1
+
+    def test_missing_raises(self, tmp_path):
+        store = FileNodeStore(str(tmp_path / "nodes"))
+        with pytest.raises(NodeNotFoundError):
+            store.get(hash_bytes(b"missing"))
+
+    def test_segment_rotation(self, tmp_path):
+        directory = str(tmp_path / "nodes")
+        store = FileNodeStore(directory, segment_capacity_bytes=256)
+        for i in range(30):
+            store.put(f"block-{i:03d}".encode() * 8)
+        segments = [name for name in os.listdir(directory) if name.endswith(".nodes")]
+        assert len(segments) > 1
+        reopened = FileNodeStore(directory, segment_capacity_bytes=256)
+        assert len(reopened) == 30
+
+    def test_corruption_detected_on_reload(self, tmp_path):
+        directory = str(tmp_path / "nodes")
+        store = FileNodeStore(directory)
+        store.put(b"sensitive payload that will be flipped")
+        segment = os.path.join(directory, sorted(os.listdir(directory))[0])
+        with open(segment, "r+b") as handle:
+            handle.seek(-1, os.SEEK_END)
+            last = handle.read(1)
+            handle.seek(-1, os.SEEK_END)
+            handle.write(bytes([last[0] ^ 0xFF]))
+        with pytest.raises(CorruptNodeError):
+            FileNodeStore(directory, verify_on_load=True)
+
+    def test_contains_and_digests(self, tmp_path):
+        store = FileNodeStore(str(tmp_path / "nodes"))
+        digest = store.put(b"here")
+        assert store.contains(digest)
+        assert digest in list(store.digests())
+
+    def test_indexes_work_on_file_store(self, tmp_path):
+        """End-to-end: an index persisted to disk is readable after reopen."""
+        from repro.indexes import POSTree
+
+        directory = str(tmp_path / "nodes")
+        store = FileNodeStore(directory)
+        tree = POSTree(store)
+        snapshot = tree.from_items({f"k{i}".encode(): f"v{i}".encode() * 5 for i in range(200)})
+        root = snapshot.root_digest
+
+        reopened_store = FileNodeStore(directory)
+        reopened_tree = POSTree(reopened_store)
+        reopened_snapshot = reopened_tree.snapshot(root)
+        assert reopened_snapshot[b"k42"] == b"v42" * 5
+        assert len(reopened_snapshot.to_dict()) == 200

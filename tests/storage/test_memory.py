@@ -1,0 +1,103 @@
+"""Unit tests for the in-memory node store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import CorruptNodeError, NodeNotFoundError
+from repro.hashing.digest import hash_bytes
+from repro.storage.memory import InMemoryNodeStore
+
+
+class TestInMemoryNodeStore:
+    def test_put_returns_content_digest(self):
+        store = InMemoryNodeStore()
+        digest = store.put(b"node data")
+        assert digest == hash_bytes(b"node data")
+        assert store.get(digest) == b"node data"
+
+    def test_get_missing_raises(self):
+        store = InMemoryNodeStore()
+        with pytest.raises(NodeNotFoundError):
+            store.get(hash_bytes(b"never stored"))
+
+    def test_contains_and_len(self):
+        store = InMemoryNodeStore()
+        digest = store.put(b"a")
+        assert digest in store
+        assert hash_bytes(b"b") not in store
+        assert len(store) == 1
+
+    def test_duplicate_put_stored_once(self):
+        store = InMemoryNodeStore()
+        first = store.put(b"same bytes")
+        second = store.put(b"same bytes")
+        assert first == second
+        assert len(store) == 1
+        assert store.stats.puts == 2
+        assert store.stats.duplicate_puts == 1
+        assert store.stats.bytes_written == len(b"same bytes")
+
+    def test_total_bytes_counts_unique_nodes_once(self):
+        store = InMemoryNodeStore()
+        store.put(b"xxxx")
+        store.put(b"xxxx")
+        store.put(b"yy")
+        assert store.total_bytes() == 6
+        assert store.node_count() == 2
+
+    def test_delete_and_clear(self):
+        store = InMemoryNodeStore()
+        digest = store.put(b"bye")
+        assert store.delete(digest)
+        assert not store.delete(digest)
+        store.put(b"again")
+        store.clear()
+        assert len(store) == 0
+        assert store.stats.puts == 0
+
+    def test_verification_detects_corruption(self):
+        store = InMemoryNodeStore(verify_on_read=True)
+        digest = store.put(b"precious")
+        store.corrupt(digest, b"tampered")
+        with pytest.raises(CorruptNodeError):
+            store.get(digest)
+        assert not store.verify(digest)
+
+    def test_verify_all_reports_corrupt_nodes(self):
+        store = InMemoryNodeStore()
+        good = store.put(b"good")
+        bad = store.put(b"will be corrupted")
+        store.corrupt(bad, b"evil")
+        checked, corrupt = store.verify_all()
+        assert checked == 2
+        assert corrupt == [bad]
+        assert good not in corrupt
+
+    def test_corrupt_missing_node_raises(self):
+        store = InMemoryNodeStore()
+        with pytest.raises(NodeNotFoundError):
+            store.corrupt(hash_bytes(b"nothing"), b"x")
+
+    def test_missing_helper(self):
+        store = InMemoryNodeStore()
+        digest = store.put(b"present")
+        absent = hash_bytes(b"absent")
+        assert store.missing([digest, absent]) == [absent]
+
+    def test_read_stats(self):
+        store = InMemoryNodeStore()
+        digest = store.put(b"12345")
+        store.get(digest)
+        store.get(digest)
+        assert store.stats.gets == 2
+        assert store.stats.bytes_read == 10
+
+    @given(st.sets(st.binary(min_size=1, max_size=64), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_property_store_retrieves_everything(self, blobs):
+        store = InMemoryNodeStore()
+        digests = {store.put(blob): blob for blob in blobs}
+        assert len(store) == len(blobs)
+        for digest, blob in digests.items():
+            assert store.get(digest) == blob

@@ -1,0 +1,76 @@
+"""Unit tests for reference counting / garbage collection of versions."""
+
+from repro.indexes import POSTree
+from repro.storage.memory import InMemoryNodeStore
+from repro.storage.refcount import RefCountingNodeStore
+
+
+class TestRefCountingNodeStore:
+    def test_pin_and_release_single_version(self):
+        store = RefCountingNodeStore()
+        tree = POSTree(store)
+        snapshot = tree.from_items({f"k{i}".encode(): b"v" * 20 for i in range(100)})
+        reachable = snapshot.node_digests()
+        store.pin(snapshot.root_digest, reachable)
+
+        assert store.reference_count(snapshot.root_digest) == 1
+        deleted = store.release(snapshot.root_digest)
+        assert deleted == len(reachable)
+        assert len(store) == 0
+
+    def test_shared_nodes_survive_until_last_release(self):
+        store = RefCountingNodeStore()
+        tree = POSTree(store)
+        v1 = tree.from_items({f"k{i}".encode(): b"v" * 20 for i in range(200)})
+        v2 = v1.update({b"k0": b"changed"})
+
+        store.pin(v1.root_digest, v1.node_digests())
+        store.pin(v2.root_digest, v2.node_digests())
+
+        store.release(v1.root_digest)
+        # v2 must remain fully readable: all its nodes survived.
+        assert v2[b"k0"] == b"changed"
+        assert v2[b"k150"] == b"v" * 20
+
+        store.release(v2.root_digest)
+        assert len(store) == 0
+
+    def test_pin_is_idempotent(self):
+        store = RefCountingNodeStore()
+        tree = POSTree(store)
+        snapshot = tree.from_items({b"a": b"1"})
+        store.pin(snapshot.root_digest, snapshot.node_digests())
+        store.pin(snapshot.root_digest, snapshot.node_digests())
+        assert store.reference_count(snapshot.root_digest) == 1
+
+    def test_release_unknown_root_is_noop(self):
+        store = RefCountingNodeStore()
+        tree = POSTree(store)
+        snapshot = tree.from_items({b"a": b"1"})
+        assert store.release(snapshot.root_digest) == 0
+        assert snapshot[b"a"] == b"1"
+
+    def test_collect_garbage_removes_unpinned_nodes(self):
+        store = RefCountingNodeStore()
+        tree = POSTree(store)
+        v1 = tree.from_items({f"k{i}".encode(): b"v" for i in range(50)})
+        v2 = v1.update({b"k0": b"new"})
+        # Only pin v2: v1-only nodes are garbage.
+        store.pin(v2.root_digest, v2.node_digests())
+        removed = store.collect_garbage()
+        assert removed > 0
+        assert v2[b"k0"] == b"new"
+        assert v2[b"k30"] == b"v"
+
+    def test_pinned_roots_listing(self):
+        store = RefCountingNodeStore()
+        tree = POSTree(store)
+        snapshot = tree.from_items({b"a": b"1"})
+        store.pin(snapshot.root_digest, snapshot.node_digests())
+        assert store.pinned_roots() == [snapshot.root_digest]
+
+    def test_works_over_explicit_backing(self):
+        backing = InMemoryNodeStore()
+        store = RefCountingNodeStore(backing)
+        digest = store.put(b"node")
+        assert backing.get(digest) == b"node"

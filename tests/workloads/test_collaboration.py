@@ -1,0 +1,78 @@
+"""Tests for the multi-group collaboration workload generator."""
+
+import pytest
+
+from repro.workloads.collaboration import CollaborationWorkload, batched
+
+
+class TestBatched:
+    def test_splits_into_batches(self):
+        records = [(f"k{i}".encode(), b"v") for i in range(10)]
+        batches = list(batched(records, 4))
+        assert [len(b) for b in batches] == [4, 4, 2]
+        merged = {}
+        for batch in batches:
+            merged.update(batch)
+        assert merged == dict(records)
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            list(batched([], 0))
+
+
+class TestCollaborationWorkload:
+    def test_invalid_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            CollaborationWorkload(overlap_ratio=1.5)
+
+    def test_base_dataset_identical_for_all_groups(self):
+        workload = CollaborationWorkload(base_records=200, group_count=3,
+                                         operations_per_group=100, seed=1)
+        assert len(workload.base_dataset()) == 200
+        assert workload.base_dataset() == workload.base_dataset()
+
+    def test_group_record_counts(self):
+        workload = CollaborationWorkload(base_records=100, group_count=4,
+                                         operations_per_group=500, overlap_ratio=0.3, seed=2)
+        for group in range(4):
+            assert len(workload.group_records(group)) == 500
+
+    def test_overlap_ratio_controls_shared_fraction(self):
+        def shared_fraction(overlap):
+            workload = CollaborationWorkload(base_records=100, group_count=2,
+                                             operations_per_group=2_000,
+                                             overlap_ratio=overlap, seed=3)
+            group0 = dict(workload.group_records(0))
+            group1 = dict(workload.group_records(1))
+            shared = {k for k in group0 if k in group1 and group0[k] == group1[k]}
+            return len(shared) / len(group0)
+
+        assert shared_fraction(0.0) == 0.0
+        low, high = shared_fraction(0.2), shared_fraction(0.8)
+        assert 0.1 < low < 0.35
+        assert 0.65 < high <= 1.0
+
+    def test_full_overlap_means_identical_workloads(self):
+        workload = CollaborationWorkload(base_records=50, group_count=3,
+                                         operations_per_group=300, overlap_ratio=1.0, seed=4)
+        assert dict(workload.group_records(0)) == dict(workload.group_records(2))
+
+    def test_private_records_never_collide_across_groups(self):
+        workload = CollaborationWorkload(base_records=50, group_count=3,
+                                         operations_per_group=400, overlap_ratio=0.0, seed=5)
+        group_keys = [set(dict(workload.group_records(g))) for g in range(3)]
+        assert not (group_keys[0] & group_keys[1])
+        assert not (group_keys[1] & group_keys[2])
+
+    def test_group_batches_respect_batch_size(self):
+        workload = CollaborationWorkload(base_records=50, group_count=1,
+                                         operations_per_group=1_000, batch_size=300, seed=6)
+        sizes = [len(batch) for batch in workload.group_batches(0)]
+        assert all(size <= 300 for size in sizes)
+        assert sum(sizes) >= 700  # duplicates within a batch may shrink it slightly
+
+    def test_all_groups_iterator(self):
+        workload = CollaborationWorkload(base_records=50, group_count=3,
+                                         operations_per_group=100, seed=7)
+        groups = list(workload.all_groups())
+        assert [g for g, _ in groups] == [0, 1, 2]

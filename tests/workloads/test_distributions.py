@@ -1,0 +1,80 @@
+"""Tests for the uniform/Zipfian request distributions."""
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads.distributions import UniformKeyChooser, ZipfianKeyChooser, make_chooser
+
+
+class TestUniformKeyChooser:
+    def test_indices_within_range(self):
+        chooser = UniformKeyChooser(100, seed=1)
+        for _ in range(1000):
+            assert 0 <= chooser.next_index() < 100
+
+    def test_deterministic_per_seed(self):
+        a = UniformKeyChooser(50, seed=7)
+        b = UniformKeyChooser(50, seed=7)
+        assert [a.next_index() for _ in range(100)] == [b.next_index() for _ in range(100)]
+
+    def test_roughly_uniform_coverage(self):
+        chooser = UniformKeyChooser(10, seed=2)
+        counts = Counter(chooser.next_index() for _ in range(10_000))
+        assert len(counts) == 10
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_rejects_empty_population(self):
+        with pytest.raises(ValueError):
+            UniformKeyChooser(0)
+
+    def test_theta_is_zero(self):
+        assert UniformKeyChooser(10).theta == 0.0
+
+
+class TestZipfianKeyChooser:
+    def test_indices_within_range(self):
+        chooser = ZipfianKeyChooser(1000, theta=0.9, seed=3)
+        for _ in range(2000):
+            assert 0 <= chooser.next_index() < 1000
+
+    def test_rejects_invalid_theta(self):
+        with pytest.raises(ValueError):
+            ZipfianKeyChooser(10, theta=1.0)
+        with pytest.raises(ValueError):
+            ZipfianKeyChooser(10, theta=-0.1)
+
+    def test_skew_increases_with_theta(self):
+        """Higher θ concentrates more mass on fewer keys."""
+
+        def top_fraction(theta):
+            chooser = ZipfianKeyChooser(1000, theta=theta, seed=4)
+            counts = Counter(chooser.next_index() for _ in range(20_000))
+            top = sum(count for _, count in counts.most_common(10))
+            return top / 20_000
+
+        assert top_fraction(0.9) > top_fraction(0.5) > top_fraction(0.0)
+
+    def test_scrambling_spreads_hot_keys(self):
+        unscrambled = ZipfianKeyChooser(1000, theta=0.9, seed=5, scramble=False)
+        scrambled = ZipfianKeyChooser(1000, theta=0.9, seed=5, scramble=True)
+        unscrambled_hot = Counter(unscrambled.next_index() for _ in range(5000)).most_common(5)
+        scrambled_hot = Counter(scrambled.next_index() for _ in range(5000)).most_common(5)
+        # Without scrambling the hottest keys cluster near rank 0.
+        assert all(index < 20 for index, _ in unscrambled_hot)
+        assert any(index >= 20 for index, _ in scrambled_hot)
+
+    def test_deterministic_per_seed(self):
+        a = ZipfianKeyChooser(500, theta=0.5, seed=6)
+        b = ZipfianKeyChooser(500, theta=0.5, seed=6)
+        assert [a.next_index() for _ in range(200)] == [b.next_index() for _ in range(200)]
+
+
+class TestMakeChooser:
+    def test_zero_theta_gives_uniform(self):
+        assert isinstance(make_chooser(10, theta=0.0), UniformKeyChooser)
+
+    def test_positive_theta_gives_zipfian(self):
+        chooser = make_chooser(10, theta=0.9)
+        assert isinstance(chooser, ZipfianKeyChooser)
+        assert chooser.theta == 0.9

@@ -1,0 +1,64 @@
+"""Tests for the synthetic Ethereum transaction/block generator."""
+
+import pytest
+
+from repro.encoding.rlp import rlp_decode
+from repro.workloads.ethereum import EthereumDatasetGenerator
+
+
+class TestEthereumDataset:
+    def test_block_stream_shape(self):
+        generator = EthereumDatasetGenerator(blocks=5, transactions_per_block=40, seed=1)
+        blocks = generator.all_blocks()
+        assert len(blocks) == 5
+        assert all(len(block.transactions) == 40 for block in blocks)
+        assert [block.number for block in blocks] == list(range(5))
+
+    def test_transactions_are_valid_rlp(self):
+        generator = EthereumDatasetGenerator(blocks=1, transactions_per_block=30, seed=2)
+        block = generator.all_blocks()[0]
+        for tx in block.transactions:
+            decoded = rlp_decode(tx.raw)
+            assert isinstance(decoded, list)
+            assert len(decoded) == 9  # nonce..s of a legacy transaction
+            assert len(decoded[3]) == 20  # recipient address
+
+    def test_key_is_64_byte_hex_hash(self):
+        generator = EthereumDatasetGenerator(blocks=1, transactions_per_block=10, seed=3)
+        block = generator.all_blocks()[0]
+        for tx in block.transactions:
+            assert len(tx.key) == 64
+            int(tx.key, 16)  # hex-decodable
+
+    def test_size_distribution_matches_paper(self):
+        """Raw transactions of at least 100 bytes, long-tailed, mean near 532."""
+        generator = EthereumDatasetGenerator(blocks=6, transactions_per_block=150, seed=4)
+        stats = generator.statistics(sample_blocks=6)
+        assert stats["size_min"] >= 100
+        assert 350 <= stats["size_avg"] <= 750
+        assert stats["size_max"] > 2 * stats["size_avg"]
+
+    def test_hash_links_between_blocks(self):
+        generator = EthereumDatasetGenerator(blocks=3, transactions_per_block=5, seed=5)
+        blocks = generator.all_blocks()
+        assert blocks[1].parent_hash == blocks[0].block_hash
+        assert blocks[2].parent_hash == blocks[1].block_hash
+
+    def test_records_mapping(self):
+        generator = EthereumDatasetGenerator(blocks=1, transactions_per_block=20, seed=6)
+        block = generator.all_blocks()[0]
+        records = block.records()
+        assert len(records) == 20
+        sample = block.transactions[0]
+        assert records[sample.key] == sample.raw
+
+    def test_deterministic(self):
+        a = EthereumDatasetGenerator(blocks=2, transactions_per_block=10, seed=7).all_blocks()
+        b = EthereumDatasetGenerator(blocks=2, transactions_per_block=10, seed=7).all_blocks()
+        assert [t.tx_hash for blk in a for t in blk.transactions] == [
+            t.tx_hash for blk in b for t in blk.transactions
+        ]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            EthereumDatasetGenerator(blocks=0)

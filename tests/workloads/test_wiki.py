@@ -1,0 +1,61 @@
+"""Tests for the synthetic Wikipedia dataset generator."""
+
+from repro.workloads.wiki import WikiDatasetGenerator
+
+
+class TestWikiDataset:
+    def test_initial_dataset_size(self):
+        generator = WikiDatasetGenerator(page_count=500, seed=1)
+        assert len(generator.initial_dataset()) == 500
+
+    def test_key_shape_matches_paper(self):
+        """URL keys within 31–298 bytes, average around 50."""
+        generator = WikiDatasetGenerator(page_count=800, seed=2)
+        stats = generator.statistics()
+        assert stats["key_len_min"] >= 31
+        assert stats["key_len_max"] <= 298
+        assert 40 <= stats["key_len_avg"] <= 70
+
+    def test_value_shape_matches_paper(self):
+        """Abstract values within 1–1036 bytes, average around 96."""
+        generator = WikiDatasetGenerator(page_count=800, seed=3)
+        stats = generator.statistics()
+        assert stats["value_len_min"] >= 1
+        assert stats["value_len_max"] <= 1036
+        assert 60 <= stats["value_len_avg"] <= 140
+
+    def test_keys_are_urls(self):
+        generator = WikiDatasetGenerator(page_count=20, seed=4)
+        for key in generator.keys:
+            assert key.startswith(b"https://en.wikipedia.org/wiki/")
+
+    def test_deterministic(self):
+        a = WikiDatasetGenerator(page_count=50, seed=5).initial_dataset()
+        b = WikiDatasetGenerator(page_count=50, seed=5).initial_dataset()
+        assert a == b
+
+    def test_version_stream_shape(self):
+        generator = WikiDatasetGenerator(page_count=200, versions=4,
+                                         edits_per_version=30, new_pages_per_version=5, seed=6)
+        versions = list(generator.version_stream())
+        assert len(versions) == 4
+        existing = set(generator.keys)
+        for version in versions:
+            assert len(version.changes) == 35
+            edited = [k for k in version.changes if k in existing]
+            new = [k for k in version.changes if k not in existing]
+            assert len(edited) == 30
+            assert len(new) == 5
+
+    def test_edits_change_values(self):
+        generator = WikiDatasetGenerator(page_count=100, versions=1,
+                                         edits_per_version=20, new_pages_per_version=0, seed=7)
+        initial = generator.initial_dataset()
+        version = next(generator.version_stream())
+        changed = sum(1 for key, value in version.changes.items() if initial.get(key) != value)
+        assert changed >= 18  # essentially all edits produce a new value
+
+    def test_read_keys_come_from_dataset(self):
+        generator = WikiDatasetGenerator(page_count=100, seed=8)
+        keys = set(generator.keys)
+        assert all(k in keys for k in generator.read_keys(200))

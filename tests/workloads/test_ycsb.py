@@ -1,0 +1,121 @@
+"""Tests for the YCSB-style workload generator."""
+
+import pytest
+
+from repro.workloads.ycsb import READ, WRITE, Operation, YCSBConfig, YCSBWorkload
+
+
+class TestConfig:
+    def test_defaults_match_paper_table2(self):
+        config = YCSBConfig()
+        assert config.key_length_min == 5
+        assert config.key_length_max == 15
+        assert config.value_length_mean == 256
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            YCSBConfig(record_count=0)
+        with pytest.raises(ValueError):
+            YCSBConfig(write_ratio=1.5)
+        with pytest.raises(ValueError):
+            YCSBConfig(key_length_min=2)
+
+    def test_config_or_overrides_not_both(self):
+        with pytest.raises(ValueError):
+            YCSBWorkload(YCSBConfig(), record_count=10)
+
+
+class TestDataset:
+    def test_dataset_size_and_uniqueness(self):
+        workload = YCSBWorkload(record_count=5_000, seed=1)
+        dataset = workload.initial_dataset()
+        assert len(dataset) == 5_000
+        assert len(workload.keys) == len(set(workload.keys)) == 5_000
+
+    def test_key_length_distribution(self):
+        workload = YCSBWorkload(record_count=2_000, seed=2)
+        lengths = [len(key) for key in workload.keys]
+        assert min(lengths) >= 5
+        assert max(lengths) <= 15
+        assert len(set(lengths)) > 3  # lengths actually vary
+
+    def test_value_length_distribution(self):
+        workload = YCSBWorkload(record_count=1_000, seed=3)
+        lengths = [len(v) for v in workload.initial_dataset().values()]
+        mean = sum(lengths) / len(lengths)
+        assert 200 < mean < 320
+
+    def test_deterministic_per_seed(self):
+        a = YCSBWorkload(record_count=100, seed=4).initial_dataset()
+        b = YCSBWorkload(record_count=100, seed=4).initial_dataset()
+        c = YCSBWorkload(record_count=100, seed=5).initial_dataset()
+        assert a == b
+        assert a != c
+
+    def test_load_batches_cover_dataset(self):
+        workload = YCSBWorkload(record_count=1_000, batch_size=128, seed=6)
+        merged = {}
+        sizes = []
+        for batch in workload.load_batches():
+            sizes.append(len(batch))
+            merged.update(batch)
+        assert merged == workload.initial_dataset()
+        assert all(size <= 128 for size in sizes)
+        assert sizes.count(128) == len(sizes) - 1
+
+
+class TestOperations:
+    def test_read_only_workload(self):
+        workload = YCSBWorkload(record_count=500, operation_count=1_000, write_ratio=0.0, seed=7)
+        operations = list(workload.operations())
+        assert len(operations) == 1_000
+        assert all(op.kind == READ for op in operations)
+        assert all(op.value is None for op in operations)
+
+    def test_write_only_workload(self):
+        workload = YCSBWorkload(record_count=500, operation_count=500, write_ratio=1.0, seed=8)
+        operations = list(workload.operations())
+        assert all(op.kind == WRITE and op.value is not None for op in operations)
+
+    def test_mixed_workload_ratio(self):
+        workload = YCSBWorkload(record_count=500, operation_count=4_000, write_ratio=0.5, seed=9)
+        writes = sum(1 for op in workload.operations() if op.is_write)
+        assert 0.45 < writes / 4_000 < 0.55
+
+    def test_operations_reference_dataset_keys(self):
+        workload = YCSBWorkload(record_count=200, operation_count=500, seed=10)
+        keys = set(workload.keys)
+        assert all(op.key in keys for op in workload.operations())
+
+    def test_skewed_operations_concentrate(self):
+        uniform = YCSBWorkload(record_count=1_000, operation_count=5_000, theta=0.0, seed=11)
+        skewed = YCSBWorkload(record_count=1_000, operation_count=5_000, theta=0.9, seed=11)
+
+        def distinct_keys(workload):
+            return len({op.key for op in workload.operations()})
+
+        assert distinct_keys(skewed) < distinct_keys(uniform)
+
+    def test_operation_batches(self):
+        workload = YCSBWorkload(record_count=100, operation_count=1_000, batch_size=300, seed=12)
+        batches = list(workload.operation_batches())
+        assert [len(b) for b in batches] == [300, 300, 300, 100]
+
+
+class TestVersionStream:
+    def test_update_only_stream(self):
+        workload = YCSBWorkload(record_count=1_000, seed=13)
+        versions = list(workload.version_stream(versions=5, updates_per_version=100))
+        assert len(versions) == 5
+        keys = set(workload.keys)
+        for batch in versions:
+            assert len(batch) == 100
+            assert set(batch) <= keys
+
+    def test_insert_stream_adds_new_keys(self):
+        workload = YCSBWorkload(record_count=500, seed=14)
+        versions = list(workload.version_stream(versions=3, updates_per_version=50,
+                                                insert_ratio=1.0))
+        existing = set(workload.keys)
+        for batch in versions:
+            assert not (set(batch) & existing)
