@@ -48,6 +48,12 @@ from repro.core.metrics import (
 from repro.core.properties import check_siri_properties
 from repro.core.proof import MerkleProof
 from repro.core.version import Commit, VersionGraph
+from repro.service import (
+    ServiceCommit,
+    ServiceMetrics,
+    ServiceSnapshot,
+    VersionedKVService,
+)
 from repro.hashing.digest import Digest
 from repro.indexes import (
     ALL_INDEX_CLASSES,
@@ -103,4 +109,9 @@ __all__ = [
     "CachingNodeStore",
     "MeteredNodeStore",
     "RefCountingNodeStore",
+    # service
+    "VersionedKVService",
+    "ServiceSnapshot",
+    "ServiceCommit",
+    "ServiceMetrics",
 ]

@@ -66,6 +66,7 @@ class SIRIIndex:
     name: str = "abstract"
 
     def __init__(self, store: NodeStore):
+        """Bind this index to the content-addressed ``store`` holding its nodes."""
         self.store = store
 
     # ------------------------------------------------------------------
@@ -156,6 +157,7 @@ class IndexSnapshot:
     __slots__ = ("index", "root", "_record_count")
 
     def __init__(self, index: SIRIIndex, root: Optional[Digest], record_count: Optional[int] = None):
+        """Wrap version ``root`` of ``index`` (``record_count`` caches ``len``)."""
         self.index = index
         self.root = root
         self._record_count = record_count
@@ -197,10 +199,12 @@ class IndexSnapshot:
         return self.index.iterate(self.root)
 
     def keys(self) -> Iterator[bytes]:
+        """Iterate the keys of this version in ascending order."""
         for key, _ in self.items():
             yield key
 
     def values(self) -> Iterator[bytes]:
+        """Iterate the values of this version in ascending key order."""
         for _, value in self.items():
             yield value
 
@@ -300,16 +304,19 @@ class WriteBatch:
     """
 
     def __init__(self):
+        """Create an empty batch."""
         self._puts: Dict[bytes, bytes] = {}
         self._removes: Set[bytes] = set()
 
     def put(self, key: KeyLike, value: ValueLike) -> "WriteBatch":
+        """Add (or overwrite) a pending write of ``key = value``; returns self."""
         key_bytes = coerce_key(key)
         self._puts[key_bytes] = coerce_value(value)
         self._removes.discard(key_bytes)
         return self
 
     def remove(self, key: KeyLike) -> "WriteBatch":
+        """Add a pending removal of ``key`` (dropping any pending put); returns self."""
         key_bytes = coerce_key(key)
         self._removes.add(key_bytes)
         self._puts.pop(key_bytes, None)
@@ -320,10 +327,12 @@ class WriteBatch:
 
     @property
     def puts(self) -> Dict[bytes, bytes]:
+        """A copy of the pending puts (coerced to bytes)."""
         return dict(self._puts)
 
     @property
     def removes(self) -> List[bytes]:
+        """The pending removals in sorted order."""
         return sorted(self._removes)
 
     def apply_to(self, snapshot: IndexSnapshot) -> IndexSnapshot:
@@ -331,5 +340,6 @@ class WriteBatch:
         return snapshot.update(self._puts, removes=self._removes)
 
     def clear(self) -> None:
+        """Drop every pending put and removal."""
         self._puts.clear()
         self._removes.clear()

@@ -149,6 +149,40 @@ def incremental_version_growth(snapshots: Sequence) -> List[Tuple[int, int, int]
 
 
 @dataclass
+class CacheCounters:
+    """Hit/miss accounting for a read-through node cache.
+
+    Populated from :class:`repro.storage.cache.CachingNodeStore` by the
+    benchmark harness and by the service layer's per-shard caches
+    (:mod:`repro.service`), so cache effectiveness is reported with the
+    same vocabulary everywhere.
+    """
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total reads that consulted the cache."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of reads served from the cache (0.0 when unused)."""
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+    def merge(self, other: "CacheCounters") -> "CacheCounters":
+        """Return a new :class:`CacheCounters` summing self and ``other``."""
+        return CacheCounters(hits=self.hits + other.hits, misses=self.misses + other.misses)
+
+    @classmethod
+    def from_cache(cls, cache) -> "CacheCounters":
+        """Snapshot the counters of a ``CachingNodeStore``-like object."""
+        return cls(hits=cache.cache_hits, misses=cache.cache_misses)
+
+
+@dataclass
 class OperationCounters:
     """Mutable counters used by benchmarks to accumulate operation metrics."""
 
@@ -157,6 +191,8 @@ class OperationCounters:
     nodes_created: int = 0
     nodes_read: int = 0
     elapsed_seconds: float = 0.0
+    #: Cache effectiveness over the run (zeroed when no cache is present).
+    cache: CacheCounters = field(default_factory=CacheCounters)
     extra: Dict[str, float] = field(default_factory=dict)
 
     def throughput(self) -> float:

@@ -12,7 +12,9 @@
   properties disabled (Section 5.5).
 
 All of them implement :class:`repro.core.interfaces.SIRIIndex` and are
-interchangeable from the caller's perspective.
+interchangeable from the caller's perspective — including behind the
+sharded service layer (:class:`repro.service.VersionedKVService`), which
+accepts any of these classes as its per-shard index factory.
 """
 
 from repro.indexes.base import MerkleIndex
@@ -25,6 +27,8 @@ from repro.indexes.ablation import (
     NonStructurallyInvariantPOSTree,
 )
 
+#: The four index candidates in the paper's canonical order, used by the
+#: tests and benchmarks to parameterize scenarios over every structure.
 ALL_INDEX_CLASSES = (MerklePatriciaTrie, MerkleBucketTree, POSTree, MVMBTree)
 
 __all__ = [

@@ -1,0 +1,52 @@
+"""Sharded versioned key-value service over the SIRI indexes.
+
+This package is the serving layer between applications and the bare index
+structures: it partitions keys across independent index shards, batches
+and coalesces writes, caches node reads, and names cross-shard versions
+so any committed state can be read back or diffed later.
+
+* :mod:`repro.service.sharding` — deterministic hash routing of keys to
+  shards (:class:`ShardRouter`).
+* :mod:`repro.service.batcher` — per-shard write buffering with
+  last-writer-wins coalescing (:class:`ShardWriteBatcher`).
+* :mod:`repro.service.service` — the service itself
+  (:class:`VersionedKVService`), cross-shard views
+  (:class:`ServiceSnapshot`), commits (:class:`ServiceCommit`) and
+  metrics (:class:`ServiceMetrics`).
+
+Quickstart::
+
+    from repro.indexes import POSTree
+    from repro.service import VersionedKVService
+
+    service = VersionedKVService(POSTree, num_shards=4, batch_size=1000)
+    service.put(b"user:1", b"alice")
+    v0 = service.commit("signup").version
+    service.put(b"user:1", b"alice v2")
+    service.commit("rename")
+    assert service.get(b"user:1") == b"alice v2"
+    assert service.get(b"user:1", version=v0) == b"alice"
+"""
+
+from repro.service.batcher import ShardWriteBatcher
+from repro.service.service import (
+    ServiceCommit,
+    ServiceMetrics,
+    ServiceSnapshot,
+    ShardMetrics,
+    VersionedKVService,
+    diff_service_snapshots,
+)
+from repro.service.sharding import ShardRouter, route_key
+
+__all__ = [
+    "VersionedKVService",
+    "ServiceSnapshot",
+    "ServiceCommit",
+    "ServiceMetrics",
+    "ShardMetrics",
+    "ShardRouter",
+    "ShardWriteBatcher",
+    "route_key",
+    "diff_service_snapshots",
+]

@@ -1,0 +1,122 @@
+"""Write coalescing: buffer puts/removes per shard, flush them batched.
+
+The paper's write experiments (Table 2, Figures 6–7) apply updates in
+batches of 1 000–16 000 records precisely because batched copy-on-write is
+so much cheaper than single-record writes: a batch rewrites the union of
+the touched root→leaf paths once, while N single-record writes rewrite N
+full paths — most of them the same internal nodes over and over.
+
+:class:`ShardWriteBatcher` brings that batching to the service's online
+write path.  Incoming puts and removes are buffered per shard; a second
+write to the same key *coalesces* (replaces the buffered operation, so a
+hot key costs one node rewrite per flush no matter how often it is
+updated — significant under the Zipfian skew the YCSB workloads model).
+When a shard's buffer reaches ``flush_threshold`` operations the service
+flushes it through the index's batched :meth:`write` path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.errors import InvalidParameterError
+
+
+class ShardWriteBatcher:
+    """Per-shard write buffers with last-writer-wins coalescing.
+
+    The batcher only buffers; it never touches an index.  The owning
+    service decides when to call :meth:`take` and apply the result — that
+    keeps flush policy (thresholds, explicit commits, shutdown) in one
+    place.
+
+    Attributes
+    ----------
+    buffered_ops:
+        Total operations accepted (including ones later coalesced away).
+    coalesced_ops:
+        Operations that replaced a pending operation on the same key and
+        therefore cost no extra node rewrite at flush time.
+    """
+
+    def __init__(self, num_shards: int, flush_threshold: int = 1024):
+        if num_shards <= 0:
+            raise InvalidParameterError("num_shards must be positive")
+        if flush_threshold <= 0:
+            raise InvalidParameterError("flush_threshold must be positive")
+        self.num_shards = num_shards
+        self.flush_threshold = flush_threshold
+        self._puts: List[Dict[bytes, bytes]] = [{} for _ in range(num_shards)]
+        self._removes: List[Set[bytes]] = [set() for _ in range(num_shards)]
+        self.buffered_ops = 0
+        self.coalesced_ops = 0
+
+    # -- buffering ---------------------------------------------------------
+
+    def buffer_put(self, shard: int, key: bytes, value: bytes) -> bool:
+        """Buffer ``key = value`` on ``shard``; return True when flush is due."""
+        puts = self._puts[shard]
+        removes = self._removes[shard]
+        if key in puts or key in removes:
+            self.coalesced_ops += 1
+        removes.discard(key)
+        puts[key] = value
+        self.buffered_ops += 1
+        return self.pending_count(shard) >= self.flush_threshold
+
+    def buffer_remove(self, shard: int, key: bytes) -> bool:
+        """Buffer a remove of ``key`` on ``shard``; return True when flush is due."""
+        puts = self._puts[shard]
+        removes = self._removes[shard]
+        if key in puts or key in removes:
+            self.coalesced_ops += 1
+        puts.pop(key, None)
+        removes.add(key)
+        self.buffered_ops += 1
+        return self.pending_count(shard) >= self.flush_threshold
+
+    # -- inspection --------------------------------------------------------
+
+    def pending_count(self, shard: int) -> int:
+        """Number of distinct pending operations on ``shard``."""
+        return len(self._puts[shard]) + len(self._removes[shard])
+
+    def total_pending(self) -> int:
+        """Distinct pending operations across all shards."""
+        return sum(self.pending_count(s) for s in range(self.num_shards))
+
+    def pending_value(self, shard: int, key: bytes) -> Tuple[bool, Optional[bytes]]:
+        """Look ``key`` up in the pending buffer (read-your-writes).
+
+        Returns ``(True, value)`` when a put is pending, ``(True, None)``
+        when a remove is pending, and ``(False, None)`` when the buffer
+        holds nothing for the key and the caller must consult the index.
+        """
+        puts = self._puts[shard]
+        if key in puts:
+            return True, puts[key]
+        if key in self._removes[shard]:
+            return True, None
+        return False, None
+
+    # -- draining ----------------------------------------------------------
+
+    def take(self, shard: int) -> Tuple[Dict[bytes, bytes], Set[bytes]]:
+        """Drain and return ``(puts, removes)`` pending on ``shard``."""
+        puts = self._puts[shard]
+        removes = self._removes[shard]
+        self._puts[shard] = {}
+        self._removes[shard] = set()
+        return puts, removes
+
+    def clear(self) -> None:
+        """Drop every pending operation on every shard."""
+        for shard in range(self.num_shards):
+            self._puts[shard] = {}
+            self._removes[shard] = set()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardWriteBatcher(num_shards={self.num_shards}, "
+            f"flush_threshold={self.flush_threshold}, pending={self.total_pending()})"
+        )

@@ -1,0 +1,535 @@
+"""The sharded versioned key-value service.
+
+:class:`VersionedKVService` is the serving layer the benchmarks and
+examples use to drive the index structures the way an online system
+would, rather than as bare library classes:
+
+* **Sharding** — keys are hash-partitioned (:mod:`repro.service.sharding`)
+  across N independent index instances, each with its own node store and
+  its own root-version history.  Shards keep every tree a factor N
+  smaller, which shortens root→leaf paths for both lookups and
+  copy-on-write rewrites, and gives later PRs an obvious unit for
+  parallelism and replication.
+* **Write coalescing** — puts/removes buffer per shard
+  (:mod:`repro.service.batcher`) and flush through the index's batched
+  :meth:`~repro.core.interfaces.SIRIIndex.write` path, amortizing node
+  rewrites exactly as the paper's batched write workloads do.
+* **Read-through caching** — each shard's store can be wrapped in a
+  :class:`~repro.storage.cache.CachingNodeStore`; hit/miss counters are
+  reported as :class:`~repro.core.metrics.CacheCounters`.
+* **Versioning** — :meth:`VersionedKVService.commit` captures a
+  cross-shard snapshot (one root digest per shard, rolled up into a single
+  service-level digest) and :meth:`get` accepts ``version=`` to read any
+  committed version.  :meth:`diff` merges the per-shard structural diffs
+  (:mod:`repro.core.diff`) into one result.
+
+The service works with any index class implementing
+:class:`~repro.core.interfaces.SIRIIndex` and any
+:class:`~repro.storage.store.NodeStore` backend.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.diff import DiffEntry, DiffResult, diff_snapshots
+from repro.core.errors import InvalidParameterError, KeyNotFoundError
+from repro.core.interfaces import IndexSnapshot, KeyLike, SIRIIndex, ValueLike, coerce_key, coerce_value
+from repro.core.metrics import CacheCounters
+from repro.hashing.digest import Digest, default_hash_function
+from repro.service.batcher import ShardWriteBatcher
+from repro.service.sharding import ShardRouter
+from repro.storage.cache import CachingNodeStore
+from repro.storage.memory import InMemoryNodeStore
+from repro.storage.store import NodeStore
+
+IndexFactory = Callable[[NodeStore], SIRIIndex]
+StoreFactory = Callable[[], NodeStore]
+
+
+@dataclass(frozen=True)
+class ServiceCommit:
+    """One committed cross-shard version of the service.
+
+    Attributes
+    ----------
+    version:
+        Dense sequence number (0 for the first commit).  This is the value
+        :meth:`VersionedKVService.get` accepts as ``version=``.
+    roots:
+        The root digest of every shard at commit time (``None`` = empty
+        shard), in shard-id order.
+    digest:
+        Service-level digest over the shard roots — a single value that
+        identifies the entire cross-shard state, tamper-evident in the
+        same way as each shard's own Merkle root.
+    """
+
+    version: int
+    roots: Tuple[Optional[Digest], ...]
+    digest: Digest
+    message: str = ""
+    timestamp: float = 0.0
+
+    def short_id(self) -> str:
+        """Truncated hex of the service-level digest (for logs)."""
+        return self.digest.short()
+
+
+@dataclass
+class ShardMetrics:
+    """Point-in-time counters for one shard."""
+
+    shard_id: int
+    flushes: int
+    nodes_written: int
+    nodes_read: int
+    cache: CacheCounters
+    records: Optional[int] = None
+
+
+@dataclass
+class ServiceMetrics:
+    """Aggregated service counters returned by :meth:`VersionedKVService.metrics`."""
+
+    shards: List[ShardMetrics] = field(default_factory=list)
+    gets: int = 0
+    puts: int = 0
+    removes: int = 0
+    buffered_ops: int = 0
+    coalesced_ops: int = 0
+    flushes: int = 0
+    commits: int = 0
+
+    @property
+    def nodes_written(self) -> int:
+        """Node (page) writes summed over all shards."""
+        return sum(s.nodes_written for s in self.shards)
+
+    @property
+    def nodes_read(self) -> int:
+        """Node (page) reads summed over all shards."""
+        return sum(s.nodes_read for s in self.shards)
+
+    @property
+    def cache(self) -> CacheCounters:
+        """Cache hit/miss counters merged across shards."""
+        merged = CacheCounters()
+        for shard in self.shards:
+            merged = merged.merge(shard.cache)
+        return merged
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Fraction of buffered write operations absorbed by coalescing."""
+        writes = self.puts + self.removes
+        return self.coalesced_ops / writes if writes else 0.0
+
+
+class _Shard:
+    """One partition: an index over its own (optionally cached) store."""
+
+    __slots__ = ("shard_id", "backing", "store", "cache", "index", "head", "history", "flushes")
+
+    def __init__(self, shard_id: int, backing: NodeStore, store: NodeStore,
+                 cache: Optional[CachingNodeStore], index: SIRIIndex):
+        self.shard_id = shard_id
+        self.backing = backing
+        self.store = store
+        self.cache = cache
+        self.index = index
+        self.head: IndexSnapshot = index.empty_snapshot()
+        #: Root digest after every flush, oldest first (the shard's own
+        #: root-version history; service commits reference entries of it).
+        self.history: List[Optional[Digest]] = [index.empty_root()]
+        self.flushes = 0
+
+
+class ServiceSnapshot:
+    """An immutable cross-shard view: one :class:`IndexSnapshot` per shard.
+
+    Obtained from :meth:`VersionedKVService.snapshot`.  Reads route by the
+    same hash partitioning the service uses; iteration merge-joins the
+    shards' ordered record streams so keys come out globally sorted.
+    """
+
+    __slots__ = ("shards", "router", "commit")
+
+    def __init__(self, shards: Sequence[IndexSnapshot], commit: Optional[ServiceCommit] = None):
+        self.shards = list(shards)
+        self.router = ShardRouter(len(self.shards))
+        self.commit = commit
+
+    @property
+    def roots(self) -> Tuple[Optional[Digest], ...]:
+        """Per-shard root digests of this view."""
+        return tuple(snap.root_digest for snap in self.shards)
+
+    def get(self, key: KeyLike, default: Optional[bytes] = None) -> Optional[bytes]:
+        """Return the value for ``key`` or ``default`` when absent."""
+        key_bytes = coerce_key(key)
+        return self.shards[self.router.shard_of(key_bytes)].get(key_bytes, default)
+
+    def __getitem__(self, key: KeyLike) -> bytes:
+        value = self.get(key)
+        if value is None:
+            raise KeyNotFoundError(key)
+        return value
+
+    def __contains__(self, key: KeyLike) -> bool:
+        return self.get(key) is not None
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Iterate ``(key, value)`` pairs of all shards in ascending key order."""
+        return heapq.merge(*(snap.items() for snap in self.shards))
+
+    def keys(self) -> Iterator[bytes]:
+        """Iterate all keys across shards in ascending order."""
+        for key, _ in self.items():
+            yield key
+
+    def to_dict(self) -> Dict[bytes, bytes]:
+        """Materialize the full cross-shard content as a dictionary."""
+        return dict(self.items())
+
+    def __len__(self) -> int:
+        return sum(len(snap) for snap in self.shards)
+
+    def diff(self, other: "ServiceSnapshot") -> DiffResult:
+        """Structural diff against another view of the same service."""
+        return diff_service_snapshots(self, other)
+
+    def __repr__(self) -> str:
+        version = self.commit.version if self.commit is not None else "head"
+        return f"ServiceSnapshot(shards={len(self.shards)}, version={version})"
+
+
+def diff_service_snapshots(left: ServiceSnapshot, right: ServiceSnapshot) -> DiffResult:
+    """Merge the per-shard structural diffs of two cross-shard views.
+
+    Because routing is deterministic, a key lives on the same shard in
+    both views, so the service-level diff is exactly the union of the
+    per-shard diffs — each of which prunes shared subtrees by digest
+    (:func:`repro.core.diff.diff_snapshots`).  Entries are re-sorted so
+    the merged result is ordered by key like a single-index diff.
+    """
+    if len(left.shards) != len(right.shards):
+        raise InvalidParameterError(
+            "cannot diff snapshots with different shard counts "
+            f"({len(left.shards)} vs {len(right.shards)})"
+        )
+    merged = DiffResult()
+    for left_snap, right_snap in zip(left.shards, right.shards):
+        partial = diff_snapshots(left_snap, right_snap)
+        merged.entries.extend(partial.entries)
+        merged.comparisons += partial.comparisons
+    merged.entries.sort(key=lambda entry: entry.key)
+    return merged
+
+
+class VersionedKVService:
+    """A sharded, write-batched, multi-version key-value service.
+
+    Parameters
+    ----------
+    index_factory:
+        Callable building one index per shard from a node store (an index
+        *class* such as :class:`~repro.indexes.pos_tree.POSTree` works
+        directly; use ``functools.partial`` to pin tuning parameters).
+    num_shards:
+        Number of hash partitions.  Each shard gets its own store, its own
+        index instance and its own root-version history.
+    store_factory:
+        Callable building one backing store per shard (default
+        :class:`~repro.storage.memory.InMemoryNodeStore`).
+    cache_bytes:
+        Capacity of the per-shard read-through LRU node cache; ``0``
+        disables caching and reads hit the backing store directly.
+    batch_size:
+        Write-coalescing flush threshold: a shard's pending puts/removes
+        are flushed through the batched write path once this many distinct
+        operations are buffered.  ``1`` degenerates to unbatched
+        single-operation writes (useful as a baseline).
+
+    Example
+    -------
+    >>> from repro.indexes import POSTree
+    >>> from repro.service import VersionedKVService
+    >>> service = VersionedKVService(POSTree, num_shards=4)
+    >>> service.put(b"alice", b"100")
+    >>> v0 = service.commit("initial balances").version
+    >>> service.put(b"alice", b"175")
+    >>> service.commit("pay alice")           # doctest: +ELLIPSIS
+    ServiceCommit(...)
+    >>> service.get(b"alice")
+    b'175'
+    >>> service.get(b"alice", version=v0)
+    b'100'
+    """
+
+    def __init__(
+        self,
+        index_factory: IndexFactory,
+        *,
+        num_shards: int = 4,
+        store_factory: Optional[StoreFactory] = None,
+        cache_bytes: int = 16 * 1024 * 1024,
+        batch_size: int = 1024,
+    ):
+        if num_shards <= 0:
+            raise InvalidParameterError("num_shards must be positive")
+        if batch_size <= 0:
+            raise InvalidParameterError("batch_size must be positive")
+        if cache_bytes < 0:
+            raise InvalidParameterError("cache_bytes must be non-negative")
+        self.router = ShardRouter(num_shards)
+        self.batcher = ShardWriteBatcher(num_shards, flush_threshold=batch_size)
+        self._hash = default_hash_function()
+        self._commits: List[ServiceCommit] = []
+        self._shards: List[_Shard] = []
+        store_factory = store_factory or InMemoryNodeStore
+        for shard_id in range(num_shards):
+            backing = store_factory()
+            cache: Optional[CachingNodeStore] = None
+            store: NodeStore = backing
+            if cache_bytes:
+                cache = CachingNodeStore(backing, capacity_bytes=cache_bytes)
+                store = cache
+            index = index_factory(store)
+            self._shards.append(_Shard(shard_id, backing, store, cache, index))
+        # Operation counters (service-level; shard-level live on the indexes).
+        self._gets = 0
+        self._puts = 0
+        self._removes = 0
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        """Number of hash partitions."""
+        return self.router.num_shards
+
+    @property
+    def batch_size(self) -> int:
+        """Write-coalescing flush threshold."""
+        return self.batcher.flush_threshold
+
+    @property
+    def commits(self) -> List[ServiceCommit]:
+        """All committed versions, oldest first."""
+        return list(self._commits)
+
+    def shard_of(self, key: KeyLike) -> int:
+        """The shard id owning ``key`` (stable hash routing)."""
+        return self.router.shard_of(coerce_key(key))
+
+    # -- writes ------------------------------------------------------------
+
+    def put(self, key: KeyLike, value: ValueLike) -> None:
+        """Buffer a write of ``key = value`` (flushes when the batch fills)."""
+        key_bytes = coerce_key(key)
+        shard_id = self.router.shard_of(key_bytes)
+        self._puts += 1
+        if self.batcher.buffer_put(shard_id, key_bytes, coerce_value(value)):
+            self._flush_shard(shard_id)
+
+    def remove(self, key: KeyLike) -> None:
+        """Buffer a removal of ``key`` (absent keys are ignored at flush)."""
+        key_bytes = coerce_key(key)
+        shard_id = self.router.shard_of(key_bytes)
+        self._removes += 1
+        if self.batcher.buffer_remove(shard_id, key_bytes):
+            self._flush_shard(shard_id)
+
+    def put_many(self, items: Union[Dict[KeyLike, ValueLike], Sequence[Tuple[KeyLike, ValueLike]]]) -> None:
+        """Buffer many writes at once (same coalescing/flush behaviour)."""
+        pairs = items.items() if isinstance(items, dict) else items
+        for key, value in pairs:
+            self.put(key, value)
+
+    def _flush_shard(self, shard_id: int) -> None:
+        """Apply a shard's pending operations through the batched write path."""
+        puts, removes = self.batcher.take(shard_id)
+        if not puts and not removes:
+            return
+        shard = self._shards[shard_id]
+        shard.head = shard.head.update(puts, removes=removes)
+        shard.history.append(shard.head.root_digest)
+        shard.flushes += 1
+
+    def flush(self) -> None:
+        """Flush every shard's pending operations to its index."""
+        for shard_id in range(self.num_shards):
+            self._flush_shard(shard_id)
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, key: KeyLike, default: Optional[bytes] = None,
+            version: Optional[Union[int, ServiceCommit]] = None) -> Optional[bytes]:
+        """Read ``key`` from the latest state or from a committed version.
+
+        With ``version=None`` the read is *read-your-writes*: pending
+        buffered operations are visible before they are flushed.  With a
+        version number (or :class:`ServiceCommit`), the read resolves
+        against that commit's shard roots — any committed version stays
+        readable forever thanks to copy-on-write.
+        """
+        key_bytes = coerce_key(key)
+        shard_id = self.router.shard_of(key_bytes)
+        self._gets += 1
+        if version is None:
+            pending, value = self.batcher.pending_value(shard_id, key_bytes)
+            if pending:
+                return value if value is not None else default
+            value = self._shards[shard_id].index.lookup(
+                self._shards[shard_id].head.root_digest, key_bytes)
+            return value if value is not None else default
+        commit = self._resolve_commit(version)
+        shard = self._shards[shard_id]
+        value = shard.index.lookup(commit.roots[shard_id], key_bytes)
+        return value if value is not None else default
+
+    def __getitem__(self, key: KeyLike) -> bytes:
+        value = self.get(key)
+        if value is None:
+            raise KeyNotFoundError(key)
+        return value
+
+    def __contains__(self, key: KeyLike) -> bool:
+        return self.get(key) is not None
+
+    def items(self, version: Optional[Union[int, ServiceCommit]] = None) -> Iterator[Tuple[bytes, bytes]]:
+        """Iterate all records in ascending key order (latest or a version)."""
+        return self.snapshot(version).items()
+
+    def record_count(self) -> int:
+        """Total records across all shards (flushes pending writes first)."""
+        self.flush()
+        return sum(len(shard.head) for shard in self._shards)
+
+    # -- versioning --------------------------------------------------------
+
+    def _resolve_commit(self, version: Union[int, ServiceCommit]) -> ServiceCommit:
+        if isinstance(version, ServiceCommit):
+            return version
+        try:
+            if version < 0:
+                # Versions are dense sequence numbers from 0; negative
+                # indexing would silently alias the newest commits.
+                raise IndexError(version)
+            return self._commits[version]
+        except (IndexError, TypeError):
+            raise KeyNotFoundError(f"unknown service version: {version!r}") from None
+
+    def commit(self, message: str = "") -> ServiceCommit:
+        """Flush all shards and record a cross-shard version.
+
+        Returns a :class:`ServiceCommit` whose ``version`` number can be
+        passed to :meth:`get`, :meth:`snapshot` and :meth:`diff`.  The
+        commit digest rolls the shard roots up into one value, so two
+        services with identical content produce identical commit digests
+        (structural invariance carries through the service layer).
+        """
+        self.flush()
+        roots = tuple(shard.head.root_digest for shard in self._shards)
+        parts = [root.raw if root is not None else b"\x00" for root in roots]
+        digest = self._hash.hash_many(parts)
+        commit = ServiceCommit(
+            version=len(self._commits),
+            roots=roots,
+            digest=digest,
+            message=message,
+            timestamp=time.time(),
+        )
+        self._commits.append(commit)
+        return commit
+
+    def snapshot(self, version: Optional[Union[int, ServiceCommit]] = None) -> ServiceSnapshot:
+        """An immutable cross-shard view of the latest state or a commit.
+
+        ``version=None`` flushes pending writes and snapshots the current
+        heads; otherwise the view is reconstructed from the commit's
+        recorded shard roots.
+        """
+        if version is None:
+            self.flush()
+            return ServiceSnapshot([shard.head for shard in self._shards], commit=None)
+        commit = self._resolve_commit(version)
+        snaps = [shard.index.snapshot(root) for shard, root in zip(self._shards, commit.roots)]
+        return ServiceSnapshot(snaps, commit=commit)
+
+    def diff(self, left: Union[int, ServiceCommit, ServiceSnapshot],
+             right: Union[int, ServiceCommit, ServiceSnapshot, None] = None) -> DiffResult:
+        """Merged structural diff between two versions (or a version and head)."""
+        left_snap = left if isinstance(left, ServiceSnapshot) else self.snapshot(left)
+        if right is None:
+            right_snap = self.snapshot()
+        elif isinstance(right, ServiceSnapshot):
+            right_snap = right
+        else:
+            right_snap = self.snapshot(right)
+        return diff_service_snapshots(left_snap, right_snap)
+
+    # -- observability -----------------------------------------------------
+
+    def shard_histories(self) -> List[List[Optional[Digest]]]:
+        """Each shard's root-version history (one root per flush)."""
+        return [list(shard.history) for shard in self._shards]
+
+    def metrics(self, include_records: bool = False) -> ServiceMetrics:
+        """Current counters: per-shard node I/O, cache hits, coalescing, commits.
+
+        ``include_records=True`` additionally counts each shard's *flushed*
+        records (pending buffered writes are excluded — use
+        :meth:`record_count` for a flush-then-count total), which costs a
+        full iteration per shard — leave it off on hot paths.
+        """
+        shards = []
+        for shard in self._shards:
+            cache = (CacheCounters.from_cache(shard.cache)
+                     if shard.cache is not None else CacheCounters())
+            shards.append(ShardMetrics(
+                shard_id=shard.shard_id,
+                flushes=shard.flushes,
+                nodes_written=getattr(shard.index, "nodes_written", 0),
+                nodes_read=getattr(shard.index, "nodes_read", 0),
+                cache=cache,
+                records=len(shard.head) if include_records else None,
+            ))
+        return ServiceMetrics(
+            shards=shards,
+            gets=self._gets,
+            puts=self._puts,
+            removes=self._removes,
+            buffered_ops=self.batcher.buffered_ops,
+            coalesced_ops=self.batcher.coalesced_ops,
+            flushes=sum(shard.flushes for shard in self._shards),
+            commits=len(self._commits),
+        )
+
+    def reset_counters(self) -> None:
+        """Zero every operation/cache/node counter (state is untouched)."""
+        self._gets = self._puts = self._removes = 0
+        self.batcher.buffered_ops = 0
+        self.batcher.coalesced_ops = 0
+        for shard in self._shards:
+            shard.flushes = 0
+            if hasattr(shard.index, "reset_counters"):
+                shard.index.reset_counters()
+            if shard.cache is not None:
+                shard.cache.cache_hits = 0
+                shard.cache.cache_misses = 0
+
+    def storage_bytes(self) -> int:
+        """Physical bytes across all shard stores (unique nodes only)."""
+        return sum(shard.backing.total_bytes() for shard in self._shards)
+
+    def __repr__(self) -> str:
+        index_name = self._shards[0].index.name if self._shards else "?"
+        return (
+            f"VersionedKVService(index={index_name}, shards={self.num_shards}, "
+            f"batch_size={self.batch_size}, commits={len(self._commits)})"
+        )

@@ -21,6 +21,13 @@ Provided stores:
   and counts gets/puts/bytes, used by the benchmark harness.
 * :class:`~repro.storage.refcount.RefCountingNodeStore` — reference
   counting and garbage collection of unreachable versions.
+
+Stores compose: the service layer (:mod:`repro.service`) fronts one
+backing store per shard with a :class:`~repro.storage.cache.CachingNodeStore`,
+and any :class:`~repro.storage.store.NodeStore` subclass overriding the
+five primitives (``put_bytes``, ``get_bytes``, ``contains``, ``digests``,
+``__len__``) can serve as a backend anywhere in the library — the base
+class supplies the hashing/verification/accounting API on top of them.
 """
 
 from repro.storage.store import NodeStore, StoreStats

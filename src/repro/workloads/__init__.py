@@ -14,7 +14,7 @@
 """
 
 from repro.workloads.distributions import UniformKeyChooser, ZipfianKeyChooser, make_chooser
-from repro.workloads.ycsb import Operation, YCSBConfig, YCSBWorkload
+from repro.workloads.ycsb import Operation, YCSBConfig, YCSBServiceDriver, YCSBWorkload
 from repro.workloads.wiki import WikiDatasetGenerator, WikiVersion
 from repro.workloads.ethereum import Block, EthereumDatasetGenerator, Transaction
 from repro.workloads.collaboration import CollaborationWorkload, batched
@@ -26,6 +26,7 @@ __all__ = [
     "Operation",
     "YCSBConfig",
     "YCSBWorkload",
+    "YCSBServiceDriver",
     "WikiDatasetGenerator",
     "WikiVersion",
     "EthereumDatasetGenerator",

@@ -17,9 +17,11 @@ sequences.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.metrics import OperationCounters
 from repro.workloads.distributions import make_chooser
 
 READ = "read"
@@ -201,3 +203,78 @@ class YCSBWorkload:
                     index = chooser.next_index()
                     batch[self.keys[index]] = self._make_value(index, revision=version)
             yield batch
+
+
+# ---------------------------------------------------------------------------
+# Service driver mode
+# ---------------------------------------------------------------------------
+
+class YCSBServiceDriver:
+    """Drives a YCSB workload against a key-value *service* instead of a raw index.
+
+    The classic driver path in the benchmarks feeds operation batches
+    straight into one :class:`~repro.core.interfaces.IndexSnapshot`; this
+    driver instead issues every operation through a service front end —
+    anything exposing ``put(key, value)``, ``remove(key)``, ``get(key)``,
+    ``flush()`` and ``metrics()``, i.e.
+    :class:`repro.service.VersionedKVService` — so sharding, write
+    coalescing and node caching are on the measured path, the way an
+    online deployment would run the workload.
+
+    The driver is deliberately duck-typed (no import of
+    :mod:`repro.service`) so workload generation stays dependency-free.
+    """
+
+    def __init__(self, workload: YCSBWorkload):
+        self.workload = workload
+
+    def load(self, service, commit_message: str = "ycsb initial load") -> OperationCounters:
+        """Load the initial dataset through the service's write path.
+
+        Commits the loaded state (one cross-shard version) when the
+        service supports :meth:`commit`, and returns counters covering the
+        load phase.
+        """
+        counters = OperationCounters()
+        before = service.metrics()
+        start = time.perf_counter()
+        for batch in self.workload.load_batches():
+            for key, value in batch.items():
+                service.put(key, value)
+                counters.operations += 1
+        service.flush()
+        if hasattr(service, "commit"):
+            service.commit(commit_message)
+        counters.elapsed_seconds = time.perf_counter() - start
+        self._fill_deltas(counters, before, service.metrics())
+        return counters
+
+    def run(self, service, operation_count: Optional[int] = None) -> OperationCounters:
+        """Execute the operation stream against the service; return counters.
+
+        Reads go through :meth:`get` (read-your-writes over any pending
+        batch); writes buffer and flush at the service's batch size.  A
+        final :meth:`flush` is included in the measured time so unbatched
+        and batched configurations are comparable.
+        """
+        counters = OperationCounters()
+        before = service.metrics()
+        start = time.perf_counter()
+        for operation in self.workload.operations(operation_count):
+            if operation.is_write:
+                service.put(operation.key, operation.value)
+            else:
+                service.get(operation.key)
+            counters.operations += 1
+        service.flush()
+        counters.elapsed_seconds = time.perf_counter() - start
+        self._fill_deltas(counters, before, service.metrics())
+        return counters
+
+    @staticmethod
+    def _fill_deltas(counters: OperationCounters, before, after) -> None:
+        """Record node-I/O and cache deltas between two metrics snapshots."""
+        counters.nodes_created = after.nodes_written - before.nodes_written
+        counters.nodes_read = after.nodes_read - before.nodes_read
+        counters.cache.hits = after.cache.hits - before.cache.hits
+        counters.cache.misses = after.cache.misses - before.cache.misses

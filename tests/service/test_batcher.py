@@ -1,0 +1,78 @@
+"""Write-coalescing batcher semantics."""
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.service.batcher import ShardWriteBatcher
+
+
+def test_buffer_until_threshold():
+    batcher = ShardWriteBatcher(2, flush_threshold=3)
+    assert batcher.buffer_put(0, b"a", b"1") is False
+    assert batcher.buffer_put(0, b"b", b"2") is False
+    assert batcher.buffer_put(0, b"c", b"3") is True      # threshold reached
+    # Other shards are independent.
+    assert batcher.buffer_put(1, b"d", b"4") is False
+    assert batcher.pending_count(0) == 3
+    assert batcher.pending_count(1) == 1
+    assert batcher.total_pending() == 4
+
+
+def test_put_coalesces_same_key():
+    batcher = ShardWriteBatcher(1, flush_threshold=100)
+    batcher.buffer_put(0, b"k", b"v1")
+    batcher.buffer_put(0, b"k", b"v2")
+    batcher.buffer_put(0, b"k", b"v3")
+    assert batcher.pending_count(0) == 1                  # one distinct op
+    assert batcher.buffered_ops == 3
+    assert batcher.coalesced_ops == 2
+    puts, removes = batcher.take(0)
+    assert puts == {b"k": b"v3"}                          # last writer wins
+    assert removes == set()
+
+
+def test_remove_supersedes_put_and_vice_versa():
+    batcher = ShardWriteBatcher(1, flush_threshold=100)
+    batcher.buffer_put(0, b"k", b"v")
+    batcher.buffer_remove(0, b"k")
+    found, value = batcher.pending_value(0, b"k")
+    assert (found, value) == (True, None)                 # pending delete
+    batcher.buffer_put(0, b"k", b"v2")
+    found, value = batcher.pending_value(0, b"k")
+    assert (found, value) == (True, b"v2")
+    puts, removes = batcher.take(0)
+    assert puts == {b"k": b"v2"}
+    assert removes == set()
+    assert batcher.coalesced_ops == 2
+
+
+def test_pending_value_miss():
+    batcher = ShardWriteBatcher(1, flush_threshold=10)
+    assert batcher.pending_value(0, b"nope") == (False, None)
+
+
+def test_take_drains_only_one_shard():
+    batcher = ShardWriteBatcher(2, flush_threshold=10)
+    batcher.buffer_put(0, b"a", b"1")
+    batcher.buffer_remove(1, b"b")
+    puts, removes = batcher.take(0)
+    assert puts == {b"a": b"1"} and removes == set()
+    assert batcher.pending_count(0) == 0
+    assert batcher.pending_count(1) == 1
+    puts, removes = batcher.take(1)
+    assert puts == {} and removes == {b"b"}
+
+
+def test_clear():
+    batcher = ShardWriteBatcher(2, flush_threshold=10)
+    batcher.buffer_put(0, b"a", b"1")
+    batcher.buffer_remove(1, b"b")
+    batcher.clear()
+    assert batcher.total_pending() == 0
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(InvalidParameterError):
+        ShardWriteBatcher(0)
+    with pytest.raises(InvalidParameterError):
+        ShardWriteBatcher(2, flush_threshold=0)
