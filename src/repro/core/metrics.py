@@ -183,6 +183,43 @@ class CacheCounters:
 
 
 @dataclass
+class ContentionCounters:
+    """Lock acquisition accounting for one mutex (a shard lock).
+
+    The service layer's concurrent execution engine
+    (:mod:`repro.service.executor`) guards each shard with its own lock;
+    these counters record how often that lock was taken, how often the
+    taker had to wait because another thread held it, and for how long.
+    A high :attr:`contention_ratio` on one shard while the others are idle
+    is the signature of key skew defeating hash partitioning.
+    """
+
+    #: Total successful lock acquisitions.
+    acquisitions: int = 0
+    #: Acquisitions that had to block because the lock was already held.
+    contended: int = 0
+    #: Total seconds spent blocked waiting for the lock.
+    wait_seconds: float = 0.0
+
+    @property
+    def contention_ratio(self) -> float:
+        """Fraction of acquisitions that had to wait (0.0 when uncontended)."""
+        return self.contended / self.acquisitions if self.acquisitions else 0.0
+
+    def merge(self, other: "ContentionCounters") -> "ContentionCounters":
+        """Return a new :class:`ContentionCounters` summing self and ``other``."""
+        return ContentionCounters(
+            acquisitions=self.acquisitions + other.acquisitions,
+            contended=self.contended + other.contended,
+            wait_seconds=self.wait_seconds + other.wait_seconds,
+        )
+
+    def copy(self) -> "ContentionCounters":
+        """A point-in-time copy (the live object keeps mutating)."""
+        return ContentionCounters(self.acquisitions, self.contended, self.wait_seconds)
+
+
+@dataclass
 class OperationCounters:
     """Mutable counters used by benchmarks to accumulate operation metrics."""
 

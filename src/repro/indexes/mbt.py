@@ -67,6 +67,8 @@ class MerkleBucketTree(MerkleIndex):
         self.fanout = fanout
         #: Per-level node counts, bottom (bucket level) first.
         self._level_widths = self._compute_level_widths(capacity, fanout)
+        #: Lazily-stored digest of the canonical empty bucket node.
+        self._empty_bucket: Optional[Digest] = None
         #: Instrumentation for the Figure 13 breakdown: time spent loading
         #: nodes vs scanning bucket contents is accounted by callers using
         #: these counters of traversed internal nodes and scanned entries.
@@ -143,9 +145,14 @@ class MerkleBucketTree(MerkleIndex):
             level = next_level
         return level[0]
 
+    def _empty_bucket_digest(self) -> Digest:
+        """Digest of the canonical empty bucket (stored once, then cached)."""
+        if self._empty_bucket is None:
+            self._empty_bucket = self._put_node(self._serialize_bucket([]))
+        return self._empty_bucket
+
     def _empty_bucket_digests(self) -> List[Digest]:
-        empty = self._put_node(self._serialize_bucket([]))
-        return [empty] * self.capacity
+        return [self._empty_bucket_digest()] * self.capacity
 
     def _bucket_path_indices(self, bucket_index: int) -> List[int]:
         """Child indexes along the root→bucket path (the paper's reverse simulation)."""
@@ -254,6 +261,17 @@ class MerkleBucketTree(MerkleIndex):
                 merged.pop(key, None)
             new_entries = sorted(merged.items())
             bucket_digests[bucket_index] = self._put_node(self._serialize_bucket(new_entries))
+
+        if removes:
+            # Deleting the last record must return the canonical empty root
+            # (None), not a materialized tree of empty buckets — otherwise
+            # the same (empty) content would have two different roots
+            # depending on how it was reached, breaking the structural
+            # invariance the other SIRI candidates uphold.  Only removes
+            # can empty the tree, so put-only batches skip the check.
+            empty = self._empty_bucket_digest()
+            if all(digest == empty for digest in bucket_digests):
+                return None
 
         return self._build_from_buckets(bucket_digests)
 

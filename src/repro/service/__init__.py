@@ -13,6 +13,11 @@ so any committed state can be read back or diffed later.
   (:class:`VersionedKVService`), cross-shard views
   (:class:`ServiceSnapshot`), commits (:class:`ServiceCommit`) and
   metrics (:class:`ServiceMetrics`).
+* :mod:`repro.service.executor` — the concurrent execution engine
+  (:class:`ServiceExecutor`): a worker pool fanning multi-key gets,
+  scans, merged diffs, bulk writes and commits out over the shards with
+  deterministic result ordering and fail-fast error handling
+  (:class:`ShardExecutionError`).
 
 Quickstart::
 
@@ -29,6 +34,7 @@ Quickstart::
 """
 
 from repro.service.batcher import ShardWriteBatcher
+from repro.service.executor import ServiceExecutor, ShardExecutionError
 from repro.service.service import (
     ServiceCommit,
     ServiceMetrics,
@@ -41,6 +47,8 @@ from repro.service.sharding import ShardRouter, route_key
 
 __all__ = [
     "VersionedKVService",
+    "ServiceExecutor",
+    "ShardExecutionError",
     "ServiceSnapshot",
     "ServiceCommit",
     "ServiceMetrics",

@@ -13,10 +13,23 @@ hot key costs one node rewrite per flush no matter how often it is
 updated — significant under the Zipfian skew the YCSB workloads model).
 When a shard's buffer reaches ``flush_threshold`` operations the service
 flushes it through the index's batched :meth:`write` path.
+
+Thread safety
+-------------
+Every public method is safe to call from any thread.  Each shard's buffer
+is guarded by its own lock, so enqueues on different shards never contend
+with each other, and a flush (:meth:`take`) on one shard can run
+concurrently with enqueues on every other shard.  A flush concurrent with
+an enqueue *on the same shard* is also well-defined: :meth:`take` swaps
+the buffers out atomically, so the racing operation lands either in the
+batch being flushed or in the fresh buffer — never in both, never lost.
+Operation counters are kept per shard (updated under that shard's lock)
+and summed on read, so they stay exact under concurrency.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.errors import InvalidParameterError
@@ -46,40 +59,63 @@ class ShardWriteBatcher:
             raise InvalidParameterError("flush_threshold must be positive")
         self.num_shards = num_shards
         self.flush_threshold = flush_threshold
+        self._locks: List[threading.Lock] = [threading.Lock() for _ in range(num_shards)]
         self._puts: List[Dict[bytes, bytes]] = [{} for _ in range(num_shards)]
         self._removes: List[Set[bytes]] = [set() for _ in range(num_shards)]
-        self.buffered_ops = 0
-        self.coalesced_ops = 0
+        self._buffered_ops: List[int] = [0] * num_shards
+        self._coalesced_ops: List[int] = [0] * num_shards
+
+    # -- counters ----------------------------------------------------------
+
+    @property
+    def buffered_ops(self) -> int:
+        """Total operations accepted across all shards."""
+        return sum(self._buffered_ops)
+
+    @property
+    def coalesced_ops(self) -> int:
+        """Operations absorbed by last-writer-wins coalescing."""
+        return sum(self._coalesced_ops)
+
+    def reset_counters(self) -> None:
+        """Zero the per-shard operation counters (buffers are untouched)."""
+        for shard in range(self.num_shards):
+            with self._locks[shard]:
+                self._buffered_ops[shard] = 0
+                self._coalesced_ops[shard] = 0
 
     # -- buffering ---------------------------------------------------------
 
     def buffer_put(self, shard: int, key: bytes, value: bytes) -> bool:
         """Buffer ``key = value`` on ``shard``; return True when flush is due."""
-        puts = self._puts[shard]
-        removes = self._removes[shard]
-        if key in puts or key in removes:
-            self.coalesced_ops += 1
-        removes.discard(key)
-        puts[key] = value
-        self.buffered_ops += 1
-        return self.pending_count(shard) >= self.flush_threshold
+        with self._locks[shard]:
+            puts = self._puts[shard]
+            removes = self._removes[shard]
+            if key in puts or key in removes:
+                self._coalesced_ops[shard] += 1
+            removes.discard(key)
+            puts[key] = value
+            self._buffered_ops[shard] += 1
+            return len(puts) + len(removes) >= self.flush_threshold
 
     def buffer_remove(self, shard: int, key: bytes) -> bool:
         """Buffer a remove of ``key`` on ``shard``; return True when flush is due."""
-        puts = self._puts[shard]
-        removes = self._removes[shard]
-        if key in puts or key in removes:
-            self.coalesced_ops += 1
-        puts.pop(key, None)
-        removes.add(key)
-        self.buffered_ops += 1
-        return self.pending_count(shard) >= self.flush_threshold
+        with self._locks[shard]:
+            puts = self._puts[shard]
+            removes = self._removes[shard]
+            if key in puts or key in removes:
+                self._coalesced_ops[shard] += 1
+            puts.pop(key, None)
+            removes.add(key)
+            self._buffered_ops[shard] += 1
+            return len(puts) + len(removes) >= self.flush_threshold
 
     # -- inspection --------------------------------------------------------
 
     def pending_count(self, shard: int) -> int:
         """Number of distinct pending operations on ``shard``."""
-        return len(self._puts[shard]) + len(self._removes[shard])
+        with self._locks[shard]:
+            return len(self._puts[shard]) + len(self._removes[shard])
 
     def total_pending(self) -> int:
         """Distinct pending operations across all shards."""
@@ -92,28 +128,31 @@ class ShardWriteBatcher:
         when a remove is pending, and ``(False, None)`` when the buffer
         holds nothing for the key and the caller must consult the index.
         """
-        puts = self._puts[shard]
-        if key in puts:
-            return True, puts[key]
-        if key in self._removes[shard]:
-            return True, None
-        return False, None
+        with self._locks[shard]:
+            puts = self._puts[shard]
+            if key in puts:
+                return True, puts[key]
+            if key in self._removes[shard]:
+                return True, None
+            return False, None
 
     # -- draining ----------------------------------------------------------
 
     def take(self, shard: int) -> Tuple[Dict[bytes, bytes], Set[bytes]]:
-        """Drain and return ``(puts, removes)`` pending on ``shard``."""
-        puts = self._puts[shard]
-        removes = self._removes[shard]
-        self._puts[shard] = {}
-        self._removes[shard] = set()
-        return puts, removes
+        """Atomically drain and return ``(puts, removes)`` pending on ``shard``."""
+        with self._locks[shard]:
+            puts = self._puts[shard]
+            removes = self._removes[shard]
+            self._puts[shard] = {}
+            self._removes[shard] = set()
+            return puts, removes
 
     def clear(self) -> None:
         """Drop every pending operation on every shard."""
         for shard in range(self.num_shards):
-            self._puts[shard] = {}
-            self._removes[shard] = set()
+            with self._locks[shard]:
+                self._puts[shard] = {}
+                self._removes[shard] = set()
 
     def __repr__(self) -> str:
         return (

@@ -23,6 +23,16 @@ would, rather than as bare library classes:
   committed version.  :meth:`diff` merges the per-shard structural diffs
   (:mod:`repro.core.diff`) into one result.
 
+* **Concurrency** — every public entry point is safe to call from any
+  thread.  Each shard is guarded by its own lock (recorded in per-shard
+  :class:`~repro.core.metrics.ContentionCounters`), versioned reads
+  against committed roots are lock-free, and :meth:`commit` /
+  :meth:`snapshot` capture an atomic cross-shard cut by briefly holding
+  all shard locks.  :class:`repro.service.executor.ServiceExecutor` adds
+  a worker pool that fans multi-key operations out over the shards.  The
+  full model is documented in ``docs/ARCHITECTURE.md`` ("The concurrency
+  model").
+
 The service works with any index class implementing
 :class:`~repro.core.interfaces.SIRIIndex` and any
 :class:`~repro.storage.store.NodeStore` backend.
@@ -31,6 +41,7 @@ The service works with any index class implementing
 from __future__ import annotations
 
 import heapq
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -38,7 +49,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Un
 from repro.core.diff import DiffEntry, DiffResult, diff_snapshots
 from repro.core.errors import InvalidParameterError, KeyNotFoundError
 from repro.core.interfaces import IndexSnapshot, KeyLike, SIRIIndex, ValueLike, coerce_key, coerce_value
-from repro.core.metrics import CacheCounters
+from repro.core.metrics import CacheCounters, ContentionCounters
 from repro.hashing.digest import Digest, default_hash_function
 from repro.service.batcher import ShardWriteBatcher
 from repro.service.sharding import ShardRouter
@@ -89,6 +100,11 @@ class ShardMetrics:
     nodes_read: int
     cache: CacheCounters
     records: Optional[int] = None
+    #: Lock acquisition/contention accounting for this shard's mutex.
+    contention: ContentionCounters = field(default_factory=ContentionCounters)
+    #: Cumulative seconds spent applying this shard's flushes (index time
+    #: only, excluding lock waits — those are in ``contention``).
+    flush_seconds: float = 0.0
 
 
 @dataclass
@@ -128,11 +144,26 @@ class ServiceMetrics:
         writes = self.puts + self.removes
         return self.coalesced_ops / writes if writes else 0.0
 
+    @property
+    def contention(self) -> ContentionCounters:
+        """Shard-lock contention counters merged across shards."""
+        merged = ContentionCounters()
+        for shard in self.shards:
+            merged = merged.merge(shard.contention)
+        return merged
+
 
 class _Shard:
-    """One partition: an index over its own (optionally cached) store."""
+    """One partition: an index over its own (optionally cached) store.
 
-    __slots__ = ("shard_id", "backing", "store", "cache", "index", "head", "history", "flushes")
+    Each shard owns a mutex guarding its mutable state (``head``,
+    ``history``, ``flushes``) and the application of its write batches.
+    Acquire it via the shard's context-manager protocol (``with shard:``)
+    so every wait is recorded in the shard's contention counters.
+    """
+
+    __slots__ = ("shard_id", "backing", "store", "cache", "index", "head", "history",
+                 "flushes", "flush_seconds", "lock", "contention")
 
     def __init__(self, shard_id: int, backing: NodeStore, store: NodeStore,
                  cache: Optional[CachingNodeStore], index: SIRIIndex):
@@ -146,6 +177,22 @@ class _Shard:
         #: root-version history; service commits reference entries of it).
         self.history: List[Optional[Digest]] = [index.empty_root()]
         self.flushes = 0
+        self.flush_seconds = 0.0
+        self.lock = threading.Lock()
+        self.contention = ContentionCounters()
+
+    def __enter__(self) -> "_Shard":
+        # Fast path: an uncontended acquire costs one non-blocking attempt.
+        if not self.lock.acquire(blocking=False):
+            started = time.perf_counter()
+            self.lock.acquire()
+            self.contention.contended += 1
+            self.contention.wait_seconds += time.perf_counter() - started
+        self.contention.acquisitions += 1
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.lock.release()
 
 
 class ServiceSnapshot:
@@ -300,7 +347,12 @@ class VersionedKVService:
                 store = cache
             index = index_factory(store)
             self._shards.append(_Shard(shard_id, backing, store, cache, index))
+        # Serializes commit-record creation and the cross-shard root cut.
+        self._commit_lock = threading.Lock()
         # Operation counters (service-level; shard-level live on the indexes).
+        # Guarded by _counter_lock: bare += on attributes is a racy
+        # read-modify-write under concurrent clients.
+        self._counter_lock = threading.Lock()
         self._gets = 0
         self._puts = 0
         self._removes = 0
@@ -332,7 +384,8 @@ class VersionedKVService:
         """Buffer a write of ``key = value`` (flushes when the batch fills)."""
         key_bytes = coerce_key(key)
         shard_id = self.router.shard_of(key_bytes)
-        self._puts += 1
+        with self._counter_lock:
+            self._puts += 1
         if self.batcher.buffer_put(shard_id, key_bytes, coerce_value(value)):
             self._flush_shard(shard_id)
 
@@ -340,7 +393,8 @@ class VersionedKVService:
         """Buffer a removal of ``key`` (absent keys are ignored at flush)."""
         key_bytes = coerce_key(key)
         shard_id = self.router.shard_of(key_bytes)
-        self._removes += 1
+        with self._counter_lock:
+            self._removes += 1
         if self.batcher.buffer_remove(shard_id, key_bytes):
             self._flush_shard(shard_id)
 
@@ -350,15 +404,27 @@ class VersionedKVService:
         for key, value in pairs:
             self.put(key, value)
 
-    def _flush_shard(self, shard_id: int) -> None:
-        """Apply a shard's pending operations through the batched write path."""
-        puts, removes = self.batcher.take(shard_id)
+    def _flush_shard_locked(self, shard: _Shard) -> None:
+        """Apply pending operations to ``shard``; its lock must be held."""
+        puts, removes = self.batcher.take(shard.shard_id)
         if not puts and not removes:
             return
-        shard = self._shards[shard_id]
+        started = time.perf_counter()
         shard.head = shard.head.update(puts, removes=removes)
+        shard.flush_seconds += time.perf_counter() - started
         shard.history.append(shard.head.root_digest)
         shard.flushes += 1
+
+    def _flush_shard(self, shard_id: int) -> None:
+        """Apply a shard's pending operations through the batched write path.
+
+        Safe to call from any thread, including concurrently with enqueues
+        on the same shard: the batcher drains its buffer atomically, and
+        the head/history transition happens under the shard's lock.
+        """
+        shard = self._shards[shard_id]
+        with shard:
+            self._flush_shard_locked(shard)
 
     def flush(self) -> None:
         """Flush every shard's pending operations to its index."""
@@ -376,19 +442,26 @@ class VersionedKVService:
         version number (or :class:`ServiceCommit`), the read resolves
         against that commit's shard roots — any committed version stays
         readable forever thanks to copy-on-write.
+
+        Concurrency: a latest-state read takes its shard's lock for the
+        duration of the buffer check and tree lookup, so it can never
+        observe the window inside a concurrent flush where operations have
+        left the buffer but not yet reached the shard head.  Versioned
+        reads resolve against immutable commit roots and take no lock at
+        all.
         """
         key_bytes = coerce_key(key)
         shard_id = self.router.shard_of(key_bytes)
-        self._gets += 1
+        with self._counter_lock:
+            self._gets += 1
+        shard = self._shards[shard_id]
         if version is None:
-            pending, value = self.batcher.pending_value(shard_id, key_bytes)
-            if pending:
-                return value if value is not None else default
-            value = self._shards[shard_id].index.lookup(
-                self._shards[shard_id].head.root_digest, key_bytes)
+            with shard:
+                pending, value = self.batcher.pending_value(shard_id, key_bytes)
+                if not pending:
+                    value = shard.index.lookup(shard.head.root_digest, key_bytes)
             return value if value is not None else default
         commit = self._resolve_commit(version)
-        shard = self._shards[shard_id]
         value = shard.index.lookup(commit.roots[shard_id], key_bytes)
         return value if value is not None else default
 
@@ -407,10 +480,31 @@ class VersionedKVService:
 
     def record_count(self) -> int:
         """Total records across all shards (flushes pending writes first)."""
-        self.flush()
-        return sum(len(shard.head) for shard in self._shards)
+        return sum(len(head) for head in self._atomic_cut())
 
     # -- versioning --------------------------------------------------------
+
+    def _atomic_cut(self) -> List[IndexSnapshot]:
+        """Flush every shard and return one consistent cross-shard head list.
+
+        Acquires every shard lock (in ascending shard-id order — writers
+        only ever hold one shard lock, so this cannot deadlock), drains
+        each shard's pending buffer while all locks are held, and records
+        the heads.  The result is an *atomic cut*: every operation that
+        completed before the cut is included on every shard, and no
+        operation is included on one shard but missing from another.
+        """
+        acquired: List[_Shard] = []
+        try:
+            for shard in self._shards:
+                shard.__enter__()
+                acquired.append(shard)
+            for shard in self._shards:
+                self._flush_shard_locked(shard)
+            return [shard.head for shard in self._shards]
+        finally:
+            for shard in reversed(acquired):
+                shard.__exit__()
 
     def _resolve_commit(self, version: Union[int, ServiceCommit]) -> ServiceCommit:
         if isinstance(version, ServiceCommit):
@@ -432,20 +526,28 @@ class VersionedKVService:
         commit digest rolls the shard roots up into one value, so two
         services with identical content produce identical commit digests
         (structural invariance carries through the service layer).
+
+        Concurrency: the recorded roots form an atomic cross-shard cut
+        (every shard lock is held while the roots are read), so a commit
+        racing with writers observes each in-flight operation either on
+        all the shards it touched or on none — a multi-key update issued
+        before the commit started can never be half-visible.  Commits are
+        serialized by a dedicated lock, so version numbers stay dense.
         """
-        self.flush()
-        roots = tuple(shard.head.root_digest for shard in self._shards)
-        parts = [root.raw if root is not None else b"\x00" for root in roots]
-        digest = self._hash.hash_many(parts)
-        commit = ServiceCommit(
-            version=len(self._commits),
-            roots=roots,
-            digest=digest,
-            message=message,
-            timestamp=time.time(),
-        )
-        self._commits.append(commit)
-        return commit
+        with self._commit_lock:
+            heads = self._atomic_cut()
+            roots = tuple(head.root_digest for head in heads)
+            parts = [root.raw if root is not None else b"\x00" for root in roots]
+            digest = self._hash.hash_many(parts)
+            commit = ServiceCommit(
+                version=len(self._commits),
+                roots=roots,
+                digest=digest,
+                message=message,
+                timestamp=time.time(),
+            )
+            self._commits.append(commit)
+            return commit
 
     def snapshot(self, version: Optional[Union[int, ServiceCommit]] = None) -> ServiceSnapshot:
         """An immutable cross-shard view of the latest state or a commit.
@@ -455,8 +557,7 @@ class VersionedKVService:
         recorded shard roots.
         """
         if version is None:
-            self.flush()
-            return ServiceSnapshot([shard.head for shard in self._shards], commit=None)
+            return ServiceSnapshot(self._atomic_cut(), commit=None)
         commit = self._resolve_commit(version)
         snaps = [shard.index.snapshot(root) for shard, root in zip(self._shards, commit.roots)]
         return ServiceSnapshot(snaps, commit=commit)
@@ -476,8 +577,16 @@ class VersionedKVService:
     # -- observability -----------------------------------------------------
 
     def shard_histories(self) -> List[List[Optional[Digest]]]:
-        """Each shard's root-version history (one root per flush)."""
-        return [list(shard.history) for shard in self._shards]
+        """Each shard's root-version history (one root per flush).
+
+        Each shard's list is copied under that shard's lock, so every
+        returned history is a consistent prefix even while flushes race.
+        """
+        histories = []
+        for shard in self._shards:
+            with shard:
+                histories.append(list(shard.history))
+        return histories
 
     def metrics(self, include_records: bool = False) -> ServiceMetrics:
         """Current counters: per-shard node I/O, cache hits, coalescing, commits.
@@ -498,6 +607,8 @@ class VersionedKVService:
                 nodes_read=getattr(shard.index, "nodes_read", 0),
                 cache=cache,
                 records=len(shard.head) if include_records else None,
+                contention=shard.contention.copy(),
+                flush_seconds=shard.flush_seconds,
             ))
         return ServiceMetrics(
             shards=shards,
@@ -512,16 +623,21 @@ class VersionedKVService:
 
     def reset_counters(self) -> None:
         """Zero every operation/cache/node counter (state is untouched)."""
-        self._gets = self._puts = self._removes = 0
-        self.batcher.buffered_ops = 0
-        self.batcher.coalesced_ops = 0
+        with self._counter_lock:
+            self._gets = self._puts = self._removes = 0
+        self.batcher.reset_counters()
         for shard in self._shards:
-            shard.flushes = 0
-            if hasattr(shard.index, "reset_counters"):
-                shard.index.reset_counters()
-            if shard.cache is not None:
-                shard.cache.cache_hits = 0
-                shard.cache.cache_misses = 0
+            # Under the shard lock: flushes/flush_seconds/contention are
+            # read-modify-written by concurrent flushes and lock waiters.
+            with shard:
+                shard.flushes = 0
+                shard.flush_seconds = 0.0
+                shard.contention = ContentionCounters()
+                if hasattr(shard.index, "reset_counters"):
+                    shard.index.reset_counters()
+                if shard.cache is not None:
+                    shard.cache.cache_hits = 0
+                    shard.cache.cache_misses = 0
 
     def storage_bytes(self) -> int:
         """Physical bytes across all shard stores (unique nodes only)."""

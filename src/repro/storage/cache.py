@@ -13,6 +13,7 @@ and misses so the benchmark harness can report hit ratios.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Iterator, Optional
 
@@ -33,6 +34,15 @@ class CachingNodeStore(NodeStore):
     write_through:
         When True (default) puts go to the backing store and are also
         cached locally.
+
+    The cache is safe to share between threads: the LRU bookkeeping
+    (recency updates, insertions, evictions, hit/miss counters) happens
+    under an internal lock, so lock-free snapshot readers in the service
+    layer (:mod:`repro.service`) can hit one shard's cache concurrently.
+    The backing store is consulted *outside* the lock, so a slow backing
+    read never blocks other readers — at worst two threads miss on the
+    same digest and both fetch it (idempotent in a content-addressed
+    store).
     """
 
     def __init__(
@@ -47,28 +57,32 @@ class CachingNodeStore(NodeStore):
         self.write_through = write_through
         self._cache: "OrderedDict[Digest, bytes]" = OrderedDict()
         self._cached_bytes = 0
+        self._lock = threading.Lock()
         self.cache_hits = 0
         self.cache_misses = 0
 
     # -- cache internals ---------------------------------------------------
 
     def _evict_if_needed(self) -> None:
+        # Caller holds self._lock.
         while self._cached_bytes > self.capacity_bytes and self._cache:
             _, evicted = self._cache.popitem(last=False)
             self._cached_bytes -= len(evicted)
 
     def _cache_put(self, digest: Digest, data: bytes) -> None:
-        if digest in self._cache:
-            self._cache.move_to_end(digest)
-            return
-        self._cache[digest] = data
-        self._cached_bytes += len(data)
-        self._evict_if_needed()
+        with self._lock:
+            if digest in self._cache:
+                self._cache.move_to_end(digest)
+                return
+            self._cache[digest] = data
+            self._cached_bytes += len(data)
+            self._evict_if_needed()
 
     def invalidate(self) -> None:
         """Drop every cached node (does not touch the backing store)."""
-        self._cache.clear()
-        self._cached_bytes = 0
+        with self._lock:
+            self._cache.clear()
+            self._cached_bytes = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -84,12 +98,13 @@ class CachingNodeStore(NodeStore):
         return is_new
 
     def get_bytes(self, digest: Digest) -> bytes:
-        cached = self._cache.get(digest)
-        if cached is not None:
-            self._cache.move_to_end(digest)
-            self.cache_hits += 1
-            return cached
-        self.cache_misses += 1
+        with self._lock:
+            cached = self._cache.get(digest)
+            if cached is not None:
+                self._cache.move_to_end(digest)
+                self.cache_hits += 1
+                return cached
+            self.cache_misses += 1
         data = self.backing.get_bytes(digest)
         self._cache_put(digest, data)
         return data

@@ -7,14 +7,20 @@ The benchmark harness needs two things the plain stores do not provide:
   fixed per-request delay instead of real sockets), and
 * counters split by direction (gets vs puts, bytes in vs out).
 
-:class:`MeteredNodeStore` wraps any other store and adds both.  The
-simulated latency is accounted, not slept, so benchmarks remain fast while
-still letting the harness report remote-access-dominated read costs the
-way the paper does.
+:class:`MeteredNodeStore` wraps any other store and adds both.  By
+default the simulated latency is accounted, not slept, so benchmarks
+remain fast while still letting the harness report remote-access-dominated
+read costs the way the paper does.  With ``realtime=True`` the store
+*sleeps* each operation's simulated cost instead: the sleep releases the
+GIL, so the concurrency benchmarks (``bench_concurrent_service.py``) can
+show worker threads genuinely overlapping remote-storage round trips —
+the regime where a concurrent execution engine pays off in deployment.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Iterator, Optional
 
 from repro.hashing.digest import Digest
@@ -34,6 +40,14 @@ class MeteredNodeStore(NodeStore):
     per_byte_cost_seconds:
         Additional simulated cost per byte transferred, modelling limited
         bandwidth (used by the Figure 1 motivation experiment).
+    realtime:
+        When True, each operation actually sleeps its simulated cost
+        (releasing the GIL) instead of merely recording it, so concurrent
+        clients can overlap the waits the way they would overlap real
+        network round trips.
+
+    The meters are updated under an internal lock, so the store can be
+    shared by concurrent clients without losing counts.
     """
 
     def __init__(
@@ -42,12 +56,15 @@ class MeteredNodeStore(NodeStore):
         get_cost_seconds: float = 0.0,
         put_cost_seconds: float = 0.0,
         per_byte_cost_seconds: float = 0.0,
+        realtime: bool = False,
     ):
         super().__init__(hash_function=backing.hash_function, verify_on_read=False)
         self.backing = backing
         self.get_cost_seconds = get_cost_seconds
         self.put_cost_seconds = put_cost_seconds
         self.per_byte_cost_seconds = per_byte_cost_seconds
+        self.realtime = realtime
+        self._meter_lock = threading.Lock()
         self.simulated_seconds = 0.0
         self.get_count = 0
         self.put_count = 0
@@ -56,27 +73,40 @@ class MeteredNodeStore(NodeStore):
 
     def reset_meters(self) -> None:
         """Zero every meter (does not touch stored data)."""
-        self.simulated_seconds = 0.0
-        self.get_count = 0
-        self.put_count = 0
-        self.bytes_fetched = 0
-        self.bytes_stored = 0
+        with self._meter_lock:
+            self.simulated_seconds = 0.0
+            self.get_count = 0
+            self.put_count = 0
+            self.bytes_fetched = 0
+            self.bytes_stored = 0
+
+    def _charge(self, cost: float) -> None:
+        """Account ``cost`` seconds; sleep them for real in realtime mode."""
+        if cost and self.realtime:
+            time.sleep(cost)
 
     # -- NodeStore primitives ----------------------------------------------
 
     def put_bytes(self, digest: Digest, data: bytes) -> bool:
         is_new = self.backing.put_bytes(digest, data)
-        self.put_count += 1
-        if is_new:
-            self.bytes_stored += len(data)
-            self.simulated_seconds += self.put_cost_seconds + len(data) * self.per_byte_cost_seconds
+        cost = 0.0
+        with self._meter_lock:
+            self.put_count += 1
+            if is_new:
+                self.bytes_stored += len(data)
+                cost = self.put_cost_seconds + len(data) * self.per_byte_cost_seconds
+                self.simulated_seconds += cost
+        self._charge(cost)
         return is_new
 
     def get_bytes(self, digest: Digest) -> bytes:
         data = self.backing.get_bytes(digest)
-        self.get_count += 1
-        self.bytes_fetched += len(data)
-        self.simulated_seconds += self.get_cost_seconds + len(data) * self.per_byte_cost_seconds
+        cost = self.get_cost_seconds + len(data) * self.per_byte_cost_seconds
+        with self._meter_lock:
+            self.get_count += 1
+            self.bytes_fetched += len(data)
+            self.simulated_seconds += cost
+        self._charge(cost)
         return data
 
     def contains(self, digest: Digest) -> bool:

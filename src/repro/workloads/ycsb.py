@@ -17,6 +17,7 @@ sequences.
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -268,6 +269,66 @@ class YCSBServiceDriver:
             counters.operations += 1
         service.flush()
         counters.elapsed_seconds = time.perf_counter() - start
+        self._fill_deltas(counters, before, service.metrics())
+        return counters
+
+    def run_concurrent(self, service, num_threads: int = 4,
+                       operation_count: Optional[int] = None) -> OperationCounters:
+        """Execute the operation stream from ``num_threads`` client threads.
+
+        The stream is materialized once and dealt round-robin to the
+        client threads (thread ``t`` executes operations ``t``,
+        ``t + N``, ``t + 2N``, ...), so the *set* of operations — and
+        therefore the load each configuration measures — is identical for
+        every thread count; only the interleaving varies.  All threads
+        run against the shared ``service``, exercising its concurrent
+        write/read paths; the driver requires the service to be
+        thread-safe (:class:`repro.service.VersionedKVService` is).
+
+        A barrier aligns the thread start so the wall-clock window covers
+        only concurrent execution; the final drain ``flush()`` is included
+        in the measured time, mirroring :meth:`run`.  Any exception in a
+        client thread is re-raised here after all threads stop.
+        """
+        if num_threads <= 0:
+            raise ValueError("num_threads must be positive")
+        operations = list(self.workload.operations(operation_count))
+        slices = [operations[thread::num_threads] for thread in range(num_threads)]
+        barrier = threading.Barrier(num_threads + 1)
+        failures: List[BaseException] = []
+        failure_lock = threading.Lock()
+
+        def client(ops: List[Operation]) -> None:
+            try:
+                barrier.wait()
+                for operation in ops:
+                    if operation.is_write:
+                        service.put(operation.key, operation.value)
+                    else:
+                        service.get(operation.key)
+            except BaseException as exc:  # re-raised on the caller's thread
+                with failure_lock:
+                    failures.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(ops,), name=f"ycsb-client-{t}")
+            for t, ops in enumerate(slices)
+        ]
+        counters = OperationCounters()
+        before = service.metrics()
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        if not failures:
+            service.flush()
+        counters.elapsed_seconds = time.perf_counter() - start
+        if failures:
+            raise failures[0]
+        counters.operations = len(operations)
+        counters.extra["client_threads"] = num_threads
         self._fill_deltas(counters, before, service.metrics())
         return counters
 

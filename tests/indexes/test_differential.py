@@ -1,0 +1,195 @@
+"""Property-based differential harness across the three SIRI candidates.
+
+One randomized operation sequence — puts, deletes, overwrites, historical
+gets, diffs — is replayed through MPT, MBT and POS-Tree side by side,
+with a plain dictionary as the reference model.  The paper's central
+claim is that the three structures are *interchangeable* behind the same
+operations (Section 4's shared interface); this harness checks that
+interchangeability mechanically rather than scenario by scenario:
+
+* after every batch, all three indexes agree with the model (and hence
+  with each other) on full content and on point lookups;
+* historical snapshots taken at checkpoints keep answering identically
+  long after later batches ran (copy-on-write version stability);
+* structural diffs between any two checkpoints report the same
+  key/left/right entries in all three structures;
+* root hashes behave self-consistently: same structure + same data ⇒
+  same root regardless of operation history (structural invariance /
+  history independence), changed data ⇒ changed root, and reverting the
+  change restores the original root.
+
+The sequences are generated from seeded ``random.Random`` instances, so
+failures reproduce exactly; widen the seed range for a deeper local hunt.
+"""
+
+import random
+
+import pytest
+
+from tests.conftest import SIRI_INDEXES, build_index
+
+SEEDS = range(6)
+BATCHES = 12
+OPS_PER_BATCH = 24
+KEY_SPACE = 140
+
+
+def _key(rng):
+    return f"dk:{rng.randrange(KEY_SPACE):04d}".encode()
+
+
+def _value(rng):
+    return bytes(rng.getrandbits(8) for _ in range(rng.randint(1, 60)))
+
+
+def _random_batch(rng, model):
+    """One batch of puts/overwrites/deletes; returns (puts, removes).
+
+    Deletes prefer keys that exist so they exercise real removals, and a
+    key never appears in both the puts and removes of one batch (matching
+    the coalescing discipline of every write path in the library).
+    """
+    puts, removes = {}, set()
+    for _ in range(rng.randrange(1, OPS_PER_BATCH + 1)):
+        roll = rng.random()
+        if roll < 0.15 and model:
+            key = rng.choice(sorted(model))
+            if key not in puts:
+                removes.add(key)
+        elif roll < 0.45 and model:
+            key = rng.choice(sorted(model))  # overwrite an existing key
+            removes.discard(key)
+            puts[key] = _value(rng)
+        else:
+            key = _key(rng)
+            removes.discard(key)
+            puts[key] = _value(rng)
+    return puts, removes
+
+
+def _replay(seed):
+    """Replay one randomized sequence through all three SIRI indexes.
+
+    Returns ``(snapshots, checkpoints)`` where ``checkpoints`` is a list
+    of ``(model_state, {index_name: snapshot})`` taken after every batch.
+    """
+    rng = random.Random(seed)
+    indexes = {cls.name: build_index(cls) for cls in SIRI_INDEXES}
+    snapshots = {name: index.empty_snapshot() for name, index in indexes.items()}
+    model = {}
+    checkpoints = []
+    for _ in range(BATCHES):
+        puts, removes = _random_batch(rng, model)
+        model.update(puts)
+        for key in removes:
+            model.pop(key, None)
+        snapshots = {
+            name: snapshot.update(puts, removes=removes)
+            for name, snapshot in snapshots.items()
+        }
+        checkpoints.append((dict(model), dict(snapshots)))
+    return snapshots, checkpoints
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_indexes_agree_with_model_and_each_other(seed):
+    rng = random.Random(seed * 7919 + 1)
+    _, checkpoints = _replay(seed)
+    for model, snapshots in checkpoints:
+        for name, snapshot in snapshots.items():
+            assert snapshot.to_dict() == model, f"{name} diverged from the model"
+            assert len(snapshot) == len(model)
+        # Point lookups, including misses, answer identically everywhere.
+        probes = [f"dk:{rng.randrange(KEY_SPACE):04d}".encode() for _ in range(20)]
+        for probe in probes:
+            expected = model.get(probe)
+            for name, snapshot in snapshots.items():
+                assert snapshot.get(probe) == expected, (name, probe)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_historical_snapshots_stay_readable(seed):
+    """Checkpoints answer from their own era after every later batch ran."""
+    _, checkpoints = _replay(seed)
+    for model, snapshots in checkpoints:
+        for name, snapshot in snapshots.items():
+            assert snapshot.to_dict() == model, (
+                f"{name} checkpoint mutated by later writes"
+            )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_diffs_identical_across_indexes(seed):
+    _, checkpoints = _replay(seed)
+    # Diff a handful of checkpoint pairs, including non-adjacent ones.
+    pairs = [(0, 1), (0, len(checkpoints) - 1),
+             (len(checkpoints) // 2, len(checkpoints) - 1)]
+    for left_index, right_index in pairs:
+        left_model, left_snaps = checkpoints[left_index]
+        right_model, right_snaps = checkpoints[right_index]
+        expected = []
+        for key in sorted(set(left_model) | set(right_model)):
+            left_value, right_value = left_model.get(key), right_model.get(key)
+            if left_value != right_value:
+                expected.append((key, left_value, right_value))
+        for name in left_snaps:
+            diff = left_snaps[name].diff(right_snaps[name])
+            # Entry order is structure-specific (MBT reports in bucket
+            # order); the cross-index contract is on the *set* of entries.
+            actual = sorted((entry.key, entry.left, entry.right) for entry in diff)
+            assert actual == expected, f"{name} diff disagrees with the model"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_same_data_same_root_regardless_of_history(seed):
+    """Structural invariance: rebuilding final content from scratch, in one
+    batch, reproduces the incrementally-built root for every structure."""
+    final_snapshots, checkpoints = _replay(seed)
+    final_model, _ = checkpoints[-1]
+    for cls in SIRI_INDEXES:
+        incremental = final_snapshots[cls.name]
+        rebuilt = build_index(cls).from_items(final_model)
+        assert rebuilt.root_digest == incremental.root_digest, (
+            f"{cls.name} root depends on operation history"
+        )
+        # Shuffled single-key insertion order must not matter either.
+        shuffled = build_index(cls).empty_snapshot()
+        items = list(final_model.items())
+        random.Random(seed + 1).shuffle(items)
+        for key, value in items:
+            shuffled = shuffled.put(key, value)
+        assert shuffled.root_digest == incremental.root_digest, (
+            f"{cls.name} root depends on insertion order"
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_changed_data_changes_root_and_revert_restores_it(seed):
+    final_snapshots, checkpoints = _replay(seed)
+    final_model, _ = checkpoints[-1]
+    if not final_model:
+        pytest.skip("sequence deleted everything")
+    victim = sorted(final_model)[0]
+    original_value = final_model[victim]
+    for name, snapshot in final_snapshots.items():
+        mutated = snapshot.put(victim, original_value + b"+tamper")
+        assert mutated.root_digest != snapshot.root_digest, (
+            f"{name} root blind to a value change"
+        )
+        reverted = mutated.put(victim, original_value)
+        assert reverted.root_digest == snapshot.root_digest, (
+            f"{name} root not restored by reverting the change"
+        )
+        # Writing back the value a key already holds is a no-op root-wise.
+        unchanged = snapshot.put(victim, original_value)
+        assert unchanged.root_digest == snapshot.root_digest
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_deleting_everything_returns_to_the_empty_root(seed):
+    final_snapshots, checkpoints = _replay(seed)
+    final_model, _ = checkpoints[-1]
+    for name, snapshot in final_snapshots.items():
+        emptied = snapshot.remove(*final_model.keys())
+        assert emptied.root_digest is None, f"{name} left residue after full delete"
+        assert emptied.to_dict() == {}
