@@ -13,6 +13,8 @@ Checks performed:
 2. Every module under ``src/repro`` has a module docstring.
 3. Public classes/functions/methods in the core API modules (the ones a
    `pydoc repro` reader lands on) carry docstrings.
+4. ``docs/PAPER_MAP.md`` is complete: every ``benchmarks/bench_*.py``
+   script is listed there (so a new benchmark cannot land unmapped).
 
 Exits non-zero listing every violation, so it can gate CI.
 """
@@ -20,6 +22,7 @@ Exits non-zero listing every violation, so it can gate CI.
 from __future__ import annotations
 
 import ast
+import glob
 import os
 import re
 import sys
@@ -29,6 +32,8 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 MARKDOWN_FILES = [
     "README.md",
     "docs/ARCHITECTURE.md",
+    "docs/STORAGE.md",
+    "docs/PAPER_MAP.md",
     "benchmarks/README.md",
 ]
 
@@ -40,11 +45,16 @@ FULL_COVERAGE_MODULES = [
     "src/repro/indexes/__init__.py",
     "src/repro/storage/__init__.py",
     "src/repro/storage/store.py",
+    "src/repro/storage/file.py",
+    "src/repro/storage/segment.py",
+    "src/repro/storage/gc.py",
     "src/repro/service/__init__.py",
     "src/repro/service/sharding.py",
     "src/repro/service/batcher.py",
     "src/repro/service/service.py",
 ]
+
+PAPER_MAP = "docs/PAPER_MAP.md"
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
@@ -111,17 +121,36 @@ def check_api_docstrings(errors: list) -> None:
                 )
 
 
+def check_paper_map(errors: list) -> None:
+    """Rule 4: every benchmark script appears in docs/PAPER_MAP.md."""
+    full = os.path.join(REPO_ROOT, PAPER_MAP)
+    if not os.path.exists(full):
+        errors.append(f"{PAPER_MAP}: file is missing")
+        return
+    with open(full, encoding="utf-8") as handle:
+        text = handle.read()
+    scripts = sorted(glob.glob(os.path.join(REPO_ROOT, "benchmarks", "bench_*.py")))
+    for script in scripts:
+        name = os.path.basename(script)
+        if name not in text:
+            errors.append(
+                f"{PAPER_MAP}: benchmark {name} is not mapped to a paper "
+                "artifact / result file (add a row)")
+
+
 def main() -> int:
     errors: list = []
     check_markdown_links(errors)
     check_module_docstrings(errors)
     check_api_docstrings(errors)
+    check_paper_map(errors)
     if errors:
         print(f"documentation check FAILED ({len(errors)} problem(s)):")
         for error in errors:
             print(f"  - {error}")
         return 1
-    print("documentation check passed: links resolve, public APIs documented")
+    print("documentation check passed: links resolve, public APIs documented, "
+          "paper map complete")
     return 0
 
 

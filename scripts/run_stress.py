@@ -24,10 +24,14 @@ import subprocess
 import sys
 import time
 
-#: Test files exercising schedule-sensitive concurrency paths.
+#: Test files exercising schedule-sensitive concurrency paths, plus the
+#: storage-engine crash-recovery kill-points (file-system timing varies
+#: between runs, so repeated replays also harden the recovery protocol).
 DEFAULT_TESTS = [
     "tests/service/test_executor.py",
     "tests/indexes/test_differential.py",
+    "tests/storage/test_segment.py",
+    "tests/service/test_durability.py",
 ]
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 

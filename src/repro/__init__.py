@@ -65,9 +65,11 @@ from repro.indexes import (
 from repro.storage import (
     CachingNodeStore,
     FileNodeStore,
+    GarbageCollector,
     InMemoryNodeStore,
     MeteredNodeStore,
     RefCountingNodeStore,
+    SegmentNodeStore,
 )
 
 __version__ = "1.0.0"
@@ -106,9 +108,11 @@ __all__ = [
     # storage
     "InMemoryNodeStore",
     "FileNodeStore",
+    "SegmentNodeStore",
     "CachingNodeStore",
     "MeteredNodeStore",
     "RefCountingNodeStore",
+    "GarbageCollector",
     # service
     "VersionedKVService",
     "ServiceSnapshot",

@@ -76,3 +76,22 @@ class ImmutableWriteError(ReproError):
 
 class InvalidParameterError(ReproError, ValueError):
     """An index or workload was configured with invalid parameters."""
+
+
+class StoreClosedError(ReproError, RuntimeError):
+    """An operation was attempted on a node store after it was closed.
+
+    Durable stores (:class:`repro.storage.segment.SegmentNodeStore`)
+    reject reads and writes once :meth:`close` has flushed their final
+    batch, so a lifecycle bug cannot silently write nodes that the next
+    open will never see.
+    """
+
+
+class ServiceClosedError(ReproError, RuntimeError):
+    """An operation was attempted on a closed :class:`VersionedKVService`.
+
+    Raised by every service entry point between :meth:`close` and the
+    next :meth:`open`/:meth:`reopen`, mirroring the store-level
+    :class:`StoreClosedError` one layer up.
+    """

@@ -220,6 +220,65 @@ class ContentionCounters:
 
 
 @dataclass
+class GCCounters:
+    """Garbage-collection / segment-compaction accounting.
+
+    Produced by :meth:`repro.storage.segment.SegmentNodeStore.compact`
+    and by :class:`repro.storage.gc.GarbageCollector`, accumulated per
+    store and merged across service shards by
+    :meth:`repro.service.VersionedKVService.metrics` — so space
+    reclamation is reported with the same vocabulary everywhere, like
+    the cache and contention counters above.
+    """
+
+    #: Completed mark-and-sweep runs.
+    runs: int = 0
+    #: Nodes found reachable from a retained root and kept (rewritten).
+    live_nodes: int = 0
+    #: Unreachable nodes dropped.
+    swept_nodes: int = 0
+    #: Physical store bytes before the sweep (summed across runs).
+    bytes_before: int = 0
+    #: Physical store bytes after the sweep (summed across runs).
+    bytes_after: int = 0
+    #: Physical bytes reclaimed (``bytes_before - bytes_after``).
+    bytes_reclaimed: int = 0
+    #: Fresh segment files written by compaction.
+    segments_created: int = 0
+    #: Old segment files unlinked by compaction.
+    segments_deleted: int = 0
+    #: Wall-clock seconds spent collecting.
+    gc_seconds: float = 0.0
+
+    @property
+    def reclaimed_fraction(self) -> float:
+        """Fraction of pre-GC bytes reclaimed (0.0 before any run)."""
+        return self.bytes_reclaimed / self.bytes_before if self.bytes_before else 0.0
+
+    def merge(self, other: "GCCounters") -> "GCCounters":
+        """Return a new :class:`GCCounters` summing self and ``other``."""
+        return GCCounters(
+            runs=self.runs + other.runs,
+            live_nodes=self.live_nodes + other.live_nodes,
+            swept_nodes=self.swept_nodes + other.swept_nodes,
+            bytes_before=self.bytes_before + other.bytes_before,
+            bytes_after=self.bytes_after + other.bytes_after,
+            bytes_reclaimed=self.bytes_reclaimed + other.bytes_reclaimed,
+            segments_created=self.segments_created + other.segments_created,
+            segments_deleted=self.segments_deleted + other.segments_deleted,
+            gc_seconds=self.gc_seconds + other.gc_seconds,
+        )
+
+    def copy(self) -> "GCCounters":
+        """A point-in-time copy (the live object keeps mutating)."""
+        return GCCounters(
+            self.runs, self.live_nodes, self.swept_nodes, self.bytes_before,
+            self.bytes_after, self.bytes_reclaimed, self.segments_created,
+            self.segments_deleted, self.gc_seconds,
+        )
+
+
+@dataclass
 class OperationCounters:
     """Mutable counters used by benchmarks to accumulate operation metrics."""
 

@@ -13,6 +13,14 @@ so any committed state can be read back or diffed later.
   (:class:`VersionedKVService`), cross-shard views
   (:class:`ServiceSnapshot`), commits (:class:`ServiceCommit`) and
   metrics (:class:`ServiceMetrics`).
+* Durability: constructed with ``directory=``, the service shards over
+  the append-only segment engine
+  (:class:`~repro.storage.segment.SegmentNodeStore`) with a fsynced
+  commit manifest, gains ``open()/close()/reopen()`` lifecycle and a
+  ``retain_versions=N`` policy whose expired versions are reclaimed by
+  :meth:`~repro.service.service.VersionedKVService.collect_garbage`
+  (mark-and-sweep compaction, :mod:`repro.storage.gc`) — see
+  ``docs/STORAGE.md``.
 * :mod:`repro.service.executor` — the concurrent execution engine
   (:class:`ServiceExecutor`): a worker pool fanning multi-key gets,
   scans, merged diffs, bulk writes and commits out over the shards with

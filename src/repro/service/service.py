@@ -23,6 +23,16 @@ would, rather than as bare library classes:
   committed version.  :meth:`diff` merges the per-shard structural diffs
   (:mod:`repro.core.diff`) into one result.
 
+* **Durability** — constructed with ``directory=``, the service shards
+  over :class:`~repro.storage.segment.SegmentNodeStore` backends and
+  keeps a fsynced commit manifest: :meth:`commit` is the durability
+  point, :meth:`close`/:meth:`reopen` (or a crash and a fresh
+  construction over the same directory) recover exactly the last
+  committed cross-shard roots.  A ``retain_versions=N`` policy plus
+  :meth:`collect_garbage` reclaims the space of expired versions by
+  mark-and-sweep segment compaction (:mod:`repro.storage.gc`); the
+  protocol is specified in ``docs/STORAGE.md``.
+
 * **Concurrency** — every public entry point is safe to call from any
   thread.  Each shard is guarded by its own lock (recorded in per-shard
   :class:`~repro.core.metrics.ContentionCounters`), versioned reads
@@ -31,7 +41,9 @@ would, rather than as bare library classes:
   all shard locks.  :class:`repro.service.executor.ServiceExecutor` adds
   a worker pool that fans multi-key operations out over the shards.  The
   full model is documented in ``docs/ARCHITECTURE.md`` ("The concurrency
-  model").
+  model").  The *lifecycle* methods (:meth:`close`, :meth:`reopen`) are
+  the one exception: call them on a quiesced service, not concurrently
+  with in-flight operations.
 
 The service works with any index class implementing
 :class:`~repro.core.interfaces.SIRIIndex` and any
@@ -41,20 +53,24 @@ The service works with any index class implementing
 from __future__ import annotations
 
 import heapq
+import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.diff import DiffEntry, DiffResult, diff_snapshots
-from repro.core.errors import InvalidParameterError, KeyNotFoundError
+from repro.core.errors import CorruptNodeError, InvalidParameterError, KeyNotFoundError, ServiceClosedError
 from repro.core.interfaces import IndexSnapshot, KeyLike, SIRIIndex, ValueLike, coerce_key, coerce_value
-from repro.core.metrics import CacheCounters, ContentionCounters
+from repro.core.metrics import CacheCounters, ContentionCounters, GCCounters
 from repro.hashing.digest import Digest, default_hash_function
 from repro.service.batcher import ShardWriteBatcher
 from repro.service.sharding import ShardRouter
 from repro.storage.cache import CachingNodeStore
+from repro.storage.gc import GarbageCollector, reachable_digests
 from repro.storage.memory import InMemoryNodeStore
+from repro.storage.segment import SegmentNodeStore, fsync_directory
 from repro.storage.store import NodeStore
 
 IndexFactory = Callable[[NodeStore], SIRIIndex]
@@ -119,6 +135,8 @@ class ServiceMetrics:
     coalesced_ops: int = 0
     flushes: int = 0
     commits: int = 0
+    #: Garbage-collection/compaction counters merged across shard stores.
+    gc: GCCounters = field(default_factory=GCCounters)
 
     @property
     def nodes_written(self) -> int:
@@ -300,6 +318,20 @@ class VersionedKVService:
         are flushed through the batched write path once this many distinct
         operations are buffered.  ``1`` degenerates to unbatched
         single-operation writes (useful as a baseline).
+    directory:
+        Root directory for a *durable* service: each shard stores its
+        nodes in an append-only :class:`SegmentNodeStore` under
+        ``directory/shard-NN`` and commits are journalled to a fsynced
+        ``MANIFEST.jsonl``.  Mutually exclusive with ``store_factory``.
+        Construction (or :meth:`reopen`) recovers the last committed
+        state — this is the crash-recovery path.
+    retain_versions:
+        Version retention policy: only the newest N commits (plus the
+        current head) are guaranteed to survive :meth:`collect_garbage`;
+        older commits stay listed and readable until a GC run reclaims
+        their exclusive nodes.  ``None`` (default) retains everything.
+    segment_capacity_bytes:
+        Soft segment-file size for directory-backed shards.
 
     Example
     -------
@@ -317,6 +349,8 @@ class VersionedKVService:
     b'100'
     """
 
+    MANIFEST_NAME = "MANIFEST.jsonl"
+
     def __init__(
         self,
         index_factory: IndexFactory,
@@ -325,6 +359,9 @@ class VersionedKVService:
         store_factory: Optional[StoreFactory] = None,
         cache_bytes: int = 16 * 1024 * 1024,
         batch_size: int = 1024,
+        directory: Optional[str] = None,
+        retain_versions: Optional[int] = None,
+        segment_capacity_bytes: int = 4 * 1024 * 1024,
     ):
         if num_shards <= 0:
             raise InvalidParameterError("num_shards must be positive")
@@ -332,21 +369,26 @@ class VersionedKVService:
             raise InvalidParameterError("batch_size must be positive")
         if cache_bytes < 0:
             raise InvalidParameterError("cache_bytes must be non-negative")
+        if retain_versions is not None and retain_versions <= 0:
+            raise InvalidParameterError("retain_versions must be positive (or None)")
+        if directory is not None and store_factory is not None:
+            raise InvalidParameterError(
+                "pass either directory= (durable segment shards) or "
+                "store_factory=, not both")
         self.router = ShardRouter(num_shards)
         self.batcher = ShardWriteBatcher(num_shards, flush_threshold=batch_size)
+        self.directory = directory
+        self.retain_versions = retain_versions
+        self._index_factory = index_factory
+        self._store_factory = store_factory
+        self._cache_bytes = cache_bytes
+        self._segment_capacity_bytes = segment_capacity_bytes
         self._hash = default_hash_function()
         self._commits: List[ServiceCommit] = []
         self._shards: List[_Shard] = []
-        store_factory = store_factory or InMemoryNodeStore
-        for shard_id in range(num_shards):
-            backing = store_factory()
-            cache: Optional[CachingNodeStore] = None
-            store: NodeStore = backing
-            if cache_bytes:
-                cache = CachingNodeStore(backing, capacity_bytes=cache_bytes)
-                store = cache
-            index = index_factory(store)
-            self._shards.append(_Shard(shard_id, backing, store, cache, index))
+        #: Backing stores parked by close() for an in-memory reopen().
+        self._parked_backings: Optional[List[NodeStore]] = None
+        self._opened = False
         # Serializes commit-record creation and the cross-shard root cut.
         self._commit_lock = threading.Lock()
         # Operation counters (service-level; shard-level live on the indexes).
@@ -356,6 +398,227 @@ class VersionedKVService:
         self._gets = 0
         self._puts = 0
         self._removes = 0
+        #: Cumulative GC counters across collect_garbage() runs.
+        self._gc_total = GCCounters()
+        self.open()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _make_backing(self, shard_id: int) -> NodeStore:
+        if self._parked_backings is not None:
+            return self._parked_backings[shard_id]
+        if self._store_factory is not None:
+            return self._store_factory()
+        if self.directory is not None:
+            return SegmentNodeStore(
+                os.path.join(self.directory, f"shard-{shard_id:02d}"),
+                segment_capacity_bytes=self._segment_capacity_bytes,
+            )
+        return InMemoryNodeStore()
+
+    def open(self) -> None:
+        """Build the shards and recover the last committed state.
+
+        Called automatically by the constructor; a no-op on an already
+        open service.  Directory-backed services rescan their segment
+        files (torn tails are truncated — see
+        :class:`~repro.storage.segment.RecoveryReport` per shard) and
+        reload the commit manifest; every shard head is reset to the
+        newest commit's roots.  Without a directory, commits recorded in
+        this process are replayed from memory.
+        """
+        if self._opened:
+            return
+        shards: List[_Shard] = []
+        for shard_id in range(self.router.num_shards):
+            backing = self._make_backing(shard_id)
+            cache: Optional[CachingNodeStore] = None
+            store: NodeStore = backing
+            if self._cache_bytes:
+                cache = CachingNodeStore(backing, capacity_bytes=self._cache_bytes)
+                store = cache
+            index = self._index_factory(store)
+            shards.append(_Shard(shard_id, backing, store, cache, index))
+        self._shards = shards
+        self._parked_backings = None
+        if self.directory is not None:
+            self._commits = self._load_manifest()
+        if self._commits:
+            newest = self._commits[-1]
+            for shard, root in zip(self._shards, newest.roots):
+                shard.head = shard.index.snapshot(root)
+                shard.history = [root]
+        self._opened = True
+
+    def close(self) -> None:
+        """Commit outstanding changes durably and shut the shards down.
+
+        A clean close is lossless: if any write happened since the last
+        commit (buffered, or flushed to a head that was never committed),
+        an implicit ``commit("close()")`` records it first.  Afterwards
+        every backing store is closed and all service entry points raise
+        :class:`~repro.core.errors.ServiceClosedError` until
+        :meth:`open`/:meth:`reopen`.  A *crash* (no close) instead loses
+        exactly the uncommitted tail — reopen recovers the last commit.
+
+        Unlike the data-path entry points, the lifecycle methods are
+        **not** designed to race in-flight operations: quiesce your
+        clients before calling :meth:`close`/:meth:`reopen`.  A ``put``
+        that overlaps a close may land after the final commit (and be
+        dropped by the next open) or hit the already-closed store; the
+        "lossless" guarantee covers operations that returned before
+        close() was called on a quiet service.
+        """
+        if not self._opened:
+            return
+        with self._commit_lock:
+            heads = self._atomic_cut()
+            roots = tuple(head.root_digest for head in heads)
+            if self._commits:
+                dirty = roots != self._commits[-1].roots
+            else:
+                dirty = any(root is not None for root in roots)
+            if dirty:
+                self._record_commit(roots, "close()")
+        for shard in self._shards:
+            close_store = getattr(shard.backing, "close", None)
+            if close_store is not None:
+                close_store()
+        if self.directory is None and self._store_factory is None:
+            # Default in-memory backings survive close() so that reopen()
+            # can restore the committed state without a persistent medium.
+            self._parked_backings = [shard.backing for shard in self._shards]
+        self._opened = False
+
+    def reopen(self) -> None:
+        """Cleanly close (if open) and open again — the restart drill.
+
+        Because :meth:`close` commits outstanding changes, a reopen is
+        lossless.  Directory-backed services rebuild everything from disk,
+        exactly like a fresh process constructing over the same directory;
+        to exercise the *crash* path instead, abandon the instance without
+        closing and construct a new one (that is what the kill-point tests
+        do).  With the default in-memory backings the same store objects
+        are reused and the head is restored from the last in-memory
+        commit.  With a custom ``store_factory`` the factory is invoked
+        anew — only meaningful when it returns stores over a persistent
+        medium.
+        """
+        self.close()
+        self.open()
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the service is accepting operations."""
+        return self._opened
+
+    def _require_open(self) -> None:
+        if not self._opened:
+            raise ServiceClosedError(
+                "service is closed; call reopen() (or construct a new "
+                "instance over the same directory) first")
+
+    # -- the commit manifest ----------------------------------------------
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self.directory, self.MANIFEST_NAME)
+
+    def _parse_manifest_line(self, line: bytes, lineno: int, path: str,
+                             expected_version: int) -> ServiceCommit:
+        """Decode and validate one manifest line (raises CorruptNodeError)."""
+        try:
+            entry = json.loads(line.decode("utf-8"))
+            roots = tuple(
+                Digest.from_hex(root) if root is not None else None
+                for root in entry["roots"]
+            )
+            commit = ServiceCommit(
+                version=int(entry["version"]),
+                roots=roots,
+                digest=Digest.from_hex(entry["digest"]),
+                message=entry.get("message", ""),
+                timestamp=float(entry.get("timestamp", 0.0)),
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise CorruptNodeError(
+                None, f"corrupt manifest entry at {path}:{lineno}: {exc}"
+            ) from None
+        if commit.version != expected_version:
+            raise CorruptNodeError(
+                None,
+                f"manifest {path}:{lineno} has version {commit.version}, "
+                f"expected {expected_version} (journal must be dense)")
+        if len(commit.roots) != self.router.num_shards:
+            raise CorruptNodeError(
+                None,
+                f"manifest {path}:{lineno} records {len(commit.roots)} "
+                f"shard roots but the service has {self.router.num_shards}")
+        return commit
+
+    def _load_manifest(self) -> List[ServiceCommit]:
+        """Replay the commit journal, repairing a torn final line.
+
+        A crash mid-append leaves a partial (or otherwise unparseable)
+        final line; it is dropped **and physically truncated** — leaving
+        it on disk would make the next append (mode ``"a"``) concatenate
+        a new commit onto the garbage, losing that commit on the
+        following open.  An unparseable line anywhere *before* the tail
+        is corruption of committed history and raises.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        path = self._manifest_path()
+        if not os.path.exists(path):
+            return []
+        with open(path, "rb") as handle:
+            raw = handle.read()
+        commits: List[ServiceCommit] = []
+        offset = 0
+        good_end = 0
+        lineno = 0
+        torn = False
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline == -1:
+                torn = True  # unterminated tail: crash mid-append
+                break
+            line = raw[offset:newline]
+            lineno += 1
+            if line.strip():
+                try:
+                    commits.append(self._parse_manifest_line(
+                        line, lineno, path, expected_version=len(commits)))
+                except CorruptNodeError:
+                    if newline == len(raw) - 1:
+                        torn = True  # garbage *final* line: treat as torn
+                        break
+                    raise
+            offset = newline + 1
+            good_end = offset
+        if torn and good_end < len(raw):
+            with open(path, "r+b") as handle:
+                handle.truncate(good_end)
+                handle.flush()
+                os.fsync(handle.fileno())
+        return commits
+
+    def _append_manifest(self, commit: ServiceCommit) -> None:
+        entry = {
+            "version": commit.version,
+            "roots": [root.hex if root is not None else None for root in commit.roots],
+            "digest": commit.digest.hex,
+            "message": commit.message,
+            "timestamp": commit.timestamp,
+        }
+        path = self._manifest_path()
+        creating = not os.path.exists(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        if creating:
+            # The journal's *directory entry* must be durable too, or the
+            # first commit of a fresh service can vanish on power loss.
+            fsync_directory(self.directory)
 
     # -- basic properties --------------------------------------------------
 
@@ -382,6 +645,7 @@ class VersionedKVService:
 
     def put(self, key: KeyLike, value: ValueLike) -> None:
         """Buffer a write of ``key = value`` (flushes when the batch fills)."""
+        self._require_open()
         key_bytes = coerce_key(key)
         shard_id = self.router.shard_of(key_bytes)
         with self._counter_lock:
@@ -391,6 +655,7 @@ class VersionedKVService:
 
     def remove(self, key: KeyLike) -> None:
         """Buffer a removal of ``key`` (absent keys are ignored at flush)."""
+        self._require_open()
         key_bytes = coerce_key(key)
         shard_id = self.router.shard_of(key_bytes)
         with self._counter_lock:
@@ -411,6 +676,12 @@ class VersionedKVService:
             return
         started = time.perf_counter()
         shard.head = shard.head.update(puts, removes=removes)
+        # Durability barrier: push the batch through the backing store's
+        # batched append path (SegmentNodeStore writes the DATA records
+        # plus a COMMIT marker and fsyncs; FileNodeStore fsyncs).
+        store_flush = getattr(shard.backing, "flush", None)
+        if store_flush is not None:
+            store_flush()
         shard.flush_seconds += time.perf_counter() - started
         shard.history.append(shard.head.root_digest)
         shard.flushes += 1
@@ -428,6 +699,7 @@ class VersionedKVService:
 
     def flush(self) -> None:
         """Flush every shard's pending operations to its index."""
+        self._require_open()
         for shard_id in range(self.num_shards):
             self._flush_shard(shard_id)
 
@@ -450,6 +722,7 @@ class VersionedKVService:
         reads resolve against immutable commit roots and take no lock at
         all.
         """
+        self._require_open()
         key_bytes = coerce_key(key)
         shard_id = self.router.shard_of(key_bytes)
         with self._counter_lock:
@@ -480,6 +753,7 @@ class VersionedKVService:
 
     def record_count(self) -> int:
         """Total records across all shards (flushes pending writes first)."""
+        self._require_open()
         return sum(len(head) for head in self._atomic_cut())
 
     # -- versioning --------------------------------------------------------
@@ -533,21 +807,86 @@ class VersionedKVService:
         all the shards it touched or on none — a multi-key update issued
         before the commit started can never be half-visible.  Commits are
         serialized by a dedicated lock, so version numbers stay dense.
+
+        Durability: for a directory-backed service the commit is recorded
+        in the fsynced manifest *after* every shard store has flushed, so
+        a manifest entry implies all its nodes are on disk — a crash
+        between the two simply recovers to the previous commit.
         """
+        self._require_open()
         with self._commit_lock:
             heads = self._atomic_cut()
             roots = tuple(head.root_digest for head in heads)
-            parts = [root.raw if root is not None else b"\x00" for root in roots]
-            digest = self._hash.hash_many(parts)
-            commit = ServiceCommit(
-                version=len(self._commits),
-                roots=roots,
-                digest=digest,
-                message=message,
-                timestamp=time.time(),
-            )
-            self._commits.append(commit)
-            return commit
+            return self._record_commit(roots, message)
+
+    def _record_commit(self, roots: Tuple[Optional[Digest], ...], message: str) -> ServiceCommit:
+        """Journal one commit over an already-captured cut (commit lock held)."""
+        parts = [root.raw if root is not None else b"\x00" for root in roots]
+        digest = self._hash.hash_many(parts)
+        commit = ServiceCommit(
+            version=len(self._commits),
+            roots=roots,
+            digest=digest,
+            message=message,
+            timestamp=time.time(),
+        )
+        if self.directory is not None:
+            self._append_manifest(commit)
+        self._commits.append(commit)
+        return commit
+
+    def retained_commits(self) -> List[ServiceCommit]:
+        """The commits protected from :meth:`collect_garbage`.
+
+        With ``retain_versions=N`` these are the newest N commits; older
+        commits remain listed (version numbers never reuse) and readable
+        until a GC run actually reclaims their exclusively-owned nodes.
+        ``retain_versions=None`` retains every commit.
+        """
+        if self.retain_versions is None:
+            return list(self._commits)
+        return list(self._commits[-self.retain_versions:])
+
+    def collect_garbage(self) -> GCCounters:
+        """Mark-and-sweep the shard stores down to the retained versions.
+
+        Mark: per shard, the union of nodes reachable from the shard's
+        roots in every retained commit (:meth:`retained_commits`) plus
+        its current head.  Sweep: segment stores are compacted (live
+        nodes rewritten into fresh segments, old files unlinked); stores
+        exposing ``delete`` are swept in place
+        (:class:`repro.storage.gc.GarbageCollector`).  Shard caches are
+        invalidated so a stale cache cannot resurrect swept nodes.
+
+        Reads of *retained* versions are unaffected (content addressing
+        keeps digests stable).  Reads of versions older than the
+        retention window — and of intermediate flush roots that were
+        never committed — may raise
+        :class:`~repro.core.errors.NodeNotFoundError` afterwards.
+
+        Returns the merged :class:`~repro.core.metrics.GCCounters` delta
+        for this run; cumulative counters are reported by
+        :meth:`metrics`.
+        """
+        self._require_open()
+        merged = GCCounters()
+        with self._commit_lock:
+            retained = self.retained_commits()
+            for shard in self._shards:
+                with shard:
+                    self._flush_shard_locked(shard)
+                    roots = {commit.roots[shard.shard_id] for commit in retained}
+                    roots.add(shard.head.root_digest)
+                    live = reachable_digests(shard.index, roots)
+                    delta = GarbageCollector(shard.backing).collect(live)
+                    if shard.cache is not None:
+                        shard.cache.invalidate()
+                    # Un-committed intermediate flush roots may now dangle;
+                    # restart the shard's history at its (live) head.
+                    shard.history = [shard.head.root_digest]
+                    merged = merged.merge(delta)
+        self._gc_total = self._gc_total.merge(merged)
+        return merged
 
     def snapshot(self, version: Optional[Union[int, ServiceCommit]] = None) -> ServiceSnapshot:
         """An immutable cross-shard view of the latest state or a commit.
@@ -556,6 +895,7 @@ class VersionedKVService:
         heads; otherwise the view is reconstructed from the commit's
         recorded shard roots.
         """
+        self._require_open()
         if version is None:
             return ServiceSnapshot(self._atomic_cut(), commit=None)
         commit = self._resolve_commit(version)
@@ -565,6 +905,7 @@ class VersionedKVService:
     def diff(self, left: Union[int, ServiceCommit, ServiceSnapshot],
              right: Union[int, ServiceCommit, ServiceSnapshot, None] = None) -> DiffResult:
         """Merged structural diff between two versions (or a version and head)."""
+        self._require_open()
         left_snap = left if isinstance(left, ServiceSnapshot) else self.snapshot(left)
         if right is None:
             right_snap = self.snapshot()
@@ -582,6 +923,7 @@ class VersionedKVService:
         Each shard's list is copied under that shard's lock, so every
         returned history is a consistent prefix even while flushes race.
         """
+        self._require_open()
         histories = []
         for shard in self._shards:
             with shard:
@@ -596,6 +938,7 @@ class VersionedKVService:
         :meth:`record_count` for a flush-then-count total), which costs a
         full iteration per shard — leave it off on hot paths.
         """
+        self._require_open()
         shards = []
         for shard in self._shards:
             cache = (CacheCounters.from_cache(shard.cache)
@@ -619,10 +962,12 @@ class VersionedKVService:
             coalesced_ops=self.batcher.coalesced_ops,
             flushes=sum(shard.flushes for shard in self._shards),
             commits=len(self._commits),
+            gc=self._gc_total.copy(),
         )
 
     def reset_counters(self) -> None:
         """Zero every operation/cache/node counter (state is untouched)."""
+        self._require_open()
         with self._counter_lock:
             self._gets = self._puts = self._removes = 0
         self.batcher.reset_counters()
@@ -641,6 +986,7 @@ class VersionedKVService:
 
     def storage_bytes(self) -> int:
         """Physical bytes across all shard stores (unique nodes only)."""
+        self._require_open()
         return sum(shard.backing.total_bytes() for shard in self._shards)
 
     def __repr__(self) -> str:

@@ -9,6 +9,19 @@ at load time.
 Record layout (little-endian framing, self-delimiting):
 
 ``[digest_len: uvarint][digest bytes][data_len: uvarint][data bytes]``
+
+Durability guarantees
+---------------------
+Each :meth:`put` appends its record and closes the file handle, so the
+bytes are handed to the operating system immediately: they survive a
+*process* crash.  They do **not** survive a power loss or kernel crash
+until :meth:`flush` — which ``fsync``\\ s every segment appended to since
+the last flush — or :meth:`close` has run.  The service layer calls
+``flush()`` after every batched shard flush, so batched writes are
+fsynced at batch granularity.  There is no commit marker: a record torn
+by a crash mid-append is *not* repaired on reopen (the load-time scan
+raises on it); use :class:`repro.storage.segment.SegmentNodeStore` when
+crash recovery matters.
 """
 
 from __future__ import annotations
@@ -19,6 +32,7 @@ from typing import Dict, Iterator, Optional, Tuple
 from repro.core.errors import CorruptNodeError, NodeNotFoundError
 from repro.encoding.binary import decode_bytes, encode_bytes
 from repro.hashing.digest import Digest, HashFunction
+from repro.storage.segment import fsync_directory
 from repro.storage.store import NodeStore
 
 
@@ -54,6 +68,11 @@ class FileNodeStore(NodeStore):
         self._index: Dict[Digest, Tuple[int, int, int]] = {}
         self._active_segment = 0
         self._active_size = 0
+        #: Segments appended to since the last flush() (fsync targets).
+        self._dirty_segments: set = set()
+        #: Whether a segment *file* was created since the last flush()
+        #: (its directory entry needs an fsync of the parent directory).
+        self._created_since_flush = False
         os.makedirs(directory, exist_ok=True)
         self._load_existing(verify_on_load)
 
@@ -97,6 +116,7 @@ class FileNodeStore(NodeStore):
     # -- NodeStore primitives ---------------------------------------------
 
     def put_bytes(self, digest: Digest, data: bytes) -> bool:
+        """Append ``data`` under ``digest`` (write-through; see module docstring)."""
         if digest in self._index:
             return False
         record = encode_bytes(digest.raw) + encode_bytes(data)
@@ -105,13 +125,17 @@ class FileNodeStore(NodeStore):
             self._active_size = 0
         path = self._segment_path(self._active_segment)
         offset = self._active_size
+        if offset == 0:
+            self._created_since_flush = True
         with open(path, "ab") as handle:
             handle.write(record)
         self._index[digest] = (self._active_segment, offset, len(record))
         self._active_size += len(record)
+        self._dirty_segments.add(self._active_segment)
         return True
 
     def get_bytes(self, digest: Digest) -> bytes:
+        """Read one record back from its segment file."""
         entry = self._index.get(digest)
         if entry is None:
             raise NodeNotFoundError(digest)
@@ -127,21 +151,44 @@ class FileNodeStore(NodeStore):
         return data
 
     def contains(self, digest: Digest) -> bool:
+        """Whether the store holds this digest (index lookup, no file I/O)."""
         return digest in self._index
 
     def digests(self) -> Iterator[Digest]:
+        """Iterate every stored digest."""
         return iter(list(self._index.keys()))
 
     def __len__(self) -> int:
         return len(self._index)
 
     def total_bytes(self) -> int:
-        # Report logical node bytes (framing and digest overhead excluded),
-        # consistent with the in-memory store.
+        """Logical node bytes (framing and digest overhead excluded),
+        consistent with the in-memory store."""
         return sum(len(self.get_bytes(d)) for d in self._index.keys())
 
     def close(self) -> None:
-        """No-op for API symmetry; files are opened per operation."""
+        """Flush (fsync) outstanding writes; files are opened per operation."""
+        self.flush()
 
     def flush(self) -> None:
-        """No-op: every put is written through immediately."""
+        """``fsync`` every segment appended to since the last flush.
+
+        Individual puts reach the OS immediately (durable against process
+        crash); this pushes them through the page cache to stable storage
+        so *batched* writes also survive power loss — the durability
+        barrier the service layer invokes once per shard flush.
+        """
+        for segment in sorted(self._dirty_segments):
+            path = self._segment_path(segment)
+            if not os.path.exists(path):
+                continue
+            fd = os.open(path, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        self._dirty_segments.clear()
+        if self._created_since_flush:
+            # New segment files also need their directory entry on disk.
+            self._created_since_flush = False
+            fsync_directory(self.directory)

@@ -1,0 +1,123 @@
+"""Mark-and-sweep garbage collection for content-addressed node stores.
+
+Immutable indexes never delete nodes in place, so reclaiming the space of
+dropped versions is a two-phase, whole-store affair:
+
+* **Mark** — compute the *live set*: the union of every node reachable
+  from a retained root version (:func:`reachable_digests` walks each
+  root's page set via :meth:`SIRIIndex.node_digests`; the per-version
+  registry of :class:`~repro.storage.refcount.RefCountingNodeStore` is
+  reused verbatim when one is in play, via its
+  :meth:`~repro.storage.refcount.RefCountingNodeStore.reachable_union`).
+* **Sweep** — drop everything else.  How depends on the backing store:
+  an append-only :class:`~repro.storage.segment.SegmentNodeStore` cannot
+  delete in place, so its sweep *rewrites live nodes into fresh segments*
+  (:meth:`~repro.storage.segment.SegmentNodeStore.compact`) and unlinks
+  the old files; stores exposing ``delete`` (e.g. the in-memory store)
+  are swept entry by entry.
+
+Invariants (see ``docs/STORAGE.md`` §GC for the full argument):
+
+1. A node reachable from any retained root is never dropped — the live
+   set is computed from the roots *before* anything is touched.
+2. The store stays readable at every crash point of a compaction: new
+   segments are fully written and fsynced before any old segment is
+   unlinked, and the open-time scan dedupes by digest when both
+   generations coexist.
+3. GC never changes any retained version's content: rewritten nodes keep
+   their digests (content addressing), so every retained root resolves
+   to byte-identical data afterwards.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional, Set
+
+from repro.core.errors import InvalidParameterError
+from repro.core.metrics import GCCounters
+from repro.hashing.digest import Digest
+from repro.storage.store import NodeStore
+
+
+def reachable_digests(index, roots: Iterable[Optional[Digest]]) -> Set[Digest]:
+    """Mark phase: the union of page sets reachable from ``roots``.
+
+    ``index`` is any :class:`~repro.core.interfaces.SIRIIndex`; ``None``
+    roots (empty versions) contribute nothing.  This is the same
+    reachability notion :mod:`repro.storage.refcount` registers per
+    pinned root — computed on demand here instead of maintained
+    incrementally.
+    """
+    live: Set[Digest] = set()
+    for root in roots:
+        if root is not None:
+            live |= index.node_digests(root)
+    return live
+
+
+class GarbageCollector:
+    """Sweeps one node store down to a caller-supplied live set.
+
+    The collector picks the sweep strategy from the store's capabilities:
+
+    * ``compact(live)`` (segment stores): rewrite live nodes into fresh
+      segments, physically reclaiming file bytes;
+    * ``delete(digest)`` (in-memory / refcounting backings): remove each
+      unreachable entry directly;
+    * neither: the store cannot reclaim space —
+      :class:`~repro.core.errors.InvalidParameterError` is raised.
+
+    Example::
+
+        collector = GarbageCollector(store)
+        live = reachable_digests(tree, [v18.root_digest, v19.root_digest])
+        report = collector.collect(live)
+        assert report.swept_nodes == len(store_before) - len(live)
+    """
+
+    def __init__(self, store: NodeStore):
+        self.store = store
+
+    def collect(self, live: Iterable[Digest]) -> GCCounters:
+        """Sweep: drop every node not in ``live``; return the run's counters."""
+        live_set = set(live)
+        compact = getattr(self.store, "compact", None)
+        if compact is not None:
+            return compact(live_set)
+        delete = getattr(self.store, "delete", None)
+        if delete is None:
+            raise InvalidParameterError(
+                f"{type(self.store).__name__} supports neither compact() nor "
+                "delete(); it cannot be garbage collected"
+            )
+        started = time.perf_counter()
+        bytes_before = self.store.total_bytes()
+        victims = [d for d in self.store.digests() if d not in live_set]
+        swept = sum(1 for digest in victims if delete(digest))
+        bytes_after = self.store.total_bytes()
+        return GCCounters(
+            runs=1,
+            live_nodes=len(self.store),
+            swept_nodes=swept,
+            bytes_before=bytes_before,
+            bytes_after=bytes_after,
+            bytes_reclaimed=bytes_before - bytes_after,
+            gc_seconds=time.perf_counter() - started,
+        )
+
+    def collect_roots(self, index, roots: Iterable[Optional[Digest]]) -> GCCounters:
+        """Mark from ``roots`` over ``index``, then sweep this store."""
+        return self.collect(reachable_digests(index, roots))
+
+    def collect_pinned(self, refcounting_store) -> GCCounters:
+        """Sweep a :class:`RefCountingNodeStore`'s backing down to its pins.
+
+        Reuses the refcounting store's per-root reachability registry as
+        the mark phase (``reachable_union()``), then sweeps the *backing*
+        store, so the two GC mechanisms in the library agree on what is
+        live.
+        """
+        return GarbageCollector(refcounting_store.backing).collect(
+            refcounting_store.reachable_union()
+        )

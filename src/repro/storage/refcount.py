@@ -89,6 +89,18 @@ class RefCountingNodeStore(NodeStore):
         """How many pinned versions reference this node."""
         return self._refcounts.get(digest, 0)
 
+    def reachable_union(self):
+        """The union of every pinned root's reachable set (the GC live set).
+
+        This is the mark phase :class:`repro.storage.gc.GarbageCollector`
+        reuses when sweeping a refcounting store's backing: a node is
+        live exactly when at least one pinned version reaches it.
+        """
+        live = set()
+        for reachable in self._pinned_roots.values():
+            live |= reachable
+        return live
+
     def unreferenced_digests(self):
         """Digests present in the backing store but not referenced by any pin."""
         return [d for d in self.backing.digests() if d not in self._refcounts]

@@ -1,0 +1,539 @@
+"""Durable append-only segment-file storage engine with crash recovery.
+
+:class:`SegmentNodeStore` is the production-shaped persistence backend
+for the content-addressed node stores: nodes are batched in memory and
+appended to fixed-capacity *segment files* as CRC-protected records, with
+an explicit **commit marker** record terminating every batch so that a
+half-written flush is never visible after a crash.
+
+Segment file layout (all integers LEB128 uvarints unless noted)::
+
+    segment file := record*
+    record       := DATA-record | COMMIT-record
+    DATA-record  := 0x01  [digest_len][digest bytes][data_len][data bytes]  [crc32: 4 bytes LE]
+    COMMIT-record:= 0x02  [record_count]                                    [crc32: 4 bytes LE]
+
+The CRC-32 covers every byte of the record before the checksum field
+(kind byte included).  Records are self-delimiting, so the store never
+needs a separate index file: on open, the in-memory ``digest → (segment,
+offset, length)`` directory is rebuilt by scanning the segments.
+
+Durability protocol
+-------------------
+* :meth:`put_bytes` only buffers; buffered nodes are readable immediately
+  (read-your-writes) but are **not durable**.
+* :meth:`flush` appends every buffered node as DATA records followed by
+  one COMMIT marker, then ``fsync``\\ s the segment.  The COMMIT marker is
+  the atomic durability point: a batch is either entirely visible after
+  reopen (its marker made it to disk) or entirely invisible.
+* On reopen, the scan stops at the first torn or CRC-failing record and
+  **truncates the tail back to the last valid COMMIT marker** — DATA
+  records from a flush that crashed before its marker are dropped, and a
+  record torn mid-write is removed.  What remains is exactly the last
+  committed state.
+
+Garbage collection hooks
+------------------------
+Deleting in place is impossible in an append-only file, so
+:meth:`delete` only drops the directory entry (the bytes stay on disk)
+and :meth:`compact` — used by :mod:`repro.storage.gc` — rewrites the
+live nodes into fresh segments and unlinks the old files, which is where
+space is physically reclaimed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.errors import CorruptNodeError, NodeNotFoundError, StoreClosedError
+from repro.core.metrics import GCCounters
+from repro.encoding.binary import decode_bytes, decode_uvarint, encode_bytes, encode_uvarint
+from repro.hashing.digest import Digest, HashFunction
+from repro.storage.store import NodeStore
+
+#: Record kind tags (first byte of every record).
+KIND_DATA = 0x01
+KIND_COMMIT = 0x02
+
+_CRC_LEN = 4
+
+
+def encode_data_record(digest: Digest, data: bytes) -> bytes:
+    """Encode one node as a CRC-protected DATA record."""
+    body = bytes([KIND_DATA]) + encode_bytes(digest.raw) + encode_bytes(data)
+    return body + zlib.crc32(body).to_bytes(_CRC_LEN, "little")
+
+
+def encode_commit_record(record_count: int) -> bytes:
+    """Encode a COMMIT marker sealing ``record_count`` preceding DATA records."""
+    body = bytes([KIND_COMMIT]) + encode_uvarint(record_count)
+    return body + zlib.crc32(body).to_bytes(_CRC_LEN, "little")
+
+
+def fsync_directory(path: str) -> None:
+    """Best-effort fsync of a *directory* so new file entries are durable.
+
+    Creating a file and fsyncing its contents does not persist the
+    directory entry itself; every creation point in the storage layer
+    (segment rollover, compaction output, the service's commit manifest)
+    calls this afterwards.  Platforms that cannot open or fsync a
+    directory are silently tolerated — the data fsync still happened.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class _TornRecord(Exception):
+    """Internal: a record is truncated or fails its CRC (recovery stops here)."""
+
+
+def _parse_record(blob: bytes, offset: int) -> Tuple[int, Optional[Tuple[bytes, bytes]], int]:
+    """Parse one record at ``offset``.
+
+    Returns ``(kind, payload, next_offset)`` where ``payload`` is
+    ``(digest_bytes, data)`` for DATA records and ``None`` for COMMIT
+    markers.  Raises :class:`_TornRecord` when the record is incomplete
+    or its CRC does not match — the caller treats that position as the
+    torn tail.
+    """
+    if offset >= len(blob):
+        raise _TornRecord()
+    kind = blob[offset]
+    try:
+        if kind == KIND_DATA:
+            digest_bytes, pos = decode_bytes(blob, offset + 1)
+            data, pos = decode_bytes(blob, pos)
+            payload: Optional[Tuple[bytes, bytes]] = (digest_bytes, data)
+        elif kind == KIND_COMMIT:
+            _count, pos = decode_uvarint(blob, offset + 1)
+            payload = None
+        else:
+            raise _TornRecord()
+    except ValueError:
+        raise _TornRecord() from None
+    end = pos + _CRC_LEN
+    if end > len(blob):
+        raise _TornRecord()
+    expected = int.from_bytes(blob[pos:end], "little")
+    if zlib.crc32(blob[offset:pos]) != expected:
+        raise _TornRecord()
+    return kind, payload, end
+
+
+@dataclass
+class RecoveryReport:
+    """What the open-time scan found (and repaired) in a segment directory."""
+
+    #: Segment files scanned while rebuilding the directory.
+    segments_scanned: int = 0
+    #: Committed DATA records now served from the directory.
+    records_recovered: int = 0
+    #: COMMIT markers encountered (== durable flushes that survived).
+    commit_batches: int = 0
+    #: Bytes cut off segment tails (torn records + unmarked flush data).
+    torn_bytes_truncated: int = 0
+    #: Complete DATA records dropped because no COMMIT marker followed them.
+    uncommitted_records_dropped: int = 0
+    #: Wall-clock seconds the scan took.
+    seconds: float = 0.0
+
+
+class SegmentNodeStore(NodeStore):
+    """A durable content-addressed store over append-only segment files.
+
+    Parameters
+    ----------
+    directory:
+        Directory holding the segment files; created if missing.  The
+        in-memory directory is rebuilt by scanning it on construction
+        (crash recovery happens here — see :class:`RecoveryReport`).
+    segment_capacity_bytes:
+        Soft segment size: a new segment is started once the active one
+        has grown past this.  One flush batch never spans two segments,
+        so a segment can exceed the capacity by at most one batch.
+    verify_on_load:
+        Re-hash every record during the open-time scan (CRC checking is
+        always on; this additionally catches a corrupted record whose CRC
+        was fixed up by an attacker).
+    fsync:
+        Issue ``os.fsync`` at every commit point (flush/compact).  Leave
+        on for real durability; tests/benchmarks may disable it to avoid
+        paying disk latency for crash windows they don't exercise.
+    """
+
+    SEGMENT_PREFIX = "seg-"
+    SEGMENT_SUFFIX = ".seg"
+
+    def __init__(
+        self,
+        directory: str,
+        hash_function: Optional[HashFunction] = None,
+        verify_on_read: bool = False,
+        segment_capacity_bytes: int = 4 * 1024 * 1024,
+        verify_on_load: bool = False,
+        fsync: bool = True,
+    ):
+        super().__init__(hash_function=hash_function, verify_on_read=verify_on_read)
+        self.directory = directory
+        self.segment_capacity_bytes = segment_capacity_bytes
+        self.fsync = fsync
+        #: digest → (segment number, record offset, record length, data length)
+        self._directory: Dict[Digest, Tuple[int, int, int, int]] = {}
+        #: nodes accepted by put_bytes but not yet flushed to disk.
+        self._pending: Dict[Digest, bytes] = {}
+        self._segment_sizes: Dict[int, int] = {}
+        self._active_segment = 0
+        self._closed = False
+        #: Cumulative GC/compaction accounting for this store.
+        self.gc = GCCounters()
+        #: Durable flushes performed since open (commit markers written).
+        self.commit_batches = 0
+        os.makedirs(directory, exist_ok=True)
+        #: Result of the open-time scan (torn-tail repair happens there).
+        self.recovery = self._recover(verify_on_load)
+
+    # -- segment file helpers ---------------------------------------------
+
+    def _segment_path(self, segment: int) -> str:
+        return os.path.join(self.directory, f"{self.SEGMENT_PREFIX}{segment:06d}{self.SEGMENT_SUFFIX}")
+
+    def _existing_segments(self) -> List[int]:
+        numbers = []
+        for name in os.listdir(self.directory):
+            if name.startswith(self.SEGMENT_PREFIX) and name.endswith(self.SEGMENT_SUFFIX):
+                numbers.append(int(name[len(self.SEGMENT_PREFIX):-len(self.SEGMENT_SUFFIX)]))
+        return sorted(numbers)
+
+    def _fsync_file(self, handle) -> None:
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+
+    def _fsync_directory(self) -> None:
+        if self.fsync:
+            fsync_directory(self.directory)
+
+    # -- crash recovery ----------------------------------------------------
+
+    def _recover(self, verify: bool) -> RecoveryReport:
+        """Rebuild the directory by scanning segments; truncate torn tails.
+
+        Torn-tail repair is only legal in the *final* (highest-numbered)
+        segment — the one any crash-interrupted append or compaction was
+        writing.  An invalid record in an earlier, sealed segment cannot
+        come from a crash, only from corruption of committed data, so it
+        raises :class:`CorruptNodeError` instead of silently truncating
+        committed batches.
+        """
+        report = RecoveryReport()
+        started = time.perf_counter()
+        segments = self._existing_segments()
+        for segment in segments:
+            path = self._segment_path(segment)
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            offset = 0
+            committed_end = 0
+            batch: List[Tuple[Digest, int, int, int]] = []
+            while offset < len(blob):
+                try:
+                    kind, payload, next_offset = _parse_record(blob, offset)
+                except _TornRecord:
+                    break
+                if kind == KIND_DATA:
+                    digest_bytes, data = payload  # type: ignore[misc]
+                    digest = Digest(digest_bytes)
+                    if verify and self.hash_function.hash(data) != digest:
+                        raise CorruptNodeError(
+                            digest, f"corrupt record in {path} at offset {offset}")
+                    batch.append((digest, offset, next_offset - offset, len(data)))
+                else:  # COMMIT: the preceding batch becomes visible
+                    for digest, rec_offset, rec_len, data_len in batch:
+                        self._directory[digest] = (segment, rec_offset, rec_len, data_len)
+                        report.records_recovered += 1
+                    batch = []
+                    committed_end = next_offset
+                    report.commit_batches += 1
+                offset = next_offset
+            if committed_end < len(blob):
+                if segment != segments[-1]:
+                    raise CorruptNodeError(
+                        None,
+                        f"invalid record in sealed segment {path} at offset "
+                        f"{offset}; refusing torn-tail repair outside the "
+                        "final segment (committed data is corrupt)")
+                report.torn_bytes_truncated += len(blob) - committed_end
+                report.uncommitted_records_dropped += len(batch)
+                with open(path, "r+b") as handle:
+                    handle.truncate(committed_end)
+                    self._fsync_file(handle)
+            self._segment_sizes[segment] = committed_end
+            report.segments_scanned += 1
+        # Drop segments recovery emptied entirely so they don't linger.
+        for segment in [s for s, size in self._segment_sizes.items() if size == 0]:
+            os.remove(self._segment_path(segment))
+            del self._segment_sizes[segment]
+        self._active_segment = max(self._segment_sizes) if self._segment_sizes else 0
+        report.seconds = time.perf_counter() - started
+        return report
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError(f"SegmentNodeStore({self.directory!r}) is closed")
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Flush pending nodes durably and refuse further operations."""
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+
+    # -- durable batched append (the commit path) -------------------------
+
+    @property
+    def pending_count(self) -> int:
+        """Nodes buffered in memory, awaiting the next :meth:`flush`."""
+        return len(self._pending)
+
+    def flush(self) -> int:
+        """Append every pending node plus a COMMIT marker; fsync; return count.
+
+        This is the batched append path the service's write batcher
+        drives: one flush per shard batch, one commit marker per flush.
+        After it returns the batch is durable (modulo ``fsync=False``).
+        """
+        self._require_open()
+        if not self._pending:
+            return 0
+        entries = list(self._pending.items())
+        records = [encode_data_record(digest, data) for digest, data in entries]
+        batch = b"".join(records) + encode_commit_record(len(records))
+        active_size = self._segment_sizes.get(self._active_segment, 0)
+        if active_size > 0 and active_size + len(batch) > self.segment_capacity_bytes:
+            self._active_segment += 1
+            active_size = 0
+        path = self._segment_path(self._active_segment)
+        creating = active_size == 0
+        with open(path, "ab") as handle:
+            base = handle.tell()
+            handle.write(batch)
+            self._fsync_file(handle)
+        if creating:
+            self._fsync_directory()
+        offset = base
+        for (digest, data), record in zip(entries, records):
+            self._directory[digest] = (self._active_segment, offset, len(record), len(data))
+            offset += len(record)
+        self._segment_sizes[self._active_segment] = base + len(batch)
+        self._pending.clear()
+        self.commit_batches += 1
+        return len(records)
+
+    # -- NodeStore primitives ---------------------------------------------
+
+    def put_bytes(self, digest: Digest, data: bytes) -> bool:
+        """Buffer ``data`` under ``digest``; durable only after :meth:`flush`."""
+        self._require_open()
+        if digest in self._directory or digest in self._pending:
+            return False
+        self._pending[digest] = bytes(data)
+        return True
+
+    def _read_record(self, entry: Tuple[int, int, int, int]) -> bytes:
+        segment, offset, length, _data_len = entry
+        path = self._segment_path(segment)
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            record = handle.read(length)
+        try:
+            kind, payload, _ = _parse_record(record, 0)
+        except _TornRecord:
+            raise CorruptNodeError(None, f"unreadable record in {path} at offset {offset}") from None
+        if kind != KIND_DATA:
+            raise CorruptNodeError(None, f"directory points at a non-DATA record in {path}")
+        return payload[1]  # type: ignore[index]
+
+    def get_bytes(self, digest: Digest) -> bytes:
+        """Fetch node bytes from the pending buffer or the segment files.
+
+        Safe to race with :meth:`compact`: compaction swaps in the new
+        directory *before* unlinking the old segment files, so a reader
+        holding a stale entry whose file vanished underneath it re-fetches
+        the (rewritten) location and retries.  This is what keeps the
+        service layer's lock-free versioned reads of retained commits
+        crash-free during a concurrent GC.
+        """
+        self._require_open()
+        pending = self._pending.get(digest)
+        if pending is not None:
+            return pending
+        entry = self._directory.get(digest)
+        if entry is None:
+            raise NodeNotFoundError(digest)
+        try:
+            return self._read_record(entry)
+        except FileNotFoundError:
+            fresh = self._directory.get(digest)
+            if fresh is None:
+                raise NodeNotFoundError(digest) from None
+            if fresh == entry:
+                raise CorruptNodeError(
+                    digest, "segment file vanished without a compaction") from None
+            return self._read_record(fresh)
+
+    def contains(self, digest: Digest) -> bool:
+        """Whether the store (buffer or disk) holds this digest."""
+        return digest in self._pending or digest in self._directory
+
+    def digests(self) -> Iterator[Digest]:
+        """Iterate every stored digest (committed first, then pending)."""
+        return iter(list(self._directory.keys()) + list(self._pending.keys()))
+
+    def __len__(self) -> int:
+        return len(self._directory) + len(self._pending)
+
+    def total_bytes(self) -> int:
+        """Logical node bytes (framing/digest/CRC overhead excluded)."""
+        committed = sum(entry[3] for entry in self._directory.values())
+        return committed + sum(len(data) for data in self._pending.values())
+
+    # -- physical accounting and GC hooks ---------------------------------
+
+    def file_bytes(self) -> int:
+        """Physical bytes across all segment files (framing included)."""
+        return sum(self._segment_sizes.values())
+
+    def segment_count(self) -> int:
+        """Number of segment files currently on disk."""
+        return len(self._segment_sizes)
+
+    def delete(self, digest: Digest) -> bool:
+        """Logically delete a node (directory entry only; bytes remain).
+
+        Space is physically reclaimed by the next :meth:`compact` — and
+        so is the deletion itself: there are no tombstone records, so a
+        logically deleted node whose DATA record is still on disk
+        **reappears after reopen** unless a compaction ran first.  This
+        store's GC protocol (:mod:`repro.storage.gc`) always sweeps by
+        compaction, which makes the reclamation durable; treat bare
+        ``delete()`` as an in-process hint only.  Returns True when the
+        digest was present.
+        """
+        self._require_open()
+        if self._pending.pop(digest, None) is not None:
+            return True
+        return self._directory.pop(digest, None) is not None
+
+    def compact(self, live: Iterable[Digest]) -> GCCounters:
+        """Sweep phase: rewrite ``live`` nodes into fresh segments.
+
+        Every node whose digest is in ``live`` is copied into new segment
+        files (batched to the segment capacity, each batch sealed with a
+        COMMIT marker and fsynced); everything else is dropped.  The old
+        segment files are unlinked only after the new ones are durable,
+        so a crash at any point leaves a readable store: either the old
+        segments are still intact, or both generations coexist (the scan
+        dedupes by digest) until a later compaction.
+
+        Returns the :class:`~repro.core.metrics.GCCounters` delta for
+        this run (also merged into :attr:`gc`).
+        """
+        self._require_open()
+        started = time.perf_counter()
+        self.flush()
+        live_set = set(live)
+        old_segments = sorted(self._segment_sizes)
+        bytes_before = self.file_bytes()
+        keep = sorted(
+            ((digest, entry) for digest, entry in self._directory.items() if digest in live_set),
+            key=lambda item: (item[1][0], item[1][1]),
+        )
+        swept = len(self._directory) - len(keep)
+        next_segment = (old_segments[-1] + 1) if old_segments else self._active_segment + 1
+        new_directory: Dict[Digest, Tuple[int, int, int, int]] = {}
+        new_sizes: Dict[int, int] = {}
+        batch: List[Tuple[Digest, bytes]] = []
+        batch_bytes = 0
+
+        def _seal(segment: int) -> None:
+            records = [encode_data_record(digest, data) for digest, data in batch]
+            blob = b"".join(records) + encode_commit_record(len(records))
+            path = self._segment_path(segment)
+            with open(path, "wb") as handle:
+                handle.write(blob)
+                self._fsync_file(handle)
+            offset = 0
+            for (digest, data), record in zip(batch, records):
+                new_directory[digest] = (segment, offset, len(record), len(data))
+                offset += len(record)
+            new_sizes[segment] = len(blob)
+
+        # One sequential read per old segment (keep is sorted by segment,
+        # offset) instead of an open/seek/read cycle per live record.
+        current_segment: Optional[int] = None
+        blob = b""
+        for digest, entry in keep:
+            segment, offset, record_len, _data_len = entry
+            if segment != current_segment:
+                with open(self._segment_path(segment), "rb") as handle:
+                    blob = handle.read()
+                current_segment = segment
+            _kind, payload, _end = _parse_record(blob, offset)
+            data = payload[1]  # type: ignore[index]
+            if batch and batch_bytes + record_len > self.segment_capacity_bytes:
+                _seal(next_segment)
+                next_segment += 1
+                batch, batch_bytes = [], 0
+            batch.append((digest, data))
+            batch_bytes += record_len
+        if batch:
+            _seal(next_segment)
+        self._fsync_directory()
+        # Publish the new generation *before* unlinking the old one: a
+        # concurrent reader either sees the old entry while its file still
+        # exists, or (after a FileNotFoundError) re-fetches the new entry.
+        self._directory = new_directory
+        self._segment_sizes = new_sizes
+        self._active_segment = max(new_sizes) if new_sizes else next_segment
+        for segment in old_segments:
+            os.remove(self._segment_path(segment))
+        self._fsync_directory()
+        bytes_after = self.file_bytes()
+        delta = GCCounters(
+            runs=1,
+            live_nodes=len(keep),
+            swept_nodes=swept,
+            bytes_before=bytes_before,
+            bytes_after=bytes_after,
+            bytes_reclaimed=bytes_before - bytes_after,
+            segments_created=len(new_sizes),
+            segments_deleted=len(old_segments),
+            gc_seconds=time.perf_counter() - started,
+        )
+        self.gc = self.gc.merge(delta)
+        return delta
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentNodeStore({self.directory!r}, nodes={len(self)}, "
+            f"segments={self.segment_count()}, pending={self.pending_count})"
+        )

@@ -250,24 +250,45 @@ class YCSBServiceDriver:
         self._fill_deltas(counters, before, service.metrics())
         return counters
 
-    def run(self, service, operation_count: Optional[int] = None) -> OperationCounters:
+    def run(self, service, operation_count: Optional[int] = None,
+            commit_every: Optional[int] = None) -> OperationCounters:
         """Execute the operation stream against the service; return counters.
 
         Reads go through :meth:`get` (read-your-writes over any pending
         batch); writes buffer and flush at the service's batch size.  A
         final :meth:`flush` is included in the measured time so unbatched
         and batched configurations are comparable.
+
+        ``commit_every=N`` additionally calls ``service.commit()`` every N
+        operations (and once at the end), producing the multi-version
+        history that durable deployments checkpoint — the shape the
+        retention-policy GC experiments (``bench_storage_engine.py``) and
+        the crash-recovery drills need.  The number of commits issued is
+        recorded in ``counters.extra["commits"]``.
         """
+        if commit_every is not None and commit_every <= 0:
+            raise ValueError("commit_every must be positive (or None)")
         counters = OperationCounters()
+        commits = 0
         before = service.metrics()
         start = time.perf_counter()
-        for operation in self.workload.operations(operation_count):
+        for serial, operation in enumerate(self.workload.operations(operation_count), start=1):
             if operation.is_write:
                 service.put(operation.key, operation.value)
             else:
                 service.get(operation.key)
             counters.operations += 1
+            if commit_every is not None and serial % commit_every == 0:
+                service.commit(f"ycsb checkpoint @{serial}")
+                commits += 1
         service.flush()
+        if commit_every is not None:
+            # Checkpoint the tail — unless the last operation landed
+            # exactly on a boundary and is already committed.
+            if counters.operations % commit_every != 0 or counters.operations == 0:
+                service.commit("ycsb final checkpoint")
+                commits += 1
+            counters.extra["commits"] = commits
         counters.elapsed_seconds = time.perf_counter() - start
         self._fill_deltas(counters, before, service.metrics())
         return counters

@@ -1,0 +1,360 @@
+"""Unit tests for the durable append-only segment storage engine."""
+
+import os
+
+import pytest
+
+from repro.core.errors import NodeNotFoundError, StoreClosedError
+from repro.hashing.digest import hash_bytes
+from repro.storage.segment import (
+    SegmentNodeStore,
+    encode_commit_record,
+    encode_data_record,
+)
+
+
+def segment_files(directory):
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(SegmentNodeStore.SEGMENT_SUFFIX)
+    )
+
+
+def make_store(tmp_path, **kwargs):
+    kwargs.setdefault("fsync", False)  # keep the suite fast; fsync is covered once
+    return SegmentNodeStore(str(tmp_path / "segs"), **kwargs)
+
+
+class TestBasicOperation:
+    def test_put_get_round_trip_before_flush(self, tmp_path):
+        store = make_store(tmp_path)
+        digest = store.put(b"buffered node")
+        # Read-your-writes: visible immediately, durable only after flush.
+        assert store.get(digest) == b"buffered node"
+        assert store.pending_count == 1
+        assert len(store) == 1
+
+    def test_flush_writes_batch_and_commit_marker(self, tmp_path):
+        store = make_store(tmp_path)
+        digests = [store.put(f"node-{i}".encode() * 10) for i in range(20)]
+        assert store.flush() == 20
+        assert store.pending_count == 0
+        assert store.commit_batches == 1
+        assert store.flush() == 0  # idempotent when nothing is pending
+        for i, digest in enumerate(digests):
+            assert store.get(digest) == f"node-{i}".encode() * 10
+
+    def test_duplicate_put_not_stored_twice(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(b"dup")
+        store.flush()
+        size = store.file_bytes()
+        store.put(b"dup")          # duplicate of a committed node
+        store.put(b"pending-dup")
+        store.put(b"pending-dup")  # duplicate of a pending node
+        store.flush()
+        assert len(store) == 2
+        assert store.file_bytes() > size  # only pending-dup was appended
+        assert store.stats.duplicate_puts == 2
+
+    def test_missing_raises(self, tmp_path):
+        store = make_store(tmp_path)
+        with pytest.raises(NodeNotFoundError):
+            store.get(hash_bytes(b"missing"))
+
+    def test_contains_digests_len(self, tmp_path):
+        store = make_store(tmp_path)
+        committed = store.put(b"committed")
+        store.flush()
+        pending = store.put(b"pending")
+        assert store.contains(committed) and store.contains(pending)
+        assert set(store.digests()) == {committed, pending}
+        assert len(store) == 2
+
+    def test_total_bytes_is_logical_file_bytes_is_physical(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(b"x" * 100)
+        store.flush()
+        assert store.total_bytes() == 100
+        # Framing: kind + digest length-prefix + digest + data length-prefix + CRC.
+        assert store.file_bytes() > 100
+
+    def test_segment_rotation(self, tmp_path):
+        store = make_store(tmp_path, segment_capacity_bytes=512)
+        for i in range(30):
+            store.put(f"block-{i:03d}".encode() * 8)
+            store.flush()  # one batch per flush; rotation between batches
+        assert store.segment_count() > 1
+        reopened = make_store(tmp_path, segment_capacity_bytes=512)
+        assert len(reopened) == 30
+
+    def test_closed_store_raises(self, tmp_path):
+        store = make_store(tmp_path)
+        digest = store.put(b"data")
+        store.close()
+        assert store.closed
+        store.close()  # idempotent
+        with pytest.raises(StoreClosedError):
+            store.get(digest)
+        with pytest.raises(StoreClosedError):
+            store.put(b"more")
+        with pytest.raises(StoreClosedError):
+            store.flush()
+
+    def test_close_flushes_pending(self, tmp_path):
+        store = make_store(tmp_path)
+        digest = store.put(b"flushed by close")
+        store.close()
+        reopened = make_store(tmp_path)
+        assert reopened.get(digest) == b"flushed by close"
+
+
+class TestCrashRecovery:
+    def test_survives_reopen(self, tmp_path):
+        store = make_store(tmp_path)
+        digests = [store.put(f"node-{i}".encode() * 10) for i in range(25)]
+        store.flush()
+        reopened = make_store(tmp_path)
+        assert reopened.recovery.records_recovered == 25
+        assert reopened.recovery.commit_batches == 1
+        assert reopened.recovery.torn_bytes_truncated == 0
+        for i, digest in enumerate(digests):
+            assert reopened.get(digest) == f"node-{i}".encode() * 10
+
+    def test_torn_mid_record_tail_is_truncated(self, tmp_path):
+        store = make_store(tmp_path)
+        keep = store.put(b"committed and durable" * 5)
+        store.flush()
+        path = segment_files(store.directory)[-1]
+        committed_size = os.path.getsize(path)
+        # Simulate a crash mid-append: half a DATA record, no commit marker.
+        record = encode_data_record(hash_bytes(b"torn"), b"torn payload" * 10)
+        with open(path, "ab") as handle:
+            handle.write(record[: len(record) // 2])
+        reopened = make_store(tmp_path)
+        assert reopened.recovery.torn_bytes_truncated == len(record) // 2
+        assert os.path.getsize(path) == committed_size  # tail physically removed
+        assert reopened.get(keep) == b"committed and durable" * 5
+        assert len(reopened) == 1
+
+    def test_complete_records_without_commit_marker_are_dropped(self, tmp_path):
+        store = make_store(tmp_path)
+        keep = store.put(b"the last committed state")
+        store.flush()
+        path = segment_files(store.directory)[-1]
+        # Simulate a flush that crashed after its DATA records but before
+        # the COMMIT marker: complete, CRC-valid records, no marker.
+        lost_a, lost_b = hash_bytes(b"lost-a"), hash_bytes(b"lost-b")
+        with open(path, "ab") as handle:
+            handle.write(encode_data_record(lost_a, b"written but never committed"))
+            handle.write(encode_data_record(lost_b, b"also uncommitted"))
+        reopened = make_store(tmp_path)
+        assert reopened.recovery.uncommitted_records_dropped == 2
+        assert reopened.get(keep) == b"the last committed state"
+        assert not reopened.contains(lost_a)
+        assert not reopened.contains(lost_b)
+
+    def test_corrupted_tail_crc_truncates_to_last_commit(self, tmp_path):
+        store = make_store(tmp_path)
+        first = store.put(b"batch one")
+        store.flush()
+        second = store.put(b"batch two")
+        store.flush()
+        path = segment_files(store.directory)[-1]
+        # Flip a byte inside the second batch (simulating a misdirected
+        # write): its CRC fails, recovery rewinds to the first marker.
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.seek(size - 3)
+            byte = handle.read(1)
+            handle.seek(size - 3)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        reopened = make_store(tmp_path)
+        assert reopened.get(first) == b"batch one"
+        assert not reopened.contains(second)
+        assert reopened.recovery.torn_bytes_truncated > 0
+
+    def test_fully_torn_segment_is_removed(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(b"seed")
+        store.flush()
+        # A brand-new segment containing only an unterminated batch.
+        orphan = os.path.join(store.directory, "seg-000009.seg")
+        with open(orphan, "wb") as handle:
+            handle.write(encode_data_record(hash_bytes(b"orphan"), b"orphan"))
+        reopened = make_store(tmp_path)
+        assert not os.path.exists(orphan)
+        assert len(reopened) == 1
+
+    def test_commit_marker_alone_is_noop(self, tmp_path):
+        store = make_store(tmp_path)
+        keep = store.put(b"data")
+        store.flush()
+        path = segment_files(store.directory)[-1]
+        with open(path, "ab") as handle:
+            handle.write(encode_commit_record(0))
+        reopened = make_store(tmp_path)
+        assert reopened.get(keep) == b"data"
+        assert reopened.recovery.commit_batches == 2
+
+    def test_corruption_in_sealed_segment_raises(self, tmp_path):
+        """Torn-tail repair is only legal in the final segment; bitrot in
+        an earlier, sealed segment must raise, not silently truncate
+        committed batches."""
+        from repro.core.errors import CorruptNodeError
+
+        store = make_store(tmp_path, segment_capacity_bytes=256)
+        for i in range(6):
+            store.put(f"batch-{i}".encode() * 30)
+            store.flush()  # rotation seals multiple segments
+        paths = segment_files(store.directory)
+        assert len(paths) > 2
+        with open(paths[0], "r+b") as handle:  # corrupt a *sealed* segment
+            handle.seek(10)
+            byte = handle.read(1)
+            handle.seek(10)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(CorruptNodeError):
+            make_store(tmp_path, segment_capacity_bytes=256)
+
+    def test_fsync_enabled_path(self, tmp_path):
+        store = SegmentNodeStore(str(tmp_path / "segs"), fsync=True)
+        digest = store.put(b"durable for real")
+        store.flush()
+        store.close()
+        reopened = SegmentNodeStore(str(tmp_path / "segs"), fsync=True)
+        assert reopened.get(digest) == b"durable for real"
+
+
+class TestDeleteAndCompact:
+    def test_delete_is_logical(self, tmp_path):
+        store = make_store(tmp_path)
+        gone = store.put(b"to be deleted")
+        keep = store.put(b"to be kept")
+        store.flush()
+        size = store.file_bytes()
+        assert store.delete(gone) is True
+        assert store.delete(gone) is False
+        assert not store.contains(gone)
+        assert store.file_bytes() == size  # bytes remain until compaction
+        assert store.get(keep) == b"to be kept"
+
+    def test_compact_reclaims_space_and_keeps_live(self, tmp_path):
+        store = make_store(tmp_path, segment_capacity_bytes=1024)
+        live = [store.put(f"live-{i}".encode() * 20) for i in range(10)]
+        dead = [store.put(f"dead-{i}".encode() * 20) for i in range(30)]
+        store.flush()
+        before = store.file_bytes()
+        report = store.compact(live)
+        assert report.live_nodes == 10
+        assert report.swept_nodes == 30
+        assert report.bytes_reclaimed == before - store.file_bytes()
+        assert store.file_bytes() < before
+        for i, digest in enumerate(live):
+            assert store.get(digest) == f"live-{i}".encode() * 20
+        for digest in dead:
+            assert not store.contains(digest)
+        # Cumulative counters accumulate on the store.
+        assert store.gc.runs == 1
+        assert store.gc.bytes_reclaimed == report.bytes_reclaimed
+
+    def test_compact_includes_pending_nodes(self, tmp_path):
+        store = make_store(tmp_path)
+        committed = store.put(b"committed")
+        store.flush()
+        pending = store.put(b"pending at compaction time")
+        store.compact([committed, pending])
+        assert store.get(pending) == b"pending at compaction time"
+
+    def test_compact_survives_reopen(self, tmp_path):
+        store = make_store(tmp_path, segment_capacity_bytes=512)
+        live = [store.put(f"live-{i}".encode() * 30) for i in range(20)]
+        dead = [store.put(f"dead-{i}".encode() * 30) for i in range(20)]
+        store.flush()
+        store.compact(live)
+        reopened = make_store(tmp_path, segment_capacity_bytes=512)
+        assert len(reopened) == 20
+        for i, digest in enumerate(live):
+            assert reopened.get(digest) == f"live-{i}".encode() * 30
+
+    def test_compact_everything_dead_leaves_empty_store(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put(b"ephemeral")
+        store.flush()
+        report = store.compact([])
+        assert report.swept_nodes == 1
+        assert len(store) == 0
+        assert store.file_bytes() == 0
+        # The store remains writable afterwards.
+        digest = store.put(b"new life")
+        store.flush()
+        assert make_store(tmp_path).get(digest) == b"new life"
+
+    def test_reads_race_compaction(self, tmp_path):
+        """Lock-free readers must survive a concurrent compaction: the
+        directory is swapped before the old files are unlinked, and a
+        reader whose file vanished re-fetches the rewritten location."""
+        import threading
+
+        store = make_store(tmp_path, segment_capacity_bytes=2048)
+        live = [store.put(f"live-{i}".encode() * 40) for i in range(50)]
+        dead = [store.put(f"dead-{i}".encode() * 40) for i in range(200)]
+        store.flush()
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            i = 0
+            while not stop.is_set():
+                digest = live[i % len(live)]
+                try:
+                    assert store.get_bytes(digest) == f"live-{i % len(live)}".encode() * 40
+                except Exception as exc:  # pragma: no cover - the bug path
+                    failures.append(exc)
+                    return
+                i += 1
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(5):
+                store.compact(live)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not failures, failures[0]
+
+    def test_old_generation_leftover_is_deduped_on_reopen(self, tmp_path):
+        """A crash between writing new segments and unlinking old ones
+        leaves both generations on disk; the scan must dedupe by digest."""
+        store = make_store(tmp_path)
+        digest = store.put(b"twice on disk")
+        store.flush()
+        old = segment_files(store.directory)[-1]
+        backup = open(old, "rb").read()
+        store.compact([digest])
+        # Resurrect the pre-compaction segment, as if unlink never ran.
+        with open(old, "wb") as handle:
+            handle.write(backup)
+        reopened = make_store(tmp_path)
+        assert reopened.get(digest) == b"twice on disk"
+        assert len(reopened) == 1
+
+
+class TestIndexIntegration:
+    def test_pos_tree_versions_survive_reopen(self, tmp_path):
+        from repro.indexes import POSTree
+
+        store = make_store(tmp_path)
+        tree = POSTree(store)
+        v1 = tree.from_items({f"k{i}".encode(): f"v{i}".encode() * 5 for i in range(200)})
+        v2 = v1.update({f"k{i}".encode(): f"w{i}".encode() * 5 for i in range(100)})
+        store.flush()
+
+        reopened = POSTree(make_store(tmp_path))
+        assert reopened.snapshot(v1.root_digest)[b"k42"] == b"v42" * 5
+        assert reopened.snapshot(v2.root_digest)[b"k42"] == b"w42" * 5
+        assert len(reopened.snapshot(v2.root_digest).to_dict()) == 200
