@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Public-API surface lint: the exported symbols must match the snapshot.
+
+The snapshot in ``docs/api_surface.txt`` records every name in
+``repro.__all__`` together with its kind and call signature (classes also
+list their public methods and properties).  CI fails when the live
+surface drifts from the snapshot, so every API change is a *reviewed*
+change: regenerate the snapshot — and the docs that describe it — in the
+same commit that changes the surface.
+
+Usage (from the repository root)::
+
+    python scripts/check_api.py            # compare, exit 1 on drift
+    python scripts/check_api.py --update   # rewrite the snapshot
+"""
+
+from __future__ import annotations
+
+import difflib
+import inspect
+import os
+import sys
+import warnings
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SNAPSHOT_PATH = os.path.join(REPO_ROOT, "docs", "api_surface.txt")
+
+HEADER = (
+    "# Public API surface of the `repro` package (generated — do not edit).\n"
+    "# Regenerate with: python scripts/check_api.py --update\n"
+    "# CI fails when `repro.__all__` or any exported signature drifts from\n"
+    "# this file without the snapshot (and docs) being updated alongside.\n"
+)
+
+
+def _signature(obj) -> str:
+    """A stable textual signature, or '' for non-callables."""
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def _describe_class(name: str, cls: type) -> list:
+    """One line for the class plus one per public method/property."""
+    lines = [f"class {name}{_signature(cls)}"]
+    members = []
+    for attr_name, attr in vars(cls).items():
+        if attr_name.startswith("_"):
+            continue
+        if isinstance(attr, property):
+            members.append(f"    {attr_name}: property")
+        elif isinstance(attr, staticmethod):
+            members.append(f"    {attr_name}{_signature(attr.__func__)} [staticmethod]")
+        elif isinstance(attr, classmethod):
+            members.append(f"    {attr_name}{_signature(attr.__func__)} [classmethod]")
+        elif inspect.isfunction(attr):
+            members.append(f"    {attr_name}{_signature(attr)}")
+        # Plain class attributes (constants, dataclass fields) are covered
+        # by the class signature / docs; listing values would churn.
+    lines.extend(sorted(members))
+    return lines
+
+
+def render_surface() -> str:
+    """The current public surface of ``repro``, rendered deterministically."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    with warnings.catch_warnings():
+        # Deprecated aliases warn on access by design; the snapshot still
+        # records them (removing one is surface drift too).
+        warnings.simplefilter("ignore", DeprecationWarning)
+        import repro
+
+        lines = [HEADER]
+        for name in sorted(repro.__all__):
+            if name == "__version__":
+                continue  # the one value expected to change every release
+            obj = getattr(repro, name)
+            deprecated = " [deprecated]" if name in repro._DEPRECATED_ALIASES else ""
+            if inspect.isclass(obj):
+                described = _describe_class(name, obj)
+                described[0] += deprecated
+                lines.extend(described)
+            elif callable(obj):
+                lines.append(f"def {name}{_signature(obj)}{deprecated}")
+            else:
+                lines.append(f"data {name}: {type(obj).__name__}{deprecated}")
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    update = "--update" in sys.argv[1:]
+    current = render_surface()
+    if update:
+        os.makedirs(os.path.dirname(SNAPSHOT_PATH), exist_ok=True)
+        with open(SNAPSHOT_PATH, "w", encoding="utf-8") as handle:
+            handle.write(current)
+        print(f"api surface snapshot written: {os.path.relpath(SNAPSHOT_PATH, REPO_ROOT)}")
+        return 0
+    if not os.path.exists(SNAPSHOT_PATH):
+        print("api surface check FAILED: docs/api_surface.txt is missing; "
+              "run: python scripts/check_api.py --update")
+        return 1
+    with open(SNAPSHOT_PATH, encoding="utf-8") as handle:
+        snapshot = handle.read()
+    if snapshot == current:
+        print("api surface check passed: repro.__all__ and signatures match "
+              "docs/api_surface.txt")
+        return 0
+    print("api surface check FAILED: the public surface drifted from "
+          "docs/api_surface.txt.")
+    print("If the change is intentional, regenerate the snapshot and update "
+          "docs/API.md in the same commit:")
+    print("    python scripts/check_api.py --update\n")
+    diff = difflib.unified_diff(
+        snapshot.splitlines(), current.splitlines(),
+        fromfile="docs/api_surface.txt (snapshot)",
+        tofile="live surface", lineterm="")
+    for line in diff:
+        print(line)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

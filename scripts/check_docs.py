@@ -31,6 +31,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 MARKDOWN_FILES = [
     "README.md",
+    "docs/API.md",
     "docs/ARCHITECTURE.md",
     "docs/STORAGE.md",
     "docs/PAPER_MAP.md",
@@ -40,6 +41,11 @@ MARKDOWN_FILES = [
 #: Modules that must have *complete* public docstring coverage (not just a
 #: module docstring): the surfaces a reference reader hits first.
 FULL_COVERAGE_MODULES = [
+    "src/repro/api/__init__.py",
+    "src/repro/api/repository.py",
+    "src/repro/api/branch.py",
+    "src/repro/api/transaction.py",
+    "src/repro/api/merge.py",
     "src/repro/core/interfaces.py",
     "src/repro/core/metrics.py",
     "src/repro/indexes/__init__.py",

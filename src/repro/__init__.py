@@ -15,7 +15,27 @@ Wikipedia-like, Ethereum-like), a mini Forkbase-style versioned storage
 engine with a Noms-style Prolly Tree for the system comparison, and a
 benchmark harness regenerating every figure and table of the evaluation.
 
-Quickstart::
+The public surface — the repository API
+---------------------------------------
+Applications program against :class:`Repository`, :class:`Branch` and
+:class:`Transaction` (:mod:`repro.api`): named branches over a sharded,
+optionally durable store, O(1) forks, lowest-common-ancestor three-way
+merges with deterministic conflict detection, and atomically-committed
+transactions.  The full tour lives in ``docs/API.md``.
+
+    from repro import Repository
+
+    with Repository.open() as repo:              # or .open("/data/dir")
+        main = repo.default_branch
+        main.put(b"alice", b"100")
+        main.commit("initial balances")
+        audit = main.fork("audit")               # copies roots only
+        audit.put(b"alice", b"95")
+        audit.commit("correction")
+        repo.merge("main", "audit")              # three-way merge
+        assert main.get(b"alice") == b"95"
+
+The index structures stay directly usable for experiments::
 
     from repro import InMemoryNodeStore, POSTree
 
@@ -29,6 +49,16 @@ Quickstart::
     assert proof.verify(v2.root_digest)     # tamper-evident lookups
 """
 
+import warnings as _warnings
+
+from repro.api import (
+    Branch,
+    MergeConflict,
+    MergeOutcome,
+    Repository,
+    Transaction,
+    merge_branches,
+)
 from repro.core.diff import diff_snapshots, merge_snapshots, three_way_merge
 from repro.core.errors import (
     CorruptNodeError,
@@ -37,6 +67,8 @@ from repro.core.errors import (
     NodeNotFoundError,
     ProofVerificationError,
     ReproError,
+    TransactionClosedError,
+    TransactionConflictError,
 )
 from repro.core.interfaces import IndexSnapshot, SIRIIndex, WriteBatch
 from repro.core.metrics import (
@@ -47,12 +79,11 @@ from repro.core.metrics import (
 )
 from repro.core.properties import check_siri_properties
 from repro.core.proof import MerkleProof
-from repro.core.version import Commit, VersionGraph
+from repro.core.version import Commit, UnknownBranchError, VersionGraph
 from repro.service import (
     ServiceCommit,
     ServiceMetrics,
     ServiceSnapshot,
-    VersionedKVService,
 )
 from repro.hashing.digest import Digest
 from repro.indexes import (
@@ -72,10 +103,46 @@ from repro.storage import (
     SegmentNodeStore,
 )
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
+
+#: Deprecated top-level names: accessing them still works but warns,
+#: pointing at the repository-API replacement.  The implementing modules
+#: (``repro.service`` and friends) stay warning-free — the service remains
+#: the documented engine *under* the repository.
+_DEPRECATED_ALIASES = {
+    "VersionedKVService": (
+        "repro.service", "VersionedKVService",
+        "repro.Repository (Repository.open() wraps the service; "
+        "Repository.from_service() adapts an existing instance)"),
+}
+
+
+def __getattr__(name):
+    """PEP 562 hook resolving deprecated aliases with a DeprecationWarning."""
+    alias = _DEPRECATED_ALIASES.get(name)
+    if alias is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module_name, attribute, replacement = alias
+    _warnings.warn(
+        f"repro.{name} is deprecated as a top-level entry point; "
+        f"use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)
+
 
 __all__ = [
     "__version__",
+    # the repository API — the public surface
+    "Repository",
+    "Branch",
+    "Transaction",
+    "MergeConflict",
+    "MergeOutcome",
+    "merge_branches",
     # errors
     "ReproError",
     "NodeNotFoundError",
@@ -83,6 +150,9 @@ __all__ = [
     "MergeConflictError",
     "ProofVerificationError",
     "ImmutableWriteError",
+    "TransactionConflictError",
+    "TransactionClosedError",
+    "UnknownBranchError",
     # core
     "SIRIIndex",
     "IndexSnapshot",
@@ -113,9 +183,10 @@ __all__ = [
     "MeteredNodeStore",
     "RefCountingNodeStore",
     "GarbageCollector",
-    # service
-    "VersionedKVService",
+    # service layer (the engine under the repository)
     "ServiceSnapshot",
     "ServiceCommit",
     "ServiceMetrics",
+    # deprecated aliases (access warns, see _DEPRECATED_ALIASES)
+    "VersionedKVService",
 ]

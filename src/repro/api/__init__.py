@@ -1,0 +1,49 @@
+"""The public repository API: branches, three-way merge, transactions.
+
+This package is the one surface applications program against.  It turns
+the layers below — immutable SIRI indexes, the content-addressed node
+stores, the sharded durable service — into the forked-data model the
+paper's motivating systems (ForkBase, Noms) expose:
+
+* :class:`Repository` — opens over memory, per-shard stores or the
+  durable directory backend; owns the named branches and the commit DAG.
+* :class:`Branch` — put/get/scan/diff/history on one line of
+  development; :meth:`~Branch.fork` copies only root digests (O(1)).
+* :class:`Transaction` — an isolated read-your-writes staging buffer
+  committed atomically across all shards, usable as a context manager.
+* :func:`merge_branches` — lowest-common-ancestor three-way structural
+  merge with deterministic conflict detection and pluggable resolution
+  (:class:`MergeConflict`, :class:`MergeOutcome`).
+
+Quickstart::
+
+    from repro.api import Repository
+
+    with Repository.open("/tmp/ledger") as repo:       # durable backend
+        main = repo.default_branch
+        main.put_many({b"alice": b"100", b"bob": b"250"})
+        main.commit("initial balances")
+
+        audit = main.fork("audit")                     # O(1) fork
+        audit.put(b"alice", b"95")
+        audit.commit("correction")
+
+        outcome = repo.merge("main", "audit")          # three-way merge
+        assert main.get(b"alice") == b"95"
+"""
+
+from repro.api.branch import Branch
+from repro.api.merge import MergeConflict, MergeOutcome, Resolver, merge_branches, three_way_roots
+from repro.api.repository import Repository
+from repro.api.transaction import Transaction
+
+__all__ = [
+    "Repository",
+    "Branch",
+    "Transaction",
+    "MergeConflict",
+    "MergeOutcome",
+    "Resolver",
+    "merge_branches",
+    "three_way_roots",
+]

@@ -1,0 +1,332 @@
+"""Branch handles: staged writes, reads, history and O(1) forks.
+
+A :class:`Branch` is a named line of development inside a
+:class:`~repro.api.repository.Repository`.  Its *committed* state is the
+tuple of per-shard root digests recorded by the branch's head commit;
+because roots address immutable copy-on-write trees, two branches share
+every node they have in common and forking costs one journal append.
+
+Writes stage in a small in-memory buffer (last-writer-wins per key) and
+become durable — and visible to other readers of the branch — only at
+:meth:`Branch.commit`, which applies the whole buffer as one batched
+copy-on-write update and journals the new roots atomically across all
+shards.  Reads are *read-your-writes*: :meth:`Branch.get` and
+:meth:`Branch.scan` overlay the staged buffer on the committed state.
+
+For isolated multi-step updates use :meth:`Branch.transaction`, which
+snapshots the branch head on entry and detects conflicting concurrent
+commits at commit time (:mod:`repro.api.transaction`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.core.diff import DiffResult
+from repro.core.errors import InvalidParameterError, KeyNotFoundError, TransactionConflictError
+from repro.core.interfaces import KeyLike, ValueLike, coerce_key, coerce_value
+from repro.hashing.digest import Digest
+from repro.service.service import ServiceCommit, ServiceSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.repository import Repository
+    from repro.api.transaction import Transaction
+
+#: Sentinel distinguishing "no expectation" from "expected no head".
+_UNSET = object()
+
+#: A staging buffer: key -> value, or None for a staged removal.
+StagedOps = Dict[bytes, Optional[bytes]]
+
+
+def route_staged_ops(service, staged: StagedOps):
+    """Partition a staging buffer into per-shard put/remove batches.
+
+    ``None`` values are removals — the one convention shared by branch
+    commits and merges, kept in a single place so both surfaces always
+    route an operation identically.  Returns ``(puts_by_shard,
+    removes_by_shard)`` sized to the service's shard count.
+    """
+    num_shards = service.num_shards
+    puts_by_shard: List[Dict[bytes, bytes]] = [{} for _ in range(num_shards)]
+    removes_by_shard: List[List[bytes]] = [[] for _ in range(num_shards)]
+    for key, value in staged.items():
+        shard_id = service.shard_of(key)
+        if value is None:
+            removes_by_shard[shard_id].append(key)
+        else:
+            puts_by_shard[shard_id][key] = value
+    return puts_by_shard, removes_by_shard
+
+
+def overlay_items(committed: Iterator[Tuple[bytes, bytes]],
+                  staged: StagedOps) -> Iterator[Tuple[bytes, bytes]]:
+    """Merge-join a committed (key, value) stream with a staging buffer.
+
+    Staged puts override committed values, staged removals (``None``)
+    suppress them, and both streams stay in ascending key order.
+    """
+    pending = sorted(staged.items())
+    position = 0
+    for key, value in committed:
+        while position < len(pending) and pending[position][0] < key:
+            staged_key, staged_value = pending[position]
+            if staged_value is not None:
+                yield staged_key, staged_value
+            position += 1
+        if position < len(pending) and pending[position][0] == key:
+            staged_value = pending[position][1]
+            if staged_value is not None:
+                yield key, staged_value
+            position += 1
+        else:
+            yield key, value
+    for staged_key, staged_value in pending[position:]:
+        if staged_value is not None:
+            yield staged_key, staged_value
+
+
+class Branch:
+    """One named branch of a repository (obtain via the repository).
+
+    All methods are safe to call from any thread; staged writes and
+    commits on the *same* branch serialize on the branch's lock, while
+    different branches proceed in parallel.
+    """
+
+    def __init__(self, repository: "Repository", name: str):
+        """Bind a handle to ``name``; use the repository's accessors instead."""
+        self.repository = repository
+        self.name = name
+        self._service = repository.service
+        self._staged: StagedOps = {}
+        self._lock = threading.RLock()
+        #: (head version, snapshot) cache for committed-state reads.
+        self._snapshot_cache: Optional[Tuple[Optional[int], ServiceSnapshot]] = None
+
+    # -- committed state ---------------------------------------------------
+
+    @property
+    def head(self) -> Optional[ServiceCommit]:
+        """The branch's newest commit (``None`` before the first commit)."""
+        if self._service.has_branch(self.name):
+            return self._service.branch_head(self.name)
+        return None
+
+    @property
+    def roots(self) -> Tuple[Optional[Digest], ...]:
+        """Per-shard root digests of the committed head (all-empty if none)."""
+        head = self.head
+        if head is None:
+            return (None,) * self._service.num_shards
+        return head.roots
+
+    def snapshot(self) -> ServiceSnapshot:
+        """An immutable view of the committed head (staged writes excluded)."""
+        head = self.head
+        version = head.version if head is not None else None
+        cached = self._snapshot_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        snapshot = self._service.snapshot_roots(self.roots, commit=head)
+        self._snapshot_cache = (version, snapshot)
+        return snapshot
+
+    def record_count(self) -> int:
+        """Records in the committed head (staged writes excluded)."""
+        return len(self.snapshot())
+
+    # -- staged writes -----------------------------------------------------
+
+    def put(self, key: KeyLike, value: ValueLike) -> None:
+        """Stage a write of ``key = value`` (visible to this branch's reads)."""
+        with self._lock:
+            self._staged[coerce_key(key)] = coerce_value(value)
+
+    def remove(self, key: KeyLike) -> None:
+        """Stage a removal of ``key`` (absent keys are ignored at commit)."""
+        with self._lock:
+            self._staged[coerce_key(key)] = None
+
+    def put_many(self, items) -> None:
+        """Stage many writes at once (dict or iterable of pairs)."""
+        pairs = items.items() if isinstance(items, dict) else items
+        with self._lock:
+            for key, value in pairs:
+                self._staged[coerce_key(key)] = coerce_value(value)
+
+    @property
+    def staged_count(self) -> int:
+        """Number of staged-but-uncommitted operations."""
+        return len(self._staged)
+
+    def discard(self) -> None:
+        """Drop every staged operation without committing."""
+        with self._lock:
+            self._staged.clear()
+
+    # -- reads (read-your-writes) ------------------------------------------
+
+    def get(self, key: KeyLike, default: Optional[bytes] = None) -> Optional[bytes]:
+        """Read ``key``: staged value if any, else the committed head's."""
+        key_bytes = coerce_key(key)
+        with self._lock:
+            if key_bytes in self._staged:
+                value = self._staged[key_bytes]
+                return value if value is not None else default
+        value = self.snapshot().get(key_bytes)
+        return value if value is not None else default
+
+    def __getitem__(self, key: KeyLike) -> bytes:
+        value = self.get(key)
+        if value is None:
+            raise KeyNotFoundError(key)
+        return value
+
+    def __contains__(self, key: KeyLike) -> bool:
+        return self.get(key) is not None
+
+    def scan(self, start: Optional[KeyLike] = None, stop: Optional[KeyLike] = None,
+             prefix: Optional[KeyLike] = None) -> Iterator[Tuple[bytes, bytes]]:
+        """Iterate ``(key, value)`` pairs in ascending key order.
+
+        ``start`` (inclusive) / ``stop`` (exclusive) bound the range;
+        ``prefix`` restricts to keys with that prefix.  Staged operations
+        are overlaid on the committed state, like :meth:`get`.
+        """
+        start_bytes = coerce_key(start) if start is not None else None
+        stop_bytes = coerce_key(stop) if stop is not None else None
+        prefix_bytes = coerce_key(prefix) if prefix is not None else None
+        with self._lock:
+            staged = dict(self._staged)
+        for key, value in overlay_items(self.snapshot().items(), staged):
+            if start_bytes is not None and key < start_bytes:
+                continue
+            if stop_bytes is not None and key >= stop_bytes:
+                return
+            if prefix_bytes is not None:
+                if key.startswith(prefix_bytes):
+                    yield key, value
+                elif key > prefix_bytes and not key.startswith(prefix_bytes):
+                    # Keys are ordered: once past the prefix range, stop.
+                    return
+                continue
+            yield key, value
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Iterate every record (staged overlay included), keys ascending."""
+        return self.scan()
+
+    def keys(self) -> Iterator[bytes]:
+        """Iterate every key (staged overlay included), ascending."""
+        for key, _ in self.scan():
+            yield key
+
+    def to_dict(self) -> Dict[bytes, bytes]:
+        """Materialize the branch's effective content as a dictionary."""
+        return dict(self.scan())
+
+    # -- committing --------------------------------------------------------
+
+    def commit(self, message: str = "", allow_empty: bool = False) -> Optional[ServiceCommit]:
+        """Apply the staged buffer as one atomic cross-shard commit.
+
+        Returns the new head commit — or the current head unchanged when
+        nothing is staged (pass ``allow_empty=True`` to journal an empty
+        commit anyway, e.g. as a marker).  The journal append is the
+        atomicity point: a crash before it loses only the staged buffer, a
+        crash after it recovers the new head on reopen.
+        """
+        with self._lock:
+            if not self._staged and not allow_empty:
+                return self.head
+            staged = dict(self._staged)
+            commit = self._apply(staged, message)
+            self._staged.clear()
+            return commit
+
+    def _apply(self, staged: StagedOps, message: str,
+               expected_head_version=_UNSET) -> ServiceCommit:
+        """Commit ``staged`` on top of the branch head (branch lock held).
+
+        ``expected_head_version`` is the optimistic-concurrency check used
+        by transactions: if the head moved past it, the staged keys are
+        compared against everything the intervening commits changed —
+        disjoint updates are rebased onto the new head, overlapping ones
+        raise :class:`~repro.core.errors.TransactionConflictError`.
+        """
+        with self._lock:
+            head = self.head
+            head_version = head.version if head is not None else None
+            if expected_head_version is not _UNSET and head_version != expected_head_version:
+                self._check_rebase(staged, expected_head_version)
+            puts_by_shard, removes_by_shard = route_staged_ops(self._service, staged)
+            parents = (head_version,) if head_version is not None else ()
+            commit = self._service.commit_update(
+                self.name, self.roots, puts_by_shard, removes_by_shard,
+                message=message, parents=parents)
+            self._snapshot_cache = None
+            return commit
+
+    def _check_rebase(self, staged: StagedOps, expected_head_version) -> None:
+        """Raise unless ``staged`` is disjoint from the intervening commits."""
+        if expected_head_version is None:
+            base = self._service.snapshot_roots((None,) * self._service.num_shards)
+        else:
+            base = self._service.snapshot(expected_head_version)
+        intervening = base.diff(self.snapshot())
+        contended = sorted({entry.key for entry in intervening} & set(staged))
+        if contended:
+            raise TransactionConflictError(contended)
+
+    # -- forks, history, diffs ---------------------------------------------
+
+    def fork(self, name: str) -> "Branch":
+        """Create branch ``name`` at this branch's head (O(1), no data copied)."""
+        if self._staged:
+            raise InvalidParameterError(
+                f"branch {self.name!r} has {len(self._staged)} staged "
+                "operation(s); commit or discard before forking")
+        return self.repository.create_branch(name, from_branch=self.name)
+
+    def history(self) -> List[ServiceCommit]:
+        """This branch's first-parent commit chain, newest first."""
+        if not self._service.has_branch(self.name):
+            return []
+        return list(self._service.log(self.name))
+
+    def diff(self, other) -> DiffResult:
+        """Structural diff of committed heads: this branch vs ``other``.
+
+        ``other`` may be a :class:`Branch`, a branch name, a commit, or a
+        version number.  Entries are ordered by key; shared subtrees are
+        pruned by digest, so the cost scales with the difference.
+        """
+        if isinstance(other, Branch):
+            other_snapshot = other.snapshot()
+        elif isinstance(other, str):
+            other_snapshot = self.repository.branch(other).snapshot()
+        else:
+            other_snapshot = self._service.snapshot(other)
+        return self.snapshot().diff(other_snapshot)
+
+    def merge(self, theirs, message: str = "", resolver=None):
+        """Merge ``theirs`` (branch or name) into this branch (three-way)."""
+        return self.repository.merge(self, theirs, message=message, resolver=resolver)
+
+    def transaction(self, message: str = "") -> "Transaction":
+        """An isolated read-your-writes transaction over this branch.
+
+        Use as a context manager: commits on clean exit, discards on
+        exception.  See :class:`repro.api.transaction.Transaction`.
+        """
+        from repro.api.transaction import Transaction
+
+        return Transaction(self, message=message)
+
+    def __repr__(self) -> str:
+        head = self.head
+        at = f"v{head.version}" if head is not None else "unborn"
+        return (f"Branch({self.name!r}, head={at}, "
+                f"staged={len(self._staged)})")

@@ -1,0 +1,212 @@
+"""Three-way structural merge of branches (lowest-common-ancestor based).
+
+The merge the paper's collaborative scenarios need (and the semantics
+ForkBase/Noms implement): given two branch heads and their lowest common
+ancestor in the commit DAG, a key is
+
+* **taken from theirs** when only their branch changed it since the base,
+* **kept from ours** when only our branch changed it (or nobody did),
+* **silently shared** when both branches made the *same* change,
+* **a conflict** when both branches changed it to different values —
+  including change-vs-remove.  Conflicts are never resolved silently:
+  without a resolver the merge raises
+  :class:`~repro.core.errors.MergeConflictError` carrying every
+  :class:`MergeConflict` (deterministically ordered by key); with one,
+  each conflict is resolved individually and recorded in the outcome.
+
+Because the inputs are structural diffs against the base (pruned by
+subtree digest), merge cost scales with the *changes*, not the dataset —
+and because the result's content is the symmetric union
+``base + Δours + Δtheirs``, structural invariance makes the merged roots
+identical regardless of merge order for non-conflicting forks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union, TYPE_CHECKING
+
+from repro.core.diff import diff_snapshots
+from repro.core.errors import InvalidParameterError, MergeConflictError
+from repro.hashing.digest import Digest
+from repro.service.service import ServiceCommit
+
+from repro.api.branch import route_staged_ops
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.branch import Branch
+    from repro.api.repository import Repository
+
+#: A conflict resolver: called once per conflict, returns the surviving
+#: value (``None`` = remove the key).  The strings ``"ours"`` and
+#: ``"theirs"`` select the corresponding side for every conflict.
+Resolver = Union[str, Callable[["MergeConflict"], Optional[bytes]]]
+
+
+@dataclass(frozen=True)
+class MergeConflict:
+    """One key both branches changed to different values since the base.
+
+    ``base``/``ours``/``theirs`` are the key's values in the three
+    versions (``None`` = absent/removed in that version).
+    """
+
+    key: bytes
+    base: Optional[bytes]
+    ours: Optional[bytes]
+    theirs: Optional[bytes]
+
+    def pick(self, side: str) -> Optional[bytes]:
+        """The value of ``side`` ("ours" or "theirs")."""
+        if side == "ours":
+            return self.ours
+        if side == "theirs":
+            return self.theirs
+        raise InvalidParameterError(f"unknown resolution side: {side!r}")
+
+
+@dataclass
+class MergeOutcome:
+    """What a merge did.
+
+    Attributes
+    ----------
+    commit:
+        The merge commit advancing ``ours`` (``None`` when the branches
+        were already up to date and no commit was journalled).
+    base:
+        The lowest-common-ancestor commit the diffs were computed against
+        (``None`` when the branches share no history — both diffs then run
+        against the empty version).
+    merged_keys:
+        Keys taken from ``theirs`` (their exclusive changes), sorted.
+    conflicts_resolved:
+        Conflicts a resolver decided, in key order (empty without one).
+    up_to_date:
+        ``theirs`` contributed nothing new (its head is an ancestor).
+    fast_forward:
+        ``ours`` had no exclusive changes, so the merge simply adopted
+        their roots (still journalled as a two-parent commit).
+    """
+
+    commit: Optional[ServiceCommit]
+    base: Optional[ServiceCommit]
+    merged_keys: List[bytes] = field(default_factory=list)
+    conflicts_resolved: List[MergeConflict] = field(default_factory=list)
+    up_to_date: bool = False
+    fast_forward: bool = False
+
+
+def _resolve(resolver: Resolver, conflict: MergeConflict) -> Optional[bytes]:
+    """Apply a pluggable resolver to one conflict."""
+    if isinstance(resolver, str):
+        return conflict.pick(resolver)
+    return resolver(conflict)
+
+
+def three_way_roots(service, base_roots: Tuple[Optional[Digest], ...],
+                    ours_roots: Tuple[Optional[Digest], ...],
+                    theirs_roots: Tuple[Optional[Digest], ...]):
+    """Per-shard three-way comparison of root tuples.
+
+    Returns ``(takes, conflicts)`` where ``takes`` maps each shard id to
+    the ``{key: value-or-None}`` changes exclusive to ``theirs`` (value
+    ``None`` = removal), and ``conflicts`` is the key-sorted list of
+    :class:`MergeConflict`.  Pure computation — nothing is written.
+    """
+    base_view = service.snapshot_roots(base_roots)
+    ours_view = service.snapshot_roots(ours_roots)
+    theirs_view = service.snapshot_roots(theirs_roots)
+    takes: Dict[int, Dict[bytes, Optional[bytes]]] = {}
+    conflicts: List[MergeConflict] = []
+    for shard_id in range(service.num_shards):
+        base_snap = base_view.shards[shard_id]
+        ours_diff = {e.key: e for e in diff_snapshots(base_snap, ours_view.shards[shard_id])}
+        theirs_diff = {e.key: e for e in diff_snapshots(base_snap, theirs_view.shards[shard_id])}
+        shard_takes: Dict[bytes, Optional[bytes]] = {}
+        for key, theirs_entry in theirs_diff.items():
+            ours_entry = ours_diff.get(key)
+            if ours_entry is None:
+                # Only their branch touched the key: take their change.
+                shard_takes[key] = theirs_entry.right
+            elif ours_entry.right != theirs_entry.right:
+                conflicts.append(MergeConflict(
+                    key=key, base=theirs_entry.left,
+                    ours=ours_entry.right, theirs=theirs_entry.right))
+        if shard_takes:
+            takes[shard_id] = shard_takes
+    conflicts.sort(key=lambda conflict: conflict.key)
+    return takes, conflicts
+
+
+def merge_branches(repository: "Repository", ours: "Branch", theirs: "Branch",
+                   message: str = "",
+                   resolver: Optional[Resolver] = None) -> MergeOutcome:
+    """Three-way merge ``theirs`` into ``ours``; returns a :class:`MergeOutcome`.
+
+    The base is the branches' lowest common ancestor in the commit DAG
+    (the fork point, or the previous merge).  Both branches must have no
+    staged operations — merges are computed over committed state only, so
+    the result is deterministic.  The merge commit carries both heads as
+    parents, which makes repeated merges converge (the next merge's base
+    is this commit) and keeps every head recoverable after a crash.
+    """
+    if ours.staged_count or theirs.staged_count:
+        raise InvalidParameterError(
+            "both branches must have no staged operations before a merge "
+            f"(ours={ours.staged_count}, theirs={theirs.staged_count}); "
+            "commit or discard first")
+    if ours.name == theirs.name:
+        raise InvalidParameterError("cannot merge a branch into itself")
+    service = repository.service
+    with ours._lock:
+        ours_head = ours.head
+        theirs_head = theirs.head
+        if theirs_head is None:
+            return MergeOutcome(commit=None, base=None, up_to_date=True)
+        base = (service.merge_base(ours.name, theirs.name)
+                if ours_head is not None else None)
+        base_roots = (base.roots if base is not None
+                      else (None,) * service.num_shards)
+        if base is not None and base.roots == theirs_head.roots:
+            return MergeOutcome(commit=None, base=base, up_to_date=True)
+
+        ours_roots = ours.roots
+        takes, conflicts = three_way_roots(
+            service, base_roots, ours_roots, theirs_head.roots)
+        resolved: List[MergeConflict] = []
+        if conflicts:
+            if resolver is None:
+                raise MergeConflictError(
+                    conflicts,
+                    f"merging {theirs.name!r} into {ours.name!r} conflicts "
+                    f"on {len(conflicts)} key(s); pass resolver= "
+                    "('ours', 'theirs', or a callable)")
+            for conflict in conflicts:
+                resolution = _resolve(resolver, conflict)
+                if resolution != conflict.ours:
+                    shard_id = service.shard_of(conflict.key)
+                    takes.setdefault(shard_id, {})[conflict.key] = resolution
+                resolved.append(conflict)
+
+        merged_keys = sorted(
+            key for shard_takes in takes.values() for key in shard_takes)
+        flat_takes = {key: value for shard_takes in takes.values()
+                      for key, value in shard_takes.items()}
+        puts_by_shard, removes_by_shard = route_staged_ops(service, flat_takes)
+
+        fast_forward = (ours_head is None
+                        or (base is not None and base.roots == ours_head.roots))
+        parents: List[int] = []
+        if ours_head is not None:
+            parents.append(ours_head.version)
+        parents.append(theirs_head.version)
+        commit = service.commit_update(
+            ours.name, ours_roots, puts_by_shard, removes_by_shard,
+            message=message or f"merge {theirs.name} into {ours.name}",
+            parents=parents)
+        ours._snapshot_cache = None
+        return MergeOutcome(
+            commit=commit, base=base, merged_keys=merged_keys,
+            conflicts_resolved=resolved,
+            fast_forward=fast_forward)

@@ -14,8 +14,10 @@ structures:
   detection (Section 4.1.3/4.1.4).
 * :mod:`repro.core.properties` — empirical checkers for the three SIRI
   properties (Definition 3.1).
-* :mod:`repro.core.version` — a commit DAG recording index versions and
-  branches, used by the Forkbase-style engine and the examples.
+* :mod:`repro.core.version` — the shared commit DAG recording versions,
+  branches and merges; the sharded service journals every branch head
+  into it and the repository API (:mod:`repro.api`) computes merge bases
+  over it.
 """
 
 from repro.core.errors import (

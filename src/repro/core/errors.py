@@ -95,3 +95,32 @@ class ServiceClosedError(ReproError, RuntimeError):
     next :meth:`open`/:meth:`reopen`, mirroring the store-level
     :class:`StoreClosedError` one layer up.
     """
+
+
+class TransactionConflictError(ReproError):
+    """An optimistic transaction lost a race on its branch.
+
+    Raised by :meth:`repro.api.Transaction.commit` when another commit
+    advanced the branch head after the transaction began *and* touched at
+    least one of the keys this transaction staged.  Transactions whose key
+    sets are disjoint from the intervening commits are rebased and applied
+    instead of raising.  Carries the contended keys so the caller can
+    re-read them and retry.
+    """
+
+    def __init__(self, keys, message: str = ""):
+        self.keys = list(keys)
+        detail = message or (
+            f"transaction conflicts with a concurrent commit on "
+            f"{len(self.keys)} key(s)")
+        super().__init__(detail)
+
+
+class TransactionClosedError(ReproError, RuntimeError):
+    """An operation was attempted on a committed or aborted transaction.
+
+    Each :class:`repro.api.Transaction` is single-shot: after
+    :meth:`commit` or :meth:`abort` it permanently rejects further
+    operations, so a stale handle cannot silently stage writes that will
+    never be applied.
+    """

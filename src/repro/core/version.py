@@ -6,16 +6,29 @@ walk their history — exactly what blockchains (linear history, one version
 per block) and collaborative analytics (branching and merging datasets) do
 on top of SIRI structures.  :class:`VersionGraph` is that bookkeeping
 layer: a tiny git-like commit DAG whose payload is an index root digest.
+
+The graph is the *shared* commit DAG of the library: the sharded service
+(:class:`repro.service.VersionedKVService`) records every branch-qualified
+commit here (payload = the tuple of per-shard roots), the Forkbase-style
+engine records single-index dataset versions (payload = one root digest),
+and the repository API (:mod:`repro.api`) asks it for merge bases.  A
+payload is therefore either ``None`` (empty version), a single
+:class:`~repro.hashing.digest.Digest`, or a tuple of optional digests —
+:data:`RootsLike`.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import ReproError
 from repro.hashing.digest import Digest, default_hash_function
+
+#: Commit payload: one root digest (single index), a per-shard root tuple
+#: (sharded service), or None (the empty version).
+RootsLike = Union[None, Digest, Tuple[Optional[Digest], ...]]
 
 
 class UnknownBranchError(ReproError, KeyError):
@@ -42,7 +55,7 @@ class Commit:
     """
 
     commit_id: Digest
-    root: Optional[Digest]
+    root: RootsLike
     parents: Sequence[Digest]
     message: str = ""
     author: str = ""
@@ -50,6 +63,10 @@ class Commit:
 
     def short_id(self) -> str:
         return self.commit_id.short()
+
+    def is_merge(self) -> bool:
+        """Whether this commit has more than one parent."""
+        return len(self.parents) > 1
 
 
 class VersionGraph:
@@ -70,28 +87,60 @@ class VersionGraph:
 
     # -- commit construction -------------------------------------------------
 
-    def _commit_digest(self, root: Optional[Digest], parents: Sequence[Digest],
-                       message: str, author: str, timestamp: float) -> Digest:
-        parts = [root.raw if root is not None else b"\x00" * 32]
+    @staticmethod
+    def _payload_parts(root: RootsLike) -> List[bytes]:
+        """Canonical byte parts of a commit payload (single root or tuple)."""
+        if root is None:
+            return [b"\x00" * 32]
+        if isinstance(root, Digest):
+            return [root.raw]
+        # Tuple payloads are length-prefixed so a 1-shard tuple can never
+        # collide with a bare single-root payload.
+        parts = [b"T%d" % len(root)]
+        parts.extend(r.raw if r is not None else b"\x00" * 32 for r in root)
+        return parts
+
+    def _commit_digest(self, root: RootsLike, parents: Sequence[Digest],
+                       message: str, author: str, timestamp: float,
+                       salt: bytes = b"") -> Digest:
+        parts = self._payload_parts(root)
         parts.extend(p.raw for p in parents)
         parts.append(message.encode("utf-8"))
         parts.append(author.encode("utf-8"))
         parts.append(repr(timestamp).encode("ascii"))
+        if salt:
+            parts.append(salt)
         return self._hash.hash_many(parts)
 
-    def commit(self, root: Optional[Digest], branch: str = DEFAULT_BRANCH,
-               message: str = "", author: str = "") -> Commit:
-        """Record a new version on ``branch`` whose parent is the branch head."""
-        parents: List[Digest] = []
-        head = self._branches.get(branch)
-        if head is not None:
-            parents.append(head)
-        timestamp = self._clock()
-        commit_id = self._commit_digest(root, parents, message, author, timestamp)
+    def add_commit(self, root: RootsLike, branch: str,
+                   parents: Sequence[Digest] = (), message: str = "",
+                   author: str = "", timestamp: Optional[float] = None,
+                   salt: bytes = b"") -> Commit:
+        """Record a commit with *explicit* parent ids and move ``branch`` to it.
+
+        This is the low-level primitive behind :meth:`commit` and
+        :meth:`merge_commit`; replay code (e.g. the service rebuilding its
+        DAG from a commit journal) calls it directly so parent links — and,
+        via an explicit ``timestamp``, the commit ids themselves — are
+        reproduced exactly instead of being re-derived from branch heads
+        and the wall clock.
+
+        ``salt`` is mixed into the commit id; callers that need distinct
+        ids for commits whose visible fields may coincide (e.g. two forks
+        journalled in the same clock tick, disambiguated by their journal
+        sequence number) pass a unique deterministic value.
+        """
+        if timestamp is None:
+            timestamp = self._clock()
+        parent_ids = tuple(parents)
+        for parent in parent_ids:
+            if parent not in self._commits:
+                raise UnknownCommitError(parent)
+        commit_id = self._commit_digest(root, parent_ids, message, author, timestamp, salt)
         commit = Commit(
             commit_id=commit_id,
             root=root,
-            parents=tuple(parents),
+            parents=parent_ids,
             message=message,
             author=author,
             timestamp=timestamp,
@@ -100,25 +149,21 @@ class VersionGraph:
         self._branches[branch] = commit_id
         return commit
 
-    def merge_commit(self, root: Optional[Digest], ours: str, theirs: str,
+    def commit(self, root: RootsLike, branch: str = DEFAULT_BRANCH,
+               message: str = "", author: str = "") -> Commit:
+        """Record a new version on ``branch`` whose parent is the branch head."""
+        parents: List[Digest] = []
+        head = self._branches.get(branch)
+        if head is not None:
+            parents.append(head)
+        return self.add_commit(root, branch, parents, message, author)
+
+    def merge_commit(self, root: RootsLike, ours: str, theirs: str,
                      message: str = "", author: str = "") -> Commit:
         """Record a merge of branch ``theirs`` into branch ``ours``."""
         ours_head = self.head(ours).commit_id
         theirs_head = self.head(theirs).commit_id
-        timestamp = self._clock()
-        parents = (ours_head, theirs_head)
-        commit_id = self._commit_digest(root, parents, message, author, timestamp)
-        commit = Commit(
-            commit_id=commit_id,
-            root=root,
-            parents=parents,
-            message=message,
-            author=author,
-            timestamp=timestamp,
-        )
-        self._commits[commit_id] = commit
-        self._branches[ours] = commit_id
-        return commit
+        return self.add_commit(root, ours, (ours_head, theirs_head), message, author)
 
     # -- branch management ----------------------------------------------------
 
@@ -131,6 +176,10 @@ class VersionGraph:
 
     def branches(self) -> List[str]:
         return sorted(self._branches.keys())
+
+    def has_branch(self, name: str) -> bool:
+        """Whether ``name`` is a known branch of this graph."""
+        return name in self._branches
 
     def head(self, branch: str = DEFAULT_BRANCH) -> Commit:
         """The latest commit on ``branch``."""

@@ -1,23 +1,31 @@
 """The Forkbase-style servlet: datasets, branches, and remote-access costs.
 
-The engine owns one content-addressed node store and, per named dataset, a
-:class:`~repro.core.version.VersionGraph` of committed index versions.  A
-client talks to the engine through a narrow request interface (get node,
-put nodes, resolve branch head, commit root) so that the cost of the
-client/server round trips can be accounted explicitly — the paper's
+The engine is a *thin adapter* over the repository API
+(:mod:`repro.api`): each named dataset is a single-shard
+:class:`~repro.api.repository.Repository` whose shard stores its nodes in
+the engine's one shared content-addressed store — so different datasets
+(and different branches of one dataset) deduplicate against each other
+exactly as before, while branch heads, forks, merges and history all run
+on the same commit DAG and journal machinery the production service uses.
+
+A client talks to the engine through a narrow request interface (get
+node, put nodes, resolve branch head, commit root) so that the cost of
+the client/server round trips can be accounted explicitly — the paper's
 system-level experiments are dominated by exactly that cost for reads.
 
-Network costs are *simulated*: each request adds its cost to an accounting
-meter instead of sleeping, which keeps benchmarks fast while preserving
-the relative throughput picture.
+Network costs are *simulated*: each request adds its cost to an
+accounting meter instead of sleeping, which keeps benchmarks fast while
+preserving the relative throughput picture.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
 
+from repro.api.repository import Repository
 from repro.core.errors import ReproError
+from repro.service.service import VersionedKVService
 from repro.core.interfaces import IndexSnapshot, SIRIIndex
 from repro.core.version import VersionGraph
 from repro.hashing.digest import Digest
@@ -39,6 +47,7 @@ class RemoteCostModel:
     per_byte: float = 8e-9
 
     def request_cost(self, payload_bytes: int) -> float:
+        """Total simulated seconds for one request moving ``payload_bytes``."""
         return self.request_latency + payload_bytes * self.per_byte
 
 
@@ -51,8 +60,8 @@ def forkbase_remote_cost_model() -> RemoteCostModel:
 class _Dataset:
     """Engine-internal bookkeeping for one named dataset."""
 
+    repository: Repository
     index: SIRIIndex
-    versions: VersionGraph = field(default_factory=VersionGraph)
 
 
 class ForkbaseEngine:
@@ -66,6 +75,9 @@ class ForkbaseEngine:
         Simulated network cost charged per request (None disables costs,
         e.g. for purely functional tests).
     """
+
+    #: Branch every dataset starts on (kept in step with the version graph).
+    DEFAULT_BRANCH = VersionGraph.DEFAULT_BRANCH
 
     def __init__(self, store: Optional[NodeStore] = None,
                  cost_model: Optional[RemoteCostModel] = None):
@@ -83,19 +95,42 @@ class ForkbaseEngine:
         self.simulated_seconds += self.cost_model.request_cost(payload_bytes)
 
     def reset_meters(self) -> None:
+        """Zero the simulated-network accounting."""
         self.simulated_seconds = 0.0
         self.requests_served = 0
 
     # -- dataset management ---------------------------------------------------------
 
     def create_dataset(self, name: str, index_factory: Callable[[NodeStore], SIRIIndex]) -> None:
-        """Create a dataset whose versions are indexed by ``index_factory(store)``."""
+        """Create a dataset whose versions are indexed by ``index_factory(store)``.
+
+        The dataset is a one-shard repository over the engine's shared
+        store; its ``master`` branch starts with an initial empty version.
+        """
         if name in self._datasets:
             raise ValueError(f"dataset {name!r} already exists")
-        index = index_factory(self.store)
-        dataset = _Dataset(index=index)
-        dataset.versions.commit(None, message="initial empty version")
-        self._datasets[name] = dataset
+        captured: List[SIRIIndex] = []
+
+        def capturing_factory(store: NodeStore) -> SIRIIndex:
+            index = index_factory(store)
+            captured.append(index)
+            return index
+
+        service = VersionedKVService(
+            capturing_factory,
+            num_shards=1,
+            store_factory=lambda: self.store,
+            cache_bytes=0,
+            default_branch=self.DEFAULT_BRANCH,
+        )
+        # The engine owns every dataset's lifecycle (datasets live as long
+        # as the engine and share one store), so the handed-out repository
+        # must NOT own the service: `with engine.repository(name): ...`
+        # would otherwise close the dataset — and a closeable shared store
+        # with it — for every other caller.
+        repository = Repository.from_service(service, owns_service=False)
+        repository.default_branch.commit("initial empty version", allow_empty=True)
+        self._datasets[name] = _Dataset(repository=repository, index=captured[0])
 
     def _dataset(self, name: str) -> _Dataset:
         dataset = self._datasets.get(name)
@@ -104,7 +139,12 @@ class ForkbaseEngine:
         return dataset
 
     def datasets(self) -> List[str]:
+        """All dataset names, sorted."""
         return sorted(self._datasets.keys())
+
+    def repository(self, name: str) -> Repository:
+        """The repository backing a dataset (the full branching API)."""
+        return self._dataset(name).repository
 
     def index_for(self, name: str) -> SIRIIndex:
         """The index object serving a dataset (server-side use only)."""
@@ -118,23 +158,28 @@ class ForkbaseEngine:
         self._charge(len(data))
         return data
 
-    def head_root(self, name: str, branch: str = VersionGraph.DEFAULT_BRANCH) -> Optional[Digest]:
+    def _head_root(self, name: str, branch: str) -> Optional[Digest]:
+        dataset = self._dataset(name)
+        return dataset.repository.branch(branch).roots[0]
+
+    def head_root(self, name: str, branch: str = DEFAULT_BRANCH) -> Optional[Digest]:
         """The root digest of a dataset branch's latest version."""
         self._charge(64)
-        return self._dataset(name).versions.head(branch).root
+        return self._head_root(name, branch)
 
     def branch(self, name: str, new_branch: str,
-               from_branch: str = VersionGraph.DEFAULT_BRANCH) -> None:
+               from_branch: str = DEFAULT_BRANCH) -> None:
         """Fork a dataset branch (no data is copied — only a head pointer)."""
         self._charge(64)
-        self._dataset(name).versions.branch(new_branch, from_branch)
+        self._dataset(name).repository.create_branch(new_branch, from_branch=from_branch)
 
     def branches(self, name: str) -> List[str]:
-        return self._dataset(name).versions.branches()
+        """All branch names of a dataset, sorted."""
+        return self._dataset(name).repository.branches()
 
     def write(self, name: str, puts: Mapping[bytes, bytes],
               removes: Iterable[bytes] = (),
-              branch: str = VersionGraph.DEFAULT_BRANCH,
+              branch: str = DEFAULT_BRANCH,
               message: str = "") -> Optional[Digest]:
         """Apply a write batch server-side and commit the new version.
 
@@ -145,22 +190,25 @@ class ForkbaseEngine:
         dataset = self._dataset(name)
         payload = sum(len(k) + len(v) for k, v in puts.items()) + sum(len(k) for k in removes)
         self._charge(payload)
-        head = dataset.versions.head(branch).root
-        new_root = dataset.index.write(head, dict(puts), list(removes))
-        dataset.versions.commit(new_root, branch=branch, message=message)
-        return new_root
+        branch_handle = dataset.repository.branch(branch)
+        branch_handle.put_many(dict(puts))
+        for key in removes:
+            branch_handle.remove(key)
+        commit = branch_handle.commit(message, allow_empty=True)
+        return commit.roots[0]
 
     def commit_root(self, name: str, root: Optional[Digest],
-                    branch: str = VersionGraph.DEFAULT_BRANCH, message: str = "") -> None:
+                    branch: str = DEFAULT_BRANCH, message: str = "") -> None:
         """Record an externally-built root as the new head of a branch."""
         self._charge(64)
-        self._dataset(name).versions.commit(root, branch=branch, message=message)
+        repository = self._dataset(name).repository
+        repository.service.commit_roots(branch, (root,), message=message)
 
-    def history(self, name: str, branch: str = VersionGraph.DEFAULT_BRANCH):
+    def history(self, name: str, branch: str = DEFAULT_BRANCH):
         """The commit history of a dataset branch (newest first)."""
-        return list(self._dataset(name).versions.log(branch))
+        return self._dataset(name).repository.branch(branch).history()
 
-    def snapshot(self, name: str, branch: str = VersionGraph.DEFAULT_BRANCH) -> IndexSnapshot:
+    def snapshot(self, name: str, branch: str = DEFAULT_BRANCH) -> IndexSnapshot:
         """A server-side snapshot handle of a branch head (no network model)."""
         dataset = self._dataset(name)
-        return dataset.index.snapshot(dataset.versions.head(branch).root)
+        return dataset.index.snapshot(self._head_root(name, branch))

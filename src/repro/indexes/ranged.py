@@ -211,18 +211,74 @@ class RangedMerkleSearchTree(MerkleIndex):
             for key, value in self._load_leaf(digest):
                 yield key, value
 
+    def _root_frontier(self, root: Optional[Digest]) -> Tuple[int, List[Entry]]:
+        """``(level, entries)`` of a root: its child descriptors and their level.
+
+        Leaves sit at level 1 (the frontier is the leaf's own descriptor);
+        an internal node's entries describe its children at ``level - 1``.
+        ``None`` roots report level 0 with no entries.
+        """
+        if root is None:
+            return 0, []
+        node_bytes = self._get_node(root)
+        if self._is_leaf_bytes(node_bytes):
+            entries = self._deserialize_leaf(node_bytes)
+            split = entries[-1][0] if entries else b""
+            return 1, [(split, root)]
+        return self._deserialize_internal(node_bytes)
+
+    def _expand_frontier(self, entries: List[Entry]) -> List[Entry]:
+        """Replace internal-node descriptors by their children's (one level down)."""
+        expanded: List[Entry] = []
+        for _, digest in entries:
+            _, child_entries = self._deserialize_internal(self._get_node(digest))
+            expanded.extend(child_entries)
+        return expanded
+
+    def _diff_leaf_descriptors(self, left_root: Optional[Digest],
+                               right_root: Optional[Digest]) -> Tuple[List[Entry], List[Entry]]:
+        """Leaf descriptors of both versions' *differing* regions only.
+
+        Both trees are descended in lock step; at every level, subtrees
+        whose digests appear on both sides are pruned without being read
+        (identical digest ⇒ identical content, and keys are unique, so a
+        digest appears at most once per version — dropping the subtree
+        removes the *same* records from both streams).  The cost is
+        therefore proportional to the changed regions, not the dataset:
+        this is what makes diff — and three-way merge on top of it —
+        O(δ · height) instead of O(N) (paper Section 4.1.3).
+        """
+        left_level, left_entries = self._root_frontier(left_root)
+        right_level, right_entries = self._root_frontier(right_root)
+        # A taller tree descends alone until the frontiers share a level.
+        while left_level > max(right_level, 1):
+            left_entries = self._expand_frontier(left_entries)
+            left_level -= 1
+        while right_level > max(left_level, 1):
+            right_entries = self._expand_frontier(right_entries)
+            right_level -= 1
+        # Joint descent with per-level pruning of shared subtrees.
+        while left_level > 1:
+            shared = ({digest for _, digest in left_entries}
+                      & {digest for _, digest in right_entries})
+            left_entries = self._expand_frontier(
+                [entry for entry in left_entries if entry[1] not in shared])
+            right_entries = self._expand_frontier(
+                [entry for entry in right_entries if entry[1] not in shared])
+            left_level -= 1
+            right_level -= 1
+        return left_entries, right_entries
+
     def iterate_diff(self, left_root: Optional[Digest], right_root: Optional[Digest]):
         """Yield ``(key, left_value, right_value)`` for differing keys.
 
-        Leaves whose digests appear in both versions are skipped without
-        being loaded: identical digest ⇒ identical content, and a digest
-        can appear at most once per version because keys are unique.  The
-        remaining (changed-region) record streams are merge-joined.
+        Subtrees (and leaves) whose digests appear in both versions are
+        skipped without being loaded — see :meth:`_diff_leaf_descriptors`.
+        The remaining (changed-region) record streams are merge-joined.
         """
         if left_root == right_root:
             return
-        left_leaves = self._leaf_descriptors(left_root)
-        right_leaves = self._leaf_descriptors(right_root)
+        left_leaves, right_leaves = self._diff_leaf_descriptors(left_root, right_root)
         shared = {digest for _, digest in left_leaves} & {digest for _, digest in right_leaves}
 
         def stream(leaves: List[Entry]) -> Iterator[Tuple[bytes, bytes]]:

@@ -1,9 +1,11 @@
 """Sharded versioned key-value service over the SIRI indexes.
 
-This package is the serving layer between applications and the bare index
-structures: it partitions keys across independent index shards, batches
-and coalesces writes, caches node reads, and names cross-shard versions
-so any committed state can be read back or diffed later.
+This package is the engine between the repository API (:mod:`repro.api`,
+the public surface) and the bare index structures: it partitions keys
+across independent index shards, batches and coalesces writes, caches
+node reads, and names cross-shard versions — branch-qualified commits in
+a journalled DAG — so any committed state can be read back, diffed, or
+merged later.
 
 * :mod:`repro.service.sharding` — deterministic hash routing of keys to
   shards (:class:`ShardRouter`).

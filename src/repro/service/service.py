@@ -17,11 +17,19 @@ would, rather than as bare library classes:
 * **Read-through caching** — each shard's store can be wrapped in a
   :class:`~repro.storage.cache.CachingNodeStore`; hit/miss counters are
   reported as :class:`~repro.core.metrics.CacheCounters`.
-* **Versioning** — :meth:`VersionedKVService.commit` captures a
-  cross-shard snapshot (one root digest per shard, rolled up into a single
-  service-level digest) and :meth:`get` accepts ``version=`` to read any
-  committed version.  :meth:`diff` merges the per-shard structural diffs
-  (:mod:`repro.core.diff`) into one result.
+* **Versioning and branches** — :meth:`VersionedKVService.commit` captures
+  a cross-shard snapshot (one root digest per shard, rolled up into a
+  single service-level digest) and :meth:`get` accepts ``version=`` to
+  read any committed version.  :meth:`diff` merges the per-shard
+  structural diffs (:mod:`repro.core.diff`) into one result.  Every
+  commit is *branch-qualified*: it records its branch name and parent
+  versions, the journal persists them, and the commit DAG
+  (:class:`~repro.core.version.VersionGraph`, exposed as
+  :attr:`version_graph`) is rebuilt identically on every open — so
+  recovery restores **every** branch head and merge bases survive
+  crashes.  The flat entry points operate on the *default branch*; the
+  repository API (:mod:`repro.api`) drives other branches through
+  :meth:`commit_roots`/:meth:`commit_update`.
 
 * **Durability** — constructed with ``directory=``, the service shards
   over :class:`~repro.storage.segment.SegmentNodeStore` backends and
@@ -64,6 +72,7 @@ from repro.core.diff import DiffEntry, DiffResult, diff_snapshots
 from repro.core.errors import CorruptNodeError, InvalidParameterError, KeyNotFoundError, ServiceClosedError
 from repro.core.interfaces import IndexSnapshot, KeyLike, SIRIIndex, ValueLike, coerce_key, coerce_value
 from repro.core.metrics import CacheCounters, ContentionCounters, GCCounters
+from repro.core.version import UnknownBranchError, VersionGraph
 from repro.hashing.digest import Digest, default_hash_function
 from repro.service.batcher import ShardWriteBatcher
 from repro.service.sharding import ShardRouter
@@ -84,8 +93,9 @@ class ServiceCommit:
     Attributes
     ----------
     version:
-        Dense sequence number (0 for the first commit).  This is the value
-        :meth:`VersionedKVService.get` accepts as ``version=``.
+        Dense sequence number (0 for the first commit), global across all
+        branches.  This is the value :meth:`VersionedKVService.get`
+        accepts as ``version=``.
     roots:
         The root digest of every shard at commit time (``None`` = empty
         shard), in shard-id order.
@@ -93,6 +103,15 @@ class ServiceCommit:
         Service-level digest over the shard roots — a single value that
         identifies the entire cross-shard state, tamper-evident in the
         same way as each shard's own Merkle root.
+    branch:
+        Name of the branch this commit advanced.  Flat-API commits land on
+        the service's default branch; the repository layer
+        (:mod:`repro.api`) commits on arbitrary branches.
+    parents:
+        Versions of the parent commits (empty for a branch's first commit,
+        two for a merge commit).  Together with ``branch`` this is enough
+        to rebuild the commit DAG — and therefore merge bases — from the
+        journal alone.
     """
 
     version: int
@@ -100,10 +119,16 @@ class ServiceCommit:
     digest: Digest
     message: str = ""
     timestamp: float = 0.0
+    branch: str = "main"
+    parents: Tuple[int, ...] = ()
 
     def short_id(self) -> str:
         """Truncated hex of the service-level digest (for logs)."""
         return self.digest.short()
+
+    def is_merge(self) -> bool:
+        """Whether this commit joined two branch histories."""
+        return len(self.parents) > 1
 
 
 @dataclass
@@ -332,6 +357,10 @@ class VersionedKVService:
         their exclusive nodes.  ``None`` (default) retains everything.
     segment_capacity_bytes:
         Soft segment-file size for directory-backed shards.
+    default_branch:
+        Name of the branch the flat entry points (:meth:`put`,
+        :meth:`commit`, ...) operate on, and the branch old journals
+        (written before commits were branch-qualified) are attributed to.
 
     Example
     -------
@@ -362,6 +391,7 @@ class VersionedKVService:
         directory: Optional[str] = None,
         retain_versions: Optional[int] = None,
         segment_capacity_bytes: int = 4 * 1024 * 1024,
+        default_branch: str = "main",
     ):
         if num_shards <= 0:
             raise InvalidParameterError("num_shards must be positive")
@@ -375,6 +405,9 @@ class VersionedKVService:
             raise InvalidParameterError(
                 "pass either directory= (durable segment shards) or "
                 "store_factory=, not both")
+        if not default_branch:
+            raise InvalidParameterError("default_branch must be a non-empty name")
+        self.default_branch = default_branch
         self.router = ShardRouter(num_shards)
         self.batcher = ShardWriteBatcher(num_shards, flush_threshold=batch_size)
         self.directory = directory
@@ -385,6 +418,13 @@ class VersionedKVService:
         self._segment_capacity_bytes = segment_capacity_bytes
         self._hash = default_hash_function()
         self._commits: List[ServiceCommit] = []
+        #: Latest commit per branch (every branch head, not just the default).
+        self._branch_heads: Dict[str, ServiceCommit] = {}
+        #: The shared commit DAG (rebuilt from the journal on every open).
+        self.version_graph = VersionGraph()
+        #: Maps between journal versions and graph commit ids.
+        self._graph_ids: Dict[int, Digest] = {}
+        self._graph_versions: Dict[Digest, int] = {}
         self._shards: List[_Shard] = []
         #: Backing stores parked by close() for an in-memory reopen().
         self._parked_backings: Optional[List[NodeStore]] = None
@@ -400,6 +440,10 @@ class VersionedKVService:
         self._removes = 0
         #: Cumulative GC counters across collect_garbage() runs.
         self._gc_total = GCCounters()
+        #: Root tuples pinned against GC (open transactions' base views).
+        self._pinned_roots: Dict[int, Tuple[Optional[Digest], ...]] = {}
+        self._pin_counter = 0
+        self._pin_lock = threading.Lock()
         self.open()
 
     # -- lifecycle ---------------------------------------------------------
@@ -443,9 +487,19 @@ class VersionedKVService:
         self._parked_backings = None
         if self.directory is not None:
             self._commits = self._load_manifest()
-        if self._commits:
-            newest = self._commits[-1]
-            for shard, root in zip(self._shards, newest.roots):
+        # Rebuild the commit DAG and every branch's head from the journal.
+        # Commit ids are deterministic (journalled timestamps/parents), so
+        # merge bases computed before a crash are recomputed identically
+        # after recovery.
+        self.version_graph = VersionGraph()
+        self._graph_ids = {}
+        self._graph_versions = {}
+        self._branch_heads = {}
+        for commit in self._commits:
+            self._register_commit(commit)
+        head = self._branch_heads.get(self.default_branch)
+        if head is not None:
+            for shard, root in zip(self._shards, head.roots):
                 shard.head = shard.index.snapshot(root)
                 shard.history = [root]
         self._opened = True
@@ -474,8 +528,9 @@ class VersionedKVService:
         with self._commit_lock:
             heads = self._atomic_cut()
             roots = tuple(head.root_digest for head in heads)
-            if self._commits:
-                dirty = roots != self._commits[-1].roots
+            committed = self._branch_heads.get(self.default_branch)
+            if committed is not None:
+                dirty = roots != committed.roots
             else:
                 dirty = any(root is not None for root in roots)
             if dirty:
@@ -507,6 +562,15 @@ class VersionedKVService:
         self.close()
         self.open()
 
+    def __enter__(self) -> "VersionedKVService":
+        """Context-manager entry: (re)opens the service if needed."""
+        self.open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: always :meth:`close`, even on error paths."""
+        self.close()
+
     @property
     def is_open(self) -> bool:
         """Whether the service is accepting operations."""
@@ -524,20 +588,40 @@ class VersionedKVService:
         return os.path.join(self.directory, self.MANIFEST_NAME)
 
     def _parse_manifest_line(self, line: bytes, lineno: int, path: str,
-                             expected_version: int) -> ServiceCommit:
-        """Decode and validate one manifest line (raises CorruptNodeError)."""
+                             expected_version: int,
+                             branch_tips: Dict[str, int]) -> ServiceCommit:
+        """Decode and validate one manifest line (raises CorruptNodeError).
+
+        ``branch_tips`` maps branch name → version of that branch's newest
+        commit seen so far in the replay; journals written before commits
+        were branch-qualified carry neither ``branch`` nor ``parents``, so
+        the branch defaults to the service's default branch and the parent
+        to that branch's previous commit — exactly the linear history the
+        old format implied.
+        """
         try:
             entry = json.loads(line.decode("utf-8"))
             roots = tuple(
                 Digest.from_hex(root) if root is not None else None
                 for root in entry["roots"]
             )
+            branch = entry.get("branch", self.default_branch)
+            if not isinstance(branch, str) or not branch:
+                raise ValueError(f"invalid branch name: {branch!r}")
+            if "parents" in entry:
+                parents = tuple(int(parent) for parent in entry["parents"])
+            elif branch in branch_tips:
+                parents = (branch_tips[branch],)
+            else:
+                parents = ()
             commit = ServiceCommit(
                 version=int(entry["version"]),
                 roots=roots,
                 digest=Digest.from_hex(entry["digest"]),
                 message=entry.get("message", ""),
                 timestamp=float(entry.get("timestamp", 0.0)),
+                branch=branch,
+                parents=parents,
             )
         except (ValueError, KeyError, TypeError) as exc:
             raise CorruptNodeError(
@@ -553,6 +637,11 @@ class VersionedKVService:
                 None,
                 f"manifest {path}:{lineno} records {len(commit.roots)} "
                 f"shard roots but the service has {self.router.num_shards}")
+        if any(parent >= commit.version or parent < 0 for parent in commit.parents):
+            raise CorruptNodeError(
+                None,
+                f"manifest {path}:{lineno} references parent versions "
+                f"{commit.parents} outside the preceding journal")
         return commit
 
     def _load_manifest(self) -> List[ServiceCommit]:
@@ -572,6 +661,7 @@ class VersionedKVService:
         with open(path, "rb") as handle:
             raw = handle.read()
         commits: List[ServiceCommit] = []
+        branch_tips: Dict[str, int] = {}
         offset = 0
         good_end = 0
         lineno = 0
@@ -585,8 +675,11 @@ class VersionedKVService:
             lineno += 1
             if line.strip():
                 try:
-                    commits.append(self._parse_manifest_line(
-                        line, lineno, path, expected_version=len(commits)))
+                    commit = self._parse_manifest_line(
+                        line, lineno, path, expected_version=len(commits),
+                        branch_tips=branch_tips)
+                    commits.append(commit)
+                    branch_tips[commit.branch] = commit.version
                 except CorruptNodeError:
                     if newline == len(raw) - 1:
                         torn = True  # garbage *final* line: treat as torn
@@ -608,6 +701,8 @@ class VersionedKVService:
             "digest": commit.digest.hex,
             "message": commit.message,
             "timestamp": commit.timestamp,
+            "branch": commit.branch,
+            "parents": list(commit.parents),
         }
         path = self._manifest_path()
         creating = not os.path.exists(path)
@@ -819,8 +914,24 @@ class VersionedKVService:
             roots = tuple(head.root_digest for head in heads)
             return self._record_commit(roots, message)
 
-    def _record_commit(self, roots: Tuple[Optional[Digest], ...], message: str) -> ServiceCommit:
-        """Journal one commit over an already-captured cut (commit lock held)."""
+    def _record_commit(self, roots: Tuple[Optional[Digest], ...], message: str,
+                       branch: Optional[str] = None,
+                       parents: Optional[Sequence[int]] = None) -> ServiceCommit:
+        """Journal one commit over an already-captured cut (commit lock held).
+
+        ``branch`` defaults to the service's default branch; ``parents``
+        defaults to that branch's current head (the linear-history case).
+        """
+        if branch is None:
+            branch = self.default_branch
+        if parents is None:
+            head = self._branch_heads.get(branch)
+            parents = (head.version,) if head is not None else ()
+        parents = tuple(parents)
+        for parent in parents:
+            if parent not in self._graph_ids:
+                raise InvalidParameterError(
+                    f"unknown parent commit version: {parent}")
         parts = [root.raw if root is not None else b"\x00" for root in roots]
         digest = self._hash.hash_many(parts)
         commit = ServiceCommit(
@@ -829,11 +940,261 @@ class VersionedKVService:
             digest=digest,
             message=message,
             timestamp=time.time(),
+            branch=branch,
+            parents=parents,
         )
         if self.directory is not None:
             self._append_manifest(commit)
         self._commits.append(commit)
+        self._register_commit(commit)
         return commit
+
+    def _register_commit(self, commit: ServiceCommit) -> None:
+        """Mirror a journalled commit into the DAG and the branch-head map.
+
+        The journal version is mixed into the DAG commit id as a salt:
+        versions are unique and replay deterministically, so two commits
+        whose visible fields coincide (e.g. two forks in one clock tick)
+        still get distinct, crash-stable DAG nodes.
+        """
+        parent_ids = [self._graph_ids[version] for version in commit.parents]
+        graph_commit = self.version_graph.add_commit(
+            commit.roots, commit.branch, parent_ids,
+            message=commit.message, timestamp=commit.timestamp,
+            salt=b"v%d" % commit.version)
+        self._graph_ids[commit.version] = graph_commit.commit_id
+        self._graph_versions[graph_commit.commit_id] = commit.version
+        self._branch_heads[commit.branch] = commit
+
+    # -- branch-qualified commits (the repository API's primitives) --------
+
+    def branches(self) -> List[str]:
+        """Every branch with at least one journalled commit, sorted."""
+        self._require_open()
+        return sorted(self._branch_heads.keys())
+
+    def has_branch(self, branch: str) -> bool:
+        """Whether ``branch`` has a journalled head commit."""
+        return branch in self._branch_heads
+
+    def branch_head(self, branch: str) -> ServiceCommit:
+        """The newest commit on ``branch`` (every head survives recovery)."""
+        self._require_open()
+        head = self._branch_heads.get(branch)
+        if head is None:
+            raise UnknownBranchError(branch)
+        return head
+
+    def log(self, branch: str) -> Iterator[ServiceCommit]:
+        """Walk ``branch``'s first-parent history, newest commit first."""
+        self._require_open()
+        current: Optional[ServiceCommit] = self.branch_head(branch)
+        while current is not None:
+            yield current
+            if not current.parents:
+                return
+            current = self._commits[current.parents[0]]
+
+    def merge_base(self, branch_a: str, branch_b: str) -> Optional[ServiceCommit]:
+        """The nearest common ancestor of two branch heads (or ``None``).
+
+        Computed over the commit DAG rebuilt from the journal, so the
+        answer is identical before and after a crash/reopen.
+        """
+        self._require_open()
+        ancestor = self.version_graph.common_ancestor(branch_a, branch_b)
+        if ancestor is None:
+            return None
+        return self._commits[self._graph_versions[ancestor.commit_id]]
+
+    def commit_roots(self, branch: str,
+                     roots: Sequence[Optional[Digest]], message: str = "",
+                     parents: Optional[Sequence[int]] = None) -> ServiceCommit:
+        """Record already-built shard roots as the new head of ``branch``.
+
+        This is the repository layer's commit primitive: branch writers
+        build new per-shard roots through the shard indexes (copy-on-write,
+        so no other branch observes anything), then publish them in one
+        journal append.  The append *is* the atomicity point across all
+        shards — a crash before it leaves every branch head at its previous
+        committed roots; a crash after it recovers the new head.
+
+        ``parents`` are commit versions (default: the branch's current
+        head); a fork passes the source head, a merge passes both heads.
+        Every shard store is flushed before the journal append, preserving
+        the invariant that a manifest entry implies its nodes are durable.
+        """
+        self._require_open()
+        with self._commit_lock:
+            return self._commit_roots_locked(branch, roots, message, parents)
+
+    def _commit_roots_locked(self, branch: str, roots: Sequence[Optional[Digest]],
+                             message: str,
+                             parents: Optional[Sequence[int]]) -> ServiceCommit:
+        roots = tuple(roots)
+        if len(roots) != self.router.num_shards:
+            raise InvalidParameterError(
+                f"expected {self.router.num_shards} shard roots, got {len(roots)}")
+        acquired: List[_Shard] = []
+        try:
+            for shard in self._shards:
+                shard.__enter__()
+                acquired.append(shard)
+            return self._commit_roots_shards_held(branch, roots, message, parents)
+        finally:
+            for shard in reversed(acquired):
+                shard.__exit__()
+
+    def _preserve_working_heads_locked(
+            self, parents: Optional[Sequence[int]]) -> Optional[Sequence[int]]:
+        """Journal dirty working heads before a default-branch commit.
+
+        Commit lock and every shard lock held.  If the flat API flushed
+        writes into the working heads that were never committed, a commit
+        arriving through the repository layer must not wipe them: they are
+        journalled here as an implicit commit (mirroring what ``close()``
+        does), and the incoming commit is reparented onto it so the branch
+        history records both states.  Returns the (possibly fixed-up)
+        parent list.
+        """
+        committed = self._branch_heads.get(self.default_branch)
+        committed_roots = (committed.roots if committed is not None
+                           else (None,) * self.router.num_shards)
+        working = tuple(shard.head.root_digest for shard in self._shards)
+        if working == committed_roots:
+            return parents
+        implicit = self._record_commit(
+            working, "flat-API writes (implicit commit)",
+            branch=self.default_branch, parents=None)
+        if parents is None:
+            return None  # _record_commit defaults to the branch head (= implicit)
+        parents = list(parents)
+        if parents:
+            # Internal callers always pass the branch head first; it just
+            # moved to the implicit commit.
+            parents[0] = implicit.version
+        else:
+            parents = [implicit.version]
+        return parents
+
+    def _commit_roots_shards_held(self, branch: str,
+                                  roots: Tuple[Optional[Digest], ...],
+                                  message: str,
+                                  parents: Optional[Sequence[int]]) -> ServiceCommit:
+        """Journal ``roots`` with every shard lock (and the commit lock) held."""
+        # Durability barrier: branch writers fed these roots' nodes
+        # through the shard stores' buffered append path; push them to
+        # disk before the manifest names them.
+        for shard in self._shards:
+            store_flush = getattr(shard.backing, "flush", None)
+            if store_flush is not None:
+                store_flush()
+        if branch == self.default_branch:
+            parents = self._preserve_working_heads_locked(parents)
+        commit = self._record_commit(roots, message, branch=branch, parents=parents)
+        if branch == self.default_branch:
+            # Keep the flat API's working heads in step with their
+            # branch: pending buffered writes stay buffered and apply
+            # on top of the new head at the next flush.
+            for shard, root in zip(self._shards, roots):
+                shard.head = shard.index.snapshot(root)
+                shard.history.append(root)
+        return commit
+
+    def commit_update(self, branch: str,
+                      base_roots: Sequence[Optional[Digest]],
+                      puts_by_shard: Sequence[Dict[bytes, bytes]],
+                      removes_by_shard: Sequence[Sequence[bytes]],
+                      message: str = "",
+                      parents: Optional[Sequence[int]] = None) -> ServiceCommit:
+        """Apply per-shard write batches to ``base_roots`` and commit them.
+
+        The copy-on-write application and the journal append happen under
+        the commit lock, so a concurrent :meth:`collect_garbage` can never
+        sweep the freshly-written nodes in the window before the journal
+        names them.
+
+        On the *default* branch the batches are applied to the current
+        working heads rather than ``base_roots``: flat-API writes that
+        were flushed into the heads but never committed are first
+        journalled as an implicit parent commit and then carried into the
+        new head (last-writer-wins per key), so mixing the deprecated flat
+        surface with repository commits can never silently lose data.
+        """
+        self._require_open()
+        base_roots = tuple(base_roots)
+        if not (len(base_roots) == len(puts_by_shard) == len(removes_by_shard)
+                == self.router.num_shards):
+            raise InvalidParameterError(
+                "base_roots/puts_by_shard/removes_by_shard must all have "
+                f"exactly {self.router.num_shards} entries")
+        with self._commit_lock:
+            if branch == self.default_branch:
+                return self._commit_update_default_locked(
+                    puts_by_shard, removes_by_shard, message, parents)
+            new_roots: List[Optional[Digest]] = []
+            for shard, root, puts, removes in zip(
+                    self._shards, base_roots, puts_by_shard, removes_by_shard):
+                if puts or removes:
+                    with shard:
+                        root = shard.index.write(root, puts, list(removes))
+                new_roots.append(root)
+            return self._commit_roots_locked(branch, new_roots, message, parents)
+
+    def _commit_update_default_locked(
+            self, puts_by_shard: Sequence[Dict[bytes, bytes]],
+            removes_by_shard: Sequence[Sequence[bytes]],
+            message: str, parents: Optional[Sequence[int]]) -> ServiceCommit:
+        """Default-branch ``commit_update`` body (commit lock held).
+
+        Holds every shard lock across base capture, application and the
+        journal append, so no concurrent flat-API flush can slip a working
+        -head change into the window and be wiped by the head sync.
+        """
+        acquired: List[_Shard] = []
+        try:
+            for shard in self._shards:
+                shard.__enter__()
+                acquired.append(shard)
+            # Apply on the *working* heads (preserving flushed flat-API
+            # writes in the result); _commit_roots_shards_held journals
+            # those same heads as the implicit parent commit before the
+            # main record, so both states reach the journal in order.
+            new_roots: List[Optional[Digest]] = []
+            for shard, puts, removes in zip(
+                    self._shards, puts_by_shard, removes_by_shard):
+                root = shard.head.root_digest
+                if puts or removes:
+                    root = shard.index.write(root, puts, list(removes))
+                new_roots.append(root)
+            return self._commit_roots_shards_held(
+                self.default_branch, tuple(new_roots), message, parents)
+        finally:
+            for shard in reversed(acquired):
+                shard.__exit__()
+
+    def pin_roots(self, roots: Sequence[Optional[Digest]]) -> int:
+        """Protect a cross-shard root tuple from :meth:`collect_garbage`.
+
+        Used by readers holding a long-lived view that is neither a branch
+        head nor a retained commit — e.g. an open transaction's pinned
+        base snapshot.  Returns a pin id for :meth:`unpin_roots`; an
+        unreleased pin keeps its nodes live for the process lifetime.
+        """
+        roots = tuple(roots)
+        if len(roots) != self.router.num_shards:
+            raise InvalidParameterError(
+                f"expected {self.router.num_shards} shard roots, got {len(roots)}")
+        with self._pin_lock:
+            self._pin_counter += 1
+            pin_id = self._pin_counter
+            self._pinned_roots[pin_id] = roots
+        return pin_id
+
+    def unpin_roots(self, pin_id: int) -> None:
+        """Release a pin taken with :meth:`pin_roots` (unknown ids ignored)."""
+        with self._pin_lock:
+            self._pinned_roots.pop(pin_id, None)
 
     def retained_commits(self) -> List[ServiceCommit]:
         """The commits protected from :meth:`collect_garbage`.
@@ -851,8 +1212,11 @@ class VersionedKVService:
         """Mark-and-sweep the shard stores down to the retained versions.
 
         Mark: per shard, the union of nodes reachable from the shard's
-        roots in every retained commit (:meth:`retained_commits`) plus
-        its current head.  Sweep: segment stores are compacted (live
+        roots in every retained commit (:meth:`retained_commits`), in
+        **every branch's head commit** (a branch head is always live, no
+        matter how old — the retention window only expires interior
+        history), in every pinned view (:meth:`pin_roots` — open
+        transactions), plus its current working head.  Sweep: segment stores are compacted (live
         nodes rewritten into fresh segments, old files unlinked); stores
         exposing ``delete`` are swept in place
         (:class:`repro.storage.gc.GarbageCollector`).  Shard caches are
@@ -872,10 +1236,14 @@ class VersionedKVService:
         merged = GCCounters()
         with self._commit_lock:
             retained = self.retained_commits()
+            protected = [commit.roots for commit in retained]
+            protected.extend(commit.roots for commit in self._branch_heads.values())
+            with self._pin_lock:
+                protected.extend(self._pinned_roots.values())
             for shard in self._shards:
                 with shard:
                     self._flush_shard_locked(shard)
-                    roots = {commit.roots[shard.shard_id] for commit in retained}
+                    roots = {root_tuple[shard.shard_id] for root_tuple in protected}
                     roots.add(shard.head.root_digest)
                     live = reachable_digests(shard.index, roots)
                     delta = GarbageCollector(shard.backing).collect(live)
@@ -900,6 +1268,21 @@ class VersionedKVService:
             return ServiceSnapshot(self._atomic_cut(), commit=None)
         commit = self._resolve_commit(version)
         snaps = [shard.index.snapshot(root) for shard, root in zip(self._shards, commit.roots)]
+        return ServiceSnapshot(snaps, commit=commit)
+
+    def snapshot_roots(self, roots: Sequence[Optional[Digest]],
+                       commit: Optional[ServiceCommit] = None) -> ServiceSnapshot:
+        """Wrap explicit per-shard roots in an immutable cross-shard view.
+
+        The repository layer uses this to read branch heads (whose roots
+        live in the commit journal, not in the shards' working heads).
+        """
+        self._require_open()
+        roots = tuple(roots)
+        if len(roots) != self.router.num_shards:
+            raise InvalidParameterError(
+                f"expected {self.router.num_shards} shard roots, got {len(roots)}")
+        snaps = [shard.index.snapshot(root) for shard, root in zip(self._shards, roots)]
         return ServiceSnapshot(snaps, commit=commit)
 
     def diff(self, left: Union[int, ServiceCommit, ServiceSnapshot],

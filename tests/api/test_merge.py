@@ -1,0 +1,210 @@
+"""Tests for three-way merge semantics (repro.api.merge)."""
+
+import functools
+
+import pytest
+
+from repro.api import Repository
+from repro.api.merge import MergeConflict
+from repro.core.errors import InvalidParameterError, MergeConflictError
+from repro.indexes import MerkleBucketTree, MerklePatriciaTrie, POSTree
+
+INDEX_FACTORIES = {
+    "MPT": MerklePatriciaTrie,
+    "MBT": functools.partial(MerkleBucketTree, capacity=64, fanout=4),
+    "POS-Tree": functools.partial(POSTree, target_node_size=512,
+                                  estimated_entry_size=64),
+}
+
+
+@pytest.fixture(params=sorted(INDEX_FACTORIES), ids=lambda name: name)
+def index_factory(request):
+    return INDEX_FACTORIES[request.param]
+
+
+def forked_repo(index_factory, base):
+    repo = Repository.open(index_factory=index_factory, num_shards=2)
+    main = repo.default_branch
+    main.put_many(base)
+    main.commit("base")
+    return repo, main
+
+
+class TestMergeSemantics:
+    def test_take_theirs_changes(self, index_factory):
+        repo, main = forked_repo(index_factory, {b"a": b"1", b"b": b"2"})
+        other = main.fork("other")
+        other.put(b"a", b"10")
+        other.put(b"new", b"n")
+        other.remove(b"b")
+        other.commit("their edits")
+        outcome = repo.merge("main", "other")
+        assert main.to_dict() == {b"a": b"10", b"new": b"n"}
+        assert outcome.merged_keys == [b"a", b"b", b"new"]
+        assert outcome.fast_forward  # main had no exclusive changes
+        repo.close()
+
+    def test_ours_changes_survive(self, index_factory):
+        repo, main = forked_repo(index_factory, {b"a": b"1", b"b": b"2"})
+        other = main.fork("other")
+        main.put(b"a", b"ours")
+        main.commit("our edit")
+        other.put(b"b", b"theirs")
+        other.commit("their edit")
+        outcome = repo.merge("main", "other")
+        assert main.to_dict() == {b"a": b"ours", b"b": b"theirs"}
+        assert not outcome.fast_forward
+        assert outcome.commit.parents == (
+            outcome.commit.parents[0], other.head.version)
+        repo.close()
+
+    def test_identical_changes_do_not_conflict(self, index_factory):
+        repo, main = forked_repo(index_factory, {b"a": b"1"})
+        other = main.fork("other")
+        main.put(b"a", b"same")
+        main.commit("ours")
+        other.put(b"a", b"same")
+        other.commit("theirs")
+        outcome = repo.merge("main", "other")
+        assert outcome.conflicts_resolved == []
+        assert main.get(b"a") == b"same"
+        repo.close()
+
+    def test_up_to_date_merge_is_a_no_op(self, index_factory):
+        repo, main = forked_repo(index_factory, {b"a": b"1"})
+        other = main.fork("other")
+        main.put(b"a", b"2")
+        main.commit("advance main")
+        head = main.head
+        outcome = repo.merge("main", "other")
+        assert outcome.up_to_date
+        assert outcome.commit is None
+        assert main.head.version == head.version
+        repo.close()
+
+    def test_merge_base_advances_after_merge(self, index_factory):
+        """Repeated merges use the previous merge commit as the base."""
+        repo, main = forked_repo(index_factory, {b"a": b"1"})
+        other = main.fork("other")
+        other.put(b"b", b"2")
+        other.commit("their 1")
+        repo.merge("main", "other")
+        other.put(b"c", b"3")
+        other.commit("their 2")
+        # The merge commit's second parent makes "their 1" the new base.
+        assert repo.merge_base("main", "other").message == "their 1"
+        outcome = repo.merge("main", "other")
+        # Only the post-first-merge change is merged the second time.
+        assert outcome.merged_keys == [b"c"]
+        repo.close()
+
+    def test_staged_operations_block_merge(self, index_factory):
+        repo, main = forked_repo(index_factory, {b"a": b"1"})
+        other = main.fork("other")
+        other.put(b"b", b"2")
+        other.commit("their edit")
+        main.put(b"staged", b"x")
+        with pytest.raises(InvalidParameterError):
+            repo.merge("main", "other")
+        repo.close()
+
+    def test_merge_into_itself_rejected(self, index_factory):
+        repo, main = forked_repo(index_factory, {b"a": b"1"})
+        with pytest.raises(InvalidParameterError):
+            repo.merge("main", "main")
+        repo.close()
+
+
+class TestConflicts:
+    def test_conflicts_raise_without_resolver(self, index_factory):
+        repo, main = forked_repo(index_factory, {b"k": b"base", b"other": b"x"})
+        fork = main.fork("fork")
+        main.put(b"k", b"ours")
+        main.commit("ours")
+        fork.put(b"k", b"theirs")
+        fork.commit("theirs")
+        head_before = main.head
+        with pytest.raises(MergeConflictError) as excinfo:
+            repo.merge("main", "fork")
+        (conflict,) = excinfo.value.conflicts
+        assert isinstance(conflict, MergeConflict)
+        assert (conflict.key, conflict.base, conflict.ours, conflict.theirs) == (
+            b"k", b"base", b"ours", b"theirs")
+        # Nothing was applied: the failed merge left the branch untouched.
+        assert main.head.version == head_before.version
+        assert main.get(b"k") == b"ours"
+        repo.close()
+
+    def test_change_vs_remove_is_a_conflict(self, index_factory):
+        repo, main = forked_repo(index_factory, {b"k": b"base"})
+        fork = main.fork("fork")
+        main.remove(b"k")
+        main.commit("ours removes")
+        fork.put(b"k", b"theirs")
+        fork.commit("theirs changes")
+        with pytest.raises(MergeConflictError):
+            repo.merge("main", "fork")
+        # ...in both directions.
+        with pytest.raises(MergeConflictError):
+            repo.merge("fork", "main")
+        repo.close()
+
+    def test_resolver_strings(self, index_factory):
+        repo, main = forked_repo(index_factory, {b"k": b"base"})
+        fork = main.fork("fork")
+        main.put(b"k", b"ours")
+        main.commit("ours")
+        fork.put(b"k", b"theirs")
+        fork.commit("theirs")
+        outcome = repo.merge("main", "fork", resolver="theirs")
+        assert main.get(b"k") == b"theirs"
+        assert [c.key for c in outcome.conflicts_resolved] == [b"k"]
+        repo.close()
+
+    def test_resolver_callable_and_remove_resolution(self, index_factory):
+        repo, main = forked_repo(index_factory, {b"k": b"base", b"j": b"base"})
+        fork = main.fork("fork")
+        main.put(b"k", b"ours")
+        main.put(b"j", b"ours")
+        main.commit("ours")
+        fork.put(b"k", b"theirs")
+        fork.put(b"j", b"theirs")
+        fork.commit("theirs")
+
+        def resolver(conflict):
+            # Keep ours for j, drop k entirely.
+            return None if conflict.key == b"k" else conflict.ours
+
+        repo.merge("main", "fork", resolver=resolver)
+        assert main.get(b"k") is None
+        assert main.get(b"j") == b"ours"
+        repo.close()
+
+
+class TestRootIdentity:
+    def test_merge_order_independent_roots(self, index_factory):
+        """Acceptance: non-conflicting forks merge to identical roots in
+        either order, on every index type."""
+        base = {f"k{i:03d}".encode(): f"v{i}".encode() for i in range(60)}
+
+        def build():
+            repo, main = forked_repo(index_factory, dict(base))
+            left = main.fork("left")
+            right = main.fork("right")
+            left.put_many({f"k{i:03d}".encode(): b"left" for i in range(0, 20)})
+            left.remove(b"k040")
+            left.commit("left edits")
+            right.put_many({f"k{i:03d}".encode(): b"right" for i in range(20, 40)})
+            right.put(b"new", b"right-only")
+            right.commit("right edits")
+            return repo
+
+        repo_a = build()
+        outcome_a = repo_a.merge("left", "right")
+        repo_b = build()
+        outcome_b = repo_b.merge("right", "left")
+        assert outcome_a.commit.roots == outcome_b.commit.roots
+        assert (repo_a.branch("left").to_dict()
+                == repo_b.branch("right").to_dict())
+        repo_a.close()
+        repo_b.close()

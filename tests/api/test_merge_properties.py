@@ -1,0 +1,159 @@
+"""Property tests for merge semantics (hypothesis).
+
+Two properties the acceptance criteria demand, checked across all three
+SIRI index types (MPT, MBT, POS-Tree):
+
+* **Determinism and order independence** — two forks whose edits do not
+  conflict merge to the *same shard roots* (not just the same content)
+  whichever branch merges into which, and the merged content equals the
+  model prediction ``base + Δleft + Δright``.
+* **Conflicts are always surfaced, never silently resolved** — whenever
+  the two forks changed any key to different outcomes, the merge raises
+  :class:`MergeConflictError` listing exactly the conflicting keys, and
+  applies nothing.
+"""
+
+import functools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import Repository
+from repro.core.errors import MergeConflictError
+from repro.indexes import MerkleBucketTree, MerklePatriciaTrie, POSTree
+
+INDEX_FACTORIES = {
+    "MPT": MerklePatriciaTrie,
+    "MBT": functools.partial(MerkleBucketTree, capacity=16, fanout=4),
+    "POS-Tree": functools.partial(POSTree, target_node_size=256,
+                                  estimated_entry_size=32),
+}
+
+keys = st.binary(min_size=1, max_size=6)
+values = st.binary(min_size=0, max_size=12)
+
+#: An edit is a put (bytes value) or a removal (None).
+edits = st.dictionaries(keys, st.one_of(values, st.none()), max_size=12)
+
+base_datasets = st.dictionaries(keys, values, max_size=25)
+
+
+def effective_outcome(base, edit_value):
+    """The post-edit value of a key: None = absent."""
+    return edit_value  # puts carry bytes, removals carry None
+
+
+def split_conflicts(base, left_edits, right_edits):
+    """Partition the two edit dicts into (conflict keys, expected content).
+
+    A key conflicts when both sides touched it and their outcomes differ
+    (put-vs-put with different values, or put-vs-remove).  Edits that
+    repeat the base value still count as "changes" only if they actually
+    change the stored outcome — mirroring the structural diff the merge
+    computes, which cannot see no-op writes.
+    """
+    def real_changes(edit_dict):
+        changes = {}
+        for key, value in edit_dict.items():
+            before = base.get(key)
+            if value != before:
+                changes[key] = value
+        return changes
+
+    left_changes = real_changes(left_edits)
+    right_changes = real_changes(right_edits)
+    conflicts = sorted(
+        key for key in set(left_changes) & set(right_changes)
+        if left_changes[key] != right_changes[key])
+    expected = dict(base)
+    for changes in (left_changes, right_changes):
+        for key, value in changes.items():
+            if value is None:
+                expected.pop(key, None)
+            else:
+                expected[key] = value
+    return conflicts, expected, left_changes, right_changes
+
+
+def build_forks(index_factory, base, left_edits, right_edits):
+    """A repository with two forks of ``base`` carrying the given edits."""
+    repo = Repository.open(index_factory=index_factory, num_shards=2,
+                           cache_bytes=0)
+    main = repo.default_branch
+    if base:
+        main.put_many(base)
+    main.commit("base", allow_empty=True)
+    left = main.fork("left")
+    right = main.fork("right")
+    for branch, branch_edits in ((left, left_edits), (right, right_edits)):
+        for key, value in branch_edits.items():
+            if value is None:
+                branch.remove(key)
+            else:
+                branch.put(key, value)
+        branch.commit("edits", allow_empty=True)
+    return repo, left, right
+
+
+@pytest.mark.parametrize("index_name", sorted(INDEX_FACTORIES))
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(base=base_datasets, left_edits=edits, right_edits=edits)
+def test_non_conflicting_merges_are_deterministic_and_order_independent(
+        index_name, base, left_edits, right_edits):
+    index_factory = INDEX_FACTORIES[index_name]
+    conflicts, expected, left_changes, right_changes = split_conflicts(
+        base, left_edits, right_edits)
+    # Make the example conflict-free: drop contended keys from the right.
+    for key in conflicts:
+        right_edits = dict(right_edits)
+        del right_edits[key]
+    conflicts, expected, _, _ = split_conflicts(base, left_edits, right_edits)
+    assert conflicts == []
+
+    repo_a, left_a, right_a = build_forks(index_factory, base, left_edits, right_edits)
+    outcome_a = repo_a.merge(left_a, right_a)
+    repo_b, left_b, right_b = build_forks(index_factory, base, left_edits, right_edits)
+    outcome_b = repo_b.merge(right_b, left_b)
+
+    merged_a = left_a.to_dict()
+    merged_b = right_b.to_dict()
+    # Content matches the model in both directions.
+    assert merged_a == expected
+    assert merged_b == expected
+    # Structural invariance: identical roots regardless of merge order.
+    assert left_a.roots == right_b.roots
+    # Determinism: re-running the same merge reproduces the same roots.
+    repo_c, left_c, right_c = build_forks(index_factory, base, left_edits, right_edits)
+    outcome_c = repo_c.merge(left_c, right_c)
+    assert left_c.roots == left_a.roots
+    if outcome_a.commit is not None and outcome_c.commit is not None:
+        assert outcome_c.commit.roots == outcome_a.commit.roots
+    repo_a.close()
+    repo_b.close()
+    repo_c.close()
+
+
+@pytest.mark.parametrize("index_name", sorted(INDEX_FACTORIES))
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(base=base_datasets, left_edits=edits, right_edits=edits)
+def test_conflicts_always_surface_and_apply_nothing(
+        index_name, base, left_edits, right_edits):
+    index_factory = INDEX_FACTORIES[index_name]
+    conflicts, _, left_changes, right_changes = split_conflicts(
+        base, left_edits, right_edits)
+    repo, left, right = build_forks(index_factory, base, left_edits, right_edits)
+    head_before = left.head
+    content_before = left.to_dict()
+    if conflicts:
+        with pytest.raises(MergeConflictError) as excinfo:
+            repo.merge(left, right)
+        assert sorted(c.key for c in excinfo.value.conflicts) == conflicts
+        # A conflicting merge is all-or-nothing: nothing was applied.
+        assert left.head.version == head_before.version
+        assert left.to_dict() == content_before
+    else:
+        repo.merge(left, right)  # must not raise
+    repo.close()

@@ -1,0 +1,188 @@
+"""Tests for Transaction: isolation, atomicity, optimistic conflicts."""
+
+import pytest
+
+from repro.api import Repository
+from repro.core.errors import TransactionClosedError, TransactionConflictError
+
+
+@pytest.fixture
+def repo():
+    with Repository.open(num_shards=2) as repository:
+        main = repository.default_branch
+        main.put_many({b"alice": b"100", b"bob": b"50"})
+        main.commit("open accounts")
+        yield repository
+
+
+class TestIsolation:
+    def test_reads_are_snapshot_isolated(self, repo):
+        main = repo.default_branch
+        txn = main.transaction()
+        main.put(b"alice", b"999")
+        main.commit("concurrent write")
+        # The transaction still reads the head it began on.
+        assert txn.get(b"alice") == b"100"
+        txn.abort()
+
+    def test_read_your_writes(self, repo):
+        main = repo.default_branch
+        txn = main.transaction()
+        txn.put(b"carol", b"7")
+        txn.remove(b"bob")
+        assert txn.get(b"carol") == b"7"
+        assert txn.get(b"bob") is None
+        assert b"bob" not in txn
+        # ...but nothing leaked to the branch before commit.
+        assert main.get(b"carol") is None
+        assert main.get(b"bob") == b"50"
+        txn.abort()
+
+    def test_scan_overlays_staged_ops(self, repo):
+        txn = repo.default_branch.transaction()
+        txn.put(b"carol", b"7")
+        txn.remove(b"alice")
+        assert dict(txn.scan()) == {b"bob": b"50", b"carol": b"7"}
+        assert dict(txn.scan(start=b"c")) == {b"carol": b"7"}
+        txn.abort()
+
+
+class TestAtomicity:
+    def test_commit_applies_all_or_nothing(self, repo):
+        main = repo.default_branch
+        with main.transaction("transfer") as txn:
+            alice = int(txn[b"alice"])
+            bob = int(txn[b"bob"])
+            txn.put(b"alice", str(alice - 10))
+            txn.put(b"bob", str(bob + 10))
+        assert main.get(b"alice") == b"90"
+        assert main.get(b"bob") == b"60"
+        assert main.history()[0].message == "transfer"
+
+    def test_exception_discards_everything(self, repo):
+        main = repo.default_branch
+        with pytest.raises(RuntimeError, match="boom"):
+            with main.transaction() as txn:
+                txn.put(b"alice", b"0")
+                raise RuntimeError("boom")
+        assert main.get(b"alice") == b"100"
+        assert not txn.is_open
+
+    def test_explicit_abort_inside_block(self, repo):
+        main = repo.default_branch
+        with main.transaction() as txn:
+            txn.put(b"alice", b"0")
+            txn.abort()
+        assert main.get(b"alice") == b"100"
+
+    def test_empty_transaction_commits_nothing(self, repo):
+        main = repo.default_branch
+        head = main.head
+        with main.transaction():
+            pass
+        assert main.head.version == head.version
+
+
+class TestOptimisticConcurrency:
+    def test_overlapping_concurrent_commit_conflicts(self, repo):
+        main = repo.default_branch
+        txn = main.transaction()
+        txn.put(b"alice", b"0")
+        main.put(b"alice", b"777")
+        main.commit("raced")
+        with pytest.raises(TransactionConflictError) as excinfo:
+            txn.commit()
+        assert excinfo.value.keys == [b"alice"]
+        # The conflict did not close the transaction: re-read and retry.
+        assert txn.is_open
+        txn.abort()
+
+    def test_disjoint_concurrent_commit_rebases(self, repo):
+        main = repo.default_branch
+        txn = main.transaction()
+        txn.put(b"carol", b"7")
+        main.put(b"alice", b"777")
+        main.commit("raced elsewhere")
+        commit = txn.commit("rebased")
+        assert commit.parents == (main.history()[1].version,)
+        # Both the concurrent write and the transaction landed.
+        assert main.get(b"alice") == b"777"
+        assert main.get(b"carol") == b"7"
+
+    def test_conflict_rebases_so_retry_works(self, repo):
+        """After a conflict the transaction reads the *current* head, so a
+        re-read/re-stage/retry loop genuinely converges."""
+        main = repo.default_branch
+        txn = main.transaction()
+        txn.put(b"alice", str(int(txn[b"alice"]) - 10))  # 100 -> 90
+        main.put(b"alice", b"200")
+        main.commit("raced")
+        with pytest.raises(TransactionConflictError):
+            txn.commit()
+        # The contended staged entry was dropped; a re-read sees the
+        # concurrent value, not the stale base or the stale staging...
+        assert txn.get(b"alice") == b"200"
+        # ...re-stage from it and retry successfully.
+        txn.put(b"alice", str(int(txn[b"alice"]) - 10))
+        txn.commit()
+        assert main.get(b"alice") == b"190"
+
+    def test_conflicting_implicit_commit_releases_the_pin(self, repo):
+        """A conflict raised from the context manager's implicit commit
+        must abort the transaction (no open handle, no leaked GC pin)."""
+        main = repo.default_branch
+        service = repo.service
+        pins_before = len(service._pinned_roots)
+        with pytest.raises(TransactionConflictError):
+            with main.transaction() as txn:
+                txn.put(b"alice", b"0")
+                main.put(b"alice", b"777")
+                main.commit("raced")
+        assert not txn.is_open
+        assert len(service._pinned_roots) == pins_before
+        # Explicit resolution paths release the pin too.
+        txn2 = main.transaction()
+        txn2.put(b"x", b"1")
+        txn2.commit()
+        txn3 = main.transaction()
+        txn3.abort()
+        assert len(service._pinned_roots) == pins_before
+
+    def test_remove_conflicts_are_detected_too(self, repo):
+        main = repo.default_branch
+        txn = main.transaction()
+        txn.remove(b"bob")
+        main.put(b"bob", b"51")
+        main.commit("raced")
+        with pytest.raises(TransactionConflictError):
+            txn.commit()
+
+
+class TestLifecycleGuards:
+    def test_operations_after_commit_raise(self, repo):
+        txn = repo.default_branch.transaction()
+        txn.put(b"x", b"1")
+        txn.commit()
+        for operation in (
+            lambda: txn.put(b"y", b"2"),
+            lambda: txn.remove(b"x"),
+            lambda: txn.get(b"x"),
+            lambda: list(txn.scan()),
+            lambda: txn.commit(),
+            lambda: txn.abort(),
+        ):
+            with pytest.raises(TransactionClosedError):
+                operation()
+
+    def test_operations_after_abort_raise(self, repo):
+        txn = repo.default_branch.transaction()
+        txn.abort()
+        with pytest.raises(TransactionClosedError):
+            txn.put(b"x", b"1")
+
+    def test_commit_result_is_recorded(self, repo):
+        txn = repo.default_branch.transaction()
+        txn.put(b"x", b"1")
+        commit = txn.commit()
+        assert txn.commit_result is commit
+        assert commit.branch == "main"

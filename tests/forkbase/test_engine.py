@@ -83,3 +83,14 @@ class TestCostAccounting:
         engine.reset_meters()
         assert engine.requests_served == 0
         assert engine.simulated_seconds == 0.0
+
+
+class TestRepositoryAccessor:
+    def test_with_repository_does_not_close_the_dataset(self, engine):
+        """The handed-out repository must not own the dataset's lifecycle:
+        a `with` block over it leaves the dataset fully usable."""
+        with engine.repository("data") as repo:
+            assert repo.default_branch.name == "master"
+        engine.write("data", {b"after": b"1"})
+        assert engine.snapshot("data")[b"after"] == b"1"
+        assert engine.head_root("data") is not None

@@ -305,6 +305,113 @@ class TestGCConcurrency:
         service.close()
 
 
+class TestBranchDurability:
+    """Branch-qualified commits: every branch head survives crashes —
+    including a crash injected *during* a merge commit's journal append."""
+
+    @staticmethod
+    def make_repo(directory, **kwargs):
+        from repro.api import Repository
+
+        kwargs.setdefault("num_shards", 4)
+        kwargs.setdefault("batch_size", 32)
+        return Repository.open(str(directory), **kwargs)
+
+    def test_every_branch_head_recovers_after_crash(self, tmp_path):
+        repo = self.make_repo(tmp_path)
+        main = repo.default_branch
+        main.put_many({f"k{i:03d}".encode(): f"v{i}".encode() for i in range(100)})
+        main.commit("base")
+        heads = {}
+        for name in ("alpha", "beta", "gamma"):
+            branch = main.fork(name)
+            branch.put(f"only-{name}".encode(), name.encode())
+            heads[name] = branch.commit(f"{name} edit")
+        heads["main"] = main.head
+        # Crash: abandon without close().
+        recovered = self.make_repo(tmp_path)
+        assert recovered.branches() == ["alpha", "beta", "gamma", "main"]
+        for name, head in heads.items():
+            assert recovered.service.branch_head(name).roots == head.roots
+        assert recovered.branch("beta").get(b"only-beta") == b"beta"
+        assert recovered.branch("beta").get(b"k007") == b"v7"
+        # The DAG survived too: merge bases are recomputed identically.
+        assert (recovered.merge_base("alpha", "beta").roots
+                == heads["main"].roots)
+
+    def test_crash_during_merge_commit_journal_append(self, tmp_path):
+        """Kill point inside the durable merge commit: the merge's journal
+        line is torn mid-append.  Recovery must land every branch head on
+        its last *committed* roots — the merge simply never happened."""
+        repo = self.make_repo(tmp_path, num_shards=2)
+        main = repo.default_branch
+        main.put_many({f"k{i:03d}".encode(): f"v{i}".encode() for i in range(80)})
+        main.commit("base")
+        fork = main.fork("fork")
+        fork.put_many({f"k{i:03d}".encode(): b"forked" for i in range(0, 20)})
+        fork.commit("fork edits")
+        main.put_many({f"k{i:03d}".encode(): b"mained" for i in range(40, 60)})
+        main.commit("main edits")
+        pre_merge = {name: repo.service.branch_head(name).roots
+                     for name in ("main", "fork")}
+        manifest = os.path.join(str(tmp_path), "MANIFEST.jsonl")
+        size_before_merge = os.path.getsize(manifest)
+
+        outcome = repo.merge("main", "fork")
+        assert outcome.commit is not None
+        size_after_merge = os.path.getsize(manifest)
+        # Kill point: the crash hits while the merge commit's line is in
+        # flight — only a prefix of the append reached the disk.
+        torn_size = size_before_merge + (size_after_merge - size_before_merge) // 2
+        with open(manifest, "r+b") as handle:
+            handle.truncate(torn_size)
+
+        recovered = self.make_repo(tmp_path, num_shards=2)
+        for name, roots in pre_merge.items():
+            assert recovered.service.branch_head(name).roots == roots
+        assert recovered.branch("main").get(b"k045") == b"mained"
+        assert recovered.branch("main").get(b"k005") == b"v5"
+        assert recovered.branch("fork").get(b"k005") == b"forked"
+        # The repaired journal accepts the merge cleanly on retry.
+        retry = recovered.merge("main", "fork")
+        assert retry.commit is not None
+        assert retry.commit.roots == outcome.commit.roots
+        recovered.close()
+        final = self.make_repo(tmp_path, num_shards=2)
+        assert final.service.branch_head("main").roots == outcome.commit.roots
+
+    def test_crash_before_merge_manifest_append_loses_only_the_merge(self, tmp_path):
+        """Kill point between the merge's node flush and its journal
+        append (simulated by making the append raise): the merge fails,
+        and a fresh process sees every branch head unchanged."""
+        repo = self.make_repo(tmp_path, num_shards=2)
+        main = repo.default_branch
+        main.put_many({b"a": b"1", b"b": b"2"})
+        main.commit("base")
+        fork = main.fork("fork")
+        fork.put(b"a", b"forked")
+        fork.commit("fork edit")
+        pre_merge = {name: repo.service.branch_head(name).roots
+                     for name in ("main", "fork")}
+
+        service = repo.service
+        original_append = service._append_manifest
+
+        def dying_append(commit):
+            raise OSError("simulated power loss at the journal append")
+
+        service._append_manifest = dying_append
+        with pytest.raises(OSError):
+            repo.merge("main", "fork")
+        service._append_manifest = original_append
+        # Crash: abandon the wounded instance entirely.
+        recovered = self.make_repo(tmp_path, num_shards=2)
+        for name, roots in pre_merge.items():
+            assert recovered.service.branch_head(name).roots == roots
+        assert recovered.merge("main", "fork").commit is not None
+        assert recovered.branch("main").get(b"a") == b"forked"
+
+
 class TestYCSBOverDurableStore:
     def test_ycsb_a_survives_crash_and_reopen(self, tmp_path):
         """The acceptance drill: a YCSB-A run with periodic commits over
