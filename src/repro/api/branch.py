@@ -21,7 +21,7 @@ commits at commit time (:mod:`repro.api.transaction`).
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, TYPE_CHECKING
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.core.diff import DiffResult
 from repro.core.errors import InvalidParameterError, KeyNotFoundError, TransactionConflictError
@@ -151,7 +151,7 @@ class Branch:
 
     def put_many(self, items) -> None:
         """Stage many writes at once (dict or iterable of pairs)."""
-        pairs = items.items() if isinstance(items, dict) else items
+        pairs = items.items() if isinstance(items, Mapping) else items
         with self._lock:
             for key, value in pairs:
                 self._staged[coerce_key(key)] = coerce_value(value)
@@ -262,6 +262,39 @@ class Branch:
             if expected_head_version is not _UNSET and head_version != expected_head_version:
                 self._check_rebase(staged, expected_head_version)
             puts_by_shard, removes_by_shard = route_staged_ops(self._service, staged)
+            parents = (head_version,) if head_version is not None else ()
+            commit = self._service.commit_update(
+                self.name, self.roots, puts_by_shard, removes_by_shard,
+                message=message, parents=parents)
+            self._snapshot_cache = None
+            return commit
+
+    def load(self, items, message: str = "bulk load") -> Optional[ServiceCommit]:
+        """Bulk-import ``items`` into this branch as **one** journalled commit.
+
+        The records (dict or iterable of pairs; duplicates coalesce
+        last-writer-wins) are routed per shard once and applied as a
+        single batched copy-on-write update per shard — on an empty or
+        unborn branch that update is the index's O(N) bottom-up bulk
+        builder — and the resulting roots are journalled atomically as
+        one commit.  This is the ingest path for seeding a branch with a
+        large dataset; for streaming writes keep using :meth:`put` /
+        :meth:`commit`.
+
+        The staging buffer is untouched: operations staged before the
+        load stay staged (and keep overlaying reads) until their own
+        :meth:`commit`, exactly as if another writer had committed to the
+        branch.  Returns the new head commit, or the unchanged head when
+        ``items`` is empty.
+        """
+        pairs = items.items() if isinstance(items, Mapping) else items
+        puts: StagedOps = {coerce_key(k): coerce_value(v) for k, v in pairs}
+        with self._lock:
+            head = self.head
+            if not puts:
+                return head
+            head_version = head.version if head is not None else None
+            puts_by_shard, removes_by_shard = route_staged_ops(self._service, puts)
             parents = (head_version,) if head_version is not None else ()
             commit = self._service.commit_update(
                 self.name, self.roots, puts_by_shard, removes_by_shard,

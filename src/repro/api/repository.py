@@ -214,6 +214,22 @@ class Repository:
             names.update(self._branches.keys())
         return sorted(names)
 
+    def import_data(self, items, branch: Optional[str] = None,
+                    message: str = "bulk import") -> Optional[ServiceCommit]:
+        """Bulk-import ``items`` into a branch as one journalled commit.
+
+        ``items`` is a mapping or iterable of ``(key, value)`` pairs;
+        ``branch`` defaults to the repository's default branch and is
+        created on the fly when it does not exist yet (its first commit
+        is the import).  Per shard, the records are applied as a single
+        batched update — the bottom-up bulk builders when the branch is
+        empty — so importing N records costs O(N) node writes and exactly
+        one journal append.  Returns the new head commit (see
+        :meth:`Branch.load`).
+        """
+        name = branch if branch is not None else self._service.default_branch
+        return self._get_branch(name, create=True).load(items, message=message)
+
     # -- history and merging -----------------------------------------------
 
     @property

@@ -35,7 +35,7 @@ Example::
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.core.errors import (
     KeyNotFoundError,
@@ -145,7 +145,7 @@ class Transaction:
     def put_many(self, items) -> None:
         """Stage many writes at once (dict or iterable of pairs)."""
         self._require_open()
-        pairs = items.items() if isinstance(items, dict) else items
+        pairs = items.items() if isinstance(items, Mapping) else items
         for key, value in pairs:
             self._staged[coerce_key(key)] = coerce_value(value)
 

@@ -22,7 +22,7 @@ API boundary so examples stay readable.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.errors import ImmutableWriteError, KeyNotFoundError
 from repro.core.proof import MerkleProof
@@ -92,8 +92,54 @@ class SIRIIndex:
         Returns the root digest of the *new* version.  The old version
         remains fully readable: only nodes on modified paths are re-created
         (copy-on-write); untouched nodes are shared between the versions.
+
+        A key appearing in both ``puts`` and ``removes`` is **removed**
+        (remove-wins): the batch behaves as if every put were applied
+        first and every remove after it.  Every implementation must
+        uphold this so that one batch produces the same version no matter
+        which structure applied it.
         """
         raise NotImplementedError
+
+    def write_counted(
+        self,
+        root: Optional[Digest],
+        puts: Mapping[bytes, bytes],
+        removes: Iterable[bytes] = (),
+    ) -> Tuple[Optional[Digest], Optional[int]]:
+        """Like :meth:`write`, additionally reporting the record-count delta.
+
+        Returns ``(new_root, delta)`` where ``delta`` is the change in
+        record count produced by the batch, or ``None`` when the
+        structure cannot account for it as a by-product of the write
+        itself (the snapshot layer then drops its cached count rather
+        than paying extra reads).  The SIRI indexes override this with
+        zero-extra-I/O accounting; the default covers only the
+        empty-root case, where the batch fully determines the count.
+        """
+        new_root = self.write(root, puts, removes)
+        if root is None:
+            removed = set(removes)
+            return new_root, sum(1 for key in puts if key not in removed)
+        return new_root, None
+
+    def bulk_build(self, records: Sequence[Tuple[bytes, bytes]]) -> Optional[Digest]:
+        """Build a brand-new version holding exactly ``records``, bottom-up.
+
+        ``records`` are already-coerced ``(key, value)`` byte pairs with
+        *unique* keys, in caller order.  Returns the root digest of the
+        new version (``None`` for no records).
+
+        The default implementation funnels through :meth:`write` from the
+        empty root, preserving each structure's write-path semantics
+        (including insertion-order dependence for non-SIRI structures).
+        The SIRI indexes override it with O(N) bottom-up builders that
+        sort once and emit every node exactly once, level by level —
+        history independence guarantees (and the differential tests
+        assert) that the resulting roots are byte-identical to
+        incremental insertion.
+        """
+        return self.write(None, dict(records))
 
     def iterate(self, root: Optional[Digest]) -> Iterator[Tuple[bytes, bytes]]:
         """Iterate ``(key, value)`` pairs of a version in ascending key order."""
@@ -124,8 +170,20 @@ class SIRIIndex:
         return IndexSnapshot(self, root, record_count=record_count)
 
     def from_items(self, items: Union[Mapping[KeyLike, ValueLike], Iterable[Tuple[KeyLike, ValueLike]]]) -> "IndexSnapshot":
-        """Build a snapshot containing ``items`` starting from the empty index."""
-        return self.empty_snapshot().update(items)
+        """Build a snapshot containing ``items`` starting from the empty index.
+
+        This is the bulk-ingest entry point: duplicates coalesce
+        last-writer-wins, the deduplicated records are handed to
+        :meth:`bulk_build` (the SIRI indexes' O(N) bottom-up builders),
+        and the returned snapshot carries an exact cached record count.
+        """
+        if isinstance(items, Mapping):
+            pairs = items.items()
+        else:
+            pairs = items
+        puts = {coerce_key(k): coerce_value(v) for k, v in pairs}
+        root = self.bulk_build(list(puts.items()))
+        return IndexSnapshot(self, root, record_count=len(puts))
 
     def height(self, root: Optional[Digest]) -> int:
         """Height of the version's tree (max node count on any root→leaf path)."""
@@ -245,15 +303,32 @@ class IndexSnapshot:
         items: Union[Mapping[KeyLike, ValueLike], Iterable[Tuple[KeyLike, ValueLike]]],
         removes: Iterable[KeyLike] = (),
     ) -> "IndexSnapshot":
-        """Return a new snapshot with a batch of puts and removes applied."""
+        """Return a new snapshot with a batch of puts and removes applied.
+
+        A key appearing in both ``items`` and ``removes`` ends up
+        **removed** (remove-wins — see :meth:`SIRIIndex.write`).
+
+        When this snapshot carries a cached record count (snapshots from
+        :meth:`SIRIIndex.from_items` / :meth:`SIRIIndex.empty_snapshot`
+        do), the new snapshot's count is maintained through the batch via
+        :meth:`SIRIIndex.write_counted`, so ``len()`` stays O(1) across
+        write chains instead of silently degrading to a full iteration.
+        The SIRI indexes account for the delta as a free by-product of
+        the write; structures that cannot (the MVMB+-Tree baseline on a
+        non-empty version) drop the cache rather than pay extra reads.
+        """
         if isinstance(items, Mapping):
             pairs = items.items()
         else:
             pairs = items
         puts = {coerce_key(k): coerce_value(v) for k, v in pairs}
         removed = [coerce_key(k) for k in removes]
-        new_root = self.index.write(self.root, puts, removed)
-        return IndexSnapshot(self.index, new_root)
+        if self._record_count is None:
+            new_root = self.index.write(self.root, puts, removed)
+            return IndexSnapshot(self.index, new_root)
+        new_root, delta = self.index.write_counted(self.root, puts, removed)
+        new_count = self._record_count + delta if delta is not None else None
+        return IndexSnapshot(self.index, new_root, record_count=new_count)
 
     def remove(self, *keys: KeyLike) -> "IndexSnapshot":
         """Return a new snapshot with ``keys`` removed (absent keys ignored)."""

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.interfaces import SIRIIndex
 from repro.encoding.binary import encode_uvarint
 from repro.hashing.digest import Digest
 from repro.indexes.pos_tree import POSTree
@@ -99,6 +100,24 @@ class NonRecursivelyIdenticalPOSTree(POSTree):
     def __init__(self, store: NodeStore, **kwargs):
         super().__init__(store, **kwargs)
         self._version_counter = 0
+
+    def bulk_build(self, records: Sequence[Tuple[bytes, bytes]]) -> Optional[Digest]:
+        # Every version must carry a fresh salt, including the first one:
+        # restore the SIRIIndex default (route through write(), which bumps
+        # the version counter) instead of inheriting POS-Tree's salt-free
+        # bottom-up builder.
+        return SIRIIndex.bulk_build(self, records)
+
+    def write_counted(
+        self,
+        root: Optional[Digest],
+        puts: Mapping[bytes, bytes],
+        removes: Iterable[bytes] = (),
+    ) -> Tuple[Optional[Digest], Optional[int]]:
+        # Likewise: POS-Tree's counted write would bypass the full salted
+        # rebuild this ablation is about; the default funnels through
+        # write() and only counts the fully-determined empty-root case.
+        return SIRIIndex.write_counted(self, root, puts, removes)
 
     def write(
         self,

@@ -179,6 +179,40 @@ class MerkleBucketTree(MerkleIndex):
         return level
 
     # ------------------------------------------------------------------
+    # Bulk build (bottom-up)
+    # ------------------------------------------------------------------
+
+    def bulk_build(self, records: Sequence[Tuple[bytes, bytes]]) -> Optional[Digest]:
+        """Build a fresh version holding exactly ``records`` in O(N + B).
+
+        One global sort keeps every bucket's entries ordered as they are
+        appended (bucket assignment preserves relative key order), so each
+        bucket is serialized and hashed exactly once and the internal
+        levels are rolled up once — no per-bucket merge against the empty
+        tree.  Bucket serialization is byte-identical to the incremental
+        write path, so the root matches incremental insertion exactly.
+        """
+        if not records:
+            return None
+        capacity = self.capacity
+        bucket_of = self.bucket_of  # polymorphic: subclasses re-routing keys
+        buckets: List[Optional[List[Tuple[bytes, bytes]]]] = [None] * capacity
+        for pair in sorted(records):
+            position = bucket_of(pair[0])
+            bucket = buckets[position]
+            if bucket is None:
+                buckets[position] = [pair]
+            else:
+                bucket.append(pair)
+        empty = self._empty_bucket_digest()
+        bucket_digests = [
+            empty if entries is None
+            else self._put_node(self._serialize_bucket(entries))
+            for entries in buckets
+        ]
+        return self._build_from_buckets(bucket_digests)
+
+    # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
 
@@ -235,9 +269,27 @@ class MerkleBucketTree(MerkleIndex):
         puts: Mapping[bytes, bytes],
         removes: Iterable[bytes] = (),
     ) -> Optional[Digest]:
+        return self.write_counted(root, puts, removes)[0]
+
+    def write_counted(
+        self,
+        root: Optional[Digest],
+        puts: Mapping[bytes, bytes],
+        removes: Iterable[bytes] = (),
+    ) -> Tuple[Optional[Digest], Optional[int]]:
+        # Remove-wins: puts are merged into each bucket first and removes
+        # popped afterwards, so a key on both sides of the batch ends up
+        # absent (the contract documented on SIRIIndex.write).
         removes = list(removes)
-        if root is None and not puts and not removes:
-            return None
+        if root is None:
+            # Fresh version: one global sort, zero node reads (the generic
+            # path below would read and merge every affected bucket).
+            removed = set(removes)
+            if removed:
+                records = [(k, v) for k, v in puts.items() if k not in removed]
+            else:
+                records = list(puts.items())
+            return self.bulk_build(records), len(records)
 
         # Group the changes per bucket so each affected bucket is rewritten once.
         bucket_puts: Dict[int, Dict[bytes, bytes]] = {}
@@ -247,11 +299,9 @@ class MerkleBucketTree(MerkleIndex):
         for key in removes:
             bucket_removes.setdefault(self.bucket_of(key), set()).add(key)
 
-        if root is None:
-            bucket_digests = self._empty_bucket_digests()
-        else:
-            bucket_digests = self._bucket_digests(root)
+        bucket_digests = self._bucket_digests(root)
 
+        delta = 0
         affected = set(bucket_puts) | set(bucket_removes)
         for bucket_index in affected:
             old_entries = self._deserialize_bucket(self._get_node(bucket_digests[bucket_index]))
@@ -260,6 +310,7 @@ class MerkleBucketTree(MerkleIndex):
             for key in bucket_removes.get(bucket_index, ()):  # absent keys are ignored
                 merged.pop(key, None)
             new_entries = sorted(merged.items())
+            delta += len(new_entries) - len(old_entries)
             bucket_digests[bucket_index] = self._put_node(self._serialize_bucket(new_entries))
 
         if removes:
@@ -271,9 +322,9 @@ class MerkleBucketTree(MerkleIndex):
             # can empty the tree, so put-only batches skip the check.
             empty = self._empty_bucket_digest()
             if all(digest == empty for digest in bucket_digests):
-                return None
+                return None, delta
 
-        return self._build_from_buckets(bucket_digests)
+        return self._build_from_buckets(bucket_digests), delta
 
     # ------------------------------------------------------------------
     # Iteration, diff, proofs

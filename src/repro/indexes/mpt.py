@@ -79,6 +79,11 @@ class MerklePatriciaTrie(MerkleIndex):
 
     def __init__(self, store: NodeStore):
         super().__init__(store)
+        #: Set by the terminal _insert_* cases when the last insertion
+        #: created a brand-new record (rather than replacing a value);
+        #: write_counted() reads it back per key.  Writes on one index
+        #: instance are serialized by the owning shard's lock.
+        self._insert_created_record = False
 
     # ------------------------------------------------------------------
     # Node serialization
@@ -205,6 +210,64 @@ class MerklePatriciaTrie(MerkleIndex):
         return depth
 
     # ------------------------------------------------------------------
+    # Bulk build (bottom-up construction of the canonical trie)
+    # ------------------------------------------------------------------
+
+    def bulk_build(self, records: Sequence[Tuple[bytes, bytes]]) -> Optional[Digest]:
+        """Build the canonical trie over ``records`` bottom-up in O(N).
+
+        The records are sorted once (byte order equals nibble order) and
+        the trie is emitted recursively: every maximal shared prefix
+        becomes one extension, every divergence one branch, every record
+        one leaf — so each node is serialized and hashed exactly once,
+        instead of once per insertion along its path.  The trie is
+        structurally invariant, so the root is byte-identical to the one
+        incremental insertion produces (the differential tests pin this).
+        """
+        if not records:
+            return None
+        items = sorted((bytes_to_nibbles(key), value) for key, value in records)
+        return self._build_subtree_bulk(items, 0, len(items), 0)
+
+    def _build_subtree_bulk(self, items: List[Tuple[List[int], bytes]],
+                            lo: int, hi: int, depth: int) -> Digest:
+        """Emit the subtree over ``items[lo:hi]``, which share ``depth`` nibbles."""
+        if hi - lo == 1:
+            nibbles, value = items[lo]
+            return self._store_node(_Leaf(nibbles[depth:], value))
+        # The longest common prefix of a sorted run is that of its extremes.
+        first = items[lo][0]
+        last = items[hi - 1][0]
+        limit = min(len(first), len(last))
+        cut = depth
+        while cut < limit and first[cut] == last[cut]:
+            cut += 1
+        if cut > depth:
+            child = self._build_branch_bulk(items, lo, hi, cut)
+            return self._store_node(_Extension(first[depth:cut], child))
+        return self._build_branch_bulk(items, lo, hi, depth)
+
+    def _build_branch_bulk(self, items: List[Tuple[List[int], bytes]],
+                           lo: int, hi: int, depth: int) -> Digest:
+        """Emit the branch whose ``items[lo:hi]`` diverge at nibble ``depth``."""
+        children: List[Optional[Digest]] = [None] * _BRANCH_WIDTH
+        value: Optional[bytes] = None
+        i = lo
+        if len(items[lo][0]) == depth:
+            # Keys are unique, so at most one key terminates exactly here
+            # (and it sorts first in the run).
+            value = items[lo][1]
+            i += 1
+        while i < hi:
+            nibble = items[i][0][depth]
+            j = i + 1
+            while j < hi and items[j][0][depth] == nibble:
+                j += 1
+            children[nibble] = self._build_subtree_bulk(items, i, j, depth + 1)
+            i = j
+        return self._store_node(_Branch(children, value))
+
+    # ------------------------------------------------------------------
     # Write (batched puts and removes)
     # ------------------------------------------------------------------
 
@@ -214,15 +277,44 @@ class MerklePatriciaTrie(MerkleIndex):
         puts: Mapping[bytes, bytes],
         removes: Iterable[bytes] = (),
     ) -> Optional[Digest]:
-        new_root = root
+        return self.write_counted(root, puts, removes)[0]
+
+    def write_counted(
+        self,
+        root: Optional[Digest],
+        puts: Mapping[bytes, bytes],
+        removes: Iterable[bytes] = (),
+    ) -> Tuple[Optional[Digest], Optional[int]]:
+        if root is None:
+            # Fresh version: build bottom-up instead of inserting per key.
+            # Remove-wins: a key in both puts and removes stays out.
+            removed = set(removes)
+            if removed:
+                records = [(k, v) for k, v in puts.items() if k not in removed]
+            else:
+                records = list(puts.items())
+            return self.bulk_build(records), len(records)
+        delta = 0
+        new_root: Optional[Digest] = root
         for key, value in puts.items():
+            self._insert_created_record = False
             new_root = self._insert_at(new_root, bytes_to_nibbles(key), value)
+            if self._insert_created_record:
+                delta += 1
+        # Removes are applied after puts, making remove-wins explicit for
+        # keys that appear on both sides of the batch.  An absent key
+        # leaves the root digest untouched, so the comparison below counts
+        # exactly the removes that hit a record.
         for key in removes:
+            before = new_root
             new_root = self._delete_at(new_root, bytes_to_nibbles(key))
-        return new_root
+            if new_root != before:
+                delta -= 1
+        return new_root, delta
 
     def _insert_at(self, digest: Optional[Digest], nibbles: List[int], value: bytes) -> Digest:
         if digest is None:
+            self._insert_created_record = True
             return self._store_node(_Leaf(nibbles, value))
 
         node = self._load_node(digest)
@@ -239,6 +331,7 @@ class MerklePatriciaTrie(MerkleIndex):
             # Same key: replace the value.
             return self._store_node(_Leaf(node.path, value))
 
+        self._insert_created_record = True
         children: List[Optional[Digest]] = [None] * _BRANCH_WIDTH
         branch_value: Optional[bytes] = None
 
@@ -264,6 +357,7 @@ class MerklePatriciaTrie(MerkleIndex):
             new_child = self._insert_at(node.child, nibbles[common:], value)
             return self._store_node(_Extension(node.path, new_child))
 
+        self._insert_created_record = True
         children: List[Optional[Digest]] = [None] * _BRANCH_WIDTH
         branch_value: Optional[bytes] = None
 
@@ -289,6 +383,8 @@ class MerklePatriciaTrie(MerkleIndex):
 
     def _insert_into_branch(self, node: _Branch, nibbles: List[int], value: bytes) -> Digest:
         if not nibbles:
+            if node.value is None:
+                self._insert_created_record = True
             return self._store_node(_Branch(node.children, value))
         index = nibbles[0]
         new_child = self._insert_at(node.children[index], nibbles[1:], value)

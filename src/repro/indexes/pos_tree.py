@@ -27,9 +27,11 @@ rewritten.
 from __future__ import annotations
 
 import bisect
+import hashlib
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.errors import InvalidParameterError
+from repro.encoding.binary import encode_bytes, encode_uvarint
 from repro.hashing.chunker import BoundaryPattern, ContentDefinedChunker
 from repro.hashing.digest import Digest
 from repro.indexes.ranged import Entry, RangedMerkleSearchTree
@@ -107,6 +109,9 @@ class POSTree(RangedMerkleSearchTree):
             max_items=None,
             fingerprint_mode="digest_tail",
         )
+        #: Record-count delta accumulated by _rewrite_leaf_level for the
+        #: write in flight; read back by write_counted().
+        self._rewrite_delta = 0
 
     # ------------------------------------------------------------------
     # Boundary predicates
@@ -200,32 +205,106 @@ class POSTree(RangedMerkleSearchTree):
             level += 1
         return entries[0][1]
 
+    # ------------------------------------------------------------------
+    # Bulk build (bottom-up, fused boundary detection + serialization)
+    # ------------------------------------------------------------------
+
+    def bulk_build(self, records: Sequence[Tuple[bytes, bytes]]) -> Optional[Digest]:
+        """Build a fresh version holding exactly ``records`` in O(N).
+
+        Sorts once and emits leaves and internal levels bottom-up.  On the
+        default chunker configuration the leaf pass is *fused*: each
+        record's canonical item bytes are encoded once and reused for both
+        the boundary fingerprint and the leaf serialization (the generic
+        path encodes every record twice).  The chunk sequence and node
+        bytes are identical to the incremental write path, so the root is
+        byte-identical to incremental insertion.
+        """
+        if not records:
+            return None
+        leaf_entries = self._bulk_leaf_level(sorted(records))
+        if len(leaf_entries) == 1:
+            return leaf_entries[0][1]
+        return self._build_internal_levels(leaf_entries)
+
+    def _bulk_leaf_level(self, records: Sequence[Tuple[bytes, bytes]]) -> List[Entry]:
+        """Chunk + serialize + store the sorted ``records`` in one pass."""
+        chunker = self._leaf_chunker
+        if (type(self)._chunk_records_closed is not POSTree._chunk_records_closed
+                or type(self)._leaf_entry_is_boundary is not POSTree._leaf_entry_is_boundary
+                or chunker.fingerprint_mode not in ("item_hash", "digest_tail")
+                or chunker.min_items != 1
+                or chunker.max_items is not None):
+            # A subclass customized chunking (the ablation variants, Noms'
+            # windowed fingerprints): defer to the generic builder so its
+            # overrides keep deciding every boundary.
+            return self._build_leaf_level(records)
+        blake2b = hashlib.blake2b
+        encode = encode_bytes
+        header = self._leaf_header()
+        item_hash = chunker.fingerprint_mode == "item_hash"
+        mask = chunker.pattern.mask
+        want = chunker.pattern.value
+        put_node = self._put_node
+        entries: List[Entry] = []
+        parts: List[bytes] = []
+        for key, value in records:
+            item = encode(key) + encode(value)
+            parts.append(item)
+            if item_hash:
+                fingerprint = int.from_bytes(
+                    blake2b(item, digest_size=8).digest(), "big")
+            else:
+                fingerprint = int.from_bytes(
+                    item[-8:] if len(item) >= 8 else item, "big")
+            if fingerprint & mask == want:
+                data = header + encode_uvarint(len(parts)) + b"".join(parts)
+                entries.append((key, put_node(data)))
+                parts = []
+        if parts:
+            data = header + encode_uvarint(len(parts)) + b"".join(parts)
+            entries.append((records[-1][0], put_node(data)))
+        return entries
+
     def write(
         self,
         root: Optional[Digest],
         puts: Mapping[bytes, bytes],
         removes: Iterable[bytes] = (),
     ) -> Optional[Digest]:
+        return self.write_counted(root, puts, removes)[0]
+
+    def write_counted(
+        self,
+        root: Optional[Digest],
+        puts: Mapping[bytes, bytes],
+        removes: Iterable[bytes] = (),
+    ) -> Tuple[Optional[Digest], Optional[int]]:
         removes = list(removes)
         if not puts and not removes:
-            return root
+            return root, 0
 
         if root is None:
-            records = sorted(puts.items())
-            if not records:
-                return None
-            leaf_entries = self._build_leaf_level(records)
-            if len(leaf_entries) == 1:
-                return leaf_entries[0][1]
-            return self._build_internal_levels(leaf_entries)
+            # Remove-wins: a key in both puts and removes stays out of the
+            # new version (the seed path silently let the put win here,
+            # diverging from every other index and from the non-empty
+            # branch below).
+            removed = set(removes)
+            if removed:
+                records = [(k, v) for k, v in puts.items() if k not in removed]
+            else:
+                records = list(puts.items())
+            return self.bulk_build(records), len(records)
 
         old_leaves = self._leaf_descriptors(root)
+        self._rewrite_delta = 0
         new_leaves = self._rewrite_leaf_level(old_leaves, puts, removes)
+        delta = self._rewrite_delta
         if not new_leaves:
-            return None
+            return None, delta
         if len(new_leaves) == 1:
-            return new_leaves[0][1]
-        return self._build_internal_levels(new_leaves)
+            return new_leaves[0][1], delta
+        return self._build_internal_levels(new_leaves), delta
 
     def _rewrite_leaf_level(
         self,
@@ -242,6 +321,7 @@ class POSTree(RangedMerkleSearchTree):
         """
         if not old_leaves:
             records = self._apply_changes([], puts, removes)
+            self._rewrite_delta += len(records)
             return self._build_leaf_level(records) if records else []
 
         split_keys = [split for split, _ in old_leaves]
@@ -268,11 +348,13 @@ class POSTree(RangedMerkleSearchTree):
                 new_leaves.append((split_key, digest))
                 continue
             records = self._load_leaf(digest)
+            before = len(records)
             records = self._apply_changes(
                 records,
                 per_leaf_puts.get(position, {}),
                 per_leaf_removes.get(position, ()),
             )
+            self._rewrite_delta += len(records) - before
             records = pending + records
             closed, pending = self._chunk_records_closed(records)
             for chunk in closed:

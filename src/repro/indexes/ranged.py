@@ -53,6 +53,16 @@ class RangedMerkleSearchTree(MerkleIndex):
     def _serialize_leaf(self, entries: Sequence[Tuple[bytes, bytes]]) -> bytes:
         return _TAG_LEAF + encode_bytes(self._node_salt) + encode_kv_pairs(entries)
 
+    def _leaf_header(self) -> bytes:
+        """The constant prefix of every leaf serialization (tag + salt).
+
+        Bulk builders assemble leaf bytes as ``header + uvarint(count) +
+        the records' concatenated item bytes`` — byte-identical to
+        :meth:`_serialize_leaf` but without re-encoding records whose item
+        bytes were already produced for boundary detection.
+        """
+        return _TAG_LEAF + encode_bytes(self._node_salt)
+
     def _deserialize_leaf(self, data: bytes) -> List[Tuple[bytes, bytes]]:
         if data[:1] != _TAG_LEAF:
             raise ValueError("not a leaf node")

@@ -98,6 +98,30 @@ class ShardWriteBatcher:
             self._buffered_ops[shard] += 1
             return len(puts) + len(removes) >= self.flush_threshold
 
+    def buffer_put_many(self, shard: int, pairs: "List[Tuple[bytes, bytes]]") -> bool:
+        """Buffer many puts on ``shard`` under one lock acquisition.
+
+        ``pairs`` are applied in order (last-writer-wins within the call,
+        exactly like repeated :meth:`buffer_put`), but the shard lock is
+        taken once and the flush decision is made once — after the whole
+        batch — so a caller flushes the shard at most once per call
+        instead of potentially once per key.
+        """
+        if not pairs:
+            return False
+        with self._locks[shard]:
+            puts = self._puts[shard]
+            removes = self._removes[shard]
+            coalesced = 0
+            for key, value in pairs:
+                if key in puts or key in removes:
+                    coalesced += 1
+                removes.discard(key)
+                puts[key] = value
+            self._coalesced_ops[shard] += coalesced
+            self._buffered_ops[shard] += len(pairs)
+            return len(puts) + len(removes) >= self.flush_threshold
+
     def buffer_remove(self, shard: int, key: bytes) -> bool:
         """Buffer a remove of ``key`` on ``shard``; return True when flush is due."""
         with self._locks[shard]:

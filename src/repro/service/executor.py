@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import heapq
 from concurrent.futures import FIRST_EXCEPTION, Future, ThreadPoolExecutor, wait
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.diff import DiffResult
 from repro.core.errors import ReproError
@@ -234,7 +234,7 @@ class ServiceExecutor:
         coalescing resolves duplicates exactly as a sequential
         :meth:`VersionedKVService.put_many` would.
         """
-        pairs = items.items() if isinstance(items, dict) else items
+        pairs = items.items() if isinstance(items, Mapping) else items
         coerced = [(coerce_key(key), coerce_value(value)) for key, value in pairs]
         self._fan_out_writes("put_many", coerced, remover=None)
 
@@ -265,6 +265,26 @@ class ServiceExecutor:
             for shard_id, bucket in enumerate(buckets) if bucket
         ]
         self._run_shard_tasks(operation, tasks)
+
+    def load(self, items: Union[Dict[KeyLike, ValueLike],
+                                Sequence[Tuple[KeyLike, ValueLike]]]) -> int:
+        """Bulk-ingest ``items`` with one pool task per destination shard.
+
+        Same semantics as :meth:`VersionedKVService.load` — one lock
+        round-trip per shard, pending buffered operations folded in, the
+        bottom-up builders on empty shards — but the per-shard batched
+        writes (the expensive copy-on-write tree construction) run
+        concurrently on the pool.  Returns the number of records routed.
+        """
+        service = self.service
+        service._require_open()
+        per_shard, total = service._partition_load(items)
+        tasks = [
+            (shard_id, (lambda s=shard_id, p=puts: service._load_shard(s, p)))
+            for shard_id, puts in enumerate(per_shard) if puts
+        ]
+        self._run_shard_tasks("load", tasks)
+        return total
 
     def flush(self) -> None:
         """Flush every shard's pending writes, one pool task per shard.

@@ -66,7 +66,7 @@ import os
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.diff import DiffEntry, DiffResult, diff_snapshots
 from repro.core.errors import CorruptNodeError, InvalidParameterError, KeyNotFoundError, ServiceClosedError
@@ -215,6 +215,12 @@ class _Shard:
         self.store = store
         self.cache = cache
         self.index = index
+        # A *counted* head costs the flush path nothing: the SIRI indexes
+        # report the record delta as a free by-product of each batched
+        # write (SIRIIndex.write_counted), so record_count() is O(1) on a
+        # freshly built service.  The count is unknown (None) after the
+        # head is reset from journalled roots — open()/branch commits —
+        # where the first len() falls back to one iteration and caches.
         self.head: IndexSnapshot = index.empty_snapshot()
         #: Root digest after every flush, oldest first (the shard's own
         #: root-version history; service commits reference entries of it).
@@ -759,10 +765,104 @@ class VersionedKVService:
             self._flush_shard(shard_id)
 
     def put_many(self, items: Union[Dict[KeyLike, ValueLike], Sequence[Tuple[KeyLike, ValueLike]]]) -> None:
-        """Buffer many writes at once (same coalescing/flush behaviour)."""
-        pairs = items.items() if isinstance(items, dict) else items
+        """Buffer many writes at once (same coalescing/flush behaviour).
+
+        Unlike a loop of :meth:`put` (the seed implementation), the batch
+        is routed per shard up front: the operation counter is bumped
+        once, each destination shard's buffer lock is taken once, and
+        each shard is flushed at most once per call (when its buffer
+        crossed the threshold), instead of re-routing and re-locking per
+        key.  Within a shard the input order is preserved, so duplicate
+        keys coalesce last-writer-wins exactly as sequential puts would.
+        """
+        self._require_open()
+        pairs = items.items() if isinstance(items, Mapping) else items
+        per_shard: List[List[Tuple[bytes, bytes]]] = [[] for _ in range(self.num_shards)]
+        total = 0
+        shard_of = self.router.shard_of
         for key, value in pairs:
-            self.put(key, value)
+            key_bytes = coerce_key(key)
+            per_shard[shard_of(key_bytes)].append((key_bytes, coerce_value(value)))
+            total += 1
+        if not total:
+            return
+        with self._counter_lock:
+            self._puts += total
+        for shard_id, bucket in enumerate(per_shard):
+            if bucket and self.batcher.buffer_put_many(shard_id, bucket):
+                self._flush_shard(shard_id)
+
+    def load(self, items: Union[Dict[KeyLike, ValueLike], Sequence[Tuple[KeyLike, ValueLike]]]) -> int:
+        """Bulk-ingest ``items`` straight through the shard write paths.
+
+        The batch is grouped per shard once and each shard is loaded
+        under **one** lock round-trip: pending buffered operations are
+        drained into the batch (the loaded items are newer and win), and
+        the merged records are applied as a single batched write — which,
+        on an empty shard, is the index's O(N) bottom-up bulk builder.
+        The loaded state lands in the shards' working heads exactly like
+        flushed puts; call :meth:`commit` (or use
+        :meth:`repro.api.Branch.load`) to version it.  Returns the number
+        of records routed.
+
+        :meth:`repro.service.executor.ServiceExecutor.load` drives the
+        same per-shard loads concurrently, one pool task per shard.
+        """
+        self._require_open()
+        per_shard, total = self._partition_load(items)
+        for shard_id, puts in enumerate(per_shard):
+            if puts:
+                self._load_shard(shard_id, puts)
+        return total
+
+    def _partition_load(self, items: Union[Dict[KeyLike, ValueLike], Sequence[Tuple[KeyLike, ValueLike]]]) -> Tuple[List[Dict[bytes, bytes]], int]:
+        """Coerce and group a load batch per shard; bump counters once.
+
+        The returned total counts *routed records* — duplicate keys in the
+        input coalesce last-writer-wins before routing.
+        """
+        pairs = items.items() if isinstance(items, Mapping) else items
+        per_shard: List[Dict[bytes, bytes]] = [{} for _ in range(self.num_shards)]
+        shard_of = self.router.shard_of
+        for key, value in pairs:
+            key_bytes = coerce_key(key)
+            per_shard[shard_of(key_bytes)][key_bytes] = coerce_value(value)
+        total = sum(len(bucket) for bucket in per_shard)
+        if total:
+            with self._counter_lock:
+                self._puts += total
+        return per_shard, total
+
+    def _load_shard(self, shard_id: int, puts: Dict[bytes, bytes]) -> None:
+        """Apply one shard's load batch under a single lock acquisition.
+
+        Anything already buffered for the shard is folded into the batch
+        (loaded items win over older buffered puts; buffered removes of
+        keys the load rewrites are dropped), so the shard is written once
+        and read-your-writes ordering is preserved.
+        """
+        shard = self._shards[shard_id]
+        with shard:
+            pending_puts, pending_removes = self.batcher.take(shard_id)
+            if pending_puts:
+                pending_puts.update(puts)
+                puts = pending_puts
+            removes = [key for key in pending_removes if key not in puts]
+            started = time.perf_counter()
+            # Keys are already coerced: write through the index directly
+            # (update() would re-coerce and rebuild the whole batch dict),
+            # carrying the head's cached record count through the batch.
+            new_root, delta = shard.index.write_counted(
+                shard.head.root_digest, puts, removes)
+            count = shard.head._record_count
+            new_count = count + delta if (count is not None and delta is not None) else None
+            shard.head = shard.index.snapshot(new_root, record_count=new_count)
+            store_flush = getattr(shard.backing, "flush", None)
+            if store_flush is not None:
+                store_flush()
+            shard.flush_seconds += time.perf_counter() - started
+            shard.history.append(shard.head.root_digest)
+            shard.flushes += 1
 
     def _flush_shard_locked(self, shard: _Shard) -> None:
         """Apply pending operations to ``shard``; its lock must be held."""

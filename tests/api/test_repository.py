@@ -283,3 +283,97 @@ class TestDeprecatedSurface:
             warnings.simplefilter("always")
             from repro.service import VersionedKVService as _  # noqa: F401
         assert not [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestBulkImport:
+    """Repository.import_data / Branch.load (the ISSUE 5 ingest surface)."""
+
+    ITEMS = {b"row%04d" % i: b"payload%04d" % i for i in range(500)}
+
+    def test_import_data_is_one_journalled_commit(self):
+        with Repository.open(num_shards=4) as repo:
+            before = len(repo.commits)
+            commit = repo.import_data(self.ITEMS, message="seed dataset")
+            assert len(repo.commits) == before + 1
+            assert commit.message == "seed dataset"
+            assert repo.default_branch.head.version == commit.version
+            assert repo.default_branch.get(b"row0042") == b"payload0042"
+            assert repo.default_branch.record_count() == len(self.ITEMS)
+
+    def test_import_matches_staged_commit_digest(self):
+        with Repository.open(num_shards=4) as repo:
+            imported = repo.import_data(self.ITEMS)
+        with Repository.open(num_shards=4) as repo:
+            branch = repo.default_branch
+            branch.put_many(self.ITEMS)
+            staged = branch.commit("same content")
+            assert staged.digest == imported.digest
+
+    def test_import_into_new_branch_creates_it(self):
+        with Repository.open(num_shards=2) as repo:
+            commit = repo.import_data(self.ITEMS, branch="ingest")
+            assert "ingest" in repo.branches()
+            assert repo.branch("ingest").head.version == commit.version
+            # the default branch is untouched
+            assert repo.default_branch.get(b"row0000") is None
+
+    def test_branch_load_on_top_of_existing_data(self):
+        with Repository.open(num_shards=2) as repo:
+            main = repo.default_branch
+            main.put(b"pre-existing", b"1")
+            main.commit("before")
+            main.load(self.ITEMS, message="bulk")
+            assert main.get(b"pre-existing") == b"1"
+            assert main.get(b"row0001") == b"payload0001"
+            assert main.record_count() == len(self.ITEMS) + 1
+
+    def test_branch_load_leaves_staged_buffer_alone(self):
+        with Repository.open(num_shards=2) as repo:
+            main = repo.default_branch
+            main.put(b"staged-key", b"staged-value")
+            main.load(self.ITEMS)
+            assert main.staged_count == 1
+            assert main.get(b"staged-key") == b"staged-value"
+            # the staged op is not part of the committed head
+            assert main.snapshot().get(b"staged-key") is None
+
+    def test_empty_import_returns_current_head(self):
+        with Repository.open(num_shards=2) as repo:
+            assert repo.import_data({}) is None  # unborn branch stays unborn
+            first = repo.import_data(self.ITEMS)
+            assert repo.import_data({}) == first
+
+    def test_import_last_writer_wins_duplicates(self):
+        with Repository.open(num_shards=2) as repo:
+            repo.import_data([(b"dup", b"first"), (b"dup", b"final")])
+            assert repo.default_branch.get(b"dup") == b"final"
+
+    def test_import_accepts_non_dict_mappings(self):
+        from types import MappingProxyType
+        with Repository.open(num_shards=2) as repo:
+            repo.import_data(MappingProxyType({b"ab": b"v1", b"cd": b"v2"}))
+            assert repo.default_branch.get(b"ab") == b"v1"
+            assert repo.default_branch.get(b"cd") == b"v2"
+            assert repo.default_branch.record_count() == 2
+
+    def test_imported_branch_forks_and_merges(self):
+        with Repository.open(num_shards=2) as repo:
+            main = repo.default_branch
+            repo.import_data(self.ITEMS)
+            fork = main.fork("edit")
+            fork.put(b"row0000", b"edited")
+            fork.commit("edit one row")
+            outcome = repo.merge("main", "edit", message="merge edits")
+            assert outcome.commit is not None
+            assert main.get(b"row0000") == b"edited"
+
+    def test_import_survives_crash_recovery(self, tmp_path):
+        directory = str(tmp_path / "repo")
+        repo = Repository.open(directory, num_shards=2)
+        commit = repo.import_data(self.ITEMS, message="durable import")
+        # abandon without close(): recovery must restore the imported head
+        repo.service._opened = False
+        recovered = Repository.open(directory, num_shards=2)
+        assert recovered.default_branch.head.digest == commit.digest
+        assert recovered.default_branch.get(b"row0499") == b"payload0499"
+        recovered.close()

@@ -1,0 +1,216 @@
+"""Differential tests for the bottom-up bulk builders (ISSUE 5).
+
+History independence makes the bulk-ingest subsystem directly testable:
+for every SIRI index, the root produced by :meth:`SIRIIndex.bulk_build`
+(via ``from_items``) must be **byte-identical** to the root produced by
+incremental insertion, for any key set and any insertion order.  These
+tests pin that equivalence — randomized and hypothesis-driven, including
+the empty, single-key and duplicate-key edge cases — plus the
+remove-wins batch semantics now guaranteed by every ``write()``
+implementation.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.indexes import MerkleBucketTree, MerklePatriciaTrie, MVMBTree, POSTree
+from tests.conftest import ALL_INDEXES, SIRI_INDEXES, build_index
+
+KEYS = st.binary(min_size=0, max_size=12)
+VALUES = st.binary(min_size=0, max_size=24)
+DATASETS = st.dictionaries(KEYS, VALUES, max_size=64)
+
+
+def incremental_root(index_class, items, batch_size=1, seed=0):
+    """Insert ``items`` incrementally (shuffled, batched) and return the root."""
+    snapshot = build_index(index_class).empty_snapshot()
+    pairs = list(items.items())
+    random.Random(seed).shuffle(pairs)
+    for start in range(0, len(pairs), batch_size):
+        snapshot = snapshot.update(dict(pairs[start:start + batch_size]))
+    return snapshot.root_digest
+
+
+class TestBulkEqualsIncremental:
+    """bulk_build must reproduce incremental insertion byte for byte."""
+
+    @pytest.mark.parametrize("index_class", SIRI_INDEXES, ids=lambda c: c.name)
+    @given(items=DATASETS, seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_bulk_root_equals_incremental_root(self, index_class, items, seed):
+        bulk = build_index(index_class).from_items(items)
+        assert bulk.root_digest == incremental_root(index_class, items, seed=seed)
+        assert dict(bulk.items()) == items
+
+    @pytest.mark.parametrize("index_class", SIRI_INDEXES, ids=lambda c: c.name)
+    @given(items=DATASETS)
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_bulk_root_equals_batched_incremental_root(self, index_class, items):
+        bulk = build_index(index_class).from_items(items)
+        assert bulk.root_digest == incremental_root(index_class, items,
+                                                    batch_size=7, seed=1)
+
+    @pytest.mark.parametrize("index_class", SIRI_INDEXES, ids=lambda c: c.name)
+    def test_empty_input_builds_the_empty_root(self, index_class):
+        snapshot = build_index(index_class).from_items({})
+        assert snapshot.root_digest is None
+        assert snapshot.is_empty()
+        assert len(snapshot) == 0
+
+    @pytest.mark.parametrize("index_class", ALL_INDEXES, ids=lambda c: c.name)
+    def test_single_key(self, index_class):
+        bulk = build_index(index_class).from_items({b"only": b"one"})
+        single = build_index(index_class).empty_snapshot().put(b"only", b"one")
+        assert bulk.root_digest == single.root_digest
+        assert len(bulk) == 1
+        assert bulk[b"only"] == b"one"
+
+    @pytest.mark.parametrize("index_class", ALL_INDEXES, ids=lambda c: c.name)
+    def test_duplicate_keys_coalesce_last_writer_wins(self, index_class):
+        pairs = [(b"dup", b"first"), (b"other", b"x"), (b"dup", b"last")]
+        bulk = build_index(index_class).from_items(pairs)
+        assert bulk[b"dup"] == b"last"
+        assert len(bulk) == 2
+        expected = build_index(index_class).from_items(
+            {b"dup": b"last", b"other": b"x"})
+        assert bulk.root_digest == expected.root_digest
+
+    @pytest.mark.parametrize("index_class", SIRI_INDEXES, ids=lambda c: c.name)
+    def test_prefix_keys_and_empty_key(self, index_class):
+        """Keys that are prefixes of each other (and b'') exercise the MPT
+        terminating-branch-value and extension paths."""
+        items = {b"": b"root", b"a": b"1", b"ab": b"2", b"abc": b"3",
+                 b"abd": b"4", b"b": b"5"}
+        bulk = build_index(index_class).from_items(items)
+        assert bulk.root_digest == incremental_root(index_class, items, seed=3)
+        assert dict(bulk.items()) == items
+
+    @pytest.mark.parametrize("index_class", SIRI_INDEXES, ids=lambda c: c.name)
+    def test_larger_randomized_dataset(self, index_class):
+        rng = random.Random(42)
+        items = {bytes(rng.randrange(256) for _ in range(rng.randrange(1, 10))):
+                 bytes(rng.randrange(256) for _ in range(rng.randrange(0, 30)))
+                 for _ in range(800)}
+        bulk = build_index(index_class).from_items(items)
+        assert bulk.root_digest == incremental_root(index_class, items,
+                                                    batch_size=97, seed=5)
+        assert len(bulk) == len(items)
+
+    def test_mvmbt_default_builder_preserves_insertion_order_semantics(self):
+        """The non-SIRI baseline keeps its order-dependent write path: the
+        default bulk_build funnels through write(), so from_items stays
+        bit-compatible with the seed implementation."""
+        pairs = [(b"c", b"3"), (b"a", b"1"), (b"b", b"2")]
+        via_from_items = build_index(MVMBTree).from_items(pairs)
+        snapshot = build_index(MVMBTree).empty_snapshot().update(dict(pairs))
+        assert via_from_items.root_digest == snapshot.root_digest
+
+
+class TestRemoveWins:
+    """A key in both puts and removes of one batch must end up removed."""
+
+    @pytest.mark.parametrize("index_class", ALL_INDEXES, ids=lambda c: c.name)
+    def test_remove_wins_on_empty_root(self, index_class):
+        index = build_index(index_class)
+        root = index.write(None, {b"keep": b"1", b"gone": b"2"}, removes=[b"gone"])
+        assert index.lookup(root, b"keep") == b"1"
+        assert index.lookup(root, b"gone") is None
+        # The result is identical to never having put the removed key.
+        clean = index.write(None, {b"keep": b"1"})
+        assert root == clean
+
+    @pytest.mark.parametrize("index_class", ALL_INDEXES, ids=lambda c: c.name)
+    def test_remove_wins_on_existing_root(self, index_class):
+        index = build_index(index_class)
+        base = index.write(None, {b"a": b"1", b"b": b"2"})
+        root = index.write(base, {b"b": b"updated", b"c": b"3"}, removes=[b"b"])
+        assert index.lookup(root, b"b") is None
+        assert index.lookup(root, b"a") == b"1"
+        assert index.lookup(root, b"c") == b"3"
+
+    @pytest.mark.parametrize("index_class", ALL_INDEXES, ids=lambda c: c.name)
+    def test_removing_every_put_of_a_fresh_batch_yields_empty(self, index_class):
+        index = build_index(index_class)
+        root = index.write(None, {b"x": b"1"}, removes=[b"x"])
+        assert root is None
+
+    @pytest.mark.parametrize("index_class", SIRI_INDEXES, ids=lambda c: c.name)
+    def test_remove_wins_batch_matches_sequential_application(self, index_class):
+        """One conflicted batch == put batch then remove batch (two versions)."""
+        index = build_index(index_class)
+        base = index.write(None, {b"k%d" % i: b"v" for i in range(20)})
+        batched = index.write(base, {b"k1": b"new", b"k21": b"new"},
+                              removes=[b"k1", b"k5"])
+        stepped = index.write(base, {b"k1": b"new", b"k21": b"new"})
+        stepped = index.write(stepped, {}, removes=[b"k1", b"k5"])
+        assert batched == stepped
+
+
+class TestSnapshotRecordCountMaintenance:
+    """IndexSnapshot.update must carry the cached count through writes.
+
+    The SIRI indexes account for the delta as a free by-product of their
+    write paths (write_counted); the MVMB+-Tree baseline cannot and
+    degrades gracefully (cache dropped, len() falls back to iteration).
+    """
+
+    @pytest.mark.parametrize("index_class", SIRI_INDEXES, ids=lambda c: c.name)
+    def test_count_survives_puts_and_removes(self, index_class):
+        snapshot = build_index(index_class).from_items(
+            {b"k%02d" % i: b"v" for i in range(10)})
+        assert snapshot._record_count == 10
+
+        grown = snapshot.put(b"new-key", b"v")
+        assert grown._record_count == 11          # maintained, not recomputed
+        assert len(grown) == 11
+
+        overwritten = grown.put(b"k00", b"changed")
+        assert overwritten._record_count == 11    # overwrite: no growth
+
+        shrunk = overwritten.remove(b"k01", b"k02")
+        assert shrunk._record_count == 9
+        assert len(shrunk) == 9
+
+        noop = shrunk.remove(b"never-existed")
+        assert noop._record_count == 9
+
+        conflicted = shrunk.update({b"put-and-removed": b"v", b"kept": b"v"},
+                                   removes=[b"put-and-removed"])
+        assert conflicted._record_count == 10     # remove-wins accounted
+        assert len(conflicted) == sum(1 for _ in conflicted.items())
+
+    @pytest.mark.parametrize("index_class", SIRI_INDEXES, ids=lambda c: c.name)
+    def test_count_matches_iteration_after_write_chain(self, index_class):
+        rng = random.Random(9)
+        snapshot = build_index(index_class).from_items(
+            {b"seed%03d" % i: b"v" for i in range(50)})
+        for _ in range(10):
+            puts = {b"seed%03d" % rng.randrange(80): b"u" for _ in range(6)}
+            removes = [b"seed%03d" % rng.randrange(80) for _ in range(3)]
+            snapshot = snapshot.update(puts, removes=removes)
+            assert snapshot._record_count is not None
+            assert snapshot._record_count == sum(1 for _ in snapshot.items())
+
+    def test_mvmbt_degrades_gracefully(self):
+        """The baseline cannot account deltas for free: the cache is exact
+        after from_items and on empty-root updates, dropped afterwards."""
+        snapshot = build_index(MVMBTree).from_items({b"a": b"1", b"b": b"2"})
+        assert snapshot._record_count == 2
+        after = snapshot.put(b"c", b"3")
+        assert after._record_count is None
+        assert len(after) == 3  # iteration fallback stays correct
+
+    def test_uncounted_snapshots_stay_uncounted(self):
+        """Snapshots created without a count (the service's flush hot path)
+        skip maintenance entirely — no hidden lookups per batch key."""
+        index = build_index(POSTree)
+        base = index.from_items({b"a": b"1"})
+        uncounted = index.snapshot(base.root_digest)
+        after = uncounted.put(b"b", b"2")
+        assert after._record_count is None
+        assert len(after) == 2  # falls back to iteration, still correct
