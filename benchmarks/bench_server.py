@@ -1,0 +1,304 @@
+"""Wire-server tail latency and throughput vs client process count.
+
+The paper's system is a *service*: its evaluation measures operations
+arriving over a network front door, not in-process calls.  This
+benchmark closes that gap for the reproduction.  A 4-shard server runs
+in its own OS process; {1, 4, 16} client processes (real sockets, real
+frames, one `RemoteRepository` each) replay the same deterministic
+YCSB-style mixed stream, and we record ops/s plus p50/p99 per-operation
+latency at each client count — the tail-latency-vs-concurrency curve
+that motivates the server's bounded admission queues.
+
+Before the measured runs, a socket-level fuzz stage fires thousands of
+random/mutated frames at the live server (the over-the-wire half of the
+codec-hardening acceptance criterion, complementing the in-process
+fuzzer in ``tests/server/test_protocol.py``) and asserts the server is
+still fully serviceable afterwards.
+
+The full run writes ``BENCH_server.json`` at the repository root (the
+checked-in result artifact) plus a human-readable table under
+``benchmarks/results/``.  ``--quick`` is the CI smoke configuration:
+smaller counts, results under ``*_quick`` names, no JSON rewrite.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_server.py [--quick]
+"""
+
+import argparse
+import json
+import os
+import random
+import socket
+import time
+
+from common import report
+from repro.analysis.report import format_table
+from repro.server import protocol
+from repro.server.client import RemoteRepository
+from repro.server.protocol import Op, Request
+from repro.workloads.ycsb import YCSBConfig, YCSBRemoteDriver, YCSBWorkload
+
+NUM_SHARDS = 4
+QUEUE_CAPACITY = 128
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_server.json")
+
+
+# ---------------------------------------------------------------------------
+# Server subprocess
+# ---------------------------------------------------------------------------
+
+def _serve(conn, num_shards: int, queue_capacity: int) -> None:
+    """Run a 4-shard in-memory server until the parent says stop.
+
+    Module-level so multiprocessing can spawn it.  Sends the bound
+    address through ``conn``, then blocks; any message triggers a
+    graceful drain, after which the final metrics snapshot is sent back.
+    """
+    from repro.indexes import POSTree
+    from repro.server.server import RepositoryServer, ServerThread
+    from repro.service import VersionedKVService
+    from repro.storage.memory import InMemoryNodeStore
+
+    def make_index(store=None, **_overrides):
+        backing = store if store is not None else InMemoryNodeStore()
+        return POSTree(backing, target_node_size=1024, estimated_entry_size=272)
+
+    service = VersionedKVService(make_index, num_shards=num_shards,
+                                 batch_size=256)
+    server = RepositoryServer(service, queue_capacity=queue_capacity)
+    thread = ServerThread(server)
+    try:
+        conn.send(thread.start())
+        conn.recv()  # parent's stop signal
+    finally:
+        thread.stop()
+        conn.send(server.metrics.snapshot())
+        service.close()
+
+
+class ServerProcess:
+    """Context manager owning the benchmark's server subprocess."""
+
+    def __init__(self, num_shards: int = NUM_SHARDS,
+                 queue_capacity: int = QUEUE_CAPACITY):
+        import multiprocessing
+
+        context = multiprocessing.get_context()
+        self._conn, child_conn = context.Pipe()
+        self.process = context.Process(
+            target=_serve, args=(child_conn, num_shards, queue_capacity),
+            name="bench-server")
+        self.process.start()
+        self.address = self._conn.recv()
+        self.final_metrics = None
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def stop(self):
+        if self.process.is_alive():
+            self._conn.send("stop")
+            self.final_metrics = self._conn.recv()
+        self.process.join(timeout=60)
+        return self.final_metrics
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+
+# ---------------------------------------------------------------------------
+# Socket-level fuzz stage
+# ---------------------------------------------------------------------------
+
+def _fuzz_body(rng: random.Random, samples) -> bytes:
+    """A random or mutated message body (framing added by the caller)."""
+    if rng.random() < 0.5:
+        return bytes(rng.randrange(256) for _ in range(rng.randrange(0, 96)))
+    raw = bytearray(samples[rng.randrange(len(samples))])
+    mutations = rng.randrange(1, 4)
+    for _ in range(mutations):
+        choice = rng.randrange(3)
+        if choice == 0 and raw:
+            raw[rng.randrange(len(raw))] ^= 1 << rng.randrange(8)
+        elif choice == 1:
+            del raw[rng.randrange(len(raw) + 1):]
+        elif raw:
+            pos = rng.randrange(len(raw))
+            del raw[pos:pos + rng.randrange(1, 4)]
+    return bytes(raw)
+
+
+def fuzz_stage(address, frames: int, seed: int = 0xBADF00D) -> dict:
+    """Fire ``frames`` hostile frames at a live server; assert it survives.
+
+    Most payloads are correctly framed bodies of garbage (every one
+    reaches the request decoder); a small fraction attack the framing
+    layer itself (hostile declared lengths, raw unframed bytes).  The
+    server may answer with an error frame and hang up per its contract —
+    the stage reconnects and keeps going.  Afterwards the server must
+    still answer a put/get round trip.
+    """
+    rng = random.Random(seed)
+    samples = [protocol.encode_request(r) for r in (
+        Request(op=Op.GET, request_id=1, key=b"fuzz"),
+        Request(op=Op.PUT_MANY, request_id=2, items=[(b"k", b"v")]),
+        Request(op=Op.SCAN, request_id=3, limit=4),
+        Request(op=Op.COMMIT, request_id=4, message="fuzz"),
+        Request(op=Op.PROVE, request_id=5, key=b"fuzz"),
+    )]
+
+    def connect():
+        sock = socket.create_connection(address, timeout=5)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    sent = reconnects = 0
+    sock = connect()
+    started = time.perf_counter()
+    while sent < frames:
+        if rng.random() < 0.02:
+            # Framing-layer attack: hostile length prefix or naked garbage.
+            payload = (rng.randrange(1 << 32).to_bytes(4, "big")
+                       + bytes(rng.randrange(256) for _ in range(8)))
+        else:
+            payload = protocol.encode_frame(_fuzz_body(rng, samples))
+        try:
+            sock.sendall(payload)
+            sock.settimeout(0.01)
+            if not sock.recv(65536):
+                raise ConnectionError("closed")
+        except (TimeoutError, socket.timeout):
+            # Server is (correctly) waiting for the rest of a partial
+            # frame; this connection is desynced on purpose — recycle it.
+            sock.close()
+            sock = connect()
+            reconnects += 1
+        except (ConnectionError, OSError):
+            sock.close()
+            sock = connect()
+            reconnects += 1
+        sent += 1
+    sock.close()
+    elapsed = time.perf_counter() - started
+
+    # The acceptance check: the server is alive and fully serviceable.
+    with RemoteRepository(*address) as remote:
+        remote.put(b"post-fuzz", b"alive")
+        assert remote.get(b"post-fuzz") == b"alive"
+    return {"frames": sent, "reconnects": reconnects,
+            "seconds": round(elapsed, 3), "server_alive": True}
+
+
+# ---------------------------------------------------------------------------
+# Measured runs
+# ---------------------------------------------------------------------------
+
+def run_grid(address, client_counts, record_count: int, operation_count: int):
+    """Load once, then measure the same stream at each client count."""
+    config = YCSBConfig(record_count=record_count,
+                        operation_count=operation_count,
+                        write_ratio=0.5, theta=0.5, seed=97)
+    workload = YCSBWorkload(config)
+    driver = YCSBRemoteDriver(workload, *address)
+    load_counters = driver.load()
+    rows, results = [], []
+    for clients in client_counts:
+        counters = driver.run(clients, operation_count)
+        ops_per_sec = counters.throughput()
+        extra = counters.extra
+        rows.append([
+            clients, counters.operations, round(ops_per_sec),
+            round(extra["lat_p50"] * 1e3, 3), round(extra["lat_p99"] * 1e3, 3),
+            round(extra["lat_mean"] * 1e3, 3), round(counters.elapsed_seconds, 2),
+        ])
+        results.append({
+            "clients": clients,
+            "operations": counters.operations,
+            "ops_per_sec": round(ops_per_sec, 1),
+            "p50_ms": round(extra["lat_p50"] * 1e3, 4),
+            "p90_ms": round(extra["lat_p90"] * 1e3, 4),
+            "p99_ms": round(extra["lat_p99"] * 1e3, 4),
+            "mean_ms": round(extra["lat_mean"] * 1e3, 4),
+            "max_ms": round(extra["lat_max"] * 1e3, 4),
+            "elapsed_seconds": round(counters.elapsed_seconds, 3),
+        })
+    return rows, results, {
+        "record_count": record_count,
+        "operation_count": operation_count,
+        "write_ratio": config.write_ratio,
+        "theta": config.theta,
+        "load_records": load_counters.operations,
+        "load_seconds": round(load_counters.elapsed_seconds, 3),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: fewer clients/ops, no JSON rewrite")
+    args = parser.parse_args(argv)
+    if args.quick:
+        client_counts, record_count, operation_count = [1, 4], 400, 600
+        fuzz_frames, suffix = 2_000, "_quick"
+    else:
+        client_counts, record_count, operation_count = [1, 4, 16], 2_000, 4_000
+        fuzz_frames, suffix = 10_000, ""
+
+    with ServerProcess() as server:
+        fuzz = fuzz_stage(server.address, fuzz_frames)
+        assert server.alive(), "server process died during the fuzz stage"
+        rows, results, workload_info = run_grid(
+            server.address, client_counts, record_count, operation_count)
+        assert server.alive(), "server process died during the measured runs"
+    metrics = server.final_metrics or {}
+    queues = metrics.get("queues", [])
+    assert all(q["depth"] == 0 for q in queues), "queues did not drain"
+
+    body = format_table(
+        ["Clients", "Ops", "Ops/s", "p50 ms", "p99 ms", "mean ms", "Secs"],
+        rows)
+    body += (f"\nfuzz: {fuzz['frames']} hostile frames, "
+             f"{fuzz['reconnects']} reconnects, server alive: "
+             f"{fuzz['server_alive']}\n")
+    report(f"bench_server{suffix}",
+           f"Wire server: YCSB over sockets, {NUM_SHARDS} shards "
+           "(50% writes, Zipf 0.5)", body)
+
+    if not args.quick:
+        payload = {
+            "benchmark": "bench_server",
+            "description": "p50/p99 latency and ops/s vs client process "
+                           "count against a 4-shard wire server",
+            "num_shards": NUM_SHARDS,
+            "queue_capacity": QUEUE_CAPACITY,
+            "workload": workload_info,
+            "fuzz": fuzz,
+            "results": results,
+            "server_metrics": {
+                "connections_opened": metrics.get("connections_opened"),
+                "protocol_errors": metrics.get("protocol_errors"),
+                "total_admitted": sum(q["admitted"] for q in queues),
+                "total_rejected_busy": sum(q["rejected_busy"] for q in queues),
+                "peak_queue_depth": max((q["peak_depth"] for q in queues),
+                                        default=0),
+            },
+        }
+        with open(JSON_PATH, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {JSON_PATH}")
+    return 0
+
+
+def test_server_bench_quick_smoke():
+    """Pytest entry point (every bench script runs under pytest too)."""
+    assert main(["--quick"]) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,6 +34,7 @@ MARKDOWN_FILES = [
     "docs/API.md",
     "docs/ARCHITECTURE.md",
     "docs/STORAGE.md",
+    "docs/SERVER.md",
     "docs/PAPER_MAP.md",
     "benchmarks/README.md",
 ]
@@ -58,6 +59,10 @@ FULL_COVERAGE_MODULES = [
     "src/repro/service/sharding.py",
     "src/repro/service/batcher.py",
     "src/repro/service/service.py",
+    "src/repro/server/__init__.py",
+    "src/repro/server/server.py",
+    "src/repro/server/client.py",
+    "src/repro/server/metrics.py",
 ]
 
 PAPER_MAP = "docs/PAPER_MAP.md"

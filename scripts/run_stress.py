@@ -27,11 +27,15 @@ import time
 #: Test files exercising schedule-sensitive concurrency paths, plus the
 #: storage-engine crash-recovery kill-points (file-system timing varies
 #: between runs, so repeated replays also harden the recovery protocol).
+#: The server suites ride along because socket delivery, asyncio worker
+#: scheduling and queue admission timing all vary run to run.
 DEFAULT_TESTS = [
     "tests/service/test_executor.py",
     "tests/indexes/test_differential.py",
     "tests/storage/test_segment.py",
     "tests/service/test_durability.py",
+    "tests/server/test_faults.py",
+    "tests/server/test_backpressure.py",
 ]
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 

@@ -12,8 +12,11 @@ all built on a shared content-addressed, copy-on-write node store, plus
 the SIRI framework utilities (deduplication metrics, diff/merge, Merkle
 proofs, property checkers), the paper's workload generators (YCSB-like,
 Wikipedia-like, Ethereum-like), a mini Forkbase-style versioned storage
-engine with a Noms-style Prolly Tree for the system comparison, and a
-benchmark harness regenerating every figure and table of the evaluation.
+engine with a Noms-style Prolly Tree for the system comparison, a
+benchmark harness regenerating every figure and table of the evaluation,
+and a network front door — :class:`RepositoryServer` plus the pooled
+:class:`RemoteRepository` client (``docs/SERVER.md``) — serving the
+repository over a length-prefixed binary wire protocol.
 
 The public surface — the repository API
 ---------------------------------------
@@ -66,7 +69,10 @@ from repro.core.errors import (
     MergeConflictError,
     NodeNotFoundError,
     ProofVerificationError,
+    ProtocolError,
+    RemoteServerError,
     ReproError,
+    ServerBusyError,
     TransactionClosedError,
     TransactionConflictError,
 )
@@ -80,6 +86,7 @@ from repro.core.metrics import (
 from repro.core.properties import check_siri_properties
 from repro.core.proof import MerkleProof
 from repro.core.version import Commit, UnknownBranchError, VersionGraph
+from repro.server import RemoteRepository, RepositoryServer
 from repro.service import (
     ServiceCommit,
     ServiceMetrics,
@@ -153,6 +160,9 @@ __all__ = [
     "TransactionConflictError",
     "TransactionClosedError",
     "UnknownBranchError",
+    "ProtocolError",
+    "ServerBusyError",
+    "RemoteServerError",
     # core
     "SIRIIndex",
     "IndexSnapshot",
@@ -187,6 +197,9 @@ __all__ = [
     "ServiceSnapshot",
     "ServiceCommit",
     "ServiceMetrics",
+    # network front door
+    "RepositoryServer",
+    "RemoteRepository",
     # deprecated aliases (access warns, see _DEPRECATED_ALIASES)
     "VersionedKVService",
 ]

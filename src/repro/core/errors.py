@@ -97,6 +97,45 @@ class ServiceClosedError(ReproError, RuntimeError):
     """
 
 
+class ProtocolError(ReproError):
+    """Malformed bytes on the wire protocol (:mod:`repro.server.protocol`).
+
+    Raised by the frame decoder and the request/response codecs for any
+    input they cannot parse — truncated payloads, trailing garbage,
+    unknown opcodes, oversized frames, invalid UTF-8.  The decoder's
+    contract is that arbitrary bytes produce *this* exception (never a
+    crash, never an over-read): a server can always answer a malformed
+    frame with an error frame instead of dying.
+    """
+
+
+class ServerBusyError(ReproError):
+    """The server rejected a request because its admission queue was full.
+
+    The wire server bounds every per-shard request queue; when a queue is
+    full the request is refused immediately with a ``BUSY`` frame instead
+    of being buffered without limit (backpressure, see ``docs/SERVER.md``).
+    Clients may retry after a backoff —
+    :class:`repro.server.client.RemoteRepository` does so automatically
+    when configured with ``busy_retries``.
+    """
+
+
+class RemoteServerError(ReproError):
+    """The server answered with an error frame the client cannot map back.
+
+    Well-known error codes (``key_not_found``, ``unknown_branch``,
+    ``invalid_parameter``) are re-raised client-side as their local
+    exception types; everything else — shard execution failures, internal
+    server errors — surfaces as this exception carrying the server's
+    error ``code`` and message.
+    """
+
+    def __init__(self, code: str, message: str = ""):
+        self.code = code
+        super().__init__(message or f"remote server error: {code}")
+
+
 class TransactionConflictError(ReproError):
     """An optimistic transaction lost a race on its branch.
 

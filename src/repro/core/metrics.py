@@ -279,6 +279,52 @@ class GCCounters:
 
 
 @dataclass
+class QueueCounters:
+    """Admission-queue accounting for one bounded request queue.
+
+    The wire-protocol server (:mod:`repro.server`) admits every request
+    into a bounded per-shard queue and rejects with a ``BUSY`` frame when
+    the queue is full; these counters record that backpressure with the
+    same vocabulary as the cache/contention/GC counters above.  The
+    invariant the fault-injection tests assert: after clients stop and
+    the server drains, ``depth`` returns to zero and
+    ``admitted == completed``.
+    """
+
+    #: Requests accepted into the queue.
+    admitted: int = 0
+    #: Requests fully executed (their response frame was handed off).
+    completed: int = 0
+    #: Requests refused with a BUSY frame because the queue was full.
+    rejected_busy: int = 0
+    #: Current number of queued-but-unfinished requests.
+    depth: int = 0
+    #: High-water mark of :attr:`depth`.
+    peak_depth: int = 0
+
+    @property
+    def rejection_ratio(self) -> float:
+        """Fraction of arrivals refused with BUSY (0.0 when never full)."""
+        arrivals = self.admitted + self.rejected_busy
+        return self.rejected_busy / arrivals if arrivals else 0.0
+
+    def merge(self, other: "QueueCounters") -> "QueueCounters":
+        """Return a new :class:`QueueCounters` summing self and ``other``."""
+        return QueueCounters(
+            admitted=self.admitted + other.admitted,
+            completed=self.completed + other.completed,
+            rejected_busy=self.rejected_busy + other.rejected_busy,
+            depth=self.depth + other.depth,
+            peak_depth=max(self.peak_depth, other.peak_depth),
+        )
+
+    def copy(self) -> "QueueCounters":
+        """A point-in-time copy (the live object keeps mutating)."""
+        return QueueCounters(self.admitted, self.completed, self.rejected_busy,
+                             self.depth, self.peak_depth)
+
+
+@dataclass
 class OperationCounters:
     """Mutable counters used by benchmarks to accumulate operation metrics."""
 

@@ -1,0 +1,492 @@
+"""`RemoteRepository`: a pooled, pipelining client for the wire server.
+
+The client mirrors the local repository surface — ``get``/``put_many``/
+``scan``/``diff``/``commit``/``snapshot``/branch operations/``prove`` —
+over plain blocking sockets, so existing drivers (the YCSB workloads,
+the benchmarks) can run against a remote server by swapping the object
+they call.  Three behaviours matter beyond the method list:
+
+* **Connection pooling.**  Up to ``pool_size`` sockets are kept open and
+  checked out per call, so independent threads issue requests
+  concurrently without a global connection lock.
+* **Pipelining.**  :meth:`RemoteRepository.pipeline` checks out one
+  connection and sends many requests before reading any response; the
+  server answers each by ``request_id``, so a deep window amortises the
+  round-trip latency that dominates small-op throughput.
+* **Typed failure semantics.**  ``BUSY`` frames (server backpressure)
+  raise :class:`~repro.core.errors.ServerBusyError` after the configured
+  ``busy_retries``; well-known error codes re-raise as the same local
+  exception types the in-process stack uses; connection failures retry
+  on a fresh socket — but only for idempotent operations, because a
+  write whose response was lost may or may not have been applied.
+
+``prove`` answers are verified client-side against the shard root
+carried in the reply before being returned (``verify=False`` opts out),
+which is the paper's outsourced-database read path: the server is
+untrusted, the Merkle proof is the evidence.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import socket
+import threading
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.diff import DiffEntry
+from repro.core.errors import (
+    InvalidParameterError,
+    KeyNotFoundError,
+    ProtocolError,
+    RemoteServerError,
+    ServerBusyError,
+)
+from repro.core.interfaces import KeyLike, ValueLike, coerce_key, coerce_value
+from repro.core.version import UnknownBranchError
+from repro.server import protocol
+from repro.server.protocol import CommitInfo, Op, Request, Response, Status, WireProof
+
+#: Operations safe to retry on a fresh connection after a send/receive
+#: failure: re-executing them cannot change server state.
+_IDEMPOTENT_OPS = frozenset({
+    Op.PING, Op.GET, Op.GET_MANY, Op.SCAN, Op.DIFF, Op.SNAPSHOT,
+    Op.BRANCHES, Op.BRANCH_HEAD, Op.PROVE,
+})
+
+
+def _raise_for_status(response: Response) -> Response:
+    """Map a non-OK response to the local exception it stands for."""
+    if response.status is Status.OK:
+        return response
+    if response.status is Status.BUSY:
+        raise ServerBusyError(response.error_message or "server busy")
+    code = response.error_code
+    if code == "key_not_found":
+        raise KeyNotFoundError(None, response.error_message)
+    if code == "unknown_branch":
+        raise UnknownBranchError(response.error_message)
+    if code == "invalid_parameter":
+        raise InvalidParameterError(response.error_message)
+    raise RemoteServerError(code, response.error_message)
+
+
+class _Connection:
+    """One blocking socket plus frame decoding and response matching."""
+
+    def __init__(self, host: str, port: int, timeout: float,
+                 max_frame_bytes: int):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.decoder = protocol.FrameDecoder(max_frame_bytes)
+        self.max_frame_bytes = max_frame_bytes
+        #: Responses received for request ids not yet asked for (pipelining).
+        self.pending: Dict[int, Response] = {}
+
+    def send_request(self, request: Request) -> None:
+        """Encode and transmit one request frame."""
+        body = protocol.encode_request(request)
+        self.sock.sendall(protocol.encode_frame(body, self.max_frame_bytes))
+
+    def receive(self, request_id: int) -> Response:
+        """Read frames until the response for ``request_id`` arrives."""
+        while True:
+            response = self.pending.pop(request_id, None)
+            if response is not None:
+                return response
+            chunk = self.sock.recv(64 * 1024)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            for body in self.decoder.feed(chunk):
+                parsed = protocol.decode_response(body)
+                self.pending[parsed.request_id] = parsed
+
+    def close(self) -> None:
+        """Close the socket, swallowing teardown races."""
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class Pipeline:
+    """Many in-flight requests on one pooled connection.
+
+    Obtained from :meth:`RemoteRepository.pipeline`; every issuing method
+    sends immediately and returns a :class:`PipelineHandle` whose
+    :meth:`~PipelineHandle.result` blocks until that response arrives
+    (responses may complete in any order).  Exiting the ``with`` block
+    waits for everything outstanding and returns the connection to the
+    pool; a connection failure mid-pipeline fails all unresolved handles.
+    """
+
+    def __init__(self, client: "RemoteRepository", connection: _Connection):
+        self._client = client
+        self._connection = connection
+        self._outstanding: Dict[int, "PipelineHandle"] = {}
+        self._broken = False
+
+    def _issue(self, request: Request) -> "PipelineHandle":
+        if self._broken:
+            raise ConnectionError("pipeline connection already failed")
+        request.request_id = self._client._next_request_id()
+        handle = PipelineHandle(self, request.request_id, request.op)
+        self._connection.send_request(request)
+        self._outstanding[request.request_id] = handle
+        return handle
+
+    def get(self, key: KeyLike, *, version: Optional[int] = None) -> "PipelineHandle":
+        """Queue a single-key read; handle resolves to the value or None."""
+        return self._issue(Request(op=Op.GET, key=coerce_key(key), version=version))
+
+    def put(self, key: KeyLike, value: ValueLike) -> "PipelineHandle":
+        """Queue a single-record write; handle resolves to the ack count."""
+        return self._issue(Request(
+            op=Op.PUT_MANY, items=[(coerce_key(key), coerce_value(value))]))
+
+    def put_many(self, items) -> "PipelineHandle":
+        """Queue a batched write; handle resolves to the ack count."""
+        pairs = items.items() if isinstance(items, Mapping) else items
+        coerced = [(coerce_key(k), coerce_value(v)) for k, v in pairs]
+        return self._issue(Request(op=Op.PUT_MANY, items=coerced))
+
+    def _resolve(self, request_id: int) -> Response:
+        try:
+            response = self._connection.receive(request_id)
+        except (ConnectionError, OSError, ProtocolError) as exc:
+            self._broken = True
+            for handle in self._outstanding.values():
+                handle._fail(exc)
+            raise
+        self._outstanding.pop(request_id, None)
+        return response
+
+    def drain(self) -> None:
+        """Wait for every outstanding response."""
+        for handle in list(self._outstanding.values()):
+            handle.wait()
+
+    def close(self) -> None:
+        """Drain and return (or discard) the pooled connection."""
+        try:
+            if not self._broken:
+                self.drain()
+        finally:
+            self._client._release(self._connection, broken=self._broken)
+
+    def __enter__(self) -> "Pipeline":
+        return self
+
+    def __exit__(self, exc_type, *rest) -> None:
+        if exc_type is not None:
+            self._broken = True
+        self.close()
+
+
+class PipelineHandle:
+    """The future result of one pipelined request."""
+
+    def __init__(self, pipeline: Pipeline, request_id: int, op: Op):
+        self._pipeline = pipeline
+        self._request_id = request_id
+        self._op = op
+        self._response: Optional[Response] = None
+        self._error: Optional[BaseException] = None
+
+    def _fail(self, exc: BaseException) -> None:
+        if self._response is None and self._error is None:
+            self._error = exc
+
+    def wait(self) -> Response:
+        """Block until the raw response is in; raise on transport failure."""
+        if self._error is not None:
+            raise self._error
+        if self._response is None:
+            self._response = self._pipeline._resolve(self._request_id)
+        return self._response
+
+    def result(self):
+        """The operation's value (same mapping as the blocking methods)."""
+        response = _raise_for_status(self.wait())
+        if self._op is Op.GET:
+            return response.value
+        if self._op in (Op.PUT_MANY, Op.REMOVE_MANY):
+            return response.ack_count
+        return response
+
+
+class RemoteRepository:
+    """A client for :class:`~repro.server.server.RepositoryServer`.
+
+    Parameters
+    ----------
+    host / port:
+        The server's listen address.
+    pool_size:
+        Maximum pooled connections (checked out per call, so this bounds
+        the client's concurrency).
+    timeout:
+        Per-socket-operation timeout in seconds.
+    retries:
+        Reconnect-and-retry attempts for *idempotent* operations after a
+        connection failure.  Writes never retry: a lost response leaves
+        the write's fate unknown.
+    busy_retries / busy_backoff:
+        How many times to re-send after a ``BUSY`` frame, sleeping
+        ``busy_backoff * 2**attempt`` between tries; the default (0)
+        surfaces :class:`~repro.core.errors.ServerBusyError` immediately.
+    """
+
+    def __init__(self, host: str, port: int, *, pool_size: int = 4,
+                 timeout: float = 30.0, retries: int = 1,
+                 busy_retries: int = 0, busy_backoff: float = 0.05,
+                 max_frame_bytes: int = protocol.MAX_FRAME_BYTES):
+        if pool_size <= 0:
+            raise InvalidParameterError("pool_size must be positive")
+        self.host = host
+        self.port = port
+        self.pool_size = pool_size
+        self.timeout = timeout
+        self.retries = retries
+        self.busy_retries = busy_retries
+        self.busy_backoff = busy_backoff
+        self.max_frame_bytes = max_frame_bytes
+        self._idle: "queue_module.LifoQueue[_Connection]" = queue_module.LifoQueue()
+        self._created = 0
+        self._lock = threading.Lock()
+        self._request_id = 0
+        self._closed = False
+
+    # -- connection pool -----------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The server address this client talks to."""
+        return (self.host, self.port)
+
+    def _next_request_id(self) -> int:
+        with self._lock:
+            self._request_id = (self._request_id + 1) & 0xFFFFFFFF
+            return self._request_id
+
+    def _checkout(self) -> _Connection:
+        if self._closed:
+            raise RuntimeError("RemoteRepository is closed")
+        try:
+            return self._idle.get_nowait()
+        except queue_module.Empty:
+            pass
+        create = False
+        with self._lock:
+            if self._created < self.pool_size:
+                self._created += 1
+                create = True
+        if create:
+            try:
+                return self._connect()
+            except BaseException:
+                with self._lock:
+                    self._created -= 1
+                raise
+        # Pool exhausted: wait for a connection to come back.
+        return self._idle.get(timeout=self.timeout)
+
+    def _connect(self) -> _Connection:
+        return _Connection(self.host, self.port, self.timeout,
+                           self.max_frame_bytes)
+
+    def _release(self, connection: _Connection, *, broken: bool) -> None:
+        if broken or self._closed:
+            connection.close()
+            with self._lock:
+                self._created -= 1
+        else:
+            self._idle.put(connection)
+
+    def close(self) -> None:
+        """Close every pooled connection (idempotent)."""
+        self._closed = True
+        while True:
+            try:
+                self._idle.get_nowait().close()
+            except queue_module.Empty:
+                return
+
+    def __enter__(self) -> "RemoteRepository":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request core --------------------------------------------------------
+
+    def request(self, request: Request) -> Response:
+        """Send one request and return its OK response.
+
+        Handles the full client policy: pooled connection checkout,
+        reconnect-and-retry for idempotent ops, BUSY backoff, and error
+        mapping.  The blocking convenience methods all funnel through
+        here.
+        """
+        idempotent = request.op in _IDEMPOTENT_OPS
+        attempts = (self.retries + 1) if idempotent else 1
+        busy_left = self.busy_retries
+        last_error: Optional[BaseException] = None
+        attempt = 0
+        while attempt < attempts:
+            request.request_id = self._next_request_id()
+            connection: Optional[_Connection] = None
+            try:
+                connection = self._checkout()
+                connection.send_request(request)
+                response = connection.receive(request.request_id)
+            except (ConnectionError, OSError, ProtocolError) as exc:
+                if connection is not None:
+                    self._release(connection, broken=True)
+                last_error = exc
+                attempt += 1
+                continue
+            self._release(connection, broken=False)
+            if response.status is Status.BUSY and busy_left > 0:
+                # Backpressure: give the server room, then re-send.  A
+                # BUSY'd request was never admitted, so this is safe even
+                # for writes.
+                time.sleep(self.busy_backoff *
+                           (2 ** (self.busy_retries - busy_left)))
+                busy_left -= 1
+                continue
+            return _raise_for_status(response)
+        assert last_error is not None
+        raise last_error
+
+    # -- reads ---------------------------------------------------------------
+
+    def ping(self) -> None:
+        """Round-trip an empty frame (connectivity check)."""
+        self.request(Request(op=Op.PING))
+
+    def get(self, key: KeyLike, default: Optional[bytes] = None,
+            version: Optional[int] = None) -> Optional[bytes]:
+        """Read one key (``default`` when absent), latest or at a version."""
+        response = self.request(Request(
+            op=Op.GET, key=coerce_key(key), version=version))
+        return default if response.value is None else response.value
+
+    def get_many(self, keys: Iterable[KeyLike], *,
+                 version: Optional[int] = None,
+                 default: Optional[bytes] = None) -> List[Optional[bytes]]:
+        """Read many keys; values come back in input-key order."""
+        response = self.request(Request(
+            op=Op.GET_MANY, keys=[coerce_key(k) for k in keys],
+            version=version))
+        values = response.values or []
+        return [default if value is None else value for value in values]
+
+    def scan(self, start: Optional[KeyLike] = None,
+             stop: Optional[KeyLike] = None,
+             prefix: Optional[KeyLike] = None, *, limit: int = 0,
+             version: Optional[int] = None) -> List[Tuple[bytes, bytes]]:
+        """Records in ascending key order (``limit=0`` means unbounded)."""
+        response = self.request(Request(
+            op=Op.SCAN,
+            start=None if start is None else coerce_key(start),
+            stop=None if stop is None else coerce_key(stop),
+            prefix=None if prefix is None else coerce_key(prefix),
+            limit=limit, version=version))
+        return response.items or []
+
+    def diff(self, left: Optional[int] = None,
+             right: Optional[int] = None) -> List[DiffEntry]:
+        """Structural diff between two versions (``None`` = latest state)."""
+        response = self.request(Request(
+            op=Op.DIFF, version=left, right_version=right))
+        return [DiffEntry(key, left_value, right_value)
+                for key, left_value, right_value in (response.diff_entries or [])]
+
+    # -- writes --------------------------------------------------------------
+
+    def put(self, key: KeyLike, value: ValueLike) -> None:
+        """Write one record (buffered server-side until commit/flush)."""
+        self.put_many([(key, value)])
+
+    def put_many(self, items: Union[Mapping[KeyLike, ValueLike],
+                                    Sequence[Tuple[KeyLike, ValueLike]]]) -> int:
+        """Write many records; returns the server's ack count."""
+        pairs = items.items() if isinstance(items, Mapping) else items
+        coerced = [(coerce_key(k), coerce_value(v)) for k, v in pairs]
+        response = self.request(Request(op=Op.PUT_MANY, items=coerced))
+        return response.ack_count
+
+    def remove(self, key: KeyLike) -> None:
+        """Remove one key."""
+        self.remove_many([key])
+
+    def remove_many(self, keys: Iterable[KeyLike]) -> int:
+        """Remove many keys; returns the server's ack count."""
+        response = self.request(Request(
+            op=Op.REMOVE_MANY, keys=[coerce_key(k) for k in keys]))
+        return response.ack_count
+
+    # -- versioning ----------------------------------------------------------
+
+    def commit(self, message: str = "") -> CommitInfo:
+        """Record a cross-shard version server-side; returns its record."""
+        response = self.request(Request(op=Op.COMMIT, message=message))
+        return response.commit
+
+    def snapshot(self, version: Optional[int] = None) -> CommitInfo:
+        """The commit record for ``version`` (default branch head if None)."""
+        response = self.request(Request(op=Op.SNAPSHOT, version=version))
+        return response.commit
+
+    def branches(self) -> List[str]:
+        """Every branch name, sorted."""
+        response = self.request(Request(op=Op.BRANCHES))
+        return response.branches or []
+
+    def create_branch(self, name: str,
+                      from_branch: Optional[str] = None) -> CommitInfo:
+        """Fork a branch server-side; returns the fork-point commit."""
+        response = self.request(Request(
+            op=Op.BRANCH_CREATE, branch=name, from_branch=from_branch))
+        return response.commit
+
+    def branch_head(self, branch: str) -> CommitInfo:
+        """The newest commit on ``branch``."""
+        response = self.request(Request(op=Op.BRANCH_HEAD, branch=branch))
+        return response.commit
+
+    # -- verified reads ------------------------------------------------------
+
+    def prove(self, key: KeyLike, *, version: Optional[int] = None,
+              verify: bool = True) -> WireProof:
+        """A Merkle proof for ``key`` against a committed version.
+
+        With ``verify=True`` (the default) the proof is checked locally
+        against the shard root carried in the reply before being
+        returned, so a lying server raises
+        :class:`~repro.core.errors.ProofVerificationError` instead of
+        returning a bogus answer.  For end-to-end trust, compare
+        ``proof.root`` against the matching root in a
+        :class:`~repro.server.protocol.CommitInfo` obtained out of band.
+        """
+        response = self.request(Request(
+            op=Op.PROVE, key=coerce_key(key), version=version))
+        proof = response.proof
+        if verify:
+            proof.verify()
+        return proof
+
+    def verified_get(self, key: KeyLike, *,
+                     version: Optional[int] = None) -> Optional[bytes]:
+        """Read one key with proof verification (None = proven absent)."""
+        return self.prove(key, version=version, verify=True).value
+
+    # -- pipelining ----------------------------------------------------------
+
+    def pipeline(self) -> Pipeline:
+        """Check out one connection for many in-flight requests."""
+        return Pipeline(self, self._checkout())
+
+    def __repr__(self) -> str:
+        return f"RemoteRepository(host={self.host!r}, port={self.port})"

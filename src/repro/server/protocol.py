@@ -1,0 +1,669 @@
+"""The wire protocol: length-prefixed binary framing and op codecs.
+
+Every message on a server connection is one *frame*::
+
+    +----------------+---------------------------------------------+
+    | length u32 BE  | body (exactly `length` bytes)               |
+    +----------------+---------------------------------------------+
+
+Request body::
+
+    version u8 | op u8 | request_id u32 | op-specific payload
+
+Response body::
+
+    version u8 | status u8 | op u8 | request_id u32 | payload
+
+``request_id`` is chosen by the client and echoed verbatim, so a client
+may pipeline many requests on one connection and match responses that
+complete out of order.  ``status`` is :data:`Status.OK`,
+:data:`Status.ERROR` (payload: error code + message strings) or
+:data:`Status.BUSY` (the admission queue was full — backpressure, see
+``docs/SERVER.md``).
+
+Integers are big-endian and unsigned; byte strings and UTF-8 strings are
+``u32`` length-prefixed; optional values carry a one-byte presence flag.
+The codec's hard contract — enforced by the fuzz suite in
+``tests/server/test_protocol.py`` — is that *arbitrary* input bytes
+either decode to a valid message or raise
+:class:`~repro.core.errors.ProtocolError`: never another exception type,
+never a read past the frame, never acceptance of trailing garbage, and
+never an allocation driven by an unvalidated length field.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.errors import ProtocolError
+from repro.core.proof import MerkleProof, ProofStep
+
+#: Protocol version byte carried by every frame; a server answering a
+#: frame with a different version responds with an error frame.
+PROTOCOL_VERSION = 1
+
+#: Hard upper bound on one frame's body, bounding decoder allocations.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+#: Bytes of the frame length prefix.
+LENGTH_PREFIX_BYTES = 4
+
+#: Smallest legal body: version + op + request_id (a request header).
+_MIN_BODY_BYTES = 6
+
+
+class Op(IntEnum):
+    """Operation codes carried by request frames (echoed in responses)."""
+
+    PING = 1
+    GET = 2
+    GET_MANY = 3
+    PUT_MANY = 4
+    REMOVE_MANY = 5
+    SCAN = 6
+    DIFF = 7
+    COMMIT = 8
+    SNAPSHOT = 9
+    BRANCHES = 10
+    BRANCH_CREATE = 11
+    BRANCH_HEAD = 12
+    PROVE = 13
+
+
+class Status(IntEnum):
+    """Response status byte."""
+
+    OK = 0
+    ERROR = 1
+    BUSY = 2
+
+
+# ---------------------------------------------------------------------------
+# Primitive writer / reader
+# ---------------------------------------------------------------------------
+
+class _Writer:
+    """Accumulates the primitive encodings (all integers big-endian)."""
+
+    __slots__ = ("_parts",)
+
+    def __init__(self):
+        self._parts: List[bytes] = []
+
+    def u8(self, value: int) -> None:
+        self._parts.append(bytes((value & 0xFF,)))
+
+    def u32(self, value: int) -> None:
+        self._parts.append(int(value).to_bytes(4, "big"))
+
+    def u64(self, value: int) -> None:
+        self._parts.append(int(value).to_bytes(8, "big"))
+
+    def f64(self, value: float) -> None:
+        self._parts.append(struct.pack(">d", value))
+
+    def bytes_(self, value: bytes) -> None:
+        self.u32(len(value))
+        self._parts.append(bytes(value))
+
+    def opt_bytes(self, value: Optional[bytes]) -> None:
+        if value is None:
+            self.u8(0)
+        else:
+            self.u8(1)
+            self.bytes_(value)
+
+    def str_(self, value: str) -> None:
+        self.bytes_(value.encode("utf-8"))
+
+    def opt_str(self, value: Optional[str]) -> None:
+        if value is None:
+            self.u8(0)
+        else:
+            self.u8(1)
+            self.str_(value)
+
+    def opt_u64(self, value: Optional[int]) -> None:
+        if value is None:
+            self.u8(0)
+        else:
+            self.u8(1)
+            self.u64(value)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class _Reader:
+    """Bounds-checked decoder over one frame body.
+
+    Every primitive read validates that the requested bytes exist inside
+    the frame before touching them, so a malicious length field can make
+    decoding *fail* (:class:`ProtocolError`) but never over-read or
+    allocate beyond the frame it was handed.
+    """
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def _take(self, count: int) -> bytes:
+        if count < 0 or count > self.remaining:
+            raise ProtocolError(
+                f"truncated payload: need {count} byte(s) at offset "
+                f"{self._pos}, have {self.remaining}")
+        chunk = self._data[self._pos:self._pos + count]
+        self._pos += count
+        return chunk
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u32(self) -> int:
+        return int.from_bytes(self._take(4), "big")
+
+    def u64(self) -> int:
+        return int.from_bytes(self._take(8), "big")
+
+    def f64(self) -> float:
+        return struct.unpack(">d", self._take(8))[0]
+
+    def bytes_(self) -> bytes:
+        length = self.u32()
+        return self._take(length)
+
+    def opt_bytes(self) -> Optional[bytes]:
+        return self.bytes_() if self._flag() else None
+
+    def str_(self) -> str:
+        raw = self.bytes_()
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"invalid UTF-8 string field: {exc}") from None
+
+    def opt_str(self) -> Optional[str]:
+        return self.str_() if self._flag() else None
+
+    def opt_u64(self) -> Optional[int]:
+        return self.u64() if self._flag() else None
+
+    def _flag(self) -> bool:
+        flag = self.u8()
+        if flag not in (0, 1):
+            raise ProtocolError(f"invalid presence flag: {flag}")
+        return bool(flag)
+
+    def count(self, min_item_bytes: int) -> int:
+        """Read a list length, rejecting counts the frame cannot hold."""
+        value = self.u32()
+        if value * min_item_bytes > self.remaining:
+            raise ProtocolError(
+                f"list count {value} exceeds remaining payload "
+                f"({self.remaining} byte(s))")
+        return value
+
+    def expect_end(self) -> None:
+        if self.remaining:
+            raise ProtocolError(
+                f"{self.remaining} trailing byte(s) after payload")
+
+
+# ---------------------------------------------------------------------------
+# Messages
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Request:
+    """One decoded client request (field usage depends on :attr:`op`)."""
+
+    op: Op
+    request_id: int = 0
+    #: GET / PROVE: the single key.
+    key: Optional[bytes] = None
+    #: GET_MANY / REMOVE_MANY: the key list.
+    keys: Optional[List[bytes]] = None
+    #: PUT_MANY: the (key, value) pairs.
+    items: Optional[List[Tuple[bytes, bytes]]] = None
+    #: GET/GET_MANY/SCAN/SNAPSHOT/PROVE version selector, DIFF left side
+    #: (``None`` = latest state).
+    version: Optional[int] = None
+    #: DIFF right side (``None`` = latest state).
+    right_version: Optional[int] = None
+    #: COMMIT message.
+    message: str = ""
+    #: BRANCH_CREATE / BRANCH_HEAD: the branch name.
+    branch: Optional[str] = None
+    #: BRANCH_CREATE: source branch (``None`` = the default branch).
+    from_branch: Optional[str] = None
+    #: SCAN bounds: start inclusive, stop exclusive, prefix filter.
+    start: Optional[bytes] = None
+    stop: Optional[bytes] = None
+    prefix: Optional[bytes] = None
+    #: SCAN: maximum records returned (0 = unlimited).
+    limit: int = 0
+
+
+@dataclass
+class CommitInfo:
+    """Wire form of a :class:`~repro.service.ServiceCommit`."""
+
+    version: int
+    digest: bytes
+    branch: str
+    parents: Tuple[int, ...]
+    timestamp: float
+    message: str
+    #: Per-shard root digests (``None`` = empty shard), the client-side
+    #: anchor for verifying :class:`WireProof` answers.
+    roots: Tuple[Optional[bytes], ...]
+
+
+@dataclass
+class WireProof:
+    """Wire form of a :class:`~repro.core.proof.MerkleProof` answer.
+
+    Carries everything a client needs to check the answer without
+    trusting the server's value: the proof path, the shard that owns the
+    key, and that shard's root digest in the version the proof was built
+    against (``root`` is ``None`` for an empty shard, whose only honest
+    answer is absence).
+    """
+
+    key: bytes
+    value: Optional[bytes]
+    index_name: str
+    shard_id: int
+    root: Optional[bytes]
+    steps: List[Tuple[int, bytes]] = field(default_factory=list)
+
+    def to_merkle_proof(self) -> MerkleProof:
+        """Rebuild the structure-agnostic :class:`MerkleProof`."""
+        return MerkleProof(
+            self.key, self.value,
+            [ProofStep(node_bytes, level) for level, node_bytes in self.steps],
+            index_name=self.index_name)
+
+    def verify(self) -> bool:
+        """Verify the proof path against the carried shard root.
+
+        Returns True when the proof checks out; raises
+        :class:`~repro.core.errors.ProofVerificationError` when any link
+        fails.  An absence answer from an empty shard (``root is None``,
+        no steps) is vacuously valid — there is nothing to hash — but a
+        claimed *value* without a root to anchor it is rejected.
+        """
+        from repro.core.errors import ProofVerificationError
+        from repro.hashing.digest import Digest
+
+        if self.root is None:
+            if self.value is not None or self.steps:
+                raise ProofVerificationError(
+                    "proof claims a value/path but carries no shard root")
+            return True
+        return self.to_merkle_proof().verify(Digest(self.root))
+
+
+@dataclass
+class Response:
+    """One decoded server response (field usage depends on :attr:`op`)."""
+
+    status: Status
+    op: Op
+    request_id: int = 0
+    #: GET: the value (``None`` = key absent).
+    value: Optional[bytes] = None
+    #: GET_MANY: one optional value per requested key, in request order.
+    values: Optional[List[Optional[bytes]]] = None
+    #: SCAN: the (key, value) records, ascending keys.
+    items: Optional[List[Tuple[bytes, bytes]]] = None
+    #: SCAN: True when ``limit`` cut the result short.
+    truncated: bool = False
+    #: PUT_MANY / REMOVE_MANY: operations applied.
+    ack_count: int = 0
+    #: DIFF: (key, left value, right value) entries, ascending keys.
+    diff_entries: Optional[List[Tuple[bytes, Optional[bytes], Optional[bytes]]]] = None
+    #: COMMIT / SNAPSHOT / BRANCH_CREATE / BRANCH_HEAD: the commit record.
+    commit: Optional[CommitInfo] = None
+    #: BRANCHES: sorted branch names.
+    branches: Optional[List[str]] = None
+    #: PROVE: the proof answer.
+    proof: Optional[WireProof] = None
+    #: ERROR / BUSY: machine-readable code and human-readable message.
+    error_code: str = ""
+    error_message: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+def encode_frame(body: bytes, max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Wrap a message body in the length-prefixed frame."""
+    if len(body) > max_frame_bytes:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{max_frame_bytes}-byte limit")
+    return len(body).to_bytes(LENGTH_PREFIX_BYTES, "big") + body
+
+
+class FrameDecoder:
+    """Incremental frame splitter for a byte stream.
+
+    Feed arbitrary chunks; complete frame bodies come back in order.
+    Never buffers more than one frame beyond the declared length, and
+    rejects declared lengths outside ``[_MIN_BODY_BYTES, max_frame_bytes]``
+    before allocating anything — an attacker-controlled length field can
+    therefore cost at most ``max_frame_bytes`` of memory.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Append ``data``; return every frame body completed by it."""
+        self._buffer.extend(data)
+        frames: List[bytes] = []
+        while True:
+            if len(self._buffer) < LENGTH_PREFIX_BYTES:
+                return frames
+            length = int.from_bytes(self._buffer[:LENGTH_PREFIX_BYTES], "big")
+            if length > self.max_frame_bytes:
+                raise ProtocolError(
+                    f"declared frame length {length} exceeds the "
+                    f"{self.max_frame_bytes}-byte limit")
+            if length < _MIN_BODY_BYTES:
+                raise ProtocolError(
+                    f"declared frame length {length} is below the "
+                    f"{_MIN_BODY_BYTES}-byte message header")
+            if len(self._buffer) < LENGTH_PREFIX_BYTES + length:
+                return frames
+            frames.append(bytes(
+                self._buffer[LENGTH_PREFIX_BYTES:LENGTH_PREFIX_BYTES + length]))
+            del self._buffer[:LENGTH_PREFIX_BYTES + length]
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes of the partial frame currently buffered."""
+        return len(self._buffer)
+
+
+def peek_request_id(body: bytes) -> int:
+    """Best-effort request id from a (possibly malformed) request body.
+
+    Used by the server to address an error frame at the request that
+    failed to decode; returns 0 when even the header is unreadable.
+    """
+    if len(body) >= _MIN_BODY_BYTES:
+        return int.from_bytes(body[2:6], "big")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Request codec
+# ---------------------------------------------------------------------------
+
+def encode_request(request: Request) -> bytes:
+    """Encode a request body (pass through :func:`encode_frame` to send)."""
+    writer = _Writer()
+    writer.u8(PROTOCOL_VERSION)
+    writer.u8(int(request.op))
+    writer.u32(request.request_id)
+    op = request.op
+    if op is Op.PING or op is Op.BRANCHES:
+        pass
+    elif op is Op.GET or op is Op.PROVE:
+        writer.bytes_(request.key or b"")
+        writer.opt_u64(request.version)
+    elif op is Op.GET_MANY:
+        keys = request.keys or []
+        writer.u32(len(keys))
+        for key in keys:
+            writer.bytes_(key)
+        writer.opt_u64(request.version)
+    elif op is Op.PUT_MANY:
+        items = request.items or []
+        writer.u32(len(items))
+        for key, value in items:
+            writer.bytes_(key)
+            writer.bytes_(value)
+    elif op is Op.REMOVE_MANY:
+        keys = request.keys or []
+        writer.u32(len(keys))
+        for key in keys:
+            writer.bytes_(key)
+    elif op is Op.SCAN:
+        writer.opt_bytes(request.start)
+        writer.opt_bytes(request.stop)
+        writer.opt_bytes(request.prefix)
+        writer.u32(request.limit)
+        writer.opt_u64(request.version)
+    elif op is Op.DIFF:
+        writer.opt_u64(request.version)
+        writer.opt_u64(request.right_version)
+    elif op is Op.COMMIT:
+        writer.str_(request.message)
+    elif op is Op.SNAPSHOT:
+        writer.opt_u64(request.version)
+    elif op is Op.BRANCH_CREATE:
+        writer.str_(request.branch or "")
+        writer.opt_str(request.from_branch)
+    elif op is Op.BRANCH_HEAD:
+        writer.str_(request.branch or "")
+    else:  # pragma: no cover - Op is exhaustive
+        raise ProtocolError(f"cannot encode unknown op: {op!r}")
+    return writer.getvalue()
+
+
+def decode_request(body: bytes) -> Request:
+    """Decode one request body; raises :class:`ProtocolError` on any flaw."""
+    reader = _Reader(body)
+    version = reader.u8()
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} "
+            f"(expected {PROTOCOL_VERSION})")
+    op = _decode_op(reader.u8())
+    request = Request(op=op, request_id=reader.u32())
+    if op is Op.PING or op is Op.BRANCHES:
+        pass
+    elif op is Op.GET or op is Op.PROVE:
+        request.key = reader.bytes_()
+        request.version = reader.opt_u64()
+    elif op is Op.GET_MANY:
+        request.keys = [reader.bytes_() for _ in range(reader.count(4))]
+        request.version = reader.opt_u64()
+    elif op is Op.PUT_MANY:
+        request.items = [(reader.bytes_(), reader.bytes_())
+                         for _ in range(reader.count(8))]
+    elif op is Op.REMOVE_MANY:
+        request.keys = [reader.bytes_() for _ in range(reader.count(4))]
+    elif op is Op.SCAN:
+        request.start = reader.opt_bytes()
+        request.stop = reader.opt_bytes()
+        request.prefix = reader.opt_bytes()
+        request.limit = reader.u32()
+        request.version = reader.opt_u64()
+    elif op is Op.DIFF:
+        request.version = reader.opt_u64()
+        request.right_version = reader.opt_u64()
+    elif op is Op.COMMIT:
+        request.message = reader.str_()
+    elif op is Op.SNAPSHOT:
+        request.version = reader.opt_u64()
+    elif op is Op.BRANCH_CREATE:
+        request.branch = reader.str_()
+        request.from_branch = reader.opt_str()
+    elif op is Op.BRANCH_HEAD:
+        request.branch = reader.str_()
+    reader.expect_end()
+    return request
+
+
+def _decode_op(value: int) -> Op:
+    try:
+        return Op(value)
+    except ValueError:
+        raise ProtocolError(f"unknown opcode: {value}") from None
+
+
+def _decode_status(value: int) -> Status:
+    try:
+        return Status(value)
+    except ValueError:
+        raise ProtocolError(f"unknown status byte: {value}") from None
+
+
+# ---------------------------------------------------------------------------
+# Response codec
+# ---------------------------------------------------------------------------
+
+def _encode_commit(writer: _Writer, commit: CommitInfo) -> None:
+    writer.u64(commit.version)
+    writer.bytes_(commit.digest)
+    writer.str_(commit.branch)
+    writer.u32(len(commit.parents))
+    for parent in commit.parents:
+        writer.u64(parent)
+    writer.f64(commit.timestamp)
+    writer.str_(commit.message)
+    writer.u32(len(commit.roots))
+    for root in commit.roots:
+        writer.opt_bytes(root)
+
+
+def _decode_commit(reader: _Reader) -> CommitInfo:
+    version = reader.u64()
+    digest = reader.bytes_()
+    branch = reader.str_()
+    parents = tuple(reader.u64() for _ in range(reader.count(8)))
+    timestamp = reader.f64()
+    message = reader.str_()
+    roots = tuple(reader.opt_bytes() for _ in range(reader.count(1)))
+    return CommitInfo(version, digest, branch, parents, timestamp, message, roots)
+
+
+def encode_response(response: Response) -> bytes:
+    """Encode a response body (pass through :func:`encode_frame` to send)."""
+    writer = _Writer()
+    writer.u8(PROTOCOL_VERSION)
+    writer.u8(int(response.status))
+    writer.u8(int(response.op))
+    writer.u32(response.request_id)
+    if response.status is not Status.OK:
+        writer.str_(response.error_code)
+        writer.str_(response.error_message)
+        return writer.getvalue()
+    op = response.op
+    if op is Op.PING:
+        pass
+    elif op is Op.GET:
+        writer.opt_bytes(response.value)
+    elif op is Op.GET_MANY:
+        values = response.values or []
+        writer.u32(len(values))
+        for value in values:
+            writer.opt_bytes(value)
+    elif op in (Op.PUT_MANY, Op.REMOVE_MANY):
+        writer.u32(response.ack_count)
+    elif op is Op.SCAN:
+        items = response.items or []
+        writer.u32(len(items))
+        for key, value in items:
+            writer.bytes_(key)
+            writer.bytes_(value)
+        writer.u8(1 if response.truncated else 0)
+    elif op is Op.DIFF:
+        entries = response.diff_entries or []
+        writer.u32(len(entries))
+        for key, left, right in entries:
+            writer.bytes_(key)
+            writer.opt_bytes(left)
+            writer.opt_bytes(right)
+    elif op in (Op.COMMIT, Op.SNAPSHOT, Op.BRANCH_CREATE, Op.BRANCH_HEAD):
+        if response.commit is None:
+            raise ProtocolError(f"{op.name} response requires a commit record")
+        _encode_commit(writer, response.commit)
+    elif op is Op.BRANCHES:
+        names = response.branches or []
+        writer.u32(len(names))
+        for name in names:
+            writer.str_(name)
+    elif op is Op.PROVE:
+        proof = response.proof
+        if proof is None:
+            raise ProtocolError("PROVE response requires a proof")
+        writer.bytes_(proof.key)
+        writer.opt_bytes(proof.value)
+        writer.str_(proof.index_name)
+        writer.u32(proof.shard_id)
+        writer.opt_bytes(proof.root)
+        writer.u32(len(proof.steps))
+        for level, node_bytes in proof.steps:
+            writer.u32(level)
+            writer.bytes_(node_bytes)
+    else:  # pragma: no cover - Op is exhaustive
+        raise ProtocolError(f"cannot encode response for op: {op!r}")
+    return writer.getvalue()
+
+
+def decode_response(body: bytes) -> Response:
+    """Decode one response body; raises :class:`ProtocolError` on any flaw."""
+    reader = _Reader(body)
+    version = reader.u8()
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} "
+            f"(expected {PROTOCOL_VERSION})")
+    status = _decode_status(reader.u8())
+    op = _decode_op(reader.u8())
+    response = Response(status=status, op=op, request_id=reader.u32())
+    if status is not Status.OK:
+        response.error_code = reader.str_()
+        response.error_message = reader.str_()
+        reader.expect_end()
+        return response
+    if op is Op.PING:
+        pass
+    elif op is Op.GET:
+        response.value = reader.opt_bytes()
+    elif op is Op.GET_MANY:
+        response.values = [reader.opt_bytes() for _ in range(reader.count(1))]
+    elif op in (Op.PUT_MANY, Op.REMOVE_MANY):
+        response.ack_count = reader.u32()
+    elif op is Op.SCAN:
+        response.items = [(reader.bytes_(), reader.bytes_())
+                          for _ in range(reader.count(8))]
+        truncated = reader.u8()
+        if truncated not in (0, 1):
+            raise ProtocolError(f"invalid truncated flag: {truncated}")
+        response.truncated = bool(truncated)
+    elif op is Op.DIFF:
+        response.diff_entries = [
+            (reader.bytes_(), reader.opt_bytes(), reader.opt_bytes())
+            for _ in range(reader.count(6))]
+    elif op in (Op.COMMIT, Op.SNAPSHOT, Op.BRANCH_CREATE, Op.BRANCH_HEAD):
+        response.commit = _decode_commit(reader)
+    elif op is Op.BRANCHES:
+        response.branches = [reader.str_() for _ in range(reader.count(4))]
+    elif op is Op.PROVE:
+        key = reader.bytes_()
+        value = reader.opt_bytes()
+        index_name = reader.str_()
+        shard_id = reader.u32()
+        root = reader.opt_bytes()
+        steps = [(reader.u32(), reader.bytes_())
+                 for _ in range(reader.count(8))]
+        response.proof = WireProof(key, value, index_name, shard_id, root, steps)
+    reader.expect_end()
+    return response

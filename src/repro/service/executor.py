@@ -93,12 +93,36 @@ class ServiceExecutor:
         self._pool = ThreadPoolExecutor(
             max_workers=self.max_workers, thread_name_prefix="repro-shard"
         )
+        self._closed = False
 
     # -- lifecycle ---------------------------------------------------------
 
+    @property
+    def is_closed(self) -> bool:
+        """Whether :meth:`close` has run (every operation now raises)."""
+        return self._closed
+
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; waits for running tasks)."""
+        """Shut the worker pool down (idempotent; waits for running tasks).
+
+        Safe to call any number of times and from multiple owners — the
+        server's drain path closes the executor it was handed, and so may
+        the code that created it.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._pool.shutdown(wait=True)
+
+    def submit(self, fn: Callable[..., object], *args, **kwargs) -> Future:
+        """Run ``fn(*args, **kwargs)`` on the pool; returns its future.
+
+        The wire server uses this to execute request handlers off the
+        asyncio loop thread while sharing the executor's pool.
+        """
+        if self._closed:
+            raise RuntimeError("ServiceExecutor is closed")
+        return self._pool.submit(fn, *args, **kwargs)
 
     def __enter__(self) -> "ServiceExecutor":
         return self
@@ -118,6 +142,11 @@ class ServiceExecutor:
         and a :class:`ShardExecutionError` naming the failing shard is
         raised — chained to the original exception.
         """
+        if self._closed:
+            # The pool would raise for the multi-task path anyway; raising
+            # here too keeps the single-task inline shortcut from silently
+            # outliving close().
+            raise RuntimeError("ServiceExecutor is closed")
         if not tasks:
             return []
         if len(tasks) == 1:

@@ -369,3 +369,140 @@ class YCSBServiceDriver:
         counters.nodes_read = after.nodes_read - before.nodes_read
         counters.cache.hits = after.cache.hits - before.cache.hits
         counters.cache.misses = after.cache.misses - before.cache.misses
+
+
+# ---------------------------------------------------------------------------
+# Remote driver mode (multi-process, over real sockets)
+# ---------------------------------------------------------------------------
+
+def _remote_worker(config: YCSBConfig, host: str, port: int, worker_index: int,
+                   num_workers: int, operation_count: Optional[int],
+                   result_queue) -> None:
+    """One client process: replay a strided slice of the operation stream.
+
+    Module-level (not a closure) so it pickles under every multiprocessing
+    start method.  The workload is regenerated from the picklable
+    :class:`YCSBConfig`, so workers agree on the byte-exact stream without
+    shipping it; worker ``w`` executes operations ``w, w+N, w+2N, ...`` —
+    the same dealing rule as :meth:`YCSBServiceDriver.run_concurrent`, so
+    the executed operation *set* is identical at every client count.
+    """
+    # Imported lazily so workload generation itself stays free of any
+    # dependency on the server package.
+    from repro.server.client import RemoteRepository
+
+    workload = YCSBWorkload(config)
+    operations = list(workload.operations(operation_count))[worker_index::num_workers]
+    latencies: List[float] = []
+    try:
+        with RemoteRepository(host, port, pool_size=1, busy_retries=16,
+                              busy_backoff=0.005) as remote:
+            start = time.perf_counter()
+            for operation in operations:
+                began = time.perf_counter()
+                if operation.is_write:
+                    remote.put(operation.key, operation.value)
+                else:
+                    remote.get(operation.key)
+                latencies.append(time.perf_counter() - began)
+            elapsed = time.perf_counter() - start
+    except BaseException as exc:  # surfaced by the parent as RuntimeError
+        result_queue.put((worker_index, None, repr(exc)))
+        return
+    result_queue.put((worker_index, elapsed, latencies))
+
+
+class YCSBRemoteDriver:
+    """Drives a YCSB workload against a wire server from real client processes.
+
+    Where :class:`YCSBServiceDriver` exercises the in-process stack, this
+    driver measures the whole network path: every operation is a framed
+    request from a separate OS process through a real socket into the
+    server's admission queues (``benchmarks/bench_server.py`` uses it for
+    the tail-latency-vs-client-count experiment).  Workers reconstruct
+    the deterministic stream from the picklable config, so the operation
+    set is identical at every client count; only concurrency varies.
+    """
+
+    def __init__(self, workload: YCSBWorkload, host: str, port: int):
+        self.workload = workload
+        self.host = host
+        self.port = port
+
+    def load(self, batch_size: int = 1000,
+             commit_message: str = "ycsb remote load") -> OperationCounters:
+        """Load the initial dataset over one client connection, then commit."""
+        from repro.server.client import RemoteRepository
+
+        counters = OperationCounters()
+        start = time.perf_counter()
+        with RemoteRepository(self.host, self.port, busy_retries=64,
+                              busy_backoff=0.01) as remote:
+            batch: List[Tuple[bytes, bytes]] = []
+            for key, value in self.workload.initial_dataset().items():
+                batch.append((key, value))
+                if len(batch) >= batch_size:
+                    counters.operations += remote.put_many(batch)
+                    batch = []
+            if batch:
+                counters.operations += remote.put_many(batch)
+            remote.commit(commit_message)
+        counters.elapsed_seconds = time.perf_counter() - start
+        return counters
+
+    def run(self, num_processes: int = 1,
+            operation_count: Optional[int] = None) -> OperationCounters:
+        """Hammer the server from ``num_processes`` OS processes.
+
+        Returns counters whose ``extra`` dict carries the tail-latency
+        summary (``lat_p50``/``lat_p90``/``lat_p99``/``lat_mean``/
+        ``lat_max``, seconds) merged across every client, plus
+        ``client_processes``.  Throughput is total operations over the
+        slowest client's wall-clock window (all clients start together).
+        A failed worker raises ``RuntimeError`` naming it.
+        """
+        if num_processes <= 0:
+            raise ValueError("num_processes must be positive")
+        import multiprocessing
+
+        context = multiprocessing.get_context()
+        result_queue = context.Queue()
+        workers = [
+            context.Process(
+                target=_remote_worker,
+                args=(self.workload.config, self.host, self.port, index,
+                      num_processes, operation_count, result_queue),
+                name=f"ycsb-remote-{index}")
+            for index in range(num_processes)
+        ]
+        for worker in workers:
+            worker.start()
+        merged: List[float] = []
+        slowest = 0.0
+        failures: List[str] = []
+        for _ in workers:
+            worker_index, elapsed, payload = result_queue.get()
+            if elapsed is None:
+                failures.append(f"worker {worker_index}: {payload}")
+            else:
+                slowest = max(slowest, elapsed)
+                merged.extend(payload)
+        for worker in workers:
+            worker.join()
+        if failures:
+            raise RuntimeError("remote YCSB worker(s) failed: " + "; ".join(failures))
+
+        from repro.analysis.histogram import LatencyRecorder
+
+        recorder = LatencyRecorder()
+        recorder.samples.extend(merged)
+        counters = OperationCounters()
+        counters.operations = len(merged)
+        counters.elapsed_seconds = slowest
+        counters.extra["client_processes"] = float(num_processes)
+        counters.extra["lat_mean"] = recorder.mean()
+        counters.extra["lat_p50"] = recorder.percentile(0.50)
+        counters.extra["lat_p90"] = recorder.percentile(0.90)
+        counters.extra["lat_p99"] = recorder.percentile(0.99)
+        counters.extra["lat_max"] = max(merged) if merged else 0.0
+        return counters

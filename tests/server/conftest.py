@@ -1,0 +1,64 @@
+"""Shared fixtures for the wire-server suites: a live 4-shard server."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.indexes import POSTree
+from repro.server.client import RemoteRepository
+from repro.server.server import RepositoryServer, ServerThread
+from repro.service import VersionedKVService
+from repro.storage.memory import InMemoryNodeStore
+
+NUM_SHARDS = 4
+
+
+def make_index(store=None, **overrides):
+    """A small in-memory POS-tree, the default shard index for the suites."""
+    backing = store if store is not None else InMemoryNodeStore()
+    return POSTree(backing, target_node_size=512, estimated_entry_size=64)
+
+
+def make_service(**kwargs):
+    """A 4-shard in-memory service with test-friendly parameters."""
+    kwargs.setdefault("num_shards", NUM_SHARDS)
+    kwargs.setdefault("batch_size", 16)
+    return VersionedKVService(make_index, **kwargs)
+
+
+def wait_drained(server, timeout: float = 10.0):
+    """Poll until every admission queue reports empty; return the counters.
+
+    A response frame reaches the client a moment before the worker
+    records completion, so metrics assertions made right after a reply
+    must allow the server a beat to settle.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        total = server.metrics.total_queue_counters()
+        if total.depth == 0 and total.admitted == total.completed:
+            return total
+        if time.monotonic() > deadline:
+            return total
+        time.sleep(0.01)
+
+
+@pytest.fixture
+def live_server():
+    """A started :class:`RepositoryServer` on a background loop thread."""
+    server = RepositoryServer(make_service())
+    thread = ServerThread(server)
+    thread.start()
+    yield server
+    thread.stop()
+    server.service.close()
+
+
+@pytest.fixture
+def client(live_server):
+    """A pooled client connected to ``live_server``."""
+    host, port = live_server.address
+    with RemoteRepository(host, port, timeout=30.0) as remote:
+        yield remote

@@ -1,0 +1,180 @@
+"""Backpressure under load: BUSY frames, no deadlock, queues drain to zero.
+
+The server's admission invariant: every request either enters a bounded
+queue or is refused *immediately* with a ``BUSY`` frame — the server
+never buffers beyond ``queue_capacity`` per queue, so a slow storage
+backend shows up as client-visible backpressure, not memory growth.
+
+The slow consumer here is real: shard stores are wrapped in
+:class:`~repro.storage.metered.MeteredNodeStore` with ``realtime=True``
+put cost and the service runs with ``batch_size=1``, so every write
+request pays a genuine (GIL-releasing) sleep inside the worker.  Fast
+writer threads then outrun the drain rate and must see BUSY.  After the
+writers stop, the drained server must report ``depth == 0`` and
+``admitted == completed`` on every queue — a leak here means a request
+was admitted and never answered (the deadlock shape this suite exists
+to catch).
+
+``scripts/run_stress.py`` runs this file (and the fault suite) many
+times over to shake out scheduling-dependent interleavings.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from tests.server.conftest import make_index, wait_drained
+
+from repro.core.errors import ServerBusyError
+from repro.server.client import RemoteRepository
+from repro.server.server import RepositoryServer, ServerThread
+from repro.service import VersionedKVService
+from repro.storage.metered import MeteredNodeStore
+from repro.storage.memory import InMemoryNodeStore
+
+WRITERS = 4
+OPS_PER_WRITER = 30
+
+
+def make_slow_service(put_cost_seconds: float) -> VersionedKVService:
+    """4 shards over realtime-metered stores: every flush genuinely sleeps."""
+
+    def slow_store():
+        return MeteredNodeStore(InMemoryNodeStore(),
+                                put_cost_seconds=put_cost_seconds,
+                                realtime=True)
+
+    return VersionedKVService(
+        make_index, store_factory=slow_store,
+        num_shards=4, batch_size=1)  # batch_size=1: every put flushes
+
+
+@pytest.fixture
+def slow_server():
+    server = RepositoryServer(make_slow_service(put_cost_seconds=0.01),
+                              queue_capacity=2)
+    thread = ServerThread(server)
+    thread.start()
+    yield server
+    thread.stop()
+    server.service.close()
+
+
+def test_slow_consumer_triggers_busy_without_deadlock(slow_server):
+    """N fast writers vs a slow disk: BUSY frames observed, nothing wedges."""
+    host, port = slow_server.address
+    busy_counts = [0] * WRITERS
+    done_counts = [0] * WRITERS
+    errors = []
+    barrier = threading.Barrier(WRITERS)
+
+    def writer(worker: int):
+        try:
+            with RemoteRepository(host, port, pool_size=1,
+                                  busy_retries=0) as remote:
+                barrier.wait()
+                for i in range(OPS_PER_WRITER):
+                    key = b"w%d-%d" % (worker, i)
+                    try:
+                        remote.put(key, b"x" * 64)
+                        done_counts[worker] += 1
+                    except ServerBusyError:
+                        busy_counts[worker] += 1
+        except Exception as exc:  # noqa: BLE001 - surfaced in the main thread
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(w,)) for w in range(WRITERS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "writer deadlocked against the server"
+    assert not errors, errors
+
+    # The bounded queue really pushed back...
+    assert sum(busy_counts) > 0, "slow consumer never produced a BUSY frame"
+    # ...while plenty of writes still landed.
+    assert sum(done_counts) > 0
+
+    # After drain every queue returns to rest: nothing admitted was lost.
+    total = wait_drained(slow_server, timeout=60)
+    assert total.depth == 0
+    assert total.admitted == total.completed
+    assert total.rejected_busy == sum(busy_counts)
+    for counters in slow_server.metrics.queue_counters():
+        assert counters.depth == 0
+        assert counters.admitted == counters.completed
+
+
+def test_busy_retries_eventually_succeed(slow_server):
+    """With backoff retries the same overload resolves without caller errors."""
+    host, port = slow_server.address
+    errors = []
+    barrier = threading.Barrier(WRITERS)
+
+    def writer(worker: int):
+        try:
+            with RemoteRepository(host, port, pool_size=1, busy_retries=50,
+                                  busy_backoff=0.01) as remote:
+                barrier.wait()
+                for i in range(10):
+                    remote.put(b"r%d-%d" % (worker, i), b"y" * 64)
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(w,)) for w in range(WRITERS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive()
+    assert not errors, errors
+
+    total = wait_drained(slow_server, timeout=60)
+    assert total.depth == 0
+    assert total.admitted == total.completed
+    # Every write eventually landed despite the BUSY rejections.
+    assert total.admitted >= WRITERS * 10
+
+
+def test_queue_depth_metrics_track_load_and_recovery(slow_server):
+    host, port = slow_server.address
+    with RemoteRepository(host, port, pool_size=2) as remote:
+        for i in range(10):
+            try:
+                remote.put(b"m%d" % i, b"z")
+            except ServerBusyError:
+                pass
+        total = wait_drained(slow_server, timeout=60)
+        assert total.depth == 0
+        # Queueing genuinely happened at some point under batch_size=1 load.
+        assert total.peak_depth >= 1
+
+
+def test_graceful_shutdown_answers_admitted_requests():
+    """Requests admitted before shutdown are answered, not dropped."""
+    server = RepositoryServer(make_slow_service(put_cost_seconds=0.005),
+                              queue_capacity=8)
+    thread = ServerThread(server)
+    host, port = thread.start()
+    remote = RemoteRepository(host, port, pool_size=1)
+    results = []
+
+    def hammer():
+        with remote.pipeline() as pipe:
+            handles = [pipe.put(b"g%d" % i, b"v") for i in range(8)]
+            results.extend(handle.result() for handle in handles)
+
+    worker = threading.Thread(target=hammer)
+    worker.start()
+    worker.join(timeout=60)
+    assert not worker.is_alive()
+    thread.stop()  # graceful drain
+    remote.close()
+    server.service.close()
+    assert results == [1] * 8
+    total = server.metrics.total_queue_counters()
+    assert total.depth == 0
+    assert total.admitted == total.completed

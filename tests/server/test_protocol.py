@@ -1,0 +1,372 @@
+"""Wire-codec property tests: round-trip identity and fuzz resilience.
+
+Two families of guarantees:
+
+* **Round-trip identity** — for every operation, arbitrary keys, values,
+  versions and branch names survive ``encode → frame → decode``
+  unchanged (Hypothesis-generated inputs).
+* **Decoder hardening** — arbitrary bytes, truncations of valid frames
+  at *every* byte boundary, oversized declared lengths and trailing
+  garbage all raise the typed
+  :class:`~repro.core.errors.ProtocolError` — never another exception,
+  never an over-read, never a hang.  The 10k-frame fuzzer here is the
+  in-process half of the acceptance criterion; ``bench_server.py`` runs
+  the same generator against a live socket.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ProtocolError
+from repro.server import protocol
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    CommitInfo,
+    FrameDecoder,
+    Op,
+    Request,
+    Response,
+    Status,
+    WireProof,
+    decode_request,
+    decode_response,
+    encode_frame,
+    encode_request,
+    encode_response,
+)
+
+keys = st.binary(min_size=0, max_size=64)
+values = st.binary(min_size=0, max_size=256)
+versions = st.none() | st.integers(min_value=0, max_value=2**63)
+names = st.text(min_size=0, max_size=32)
+
+
+def roundtrip_request(request: Request) -> Request:
+    return decode_request(encode_request(request))
+
+
+def roundtrip_response(response: Response) -> Response:
+    return decode_response(encode_response(response))
+
+
+# ---------------------------------------------------------------------------
+# Request round trips
+# ---------------------------------------------------------------------------
+
+@given(key=keys, version=versions, rid=st.integers(0, 2**32 - 1),
+       op=st.sampled_from([Op.GET, Op.PROVE]))
+def test_single_key_request_roundtrip(key, version, rid, op):
+    out = roundtrip_request(Request(op=op, request_id=rid, key=key, version=version))
+    assert (out.op, out.request_id, out.key, out.version) == (op, rid, key, version)
+
+
+@given(ks=st.lists(keys, max_size=16), version=versions)
+def test_get_many_request_roundtrip(ks, version):
+    out = roundtrip_request(Request(op=Op.GET_MANY, keys=ks, version=version))
+    assert out.keys == ks and out.version == version
+
+
+@given(items=st.lists(st.tuples(keys, values), max_size=16))
+def test_put_many_request_roundtrip(items):
+    assert roundtrip_request(Request(op=Op.PUT_MANY, items=items)).items == items
+
+
+@given(ks=st.lists(keys, max_size=16))
+def test_remove_many_request_roundtrip(ks):
+    assert roundtrip_request(Request(op=Op.REMOVE_MANY, keys=ks)).keys == ks
+
+
+@given(start=st.none() | keys, stop=st.none() | keys, prefix=st.none() | keys,
+       limit=st.integers(0, 2**32 - 1), version=versions)
+def test_scan_request_roundtrip(start, stop, prefix, limit, version):
+    out = roundtrip_request(Request(
+        op=Op.SCAN, start=start, stop=stop, prefix=prefix,
+        limit=limit, version=version))
+    assert (out.start, out.stop, out.prefix, out.limit, out.version) == \
+        (start, stop, prefix, limit, version)
+
+
+@given(left=versions, right=versions)
+def test_diff_request_roundtrip(left, right):
+    out = roundtrip_request(Request(op=Op.DIFF, version=left, right_version=right))
+    assert (out.version, out.right_version) == (left, right)
+
+
+@given(message=names)
+def test_commit_request_roundtrip(message):
+    assert roundtrip_request(Request(op=Op.COMMIT, message=message)).message == message
+
+
+@given(branch=names, from_branch=st.none() | names)
+def test_branch_create_request_roundtrip(branch, from_branch):
+    out = roundtrip_request(Request(
+        op=Op.BRANCH_CREATE, branch=branch, from_branch=from_branch))
+    assert (out.branch, out.from_branch) == (branch, from_branch)
+
+
+@given(version=versions)
+def test_snapshot_request_roundtrip(version):
+    assert roundtrip_request(
+        Request(op=Op.SNAPSHOT, version=version)).version == version
+
+
+def test_empty_payload_requests_roundtrip():
+    for op in (Op.PING, Op.BRANCHES):
+        assert roundtrip_request(Request(op=op, request_id=9)).op is op
+
+
+# ---------------------------------------------------------------------------
+# Response round trips
+# ---------------------------------------------------------------------------
+
+commits = st.builds(
+    CommitInfo,
+    version=st.integers(0, 2**63),
+    digest=st.binary(min_size=32, max_size=32),
+    branch=names,
+    parents=st.tuples() | st.tuples(st.integers(0, 2**63)),
+    timestamp=st.floats(allow_nan=False, allow_infinity=False),
+    message=names,
+    roots=st.lists(st.none() | st.binary(min_size=32, max_size=32),
+                   max_size=8).map(tuple),
+)
+
+
+@given(value=st.none() | values)
+def test_get_response_roundtrip(value):
+    out = roundtrip_response(Response(status=Status.OK, op=Op.GET, value=value))
+    assert out.value == value
+
+
+@given(vs=st.lists(st.none() | values, max_size=16))
+def test_get_many_response_roundtrip(vs):
+    out = roundtrip_response(Response(status=Status.OK, op=Op.GET_MANY, values=vs))
+    assert out.values == vs
+
+
+@given(items=st.lists(st.tuples(keys, values), max_size=16),
+       truncated=st.booleans())
+def test_scan_response_roundtrip(items, truncated):
+    out = roundtrip_response(Response(
+        status=Status.OK, op=Op.SCAN, items=items, truncated=truncated))
+    assert out.items == items and out.truncated == truncated
+
+
+@given(entries=st.lists(
+    st.tuples(keys, st.none() | values, st.none() | values), max_size=16))
+def test_diff_response_roundtrip(entries):
+    out = roundtrip_response(Response(
+        status=Status.OK, op=Op.DIFF, diff_entries=entries))
+    assert out.diff_entries == entries
+
+
+@given(commit=commits, op=st.sampled_from(
+    [Op.COMMIT, Op.SNAPSHOT, Op.BRANCH_CREATE, Op.BRANCH_HEAD]))
+def test_commit_response_roundtrip(commit, op):
+    assert roundtrip_response(
+        Response(status=Status.OK, op=op, commit=commit)).commit == commit
+
+
+@given(branches=st.lists(names, max_size=8))
+def test_branches_response_roundtrip(branches):
+    out = roundtrip_response(Response(
+        status=Status.OK, op=Op.BRANCHES, branches=branches))
+    assert out.branches == branches
+
+
+@given(key=keys, value=st.none() | values, index_name=names,
+       shard=st.integers(0, 2**32 - 1), root=st.none() | st.binary(min_size=32, max_size=32),
+       steps=st.lists(st.tuples(st.integers(0, 2**32 - 1), values), max_size=8))
+def test_prove_response_roundtrip(key, value, index_name, shard, root, steps):
+    proof = WireProof(key, value, index_name, shard, root, steps)
+    out = roundtrip_response(Response(status=Status.OK, op=Op.PROVE, proof=proof))
+    assert out.proof == proof
+
+
+@given(code=names, message=names,
+       status=st.sampled_from([Status.ERROR, Status.BUSY]),
+       op=st.sampled_from(list(Op)))
+def test_error_response_roundtrip(code, message, status, op):
+    out = roundtrip_response(Response(
+        status=status, op=op, request_id=7,
+        error_code=code, error_message=message))
+    assert (out.status, out.error_code, out.error_message) == (status, code, message)
+
+
+@given(ack=st.integers(0, 2**32 - 1), op=st.sampled_from([Op.PUT_MANY, Op.REMOVE_MANY]))
+def test_ack_response_roundtrip(ack, op):
+    assert roundtrip_response(
+        Response(status=Status.OK, op=op, ack_count=ack)).ack_count == ack
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+def test_frame_decoder_reassembles_split_frames():
+    bodies = [encode_request(Request(op=Op.GET, request_id=i, key=bytes([i])))
+              for i in range(5)]
+    stream = b"".join(encode_frame(b) for b in bodies)
+    decoder = FrameDecoder()
+    out = []
+    for i in range(0, len(stream), 3):  # drip-feed 3 bytes at a time
+        out.extend(decoder.feed(stream[i:i + 3]))
+    assert out == bodies
+    assert decoder.buffered_bytes == 0
+
+
+def test_frame_too_large_rejected_before_buffering():
+    decoder = FrameDecoder(max_frame_bytes=1024)
+    with pytest.raises(ProtocolError):
+        decoder.feed((1 << 20).to_bytes(4, "big"))
+
+
+def test_frame_below_header_size_rejected():
+    with pytest.raises(ProtocolError):
+        FrameDecoder().feed((2).to_bytes(4, "big") + b"xx")
+
+
+def test_encode_frame_enforces_limit():
+    with pytest.raises(ProtocolError):
+        encode_frame(b"x" * 100, max_frame_bytes=10)
+
+
+# ---------------------------------------------------------------------------
+# Decoder hardening
+# ---------------------------------------------------------------------------
+
+def _sample_bodies():
+    """One valid encoded body per message shape (requests + responses)."""
+    commit = CommitInfo(3, b"\x01" * 32, "main", (1, 2), 12.5, "msg",
+                        (None, b"\x02" * 32))
+    proof = WireProof(b"k", b"v", "pos", 1, b"\x03" * 32, [(0, b"node")])
+    reqs = [
+        Request(op=Op.PING, request_id=1),
+        Request(op=Op.GET, request_id=2, key=b"key", version=7),
+        Request(op=Op.GET_MANY, request_id=3, keys=[b"a", b"b"]),
+        Request(op=Op.PUT_MANY, request_id=4, items=[(b"a", b"1")]),
+        Request(op=Op.REMOVE_MANY, request_id=5, keys=[b"a"]),
+        Request(op=Op.SCAN, request_id=6, start=b"a", stop=b"z", limit=5),
+        Request(op=Op.DIFF, request_id=7, version=1, right_version=2),
+        Request(op=Op.COMMIT, request_id=8, message="m"),
+        Request(op=Op.SNAPSHOT, request_id=9, version=1),
+        Request(op=Op.BRANCHES, request_id=10),
+        Request(op=Op.BRANCH_CREATE, request_id=11, branch="dev"),
+        Request(op=Op.BRANCH_HEAD, request_id=12, branch="dev"),
+        Request(op=Op.PROVE, request_id=13, key=b"key"),
+    ]
+    resps = [
+        Response(status=Status.OK, op=Op.GET, value=b"v"),
+        Response(status=Status.OK, op=Op.GET_MANY, values=[b"v", None]),
+        Response(status=Status.OK, op=Op.SCAN, items=[(b"k", b"v")]),
+        Response(status=Status.OK, op=Op.DIFF, diff_entries=[(b"k", b"l", None)]),
+        Response(status=Status.OK, op=Op.COMMIT, commit=commit),
+        Response(status=Status.OK, op=Op.BRANCHES, branches=["main"]),
+        Response(status=Status.OK, op=Op.PROVE, proof=proof),
+        Response(status=Status.ERROR, op=Op.GET, error_code="x", error_message="y"),
+    ]
+    return ([encode_request(r) for r in reqs],
+            [encode_response(r) for r in resps])
+
+
+def test_every_truncation_raises_protocol_error():
+    """Cutting any valid body at any byte boundary must raise, not crash."""
+    req_bodies, resp_bodies = _sample_bodies()
+    for body in req_bodies:
+        for cut in range(len(body)):
+            with pytest.raises(ProtocolError):
+                decode_request(body[:cut])
+    for body in resp_bodies:
+        for cut in range(len(body)):
+            with pytest.raises(ProtocolError):
+                decode_response(body[:cut])
+
+
+def test_trailing_garbage_raises():
+    body = encode_request(Request(op=Op.GET, request_id=1, key=b"k"))
+    with pytest.raises(ProtocolError):
+        decode_request(body + b"\x00")
+
+
+def test_unknown_opcode_and_version_raise():
+    with pytest.raises(ProtocolError):
+        decode_request(bytes([protocol.PROTOCOL_VERSION, 250]) + b"\x00" * 4)
+    with pytest.raises(ProtocolError):
+        decode_request(bytes([99, int(Op.PING)]) + b"\x00" * 4)
+
+
+def test_hostile_count_field_rejected_without_allocation():
+    # GET_MANY with a count claiming 2**32-1 keys in a tiny payload.
+    body = bytes([protocol.PROTOCOL_VERSION, int(Op.GET_MANY)])
+    body += (1).to_bytes(4, "big") + (0xFFFFFFFF).to_bytes(4, "big")
+    with pytest.raises(ProtocolError):
+        decode_request(body)
+
+
+def _mutate(body: bytes, rng: random.Random) -> bytes:
+    """One random corruption: bit flip, truncation, insertion, or deletion."""
+    choice = rng.randrange(4)
+    raw = bytearray(body)
+    if choice == 0 and raw:
+        raw[rng.randrange(len(raw))] ^= 1 << rng.randrange(8)
+    elif choice == 1:
+        del raw[rng.randrange(len(raw) + 1):]
+    elif choice == 2:
+        pos = rng.randrange(len(raw) + 1)
+        raw[pos:pos] = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 5)))
+    elif raw:
+        pos = rng.randrange(len(raw))
+        del raw[pos:pos + rng.randrange(1, 5)]
+    return bytes(raw)
+
+
+def test_fuzz_10k_frames_decode_or_protocol_error():
+    """≥10k random and mutated bodies: decode cleanly or raise the typed error.
+
+    This is the acceptance-criterion fuzzer.  Any other exception type
+    (or an over-read past the body) fails the test immediately.
+    """
+    rng = random.Random(0xF0CACC1A)
+    req_bodies, resp_bodies = _sample_bodies()
+    survived = 0
+    for i in range(10_000):
+        if i % 2 == 0:
+            body = bytes(rng.randrange(256)
+                         for _ in range(rng.randrange(0, 128)))
+        else:
+            pool = req_bodies if i % 4 == 1 else resp_bodies
+            body = _mutate(pool[rng.randrange(len(pool))], rng)
+        for decode in (decode_request, decode_response):
+            try:
+                decode(body)
+            except ProtocolError:
+                pass
+        survived += 1
+    assert survived == 10_000
+
+
+@settings(max_examples=200)
+@given(data=st.binary(max_size=256))
+def test_hypothesis_fuzz_decoders(data):
+    """Hypothesis-driven variant of the fuzzer (shrinks on failure)."""
+    for decode in (decode_request, decode_response):
+        try:
+            decode(data)
+        except ProtocolError:
+            pass
+
+
+@given(data=st.binary(max_size=64))
+def test_fuzzed_stream_never_over_reads_framer(data):
+    decoder = FrameDecoder(max_frame_bytes=1024)
+    try:
+        frames = decoder.feed(data)
+    except ProtocolError:
+        return
+    consumed = sum(len(f) + protocol.LENGTH_PREFIX_BYTES for f in frames)
+    assert consumed + decoder.buffered_bytes == len(data)

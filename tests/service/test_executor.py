@@ -363,3 +363,57 @@ def test_single_shard_failure_keeps_shard_context():
         with pytest.raises(ShardExecutionError) as excinfo:
             executor.get_many([b"solo"])
     assert excinfo.value.shard_id == shard_id
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle: idempotent close, closed-executor guard, submit
+# ---------------------------------------------------------------------------
+
+def test_close_is_idempotent_across_owners():
+    """The server's drain path and the creator may both close the executor."""
+    service = make_service()
+    executor = ServiceExecutor(service)
+    assert not executor.is_closed
+    executor.close()
+    assert executor.is_closed
+    executor.close()  # second close is a no-op, not an error
+    executor.close()
+
+
+def test_context_manager_then_explicit_close():
+    service = make_service()
+    with ServiceExecutor(service) as executor:
+        executor.put_many({b"a": b"1"})
+    executor.close()  # after __exit__ already closed it
+    assert executor.is_closed
+
+
+def test_closed_executor_rejects_single_shard_operations():
+    """Regression: the inline single-task path used to outlive close().
+
+    A single-shard get_many skips the pool entirely, so without an
+    explicit guard it kept working after shutdown while multi-shard
+    calls raised — a lifecycle hole the wire server's drain path would
+    have hidden underneath.
+    """
+    service = make_service()
+    service.put("solo", "v")
+    service.flush()
+    executor = ServiceExecutor(service)
+    executor.close()
+    with pytest.raises(RuntimeError):
+        executor.get_many([b"solo"])  # one shard -> would have run inline
+    with pytest.raises(RuntimeError):
+        executor.put_many({b"a": b"1", b"b": b"2", b"c": b"3", b"d": b"4"})
+    with pytest.raises(RuntimeError):
+        executor.flush()
+
+
+def test_submit_runs_on_pool_and_respects_close():
+    service = make_service()
+    executor = ServiceExecutor(service)
+    future = executor.submit(lambda x: x * 2, 21)
+    assert future.result(timeout=10) == 42
+    executor.close()
+    with pytest.raises(RuntimeError):
+        executor.submit(lambda: None)
