@@ -20,10 +20,17 @@ they call.  Three behaviours matter beyond the method list:
   on a fresh socket — but only for idempotent operations, because a
   write whose response was lost may or may not have been applied.
 
-``prove`` answers are verified client-side against the shard root
-carried in the reply before being returned (``verify=False`` opts out),
-which is the paper's outsourced-database read path: the server is
-untrusted, the Merkle proof is the evidence.
+``prove`` answers are verified client-side before being returned
+(``verify=False`` opts out), which is the paper's outsourced-database
+read path: the server is untrusted, the Merkle proof is the evidence.
+Verification is *anchored*: the proof's shard root must equal the root
+recorded in the :class:`~repro.server.protocol.CommitInfo` of the proven
+version — taken from the client's own cache of commit records it has
+already observed (every ``COMMIT``/``SNAPSHOT``/branch answer is
+remembered), or supplied out of band via ``trusted_commit`` for full
+end-to-end trust.  A server that fabricates a root, mis-routes the key
+to an empty shard, or answers "absent" with no root at all fails
+verification instead of being believed.
 """
 
 from __future__ import annotations
@@ -32,12 +39,14 @@ import queue as queue_module
 import socket
 import threading
 import time
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.diff import DiffEntry
 from repro.core.errors import (
     InvalidParameterError,
     KeyNotFoundError,
+    ProofVerificationError,
     ProtocolError,
     RemoteServerError,
     ServerBusyError,
@@ -46,6 +55,7 @@ from repro.core.interfaces import KeyLike, ValueLike, coerce_key, coerce_value
 from repro.core.version import UnknownBranchError
 from repro.server import protocol
 from repro.server.protocol import CommitInfo, Op, Request, Response, Status, WireProof
+from repro.service.sharding import route_key
 
 #: Operations safe to retry on a fresh connection after a send/receive
 #: failure: re-executing them cannot change server state.
@@ -53,6 +63,9 @@ _IDEMPOTENT_OPS = frozenset({
     Op.PING, Op.GET, Op.GET_MANY, Op.SCAN, Op.DIFF, Op.SNAPSHOT,
     Op.BRANCHES, Op.BRANCH_HEAD, Op.PROVE,
 })
+
+#: Commit records remembered per client for anchoring proof verification.
+_COMMIT_CACHE_LIMIT = 256
 
 
 def _raise_for_status(response: Response) -> Response:
@@ -256,6 +269,9 @@ class RemoteRepository:
         self._lock = threading.Lock()
         self._request_id = 0
         self._closed = False
+        #: version -> CommitInfo, filled from every commit-bearing answer
+        #: this client has seen; the anchor for verified proofs.
+        self._commit_cache: "OrderedDict[int, CommitInfo]" = OrderedDict()
 
     # -- connection pool -----------------------------------------------------
 
@@ -289,7 +305,12 @@ class RemoteRepository:
                     self._created -= 1
                 raise
         # Pool exhausted: wait for a connection to come back.
-        return self._idle.get(timeout=self.timeout)
+        try:
+            return self._idle.get(timeout=self.timeout)
+        except queue_module.Empty:
+            raise TimeoutError(
+                f"connection pool exhausted: no connection returned within "
+                f"{self.timeout}s (pool_size={self.pool_size})") from None
 
     def _connect(self) -> _Connection:
         return _Connection(self.host, self.port, self.timeout,
@@ -355,9 +376,20 @@ class RemoteRepository:
                            (2 ** (self.busy_retries - busy_left)))
                 busy_left -= 1
                 continue
-            return _raise_for_status(response)
+            response = _raise_for_status(response)
+            if response.commit is not None:
+                self._remember_commit(response.commit)
+            return response
         assert last_error is not None
         raise last_error
+
+    def _remember_commit(self, commit: CommitInfo) -> None:
+        """Cache a commit record as a future proof-verification anchor."""
+        with self._lock:
+            self._commit_cache[commit.version] = commit
+            self._commit_cache.move_to_end(commit.version)
+            while len(self._commit_cache) > _COMMIT_CACHE_LIMIT:
+                self._commit_cache.popitem(last=False)
 
     # -- reads ---------------------------------------------------------------
 
@@ -459,28 +491,91 @@ class RemoteRepository:
     # -- verified reads ------------------------------------------------------
 
     def prove(self, key: KeyLike, *, version: Optional[int] = None,
-              verify: bool = True) -> WireProof:
+              verify: bool = True,
+              trusted_commit: Optional[CommitInfo] = None) -> WireProof:
         """A Merkle proof for ``key`` against a committed version.
 
         With ``verify=True`` (the default) the proof is checked locally
-        against the shard root carried in the reply before being
-        returned, so a lying server raises
+        before being returned, *anchored* to a commit record: the key
+        must route to the shard the proof claims, that shard's root in
+        the anchoring :class:`~repro.server.protocol.CommitInfo` must
+        equal ``proof.root``, and the Merkle path must hash up to it — a
+        lying server raises
         :class:`~repro.core.errors.ProofVerificationError` instead of
-        returning a bogus answer.  For end-to-end trust, compare
-        ``proof.root`` against the matching root in a
-        :class:`~repro.server.protocol.CommitInfo` obtained out of band.
+        being believed, including for fabricated absence answers.
+
+        The anchor is ``trusted_commit`` when given (a commit record
+        obtained out of band — the full outsourced-database trust
+        model).  Otherwise it is the commit record this client already
+        holds for the proven version: commits it performed itself and
+        every ``COMMIT``/``SNAPSHOT``/branch answer it has seen are
+        cached, and an unknown version is fetched via :meth:`snapshot`
+        first — which anchors the proof to the *same story* the server
+        tells all its commit-record consumers, but is only as
+        trustworthy as that record's source.
         """
-        response = self.request(Request(
-            op=Op.PROVE, key=coerce_key(key), version=version))
+        key = coerce_key(key)
+        anchor: Optional[CommitInfo] = None
+        if verify:
+            anchor = (trusted_commit if trusted_commit is not None
+                      else self._anchor_commit(version))
+            if version is None:
+                # Pin the proof to the anchor's version so the server
+                # cannot answer from a different (newer) state.
+                version = anchor.version
+            elif anchor.version != version:
+                raise ProofVerificationError(
+                    f"trusted commit is version {anchor.version}, not the "
+                    f"requested version {version}")
+        response = self.request(Request(op=Op.PROVE, key=key, version=version))
         proof = response.proof
         if verify:
+            self._check_anchor(proof, key, anchor)
             proof.verify()
         return proof
 
-    def verified_get(self, key: KeyLike, *,
-                     version: Optional[int] = None) -> Optional[bytes]:
-        """Read one key with proof verification (None = proven absent)."""
-        return self.prove(key, version=version, verify=True).value
+    def _anchor_commit(self, version: Optional[int]) -> CommitInfo:
+        """The commit record anchoring a verified proof at ``version``."""
+        if version is not None:
+            with self._lock:
+                cached = self._commit_cache.get(version)
+            if cached is not None:
+                return cached
+        return self.snapshot(version)
+
+    @staticmethod
+    def _check_anchor(proof: WireProof, key: bytes,
+                      anchor: CommitInfo) -> None:
+        """Reject a proof that is not tied to the anchoring commit."""
+        if proof.key != key:
+            raise ProofVerificationError(
+                "proof answers a different key than was asked")
+        num_shards = len(anchor.roots)
+        if num_shards < 1:
+            raise ProofVerificationError(
+                "anchoring commit carries no shard roots")
+        expected_shard = route_key(key, num_shards)
+        if proof.shard_id != expected_shard:
+            raise ProofVerificationError(
+                f"proof claims shard {proof.shard_id} but the key routes "
+                f"to shard {expected_shard} of {num_shards}")
+        if proof.root != anchor.roots[expected_shard]:
+            raise ProofVerificationError(
+                f"proof root does not match the committed root of shard "
+                f"{expected_shard} at version {anchor.version}")
+
+    def verified_get(self, key: KeyLike, *, version: Optional[int] = None,
+                     trusted_commit: Optional[CommitInfo] = None
+                     ) -> Optional[bytes]:
+        """Read one key with anchored proof verification.
+
+        ``None`` means *proven absent*: the absence is checked against
+        the committed shard root exactly like a present value, so a
+        server cannot deny a key exists by fabricating an empty answer.
+        See :meth:`prove` for the anchoring rules.
+        """
+        return self.prove(key, version=version, verify=True,
+                          trusted_commit=trusted_commit).value
 
     # -- pipelining ----------------------------------------------------------
 

@@ -38,6 +38,9 @@ class ServerMetrics:
         self.connections_closed = 0
         #: Malformed frames answered with a ``protocol`` error frame.
         self.protocol_errors = 0
+        #: Responses that failed to send (encode over the frame limit,
+        #: unexpected transport failure) without killing their worker.
+        self.send_errors = 0
 
     # -- mutation hooks (called by the server) -------------------------------
 
@@ -55,6 +58,11 @@ class ServerMetrics:
         """Count one malformed frame."""
         with self._lock:
             self.protocol_errors += 1
+
+    def record_send_error(self) -> None:
+        """Count one response that could not be sent as encoded."""
+        with self._lock:
+            self.send_errors += 1
 
     def record_admitted(self, queue: int) -> None:
         """A request entered queue ``queue``; depth rises."""
@@ -104,6 +112,7 @@ class ServerMetrics:
                 "connections_opened": self.connections_opened,
                 "connections_closed": self.connections_closed,
                 "protocol_errors": self.protocol_errors,
+                "send_errors": self.send_errors,
             }
         report["queues"] = [
             {

@@ -364,25 +364,40 @@ class FrameDecoder:
     rejects declared lengths outside ``[_MIN_BODY_BYTES, max_frame_bytes]``
     before allocating anything — an attacker-controlled length field can
     therefore cost at most ``max_frame_bytes`` of memory.
+
+    When a chunk completes some valid frames *and then* hits a corrupt
+    length field, :meth:`feed` raises — but the frames completed before
+    the corruption are not lost: they are held on the decoder and
+    returned by :meth:`take_completed`, so a server can still answer the
+    valid pipelined requests before reporting the error and hanging up.
     """
 
     def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES):
         self.max_frame_bytes = max_frame_bytes
         self._buffer = bytearray()
+        self._completed: List[bytes] = []
 
     def feed(self, data: bytes) -> List[bytes]:
-        """Append ``data``; return every frame body completed by it."""
+        """Append ``data``; return every frame body completed by it.
+
+        On a corrupt length field this raises :class:`ProtocolError`;
+        frames completed earlier in the stream remain retrievable via
+        :meth:`take_completed`.
+        """
         self._buffer.extend(data)
-        frames: List[bytes] = []
+        frames = self._completed
+        self._completed = []
         while True:
             if len(self._buffer) < LENGTH_PREFIX_BYTES:
                 return frames
             length = int.from_bytes(self._buffer[:LENGTH_PREFIX_BYTES], "big")
             if length > self.max_frame_bytes:
+                self._completed = frames
                 raise ProtocolError(
                     f"declared frame length {length} exceeds the "
                     f"{self.max_frame_bytes}-byte limit")
             if length < _MIN_BODY_BYTES:
+                self._completed = frames
                 raise ProtocolError(
                     f"declared frame length {length} is below the "
                     f"{_MIN_BODY_BYTES}-byte message header")
@@ -391,6 +406,11 @@ class FrameDecoder:
             frames.append(bytes(
                 self._buffer[LENGTH_PREFIX_BYTES:LENGTH_PREFIX_BYTES + length]))
             del self._buffer[:LENGTH_PREFIX_BYTES + length]
+
+    def take_completed(self) -> List[bytes]:
+        """Frames parsed before a :meth:`feed` error (cleared on return)."""
+        frames, self._completed = self._completed, []
+        return frames
 
     @property
     def buffered_bytes(self) -> int:

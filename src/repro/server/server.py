@@ -97,6 +97,28 @@ class _Connection:
         self.decoder = protocol.FrameDecoder(server.max_frame_bytes)
         self._write_lock = asyncio.Lock()
         self.closing = False
+        #: Requests admitted for this connection but not yet answered.
+        self.inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    def note_admitted(self) -> None:
+        """One request for this connection entered an admission queue."""
+        self.inflight += 1
+        self._idle.clear()
+
+    def note_done(self) -> None:
+        """One admitted request was answered (or abandoned)."""
+        self.inflight -= 1
+        if self.inflight <= 0:
+            self._idle.set()
+
+    async def wait_idle(self, timeout: float = 30.0) -> None:
+        """Wait until every admitted request has been answered."""
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+        except asyncio.TimeoutError:
+            pass
 
     async def send(self, response: Response) -> None:
         """Encode and write one response frame (safe from many tasks)."""
@@ -108,7 +130,7 @@ class _Connection:
             try:
                 self.writer.write(frame)
                 await self.writer.drain()
-            except (ConnectionError, RuntimeError):
+            except (ConnectionError, OSError, RuntimeError):
                 # The client went away mid-response; the read loop will
                 # observe EOF and retire the connection.
                 self.closing = True
@@ -265,14 +287,27 @@ class RepositoryServer:
             try:
                 frames = connection.decoder.feed(chunk)
             except ProtocolError as exc:
-                # The stream itself is unframeable — report and hang up.
+                # The stream itself is unframeable — but frames that
+                # completed before the corruption are valid pipelined
+                # requests: admit them, let their answers go out, then
+                # report the error and hang up.
                 self.metrics.record_protocol_error()
-                await connection.send(Response(
-                    status=Status.ERROR, op=Op.PING, request_id=0,
-                    error_code="protocol", error_message=str(exc)))
+                salvaged_ok = True
+                for body in connection.decoder.take_completed():
+                    if not await self._admit(connection, body):
+                        salvaged_ok = False
+                        break
+                await connection.wait_idle()
+                if salvaged_ok:
+                    await connection.send(Response(
+                        status=Status.ERROR, op=Op.PING, request_id=0,
+                        error_code="protocol", error_message=str(exc)))
                 return
             for body in frames:
                 if not await self._admit(connection, body):
+                    # Earlier frames from this chunk may still be in
+                    # flight; answer them before the close.
+                    await connection.wait_idle()
                     return
 
     async def _admit(self, connection: _Connection, body: bytes) -> bool:
@@ -299,6 +334,7 @@ class RepositoryServer:
                 error_message=f"admission queue {queue_index} is full"))
             return True
         self.metrics.record_admitted(queue_index)
+        connection.note_admitted()
         queue.put_nowait((connection, request))
         return True
 
@@ -326,12 +362,46 @@ class RepositoryServer:
                         request_id=request.request_id,
                         error_code=_error_code_for(exc),
                         error_message=str(exc))
-                await connection.send(response)
+                await self._answer(connection, response)
             finally:
                 self.metrics.record_completed(
                     queue_index, request.op.name.lower(),
                     time.perf_counter() - started)
+                connection.note_done()
                 queue.task_done()
+
+    async def _answer(self, connection: _Connection,
+                      response: Response) -> None:
+        """Send a response without ever killing the worker that calls it.
+
+        ``encode_response`` raises :class:`ProtocolError` when a result
+        body (a large ``SCAN``/``DIFF``/``GET_MANY``) exceeds
+        ``max_frame_bytes``; the client must still get an answer and the
+        queue's only worker must survive, so an encode failure degrades
+        to a small ``response_too_large`` error frame and any other send
+        failure is counted instead of propagating.
+        """
+        try:
+            await connection.send(response)
+            return
+        except asyncio.CancelledError:
+            raise
+        except ProtocolError as exc:
+            self.metrics.record_send_error()
+            fallback = Response(
+                status=Status.ERROR, op=response.op,
+                request_id=response.request_id,
+                error_code="response_too_large",
+                error_message=str(exc))
+        except Exception:
+            self.metrics.record_send_error()
+            return
+        try:
+            await connection.send(fallback)
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            pass
 
     # -- request execution (dispatch-pool threads) ----------------------------
 

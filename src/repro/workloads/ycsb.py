@@ -451,7 +451,8 @@ class YCSBRemoteDriver:
         return counters
 
     def run(self, num_processes: int = 1,
-            operation_count: Optional[int] = None) -> OperationCounters:
+            operation_count: Optional[int] = None,
+            result_poll_seconds: float = 5.0) -> OperationCounters:
         """Hammer the server from ``num_processes`` OS processes.
 
         Returns counters whose ``extra`` dict carries the tail-latency
@@ -459,11 +460,15 @@ class YCSBRemoteDriver:
         ``lat_max``, seconds) merged across every client, plus
         ``client_processes``.  Throughput is total operations over the
         slowest client's wall-clock window (all clients start together).
-        A failed worker raises ``RuntimeError`` naming it.
+        A failed worker raises ``RuntimeError`` naming it — including a
+        worker that *died without reporting* (OOM kill, interpreter
+        crash): results are collected with ``result_poll_seconds``
+        timeouts and liveness checks, never an unbounded blocking get.
         """
         if num_processes <= 0:
             raise ValueError("num_processes must be positive")
         import multiprocessing
+        import queue as queue_module
 
         context = multiprocessing.get_context()
         result_queue = context.Queue()
@@ -480,15 +485,31 @@ class YCSBRemoteDriver:
         merged: List[float] = []
         slowest = 0.0
         failures: List[str] = []
-        for _ in workers:
-            worker_index, elapsed, payload = result_queue.get()
+        outstanding = set(range(num_processes))
+        while outstanding:
+            try:
+                worker_index, elapsed, payload = result_queue.get(
+                    timeout=result_poll_seconds)
+            except queue_module.Empty:
+                # A worker that died without posting a result will never
+                # satisfy the get; declare it failed instead of blocking
+                # forever.  (A live-but-slow worker just loops.)
+                for index in sorted(outstanding):
+                    worker = workers[index]
+                    if not worker.is_alive():
+                        outstanding.discard(index)
+                        failures.append(
+                            f"worker {index} exited with code "
+                            f"{worker.exitcode} without reporting a result")
+                continue
+            outstanding.discard(worker_index)
             if elapsed is None:
                 failures.append(f"worker {worker_index}: {payload}")
             else:
                 slowest = max(slowest, elapsed)
                 merged.extend(payload)
         for worker in workers:
-            worker.join()
+            worker.join(timeout=60)
         if failures:
             raise RuntimeError("remote YCSB worker(s) failed: " + "; ".join(failures))
 

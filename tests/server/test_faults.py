@@ -20,15 +20,17 @@ point, and each cut must leave the server fully serviceable.
 from __future__ import annotations
 
 import socket
+import time
 
 import pytest
 
-from tests.server.conftest import wait_drained
+from tests.server.conftest import make_service, wait_drained
 
 from repro.core.errors import RemoteServerError
 from repro.server import protocol
 from repro.server.client import RemoteRepository
 from repro.server.protocol import Op, Request, Status
+from repro.server.server import RepositoryServer, ServerThread
 
 
 def _connect(address):
@@ -145,13 +147,91 @@ def test_error_frames_do_not_leak_queue_depth(live_server, client, monkeypatch):
     assert total.admitted == total.completed
 
 
-def test_pipeline_failure_fails_all_outstanding_handles(live_server):
+def test_oversized_response_degrades_to_error_frame_not_dead_worker():
+    """A response over the frame limit must not kill the queue worker.
+
+    Regression: an unbounded SCAN whose result exceeded
+    ``max_frame_bytes`` used to raise out of the worker coroutine,
+    permanently wedging that queue (later requests hung, shutdown
+    deadlocked).  It must instead answer ``response_too_large`` and keep
+    both the worker and the connection serviceable.
+    """
+    server = RepositoryServer(make_service(), max_frame_bytes=2048)
+    with ServerThread(server) as (host, port):
+        with RemoteRepository(host, port) as remote:
+            value = b"x" * 64
+            for base in range(0, 100, 10):  # batches small enough to frame
+                remote.put_many([(b"big:%03d" % i, value)
+                                 for i in range(base, base + 10)])
+            with pytest.raises(RemoteServerError) as excinfo:
+                remote.scan()  # ~7.5 KB of records > the 2 KiB limit
+            assert excinfo.value.code == "response_too_large"
+            # The control-queue worker survived: the same connection
+            # still serves scans that fit, commits, and single gets.
+            assert len(remote.scan(limit=3)) == 3
+            remote.commit("still alive")
+            assert remote.get(b"big:007") == value
+        assert server.metrics.send_errors >= 1
+        total = wait_drained(server)
+        assert total.depth == 0
+        assert total.admitted == total.completed
+    # Reaching here means shutdown's queue.join() did not deadlock.
+
+
+def test_valid_frames_before_corruption_are_answered(live_server, client):
+    """Pipelined requests completed before corrupt bytes still get answers."""
+    client.put(b"pre", b"vx")
+    good = _framed_get(b"pre", request_id=9)
+    corrupt = (live_server.max_frame_bytes + 1).to_bytes(4, "big")
+    sock = _connect(live_server.address)
+    sock.sendall(good + corrupt)
+    decoder = protocol.FrameDecoder()
+    responses = []
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        responses.extend(protocol.decode_response(f)
+                         for f in decoder.feed(chunk))
+    sock.close()
+    assert [r.request_id for r in responses] == [9, 0]
+    answered, error = responses
+    assert answered.status is Status.OK
+    assert answered.value == b"vx"
+    assert error.status is Status.ERROR
+    assert error.error_code == "protocol"
+
+
+def test_pool_exhaustion_raises_descriptive_timeout(live_server):
     host, port = live_server.address
+    with RemoteRepository(host, port, pool_size=1, timeout=0.2,
+                          retries=0) as remote:
+        pipe = remote.pipeline()  # holds the pool's only connection
+        try:
+            with pytest.raises(TimeoutError, match="pool exhausted"):
+                remote.ping()
+        finally:
+            pipe.close()
+        remote.ping()  # the returned connection serves again
+
+
+def test_pipeline_failure_fails_all_outstanding_handles(live_server, monkeypatch):
+    host, port = live_server.address
+    real_get = live_server.service.get
+
+    # Delay only the second request's answer so its response cannot have
+    # been received (and buffered client-side) before the socket is cut.
+    def slow_get(key, *args, **kwargs):
+        if key == b"slow":
+            time.sleep(0.5)
+        return real_get(key, *args, **kwargs)
+
+    monkeypatch.setattr(live_server.service, "get", slow_get)
     with RemoteRepository(host, port) as remote:
         remote.put(b"p", b"q")
         pipe = remote.pipeline()
         first = pipe.get(b"p")
-        second = pipe.get(b"p")
+        second = pipe.get(b"slow")
         assert first.result() == b"q"
         # Sever the pipeline's socket out from under it.
         pipe._connection.sock.close()

@@ -236,6 +236,27 @@ def test_encode_frame_enforces_limit():
         encode_frame(b"x" * 100, max_frame_bytes=10)
 
 
+def test_frames_completed_before_corruption_are_retrievable():
+    """A corrupt length field must not discard already-parsed frames."""
+    bodies = [encode_request(Request(op=Op.PING, request_id=i))
+              for i in range(3)]
+    stream = b"".join(encode_frame(b) for b in bodies)
+    corrupt = (1).to_bytes(4, "big")  # below the message-header minimum
+    decoder = FrameDecoder()
+    with pytest.raises(ProtocolError):
+        decoder.feed(stream + corrupt)
+    assert decoder.take_completed() == bodies
+    # take_completed drains: a second call yields nothing.
+    assert decoder.take_completed() == []
+
+
+def test_take_completed_empty_after_normal_feed():
+    decoder = FrameDecoder()
+    body = encode_request(Request(op=Op.PING, request_id=1))
+    assert decoder.feed(encode_frame(body)) == [body]
+    assert decoder.take_completed() == []
+
+
 # ---------------------------------------------------------------------------
 # Decoder hardening
 # ---------------------------------------------------------------------------

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from tests.server.conftest import wait_drained
+from tests.server.conftest import NUM_SHARDS, wait_drained
 
 from repro.core.errors import (
     InvalidParameterError,
@@ -23,6 +23,7 @@ from repro.core.errors import (
 from repro.core.version import UnknownBranchError
 from repro.hashing.digest import Digest
 from repro.server.client import RemoteRepository
+from repro.server.protocol import CommitInfo, Op
 
 
 def test_ping_and_reconnect(client):
@@ -132,6 +133,81 @@ def test_tampered_proof_fails_verification(client):
     lied_root.root = bytes(32)
     with pytest.raises(ProofVerificationError):
         lied_root.verify()
+
+
+def _forge_prove_responses(client, monkeypatch, forge):
+    """Route PROVE answers through ``forge`` (a lying-server simulator)."""
+    real = client.request
+
+    def patched(request):
+        response = real(request)
+        if request.op is Op.PROVE:
+            forge(response.proof)
+        return response
+
+    monkeypatch.setattr(client, "request", patched)
+
+
+def test_verified_get_rejects_fabricated_absence(client, monkeypatch):
+    """A server cannot deny a committed key with a rootless empty answer.
+
+    Regression: `root=None, no steps` used to verify vacuously, so a
+    malicious server could claim any key was absent.  Anchored
+    verification compares the claimed root against the committed shard
+    root, which is non-None for the shard holding the key.
+    """
+    client.put(b"exists", b"real-value")
+    client.commit("anchored")
+
+    def deny(proof):
+        proof.value = None
+        proof.root = None
+        proof.steps = []
+
+    _forge_prove_responses(client, monkeypatch, deny)
+    with pytest.raises(ProofVerificationError):
+        client.verified_get(b"exists")
+
+
+def test_prove_rejects_misrouted_shard(client, monkeypatch):
+    """Pointing the proof at another shard's root must not verify."""
+    client.put(b"routed", b"v")
+    client.commit("c")
+
+    def misroute(proof):
+        proof.shard_id = (proof.shard_id + 1) % NUM_SHARDS
+
+    _forge_prove_responses(client, monkeypatch, misroute)
+    with pytest.raises(ProofVerificationError):
+        client.prove(b"routed")
+
+
+def test_trusted_commit_anchors_out_of_band(client):
+    client.put(b"oob", b"w")
+    commit = client.commit("oob anchor")
+    proof = client.prove(b"oob", trusted_commit=commit)
+    assert proof.value == b"w"
+    # A tampered out-of-band record rejects the server's honest proof.
+    tampered = CommitInfo(
+        version=commit.version, digest=commit.digest, branch=commit.branch,
+        parents=commit.parents, timestamp=commit.timestamp,
+        message=commit.message,
+        roots=tuple(bytes(32) for _ in commit.roots))
+    with pytest.raises(ProofVerificationError):
+        client.prove(b"oob", trusted_commit=tampered)
+    # The trusted commit must describe the requested version.
+    with pytest.raises(ProofVerificationError):
+        client.prove(b"oob", version=commit.version + 999,
+                     trusted_commit=commit)
+
+
+def test_verified_get_at_historical_version(client):
+    client.put(b"hist", b"v1")
+    first = client.commit("one")
+    client.put(b"hist", b"v2")
+    client.commit("two")
+    assert client.verified_get(b"hist", version=first.version) == b"v1"
+    assert client.verified_get(b"hist") == b"v2"
 
 
 def test_pipeline_interleaves_many_requests(client):

@@ -119,3 +119,29 @@ class TestVersionStream:
         existing = set(workload.keys)
         for batch in versions:
             assert not (set(batch) & existing)
+
+
+class TestRemoteDriverFaults:
+    def test_dead_worker_reported_not_hung(self, monkeypatch):
+        """A worker killed before posting a result must raise, not hang.
+
+        Regression: the parent used to block forever in
+        ``result_queue.get()`` when a client process died without
+        reporting (OOM kill, interpreter crash).
+        """
+        import multiprocessing
+        import os
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("patching the worker target requires fork")
+        from repro.workloads import ycsb as ycsb_module
+        from repro.workloads.ycsb import YCSBRemoteDriver
+
+        def die_unreported(*args, **kwargs):
+            os._exit(3)
+
+        monkeypatch.setattr(ycsb_module, "_remote_worker", die_unreported)
+        workload = YCSBWorkload(record_count=10, operation_count=10)
+        driver = YCSBRemoteDriver(workload, "127.0.0.1", 1)
+        with pytest.raises(RuntimeError, match="without reporting"):
+            driver.run(num_processes=2, result_poll_seconds=0.2)
