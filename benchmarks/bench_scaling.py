@@ -1,0 +1,145 @@
+"""Backend scaling — thread vs process shard engine under YCSB-C.
+
+The service's default backend keeps every shard in the caller's process,
+so concurrent clients contend on Python's GIL no matter how many shards
+(or cores) exist.  ``backend="process"`` moves each shard into its own
+forked worker process — this benchmark measures what that buys (or
+costs): aggregate YCSB-C (read-only, Zipfian θ = 0.9) ops/s as the
+worker count grows, for both backends, with ``num_shards`` matched to
+the worker count so each configuration has one shard per client thread.
+
+What to expect:
+
+* On a **single-core** box (CI containers — the recorded artifact says
+  how many cores it saw) process workers cannot beat the GIL: the wins
+  from parallel tree traversal are given back to pipe serialization, so
+  the process backend trails at a roughly constant factor.  The curve is
+  still the honest baseline the equivalence suite pins semantics to.
+* With **multiple cores**, thread workers plateau at ~1 core of useful
+  work while process workers scale with the shard count, because each
+  worker owns its shard's entire read path (store, cache, tree walk) in
+  its own interpreter.
+
+The full run writes ``BENCH_scaling.json`` at the repository root (the
+checked-in artifact, including ``os.cpu_count()`` for context).
+``--quick`` is the CI smoke configuration: fewer workers and operations,
+JSON under ``BENCH_scaling_quick.json`` (gitignored).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_scaling.py [--quick]
+"""
+
+import argparse
+import json
+import os
+
+from common import report
+from repro.analysis.report import format_table
+from repro.indexes import POSTree
+from repro.service import VersionedKVService
+from repro.workloads.ycsb import YCSBConfig, YCSBServiceDriver, YCSBWorkload
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BACKENDS = ["thread", "process"]
+
+
+def make_index(store):
+    """POS-Tree tuned to ~1 KB nodes (the paper's Section 5 tuning)."""
+    return POSTree(store, target_node_size=1024, estimated_entry_size=272)
+
+
+def run_one(backend, workers, record_count, operation_count):
+    """Load a fresh service and run YCSB-C with ``workers`` client threads."""
+    workload = YCSBWorkload(YCSBConfig(
+        record_count=record_count, operation_count=operation_count,
+        write_ratio=0.0, theta=0.9, batch_size=1_000, seed=11))
+    driver = YCSBServiceDriver(workload)
+    service = VersionedKVService(make_index, num_shards=workers,
+                                 batch_size=256, backend=backend)
+    service.open()
+    try:
+        driver.load(service)
+        counters = driver.run_concurrent(service, num_threads=workers,
+                                         operation_count=operation_count)
+    finally:
+        service.close()
+    return {
+        "backend": backend,
+        "workers": workers,
+        "operations": counters.operations,
+        "seconds": round(counters.elapsed_seconds, 4),
+        "ops_per_second": round(counters.throughput(), 1),
+    }
+
+
+def run_grid(worker_counts, record_count, operation_count):
+    rows, results = [], []
+    for backend in BACKENDS:
+        baseline = None
+        for workers in worker_counts:
+            result = run_one(backend, workers, record_count, operation_count)
+            if baseline is None:
+                baseline = result["ops_per_second"] or 1.0
+            result["speedup_vs_1_worker"] = round(
+                result["ops_per_second"] / baseline, 2)
+            results.append(result)
+            rows.append([backend, workers, result["operations"],
+                         f"{result['ops_per_second']:.0f}",
+                         f"{result['speedup_vs_1_worker']:.2f}x",
+                         f"{result['seconds']:.3f}"])
+    return rows, results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: fewer workers/ops, gitignored JSON")
+    args = parser.parse_args(argv)
+    if args.quick:
+        worker_counts, record_count, operation_count = [1, 2], 300, 500
+        suffix = "_quick"
+    else:
+        worker_counts, record_count, operation_count = [1, 2, 4], 2_000, 6_000
+        suffix = ""
+
+    cpu_count = os.cpu_count() or 1
+    rows, results = run_grid(worker_counts, record_count, operation_count)
+
+    body = format_table(
+        ["Backend", "Workers", "Ops", "Ops/s", "Speedup", "Secs"], rows)
+    body += f"\ncpu_count: {cpu_count}\n"
+    report(f"bench_scaling{suffix}",
+           "Shard backends: YCSB-C ops/s vs worker count "
+           "(thread vs process)", body)
+
+    payload = {
+        "benchmark": "bench_scaling",
+        "description": "YCSB-C (read-only, Zipf 0.9) throughput vs worker "
+                       "count for the thread- and process-shard backends; "
+                       "num_shards == workers in every cell",
+        "cpu_count": cpu_count,
+        "workload": {
+            "record_count": record_count,
+            "operation_count": operation_count,
+            "write_ratio": 0.0,
+            "theta": 0.9,
+            "index": "POS-Tree (1 KB nodes)",
+        },
+        "results": results,
+    }
+    json_path = os.path.join(REPO_ROOT, f"BENCH_scaling{suffix}.json")
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {json_path}")
+    return 0
+
+
+def test_scaling_bench_quick_smoke():
+    """Pytest entry point (every bench script runs under pytest too)."""
+    assert main(["--quick"]) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

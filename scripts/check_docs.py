@@ -59,6 +59,8 @@ FULL_COVERAGE_MODULES = [
     "src/repro/service/sharding.py",
     "src/repro/service/batcher.py",
     "src/repro/service/service.py",
+    "src/repro/service/engine.py",
+    "src/repro/service/process.py",
     "src/repro/server/__init__.py",
     "src/repro/server/server.py",
     "src/repro/server/client.py",

@@ -34,6 +34,8 @@ DEFAULT_TESTS = [
     "tests/indexes/test_differential.py",
     "tests/storage/test_segment.py",
     "tests/service/test_durability.py",
+    "tests/service/test_backend_equivalence.py",
+    "tests/service/test_process_faults.py",
     "tests/server/test_faults.py",
     "tests/server/test_backpressure.py",
 ]

@@ -26,7 +26,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union, TYPE_CHECKING
 
-from repro.core.diff import diff_snapshots
 from repro.core.errors import InvalidParameterError, MergeConflictError
 from repro.hashing.digest import Digest
 from repro.service.service import ServiceCommit
@@ -121,8 +120,8 @@ def three_way_roots(service, base_roots: Tuple[Optional[Digest], ...],
     conflicts: List[MergeConflict] = []
     for shard_id in range(service.num_shards):
         base_snap = base_view.shards[shard_id]
-        ours_diff = {e.key: e for e in diff_snapshots(base_snap, ours_view.shards[shard_id])}
-        theirs_diff = {e.key: e for e in diff_snapshots(base_snap, theirs_view.shards[shard_id])}
+        ours_diff = {e.key: e for e in base_snap.diff(ours_view.shards[shard_id]).entries}
+        theirs_diff = {e.key: e for e in base_snap.diff(theirs_view.shards[shard_id]).entries}
         shard_takes: Dict[bytes, Optional[bytes]] = {}
         for key, theirs_entry in theirs_diff.items():
             ours_entry = ours_diff.get(key)

@@ -66,6 +66,43 @@ class MergeConflictError(ReproError):
         super().__init__(detail)
 
 
+class ShardExecutionError(ReproError):
+    """A per-shard task failed; no partial cross-shard result was produced.
+
+    Raised by :class:`repro.service.executor.ServiceExecutor` when a
+    fanned-out shard task fails, and by the process shard backend
+    (:mod:`repro.service.process`) when a shard worker process dies or
+    its command pipe breaks.  In both cases the failing operation is
+    abandoned whole — callers never observe a result assembled from a
+    subset of shards, and a cross-shard commit whose prepare phase raised
+    this error is never journalled.
+
+    Attributes
+    ----------
+    shard_id:
+        The shard whose task (or worker process) failed first.
+    operation:
+        Short name of the failing operation ("get_many", "commit",
+        "flush_head", ...).
+
+    The original exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, shard_id: int, operation: str, cause: BaseException):
+        self.shard_id = shard_id
+        self.operation = operation
+        super().__init__(
+            f"shard {shard_id} failed during {operation}: {cause!r}"
+        )
+
+    def __reduce__(self):
+        # The informative constructor takes (shard_id, operation, cause),
+        # not the formatted message in ``args`` — spell the reconstruction
+        # out so the error survives a pickled trip through a command pipe.
+        return (type(self), (self.shard_id, self.operation,
+                             self.__cause__ or RuntimeError("unknown cause")))
+
+
 class ProofVerificationError(ReproError):
     """A Merkle proof failed to verify against the trusted root digest."""
 

@@ -23,11 +23,19 @@ merged later.
   :meth:`~repro.service.service.VersionedKVService.collect_garbage`
   (mark-and-sweep compaction, :mod:`repro.storage.gc`) — see
   ``docs/STORAGE.md``.
+* :mod:`repro.service.engine` — the self-contained per-shard core
+  (:class:`ShardEngine`: one index + store + cache, no locks, no
+  transport) and its in-process handle (:class:`ThreadShardHandle`).
+* :mod:`repro.service.process` — the process-parallel shard backend
+  (:class:`ProcessShardBackend`): one forked worker process per shard,
+  commands over pickled per-shard pipes, so shard work escapes the GIL.
+  Select it with ``VersionedKVService(..., backend="process")``; the
+  default ``backend="thread"`` keeps every shard in-process.
 * :mod:`repro.service.executor` — the concurrent execution engine
   (:class:`ServiceExecutor`): a worker pool fanning multi-key gets,
   scans, merged diffs, bulk writes and commits out over the shards with
   deterministic result ordering and fail-fast error handling
-  (:class:`ShardExecutionError`).
+  (:class:`ShardExecutionError`).  Works unchanged on both backends.
 
 Quickstart::
 
@@ -44,7 +52,9 @@ Quickstart::
 """
 
 from repro.service.batcher import ShardWriteBatcher
+from repro.service.engine import ShardEngine, ThreadShardHandle
 from repro.service.executor import ServiceExecutor, ShardExecutionError
+from repro.service.process import ProcessShardBackend
 from repro.service.service import (
     ServiceCommit,
     ServiceMetrics,
@@ -59,6 +69,9 @@ __all__ = [
     "VersionedKVService",
     "ServiceExecutor",
     "ShardExecutionError",
+    "ShardEngine",
+    "ThreadShardHandle",
+    "ProcessShardBackend",
     "ServiceSnapshot",
     "ServiceCommit",
     "ServiceMetrics",

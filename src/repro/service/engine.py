@@ -1,0 +1,476 @@
+"""The single-shard engine: one partition's index, store, cache and head.
+
+:class:`ShardEngine` is the self-contained per-shard core extracted from
+:class:`~repro.service.service.VersionedKVService`: one index instance
+over one (optionally cached) node store, plus the shard's mutable serving
+state — the working head snapshot, the per-flush root history and the
+flush counters.  The engine is deliberately **lock-free and
+transport-free**: it assumes its caller serializes mutations, and every
+method speaks plain picklable values (digests, byte strings, op batches),
+so exactly the same engine runs in two placements:
+
+* **in-process** (``backend="thread"``) — wrapped by
+  :class:`ThreadShardHandle`, which adds the shard mutex and contention
+  accounting the service's concurrency model requires;
+* **out-of-process** (``backend="process"``) — owned by a forked worker
+  (:mod:`repro.service.process`) that executes pickled engine commands
+  arriving over a per-shard command pipe, escaping the GIL for the
+  hash/encode-heavy flush and lookup work.
+
+Running the *same* engine code under both backends is what makes the
+cross-backend differential suite meaningful: byte-identical shard roots
+and commit digests fall out of construction, and the equivalence tests
+(``tests/service/test_backend_equivalence.py``) verify it end to end.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.diff import DiffResult, diff_snapshots
+from repro.core.interfaces import IndexSnapshot, SIRIIndex
+from repro.core.metrics import CacheCounters, ContentionCounters, GCCounters
+from repro.hashing.digest import Digest
+from repro.storage.cache import CachingNodeStore
+from repro.storage.gc import GarbageCollector, reachable_digests
+from repro.storage.store import NodeStore
+
+
+@dataclass
+class ShardMetrics:
+    """Point-in-time counters for one shard."""
+
+    shard_id: int
+    flushes: int
+    nodes_written: int
+    nodes_read: int
+    cache: CacheCounters
+    records: Optional[int] = None
+    #: Lock acquisition/contention accounting for this shard's mutex.
+    contention: ContentionCounters = field(default_factory=ContentionCounters)
+    #: Cumulative seconds spent applying this shard's flushes (index time
+    #: only, excluding lock waits — those are in ``contention``).
+    flush_seconds: float = 0.0
+
+
+class ShardEngine:
+    """One partition: an index over its own (optionally cached) store.
+
+    Owns the shard's complete serving state — backing store, optional
+    read-through cache, index instance, working head snapshot and root
+    history — but **no lock**: callers (the thread handle's mutex, or the
+    one-command-at-a-time worker loop of the process backend) serialize
+    mutations.  Every argument and return value is picklable, so the full
+    method surface doubles as the process backend's command set.
+    """
+
+    __slots__ = ("shard_id", "backing", "store", "cache", "index", "head",
+                 "history", "flushes", "flush_seconds")
+
+    def __init__(self, shard_id: int, backing: NodeStore, store: NodeStore,
+                 cache: Optional[CachingNodeStore], index: SIRIIndex):
+        self.shard_id = shard_id
+        self.backing = backing
+        self.store = store
+        self.cache = cache
+        self.index = index
+        # A *counted* head costs the flush path nothing: the SIRI indexes
+        # report the record delta as a free by-product of each batched
+        # write (SIRIIndex.write_counted), so record_count() is O(1) on a
+        # freshly built service.  The count is unknown (None) after the
+        # head is reset from journalled roots — open()/branch commits —
+        # where the first len() falls back to one iteration and caches.
+        self.head: IndexSnapshot = index.empty_snapshot()
+        #: Root digest after every flush, oldest first (the shard's own
+        #: root-version history; service commits reference entries of it).
+        self.history: List[Optional[Digest]] = [index.empty_root()]
+        self.flushes = 0
+        self.flush_seconds = 0.0
+
+    # -- identity ----------------------------------------------------------
+
+    def describe(self) -> str:
+        """Name of the index structure this shard runs (for reprs/logs)."""
+        return self.index.name
+
+    # -- head state --------------------------------------------------------
+
+    def reset_head(self, root: Optional[Digest]) -> None:
+        """Reset the working head (and restart history) at ``root``.
+
+        Used on open/recovery: the root comes from the journal, so the
+        record count is unknown until first use.
+        """
+        self.head = self.index.snapshot(root)
+        self.history = [root]
+
+    def head_root(self) -> Optional[Digest]:
+        """Root digest of the current working head."""
+        return self.head.root_digest
+
+    def head_state(self) -> Tuple[Optional[Digest], Optional[int]]:
+        """``(root, cached record count)`` of the working head.
+
+        The count is ``None`` when not cached; remote head views use it to
+        answer ``len()`` without a second round trip when available.
+        """
+        return self.head.root_digest, self.head._record_count
+
+    def set_head(self, root: Optional[Digest]) -> None:
+        """Advance the working head to ``root`` and append it to history."""
+        self.head = self.index.snapshot(root)
+        self.history.append(root)
+
+    # -- writes ------------------------------------------------------------
+
+    def apply_ops(self, puts: Dict[bytes, bytes], removes: Iterable[bytes]) -> None:
+        """Apply one drained write batch to the head (a no-op when empty).
+
+        This is the flush body: the batch goes through the index's batched
+        copy-on-write path, then the backing store's buffered append path
+        is flushed (the durability barrier — a SegmentNodeStore writes the
+        DATA records plus a COMMIT marker and fsyncs), and the new root is
+        appended to the shard's history.
+        """
+        removes = list(removes)
+        if not puts and not removes:
+            return
+        started = time.perf_counter()
+        self.head = self.head.update(puts, removes=removes)
+        self.store_flush()
+        self.flush_seconds += time.perf_counter() - started
+        self.history.append(self.head.root_digest)
+        self.flushes += 1
+
+    def flush_head(self, puts: Dict[bytes, bytes],
+                   removes: Iterable[bytes]) -> Tuple[Optional[Digest], Optional[int]]:
+        """Apply a batch and return the resulting :meth:`head_state`.
+
+        The one-round-trip command behind the commit protocol's *prepare*
+        phase: after it returns, the batch is applied **and** durable, and
+        the returned root is the shard's contribution to the cut.
+        """
+        self.apply_ops(puts, removes)
+        return self.head_state()
+
+    def load_batch(self, puts: Dict[bytes, bytes], removes: Iterable[bytes]) -> None:
+        """Bulk-ingest an already-routed batch as one batched write.
+
+        On an empty shard this is the index's O(N) bottom-up bulk builder.
+        Keys are already coerced: write through the index directly
+        (``head.update`` would re-coerce and rebuild the whole batch
+        dict), carrying the head's cached record count through the batch.
+        """
+        started = time.perf_counter()
+        new_root, delta = self.index.write_counted(
+            self.head.root_digest, puts, list(removes))
+        count = self.head._record_count
+        new_count = count + delta if (count is not None and delta is not None) else None
+        self.head = self.index.snapshot(new_root, record_count=new_count)
+        self.store_flush()
+        self.flush_seconds += time.perf_counter() - started
+        self.history.append(self.head.root_digest)
+        self.flushes += 1
+
+    def write_at(self, root: Optional[Digest], puts: Dict[bytes, bytes],
+                 removes: Iterable[bytes]) -> Optional[Digest]:
+        """Copy-on-write a batch onto an arbitrary ``root``; head untouched.
+
+        The branch-commit primitive: nodes land in the store's buffered
+        append path (flushed by :meth:`store_flush` before the journal
+        names them) and no other reader observes anything until the new
+        root is published.
+        """
+        return self.index.write(root, puts, list(removes))
+
+    def store_flush(self) -> None:
+        """Push the backing store's buffered appends to durable storage."""
+        flush = getattr(self.backing, "flush", None)
+        if flush is not None:
+            flush()
+
+    # -- reads -------------------------------------------------------------
+
+    def lookup_head(self, key: bytes) -> Optional[bytes]:
+        """Read ``key`` from the working head (``None`` when absent)."""
+        return self.index.lookup(self.head.root_digest, key)
+
+    def lookup_at(self, root: Optional[Digest], key: bytes) -> Optional[bytes]:
+        """Read ``key`` from an arbitrary (usually committed) root."""
+        return self.index.lookup(root, key)
+
+    def scan(self, root: Optional[Digest]) -> List[Tuple[bytes, bytes]]:
+        """Materialize every record under ``root`` in ascending key order."""
+        return list(self.index.snapshot(root).items())
+
+    def count_at(self, root: Optional[Digest]) -> int:
+        """Number of records under ``root``."""
+        return len(self.index.snapshot(root))
+
+    def diff(self, root_a: Optional[Digest], root_b: Optional[Digest]) -> DiffResult:
+        """Structural diff between two of this shard's roots."""
+        return diff_snapshots(self.index.snapshot(root_a), self.index.snapshot(root_b))
+
+    def prove(self, root: Optional[Digest],
+              key: bytes) -> Tuple[Optional[bytes], str, List[Tuple[int, bytes]]]:
+        """Build a Merkle proof for ``key`` under ``root``, as plain parts.
+
+        Returns ``(value, index name, [(level, node bytes), ...])`` — the
+        transportable pieces of a :class:`~repro.core.proof.MerkleProof`.
+        The index-specific ``binding_check`` closure is deliberately left
+        behind (it binds the index instance and cannot cross a process
+        boundary); reconstructed proofs fall back to the conservative
+        containment check, exactly like proofs returned over the wire
+        protocol (:meth:`repro.server.protocol.WireProof.to_merkle_proof`).
+        """
+        proof = self.index.snapshot(root).prove(key)
+        return (proof.value, proof.index_name,
+                [(step.level, step.node_bytes) for step in proof.steps])
+
+    def node_digests(self, root: Optional[Digest]) -> Set[Digest]:
+        """The page (node digest) set reachable from ``root``."""
+        return self.index.snapshot(root).node_digests()
+
+    # -- maintenance -------------------------------------------------------
+
+    def collect(self, protected_roots: Iterable[Optional[Digest]]) -> GCCounters:
+        """Mark-and-sweep this shard's store down to the protected roots.
+
+        ``protected_roots`` are this shard's entries of every retained
+        commit/branch head/pin; the current working head is always added.
+        The read-through cache is invalidated (a stale cache must not
+        resurrect swept nodes) and the root history restarts at the head,
+        since un-committed intermediate flush roots may now dangle.
+        """
+        roots = set(protected_roots)
+        roots.add(self.head.root_digest)
+        live = reachable_digests(self.index, roots)
+        delta = GarbageCollector(self.backing).collect(live)
+        if self.cache is not None:
+            self.cache.invalidate()
+        self.history = [self.head.root_digest]
+        return delta
+
+    def history_copy(self) -> List[Optional[Digest]]:
+        """A copy of the shard's root-version history, oldest first."""
+        return list(self.history)
+
+    def metrics(self, include_records: bool = False) -> ShardMetrics:
+        """This shard's counters (contention is filled in by the handle)."""
+        cache = (CacheCounters.from_cache(self.cache)
+                 if self.cache is not None else CacheCounters())
+        return ShardMetrics(
+            shard_id=self.shard_id,
+            flushes=self.flushes,
+            nodes_written=getattr(self.index, "nodes_written", 0),
+            nodes_read=getattr(self.index, "nodes_read", 0),
+            cache=cache,
+            records=len(self.head) if include_records else None,
+            flush_seconds=self.flush_seconds,
+        )
+
+    def reset_counters(self) -> None:
+        """Zero flush/node/cache counters (state is untouched)."""
+        self.flushes = 0
+        self.flush_seconds = 0.0
+        if hasattr(self.index, "reset_counters"):
+            self.index.reset_counters()
+        if self.cache is not None:
+            self.cache.cache_hits = 0
+            self.cache.cache_misses = 0
+
+    def storage_bytes(self) -> int:
+        """Physical bytes in this shard's backing store (unique nodes)."""
+        return self.backing.total_bytes()
+
+    def export_nodes(self) -> List[Tuple[Digest, bytes]]:
+        """Every node in the backing store, as ``(digest, bytes)`` pairs.
+
+        Used by the process backend's close path to park an in-memory
+        shard's content in the parent, so ``reopen()`` restores committed
+        state without a persistent medium — mirroring the thread backend
+        parking its store objects.
+        """
+        return [(digest, self.store.get_bytes(digest))
+                for digest in self.backing.digests()]
+
+    def close_store(self) -> None:
+        """Close the backing store, if it has a lifecycle."""
+        close = getattr(self.backing, "close", None)
+        if close is not None:
+            close()
+
+
+class ThreadShardHandle:
+    """In-process shard handle: a :class:`ShardEngine` behind the shard mutex.
+
+    This is the ``backend="thread"`` placement.  The handle adds what the
+    engine deliberately lacks — the per-shard lock and its contention
+    counters — and exposes the command surface the service routes through,
+    so the service code is identical across backends.  Acquire the lock
+    via the handle's context-manager protocol (``with handle:``) so every
+    wait is recorded in the contention counters.
+    """
+
+    __slots__ = ("engine", "lock", "contention")
+
+    def __init__(self, engine: ShardEngine):
+        self.engine = engine
+        self.lock = threading.Lock()
+        self.contention = ContentionCounters()
+
+    # -- locking -----------------------------------------------------------
+
+    def __enter__(self) -> "ThreadShardHandle":
+        # Fast path: an uncontended acquire costs one non-blocking attempt.
+        if not self.lock.acquire(blocking=False):
+            started = time.perf_counter()
+            self.lock.acquire()
+            self.contention.contended += 1
+            self.contention.wait_seconds += time.perf_counter() - started
+        self.contention.acquisitions += 1
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.lock.release()
+
+    # -- direct engine access (tests, benchmarks, storage drills) ----------
+
+    @property
+    def shard_id(self) -> int:
+        """This shard's id (its position in the service's shard list)."""
+        return self.engine.shard_id
+
+    @property
+    def backing(self) -> NodeStore:
+        """The shard's backing node store (under the cache, if any)."""
+        return self.engine.backing
+
+    @property
+    def store(self) -> NodeStore:
+        """The store the index writes through (the cache when enabled)."""
+        return self.engine.store
+
+    @property
+    def cache(self) -> Optional[CachingNodeStore]:
+        """The shard's read-through cache (``None`` when disabled)."""
+        return self.engine.cache
+
+    @property
+    def index(self) -> SIRIIndex:
+        """The shard's index instance."""
+        return self.engine.index
+
+    @property
+    def head(self) -> IndexSnapshot:
+        """The shard's working head snapshot."""
+        return self.engine.head
+
+    @property
+    def history(self) -> List[Optional[Digest]]:
+        """The shard's root-version history (live list — copy under lock)."""
+        return self.engine.history
+
+    # -- command surface (shared with ProcessShardHandle) ------------------
+
+    def describe(self) -> str:
+        """Name of the index structure this shard runs."""
+        return self.engine.describe()
+
+    def reset_head(self, root: Optional[Digest]) -> None:
+        """Reset the working head (and history) at ``root``."""
+        self.engine.reset_head(root)
+
+    def head_root(self) -> Optional[Digest]:
+        """Root digest of the working head (caller holds the lock)."""
+        return self.engine.head_root()
+
+    def lookup_head(self, key: bytes) -> Optional[bytes]:
+        """Read ``key`` from the working head (caller holds the lock)."""
+        return self.engine.lookup_head(key)
+
+    def lookup_at(self, root: Optional[Digest], key: bytes) -> Optional[bytes]:
+        """Read ``key`` from a committed root (lock-free)."""
+        return self.engine.lookup_at(root, key)
+
+    def apply_ops(self, puts: Dict[bytes, bytes], removes: Iterable[bytes]) -> None:
+        """Apply a drained write batch (caller holds the lock)."""
+        self.engine.apply_ops(puts, removes)
+
+    def load_batch(self, puts: Dict[bytes, bytes], removes: Iterable[bytes]) -> None:
+        """Bulk-ingest a routed batch (caller holds the lock)."""
+        self.engine.load_batch(puts, removes)
+
+    def set_head(self, root: Optional[Digest]) -> None:
+        """Advance the working head to ``root`` (caller holds the lock)."""
+        self.engine.set_head(root)
+
+    def write_at(self, root: Optional[Digest], puts: Dict[bytes, bytes],
+                 removes: Iterable[bytes]) -> Optional[Digest]:
+        """Copy-on-write a batch onto ``root`` (caller holds the lock)."""
+        return self.engine.write_at(root, puts, removes)
+
+    def store_flush(self) -> None:
+        """Durability barrier on the backing store (caller holds the lock)."""
+        self.engine.store_flush()
+
+    def flush_begin(self, puts: Dict[bytes, bytes], removes: Iterable[bytes]) -> None:
+        """Stage one shard's *prepare*: apply the batch (synchronously here).
+
+        The two-phase commit protocol issues ``flush_begin`` on every
+        shard before collecting any result, so the process backend can
+        overlap the per-shard work; in-process there is nothing to
+        overlap and the batch is applied on the spot.
+        """
+        self.engine.apply_ops(puts, removes)
+
+    def flush_finish(self) -> IndexSnapshot:
+        """Collect the staged prepare's result: the shard's head view."""
+        return self.engine.head
+
+    def head_view(self) -> IndexSnapshot:
+        """A view of the working head (caller holds the lock)."""
+        return self.engine.head
+
+    def view(self, root: Optional[Digest]) -> IndexSnapshot:
+        """An immutable view of ``root`` (lock-free; roots are immutable)."""
+        return self.engine.index.snapshot(root)
+
+    def collect(self, protected_roots: Iterable[Optional[Digest]]) -> GCCounters:
+        """Mark-and-sweep the shard store (caller holds the lock)."""
+        return self.engine.collect(protected_roots)
+
+    def history_copy(self) -> List[Optional[Digest]]:
+        """Copy the root history (caller holds the lock)."""
+        return self.engine.history_copy()
+
+    def shard_metrics(self, include_records: bool = False) -> ShardMetrics:
+        """This shard's counters, contention included."""
+        metrics = self.engine.metrics(include_records)
+        metrics.contention = self.contention.copy()
+        return metrics
+
+    def reset_shard_counters(self) -> None:
+        """Zero the shard's counters (caller holds the lock)."""
+        self.contention = ContentionCounters()
+        self.engine.reset_counters()
+
+    def storage_bytes(self) -> int:
+        """Physical bytes in the shard's backing store."""
+        return self.engine.storage_bytes()
+
+    def export_nodes(self) -> List[Tuple[Digest, bytes]]:
+        """Every stored node as ``(digest, bytes)`` pairs."""
+        return self.engine.export_nodes()
+
+    def set_fault(self, point: Optional[str]) -> None:
+        """Fault injection is a process-backend capability; always raises."""
+        raise NotImplementedError(
+            "fault injection kill-points require backend='process'")
+
+    def close(self) -> None:
+        """Close the shard's backing store."""
+        self.engine.close_store()

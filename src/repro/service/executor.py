@@ -36,36 +36,18 @@ operations over the same shards.
 from __future__ import annotations
 
 import heapq
+import threading
 from concurrent.futures import FIRST_EXCEPTION, Future, ThreadPoolExecutor, wait
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.diff import DiffResult
-from repro.core.errors import ReproError
+from repro.core.errors import ShardExecutionError
 from repro.core.interfaces import KeyLike, ValueLike, coerce_key, coerce_value
 from repro.service.service import ServiceCommit, ServiceSnapshot, VersionedKVService
 
 VersionLike = Union[int, ServiceCommit]
 
-
-class ShardExecutionError(ReproError):
-    """A fanned-out shard task failed; no partial result was returned.
-
-    Attributes
-    ----------
-    shard_id:
-        The shard whose task raised first.
-    operation:
-        Short name of the fanned-out operation ("get_many", "commit", ...).
-
-    The original exception is chained as ``__cause__``.
-    """
-
-    def __init__(self, shard_id: int, operation: str, cause: BaseException):
-        self.shard_id = shard_id
-        self.operation = operation
-        super().__init__(
-            f"shard {shard_id} failed during {operation}: {cause!r}"
-        )
+__all__ = ["ServiceExecutor", "ShardExecutionError"]
 
 
 class ServiceExecutor:
@@ -94,6 +76,10 @@ class ServiceExecutor:
             max_workers=self.max_workers, thread_name_prefix="repro-shard"
         )
         self._closed = False
+        # Futures submitted but not yet done — close() must resolve any
+        # it abandons, or fan-outs blocked on them would hang forever.
+        self._inflight: set = set()
+        self._inflight_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -108,10 +94,36 @@ class ServiceExecutor:
         Safe to call any number of times and from multiple owners — the
         server's drain path closes the executor it was handed, and so may
         the code that created it.
+
+        Tasks already *running* are allowed to finish; tasks still
+        *queued* are cancelled so their fan-outs fail fast with a
+        descriptive :class:`ShardExecutionError` instead of blocking
+        forever on futures no worker will ever run.
         """
         if self._closed:
             return
         self._closed = True
+        # Snapshot *before* the drain: cancelling a future fires its
+        # done-callback, which untracks it — snapshotting afterwards
+        # would miss exactly the futures that need resolving.
+        with self._inflight_lock:
+            abandoned = set(self._inflight)
+        # Drain the pool's queue: cancelled work items are never handed
+        # to a worker thread after this.
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        with self._inflight_lock:
+            abandoned |= self._inflight
+        # The pool only *cancels* drained futures — it never notifies
+        # their waiters (nothing will ever run them), so a fan-out
+        # blocked in wait() would hang forever.  Deliver the missing
+        # notification for every future this executor abandoned.
+        for future in abandoned:
+            future.cancel()
+            if future.cancelled():
+                try:
+                    future.set_running_or_notify_cancel()
+                except RuntimeError:
+                    pass  # a worker got to it first: already notified
         self._pool.shutdown(wait=True)
 
     def submit(self, fn: Callable[..., object], *args, **kwargs) -> Future:
@@ -122,7 +134,18 @@ class ServiceExecutor:
         """
         if self._closed:
             raise RuntimeError("ServiceExecutor is closed")
-        return self._pool.submit(fn, *args, **kwargs)
+        return self._track(self._pool.submit(fn, *args, **kwargs))
+
+    def _track(self, future: Future) -> Future:
+        """Register a live future so close() can resolve it if abandoned."""
+        with self._inflight_lock:
+            self._inflight.add(future)
+        future.add_done_callback(self._untrack)
+        return future
+
+    def _untrack(self, future: Future) -> None:
+        with self._inflight_lock:
+            self._inflight.discard(future)
 
     def __enter__(self) -> "ServiceExecutor":
         return self
@@ -156,7 +179,8 @@ class ServiceExecutor:
                 return [thunk()]
             except Exception as exc:
                 raise ShardExecutionError(shard_id, operation, exc) from exc
-        futures: List[Future] = [self._pool.submit(thunk) for _, thunk in tasks]
+        futures: List[Future] = [self._track(self._pool.submit(thunk))
+                                 for _, thunk in tasks]
         try:
             done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
             failed = next(
@@ -171,6 +195,21 @@ class ServiceExecutor:
                 wait(futures)  # drain tasks that were already running
                 cause = future.exception()
                 raise ShardExecutionError(tasks[index][0], operation, cause) from cause
+            cancelled = next(
+                (i for i, f in enumerate(futures) if f.cancelled()), None)
+            if cancelled is not None:
+                # close() cancelled a queued task out from under this
+                # fan-out; future.result() would raise a bare
+                # CancelledError with no shard context.  Fail fast with
+                # the contract error instead.
+                for other in not_done:
+                    other.cancel()
+                wait(futures)
+                cause = RuntimeError(
+                    "executor closed before the shard task could run; "
+                    "operation abandoned with no partial result")
+                raise ShardExecutionError(
+                    tasks[cancelled][0], operation, cause) from cause
             return [future.result() for future in futures]
         finally:
             # A caller interrupting the wait (e.g. KeyboardInterrupt) must

@@ -1,0 +1,486 @@
+"""The process shard backend: one forked worker per shard, GIL escaped.
+
+The thread backend tops out near ~2.5× scaling because hashing and node
+encoding are GIL-bound pure python.  This module places each shard's
+:class:`~repro.service.engine.ShardEngine` in its **own forked worker
+process** — Forkbase's shard-isolated worker architecture — so the
+per-shard flush/lookup work runs on independent interpreters:
+
+* **Ownership** — the worker builds and exclusively owns its shard's
+  store (a ``SegmentNodeStore`` under ``directory/shard-NN``, or an
+  in-memory store).  The parent never opens a shard store in process
+  mode, so there is no cross-process file-descriptor sharing to reason
+  about.
+* **Command pipes** — each shard has a duplex pipe carrying pickled
+  ``(method, args)`` engine commands parent→worker and ``("ok", result)``
+  / ``("error", exception)`` replies back.  The worker executes commands
+  strictly serially, which *is* the shard's mutual exclusion — the
+  parent-side :class:`ProcessShardHandle` adds the same shard mutex and
+  contention counters as the thread backend for the service's locking
+  discipline, plus a pipe lock that keeps concurrent lock-free reads
+  from interleaving frames on the wire.
+* **Two-phase commits** — the service's control plane prepares a commit
+  by pipelining ``flush_head`` to every worker (apply + store fsync),
+  collects the shard roots, and only then journals the cut once in the
+  parent's MANIFEST.  A worker death during prepare surfaces as
+  :class:`~repro.core.errors.ShardExecutionError` and the journal is
+  never touched — recovery lands exactly on the previous cut.
+* **Fault injection** — ``set_fault("flush"|"prepare")`` arms a
+  SIGKILL-self kill-point in the worker (mid-batch, or at the prepare
+  barrier), which is how the fault suite
+  (``tests/service/test_process_faults.py``) exercises every crash
+  window of the commit protocol.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import signal
+import threading
+import time
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.diff import DiffResult
+from repro.core.errors import InvalidParameterError, ShardExecutionError
+from repro.core.interfaces import KeyLike, coerce_key
+from repro.core.metrics import ContentionCounters, GCCounters
+from repro.core.proof import MerkleProof, ProofStep
+from repro.hashing.digest import Digest
+from repro.service.engine import ShardEngine, ShardMetrics
+
+#: Kill-points a worker accepts via the ``set_fault`` command: ``"flush"``
+#: SIGKILLs the worker at the top of a *non-empty* batch application
+#: (mid-batch crash), ``"prepare"`` at the top of any ``flush_head`` /
+#: ``store_flush`` command (the two-phase-commit prepare barrier).
+FAULT_POINTS = ("flush", "prepare")
+
+#: Exception types raised by a broken/closed command pipe.
+_PIPE_ERRORS = (EOFError, BrokenPipeError, ConnectionResetError, OSError)
+
+
+def _picklable_exception(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it survives a pickle round trip, else a stand-in.
+
+    Exceptions with custom constructor signatures can fail to unpickle on
+    the parent side, which would desynchronize nothing (the frame is read
+    whole) but surface as a confusing ``TypeError``; degrade them to a
+    ``RuntimeError`` carrying the original type name and message instead.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def shard_worker_main(conn, engine_builder: Callable[[], ShardEngine]) -> None:
+    """The worker process body: build the engine, serve commands until EOF.
+
+    Commands are ``(method, args)`` tuples resolved against the engine's
+    method surface, executed strictly in arrival order.  Engine exceptions
+    are replied as ``("error", exc)`` and re-raised on the caller's side
+    with their original type; only transport failures become
+    :class:`~repro.core.errors.ShardExecutionError` (in the parent).  Two
+    commands are handled outside the engine: ``set_fault`` arms a
+    kill-point (see :data:`FAULT_POINTS`) and ``shutdown`` closes the
+    store and exits the loop.
+    """
+    engine = engine_builder()
+    fault_point: Optional[str] = None
+    while True:
+        try:
+            method, args = conn.recv()
+        except _PIPE_ERRORS:
+            break  # parent went away: exit quietly, stores stay crash-safe
+        running = True
+        try:
+            if method == "shutdown":
+                engine.close_store()
+                result = None
+                running = False
+            elif method == "set_fault":
+                point = args[0]
+                if point is not None and point not in FAULT_POINTS:
+                    raise InvalidParameterError(
+                        f"unknown fault point {point!r}; expected one of "
+                        f"{FAULT_POINTS} or None")
+                fault_point = point
+                result = None
+            elif method == "flush_head":
+                puts, removes = args
+                if fault_point == "prepare" or (
+                        fault_point == "flush" and (puts or removes)):
+                    os.kill(os.getpid(), signal.SIGKILL)
+                result = engine.flush_head(puts, removes)
+            elif method == "store_flush":
+                if fault_point == "prepare":
+                    os.kill(os.getpid(), signal.SIGKILL)
+                result = engine.store_flush()
+            else:
+                result = getattr(engine, method)(*args)
+        except BaseException as exc:  # engine errors travel to the caller
+            try:
+                conn.send(("error", _picklable_exception(exc)))
+            except _PIPE_ERRORS:
+                break
+            continue
+        try:
+            conn.send(("ok", result))
+        except _PIPE_ERRORS:
+            break
+        if not running:
+            break
+
+
+class ProcessShardHandle:
+    """Parent-side handle for one shard worker process.
+
+    Mirrors :class:`~repro.service.engine.ThreadShardHandle`'s command
+    surface, executing each command as one pipe round trip.  Two locks
+    with distinct jobs:
+
+    * ``lock`` (+ ``contention``) — the *shard mutex*, acquired by the
+      service exactly as in thread mode (``with handle:``) to serialize
+      logical shard mutations and record contention.
+    * the internal pipe lock — serializes raw pipe use, so lock-free
+      versioned reads can share the wire with locked mutations without
+      interleaving request/reply frames.
+
+    A dead worker (SIGKILL, OOM, crash) surfaces as
+    :class:`~repro.core.errors.ShardExecutionError` naming the shard and
+    the in-flight command; the handle then stays dead — every later
+    command fails fast the same way until the service is reopened.
+    """
+
+    def __init__(self, shard_id: int, process, conn):
+        self.shard_id = shard_id
+        self.lock = threading.Lock()
+        self.contention = ContentionCounters()
+        self._process = process
+        self._conn = conn
+        self._pipe_lock = threading.Lock()
+        self._staged: Optional[str] = None
+        self._alive = True
+
+    # -- locking (the shard mutex; identical to the thread handle) ---------
+
+    def __enter__(self) -> "ProcessShardHandle":
+        if not self.lock.acquire(blocking=False):
+            started = time.perf_counter()
+            self.lock.acquire()
+            self.contention.contended += 1
+            self.contention.wait_seconds += time.perf_counter() - started
+        self.contention.acquisitions += 1
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.lock.release()
+
+    # -- transport ---------------------------------------------------------
+
+    @property
+    def pid(self) -> Optional[int]:
+        """OS pid of the worker process (the fault suite SIGKILLs it)."""
+        return self._process.pid
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the handle still believes its worker is serving."""
+        return self._alive and self._process.is_alive()
+
+    def _dead(self, method: str, cause: BaseException) -> ShardExecutionError:
+        self._alive = False
+        return ShardExecutionError(self.shard_id, method, cause)
+
+    def _send(self, method: str, args: Tuple) -> None:
+        if not self._alive:
+            raise ShardExecutionError(
+                self.shard_id, method,
+                RuntimeError("shard worker process is dead; reopen() the "
+                             "service to restart it"))
+        try:
+            self._conn.send((method, args))
+        except _PIPE_ERRORS as exc:
+            raise self._dead(method, exc) from exc
+
+    def _recv(self, method: str):
+        try:
+            status, payload = self._conn.recv()
+        except _PIPE_ERRORS as exc:
+            raise self._dead(method, exc) from exc
+        if status == "error":
+            raise payload
+        return payload
+
+    def call(self, method: str, *args):
+        """One command round trip: send, await the reply, unwrap it."""
+        with self._pipe_lock:
+            self._send(method, args)
+            return self._recv(method)
+
+    # -- command surface (shared with ThreadShardHandle) -------------------
+
+    def describe(self) -> str:
+        """Name of the index structure this shard runs."""
+        return self.call("describe")
+
+    def reset_head(self, root: Optional[Digest]) -> None:
+        """Reset the worker's working head (and history) at ``root``."""
+        self.call("reset_head", root)
+
+    def head_root(self) -> Optional[Digest]:
+        """Root digest of the worker's working head."""
+        return self.call("head_root")
+
+    def lookup_head(self, key: bytes) -> Optional[bytes]:
+        """Read ``key`` from the working head."""
+        return self.call("lookup_head", key)
+
+    def lookup_at(self, root: Optional[Digest], key: bytes) -> Optional[bytes]:
+        """Read ``key`` from a committed root (pipe lock only)."""
+        return self.call("lookup_at", root, key)
+
+    def apply_ops(self, puts: Dict[bytes, bytes], removes: Iterable[bytes]) -> None:
+        """Apply a drained write batch in the worker."""
+        self.call("flush_head", puts, list(removes))
+
+    def load_batch(self, puts: Dict[bytes, bytes], removes: Iterable[bytes]) -> None:
+        """Bulk-ingest a routed batch in the worker."""
+        self.call("load_batch", puts, list(removes))
+
+    def set_head(self, root: Optional[Digest]) -> None:
+        """Advance the worker's working head to ``root``."""
+        self.call("set_head", root)
+
+    def write_at(self, root: Optional[Digest], puts: Dict[bytes, bytes],
+                 removes: Iterable[bytes]) -> Optional[Digest]:
+        """Copy-on-write a batch onto ``root`` in the worker."""
+        return self.call("write_at", root, puts, list(removes))
+
+    def store_flush(self) -> None:
+        """Durability barrier on the worker's backing store."""
+        self.call("store_flush")
+
+    def flush_begin(self, puts: Dict[bytes, bytes], removes: Iterable[bytes]) -> None:
+        """Stage the *prepare* phase: dispatch ``flush_head``, don't wait.
+
+        Acquires the pipe lock and holds it until :meth:`flush_finish`
+        collects the reply, so nothing can interleave on the wire while
+        the command is in flight.  Issuing ``flush_begin`` on every shard
+        before any ``flush_finish`` is what overlaps the per-shard
+        prepare work across worker processes.
+        """
+        self._pipe_lock.acquire()
+        try:
+            self._send("flush_head", (puts, list(removes)))
+            self._staged = "flush_head"
+        except BaseException:
+            self._pipe_lock.release()
+            raise
+
+    def flush_finish(self) -> "RemoteShardView":
+        """Collect a staged prepare's reply: the shard's new head view."""
+        try:
+            root, count = self._recv(self._staged or "flush_head")
+        finally:
+            self._staged = None
+            self._pipe_lock.release()
+        return RemoteShardView(self, root, count)
+
+    def head_view(self) -> "RemoteShardView":
+        """A view of the worker's current head."""
+        root, count = self.call("head_state")
+        return RemoteShardView(self, root, count)
+
+    def view(self, root: Optional[Digest]) -> "RemoteShardView":
+        """An immutable view of ``root``, served by the worker."""
+        return RemoteShardView(self, root, None)
+
+    def collect(self, protected_roots: Iterable[Optional[Digest]]) -> GCCounters:
+        """Mark-and-sweep the worker's store down to the protected roots."""
+        return self.call("collect", set(protected_roots))
+
+    def history_copy(self) -> List[Optional[Digest]]:
+        """Copy of the worker's root-version history."""
+        return self.call("history_copy")
+
+    def shard_metrics(self, include_records: bool = False) -> ShardMetrics:
+        """The worker's counters, parent-side contention merged in."""
+        metrics = self.call("metrics", include_records)
+        metrics.contention = self.contention.copy()
+        return metrics
+
+    def reset_shard_counters(self) -> None:
+        """Zero the shard's counters on both sides of the pipe."""
+        self.contention = ContentionCounters()
+        self.call("reset_counters")
+
+    def storage_bytes(self) -> int:
+        """Physical bytes in the worker's backing store."""
+        return self.call("storage_bytes")
+
+    def export_nodes(self) -> List[Tuple[Digest, bytes]]:
+        """Every stored node as ``(digest, bytes)`` pairs (for parking)."""
+        return self.call("export_nodes")
+
+    def set_fault(self, point: Optional[str]) -> None:
+        """Arm (or clear, with ``None``) a worker kill-point."""
+        self.call("set_fault", point)
+
+    def close(self) -> None:
+        """Shut the worker down: graceful command first, SIGTERM fallback."""
+        if self._alive:
+            try:
+                self.call("shutdown")
+            except ShardExecutionError:
+                pass  # already dead: nothing graceful left to do
+        self._alive = False
+        self._process.join(timeout=5.0)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=5.0)
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+class RemoteShardView:
+    """An immutable read view of one shard root, served by its worker.
+
+    The process-backend counterpart of
+    :class:`~repro.core.interfaces.IndexSnapshot`: the same read protocol
+    (``get``/``items``/``keys``/``values``/``to_dict``/``len``/``diff``/
+    ``prove``/``update``), backed by command round trips instead of local
+    tree walks.  Roots are content addresses, so the view stays valid as
+    the shard's head advances; like any snapshot, reads can fail with
+    ``NodeNotFoundError`` after garbage collection reclaims an
+    unprotected root.
+    """
+
+    __slots__ = ("_handle", "root_digest", "_record_count")
+
+    def __init__(self, handle: ProcessShardHandle, root: Optional[Digest],
+                 record_count: Optional[int] = None):
+        self._handle = handle
+        #: Root digest of the viewed version (``None`` = empty shard).
+        self.root_digest = root
+        self._record_count = record_count
+
+    @property
+    def root_hex(self) -> Optional[str]:
+        """Hex form of the root digest (``None`` for an empty shard)."""
+        return self.root_digest.hex if self.root_digest is not None else None
+
+    def get(self, key: KeyLike, default: Optional[bytes] = None) -> Optional[bytes]:
+        """Return the value bound to ``key`` or ``default`` when absent."""
+        value = self._handle.lookup_at(self.root_digest, coerce_key(key))
+        return value if value is not None else default
+
+    def __contains__(self, key: KeyLike) -> bool:
+        return self.get(key) is not None
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Iterate ``(key, value)`` records in ascending key order."""
+        return iter(self._handle.call("scan", self.root_digest))
+
+    def keys(self) -> Iterator[bytes]:
+        """Iterate keys in ascending order."""
+        for key, _ in self.items():
+            yield key
+
+    def values(self) -> Iterator[bytes]:
+        """Iterate values in ascending key order."""
+        for _, value in self.items():
+            yield value
+
+    def to_dict(self) -> Dict[bytes, bytes]:
+        """Materialize the full shard content as a dictionary."""
+        return dict(self.items())
+
+    def __len__(self) -> int:
+        if self._record_count is None:
+            self._record_count = self._handle.call("count_at", self.root_digest)
+        return self._record_count
+
+    def update(self, puts: Optional[Dict] = None, removes: Iterable = ()) -> "RemoteShardView":
+        """Copy-on-write a batch onto this view; returns the new view."""
+        coerced_puts = {coerce_key(k): v for k, v in (puts or {}).items()}
+        coerced_removes = [coerce_key(k) for k in removes]
+        new_root = self._handle.write_at(
+            self.root_digest, coerced_puts, coerced_removes)
+        return RemoteShardView(self._handle, new_root, None)
+
+    def diff(self, other: "RemoteShardView") -> DiffResult:
+        """Structural diff against another view of the *same* shard."""
+        if not isinstance(other, RemoteShardView) or other._handle is not self._handle:
+            raise InvalidParameterError(
+                "RemoteShardView.diff requires a view of the same shard "
+                "worker (cross-shard diffs go through the service)")
+        return self._handle.call("diff", self.root_digest, other.root_digest)
+
+    def prove(self, key: KeyLike) -> MerkleProof:
+        """A Merkle proof for ``key`` under this view's root.
+
+        Rebuilt from the worker's transportable proof parts; the
+        index-specific binding check does not cross the process boundary,
+        so verification falls back to the conservative containment check
+        — the same trust model as proofs shipped over the wire protocol.
+        """
+        key_bytes = coerce_key(key)
+        value, index_name, steps = self._handle.call(
+            "prove", self.root_digest, key_bytes)
+        return MerkleProof(
+            key=key_bytes,
+            value=value,
+            steps=[ProofStep(node_bytes, level) for level, node_bytes in steps],
+            index_name=index_name,
+        )
+
+    def node_digests(self):
+        """The page (node digest) set reachable from this view's root."""
+        return self._handle.call("node_digests", self.root_digest)
+
+    def __repr__(self) -> str:
+        root = self.root_hex
+        return (f"RemoteShardView(shard={self._handle.shard_id}, "
+                f"root={root[:12] if root else None})")
+
+
+class ProcessShardBackend:
+    """Forks one engine worker per shard and wires up the command pipes.
+
+    The fork start method is required: engine builders are closures over
+    the service's configuration (index factories, parked node seeds) that
+    must reach the child by address-space inheritance, not pickling — and
+    fork is also what makes per-example worker fleets cheap enough for
+    the hypothesis-driven equivalence suite.
+    """
+
+    def __init__(self):
+        try:
+            self._context = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise InvalidParameterError(
+                "backend='process' requires the fork start method "
+                "(POSIX only)") from exc
+
+    def start(self, engine_builders: List[Callable[[], ShardEngine]]
+              ) -> List[ProcessShardHandle]:
+        """Fork one worker per builder; returns the shard handles in order.
+
+        Workers are daemonic, so stray processes die with the parent even
+        if a test forgets to close the service.
+        """
+        handles: List[ProcessShardHandle] = []
+        for shard_id, builder in enumerate(engine_builders):
+            parent_conn, child_conn = self._context.Pipe(duplex=True)
+            process = self._context.Process(
+                target=shard_worker_main, args=(child_conn, builder),
+                name=f"repro-shard-{shard_id}", daemon=True)
+            process.start()
+            child_conn.close()  # the worker owns its end now
+            handles.append(ProcessShardHandle(shard_id, process, parent_conn))
+        return handles

@@ -68,22 +68,28 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.core.diff import DiffEntry, DiffResult, diff_snapshots
-from repro.core.errors import CorruptNodeError, InvalidParameterError, KeyNotFoundError, ServiceClosedError
+from repro.core.diff import DiffEntry, DiffResult
+from repro.core.errors import CorruptNodeError, InvalidParameterError, KeyNotFoundError, ServiceClosedError, ShardExecutionError
 from repro.core.interfaces import IndexSnapshot, KeyLike, SIRIIndex, ValueLike, coerce_key, coerce_value
 from repro.core.metrics import CacheCounters, ContentionCounters, GCCounters
 from repro.core.version import UnknownBranchError, VersionGraph
 from repro.hashing.digest import Digest, default_hash_function
 from repro.service.batcher import ShardWriteBatcher
+from repro.service.engine import ShardEngine, ShardMetrics, ThreadShardHandle
+from repro.service.process import ProcessShardBackend
 from repro.service.sharding import ShardRouter
 from repro.storage.cache import CachingNodeStore
-from repro.storage.gc import GarbageCollector, reachable_digests
 from repro.storage.memory import InMemoryNodeStore
 from repro.storage.segment import SegmentNodeStore, fsync_directory
 from repro.storage.store import NodeStore
 
 IndexFactory = Callable[[NodeStore], SIRIIndex]
 StoreFactory = Callable[[], NodeStore]
+
+#: Shard backends the service can run on: ``"thread"`` keeps every shard
+#: engine in-process behind its shard mutex; ``"process"`` forks one
+#: worker per shard (:mod:`repro.service.process`), escaping the GIL.
+BACKENDS = ("thread", "process")
 
 
 @dataclass(frozen=True)
@@ -129,23 +135,6 @@ class ServiceCommit:
     def is_merge(self) -> bool:
         """Whether this commit joined two branch histories."""
         return len(self.parents) > 1
-
-
-@dataclass
-class ShardMetrics:
-    """Point-in-time counters for one shard."""
-
-    shard_id: int
-    flushes: int
-    nodes_written: int
-    nodes_read: int
-    cache: CacheCounters
-    records: Optional[int] = None
-    #: Lock acquisition/contention accounting for this shard's mutex.
-    contention: ContentionCounters = field(default_factory=ContentionCounters)
-    #: Cumulative seconds spent applying this shard's flushes (index time
-    #: only, excluding lock waits — those are in ``contention``).
-    flush_seconds: float = 0.0
 
 
 @dataclass
@@ -196,60 +185,17 @@ class ServiceMetrics:
         return merged
 
 
-class _Shard:
-    """One partition: an index over its own (optionally cached) store.
-
-    Each shard owns a mutex guarding its mutable state (``head``,
-    ``history``, ``flushes``) and the application of its write batches.
-    Acquire it via the shard's context-manager protocol (``with shard:``)
-    so every wait is recorded in the shard's contention counters.
-    """
-
-    __slots__ = ("shard_id", "backing", "store", "cache", "index", "head", "history",
-                 "flushes", "flush_seconds", "lock", "contention")
-
-    def __init__(self, shard_id: int, backing: NodeStore, store: NodeStore,
-                 cache: Optional[CachingNodeStore], index: SIRIIndex):
-        self.shard_id = shard_id
-        self.backing = backing
-        self.store = store
-        self.cache = cache
-        self.index = index
-        # A *counted* head costs the flush path nothing: the SIRI indexes
-        # report the record delta as a free by-product of each batched
-        # write (SIRIIndex.write_counted), so record_count() is O(1) on a
-        # freshly built service.  The count is unknown (None) after the
-        # head is reset from journalled roots — open()/branch commits —
-        # where the first len() falls back to one iteration and caches.
-        self.head: IndexSnapshot = index.empty_snapshot()
-        #: Root digest after every flush, oldest first (the shard's own
-        #: root-version history; service commits reference entries of it).
-        self.history: List[Optional[Digest]] = [index.empty_root()]
-        self.flushes = 0
-        self.flush_seconds = 0.0
-        self.lock = threading.Lock()
-        self.contention = ContentionCounters()
-
-    def __enter__(self) -> "_Shard":
-        # Fast path: an uncontended acquire costs one non-blocking attempt.
-        if not self.lock.acquire(blocking=False):
-            started = time.perf_counter()
-            self.lock.acquire()
-            self.contention.contended += 1
-            self.contention.wait_seconds += time.perf_counter() - started
-        self.contention.acquisitions += 1
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.lock.release()
-
-
 class ServiceSnapshot:
-    """An immutable cross-shard view: one :class:`IndexSnapshot` per shard.
+    """An immutable cross-shard view: one per-shard snapshot view each.
 
     Obtained from :meth:`VersionedKVService.snapshot`.  Reads route by the
     same hash partitioning the service uses; iteration merge-joins the
-    shards' ordered record streams so keys come out globally sorted.
+    shards' ordered record streams so keys come out globally sorted.  The
+    per-shard views are :class:`~repro.core.interfaces.IndexSnapshot`
+    instances on the thread backend and
+    :class:`~repro.service.process.RemoteShardView` command proxies on the
+    process backend — both speak the same read protocol, so everything
+    above this class is backend-agnostic.
     """
 
     __slots__ = ("shards", "router", "commit")
@@ -319,7 +265,7 @@ def diff_service_snapshots(left: ServiceSnapshot, right: ServiceSnapshot) -> Dif
         )
     merged = DiffResult()
     for left_snap, right_snap in zip(left.shards, right.shards):
-        partial = diff_snapshots(left_snap, right_snap)
+        partial = left_snap.diff(right_snap)
         merged.entries.extend(partial.entries)
         merged.comparisons += partial.comparisons
     merged.entries.sort(key=lambda entry: entry.key)
@@ -367,6 +313,15 @@ class VersionedKVService:
         Name of the branch the flat entry points (:meth:`put`,
         :meth:`commit`, ...) operate on, and the branch old journals
         (written before commits were branch-qualified) are attributed to.
+    backend:
+        Shard placement: ``"thread"`` (default) runs every shard engine
+        in-process behind its shard mutex; ``"process"`` forks one worker
+        process per shard (:mod:`repro.service.process`), each owning its
+        shard's store, with commands travelling over per-shard pipes and
+        cross-shard commits coordinated two-phase by this parent.  The
+        entire public API behaves identically on both backends — the
+        differential suite (``tests/service/test_backend_equivalence.py``)
+        proves byte-identical roots and commit digests.
 
     Example
     -------
@@ -398,9 +353,13 @@ class VersionedKVService:
         retain_versions: Optional[int] = None,
         segment_capacity_bytes: int = 4 * 1024 * 1024,
         default_branch: str = "main",
+        backend: str = "thread",
     ):
         if num_shards <= 0:
             raise InvalidParameterError("num_shards must be positive")
+        if backend not in BACKENDS:
+            raise InvalidParameterError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}")
         if batch_size <= 0:
             raise InvalidParameterError("batch_size must be positive")
         if cache_bytes < 0:
@@ -414,6 +373,7 @@ class VersionedKVService:
         if not default_branch:
             raise InvalidParameterError("default_branch must be a non-empty name")
         self.default_branch = default_branch
+        self.backend = backend
         self.router = ShardRouter(num_shards)
         self.batcher = ShardWriteBatcher(num_shards, flush_threshold=batch_size)
         self.directory = directory
@@ -431,9 +391,16 @@ class VersionedKVService:
         #: Maps between journal versions and graph commit ids.
         self._graph_ids: Dict[int, Digest] = {}
         self._graph_versions: Dict[Digest, int] = {}
-        self._shards: List[_Shard] = []
-        #: Backing stores parked by close() for an in-memory reopen().
+        self._shards: List = []
+        self._index_name = "?"
+        #: Backing stores parked by close() for an in-memory reopen()
+        #: (thread backend: the store objects survive in-process).
         self._parked_backings: Optional[List[NodeStore]] = None
+        #: Exported node pairs parked by close() for an in-memory
+        #: reopen() (process backend: the stores die with their workers,
+        #: so their *content* is pulled across the pipe and re-seeded).
+        self._parked_nodes: Optional[List[Optional[List[Tuple[Digest, bytes]]]]] = None
+        self._process_backend: Optional[ProcessShardBackend] = None
         self._opened = False
         # Serializes commit-record creation and the cross-shard root cut.
         self._commit_lock = threading.Lock()
@@ -466,6 +433,46 @@ class VersionedKVService:
             )
         return InMemoryNodeStore()
 
+    def _engine_builder(self, shard_id: int) -> Callable[[], ShardEngine]:
+        """A zero-argument builder of one shard's engine, for a worker.
+
+        The closure captures plain configuration (and, on an in-memory
+        reopen, the shard's parked node pairs) and is executed **inside
+        the forked worker**, so the shard's store is created, owned and
+        closed entirely by the process that serves it — the parent never
+        holds a shard store file descriptor in process mode.
+        """
+        index_factory = self._index_factory
+        store_factory = self._store_factory
+        directory = self.directory
+        cache_bytes = self._cache_bytes
+        capacity = self._segment_capacity_bytes
+        seed = (self._parked_nodes[shard_id]
+                if self._parked_nodes is not None else None)
+
+        def build() -> ShardEngine:
+            """Construct the shard's store stack and engine (runs in the worker)."""
+            if directory is not None:
+                backing: NodeStore = SegmentNodeStore(
+                    os.path.join(directory, f"shard-{shard_id:02d}"),
+                    segment_capacity_bytes=capacity)
+            elif store_factory is not None:
+                backing = store_factory()
+            else:
+                backing = InMemoryNodeStore()
+                if seed:
+                    for digest, data in seed:
+                        backing.put_bytes(digest, data)
+            cache: Optional[CachingNodeStore] = None
+            store: NodeStore = backing
+            if cache_bytes:
+                cache = CachingNodeStore(backing, capacity_bytes=cache_bytes)
+                store = cache
+            return ShardEngine(shard_id, backing, store, cache,
+                               index_factory(store))
+
+        return build
+
     def open(self) -> None:
         """Build the shards and recover the last committed state.
 
@@ -476,21 +483,34 @@ class VersionedKVService:
         reload the commit manifest; every shard head is reset to the
         newest commit's roots.  Without a directory, commits recorded in
         this process are replayed from memory.
+
+        On the process backend this (re)forks one worker per shard — a
+        service whose worker died mid-operation is restarted and
+        recovered by exactly this path.
         """
         if self._opened:
             return
-        shards: List[_Shard] = []
-        for shard_id in range(self.router.num_shards):
-            backing = self._make_backing(shard_id)
-            cache: Optional[CachingNodeStore] = None
-            store: NodeStore = backing
-            if self._cache_bytes:
-                cache = CachingNodeStore(backing, capacity_bytes=self._cache_bytes)
-                store = cache
-            index = self._index_factory(store)
-            shards.append(_Shard(shard_id, backing, store, cache, index))
-        self._shards = shards
-        self._parked_backings = None
+        if self.backend == "process":
+            self._process_backend = ProcessShardBackend()
+            self._shards = self._process_backend.start(
+                [self._engine_builder(shard_id)
+                 for shard_id in range(self.router.num_shards)])
+            self._parked_nodes = None
+        else:
+            shards: List[ThreadShardHandle] = []
+            for shard_id in range(self.router.num_shards):
+                backing = self._make_backing(shard_id)
+                cache: Optional[CachingNodeStore] = None
+                store: NodeStore = backing
+                if self._cache_bytes:
+                    cache = CachingNodeStore(backing, capacity_bytes=self._cache_bytes)
+                    store = cache
+                index = self._index_factory(store)
+                shards.append(ThreadShardHandle(
+                    ShardEngine(shard_id, backing, store, cache, index)))
+            self._shards = shards
+            self._parked_backings = None
+        self._index_name = self._shards[0].describe() if self._shards else "?"
         if self.directory is not None:
             self._commits = self._load_manifest()
         # Rebuild the commit DAG and every branch's head from the journal.
@@ -506,8 +526,7 @@ class VersionedKVService:
         head = self._branch_heads.get(self.default_branch)
         if head is not None:
             for shard, root in zip(self._shards, head.roots):
-                shard.head = shard.index.snapshot(root)
-                shard.history = [root]
+                shard.reset_head(root)
         self._opened = True
 
     def close(self) -> None:
@@ -528,27 +547,52 @@ class VersionedKVService:
         dropped by the next open) or hit the already-closed store; the
         "lossless" guarantee covers operations that returned before
         close() was called on a quiet service.
+
+        If a process-backend shard worker has died, the final implicit
+        commit is impossible — close() then skips it (crash semantics:
+        the uncommitted tail is lost) and still tears every worker down,
+        so ``reopen()`` recovers exactly the last journalled commit.
         """
         if not self._opened:
             return
-        with self._commit_lock:
-            heads = self._atomic_cut()
-            roots = tuple(head.root_digest for head in heads)
-            committed = self._branch_heads.get(self.default_branch)
-            if committed is not None:
-                dirty = roots != committed.roots
-            else:
-                dirty = any(root is not None for root in roots)
-            if dirty:
-                self._record_commit(roots, "close()")
-        for shard in self._shards:
-            close_store = getattr(shard.backing, "close", None)
-            if close_store is not None:
-                close_store()
-        if self.directory is None and self._store_factory is None:
-            # Default in-memory backings survive close() so that reopen()
-            # can restore the committed state without a persistent medium.
-            self._parked_backings = [shard.backing for shard in self._shards]
+        try:
+            with self._commit_lock:
+                heads = self._atomic_cut()
+                roots = tuple(head.root_digest for head in heads)
+                committed = self._branch_heads.get(self.default_branch)
+                if committed is not None:
+                    dirty = roots != committed.roots
+                else:
+                    dirty = any(root is not None for root in roots)
+                if dirty:
+                    self._record_commit(roots, "close()")
+        except ShardExecutionError:
+            # A dead shard worker cannot contribute to the final cut;
+            # never journal a partial one — fall through to teardown and
+            # let the next open() recover the last committed roots.
+            pass
+        park = self.directory is None and self._store_factory is None
+        if self.backend == "process":
+            # The stores die with their workers; park their *content* so
+            # an in-memory reopen() can re-seed the committed state.
+            parked_nodes: Optional[List] = [] if park else None
+            for shard in self._shards:
+                if park:
+                    try:
+                        parked_nodes.append(shard.export_nodes())
+                    except ShardExecutionError:
+                        parked_nodes.append(None)  # dead worker: content lost
+                shard.close()
+            self._parked_nodes = parked_nodes
+            self._process_backend = None
+        else:
+            for shard in self._shards:
+                shard.close()
+            if park:
+                # Default in-memory backings survive close() so that
+                # reopen() can restore the committed state without a
+                # persistent medium.
+                self._parked_backings = [shard.backing for shard in self._shards]
         self._opened = False
 
     def reopen(self) -> None:
@@ -848,38 +892,20 @@ class VersionedKVService:
                 pending_puts.update(puts)
                 puts = pending_puts
             removes = [key for key in pending_removes if key not in puts]
-            started = time.perf_counter()
-            # Keys are already coerced: write through the index directly
-            # (update() would re-coerce and rebuild the whole batch dict),
-            # carrying the head's cached record count through the batch.
-            new_root, delta = shard.index.write_counted(
-                shard.head.root_digest, puts, removes)
-            count = shard.head._record_count
-            new_count = count + delta if (count is not None and delta is not None) else None
-            shard.head = shard.index.snapshot(new_root, record_count=new_count)
-            store_flush = getattr(shard.backing, "flush", None)
-            if store_flush is not None:
-                store_flush()
-            shard.flush_seconds += time.perf_counter() - started
-            shard.history.append(shard.head.root_digest)
-            shard.flushes += 1
+            shard.load_batch(puts, removes)
 
-    def _flush_shard_locked(self, shard: _Shard) -> None:
-        """Apply pending operations to ``shard``; its lock must be held."""
+    def _flush_shard_locked(self, shard) -> None:
+        """Apply pending operations to ``shard``; its lock must be held.
+
+        The engine's batch application includes the durability barrier:
+        the batch is pushed through the backing store's batched append
+        path (SegmentNodeStore writes the DATA records plus a COMMIT
+        marker and fsyncs; FileNodeStore fsyncs).
+        """
         puts, removes = self.batcher.take(shard.shard_id)
         if not puts and not removes:
             return
-        started = time.perf_counter()
-        shard.head = shard.head.update(puts, removes=removes)
-        # Durability barrier: push the batch through the backing store's
-        # batched append path (SegmentNodeStore writes the DATA records
-        # plus a COMMIT marker and fsyncs; FileNodeStore fsyncs).
-        store_flush = getattr(shard.backing, "flush", None)
-        if store_flush is not None:
-            store_flush()
-        shard.flush_seconds += time.perf_counter() - started
-        shard.history.append(shard.head.root_digest)
-        shard.flushes += 1
+        shard.apply_ops(puts, removes)
 
     def _flush_shard(self, shard_id: int) -> None:
         """Apply a shard's pending operations through the batched write path.
@@ -927,10 +953,10 @@ class VersionedKVService:
             with shard:
                 pending, value = self.batcher.pending_value(shard_id, key_bytes)
                 if not pending:
-                    value = shard.index.lookup(shard.head.root_digest, key_bytes)
+                    value = shard.lookup_head(key_bytes)
             return value if value is not None else default
         commit = self._resolve_commit(version)
-        value = shard.index.lookup(commit.roots[shard_id], key_bytes)
+        value = shard.lookup_at(commit.roots[shard_id], key_bytes)
         return value if value is not None else default
 
     def __getitem__(self, key: KeyLike) -> bytes:
@@ -953,7 +979,7 @@ class VersionedKVService:
 
     # -- versioning --------------------------------------------------------
 
-    def _atomic_cut(self) -> List[IndexSnapshot]:
+    def _atomic_cut(self) -> List:
         """Flush every shard and return one consistent cross-shard head list.
 
         Acquires every shard lock (in ascending shard-id order — writers
@@ -962,15 +988,41 @@ class VersionedKVService:
         the heads.  The result is an *atomic cut*: every operation that
         completed before the cut is included on every shard, and no
         operation is included on one shard but missing from another.
+
+        This is the **prepare phase** of the two-phase commit protocol:
+        the flush is staged on every shard before any result is collected
+        (``flush_begin`` on all, then ``flush_finish`` on all), so on the
+        process backend the per-shard batch application and store fsyncs
+        overlap across worker processes.  If any shard's prepare fails
+        (e.g. a worker died), every already-staged reply is still drained
+        — no pipe is left mid-conversation — and the first failure is
+        re-raised, so the caller never journals a partial cut.
         """
-        acquired: List[_Shard] = []
+        acquired: List = []
         try:
             for shard in self._shards:
                 shard.__enter__()
                 acquired.append(shard)
+            staged: List = []
+            failure: Optional[BaseException] = None
             for shard in self._shards:
-                self._flush_shard_locked(shard)
-            return [shard.head for shard in self._shards]
+                try:
+                    puts, removes = self.batcher.take(shard.shard_id)
+                    shard.flush_begin(puts, removes)
+                    staged.append(shard)
+                except BaseException as exc:
+                    failure = exc
+                    break
+            heads: List = []
+            for shard in staged:
+                try:
+                    heads.append(shard.flush_finish())
+                except BaseException as exc:
+                    if failure is None:
+                        failure = exc
+            if failure is not None:
+                raise failure
+            return heads
         finally:
             for shard in reversed(acquired):
                 shard.__exit__()
@@ -1135,7 +1187,7 @@ class VersionedKVService:
         if len(roots) != self.router.num_shards:
             raise InvalidParameterError(
                 f"expected {self.router.num_shards} shard roots, got {len(roots)}")
-        acquired: List[_Shard] = []
+        acquired: List = []
         try:
             for shard in self._shards:
                 shard.__enter__()
@@ -1160,7 +1212,7 @@ class VersionedKVService:
         committed = self._branch_heads.get(self.default_branch)
         committed_roots = (committed.roots if committed is not None
                            else (None,) * self.router.num_shards)
-        working = tuple(shard.head.root_digest for shard in self._shards)
+        working = tuple(shard.head_root() for shard in self._shards)
         if working == committed_roots:
             return parents
         implicit = self._record_commit(
@@ -1182,13 +1234,12 @@ class VersionedKVService:
                                   message: str,
                                   parents: Optional[Sequence[int]]) -> ServiceCommit:
         """Journal ``roots`` with every shard lock (and the commit lock) held."""
-        # Durability barrier: branch writers fed these roots' nodes
-        # through the shard stores' buffered append path; push them to
-        # disk before the manifest names them.
+        # Durability barrier (the prepare phase for branch commits):
+        # branch writers fed these roots' nodes through the shard stores'
+        # buffered append path; push them to disk before the manifest
+        # names them.
         for shard in self._shards:
-            store_flush = getattr(shard.backing, "flush", None)
-            if store_flush is not None:
-                store_flush()
+            shard.store_flush()
         if branch == self.default_branch:
             parents = self._preserve_working_heads_locked(parents)
         commit = self._record_commit(roots, message, branch=branch, parents=parents)
@@ -1197,8 +1248,7 @@ class VersionedKVService:
             # branch: pending buffered writes stay buffered and apply
             # on top of the new head at the next flush.
             for shard, root in zip(self._shards, roots):
-                shard.head = shard.index.snapshot(root)
-                shard.history.append(root)
+                shard.set_head(root)
         return commit
 
     def commit_update(self, branch: str,
@@ -1237,7 +1287,7 @@ class VersionedKVService:
                     self._shards, base_roots, puts_by_shard, removes_by_shard):
                 if puts or removes:
                     with shard:
-                        root = shard.index.write(root, puts, list(removes))
+                        root = shard.write_at(root, puts, list(removes))
                 new_roots.append(root)
             return self._commit_roots_locked(branch, new_roots, message, parents)
 
@@ -1251,7 +1301,7 @@ class VersionedKVService:
         journal append, so no concurrent flat-API flush can slip a working
         -head change into the window and be wiped by the head sync.
         """
-        acquired: List[_Shard] = []
+        acquired: List = []
         try:
             for shard in self._shards:
                 shard.__enter__()
@@ -1263,9 +1313,9 @@ class VersionedKVService:
             new_roots: List[Optional[Digest]] = []
             for shard, puts, removes in zip(
                     self._shards, puts_by_shard, removes_by_shard):
-                root = shard.head.root_digest
+                root = shard.head_root()
                 if puts or removes:
-                    root = shard.index.write(root, puts, list(removes))
+                    root = shard.write_at(root, puts, list(removes))
                 new_roots.append(root)
             return self._commit_roots_shards_held(
                 self.default_branch, tuple(new_roots), message, parents)
@@ -1344,14 +1394,11 @@ class VersionedKVService:
                 with shard:
                     self._flush_shard_locked(shard)
                     roots = {root_tuple[shard.shard_id] for root_tuple in protected}
-                    roots.add(shard.head.root_digest)
-                    live = reachable_digests(shard.index, roots)
-                    delta = GarbageCollector(shard.backing).collect(live)
-                    if shard.cache is not None:
-                        shard.cache.invalidate()
-                    # Un-committed intermediate flush roots may now dangle;
-                    # restart the shard's history at its (live) head.
-                    shard.history = [shard.head.root_digest]
+                    # The engine adds its own working head, sweeps the
+                    # store, invalidates the cache and restarts the
+                    # shard's history at its (live) head — un-committed
+                    # intermediate flush roots may now dangle.
+                    delta = shard.collect(roots)
                     merged = merged.merge(delta)
         self._gc_total = self._gc_total.merge(merged)
         return merged
@@ -1367,7 +1414,7 @@ class VersionedKVService:
         if version is None:
             return ServiceSnapshot(self._atomic_cut(), commit=None)
         commit = self._resolve_commit(version)
-        snaps = [shard.index.snapshot(root) for shard, root in zip(self._shards, commit.roots)]
+        snaps = [shard.view(root) for shard, root in zip(self._shards, commit.roots)]
         return ServiceSnapshot(snaps, commit=commit)
 
     def snapshot_roots(self, roots: Sequence[Optional[Digest]],
@@ -1382,7 +1429,7 @@ class VersionedKVService:
         if len(roots) != self.router.num_shards:
             raise InvalidParameterError(
                 f"expected {self.router.num_shards} shard roots, got {len(roots)}")
-        snaps = [shard.index.snapshot(root) for shard, root in zip(self._shards, roots)]
+        snaps = [shard.view(root) for shard, root in zip(self._shards, roots)]
         return ServiceSnapshot(snaps, commit=commit)
 
     def diff(self, left: Union[int, ServiceCommit, ServiceSnapshot],
@@ -1410,7 +1457,7 @@ class VersionedKVService:
         histories = []
         for shard in self._shards:
             with shard:
-                histories.append(list(shard.history))
+                histories.append(shard.history_copy())
         return histories
 
     def metrics(self, include_records: bool = False) -> ServiceMetrics:
@@ -1422,20 +1469,7 @@ class VersionedKVService:
         full iteration per shard — leave it off on hot paths.
         """
         self._require_open()
-        shards = []
-        for shard in self._shards:
-            cache = (CacheCounters.from_cache(shard.cache)
-                     if shard.cache is not None else CacheCounters())
-            shards.append(ShardMetrics(
-                shard_id=shard.shard_id,
-                flushes=shard.flushes,
-                nodes_written=getattr(shard.index, "nodes_written", 0),
-                nodes_read=getattr(shard.index, "nodes_read", 0),
-                cache=cache,
-                records=len(shard.head) if include_records else None,
-                contention=shard.contention.copy(),
-                flush_seconds=shard.flush_seconds,
-            ))
+        shards = [shard.shard_metrics(include_records) for shard in self._shards]
         return ServiceMetrics(
             shards=shards,
             gets=self._gets,
@@ -1443,7 +1477,7 @@ class VersionedKVService:
             removes=self._removes,
             buffered_ops=self.batcher.buffered_ops,
             coalesced_ops=self.batcher.coalesced_ops,
-            flushes=sum(shard.flushes for shard in self._shards),
+            flushes=sum(metric.flushes for metric in shards),
             commits=len(self._commits),
             gc=self._gc_total.copy(),
         )
@@ -1458,22 +1492,15 @@ class VersionedKVService:
             # Under the shard lock: flushes/flush_seconds/contention are
             # read-modify-written by concurrent flushes and lock waiters.
             with shard:
-                shard.flushes = 0
-                shard.flush_seconds = 0.0
-                shard.contention = ContentionCounters()
-                if hasattr(shard.index, "reset_counters"):
-                    shard.index.reset_counters()
-                if shard.cache is not None:
-                    shard.cache.cache_hits = 0
-                    shard.cache.cache_misses = 0
+                shard.reset_shard_counters()
 
     def storage_bytes(self) -> int:
         """Physical bytes across all shard stores (unique nodes only)."""
         self._require_open()
-        return sum(shard.backing.total_bytes() for shard in self._shards)
+        return sum(shard.storage_bytes() for shard in self._shards)
 
     def __repr__(self) -> str:
-        index_name = self._shards[0].index.name if self._shards else "?"
+        index_name = self._index_name if self._shards else "?"
         return (
             f"VersionedKVService(index={index_name}, shards={self.num_shards}, "
             f"batch_size={self.batch_size}, commits={len(self._commits)})"

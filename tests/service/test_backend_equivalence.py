@@ -1,0 +1,174 @@
+"""Differential proof that the process backend equals the thread backend.
+
+``VersionedKVService(backend="process")`` moves every shard into its own
+forked worker process; nothing about the *content* of the service may
+change.  These tests drive identical operation streams — randomized
+(hypothesis) and seeded YCSB — through a thread-backed and a
+process-backed service built from the same configuration and assert the
+observable state is byte-identical across all three SIRI index families:
+
+* per-shard commit roots (the Merkle commitment of every version),
+* commit digests (the cross-shard version identity),
+* full scans of every committed version,
+* structural diffs between consecutive versions,
+* Merkle proofs that verify against the shared roots.
+
+Because the commit digest is a hash over the shard root digests, root
+equality here is equality of the entire Merkle trees — one differing
+node anywhere in a worker's copy-on-write path would surface as a
+digest mismatch.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.service.service import VersionedKVService
+from repro.workloads.ycsb import YCSBConfig, YCSBServiceDriver, YCSBWorkload
+from tests.conftest import SIRI_INDEXES, build_index
+
+
+def build_service(index_class, backend, num_shards=3, batch_size=4, **kwargs):
+    """A small service over ``index_class`` shards on the given backend."""
+    service = VersionedKVService(
+        index_factory=lambda store: build_index(index_class, store),
+        num_shards=num_shards,
+        batch_size=batch_size,
+        backend=backend,
+        **kwargs,
+    )
+    service.open()
+    return service
+
+
+def service_pair(index_class, **kwargs):
+    """A (thread, process) service pair with identical configuration."""
+    return (build_service(index_class, "thread", **kwargs),
+            build_service(index_class, "process", **kwargs))
+
+
+def apply_ops(service, ops):
+    """Replay a ("put"|"remove"|"commit", ...) stream against a service."""
+    for op in ops:
+        if op[0] == "put":
+            service.put(op[1], op[2])
+        elif op[0] == "remove":
+            service.remove(op[1])
+        else:
+            service.commit("checkpoint")
+    service.commit("final")
+
+
+def assert_equivalent(thread_svc, process_svc):
+    """Every observable version of the two services must be byte-identical."""
+    t_commits, p_commits = thread_svc.commits, process_svc.commits
+    assert len(t_commits) == len(p_commits)
+    for t_commit, p_commit in zip(t_commits, p_commits):
+        assert t_commit.roots == p_commit.roots
+        assert t_commit.digest == p_commit.digest
+        t_snap = thread_svc.snapshot(t_commit)
+        p_snap = process_svc.snapshot(p_commit)
+        assert t_snap.to_dict() == p_snap.to_dict()
+    for earlier, later in zip(range(len(t_commits) - 1), range(1, len(t_commits))):
+        t_diff = thread_svc.diff(earlier, later)
+        p_diff = process_svc.diff(earlier, later)
+        assert ([(e.key, e.left, e.right) for e in t_diff.entries]
+                == [(e.key, e.left, e.right) for e in p_diff.entries])
+
+
+# Small keyspace so streams collide: overwrites, removes of live keys,
+# and removes of absent keys all occur.
+keys = st.binary(min_size=1, max_size=4)
+values = st.binary(min_size=0, max_size=16)
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), keys, values),
+        st.tuples(st.just("remove"), keys),
+        st.tuples(st.just("commit")),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@pytest.mark.parametrize("index_class", SIRI_INDEXES, ids=lambda c: c.name)
+class TestRandomizedEquivalence:
+    @given(ops=ops_strategy)
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture,
+                                     HealthCheck.too_slow])
+    def test_identical_streams_yield_identical_state(self, index_class, ops):
+        thread_svc, process_svc = service_pair(index_class)
+        try:
+            apply_ops(thread_svc, ops)
+            apply_ops(process_svc, ops)
+            assert_equivalent(thread_svc, process_svc)
+        finally:
+            thread_svc.close()
+            process_svc.close()
+
+
+@pytest.mark.parametrize("index_class", SIRI_INDEXES, ids=lambda c: c.name)
+class TestYCSBEquivalence:
+    def test_seeded_ycsb_stream_matches(self, index_class):
+        """A seeded YCSB load + mixed run produces identical histories."""
+        workload = YCSBWorkload(YCSBConfig(
+            record_count=120, operation_count=200, write_ratio=0.5,
+            theta=0.9, batch_size=32, seed=7))
+        driver = YCSBServiceDriver(workload)
+        thread_svc, process_svc = service_pair(index_class, batch_size=16)
+        try:
+            for service in (thread_svc, process_svc):
+                driver.load(service)
+                driver.run(service, commit_every=64)
+            assert_equivalent(thread_svc, process_svc)
+        finally:
+            thread_svc.close()
+            process_svc.close()
+
+    def test_proofs_verify_against_shared_roots(self, index_class):
+        """Process-side proofs verify against roots the thread side computed."""
+        workload = YCSBWorkload(YCSBConfig(record_count=60, batch_size=30, seed=3))
+        driver = YCSBServiceDriver(workload)
+        thread_svc, process_svc = service_pair(index_class, batch_size=16)
+        try:
+            driver.load(thread_svc)
+            driver.load(process_svc)
+            t_snap = thread_svc.snapshot(0)
+            p_snap = process_svc.snapshot(0)
+            for shard_id, p_shard in enumerate(p_snap.shards):
+                t_shard = t_snap.shards[shard_id]
+                assert p_shard.root_digest == t_shard.root_digest
+                for key in list(p_shard.keys())[:3]:
+                    proof = p_shard.prove(key)
+                    # The roots are interchangeable: they are equal.
+                    assert proof.verify(t_shard.root_digest)
+                    assert proof.value == t_shard.get(key)
+        finally:
+            thread_svc.close()
+            process_svc.close()
+
+
+class TestLifecycleEquivalence:
+    @pytest.mark.parametrize("index_class", SIRI_INDEXES, ids=lambda c: c.name)
+    def test_close_reopen_preserves_state(self, index_class):
+        """In-memory process services survive close()/reopen() like threads."""
+        thread_svc, process_svc = service_pair(index_class)
+        try:
+            for service in (thread_svc, process_svc):
+                for i in range(30):
+                    service.put(b"k%d" % i, b"v%d" % i)
+                service.commit("before close")
+                service.close()
+                service.reopen()
+            assert_equivalent(thread_svc, process_svc)
+            assert process_svc.get(b"k7") == b"v7"
+        finally:
+            thread_svc.close()
+            process_svc.close()
+
+    def test_invalid_backend_rejected(self):
+        from repro.core.errors import InvalidParameterError
+        from repro.indexes.pos_tree import POSTree
+        with pytest.raises(InvalidParameterError):
+            VersionedKVService(POSTree, num_shards=2, backend="greenlet")

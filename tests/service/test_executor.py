@@ -417,3 +417,61 @@ def test_submit_runs_on_pool_and_respects_close():
     executor.close()
     with pytest.raises(RuntimeError):
         executor.submit(lambda: None)
+
+
+def test_close_fails_queued_fanouts_with_descriptive_error():
+    """Regression: close() left queued futures unresolved when it raced a
+    fan-out.
+
+    With a one-worker pool, a multi-shard fan-out has tasks *queued*
+    behind the running one.  ``close()`` used to shut the pool down
+    without cancelling that queue: ``shutdown(wait=True)`` then ran the
+    stragglers anyway — or, once pools started dropping cancelled work,
+    the fan-out blocked on futures nothing would ever complete, and a
+    future that *was* cancelled surfaced as a bare ``CancelledError``
+    with no shard context.  Now the queued tasks are cancelled and the
+    fan-out fails fast with a :class:`ShardExecutionError` naming the
+    shard and the reason.
+    """
+    import time
+
+    service = make_service(num_shards=4)
+    executor = ServiceExecutor(service, max_workers=1)
+    gate = threading.Event()
+    entered = threading.Event()
+
+    def blocker():
+        entered.set()
+        gate.wait(timeout=30)
+        return "ran"
+
+    outcome = {}
+
+    def fan_out():
+        try:
+            outcome["result"] = executor._run_shard_tasks(
+                "regression", [(0, blocker)] + [(i, lambda: "ran") for i in (1, 2, 3)])
+        except BaseException as exc:  # captured for the main thread
+            outcome["error"] = exc
+
+    fan_thread = threading.Thread(target=fan_out)
+    fan_thread.start()
+    try:
+        assert entered.wait(timeout=10), "first task never started"
+        # Tasks 1-3 are now queued behind the blocker on the 1-worker pool.
+        deadline = time.monotonic() + 10
+        while executor._pool._work_queue.qsize() < 1:
+            assert time.monotonic() < deadline, "tasks never queued"
+            time.sleep(0.005)
+        closer = threading.Thread(target=executor.close)
+        closer.start()
+        time.sleep(0.05)  # let close() cancel the queued futures
+    finally:
+        gate.set()
+    fan_thread.join(timeout=30)
+    closer.join(timeout=30)
+    assert not fan_thread.is_alive(), "fan-out never resolved after close()"
+    error = outcome.get("error")
+    assert isinstance(error, ShardExecutionError), outcome
+    assert "executor closed before the shard task could run" in str(error.__cause__)
+    assert error.operation == "regression"
