@@ -35,6 +35,7 @@ MARKDOWN_FILES = [
     "docs/ARCHITECTURE.md",
     "docs/STORAGE.md",
     "docs/SERVER.md",
+    "docs/SYNC.md",
     "docs/PAPER_MAP.md",
     "benchmarks/README.md",
 ]

@@ -38,6 +38,8 @@ DEFAULT_TESTS = [
     "tests/service/test_process_faults.py",
     "tests/server/test_faults.py",
     "tests/server/test_backpressure.py",
+    "tests/sync/test_convergence.py",
+    "tests/sync/test_sync_faults.py",
 ]
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 

@@ -73,6 +73,9 @@ from repro.core.errors import (
     RemoteServerError,
     ReproError,
     ServerBusyError,
+    SyncError,
+    SyncHeadMovedError,
+    SyncIntegrityError,
     TransactionClosedError,
     TransactionConflictError,
 )
@@ -108,6 +111,13 @@ from repro.storage import (
     MeteredNodeStore,
     RefCountingNodeStore,
     SegmentNodeStore,
+)
+from repro.sync import (
+    BranchSyncReport,
+    LocalSyncSource,
+    RemoteSyncSource,
+    SyncReport,
+    SyncSource,
 )
 
 __version__ = "2.0.0"
@@ -163,6 +173,9 @@ __all__ = [
     "ProtocolError",
     "ServerBusyError",
     "RemoteServerError",
+    "SyncError",
+    "SyncIntegrityError",
+    "SyncHeadMovedError",
     # core
     "SIRIIndex",
     "IndexSnapshot",
@@ -200,6 +213,12 @@ __all__ = [
     # network front door
     "RepositoryServer",
     "RemoteRepository",
+    # replication
+    "SyncSource",
+    "LocalSyncSource",
+    "RemoteSyncSource",
+    "SyncReport",
+    "BranchSyncReport",
     # deprecated aliases (access warns, see _DEPRECATED_ALIASES)
     "VersionedKVService",
 ]

@@ -259,6 +259,34 @@ class Repository:
         return merge_branches(self, ours_branch, theirs_branch,
                               message=message, resolver=resolver)
 
+    def sync(self, remote, branch: Optional[str] = None, *,
+             resolver: Optional[Resolver] = None, message: str = ""):
+        """Anti-entropy sync with another replica; returns a ``SyncReport``.
+
+        ``remote`` is the other replica in any of its forms: another
+        :class:`Repository` (or bare service) in this process, a
+        :class:`~repro.server.client.RemoteRepository` talking to a wire
+        server, or a prepared :class:`~repro.sync.SyncSource`.  Per
+        branch the session transfers only the nodes on the structural
+        frontier — subtrees the receiver already holds are pruned by
+        digest, so traffic scales with the divergence, not the dataset —
+        then fast-forwards whichever head is behind, or three-way merges
+        a true divergence (conflicts surface as
+        :class:`~repro.core.errors.MergeConflictError` unless
+        ``resolver`` settles them; a deterministic, symmetric resolver
+        makes concurrently-written replicas converge).
+
+        ``branch=None`` syncs the union of both replicas' branches.
+        Nodes always land before any head moves and every landed batch
+        is durable, so an interrupted sync resumes from the frontier
+        without re-paying for transferred subtrees.  See ``docs/SYNC.md``.
+        """
+        # Imported lazily: repro.sync reaches back into repro.api for the
+        # three-way merge, so a module-level import would cycle.
+        from repro.sync.session import sync_service
+        return sync_service(self._service, remote, branch,
+                            resolver=resolver, message=message)
+
     def diff(self, left: Union[str, Branch, int, ServiceCommit],
              right: Union[str, Branch, int, ServiceCommit]) -> DiffResult:
         """Structural diff between two branches/commits (ordered by key)."""

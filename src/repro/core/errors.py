@@ -200,3 +200,50 @@ class TransactionClosedError(ReproError, RuntimeError):
     operations, so a stale handle cannot silently stage writes that will
     never be applied.
     """
+
+
+class SyncError(ReproError):
+    """Anti-entropy replication failed (:mod:`repro.sync`).
+
+    Base class for everything that can go wrong while two replicas
+    exchange nodes and heads.  A failed sync never leaves a replica in an
+    inconsistent state: nodes land in the content-addressed store before
+    any branch head moves, so the worst case is orphaned-but-valid nodes
+    that the next sync attempt reuses instead of re-transferring.
+    """
+
+
+class SyncIntegrityError(SyncError):
+    """A transferred node's bytes do not hash to the digest it claims.
+
+    The trust model for replication is verify-before-store: every node
+    received from a sync source is re-hashed locally and compared to the
+    digest it was requested under.  A lying or corrupted source raises
+    this error *before* any byte of the batch is written, so a bad peer
+    cannot poison the local store.
+    """
+
+    def __init__(self, digest, message: str = ""):
+        self.digest = digest
+        detail = message or (
+            f"sync peer sent bytes that do not hash to claimed digest "
+            f"{digest!r}")
+        super().__init__(detail)
+
+
+class SyncHeadMovedError(SyncError):
+    """A push lost the compare-and-set race on the remote branch head.
+
+    Pushing publishes the new head only if the remote branch still points
+    at the head observed when the sync session started.  A concurrent
+    writer advancing the remote branch in between surfaces as this error;
+    the caller re-syncs (the transferred nodes are already landed, so the
+    retry pays only for the new delta).
+    """
+
+    def __init__(self, branch: str, message: str = ""):
+        self.branch = branch
+        detail = message or (
+            f"remote branch {branch!r} advanced during sync; "
+            "re-sync to merge the new head")
+        super().__init__(detail)

@@ -146,10 +146,23 @@ class MerkleBucketTree(MerkleIndex):
         return level[0]
 
     def _empty_bucket_digest(self) -> Digest:
-        """Digest of the canonical empty bucket (stored once, then cached)."""
+        """Digest of the canonical empty bucket (computed once, never stored).
+
+        Hash-only on purpose: read paths (``iterate_diff`` against the
+        empty version) need the digest for comparison and must not write
+        to the store.  Write paths that actually reference the empty
+        bucket store it through :meth:`_ensure_empty_bucket`.
+        """
         if self._empty_bucket is None:
-            self._empty_bucket = self._put_node(self._serialize_bucket([]))
+            self._empty_bucket = self.store.hash_function.hash(
+                self._serialize_bucket([]))
         return self._empty_bucket
+
+    def _ensure_empty_bucket(self) -> Digest:
+        """The empty bucket's digest with its node guaranteed stored."""
+        digest = self._empty_bucket_digest()
+        self._put_node(self._serialize_bucket([]))
+        return digest
 
     def _empty_bucket_digests(self) -> List[Digest]:
         return [self._empty_bucket_digest()] * self.capacity
@@ -204,7 +217,7 @@ class MerkleBucketTree(MerkleIndex):
                 buckets[position] = [pair]
             else:
                 bucket.append(pair)
-        empty = self._empty_bucket_digest()
+        empty = self._ensure_empty_bucket()
         bucket_digests = [
             empty if entries is None
             else self._put_node(self._serialize_bucket(entries))
@@ -351,11 +364,17 @@ class MerkleBucketTree(MerkleIndex):
             return
         left_buckets = self._bucket_digests(left_root) if left_root else self._empty_bucket_digests()
         right_buckets = self._bucket_digests(right_root) if right_root else self._empty_bucket_digests()
+        # Buckets matching the empty digest decode to no entries without a
+        # store read: diffing against the empty version must stay read-only
+        # (the empty bucket node may never have been stored).
+        empty = self._empty_bucket_digest()
         for left_digest, right_digest in zip(left_buckets, right_buckets):
             if left_digest == right_digest:
                 continue
-            left_entries = dict(self._deserialize_bucket(self._get_node(left_digest)))
-            right_entries = dict(self._deserialize_bucket(self._get_node(right_digest)))
+            left_entries = ({} if left_digest == empty else
+                            dict(self._deserialize_bucket(self._get_node(left_digest))))
+            right_entries = ({} if right_digest == empty else
+                             dict(self._deserialize_bucket(self._get_node(right_digest))))
             for key in sorted(set(left_entries) | set(right_entries)):
                 left_value = left_entries.get(key)
                 right_value = right_entries.get(key)

@@ -50,18 +50,28 @@ from repro.core.errors import (
     ProtocolError,
     RemoteServerError,
     ServerBusyError,
+    SyncHeadMovedError,
+    SyncIntegrityError,
 )
 from repro.core.interfaces import KeyLike, ValueLike, coerce_key, coerce_value
 from repro.core.version import UnknownBranchError
 from repro.server import protocol
-from repro.server.protocol import CommitInfo, Op, Request, Response, Status, WireProof
+from repro.server.protocol import (
+    CommitInfo,
+    Op,
+    Request,
+    Response,
+    Status,
+    WireBranchHead,
+    WireProof,
+)
 from repro.service.sharding import route_key
 
 #: Operations safe to retry on a fresh connection after a send/receive
 #: failure: re-executing them cannot change server state.
 _IDEMPOTENT_OPS = frozenset({
     Op.PING, Op.GET, Op.GET_MANY, Op.SCAN, Op.DIFF, Op.SNAPSHOT,
-    Op.BRANCHES, Op.BRANCH_HEAD, Op.PROVE,
+    Op.BRANCHES, Op.BRANCH_HEAD, Op.PROVE, Op.FETCH_HEADS, Op.FETCH_NODES,
 })
 
 #: Commit records remembered per client for anchoring proof verification.
@@ -81,6 +91,10 @@ def _raise_for_status(response: Response) -> Response:
         raise UnknownBranchError(response.error_message)
     if code == "invalid_parameter":
         raise InvalidParameterError(response.error_message)
+    if code == "sync_integrity":
+        raise SyncIntegrityError(None, response.error_message)
+    if code == "sync_head_moved":
+        raise SyncHeadMovedError("", response.error_message)
     raise RemoteServerError(code, response.error_message)
 
 
@@ -487,6 +501,111 @@ class RemoteRepository:
         """The newest commit on ``branch``."""
         response = self.request(Request(op=Op.BRANCH_HEAD, branch=branch))
         return response.commit
+
+    # -- replication (the wire half of repro.sync) ---------------------------
+
+    def fetch_heads(self) -> Tuple[int, List[WireBranchHead]]:
+        """The server's shard count and every branch head with its ancestry.
+
+        One round trip opens a sync session: the returned
+        :class:`~repro.server.protocol.WireBranchHead` records carry each
+        branch's content digest, per-shard roots and first-parent
+        ancestry-digest chain, which is everything
+        :class:`repro.sync.RemoteSyncSource` needs to classify the branch
+        (in sync / fast-forward / diverged) without further traffic.
+        """
+        response = self.request(Request(op=Op.FETCH_HEADS))
+        return response.num_shards, response.heads or []
+
+    def missing_digests(self, shard_id: int,
+                        digests: Sequence[bytes]) -> List[bytes]:
+        """The subset of ``digests`` the server's shard does not hold."""
+        missing: List[bytes] = []
+        for batch in self._digest_batches(digests):
+            response = self.request(Request(
+                op=Op.FETCH_NODES, shard_id=shard_id, missing_only=True,
+                digests=list(batch)))
+            missing.extend(response.digests or [])
+        return missing
+
+    def fetch_nodes(self, shard_id: int,
+                    digests: Sequence[bytes]) -> List[Tuple[bytes, bytes]]:
+        """Canonical ``(digest, node_bytes)`` pairs from the server's shard.
+
+        Requests are chunked so each answer fits under the frame limit; a
+        batch whose answer still overflows is bisected down to single
+        nodes, so one oversized node surfaces the server's error instead
+        of silently dropping its siblings.
+        """
+        pairs: List[Tuple[bytes, bytes]] = []
+        for batch in self._digest_batches(digests):
+            pairs.extend(self._fetch_batch(shard_id, list(batch)))
+        return pairs
+
+    def _fetch_batch(self, shard_id: int,
+                     digests: List[bytes]) -> List[Tuple[bytes, bytes]]:
+        try:
+            response = self.request(Request(
+                op=Op.FETCH_NODES, shard_id=shard_id, digests=digests))
+        except RemoteServerError as exc:
+            if exc.code != "response_too_large" or len(digests) <= 1:
+                raise
+            middle = len(digests) // 2
+            return (self._fetch_batch(shard_id, digests[:middle])
+                    + self._fetch_batch(shard_id, digests[middle:]))
+        return response.items or []
+
+    def push_nodes(self, shard_id: int,
+                   items: Sequence[Tuple[bytes, bytes]]) -> int:
+        """Ship ``(digest, node_bytes)`` pairs into the server's shard.
+
+        Batches are split under the frame limit by actual payload size.
+        The server re-hashes every node before storing anything
+        (:class:`~repro.core.errors.SyncIntegrityError` on mismatch) and
+        flushes each landed batch, so every call that returns is a
+        durable resume checkpoint.  Returns how many nodes were new to
+        the server.
+        """
+        new_total = 0
+        budget = max(self.max_frame_bytes - 1024, 4096)
+        batch: List[Tuple[bytes, bytes]] = []
+        batch_bytes = 0
+        for digest, data in items:
+            item_bytes = 8 + len(digest) + len(data)
+            if batch and batch_bytes + item_bytes > budget:
+                new_total += self._push_batch(shard_id, batch)
+                batch, batch_bytes = [], 0
+            batch.append((digest, data))
+            batch_bytes += item_bytes
+        if batch:
+            new_total += self._push_batch(shard_id, batch)
+        return new_total
+
+    def _push_batch(self, shard_id: int,
+                    batch: List[Tuple[bytes, bytes]]) -> int:
+        response = self.request(Request(
+            op=Op.PUSH_NODES, shard_id=shard_id, items=batch))
+        return response.ack_count
+
+    def publish_head(self, branch: str, roots: Sequence[Optional[bytes]],
+                     expected: Optional[bytes], message: str = "") -> CommitInfo:
+        """Compare-and-set ``branch``'s head to already-transferred roots.
+
+        ``expected`` is the branch content digest observed at
+        :meth:`fetch_heads` time (``None`` = the branch must not exist);
+        a concurrent writer advancing the branch in between raises
+        :class:`~repro.core.errors.SyncHeadMovedError` and the caller
+        re-syncs.  The server refuses roots whose nodes were never landed.
+        """
+        response = self.request(Request(
+            op=Op.PUSH_NODES, publish=True, branch=branch,
+            roots=list(roots), expected=expected, message=message))
+        return response.commit
+
+    def _digest_batches(self, digests: Sequence[bytes],
+                        batch_size: int = 256) -> Iterable[Sequence[bytes]]:
+        for start in range(0, len(digests), batch_size):
+            yield digests[start:start + batch_size]
 
     # -- verified reads ------------------------------------------------------
 

@@ -41,6 +41,12 @@ class ServerMetrics:
         #: Responses that failed to send (encode over the frame limit,
         #: unexpected transport failure) without killing their worker.
         self.send_errors = 0
+        #: Nodes shipped to sync peers via ``FETCH_NODES`` (count / bytes).
+        self.sync_nodes_sent = 0
+        self.sync_bytes_sent = 0
+        #: Nodes landed from sync peers via ``PUSH_NODES`` (count / bytes).
+        self.sync_nodes_received = 0
+        self.sync_bytes_received = 0
 
     # -- mutation hooks (called by the server) -------------------------------
 
@@ -63,6 +69,18 @@ class ServerMetrics:
         """Count one response that could not be sent as encoded."""
         with self._lock:
             self.send_errors += 1
+
+    def record_sync_sent(self, nodes: int, payload_bytes: int) -> None:
+        """Count one ``FETCH_NODES`` answer shipped to a sync peer."""
+        with self._lock:
+            self.sync_nodes_sent += nodes
+            self.sync_bytes_sent += payload_bytes
+
+    def record_sync_received(self, nodes: int, payload_bytes: int) -> None:
+        """Count one ``PUSH_NODES`` batch landed from a sync peer."""
+        with self._lock:
+            self.sync_nodes_received += nodes
+            self.sync_bytes_received += payload_bytes
 
     def record_admitted(self, queue: int) -> None:
         """A request entered queue ``queue``; depth rises."""
@@ -113,6 +131,10 @@ class ServerMetrics:
                 "connections_closed": self.connections_closed,
                 "protocol_errors": self.protocol_errors,
                 "send_errors": self.send_errors,
+                "sync_nodes_sent": self.sync_nodes_sent,
+                "sync_bytes_sent": self.sync_bytes_sent,
+                "sync_nodes_received": self.sync_nodes_received,
+                "sync_bytes_received": self.sync_bytes_received,
             }
         report["queues"] = [
             {

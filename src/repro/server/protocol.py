@@ -71,6 +71,9 @@ class Op(IntEnum):
     BRANCH_CREATE = 11
     BRANCH_HEAD = 12
     PROVE = 13
+    FETCH_HEADS = 14
+    FETCH_NODES = 15
+    PUSH_NODES = 16
 
 
 class Status(IntEnum):
@@ -251,6 +254,21 @@ class Request:
     prefix: Optional[bytes] = None
     #: SCAN: maximum records returned (0 = unlimited).
     limit: int = 0
+    #: FETCH_NODES / PUSH_NODES (node mode): the target shard.
+    shard_id: int = 0
+    #: FETCH_NODES: True = answer only which digests the server lacks
+    #: (a frontier-pruning probe), False = return the node bytes.
+    missing_only: bool = False
+    #: FETCH_NODES: the requested node digests.
+    digests: Optional[List[bytes]] = None
+    #: PUSH_NODES: True = head-publish mode (branch/roots/expected are
+    #: used), False = node-transfer mode (shard_id/items are used).
+    publish: bool = False
+    #: PUSH_NODES (publish mode): per-shard root digests of the new head.
+    roots: Optional[List[Optional[bytes]]] = None
+    #: PUSH_NODES (publish mode): compare-and-set guard — the digest the
+    #: branch head must still have (``None`` = branch must not exist).
+    expected: Optional[bytes] = None
 
 
 @dataclass
@@ -314,6 +332,23 @@ class WireProof:
 
 
 @dataclass
+class WireBranchHead:
+    """Wire form of one branch head in a ``FETCH_HEADS`` answer.
+
+    Carries what a sync peer needs to classify the branch relationship
+    without further round trips: the head's content digest, its per-shard
+    roots (the frontier entry points) and a bounded first-parent chain of
+    ancestor content digests (for cross-replica common-base discovery —
+    see ``docs/SYNC.md``).
+    """
+
+    branch: str
+    digest: bytes
+    roots: Tuple[Optional[bytes], ...]
+    ancestry: Tuple[bytes, ...]
+
+
+@dataclass
 class Response:
     """One decoded server response (field usage depends on :attr:`op`)."""
 
@@ -338,6 +373,16 @@ class Response:
     branches: Optional[List[str]] = None
     #: PROVE: the proof answer.
     proof: Optional[WireProof] = None
+    #: FETCH_HEADS: every branch head (plus the shard count in
+    #: :attr:`num_shards`, so a peer can reject a shard-count mismatch).
+    heads: Optional[List[WireBranchHead]] = None
+    #: FETCH_HEADS: the serving repository's shard count.
+    num_shards: int = 0
+    #: FETCH_NODES (missing_only): the digests the server lacks.
+    digests: Optional[List[bytes]] = None
+    #: FETCH_NODES: echo of the request's missing_only flag;
+    #: PUSH_NODES: echo of the request's publish flag.
+    mode_flag: bool = False
     #: ERROR / BUSY: machine-readable code and human-readable message.
     error_code: str = ""
     error_message: str = ""
@@ -480,6 +525,33 @@ def encode_request(request: Request) -> bytes:
         writer.opt_str(request.from_branch)
     elif op is Op.BRANCH_HEAD:
         writer.str_(request.branch or "")
+    elif op is Op.FETCH_HEADS:
+        pass
+    elif op is Op.FETCH_NODES:
+        writer.u32(request.shard_id)
+        writer.u8(1 if request.missing_only else 0)
+        digests = request.digests or []
+        writer.u32(len(digests))
+        for digest in digests:
+            writer.bytes_(digest)
+    elif op is Op.PUSH_NODES:
+        if request.publish:
+            writer.u8(1)
+            writer.str_(request.branch or "")
+            roots = request.roots or []
+            writer.u32(len(roots))
+            for root in roots:
+                writer.opt_bytes(root)
+            writer.opt_bytes(request.expected)
+            writer.str_(request.message)
+        else:
+            writer.u8(0)
+            writer.u32(request.shard_id)
+            items = request.items or []
+            writer.u32(len(items))
+            for digest, node_bytes in items:
+                writer.bytes_(digest)
+                writer.bytes_(node_bytes)
     else:  # pragma: no cover - Op is exhaustive
         raise ProtocolError(f"cannot encode unknown op: {op!r}")
     return writer.getvalue()
@@ -526,6 +598,24 @@ def decode_request(body: bytes) -> Request:
         request.from_branch = reader.opt_str()
     elif op is Op.BRANCH_HEAD:
         request.branch = reader.str_()
+    elif op is Op.FETCH_HEADS:
+        pass
+    elif op is Op.FETCH_NODES:
+        request.shard_id = reader.u32()
+        request.missing_only = reader._flag()
+        request.digests = [reader.bytes_() for _ in range(reader.count(4))]
+    elif op is Op.PUSH_NODES:
+        request.publish = reader._flag()
+        if request.publish:
+            request.branch = reader.str_()
+            request.roots = [reader.opt_bytes()
+                             for _ in range(reader.count(1))]
+            request.expected = reader.opt_bytes()
+            request.message = reader.str_()
+        else:
+            request.shard_id = reader.u32()
+            request.items = [(reader.bytes_(), reader.bytes_())
+                             for _ in range(reader.count(8))]
     reader.expect_end()
     return request
 
@@ -632,6 +722,43 @@ def encode_response(response: Response) -> bytes:
         for level, node_bytes in proof.steps:
             writer.u32(level)
             writer.bytes_(node_bytes)
+    elif op is Op.FETCH_HEADS:
+        writer.u32(response.num_shards)
+        heads = response.heads or []
+        writer.u32(len(heads))
+        for head in heads:
+            writer.str_(head.branch)
+            writer.bytes_(head.digest)
+            writer.u32(len(head.roots))
+            for root in head.roots:
+                writer.opt_bytes(root)
+            writer.u32(len(head.ancestry))
+            for digest in head.ancestry:
+                writer.bytes_(digest)
+    elif op is Op.FETCH_NODES:
+        if response.mode_flag:
+            writer.u8(1)
+            digests = response.digests or []
+            writer.u32(len(digests))
+            for digest in digests:
+                writer.bytes_(digest)
+        else:
+            writer.u8(0)
+            items = response.items or []
+            writer.u32(len(items))
+            for digest, node_bytes in items:
+                writer.bytes_(digest)
+                writer.bytes_(node_bytes)
+    elif op is Op.PUSH_NODES:
+        if response.mode_flag:
+            writer.u8(1)
+            if response.commit is None:
+                raise ProtocolError(
+                    "PUSH_NODES publish response requires a commit record")
+            _encode_commit(writer, response.commit)
+        else:
+            writer.u8(0)
+            writer.u32(response.ack_count)
     else:  # pragma: no cover - Op is exhaustive
         raise ProtocolError(f"cannot encode response for op: {op!r}")
     return writer.getvalue()
@@ -685,5 +812,31 @@ def decode_response(body: bytes) -> Response:
         steps = [(reader.u32(), reader.bytes_())
                  for _ in range(reader.count(8))]
         response.proof = WireProof(key, value, index_name, shard_id, root, steps)
+    elif op is Op.FETCH_HEADS:
+        response.num_shards = reader.u32()
+        response.heads = []
+        for _ in range(reader.count(13)):
+            branch = reader.str_()
+            digest = reader.bytes_()
+            roots = tuple(reader.opt_bytes()
+                          for _ in range(reader.count(1)))
+            ancestry = tuple(reader.bytes_()
+                             for _ in range(reader.count(4)))
+            response.heads.append(
+                WireBranchHead(branch, digest, roots, ancestry))
+    elif op is Op.FETCH_NODES:
+        response.mode_flag = reader._flag()
+        if response.mode_flag:
+            response.digests = [reader.bytes_()
+                                for _ in range(reader.count(4))]
+        else:
+            response.items = [(reader.bytes_(), reader.bytes_())
+                              for _ in range(reader.count(8))]
+    elif op is Op.PUSH_NODES:
+        response.mode_flag = reader._flag()
+        if response.mode_flag:
+            response.commit = _decode_commit(reader)
+        else:
+            response.ack_count = reader.u32()
     reader.expect_end()
     return response

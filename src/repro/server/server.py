@@ -41,11 +41,22 @@ from repro.core.errors import (
     KeyNotFoundError,
     ProtocolError,
     ReproError,
+    SyncHeadMovedError,
+    SyncIntegrityError,
 )
 from repro.core.version import UnknownBranchError
+from repro.hashing.digest import Digest
 from repro.server import protocol
 from repro.server.metrics import ServerMetrics
-from repro.server.protocol import CommitInfo, Op, Request, Response, Status, WireProof
+from repro.server.protocol import (
+    CommitInfo,
+    Op,
+    Request,
+    Response,
+    Status,
+    WireBranchHead,
+    WireProof,
+)
 from repro.service.executor import ServiceExecutor, ShardExecutionError
 from repro.service.service import ServiceCommit, VersionedKVService
 
@@ -68,6 +79,10 @@ def _error_code_for(exc: BaseException) -> str:
         return "shard_execution"
     if isinstance(exc, ProtocolError):
         return "protocol"
+    if isinstance(exc, SyncIntegrityError):
+        return "sync_integrity"
+    if isinstance(exc, SyncHeadMovedError):
+        return "sync_head_moved"
     if isinstance(exc, ReproError):
         return "repro_error"
     return "internal"
@@ -447,6 +462,51 @@ class RepositoryServer:
                 self.service.branch_head(request.branch))
         elif op is Op.PROVE:
             response.proof = self._prove(request)
+        elif op is Op.FETCH_HEADS:
+            response.num_shards = self.service.router.num_shards
+            response.heads = []
+            for branch in self.service.branches():
+                head = self.service.branch_head(branch)
+                response.heads.append(WireBranchHead(
+                    branch=branch,
+                    digest=head.digest.raw,
+                    roots=tuple(None if root is None else root.raw
+                                for root in head.roots),
+                    ancestry=tuple(
+                        digest.raw for digest
+                        in self.service.ancestry_digests(branch)),
+                ))
+        elif op is Op.FETCH_NODES:
+            digests = [Digest(raw) for raw in (request.digests or [])]
+            if request.missing_only:
+                response.mode_flag = True
+                response.digests = [
+                    digest.raw for digest in self.service.shard_missing_digests(
+                        request.shard_id, digests)]
+            else:
+                response.items = [
+                    (digest.raw, data) for digest, data
+                    in self.service.shard_fetch_nodes(request.shard_id, digests)]
+                self.metrics.record_sync_sent(
+                    len(response.items),
+                    sum(len(data) for _, data in response.items))
+        elif op is Op.PUSH_NODES:
+            if request.publish:
+                response.mode_flag = True
+                roots = [None if raw is None else Digest(raw)
+                         for raw in (request.roots or [])]
+                expected = (None if request.expected is None
+                            else Digest(request.expected))
+                response.commit = _commit_info(self.service.publish_roots(
+                    request.branch, roots, message=request.message,
+                    expected_digest=expected))
+            else:
+                pairs = [(Digest(raw), data)
+                         for raw, data in (request.items or [])]
+                response.ack_count = self.service.shard_import_nodes(
+                    request.shard_id, pairs)
+                self.metrics.record_sync_received(
+                    len(pairs), sum(len(data) for _, data in pairs))
         else:  # pragma: no cover - decode_request validates the opcode
             raise ProtocolError(f"unhandled op: {op!r}")
         return response

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.diff import DiffResult, diff_snapshots
+from repro.core.errors import SyncIntegrityError
 from repro.core.interfaces import IndexSnapshot, SIRIIndex
 from repro.core.metrics import CacheCounters, ContentionCounters, GCCounters
 from repro.hashing.digest import Digest
@@ -297,6 +298,50 @@ class ShardEngine:
         return [(digest, self.store.get_bytes(digest))
                 for digest in self.backing.digests()]
 
+    # -- replication (node transfer by digest) -----------------------------
+
+    def missing_digests(self, digests: Sequence[Digest]) -> List[Digest]:
+        """The subset of ``digests`` this shard's store does not hold.
+
+        The receiving half of the structural frontier: a sync session asks
+        each shard which of the advertised child digests it already owns,
+        and prunes the descent at every subtree whose root is present
+        (store invariant: a stored digest implies its whole subtree is
+        stored — imports land children before parents).
+        """
+        return [d for d in digests if not self.store.contains(d)]
+
+    def fetch_nodes(self, digests: Sequence[Digest]) -> List[Tuple[Digest, bytes]]:
+        """Read the canonical bytes of each requested node digest.
+
+        The sending half of the frontier.  Raises
+        :class:`~repro.core.errors.NodeNotFoundError` when a requested
+        digest is absent — a sync peer only requests digests this side
+        advertised, so a miss means local data loss, not a protocol race.
+        """
+        return [(digest, self.store.get_bytes(digest)) for digest in digests]
+
+    def import_nodes(self, pairs: Sequence[Tuple[Digest, bytes]]) -> int:
+        """Verify and land transferred nodes; returns how many were new.
+
+        Trust model: every pair is re-hashed and compared against its
+        claimed digest *before any byte is stored* — a lying source
+        raises :class:`~repro.core.errors.SyncIntegrityError` and the
+        store is untouched.  After the batch lands, the backing store is
+        flushed, making the batch a durable resume checkpoint: an
+        interrupted sync never re-pays for nodes already imported.
+        """
+        hash_function = self.store.hash_function
+        for digest, data in pairs:
+            if hash_function.hash(data) != digest:
+                raise SyncIntegrityError(digest)
+        new = 0
+        for digest, data in pairs:
+            if self.store.put_bytes(digest, data):
+                new += 1
+        self.store_flush()
+        return new
+
     def close_store(self) -> None:
         """Close the backing store, if it has a lifecycle."""
         close = getattr(self.backing, "close", None)
@@ -465,6 +510,18 @@ class ThreadShardHandle:
     def export_nodes(self) -> List[Tuple[Digest, bytes]]:
         """Every stored node as ``(digest, bytes)`` pairs."""
         return self.engine.export_nodes()
+
+    def missing_digests(self, digests: Sequence[Digest]) -> List[Digest]:
+        """Digests of ``digests`` this shard does not hold (lock-free read)."""
+        return self.engine.missing_digests(digests)
+
+    def fetch_nodes(self, digests: Sequence[Digest]) -> List[Tuple[Digest, bytes]]:
+        """Canonical bytes for each requested digest (lock-free read)."""
+        return self.engine.fetch_nodes(digests)
+
+    def import_nodes(self, pairs: Sequence[Tuple[Digest, bytes]]) -> int:
+        """Verify and land transferred nodes (caller holds the lock)."""
+        return self.engine.import_nodes(pairs)
 
     def set_fault(self, point: Optional[str]) -> None:
         """Fault injection is a process-backend capability; always raises."""

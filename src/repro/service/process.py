@@ -325,6 +325,18 @@ class ProcessShardHandle:
         """Every stored node as ``(digest, bytes)`` pairs (for parking)."""
         return self.call("export_nodes")
 
+    def missing_digests(self, digests) -> List[Digest]:
+        """Digests of ``digests`` the worker's store does not hold."""
+        return self.call("missing_digests", list(digests))
+
+    def fetch_nodes(self, digests) -> List[Tuple[Digest, bytes]]:
+        """Canonical bytes for each requested digest, from the worker."""
+        return self.call("fetch_nodes", list(digests))
+
+    def import_nodes(self, pairs) -> int:
+        """Verify and land transferred nodes in the worker's store."""
+        return self.call("import_nodes", list(pairs))
+
     def set_fault(self, point: Optional[str]) -> None:
         """Arm (or clear, with ``None``) a worker kill-point."""
         self.call("set_fault", point)

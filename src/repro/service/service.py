@@ -8,8 +8,11 @@ would, rather than as bare library classes:
   across N independent index instances, each with its own node store and
   its own root-version history.  Shards keep every tree a factor N
   smaller, which shortens root→leaf paths for both lookups and
-  copy-on-write rewrites, and gives later PRs an obvious unit for
-  parallelism and replication.
+  copy-on-write rewrites, and they are the unit of both parallelism
+  (:mod:`repro.service.process` forks one worker per shard) and
+  replication (anti-entropy sync — :mod:`repro.sync` — walks each
+  shard's structural frontier independently through the node
+  export/import entry points below).
 * **Write coalescing** — puts/removes buffer per shard
   (:mod:`repro.service.batcher`) and flush through the index's batched
   :meth:`~repro.core.interfaces.SIRIIndex.write` path, amortizing node
@@ -69,7 +72,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.diff import DiffEntry, DiffResult
-from repro.core.errors import CorruptNodeError, InvalidParameterError, KeyNotFoundError, ServiceClosedError, ShardExecutionError
+from repro.core.errors import CorruptNodeError, InvalidParameterError, KeyNotFoundError, ServiceClosedError, ShardExecutionError, SyncHeadMovedError
 from repro.core.interfaces import IndexSnapshot, KeyLike, SIRIIndex, ValueLike, coerce_key, coerce_value
 from repro.core.metrics import CacheCounters, ContentionCounters, GCCounters
 from repro.core.version import UnknownBranchError, VersionGraph
@@ -417,6 +420,9 @@ class VersionedKVService:
         self._pinned_roots: Dict[int, Tuple[Optional[Digest], ...]] = {}
         self._pin_counter = 0
         self._pin_lock = threading.Lock()
+        #: Store-less index instance used only to parse child digests out
+        #: of node bytes during sync (built lazily by child_digests()).
+        self._parser_index: Optional[SIRIIndex] = None
         self.open()
 
     # -- lifecycle ---------------------------------------------------------
@@ -1322,6 +1328,136 @@ class VersionedKVService:
         finally:
             for shard in reversed(acquired):
                 shard.__exit__()
+
+    # -- replication (node transfer by structural frontier) -----------------
+
+    def _check_shard_id(self, shard_id: int) -> None:
+        if not 0 <= shard_id < self.router.num_shards:
+            raise InvalidParameterError(
+                f"shard id {shard_id} out of range "
+                f"(service has {self.router.num_shards} shards)")
+
+    def shard_missing_digests(self, shard_id: int,
+                              digests: Sequence[Digest]) -> List[Digest]:
+        """The subset of ``digests`` shard ``shard_id`` does not hold.
+
+        The receiver half of the sync frontier: because imports land
+        children before parents (and flush between levels), a held digest
+        implies its entire subtree is held, so the sender can prune the
+        descent at every digest this method omits.
+        """
+        self._require_open()
+        self._check_shard_id(shard_id)
+        return self._shards[shard_id].missing_digests(list(digests))
+
+    def shard_fetch_nodes(self, shard_id: int,
+                          digests: Sequence[Digest]) -> List[Tuple[Digest, bytes]]:
+        """Canonical bytes of the requested nodes from shard ``shard_id``.
+
+        Raises :class:`~repro.core.errors.NodeNotFoundError` for a digest
+        the shard does not hold — peers only request digests this side
+        advertised, so a miss is local data loss, not a race.
+        """
+        self._require_open()
+        self._check_shard_id(shard_id)
+        return self._shards[shard_id].fetch_nodes(list(digests))
+
+    def shard_import_nodes(self, shard_id: int,
+                           pairs: Sequence[Tuple[Digest, bytes]]) -> int:
+        """Verify and land transferred nodes into shard ``shard_id``.
+
+        Every pair is re-hashed against its claimed digest before any
+        byte is stored (:class:`~repro.core.errors.SyncIntegrityError` on
+        mismatch — a lying peer cannot poison the store), and the shard's
+        backing store is flushed afterwards, making each imported batch a
+        durable resume checkpoint.  Returns how many nodes were new.
+        """
+        self._require_open()
+        self._check_shard_id(shard_id)
+        shard = self._shards[shard_id]
+        with shard:
+            return shard.import_nodes(list(pairs))
+
+    def child_digests(self, node_bytes: bytes) -> List[Digest]:
+        """Digests of the children referenced by one node's canonical bytes.
+
+        Pure byte parsing through a store-less parser index instance, so
+        it works identically on the thread and process backends (where
+        the parent holds no shard index).  Sync uses it to advance the
+        frontier descent one level from already-transferred parents.
+        """
+        if self._parser_index is None:
+            self._parser_index = self._index_factory(InMemoryNodeStore())
+        return self._parser_index._child_digests(node_bytes)
+
+    def ancestry_digests(self, branch: str, limit: int = 64) -> List[Digest]:
+        """Commit digests along ``branch``'s first-parent history, newest first.
+
+        Commit digests are content-derived (a hash over the shard roots),
+        so two replicas that ever held the same state share a digest even
+        though their journal version numbers differ.  Sync peers exchange
+        these chains to find a common base without sharing a journal;
+        ``limit`` bounds the chain (deep divergences fall back to a full
+        three-way merge against the empty base).
+        """
+        self._require_open()
+        chain: List[Digest] = []
+        for commit in self.log(branch):
+            chain.append(commit.digest)
+            if len(chain) >= limit:
+                break
+        return chain
+
+    def commit_for_digest(self, digest: Digest) -> Optional[ServiceCommit]:
+        """The newest commit whose content digest equals ``digest``.
+
+        Used by sync to recover the shard roots of a common-ancestor
+        digest found in a peer's ancestry chain.  Returns ``None`` when no
+        local commit ever had that content.
+        """
+        self._require_open()
+        for commit in reversed(self._commits):
+            if commit.digest == digest:
+                return commit
+        return None
+
+    def publish_roots(self, branch: str, roots: Sequence[Optional[Digest]],
+                      message: str = "",
+                      expected_digest: Optional[Digest] = None) -> ServiceCommit:
+        """Compare-and-set publish of sync-transferred roots onto ``branch``.
+
+        The head-move half of a sync session.  The caller transferred all
+        of ``roots``' nodes first (:meth:`shard_import_nodes`), so this
+        method only has to (1) check the CAS — the branch head's content
+        digest must still equal ``expected_digest`` (``None`` = the branch
+        must not exist yet), raising
+        :class:`~repro.core.errors.SyncHeadMovedError` when a concurrent
+        writer won the race — and (2) verify every non-empty root is
+        actually held by its shard store, so a buggy or lying peer cannot
+        publish a head whose subtree was never landed.  Publishing the
+        roots the head already has is an idempotent no-op returning the
+        existing head.
+        """
+        self._require_open()
+        roots = tuple(roots)
+        if len(roots) != self.router.num_shards:
+            raise InvalidParameterError(
+                f"expected {self.router.num_shards} shard roots, got {len(roots)}")
+        with self._commit_lock:
+            head = self._branch_heads.get(branch)
+            head_digest = head.digest if head is not None else None
+            if head_digest != expected_digest:
+                raise SyncHeadMovedError(branch)
+            if head is not None and head.roots == roots:
+                return head
+            for shard_id, root in enumerate(roots):
+                if root is not None and self._shards[shard_id].missing_digests(
+                        [root]):
+                    raise InvalidParameterError(
+                        f"cannot publish branch {branch!r}: shard {shard_id} "
+                        f"root {root!r} is not present in its store")
+            parents = (head.version,) if head is not None else ()
+            return self._commit_roots_locked(branch, roots, message, parents)
 
     def pin_roots(self, roots: Sequence[Optional[Digest]]) -> int:
         """Protect a cross-shard root tuple from :meth:`collect_garbage`.

@@ -1,0 +1,51 @@
+"""Anti-entropy replication: diff-driven sync between repositories.
+
+Two replicas of a SIRI repository converge by exchanging only the nodes
+on their **structural frontier**: starting from the branch heads' root
+digests, the transfer descends both Merkle structures in lock step and
+prunes every subtree whose digest the receiver already holds — the same
+structurally-invariant property that makes diffs proportional to the
+change set makes replication traffic proportional to the *divergence*,
+never the dataset (the paper's Section 5 argument applied to the wire).
+
+The package splits along the trust boundary:
+
+* :mod:`repro.sync.source` — :class:`SyncSource`, the five-method
+  abstraction a sync session talks to: an in-process peer
+  (:class:`LocalSyncSource`) or a wire server reached through
+  :class:`~repro.server.client.RemoteRepository`
+  (:class:`RemoteSyncSource`).
+* :mod:`repro.sync.session` — the sync engine itself:
+  :func:`~repro.sync.session.sync_service` classifies every branch
+  (in sync / fast-forward / diverged), pulls and pushes frontier nodes
+  children-before-parents so an interrupted transfer resumes from where
+  it stopped, and settles divergence with a three-way merge whose
+  conflicts are surfaced, never silently resolved.
+
+The user-facing entry point is :meth:`repro.api.Repository.sync`; the
+protocol contract is documented in ``docs/SYNC.md``.
+"""
+
+from repro.sync.session import (
+    BranchSyncReport,
+    SyncReport,
+    as_sync_source,
+    sync_service,
+)
+from repro.sync.source import (
+    BranchState,
+    LocalSyncSource,
+    RemoteSyncSource,
+    SyncSource,
+)
+
+__all__ = [
+    "BranchState",
+    "BranchSyncReport",
+    "LocalSyncSource",
+    "RemoteSyncSource",
+    "SyncReport",
+    "SyncSource",
+    "as_sync_source",
+    "sync_service",
+]

@@ -1,0 +1,206 @@
+"""Sync peers: the five-method surface a replication session talks to.
+
+A :class:`SyncSource` is the *other* replica in a sync session.  The
+session (:mod:`repro.sync.session`) only ever needs five things from it:
+its shard count, its branch heads (with enough ancestry to find a common
+base), a membership probe for frontier pruning, node fetch, and node
+push + head publish.  Everything else — locking, durability, transport —
+is the source's problem, which is what lets the same session engine run
+against an in-process service (:class:`LocalSyncSource`, used by the
+property tests to drive thousands of partition/heal rounds without a
+socket) and a remote wire server (:class:`RemoteSyncSource` over the
+``FETCH_HEADS``/``FETCH_NODES``/``PUSH_NODES`` protocol ops).
+
+Digests cross this boundary as :class:`~repro.hashing.digest.Digest`
+values; the remote implementation converts to and from raw bytes at the
+wire edge.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hashing.digest import Digest
+
+
+@dataclass(frozen=True)
+class BranchState:
+    """One branch head as a sync peer advertises it.
+
+    ``digest`` is the head commit's *content* digest (a hash over the
+    shard roots), so two replicas that hold the same state advertise the
+    same digest even though their journal version numbers differ.
+    ``ancestry`` is the first-parent chain of content digests, newest
+    first (``ancestry[0] == digest``), bounded by the peer — it is how
+    the session finds a common base without the replicas sharing a
+    journal.
+    """
+
+    branch: str
+    digest: Digest
+    roots: Tuple[Optional[Digest], ...]
+    ancestry: Tuple[Digest, ...]
+
+
+class SyncSource(abc.ABC):
+    """The replica on the far side of a sync session.
+
+    Implementations must preserve the receiver invariant the frontier
+    descent relies on: a digest reported as *held* (absent from
+    :meth:`missing_digests`) implies its entire subtree is held, which
+    :meth:`push_nodes` guarantees by landing children before parents.
+    """
+
+    @abc.abstractmethod
+    def num_shards(self) -> int:
+        """The peer's shard count (must match the local replica's)."""
+
+    @abc.abstractmethod
+    def branch_states(self) -> Dict[str, BranchState]:
+        """Every branch head the peer advertises, keyed by branch name."""
+
+    @abc.abstractmethod
+    def missing_digests(self, shard_id: int,
+                        digests: Sequence[Digest]) -> List[Digest]:
+        """The subset of ``digests`` the peer's shard does not hold."""
+
+    @abc.abstractmethod
+    def fetch_nodes(self, shard_id: int,
+                    digests: Sequence[Digest]) -> List[Tuple[Digest, bytes]]:
+        """Canonical ``(digest, node_bytes)`` pairs from the peer's shard."""
+
+    @abc.abstractmethod
+    def push_nodes(self, shard_id: int,
+                   pairs: Sequence[Tuple[Digest, bytes]]) -> int:
+        """Land verified nodes into the peer's shard; returns new-node count."""
+
+    @abc.abstractmethod
+    def publish_head(self, branch: str, roots: Sequence[Optional[Digest]],
+                     expected: Optional[Digest], message: str) -> None:
+        """Compare-and-set the peer's branch head to already-landed roots.
+
+        ``expected`` is the content digest observed at
+        :meth:`branch_states` time (``None`` = the branch must not exist
+        on the peer); raises
+        :class:`~repro.core.errors.SyncHeadMovedError` when a concurrent
+        writer advanced the branch in between.
+        """
+
+
+class LocalSyncSource(SyncSource):
+    """An in-process peer: another repository (or service) in this process.
+
+    Wraps either a :class:`~repro.api.repository.Repository` or its
+    backing :class:`~repro.service.VersionedKVService` directly; works on
+    both the thread and the process shard backends, because everything
+    goes through the service's replication entry points.
+    """
+
+    def __init__(self, target):
+        service = getattr(target, "service", None)
+        self._service = service if service is not None else target
+
+    def num_shards(self) -> int:
+        """The wrapped service's shard count."""
+        return self._service.num_shards
+
+    def branch_states(self) -> Dict[str, BranchState]:
+        """Branch heads straight from the wrapped service's journal."""
+        states: Dict[str, BranchState] = {}
+        for branch in self._service.branches():
+            head = self._service.branch_head(branch)
+            states[branch] = BranchState(
+                branch=branch,
+                digest=head.digest,
+                roots=tuple(head.roots),
+                ancestry=tuple(self._service.ancestry_digests(branch)),
+            )
+        return states
+
+    def missing_digests(self, shard_id: int,
+                        digests: Sequence[Digest]) -> List[Digest]:
+        """Probe the wrapped service's shard store."""
+        return self._service.shard_missing_digests(shard_id, digests)
+
+    def fetch_nodes(self, shard_id: int,
+                    digests: Sequence[Digest]) -> List[Tuple[Digest, bytes]]:
+        """Read node bytes from the wrapped service's shard store."""
+        return self._service.shard_fetch_nodes(shard_id, digests)
+
+    def push_nodes(self, shard_id: int,
+                   pairs: Sequence[Tuple[Digest, bytes]]) -> int:
+        """Verify-and-land nodes into the wrapped service's shard store."""
+        return self._service.shard_import_nodes(shard_id, pairs)
+
+    def publish_head(self, branch: str, roots: Sequence[Optional[Digest]],
+                     expected: Optional[Digest], message: str) -> None:
+        """CAS-publish through :meth:`VersionedKVService.publish_roots`."""
+        self._service.publish_roots(branch, roots, message=message,
+                                    expected_digest=expected)
+
+
+class RemoteSyncSource(SyncSource):
+    """A peer behind the wire server, reached through a pooled client.
+
+    Wraps a :class:`~repro.server.client.RemoteRepository` (anything with
+    its ``fetch_heads``/``missing_digests``/``fetch_nodes``/
+    ``push_nodes``/``publish_head`` surface) and converts digests to raw
+    bytes at the wire edge.  The client chunks node batches under the
+    frame limit, so arbitrarily large frontiers transfer without
+    oversized frames.
+    """
+
+    def __init__(self, client):
+        self._client = client
+        self._num_shards: Optional[int] = None
+
+    def num_shards(self) -> int:
+        """The server's shard count (learned from ``FETCH_HEADS``)."""
+        if self._num_shards is None:
+            self._num_shards, _ = self._client.fetch_heads()
+        return self._num_shards
+
+    def branch_states(self) -> Dict[str, BranchState]:
+        """One ``FETCH_HEADS`` round trip: every head plus its ancestry."""
+        self._num_shards, heads = self._client.fetch_heads()
+        states: Dict[str, BranchState] = {}
+        for head in heads:
+            states[head.branch] = BranchState(
+                branch=head.branch,
+                digest=Digest(head.digest),
+                roots=tuple(None if root is None else Digest(root)
+                            for root in head.roots),
+                ancestry=tuple(Digest(raw) for raw in head.ancestry),
+            )
+        return states
+
+    def missing_digests(self, shard_id: int,
+                        digests: Sequence[Digest]) -> List[Digest]:
+        """``FETCH_NODES(missing_only=True)``: the frontier-pruning probe."""
+        missing = self._client.missing_digests(
+            shard_id, [digest.raw for digest in digests])
+        return [Digest(raw) for raw in missing]
+
+    def fetch_nodes(self, shard_id: int,
+                    digests: Sequence[Digest]) -> List[Tuple[Digest, bytes]]:
+        """``FETCH_NODES``: node bytes, chunked under the frame limit."""
+        pairs = self._client.fetch_nodes(
+            shard_id, [digest.raw for digest in digests])
+        return [(Digest(raw), data) for raw, data in pairs]
+
+    def push_nodes(self, shard_id: int,
+                   pairs: Sequence[Tuple[Digest, bytes]]) -> int:
+        """``PUSH_NODES``: ship nodes; the server verifies before storing."""
+        return self._client.push_nodes(
+            shard_id, [(digest.raw, data) for digest, data in pairs])
+
+    def publish_head(self, branch: str, roots: Sequence[Optional[Digest]],
+                     expected: Optional[Digest], message: str) -> None:
+        """``PUSH_NODES(publish=True)``: the CAS head move on the server."""
+        self._client.publish_head(
+            branch,
+            [None if root is None else root.raw for root in roots],
+            None if expected is None else expected.raw,
+            message=message)

@@ -1,0 +1,69 @@
+"""Diffs against the empty version: complete, symmetric, and read-only.
+
+Replication pulls a blank replica up to date by diffing a populated root
+against ``None``, so the ``iterate_diff`` edge where one side is the
+empty version must behave exactly like any other diff — and, because
+sync runs it on *read* paths, it must never write to the node store
+(MBT's cached empty bucket used to be materialized on first use, which
+turned a read-only diff into a store mutation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.memory import InMemoryNodeStore
+from tests.conftest import SIRI_INDEXES, build_index
+
+DATASET = {f"key{i:03d}".encode(): f"value{i}".encode() for i in range(120)}
+
+
+@pytest.fixture(params=SIRI_INDEXES, ids=lambda cls: cls.name)
+def tree(request):
+    return build_index(request.param, InMemoryNodeStore())
+
+
+class TestEmptySideDiff:
+    def test_empty_to_populated_lists_every_entry_as_added(self, tree):
+        snap = tree.from_items(DATASET)
+        entries = {key: (left, right)
+                   for key, left, right
+                   in tree.iterate_diff(None, snap.root_digest)}
+        assert entries == {key: (None, value) for key, value in DATASET.items()}
+
+    def test_populated_to_empty_lists_every_entry_as_removed(self, tree):
+        snap = tree.from_items(DATASET)
+        entries = {key: (left, right)
+                   for key, left, right
+                   in tree.iterate_diff(snap.root_digest, None)}
+        assert entries == {key: (value, None) for key, value in DATASET.items()}
+
+    def test_empty_to_empty_is_empty(self, tree):
+        assert list(tree.iterate_diff(None, None)) == []
+
+    def test_empty_side_diff_never_writes_to_the_store(self, tree):
+        """The bug this file pins down: diffing must be read-only.
+
+        A fresh index instance over the populated store simulates sync's
+        parser-side usage — no warm caches, nothing pre-materialized.
+        """
+        snap = tree.from_items(DATASET)
+        reader = build_index(type(tree), tree.store)
+        before = set(tree.store.digests())
+        list(reader.iterate_diff(None, snap.root_digest))
+        list(reader.iterate_diff(snap.root_digest, None))
+        list(reader.iterate_diff(None, None))
+        assert set(tree.store.digests()) == before
+
+    def test_empty_diff_matches_update_diff(self, tree):
+        """Empty-side diffs agree with the ordinary two-version diff."""
+        snap = tree.from_items(DATASET)
+        grown = snap.update({b"brand-new": b"entry"})
+        via_empty = {key: right
+                     for key, _, right
+                     in tree.iterate_diff(None, grown.root_digest)}
+        assert via_empty == {**DATASET, b"brand-new": b"entry"}
+        incremental = {key: (left, right)
+                       for key, left, right
+                       in tree.iterate_diff(snap.root_digest, grown.root_digest)}
+        assert incremental == {b"brand-new": (None, b"entry")}

@@ -1,0 +1,221 @@
+"""Property suite: partitioned replicas converge after anti-entropy sync.
+
+The replication claim ``Repository.sync`` has to uphold: take N replicas
+of one repository, partition them, let each take arbitrary concurrent
+writes, then heal by pairwise syncing — every replica ends at the *same*
+branch heads (equal content digests and shard roots) holding the *same*
+records, on all three SIRI index families.  Alongside convergence the
+suite pins the cheaper invariants sync's efficiency rests on: a second
+sync moves zero nodes (idempotence), heal order does not change the
+converged content (the conflict resolver is symmetric, so merges
+commute), and a blank replica's catch-up reproduces the source
+byte-identically.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import Repository
+from tests.conftest import SIRI_INDEXES, build_index
+
+NUM_SHARDS = 3
+
+SEED_DATA = {f"seed{i:02d}".encode(): f"value{i}".encode() for i in range(20)}
+
+
+def make_repo(index_class):
+    """A small in-memory repository over ``index_class`` shards."""
+    repo = Repository.open(
+        index_factory=lambda store: build_index(index_class, store),
+        num_shards=NUM_SHARDS)
+    return repo.__enter__()
+
+
+def lexmax(conflict):
+    """The symmetric resolver convergence needs: greatest value wins.
+
+    Deterministic and side-agnostic — both replicas of a conflicting pair
+    pick the same winner no matter which of them runs the merge — which
+    is what makes pairwise merges commute and heal order irrelevant.
+    """
+    candidates = [value for value in (conflict.ours, conflict.theirs)
+                  if value is not None]
+    return max(candidates) if candidates else None
+
+
+def seeded_replicas(index_class, count):
+    """``count`` replicas sharing the same seeded history."""
+    replicas = [make_repo(index_class) for _ in range(count)]
+    replicas[0].import_data(SEED_DATA, message="seed")
+    for replica in replicas[1:]:
+        replica.sync(replicas[0])
+    return replicas
+
+
+def apply_partition_writes(replica, batch):
+    """One replica's concurrent writes: ``{key: value-or-None(=remove)}``."""
+    branch = replica.default_branch
+    for key, value in batch.items():
+        if value is None:
+            branch.remove(key)
+        else:
+            branch.put(key, value)
+    branch.commit("partition writes")
+
+
+def heal(replicas, pairs):
+    """Pairwise anti-entropy rounds over ``pairs`` of replica indexes."""
+    for left, right in pairs:
+        replicas[left].sync(replicas[right], resolver=lexmax)
+
+
+def assert_converged(replicas):
+    """Equal heads (content digest + every shard root) and equal records."""
+    reference = replicas[0].service.branch_head("main")
+    reference_items = dict(replicas[0].branch("main").items())
+    for replica in replicas[1:]:
+        head = replica.service.branch_head("main")
+        assert head.digest == reference.digest
+        assert head.roots == reference.roots
+        assert dict(replica.branch("main").items()) == reference_items
+
+
+def expected_content(batches):
+    """The converged records the lexmax resolver must produce.
+
+    A key nobody effectively changed keeps its seed value; a key changed
+    by exactly one replica takes that change; a key changed by several
+    takes the greatest written value, or disappears when every change
+    was a removal.
+    """
+    changes = {}
+    for batch in batches:
+        for key, value in batch.items():
+            if value != SEED_DATA.get(key):
+                changes.setdefault(key, []).append(value)
+    expected = dict(SEED_DATA)
+    for key, values in changes.items():
+        written = [value for value in values if value is not None]
+        if written:
+            expected[key] = max(written)
+        else:
+            expected.pop(key, None)
+    return expected
+
+
+# A deliberately tiny keyspace: three replicas writing 0-6 keys each out
+# of ~26 guarantees plenty of overlapping (conflicting) writes.
+partition_keys = st.one_of(
+    st.sampled_from(sorted(SEED_DATA)),
+    st.binary(min_size=1, max_size=3))
+partition_values = st.one_of(st.none(), st.binary(min_size=0, max_size=12))
+partition_batches = st.lists(
+    st.dictionaries(partition_keys, partition_values, max_size=6),
+    min_size=3, max_size=3)
+
+
+@pytest.mark.parametrize("index_class", SIRI_INDEXES, ids=lambda c: c.name)
+class TestPartitionHeal:
+    @given(batches=partition_batches)
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture,
+                                     HealthCheck.too_slow])
+    def test_concurrent_writes_converge_after_pairwise_heal(
+            self, index_class, batches):
+        replicas = seeded_replicas(index_class, 3)
+        try:
+            for replica, batch in zip(replicas, batches):
+                apply_partition_writes(replica, batch)
+            # A ring of pairwise sessions: (0,1) settles those two, (1,2)
+            # folds in the third, (0,1) carries the result back.
+            heal(replicas, [(0, 1), (1, 2), (0, 1)])
+            assert_converged(replicas)
+            assert (dict(replicas[0].branch("main").items())
+                    == expected_content(batches))
+        finally:
+            for replica in replicas:
+                replica.close()
+
+    @given(batches=partition_batches)
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture,
+                                     HealthCheck.too_slow])
+    def test_heal_order_does_not_change_the_converged_content(
+            self, index_class, batches):
+        """Merges commute: two heal schedules, one converged digest."""
+        first = seeded_replicas(index_class, 3)
+        second = seeded_replicas(index_class, 3)
+        try:
+            for group in (first, second):
+                for replica, batch in zip(group, batches):
+                    apply_partition_writes(replica, batch)
+            heal(first, [(0, 1), (1, 2), (0, 1)])
+            heal(second, [(1, 2), (0, 2), (1, 2)])
+            assert_converged(first)
+            assert_converged(second)
+            assert (first[0].service.branch_head("main").digest
+                    == second[0].service.branch_head("main").digest)
+        finally:
+            for replica in first + second:
+                replica.close()
+
+
+@pytest.mark.parametrize("index_class", SIRI_INDEXES, ids=lambda c: c.name)
+class TestSyncInvariants:
+    def test_blank_replica_catchup_is_byte_identical(self, index_class):
+        source = make_repo(index_class)
+        blank = make_repo(index_class)
+        try:
+            source.import_data(SEED_DATA, message="seed")
+            source.create_branch("feature")
+            source.branch("feature").put(b"feature-key", b"feature-value")
+            source.branch("feature").commit("feature work")
+
+            report = blank.sync(source)
+            assert {r.branch: r.action for r in report.branches} == {
+                "main": "created_local", "feature": "created_local"}
+            for branch in ("main", "feature"):
+                ours = blank.service.branch_head(branch)
+                theirs = source.service.branch_head(branch)
+                assert ours.digest == theirs.digest
+                assert ours.roots == theirs.roots
+                assert (dict(blank.branch(branch).items())
+                        == dict(source.branch(branch).items()))
+        finally:
+            source.close()
+            blank.close()
+
+    def test_second_sync_transfers_zero_nodes(self, index_class):
+        source = make_repo(index_class)
+        replica = make_repo(index_class)
+        try:
+            source.import_data(SEED_DATA, message="seed")
+            first = replica.sync(source)
+            assert first.total_nodes > 0
+            second = replica.sync(source)
+            assert second.total_nodes == 0
+            assert all(r.action == "in_sync" for r in second.branches)
+        finally:
+            source.close()
+            replica.close()
+
+    def test_sync_traffic_scales_with_the_delta(self, index_class):
+        """After catch-up, a small write syncs in a few nodes, not a reload."""
+        source = make_repo(index_class)
+        replica = make_repo(index_class)
+        try:
+            source.import_data(
+                {f"bulk{i:04d}".encode(): b"x" * 32 for i in range(400)},
+                message="bulk")
+            full = replica.sync(source)
+            source.default_branch.put(b"bulk0000", b"changed")
+            source.default_branch.commit("one change")
+            delta = replica.sync(source)
+            assert delta.total_nodes > 0
+            assert delta.total_nodes < full.total_nodes / 4
+        finally:
+            source.close()
+            replica.close()

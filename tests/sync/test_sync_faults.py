@@ -1,0 +1,309 @@
+"""Fault suite: sync survives dead links, lying peers, and crashed replicas.
+
+Anti-entropy only earns its keep when the network is misbehaving, so
+this suite attacks a sync session at every seam: the link dies at every
+single source-operation boundary (heads, probes, fetches, pushes, the
+head publish itself), the peer lies (corrupted node bytes, short
+answers), and the replica crashes mid-catch-up over a durable directory
+and resumes cold.  The invariants under attack:
+
+* a failed session never moves a branch head, on either side;
+* a lying peer raises — corrupted bytes never land in the store;
+* a resumed session converges, and never re-pays bandwidth for the
+  subtrees that landed (and flushed) before the failure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Repository
+from repro.core.errors import ReproError, SyncError, SyncIntegrityError
+from repro.sync import LocalSyncSource, SyncSource
+from tests.conftest import SIRI_INDEXES, build_index
+
+NUM_SHARDS = 3
+
+DATASET = {f"key{i:03d}".encode(): f"value{i:03d}".encode() for i in range(60)}
+
+
+def make_repo(index_class, directory=None):
+    repo = Repository.open(
+        directory,
+        index_factory=lambda store: build_index(index_class, store),
+        num_shards=NUM_SHARDS)
+    return repo.__enter__()
+
+
+class FlakySource(SyncSource):
+    """A peer whose link dies after a budget of operations.
+
+    Delegates every :class:`~repro.sync.SyncSource` method to ``inner``,
+    counting each call; once ``fail_after`` operations have gone through,
+    the next one raises :class:`ConnectionError` — the link is down.
+    ``fail_after=None`` never fails (used to count a session's
+    operations so the kill tests can enumerate every boundary).
+    """
+
+    def __init__(self, inner: SyncSource, fail_after=None):
+        self._inner = inner
+        self._fail_after = fail_after
+        self.ops = 0
+
+    def _link(self):
+        if self._fail_after is not None and self.ops >= self._fail_after:
+            raise ConnectionError("injected link failure")
+        self.ops += 1
+
+    def num_shards(self):
+        self._link()
+        return self._inner.num_shards()
+
+    def branch_states(self):
+        self._link()
+        return self._inner.branch_states()
+
+    def missing_digests(self, shard_id, digests):
+        self._link()
+        return self._inner.missing_digests(shard_id, digests)
+
+    def fetch_nodes(self, shard_id, digests):
+        self._link()
+        return self._inner.fetch_nodes(shard_id, digests)
+
+    def push_nodes(self, shard_id, pairs):
+        self._link()
+        return self._inner.push_nodes(shard_id, pairs)
+
+    def publish_head(self, branch, roots, expected, message):
+        self._link()
+        return self._inner.publish_head(branch, roots, expected, message)
+
+
+class CorruptingSource(FlakySource):
+    """A lying peer: every fetched node comes back with flipped bytes."""
+
+    def fetch_nodes(self, shard_id, digests):
+        pairs = super().fetch_nodes(shard_id, digests)
+        return [(digest, data[:-1] + bytes([data[-1] ^ 0xFF]))
+                for digest, data in pairs]
+
+
+class ShortAnswerSource(FlakySource):
+    """A broken peer: fetch answers silently drop the last node."""
+
+    def fetch_nodes(self, shard_id, digests):
+        return super().fetch_nodes(shard_id, digests)[:-1]
+
+
+def count_session_ops(index_class, *, push: bool) -> int:
+    """How many source operations one clean blank-replica session takes."""
+    source = make_repo(index_class)
+    replica = make_repo(index_class)
+    try:
+        populated, blank = (replica, source) if push else (source, replica)
+        populated.import_data(DATASET, message="seed")
+        flaky = FlakySource(LocalSyncSource(source))
+        replica.sync(flaky)
+        return flaky.ops
+    finally:
+        source.close()
+        replica.close()
+
+
+@pytest.mark.parametrize("index_class", SIRI_INDEXES, ids=lambda c: c.name)
+class TestLinkDeath:
+    def test_pull_killed_at_every_boundary_then_recovers(self, index_class):
+        """The link dies at op k, for every k: no head moves, resync heals.
+
+        Along the way at least one boundary must demonstrate the resume
+        saving — the retry after a mid-catch-up kill re-transfers fewer
+        nodes than the full catch-up, because the shards imported (and
+        flushed) before the failure prune the retry's frontier.
+        """
+        total_ops = count_session_ops(index_class, push=False)
+        baseline = None
+        saved_bandwidth = False
+        for boundary in range(total_ops):
+            source = make_repo(index_class)
+            replica = make_repo(index_class)
+            try:
+                source.import_data(DATASET, message="seed")
+                flaky = FlakySource(LocalSyncSource(source),
+                                    fail_after=boundary)
+                with pytest.raises(ConnectionError):
+                    replica.sync(flaky)
+                # Nodes may have landed; the branch head must not have.
+                assert "main" not in replica.service.branches()
+
+                report = replica.sync(source)
+                if baseline is None:
+                    baseline = report.total_nodes
+                assert report.total_nodes <= baseline
+                if 0 < report.total_nodes < baseline:
+                    saved_bandwidth = True
+                head = replica.service.branch_head("main")
+                assert head.digest == source.service.branch_head("main").digest
+                assert dict(replica.branch("main").items()) == DATASET
+            finally:
+                source.close()
+                replica.close()
+        assert saved_bandwidth
+
+    def test_push_killed_at_every_boundary_then_recovers(self, index_class):
+        total_ops = count_session_ops(index_class, push=True)
+        for boundary in range(total_ops):
+            local = make_repo(index_class)
+            remote = make_repo(index_class)
+            try:
+                local.import_data(DATASET, message="seed")
+                flaky = FlakySource(LocalSyncSource(remote),
+                                    fail_after=boundary)
+                with pytest.raises(ConnectionError):
+                    local.sync(flaky)
+                assert "main" not in remote.service.branches()
+                assert (local.service.branch_head("main").digest
+                        is not None)
+
+                local.sync(remote)
+                assert (remote.service.branch_head("main").digest
+                        == local.service.branch_head("main").digest)
+                assert dict(remote.branch("main").items()) == DATASET
+            finally:
+                local.close()
+                remote.close()
+
+
+@pytest.mark.parametrize("index_class", SIRI_INDEXES, ids=lambda c: c.name)
+class TestLyingPeer:
+    def test_corrupted_nodes_raise_and_never_land(self, index_class):
+        source = make_repo(index_class)
+        replica = make_repo(index_class)
+        try:
+            source.import_data(DATASET, message="seed")
+            with pytest.raises(SyncIntegrityError):
+                replica.sync(CorruptingSource(LocalSyncSource(source)))
+            # Nothing from the liar reached the store: every advertised
+            # root is still missing locally, and no head was created.
+            assert "main" not in replica.service.branches()
+            head = source.service.branch_head("main")
+            for shard_id, root in enumerate(head.roots):
+                if root is not None:
+                    assert replica.service.shard_missing_digests(
+                        shard_id, [root]) == [root]
+
+            # An honest session afterwards still converges.
+            replica.sync(source)
+            assert (replica.service.branch_head("main").digest
+                    == head.digest)
+        finally:
+            source.close()
+            replica.close()
+
+    def test_short_answers_raise_sync_error(self, index_class):
+        source = make_repo(index_class)
+        replica = make_repo(index_class)
+        try:
+            source.import_data(DATASET, message="seed")
+            with pytest.raises(SyncError):
+                replica.sync(ShortAnswerSource(LocalSyncSource(source)))
+            assert "main" not in replica.service.branches()
+        finally:
+            source.close()
+            replica.close()
+
+
+@pytest.mark.parametrize("index_class", SIRI_INDEXES, ids=lambda c: c.name)
+class TestCrashAndResume:
+    def test_durable_replica_resumes_after_crash(self, index_class, tmp_path):
+        """Kill the link late in a catch-up, crash the replica process
+        (close + reopen the durable directory), resync: the retry
+        converges and re-transfers strictly fewer nodes than the full
+        catch-up — the flushed shards survived the crash.
+        """
+        total_ops = count_session_ops(index_class, push=False)
+        source = make_repo(index_class)
+        replica = make_repo(index_class, str(tmp_path / "replica"))
+        try:
+            source.import_data(DATASET, message="seed")
+            flaky = FlakySource(LocalSyncSource(source),
+                                fail_after=total_ops - 1)
+            with pytest.raises(ConnectionError):
+                replica.sync(flaky)
+            assert "main" not in replica.service.branches()
+        finally:
+            replica.close()
+
+        baseline = None
+        fresh = make_repo(index_class)
+        try:
+            baseline = fresh.sync(source).total_nodes
+        finally:
+            fresh.close()
+
+        replica = make_repo(index_class, str(tmp_path / "replica"))
+        try:
+            resumed = replica.sync(source)
+            assert 0 < resumed.total_nodes < baseline
+            assert (replica.service.branch_head("main").digest
+                    == source.service.branch_head("main").digest)
+            assert dict(replica.branch("main").items()) == DATASET
+        finally:
+            source.close()
+            replica.close()
+
+
+class TestWireDeath:
+    """The same recovery story over a real socket: server dies, restarts."""
+
+    def test_server_restart_mid_replication(self, index_class=None):
+        from repro.server.client import RemoteRepository
+        from repro.server.server import RepositoryServer, ServerThread
+        from repro.service import VersionedKVService
+
+        def factory(store):
+            return build_index(SIRI_INDEXES[0], store)
+
+        service = VersionedKVService(factory, num_shards=NUM_SHARDS,
+                                     batch_size=16)
+        replica = make_repo(SIRI_INDEXES[0])
+        try:
+            for key, value in DATASET.items():
+                service.put(key, value)
+            service.commit("seed")
+
+            server = RepositoryServer(service)
+            thread = ServerThread(server)
+            thread.start()
+            host, port = server.address
+            with RemoteRepository(host, port, timeout=10.0) as client:
+                replica.sync(client)
+            thread.stop()
+            assert dict(replica.branch("main").items()) == DATASET
+
+            # The server is gone: the next session fails loudly and the
+            # replica's head stays where the completed session left it.
+            head_before = replica.service.branch_head("main").digest
+            with RemoteRepository(host, port, timeout=2.0,
+                                  retries=0) as client:
+                with pytest.raises((ReproError, OSError)):
+                    replica.sync(client)
+            assert replica.service.branch_head("main").digest == head_before
+
+            # Restart (same service, new socket): replication resumes.
+            service.put(b"after-restart", b"yes")
+            service.commit("more")
+            server = RepositoryServer(service)
+            thread = ServerThread(server)
+            thread.start()
+            host, port = server.address
+            try:
+                with RemoteRepository(host, port, timeout=10.0) as client:
+                    report = replica.sync(client)
+                assert [r.action for r in report.branches] == ["pulled"]
+                assert replica.branch("main").get(b"after-restart") == b"yes"
+            finally:
+                thread.stop()
+        finally:
+            replica.close()
+            service.close()
