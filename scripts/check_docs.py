@@ -36,6 +36,7 @@ MARKDOWN_FILES = [
     "docs/STORAGE.md",
     "docs/SERVER.md",
     "docs/SYNC.md",
+    "docs/QUERY.md",
     "docs/PAPER_MAP.md",
     "benchmarks/README.md",
 ]
@@ -62,6 +63,10 @@ FULL_COVERAGE_MODULES = [
     "src/repro/service/service.py",
     "src/repro/service/engine.py",
     "src/repro/service/process.py",
+    "src/repro/query/__init__.py",
+    "src/repro/query/definition.py",
+    "src/repro/query/feed.py",
+    "src/repro/query/view.py",
     "src/repro/server/__init__.py",
     "src/repro/server/server.py",
     "src/repro/server/client.py",

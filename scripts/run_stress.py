@@ -40,6 +40,8 @@ DEFAULT_TESTS = [
     "tests/server/test_backpressure.py",
     "tests/sync/test_convergence.py",
     "tests/sync/test_sync_faults.py",
+    "tests/query/test_query_differential.py",
+    "tests/query/test_feed.py",
 ]
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 

@@ -16,7 +16,10 @@ engine with a Noms-style Prolly Tree for the system comparison, a
 benchmark harness regenerating every figure and table of the evaluation,
 and a network front door — :class:`RepositoryServer` plus the pooled
 :class:`RemoteRepository` client (``docs/SERVER.md``) — serving the
-repository over a length-prefixed binary wire protocol.
+repository over a length-prefixed binary wire protocol, and a query
+layer (:mod:`repro.query`): versioned secondary indexes maintained in
+the same commit as the primary data plus resumable exactly-once change
+feeds (``docs/QUERY.md``).
 
 The public surface — the repository API
 ---------------------------------------
@@ -96,6 +99,13 @@ from repro.service import (
     ServiceSnapshot,
 )
 from repro.hashing.digest import Digest
+from repro.query import (
+    ChangeEvent,
+    FeedCursor,
+    IndexDefinition,
+    MaterializedCountView,
+    Subscription,
+)
 from repro.indexes import (
     ALL_INDEX_CLASSES,
     MVMBTree,
@@ -210,6 +220,12 @@ __all__ = [
     "ServiceSnapshot",
     "ServiceCommit",
     "ServiceMetrics",
+    # query layer (secondary indexes and change feeds)
+    "IndexDefinition",
+    "Subscription",
+    "ChangeEvent",
+    "FeedCursor",
+    "MaterializedCountView",
     # network front door
     "RepositoryServer",
     "RemoteRepository",

@@ -26,7 +26,9 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, TYP
 from repro.core.diff import DiffResult
 from repro.core.errors import InvalidParameterError, KeyNotFoundError, TransactionConflictError
 from repro.core.interfaces import KeyLike, ValueLike, coerce_key, coerce_value
+from repro.core.proof import MerkleProof
 from repro.hashing.digest import Digest
+from repro.query.definition import IndexDefinition, encode_posting_key
 from repro.service.service import ServiceCommit, ServiceSnapshot
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -58,6 +60,118 @@ def route_staged_ops(service, staged: StagedOps):
         else:
             puts_by_shard[shard_id][key] = value
     return puts_by_shard, removes_by_shard
+
+
+def prefix_upper_bound(prefix: bytes) -> Optional[bytes]:
+    """The smallest key greater than every key starting with ``prefix``.
+
+    Used to turn a prefix constraint into an exclusive ``stop`` bound for
+    range-pruned scans.  ``None`` when no such key exists (the prefix is
+    empty or all ``0xFF`` bytes — the range is unbounded above).
+    """
+    for position in range(len(prefix) - 1, -1, -1):
+        if prefix[position] != 0xFF:
+            return prefix[:position] + bytes([prefix[position] + 1])
+    return None
+
+
+def committed_postings(service, commit: Optional[ServiceCommit],
+                       definition: IndexDefinition,
+                       index_key: bytes) -> Optional[List[Tuple[bytes, bytes]]]:
+    """``(primary_key, value)`` pairs under ``index_key`` in ``commit``.
+
+    Answered entirely from the commit's covering posting trees — one
+    pruned contiguous scan, no primary-tree reads.  Returns ``None``
+    when the commit has no posting roots for the index (it predates
+    registration) — the caller falls back to a scan-filter.  An unborn
+    branch (``commit is None``) has no records, so ``[]``.
+    """
+    if commit is None:
+        return []
+    roots = commit.index_root_map().get(definition.name)
+    if roots is None:
+        return None
+    return service.index_lookup(roots, index_key)
+
+
+def committed_posting_triples(
+        service, commit: Optional[ServiceCommit],
+        definition: IndexDefinition,
+        lo: Optional[bytes],
+        hi: Optional[bytes]) -> Optional[List[Tuple[bytes, bytes, bytes]]]:
+    """``(index_key, primary_key, value)`` triples with ``lo <= index_key < hi``.
+
+    Same fallback contract as :func:`committed_postings`: ``None`` means
+    the commit carries no posting roots for this index.
+    """
+    if commit is None:
+        return []
+    roots = commit.index_root_map().get(definition.name)
+    if roots is None:
+        return None
+    return service.index_range(roots, lo, hi)
+
+
+def lookup_with_overlay(service, definition: IndexDefinition, index_key: bytes,
+                        commit: Optional[ServiceCommit], snapshot: ServiceSnapshot,
+                        staged: StagedOps) -> List[Tuple[bytes, bytes]]:
+    """Secondary-index lookup over a committed view plus a staging buffer.
+
+    Committed matches come straight from the commit's covering posting
+    trees (or, for commits predating the index, a scan-filter over the
+    snapshot); the staging buffer then overlays them exactly like
+    primary reads: staged removals and overwrites drop the committed
+    match, staged values whose extracted keys include ``index_key`` add
+    one.  Returns sorted ``(primary_key, value)`` pairs.
+    """
+    committed = committed_postings(service, commit, definition, index_key)
+    if committed is None:
+        committed = [(key, value) for key, value in snapshot.items()
+                     if index_key in definition.keys_for(value)]
+    results = [(key, value) for key, value in committed if key not in staged]
+    for key, value in staged.items():
+        if value is not None and index_key in definition.keys_for(value):
+            results.append((key, value))
+    results.sort()
+    return results
+
+
+def range_with_overlay(service, definition: IndexDefinition,
+                       lo: Optional[bytes], hi: Optional[bytes],
+                       commit: Optional[ServiceCommit], snapshot: ServiceSnapshot,
+                       staged: StagedOps) -> List[Tuple[bytes, bytes, bytes]]:
+    """Secondary-index range query with staged overlay.
+
+    Returns sorted ``(index_key, primary_key, value)`` triples for every
+    effective record whose extracted keys intersect ``[lo, hi)`` —
+    committed covering postings first (one pruned range scan), then the
+    staging buffer's adds/overrides, mirroring
+    :func:`lookup_with_overlay`.
+    """
+    triples = committed_posting_triples(service, commit, definition, lo, hi)
+    if triples is None:
+        triples = []
+        for key, value in snapshot.items():
+            for index_key in definition.keys_for(value):
+                if lo is not None and index_key < lo:
+                    continue
+                if hi is not None and index_key >= hi:
+                    continue
+                triples.append((index_key, key, value))
+        triples.sort()
+    results = [(index_key, key, value) for index_key, key, value in triples
+               if key not in staged]
+    for key, value in staged.items():
+        if value is None:
+            continue
+        for index_key in definition.keys_for(value):
+            if lo is not None and index_key < lo:
+                continue
+            if hi is not None and index_key >= hi:
+                continue
+            results.append((index_key, key, value))
+    results.sort()
+    return results
 
 
 def overlay_items(committed: Iterator[Tuple[bytes, bytes]],
@@ -191,27 +305,36 @@ class Branch:
              prefix: Optional[KeyLike] = None) -> Iterator[Tuple[bytes, bytes]]:
         """Iterate ``(key, value)`` pairs in ascending key order.
 
-        ``start`` (inclusive) / ``stop`` (exclusive) bound the range;
-        ``prefix`` restricts to keys with that prefix.  Staged operations
-        are overlaid on the committed state, like :meth:`get`.
+        Bound contract (pinned — every index family and both shard
+        backends behave identically): ``start`` is **inclusive**,
+        ``stop`` is **exclusive** — keys satisfy ``start <= key < stop``
+        — and ``None`` leaves that end open.  ``prefix`` restricts to
+        keys beginning with those bytes and composes with the bounds
+        (it is folded into them: ``prefix <= key < prefix+1``).
+
+        Staged operations are overlaid on the committed state, like
+        :meth:`get`.  The committed stream is range-pruned per shard
+        (:meth:`~repro.core.interfaces.SIRIIndex.iterate_range`), so a
+        narrow scan costs the range, not the dataset.
         """
-        start_bytes = coerce_key(start) if start is not None else None
-        stop_bytes = coerce_key(stop) if stop is not None else None
-        prefix_bytes = coerce_key(prefix) if prefix is not None else None
+        lo = coerce_key(start) if start is not None else None
+        hi = coerce_key(stop) if stop is not None else None
+        if prefix is not None:
+            prefix_bytes = coerce_key(prefix)
+            if lo is None or lo < prefix_bytes:
+                lo = prefix_bytes
+            upper = prefix_upper_bound(prefix_bytes)
+            if upper is not None and (hi is None or upper < hi):
+                hi = upper
         with self._lock:
             staged = dict(self._staged)
-        for key, value in overlay_items(self.snapshot().items(), staged):
-            if start_bytes is not None and key < start_bytes:
+        for key, value in overlay_items(self.snapshot().items_range(lo, hi), staged):
+            # The committed stream honours the bounds already; re-checking
+            # here filters the staged overlay (whose keys are unbounded).
+            if lo is not None and key < lo:
                 continue
-            if stop_bytes is not None and key >= stop_bytes:
+            if hi is not None and key >= hi:
                 return
-            if prefix_bytes is not None:
-                if key.startswith(prefix_bytes):
-                    yield key, value
-                elif key > prefix_bytes and not key.startswith(prefix_bytes):
-                    # Keys are ordered: once past the prefix range, stop.
-                    return
-                continue
             yield key, value
 
     def items(self) -> Iterator[Tuple[bytes, bytes]]:
@@ -226,6 +349,81 @@ class Branch:
     def to_dict(self) -> Dict[bytes, bytes]:
         """Materialize the branch's effective content as a dictionary."""
         return dict(self.scan())
+
+    # -- secondary-index queries -------------------------------------------
+
+    def _resolve_index(self, index) -> IndexDefinition:
+        """Map an index name (or definition) to its registered definition."""
+        name = index.name if isinstance(index, IndexDefinition) else index
+        definition = self._service.index_definitions().get(name)
+        if definition is None:
+            raise InvalidParameterError(
+                f"no secondary index named {name!r} is registered "
+                "(Repository.register_index)")
+        return definition
+
+    def lookup(self, index, key: KeyLike) -> List[Tuple[bytes, bytes]]:
+        """Records filed under index key ``key`` by secondary index ``index``.
+
+        Returns sorted ``(primary_key, value)`` pairs.  Committed matches
+        are answered from the head commit's posting trees — a pruned
+        range scan, no primary-data walk — and the staging buffer is
+        overlaid exactly like primary reads (:meth:`get`): staged
+        removals and overwrites hide committed matches, staged values
+        whose extracted keys include ``key`` appear.  Head commits
+        predating the index registration fall back to a scan-filter, so
+        the answer is always exact.
+        """
+        definition = self._resolve_index(index)
+        index_key = coerce_key(key)
+        with self._lock:
+            staged = dict(self._staged)
+        return lookup_with_overlay(self._service, definition, index_key,
+                                   self.head, self.snapshot(), staged)
+
+    def range(self, index, lo: Optional[KeyLike] = None,
+              hi: Optional[KeyLike] = None) -> List[Tuple[bytes, bytes, bytes]]:
+        """Records whose index keys fall in ``[lo, hi)`` under ``index``.
+
+        Bound contract matches :meth:`scan`: ``lo`` inclusive, ``hi``
+        exclusive, ``None`` = open end — over *index* keys, not primary
+        keys.  Returns sorted ``(index_key, primary_key, value)`` triples
+        with the staged overlay applied (see :meth:`lookup`).
+        """
+        definition = self._resolve_index(index)
+        lo_bytes = coerce_key(lo) if lo is not None else None
+        hi_bytes = coerce_key(hi) if hi is not None else None
+        with self._lock:
+            staged = dict(self._staged)
+        return range_with_overlay(self._service, definition, lo_bytes, hi_bytes,
+                                  self.head, self.snapshot(), staged)
+
+    def prove_posting(self, index, key: KeyLike, primary_key: KeyLike) -> MerkleProof:
+        """A Merkle proof that ``primary_key`` is posted under index key ``key``.
+
+        The proof anchors to the branch's **committed head**: its top
+        step hashes to the posting root recorded (and digest-mixed) by
+        the head commit —
+        ``head.index_root_map()[name][service.shard_of(primary_key)]`` —
+        so a verifier holding the commit can check the posting without
+        trusting this process.  Staged operations are unprovable (raise
+        after :meth:`commit`); a head predating the index registration
+        has no posting roots and raises
+        :class:`~repro.core.errors.InvalidParameterError`.
+        """
+        definition = self._resolve_index(index)
+        index_key = coerce_key(key)
+        primary = coerce_key(primary_key)
+        head = self.head
+        roots = (head.index_root_map().get(definition.name)
+                 if head is not None else None)
+        if roots is None:
+            raise InvalidParameterError(
+                f"branch {self.name!r} has no committed posting roots for "
+                f"index {definition.name!r}; commit first")
+        shard_id = self._service.shard_of(primary)
+        view = self._service.snapshot_roots(roots).shards[shard_id]
+        return view.prove(encode_posting_key(index_key, primary))
 
     # -- committing --------------------------------------------------------
 

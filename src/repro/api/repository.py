@@ -44,6 +44,7 @@ from repro.core.diff import DiffResult
 from repro.core.errors import InvalidParameterError
 from repro.core.version import UnknownBranchError, VersionGraph
 from repro.indexes.pos_tree import POSTree
+from repro.query.definition import IndexDefinition
 from repro.service.service import ServiceCommit, ServiceSnapshot, VersionedKVService
 from repro.storage.store import NodeStore
 
@@ -229,6 +230,60 @@ class Repository:
         """
         name = branch if branch is not None else self._service.default_branch
         return self._get_branch(name, create=True).load(items, message=message)
+
+    # -- the query layer: secondary indexes and change feeds -----------------
+
+    def register_index(self, definition: Union[IndexDefinition, str],
+                       extractor=None) -> IndexDefinition:
+        """Register a secondary index over every branch of this repository.
+
+        Pass an :class:`~repro.query.definition.IndexDefinition`, or a
+        name plus extractor (``register_index("author", by_author)``) to
+        build one inline.  Existing content is bulk-indexed on the spot;
+        from then on every commit maintains the index's posting trees
+        incrementally from its own delta and journals their roots next to
+        the primary roots — queries (:meth:`Branch.lookup`,
+        :meth:`Branch.range`), forks, merges, crash recovery and garbage
+        collection all follow the commits.
+
+        Definitions are code, not data: a fresh process re-registers its
+        indexes after opening (commits journalled while registered stay
+        queryable through their recorded roots either way).  Returns the
+        registered definition.
+        """
+        if not isinstance(definition, IndexDefinition):
+            definition = IndexDefinition(definition, extractor)
+        elif extractor is not None:
+            raise InvalidParameterError(
+                "pass either an IndexDefinition or (name, extractor), not both")
+        self._service.register_index(definition)
+        return definition
+
+    def indexes(self) -> Dict[str, IndexDefinition]:
+        """The registered secondary indexes, by name."""
+        return self._service.index_definitions()
+
+    def subscribe(self, branch: Optional[str] = None, *,
+                  from_commit: Optional[int] = None,
+                  filter=None):
+        """A change feed over a branch's commit history.
+
+        Returns a :class:`~repro.query.feed.Subscription` replaying the
+        branch's first-parent chain as ordered key-level change events
+        (one per changed key per commit, computed by structural diff),
+        starting after ``from_commit`` (``None`` = from the branch's
+        beginning).  ``filter`` narrows events to matching keys: a
+        ``bytes``/``str`` prefix, or any callable ``key -> bool``.
+        Consume with :meth:`~repro.query.feed.Subscription.poll` (or
+        iterate); the cursor is explicit and resumable, so a reader can
+        stop, restart — in a new process, or over the wire — and continue
+        exactly-once from where it left off.
+        """
+        # Imported lazily: repro.query.feed types against this module's
+        # classes in its annotations, so a module-level import would cycle.
+        from repro.query.feed import Subscription
+        name = branch if branch is not None else self._service.default_branch
+        return Subscription(self, name, from_commit=from_commit, filter=filter)
 
     # -- history and merging -----------------------------------------------
 

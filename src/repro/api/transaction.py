@@ -45,7 +45,13 @@ from repro.core.errors import (
 from repro.core.interfaces import KeyLike, ValueLike, coerce_key, coerce_value
 from repro.service.service import ServiceCommit
 
-from repro.api.branch import Branch, StagedOps, overlay_items
+from repro.api.branch import (
+    Branch,
+    StagedOps,
+    lookup_with_overlay,
+    overlay_items,
+    range_with_overlay,
+)
 
 
 class Transaction:
@@ -74,6 +80,9 @@ class Transaction:
         self.base_version: Optional[int] = head.version if head is not None else None
         service = branch.repository.service
         base_roots = branch.roots
+        #: The pinned base commit (None for an unborn branch); secondary
+        #: -index reads resolve against its journalled posting roots.
+        self._base_commit: Optional[ServiceCommit] = head
         self._base_snapshot = service.snapshot_roots(base_roots)
         # Pin the base view against GC: the snapshot-isolation promise
         # must hold even if the branch churns past the retention window
@@ -129,6 +138,37 @@ class Transaction:
             if stop_bytes is not None and key >= stop_bytes:
                 return
             yield key, value
+
+    def lookup(self, index, key: KeyLike):
+        """Secondary-index lookup inside the transaction's isolated view.
+
+        Mirrors :meth:`repro.api.branch.Branch.lookup` — sorted
+        ``(primary_key, value)`` pairs — but resolves against the pinned
+        base commit's posting trees plus this transaction's own staged
+        writes, so the answer is snapshot-isolated like every other read.
+        """
+        self._require_open()
+        definition = self.branch._resolve_index(index)
+        return lookup_with_overlay(
+            self.branch.repository.service, definition, coerce_key(key),
+            self._base_commit, self._base_snapshot, dict(self._staged))
+
+    def range(self, index, lo: Optional[KeyLike] = None,
+              hi: Optional[KeyLike] = None):
+        """Secondary-index range query inside the transaction's view.
+
+        Mirrors :meth:`repro.api.branch.Branch.range` (``lo`` inclusive,
+        ``hi`` exclusive over index keys; sorted ``(index_key,
+        primary_key, value)`` triples) against the pinned base plus this
+        transaction's staged writes.
+        """
+        self._require_open()
+        definition = self.branch._resolve_index(index)
+        return range_with_overlay(
+            self.branch.repository.service, definition,
+            coerce_key(lo) if lo is not None else None,
+            coerce_key(hi) if hi is not None else None,
+            self._base_commit, self._base_snapshot, dict(self._staged))
 
     # -- writes ------------------------------------------------------------
 
@@ -201,6 +241,7 @@ class Transaction:
         service = self.branch.repository.service
         head = self.branch.head
         self.base_version = head.version if head is not None else None
+        self._base_commit = head
         self._base_snapshot = service.snapshot_roots(self.branch.roots)
         new_pin = service.pin_roots(self.branch.roots)
         service.unpin_roots(self._pin_id)

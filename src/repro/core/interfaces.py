@@ -145,6 +145,28 @@ class SIRIIndex:
         """Iterate ``(key, value)`` pairs of a version in ascending key order."""
         raise NotImplementedError
 
+    def iterate_range(
+        self,
+        root: Optional[Digest],
+        start: Optional[bytes] = None,
+        stop: Optional[bytes] = None,
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Iterate pairs with ``start <= key < stop`` in ascending key order.
+
+        ``start`` is inclusive, ``stop`` exclusive; either may be ``None``
+        for an open end — the same contract as ``Branch.scan``.  The
+        default filters the full ordered iteration (stopping early at
+        ``stop``); range-partitioned structures override it with a
+        split-key-pruned descent that only loads leaves overlapping the
+        requested window.
+        """
+        for key, value in self.iterate(root):
+            if stop is not None and key >= stop:
+                break
+            if start is not None and key < start:
+                continue
+            yield key, value
+
     def node_digests(self, root: Optional[Digest]) -> Set[Digest]:
         """The page set P(I): digests of every node reachable from ``root``."""
         raise NotImplementedError
@@ -255,6 +277,16 @@ class IndexSnapshot:
     def items(self) -> Iterator[Tuple[bytes, bytes]]:
         """Iterate ``(key, value)`` pairs in ascending key order."""
         return self.index.iterate(self.root)
+
+    def items_range(self, start: Optional[bytes] = None,
+                    stop: Optional[bytes] = None) -> Iterator[Tuple[bytes, bytes]]:
+        """Iterate pairs with ``start <= key < stop`` in ascending key order.
+
+        Same bound contract as :meth:`SIRIIndex.iterate_range` (``start``
+        inclusive, ``stop`` exclusive, ``None`` = open end); ranged
+        structures prune whole subtrees outside the bounds.
+        """
+        return self.index.iterate_range(self.root, start, stop)
 
     def keys(self) -> Iterator[bytes]:
         """Iterate the keys of this version in ascending order."""

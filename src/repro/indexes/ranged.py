@@ -221,6 +221,52 @@ class RangedMerkleSearchTree(MerkleIndex):
             for key, value in self._load_leaf(digest):
                 yield key, value
 
+    def iterate_range(
+        self,
+        root: Optional[Digest],
+        start: Optional[bytes] = None,
+        stop: Optional[bytes] = None,
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Split-key-pruned range scan (``start`` inclusive, ``stop`` exclusive).
+
+        Entries carry the maximum key of their subtree and children are
+        ordered, so subtree *i* holds exactly the keys in
+        ``(split_{i-1}, split_i]``.  At every level a child is skipped
+        when its split key is below ``start`` (everything under it is too
+        small) or when the preceding sibling's split key is already at or
+        past ``stop`` (everything under it is too large).  Only leaves
+        overlapping the window are loaded, so a narrow scan over a large
+        version costs O(height + matching leaves) instead of O(N).
+        """
+        if root is None:
+            return
+        if start is not None and stop is not None and start >= stop:
+            return
+        level, entries = self._root_frontier(root)
+        while True:
+            kept: List[Entry] = []
+            previous: Optional[bytes] = None
+            for split, digest in entries:
+                if stop is not None and previous is not None and previous >= stop:
+                    break
+                if start is not None and split < start:
+                    previous = split
+                    continue
+                kept.append((split, digest))
+                previous = split
+            if level <= 1:
+                entries = kept
+                break
+            entries = self._expand_frontier(kept)
+            level -= 1
+        for _, digest in entries:
+            for key, value in self._load_leaf(digest):
+                if stop is not None and key >= stop:
+                    return
+                if start is not None and key < start:
+                    continue
+                yield key, value
+
     def _root_frontier(self, root: Optional[Digest]) -> Tuple[int, List[Entry]]:
         """``(level, entries)`` of a root: its child descriptors and their level.
 

@@ -1,0 +1,36 @@
+"""The query layer: secondary indexes and incremental change feeds.
+
+Everything above point ``get``/``scan`` access lives here:
+
+* :mod:`repro.query.definition` — :class:`IndexDefinition` and the
+  order-preserving posting-key codec.  Imported by the service layer
+  (the engines maintain posting trees at commit time), so this module
+  must not import :mod:`repro.service` or :mod:`repro.api`.
+* :mod:`repro.query.feed` — :class:`Subscription` change feeds with
+  exactly-once resumable cursors over the commit DAG.
+* :mod:`repro.query.view` — :class:`MaterializedCountView`, the
+  incremental-view-maintenance demo built on feeds.
+
+The package ``__init__`` re-exports the user-facing names; it is safe
+to import from anywhere because the submodules only depend downward
+(core) or duck-type upward (feed/view against the repository surface).
+"""
+
+from repro.query.definition import (
+    IndexDefinition,
+    decode_posting_key,
+    encode_posting_key,
+)
+from repro.query.feed import ChangeEvent, FeedCursor, Subscription, poll_feed
+from repro.query.view import MaterializedCountView
+
+__all__ = [
+    "IndexDefinition",
+    "ChangeEvent",
+    "FeedCursor",
+    "Subscription",
+    "MaterializedCountView",
+    "poll_feed",
+    "encode_posting_key",
+    "decode_posting_key",
+]

@@ -1,0 +1,156 @@
+"""Secondary-index definitions and the posting-key codec.
+
+A secondary index is declared by an :class:`IndexDefinition`: a name plus
+an *extractor* mapping a primary value to the list of index keys it
+should be findable under (a value may appear under several keys — e.g. a
+tag index — or none).  The materialized index is a plain SIRI index tree
+("posting tree") living in the same content-addressed store as the
+primary tree of its shard: postings therefore version, branch, diff,
+merge, garbage-collect and *prove* with exactly the machinery the
+primary data already uses.
+
+Each posting is one record in the posting tree.  Its key encodes the
+pair ``(index_key, primary_key)`` with :func:`encode_posting_key`, an
+order-preserving escape encoding, so that
+
+* all postings of one index key are a contiguous key range — a lookup is
+  a pruned range scan, and
+* posting keys sort by ``(index_key, primary_key)`` lexicographically —
+  a range query over index keys is also one contiguous scan.
+
+Postings are *covering*: the posting's value is a copy of the primary
+record's value, so index reads are answered entirely from the posting
+tree's contiguous range — cost proportional to the result, with no
+per-result point reads back into the primary tree.  Commit-time
+maintenance pays for this by refreshing the stored copy whenever a
+record's value changes, even when its index keys do not.
+
+The encoding escapes ``0x00`` bytes of the index key as ``0x00 0xFF``
+and terminates it with ``0x00 0x00`` before appending the primary key
+verbatim.  Because every escaped ``0x00`` is followed by ``0xFF``, the
+first ``0x00 0x00`` in a posting key is unambiguously the terminator,
+and for any index keys ``a < b`` every posting of ``a`` sorts strictly
+before every posting of ``b``.
+
+Extractors must be *pure* (the postings of a commit are a function of
+its content only — this is what makes merged branches agree without
+special merge logic) and, for the process shard backend, *picklable*:
+define them as module-level functions, not lambdas or closures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import InvalidParameterError
+
+#: Separator terminating the escaped index key inside a posting key.
+_TERMINATOR = b"\x00\x00"
+#: Escape sequence replacing a literal 0x00 byte of the index key.
+_ESCAPED_ZERO = b"\x00\xff"
+
+#: An extractor maps a primary value to the index keys it files under.
+Extractor = Callable[[bytes], Sequence[bytes]]
+
+
+def _escape(index_key: bytes) -> bytes:
+    return index_key.replace(b"\x00", _ESCAPED_ZERO)
+
+
+def _unescape(escaped: bytes) -> bytes:
+    return escaped.replace(_ESCAPED_ZERO, b"\x00")
+
+
+def encode_posting_key(index_key: bytes, primary_key: bytes) -> bytes:
+    """Encode one posting: order-preserving on ``(index_key, primary_key)``."""
+    return _escape(index_key) + _TERMINATOR + primary_key
+
+
+def decode_posting_key(posting_key: bytes) -> Tuple[bytes, bytes]:
+    """Invert :func:`encode_posting_key` into ``(index_key, primary_key)``."""
+    # Every 0x00 inside the escaped index key is followed by 0xFF, so the
+    # first 0x00 0x00 is unambiguously the terminator (the primary key,
+    # which may contain anything, only starts after it).
+    position = posting_key.find(_TERMINATOR)
+    if position < 0:
+        raise InvalidParameterError(f"malformed posting key: {posting_key!r}")
+    return _unescape(posting_key[:position]), posting_key[position + 2:]
+
+
+def posting_prefix(index_key: bytes) -> bytes:
+    """The common prefix of every posting filed under ``index_key``."""
+    return _escape(index_key) + _TERMINATOR
+
+
+def posting_range(
+    lo: Optional[bytes],
+    hi: Optional[bytes],
+) -> Tuple[Optional[bytes], Optional[bytes]]:
+    """Posting-key bounds covering index keys in ``[lo, hi)``.
+
+    Returns ``(start, stop)`` suitable for a posting-tree range scan:
+    ``start`` inclusive, ``stop`` exclusive, ``None`` for an open end.
+    """
+    start = posting_prefix(lo) if lo is not None else None
+    stop = posting_prefix(hi) if hi is not None else None
+    return start, stop
+
+
+def lookup_range(index_key: bytes) -> Tuple[bytes, bytes]:
+    """Posting-key bounds covering exactly ``index_key``'s postings.
+
+    The upper bound replaces the ``0x00 0x00`` terminator by
+    ``0x00 0x01``: no valid posting key of any other index key can fall
+    between them (escaped keys continue with ``0x00 0xFF``).
+    """
+    escaped = _escape(index_key)
+    return escaped + _TERMINATOR, escaped + b"\x00\x01"
+
+
+class IndexDefinition:
+    """A named secondary index: ``name`` plus a value-to-keys extractor.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in queries, commit records and the manifest
+        journal.  Non-empty ASCII without whitespace.
+    extractor:
+        Pure function ``value_bytes -> sequence of index key bytes``.
+        Must be picklable (a module-level function) so the process shard
+        backend can ship it to its workers; must never raise on any
+        value stored in the branch (return ``[]`` to skip a value).
+    """
+
+    __slots__ = ("name", "extractor")
+
+    def __init__(self, name: str, extractor: Extractor):
+        """Validate and freeze the definition."""
+        if not name or not isinstance(name, str):
+            raise InvalidParameterError("index name must be a non-empty string")
+        if any(ch.isspace() for ch in name) or not name.isascii():
+            raise InvalidParameterError(
+                f"index name must be ASCII without whitespace: {name!r}")
+        if not callable(extractor):
+            raise InvalidParameterError("index extractor must be callable")
+        self.name = name
+        self.extractor = extractor
+
+    def keys_for(self, value: Optional[bytes]) -> List[bytes]:
+        """Deduplicated index keys for ``value`` (``[]`` for ``None``)."""
+        if value is None:
+            return []
+        seen = set()
+        keys: List[bytes] = []
+        for key in self.extractor(value):
+            if not isinstance(key, bytes):
+                raise InvalidParameterError(
+                    f"extractor for index {self.name!r} returned "
+                    f"{type(key).__name__}, expected bytes")
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+        return keys
+
+    def __repr__(self) -> str:
+        return f"IndexDefinition({self.name!r})"

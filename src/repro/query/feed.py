@@ -1,0 +1,303 @@
+"""Change feeds: a branch's commit history as resumable key-level events.
+
+A :class:`Subscription` (obtained from
+:meth:`repro.api.repository.Repository.subscribe`) replays a branch's
+first-parent commit chain as an ordered stream of :class:`ChangeEvent`
+records — one per changed key per commit, computed by the same pruned
+structural diff that powers merges, so the cost of producing a commit's
+events scales with what the commit changed, not with the dataset.
+
+The stream position is an explicit, serializable :class:`FeedCursor`
+``(version, offset)``: the last fully-consumed commit plus the number of
+raw diff entries already delivered from the commit after it.  Because
+the diff of two immutable root tuples is deterministic and key-ordered,
+re-computing a commit's entries after a crash or disconnect yields the
+same list in the same order — resuming from a cursor is therefore
+**exactly-once**: no event is skipped and none is delivered twice.  The
+offset counts *pre-filter* entries, so a resumed subscription may change
+its filter without corrupting its position.
+
+Filters narrow the stream to matching keys: a ``bytes``/``str`` prefix
+(the form the wire protocol ships — see
+:class:`repro.server.client.RemoteSubscription`) or, in-process, any
+``key -> bool`` callable.
+
+This module deliberately does not import :mod:`repro.api` or
+:mod:`repro.service` at module level (the service imports
+:mod:`repro.query.definition`, so the package must stay import-cycle
+free); it duck-types against the repository/service surface at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.errors import InvalidParameterError
+from repro.core.interfaces import coerce_key
+from repro.core.version import UnknownBranchError
+
+#: A feed filter: a key prefix (bytes/str) or a ``key -> bool`` predicate.
+FeedFilter = Union[bytes, str, Callable[[bytes], bool], None]
+
+
+class ChangeEvent:
+    """One key-level change produced by one commit.
+
+    Attributes
+    ----------
+    version:
+        Journal version of the commit that made the change.
+    digest:
+        That commit's content digest (the replica-independent identity).
+    branch:
+        Branch the subscription replays.
+    key / old / new:
+        The changed key, its value before the commit (``None`` when the
+        key was absent) and after it (``None`` when the commit removed
+        it).
+    """
+
+    __slots__ = ("version", "digest", "branch", "key", "old", "new")
+
+    def __init__(self, version: int, digest, branch: str,
+                 key: bytes, old: Optional[bytes], new: Optional[bytes]):
+        self.version = version
+        self.digest = digest
+        self.branch = branch
+        self.key = key
+        self.old = old
+        self.new = new
+
+    @property
+    def kind(self) -> str:
+        """``"added"``, ``"removed"`` or ``"changed"`` (diff semantics)."""
+        if self.old is None:
+            return "added"
+        if self.new is None:
+            return "removed"
+        return "changed"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChangeEvent):
+            return NotImplemented
+        return (self.version == other.version and self.key == other.key
+                and self.old == other.old and self.new == other.new
+                and self.branch == other.branch)
+
+    def __hash__(self) -> int:
+        return hash((self.version, self.branch, self.key, self.old, self.new))
+
+    def __repr__(self) -> str:
+        return (f"ChangeEvent(v{self.version}, {self.kind}, "
+                f"key={self.key!r})")
+
+
+class FeedCursor:
+    """A resumable position in a branch's change stream.
+
+    ``version`` is the journal version of the last commit whose events
+    were fully delivered (``None`` = nothing consumed yet, or the
+    ``from_commit`` starting point); ``offset`` counts the raw
+    (pre-filter) diff entries already delivered from the *next* commit
+    on the chain.  Both are plain integers, so cursors serialize
+    trivially (the wire protocol ships them verbatim).
+    """
+
+    __slots__ = ("version", "offset")
+
+    def __init__(self, version: Optional[int] = None, offset: int = 0):
+        if offset < 0:
+            raise InvalidParameterError("cursor offset must be non-negative")
+        self.version = version
+        self.offset = offset
+
+    def as_tuple(self) -> Tuple[Optional[int], int]:
+        """``(version, offset)`` — the serializable form."""
+        return (self.version, self.offset)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FeedCursor):
+            return NotImplemented
+        return self.as_tuple() == other.as_tuple()
+
+    def __hash__(self) -> int:
+        return hash(self.as_tuple())
+
+    def __repr__(self) -> str:
+        return f"FeedCursor(version={self.version}, offset={self.offset})"
+
+
+def compile_filter(filter: FeedFilter) -> Callable[[bytes], bool]:
+    """Normalize a feed filter into a ``key -> bool`` predicate.
+
+    ``None`` accepts everything; ``bytes``/``str`` match as a key prefix
+    (the only form the wire protocol can ship); callables pass through.
+    """
+    if filter is None:
+        return lambda key: True
+    if isinstance(filter, (bytes, str)):
+        prefix = coerce_key(filter)
+        return lambda key: key.startswith(prefix)
+    if callable(filter):
+        return filter
+    raise InvalidParameterError(
+        f"feed filter must be a prefix or a callable, got {type(filter).__name__}")
+
+
+def branch_chain(service, branch: str) -> List:
+    """The branch's first-parent commit chain, oldest first.
+
+    An unborn branch (no journalled commit yet) has an empty chain
+    rather than raising — a subscription opened before the first commit
+    simply reports itself up to date.
+    """
+    if not service.has_branch(branch):
+        return []
+    chain = list(service.log(branch))
+    chain.reverse()
+    return chain
+
+
+def commit_entries(service, commit) -> Sequence:
+    """The raw diff entries one commit introduced, ordered by key.
+
+    The diff is taken against the commit's first parent (or the empty
+    state for a root commit) — merge commits therefore report what they
+    changed *relative to the branch being replayed*, matching the
+    first-parent chain the subscription walks.  Deterministic: immutable
+    roots in, key-sorted entries out — the exactly-once foundation.
+
+    Recent commits usually answer from the service's captured change log
+    (the write path's own delta, recorded at commit time), making a
+    steady-state poll O(events); anything not captured — old commits,
+    bulk loads, commits imported by sync — is recomputed by the pruned
+    structural diff, which produces the identical list.
+    """
+    cached = service.feed_entries(commit.version)
+    if cached is not None:
+        return cached
+    if commit.parents:
+        base = service.snapshot(commit.parents[0])
+    else:
+        empty: Sequence = (None,) * service.num_shards
+        base = service.snapshot_roots(empty)
+    target = service.snapshot_roots(commit.roots, commit=commit)
+    return base.diff(target).entries
+
+
+def poll_feed(service, branch: str, cursor: FeedCursor,
+              limit: Optional[int] = None,
+              filter: FeedFilter = None) -> Tuple[List[ChangeEvent], FeedCursor, bool]:
+    """Advance a cursor over a branch's change stream.
+
+    The stateless core shared by in-process subscriptions and the wire
+    server's POLL_FEED handler: everything it needs travels in the
+    arguments, so any holder of a cursor can resume against any replica
+    of the same journal.  Returns ``(events, next_cursor, up_to_date)``
+    where ``up_to_date`` means the cursor reached the branch head as of
+    this call; ``limit`` caps *delivered* (post-filter) events, while
+    the cursor advances by raw entries so a filtered subscription still
+    makes progress through large uninteresting commits.
+    """
+    if limit is not None and limit <= 0:
+        raise InvalidParameterError("poll limit must be positive")
+    predicate = compile_filter(filter)
+    chain = branch_chain(service, branch)
+    if cursor.version is None:
+        position = 0
+    else:
+        position = None
+        for index, commit in enumerate(chain):
+            if commit.version == cursor.version:
+                position = index + 1
+                break
+        if position is None:
+            raise InvalidParameterError(
+                f"cursor version {cursor.version} is not on branch "
+                f"{branch!r}'s first-parent chain")
+    events: List[ChangeEvent] = []
+    last_done = cursor.version
+    offset = cursor.offset
+    while position < len(chain):
+        commit = chain[position]
+        entries = commit_entries(service, commit)
+        while offset < len(entries):
+            if limit is not None and len(events) >= limit:
+                return events, FeedCursor(last_done, offset), False
+            entry = entries[offset]
+            offset += 1
+            if predicate(entry.key):
+                events.append(ChangeEvent(
+                    commit.version, commit.digest, branch,
+                    entry.key, entry.left, entry.right))
+        last_done = commit.version
+        offset = 0
+        position += 1
+    return events, FeedCursor(last_done, 0), True
+
+
+class Subscription:
+    """An in-process change feed over one branch (see module docstring).
+
+    Obtain via :meth:`repro.api.repository.Repository.subscribe`.  Not
+    thread-safe: one consumer per subscription (open several for fan-out
+    — they are just cursors, there is no server-side state).
+    """
+
+    def __init__(self, repository, branch: str,
+                 from_commit: Optional[int] = None,
+                 filter: FeedFilter = None):
+        """Open a feed on ``branch`` starting after ``from_commit``.
+
+        ``from_commit=None`` replays from the branch's first commit.
+        The filter is validated eagerly; the starting commit is checked
+        against the branch chain on first :meth:`poll`.
+        """
+        self.repository = repository
+        self.branch = branch
+        self.filter = filter
+        compile_filter(filter)  # validate now, not at first poll
+        service = repository.service
+        if not service.has_branch(branch) and branch != service.default_branch:
+            raise UnknownBranchError(branch)
+        if from_commit is not None:
+            version = (from_commit.version
+                       if hasattr(from_commit, "version") else int(from_commit))
+            self.cursor = FeedCursor(version, 0)
+        else:
+            self.cursor = FeedCursor(None, 0)
+        self.up_to_date = False
+
+    def poll(self, limit: Optional[int] = None) -> List[ChangeEvent]:
+        """Deliver the next events and advance the cursor.
+
+        ``limit`` caps delivered events (``None`` = everything up to the
+        current head).  After the call, :attr:`up_to_date` tells whether
+        the cursor reached the head; new commits re-arm it — poll again
+        to stream them.
+        """
+        events, self.cursor, self.up_to_date = poll_feed(
+            self.repository.service, self.branch, self.cursor,
+            limit=limit, filter=self.filter)
+        return events
+
+    def __iter__(self) -> Iterator[ChangeEvent]:
+        """Iterate every event from the cursor to the current head."""
+        while True:
+            events = self.poll()
+            for event in events:
+                yield event
+            if self.up_to_date:
+                return
+
+    def seek(self, cursor: FeedCursor) -> None:
+        """Reposition the feed at an explicit cursor (e.g. a persisted one)."""
+        if not isinstance(cursor, FeedCursor):
+            raise InvalidParameterError(
+                f"expected a FeedCursor, got {type(cursor).__name__}")
+        self.cursor = cursor
+        self.up_to_date = False
+
+    def __repr__(self) -> str:
+        return (f"Subscription(branch={self.branch!r}, cursor={self.cursor}, "
+                f"up_to_date={self.up_to_date})")

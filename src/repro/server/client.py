@@ -55,6 +55,8 @@ from repro.core.errors import (
 )
 from repro.core.interfaces import KeyLike, ValueLike, coerce_key, coerce_value
 from repro.core.version import UnknownBranchError
+from repro.hashing.digest import Digest
+from repro.query.feed import ChangeEvent, FeedCursor
 from repro.server import protocol
 from repro.server.protocol import (
     CommitInfo,
@@ -72,6 +74,7 @@ from repro.service.sharding import route_key
 _IDEMPOTENT_OPS = frozenset({
     Op.PING, Op.GET, Op.GET_MANY, Op.SCAN, Op.DIFF, Op.SNAPSHOT,
     Op.BRANCHES, Op.BRANCH_HEAD, Op.PROVE, Op.FETCH_HEADS, Op.FETCH_NODES,
+    Op.SUBSCRIBE, Op.POLL_FEED,
 })
 
 #: Commit records remembered per client for anchoring proof verification.
@@ -696,6 +699,25 @@ class RemoteRepository:
         return self.prove(key, version=version, verify=True,
                           trusted_commit=trusted_commit).value
 
+    # -- change feeds --------------------------------------------------------
+
+    def subscribe(self, branch: Optional[str] = None, *,
+                  from_version: Optional[int] = None,
+                  prefix: Optional[KeyLike] = None) -> "RemoteSubscription":
+        """Open a resumable change feed on ``branch`` over the wire.
+
+        Mirrors :meth:`repro.api.repository.Repository.subscribe` but the
+        filter is restricted to a key ``prefix`` (the only predicate the
+        protocol can ship).  The returned
+        :class:`RemoteSubscription` carries an explicit cursor; persist
+        ``subscription.cursor.as_tuple()`` and pass it back via
+        ``from_version``/:meth:`RemoteSubscription.seek` to resume
+        exactly-once after a disconnect — both feed ops are idempotent,
+        so transient connection failures retry transparently.
+        """
+        return RemoteSubscription(self, branch, from_version=from_version,
+                                  prefix=prefix)
+
     # -- pipelining ----------------------------------------------------------
 
     def pipeline(self) -> Pipeline:
@@ -704,3 +726,61 @@ class RemoteRepository:
 
     def __repr__(self) -> str:
         return f"RemoteRepository(host={self.host!r}, port={self.port})"
+
+
+class RemoteSubscription:
+    """A change feed over the wire, resumable across connections.
+
+    Obtained from :meth:`RemoteRepository.subscribe`.  Events are the
+    same :class:`~repro.query.feed.ChangeEvent` records the in-process
+    feed yields (commit digests rehydrated into
+    :class:`~repro.hashing.digest.Digest`), and the cursor semantics are
+    identical — the server is stateless, the cursor lives here, so a new
+    client on a new connection resumes a persisted cursor exactly-once.
+    """
+
+    def __init__(self, client: RemoteRepository, branch: Optional[str], *,
+                 from_version: Optional[int] = None,
+                 prefix: Optional[KeyLike] = None):
+        """Validate the branch server-side and position the cursor."""
+        self.client = client
+        self.branch = branch
+        self.prefix = None if prefix is None else coerce_key(prefix)
+        response = client.request(Request(
+            op=Op.SUBSCRIBE, branch=branch, version=from_version))
+        self.cursor = FeedCursor(response.cursor_version,
+                                 response.cursor_offset)
+        self.up_to_date = False
+
+    def poll(self, limit: Optional[int] = None) -> List[ChangeEvent]:
+        """One POLL_FEED round trip; advances the cursor past the answer."""
+        response = self.client.request(Request(
+            op=Op.POLL_FEED, branch=self.branch,
+            version=self.cursor.version, feed_offset=self.cursor.offset,
+            limit=limit or 0, prefix=self.prefix))
+        events = [
+            ChangeEvent(version, Digest(digest),
+                        self.branch or "", key, old, new)
+            for version, digest, key, old, new in (response.events or [])]
+        self.cursor = FeedCursor(response.cursor_version,
+                                 response.cursor_offset)
+        self.up_to_date = response.up_to_date
+        return events
+
+    def __iter__(self):
+        """Iterate every event from the cursor to the server's head."""
+        while True:
+            events = self.poll()
+            for event in events:
+                yield event
+            if self.up_to_date:
+                return
+
+    def seek(self, cursor: FeedCursor) -> None:
+        """Reposition at an explicit (e.g. persisted) cursor."""
+        self.cursor = cursor
+        self.up_to_date = False
+
+    def __repr__(self) -> str:
+        return (f"RemoteSubscription(branch={self.branch!r}, "
+                f"cursor={self.cursor})")

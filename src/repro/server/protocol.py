@@ -74,6 +74,8 @@ class Op(IntEnum):
     FETCH_HEADS = 14
     FETCH_NODES = 15
     PUSH_NODES = 16
+    SUBSCRIBE = 17
+    POLL_FEED = 18
 
 
 class Status(IntEnum):
@@ -269,6 +271,10 @@ class Request:
     #: PUSH_NODES (publish mode): compare-and-set guard — the digest the
     #: branch head must still have (``None`` = branch must not exist).
     expected: Optional[bytes] = None
+    #: POLL_FEED: raw diff entries already consumed from the commit after
+    #: the cursor version (``version`` doubles as the cursor version and,
+    #: for SUBSCRIBE, as the optional starting commit).
+    feed_offset: int = 0
 
 
 @dataclass
@@ -383,6 +389,15 @@ class Response:
     #: FETCH_NODES: echo of the request's missing_only flag;
     #: PUSH_NODES: echo of the request's publish flag.
     mode_flag: bool = False
+    #: POLL_FEED: change events as (version, commit digest, key, old
+    #: value, new value) tuples, in feed order.
+    events: Optional[List[Tuple[int, bytes, bytes,
+                                Optional[bytes], Optional[bytes]]]] = None
+    #: SUBSCRIBE / POLL_FEED: the (resumable) cursor after this answer.
+    cursor_version: Optional[int] = None
+    cursor_offset: int = 0
+    #: POLL_FEED: True when the cursor reached the branch head.
+    up_to_date: bool = False
     #: ERROR / BUSY: machine-readable code and human-readable message.
     error_code: str = ""
     error_message: str = ""
@@ -552,6 +567,15 @@ def encode_request(request: Request) -> bytes:
             for digest, node_bytes in items:
                 writer.bytes_(digest)
                 writer.bytes_(node_bytes)
+    elif op is Op.SUBSCRIBE:
+        writer.str_(request.branch or "")
+        writer.opt_u64(request.version)
+    elif op is Op.POLL_FEED:
+        writer.str_(request.branch or "")
+        writer.opt_u64(request.version)
+        writer.u32(request.feed_offset)
+        writer.u32(request.limit)
+        writer.opt_bytes(request.prefix)
     else:  # pragma: no cover - Op is exhaustive
         raise ProtocolError(f"cannot encode unknown op: {op!r}")
     return writer.getvalue()
@@ -616,6 +640,15 @@ def decode_request(body: bytes) -> Request:
             request.shard_id = reader.u32()
             request.items = [(reader.bytes_(), reader.bytes_())
                              for _ in range(reader.count(8))]
+    elif op is Op.SUBSCRIBE:
+        request.branch = reader.str_()
+        request.version = reader.opt_u64()
+    elif op is Op.POLL_FEED:
+        request.branch = reader.str_()
+        request.version = reader.opt_u64()
+        request.feed_offset = reader.u32()
+        request.limit = reader.u32()
+        request.prefix = reader.opt_bytes()
     reader.expect_end()
     return request
 
@@ -759,6 +792,21 @@ def encode_response(response: Response) -> bytes:
         else:
             writer.u8(0)
             writer.u32(response.ack_count)
+    elif op is Op.SUBSCRIBE:
+        writer.opt_u64(response.cursor_version)
+        writer.u32(response.cursor_offset)
+    elif op is Op.POLL_FEED:
+        events = response.events or []
+        writer.u32(len(events))
+        for version, digest, key, old, new in events:
+            writer.u64(version)
+            writer.bytes_(digest)
+            writer.bytes_(key)
+            writer.opt_bytes(old)
+            writer.opt_bytes(new)
+        writer.opt_u64(response.cursor_version)
+        writer.u32(response.cursor_offset)
+        writer.u8(1 if response.up_to_date else 0)
     else:  # pragma: no cover - Op is exhaustive
         raise ProtocolError(f"cannot encode response for op: {op!r}")
     return writer.getvalue()
@@ -838,5 +886,19 @@ def decode_response(body: bytes) -> Response:
             response.commit = _decode_commit(reader)
         else:
             response.ack_count = reader.u32()
+    elif op is Op.SUBSCRIBE:
+        response.cursor_version = reader.opt_u64()
+        response.cursor_offset = reader.u32()
+    elif op is Op.POLL_FEED:
+        response.events = [
+            (reader.u64(), reader.bytes_(), reader.bytes_(),
+             reader.opt_bytes(), reader.opt_bytes())
+            for _ in range(reader.count(18))]
+        response.cursor_version = reader.opt_u64()
+        response.cursor_offset = reader.u32()
+        up_to_date = reader.u8()
+        if up_to_date not in (0, 1):
+            raise ProtocolError(f"invalid up_to_date flag: {up_to_date}")
+        response.up_to_date = bool(up_to_date)
     reader.expect_end()
     return response

@@ -507,6 +507,28 @@ class RepositoryServer:
                     request.shard_id, pairs)
                 self.metrics.record_sync_received(
                     len(pairs), sum(len(data) for _, data in pairs))
+        elif op is Op.SUBSCRIBE:
+            branch = request.branch or self.service.default_branch
+            if (not self.service.has_branch(branch)
+                    and branch != self.service.default_branch):
+                raise UnknownBranchError(branch)
+            response.cursor_version = request.version
+            response.cursor_offset = 0
+        elif op is Op.POLL_FEED:
+            from repro.query.feed import FeedCursor, poll_feed
+            branch = request.branch or self.service.default_branch
+            events, cursor, up_to_date = poll_feed(
+                self.service, branch,
+                FeedCursor(request.version, request.feed_offset),
+                limit=request.limit or None,
+                filter=request.prefix)
+            response.events = [
+                (event.version, event.digest.raw, event.key,
+                 event.old, event.new)
+                for event in events]
+            response.cursor_version = cursor.version
+            response.cursor_offset = cursor.offset
+            response.up_to_date = up_to_date
         else:  # pragma: no cover - decode_request validates the opcode
             raise ProtocolError(f"unhandled op: {op!r}")
         return response

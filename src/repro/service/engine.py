@@ -35,9 +35,11 @@ from repro.core.errors import SyncIntegrityError
 from repro.core.interfaces import IndexSnapshot, SIRIIndex
 from repro.core.metrics import CacheCounters, ContentionCounters, GCCounters
 from repro.hashing.digest import Digest
+from repro.query.definition import IndexDefinition, encode_posting_key
 from repro.storage.cache import CachingNodeStore
 from repro.storage.gc import GarbageCollector, reachable_digests
 from repro.storage.store import NodeStore
+
 
 
 @dataclass
@@ -69,7 +71,8 @@ class ShardEngine:
     """
 
     __slots__ = ("shard_id", "backing", "store", "cache", "index", "head",
-                 "history", "flushes", "flush_seconds")
+                 "history", "flushes", "flush_seconds", "index_defs",
+                 "posting_heads")
 
     def __init__(self, shard_id: int, backing: NodeStore, store: NodeStore,
                  cache: Optional[CachingNodeStore], index: SIRIIndex):
@@ -78,6 +81,13 @@ class ShardEngine:
         self.store = store
         self.cache = cache
         self.index = index
+        #: Registered secondary indexes (name -> IndexDefinition).  Posting
+        #: trees are ordinary trees of ``self.index`` living in the same
+        #: store; ``posting_heads`` tracks their roots alongside the
+        #: primary working head and upholds the invariant
+        #: ``posting_heads.keys() == index_defs.keys()``.
+        self.index_defs: Dict[str, IndexDefinition] = {}
+        self.posting_heads: Dict[str, Optional[Digest]] = {}
         # A *counted* head costs the flush path nothing: the SIRI indexes
         # report the record delta as a free by-product of each batched
         # write (SIRIIndex.write_counted), so record_count() is O(1) on a
@@ -99,14 +109,19 @@ class ShardEngine:
 
     # -- head state --------------------------------------------------------
 
-    def reset_head(self, root: Optional[Digest]) -> None:
+    def reset_head(self, root: Optional[Digest],
+                   posting_roots: Optional[Dict[str, Optional[Digest]]] = None) -> None:
         """Reset the working head (and restart history) at ``root``.
 
         Used on open/recovery: the root comes from the journal, so the
-        record count is unknown until first use.
+        record count is unknown until first use.  ``posting_roots`` are
+        the journalled posting roots for this shard; any registered index
+        missing from them (a commit that predates the index) is rebuilt
+        from the primary content.
         """
         self.head = self.index.snapshot(root)
         self.history = [root]
+        self.posting_heads = self._resolve_posting_heads(root, posting_roots)
 
     def head_root(self) -> Optional[Digest]:
         """Root digest of the current working head."""
@@ -120,10 +135,184 @@ class ShardEngine:
         """
         return self.head.root_digest, self.head._record_count
 
-    def set_head(self, root: Optional[Digest]) -> None:
-        """Advance the working head to ``root`` and append it to history."""
+    def set_head(self, root: Optional[Digest],
+                 posting_roots: Optional[Dict[str, Optional[Digest]]] = None) -> None:
+        """Advance the working head to ``root`` and append it to history.
+
+        ``posting_roots`` carries the matching posting roots when the
+        caller knows them (a just-journalled commit); registered indexes
+        missing from them are rebuilt from the primary content.
+        """
         self.head = self.index.snapshot(root)
         self.history.append(root)
+        self.posting_heads = self._resolve_posting_heads(root, posting_roots)
+
+    # -- secondary indexes (posting trees) ---------------------------------
+
+    def register_index(self, definition: IndexDefinition) -> Optional[Digest]:
+        """Register a secondary index and materialize its working postings.
+
+        The posting tree for the current working head is bulk-built on
+        the spot (O(shard content)); afterwards every write path
+        maintains it incrementally.  Returns the initial posting root.
+        """
+        self.index_defs[definition.name] = definition
+        root = self._build_posting_root(definition.name, self.head.root_digest)
+        self.posting_heads[definition.name] = root
+        self.store_flush()
+        return root
+
+    def posting_heads_state(self) -> Dict[str, Optional[Digest]]:
+        """Posting root per registered index for the working head."""
+        return dict(self.posting_heads)
+
+    def _resolve_posting_heads(
+        self,
+        primary_root: Optional[Digest],
+        posting_roots: Optional[Dict[str, Optional[Digest]]],
+    ) -> Dict[str, Optional[Digest]]:
+        """Posting roots for every registered index at ``primary_root``.
+
+        Provided roots are trusted (they come from a commit record);
+        registered indexes absent from them are rebuilt from content so a
+        head predating the index registration still answers queries.
+        """
+        provided = posting_roots or {}
+        resolved: Dict[str, Optional[Digest]] = {}
+        built = False
+        for name in self.index_defs:
+            if name in provided:
+                resolved[name] = provided[name]
+            else:
+                resolved[name] = self._build_posting_root(name, primary_root)
+                built = True
+        if built:
+            self.store_flush()
+        return resolved
+
+    def _build_posting_root(self, name: str,
+                            primary_root: Optional[Digest]) -> Optional[Digest]:
+        """Bulk-build index ``name``'s posting tree from primary content.
+
+        Postings are *covering*: each one stores the primary record's
+        value, so index reads answer from the posting tree's contiguous
+        range alone — no per-result point reads back into the primary
+        tree.
+        """
+        definition = self.index_defs[name]
+        records: List[Tuple[bytes, bytes]] = []
+        for key, value in self.index.iterate(primary_root):
+            for index_key in definition.keys_for(value):
+                records.append((encode_posting_key(index_key, key), value))
+        records.sort()
+        return self.index.bulk_build(records)
+
+    def _changed_entries(
+        self,
+        base_primary: Optional[Digest],
+        puts: Dict[bytes, bytes],
+        removes: Iterable[bytes],
+    ) -> List[Tuple[bytes, Optional[bytes], Optional[bytes]]]:
+        """``(key, old value, new value)`` for a batch against a base root.
+
+        Remove-wins (matching :meth:`SIRIIndex.write`); keys whose value
+        does not change are dropped, so postings never churn on no-op
+        writes.
+        """
+        removed = set(removes)
+        changed: List[Tuple[bytes, Optional[bytes], Optional[bytes]]] = []
+        for key in sorted(set(puts) | removed):
+            new = None if key in removed else puts[key]
+            old = self.index.lookup(base_primary, key)
+            if old != new:
+                changed.append((key, old, new))
+        return changed
+
+    def _advance_postings(
+        self,
+        base_postings: Dict[str, Optional[Digest]],
+        changed: Iterable[Tuple[bytes, Optional[bytes], Optional[bytes]]],
+    ) -> Dict[str, Optional[Digest]]:
+        """Apply value changes to every posting tree; returns the new roots.
+
+        For each changed primary key the old value's index keys that
+        disappear become posting removals, and every index key of the new
+        value becomes a posting insertion carrying the new value —
+        postings are covering, so a surviving index key still needs its
+        stored copy refreshed.  This is the incremental commit-time
+        maintenance step.
+        """
+        changed = list(changed)
+        result: Dict[str, Optional[Digest]] = {}
+        for name, definition in self.index_defs.items():
+            posting_puts: Dict[bytes, bytes] = {}
+            posting_removes: List[bytes] = []
+            for key, old, new in changed:
+                old_keys = definition.keys_for(old)
+                new_keys = definition.keys_for(new)
+                for index_key in old_keys:
+                    if index_key not in new_keys:
+                        posting_removes.append(encode_posting_key(index_key, key))
+                for index_key in new_keys:
+                    posting_puts[encode_posting_key(index_key, key)] = new
+            if not posting_puts and not posting_removes:
+                # Untouched index: keep the base root (skipping the write
+                # also guarantees root stability for no-op batches).
+                result[name] = base_postings.get(name)
+            else:
+                result[name] = self.index.write(
+                    base_postings.get(name), posting_puts, posting_removes)
+        return result
+
+    def postings_for(
+        self,
+        primary_root: Optional[Digest],
+        base_primary: Optional[Digest] = None,
+        base_postings: Optional[Dict[str, Optional[Digest]]] = None,
+    ) -> Dict[str, Optional[Digest]]:
+        """Posting roots matching ``primary_root``, diff-driven from a base.
+
+        Cost is proportional to the structural diff between
+        ``base_primary`` and ``primary_root`` (O(content) from an empty
+        base).  Registered indexes missing from ``base_postings`` are
+        first rebuilt at ``base_primary``.  Used when roots arrive
+        *already built* — replication publishes, fork-point recovery —
+        so postings are always a pure function of the primary content.
+        """
+        if not self.index_defs:
+            return {}
+        base = self._resolve_posting_heads(base_primary, base_postings)
+        changed = [(key, old, new) for key, old, new
+                   in self.index.iterate_diff(base_primary, primary_root)]
+        roots = self._advance_postings(base, changed)
+        self.store_flush()
+        return roots
+
+    def write_at_indexed(
+        self,
+        root: Optional[Digest],
+        puts: Dict[bytes, bytes],
+        removes: Iterable[bytes],
+        base_postings: Optional[Dict[str, Optional[Digest]]],
+    ) -> Tuple[Optional[Digest], Dict[str, Optional[Digest]],
+               List[Tuple[bytes, Optional[bytes], Optional[bytes]]]]:
+        """:meth:`write_at` plus incremental posting maintenance.
+
+        The branch-commit primitive when secondary indexes exist: applies
+        the batch onto ``root`` and advances the matching posting trees
+        from the staged delta (old-value lookups against ``root``).
+        Returns ``(new primary root, new posting roots, changed)`` where
+        ``changed`` is the key-sorted ``(key, old, new)`` delta the batch
+        actually made against ``root`` — computed here anyway for posting
+        maintenance, and recycled by the service as the commit's change
+        log so feeds can skip the structural diff for recent commits.
+        """
+        removes = list(removes)
+        new_root = self.index.write(root, puts, removes)
+        base = self._resolve_posting_heads(root, base_postings)
+        changed = self._changed_entries(root, puts, removes)
+        postings = self._advance_postings(base, changed)
+        return new_root, postings, changed
 
     # -- writes ------------------------------------------------------------
 
@@ -140,6 +329,10 @@ class ShardEngine:
         if not puts and not removes:
             return
         started = time.perf_counter()
+        if self.index_defs:
+            self.posting_heads = self._advance_postings(
+                self.posting_heads,
+                self._changed_entries(self.head.root_digest, puts, removes))
         self.head = self.head.update(puts, removes=removes)
         self.store_flush()
         self.flush_seconds += time.perf_counter() - started
@@ -166,6 +359,11 @@ class ShardEngine:
         dict), carrying the head's cached record count through the batch.
         """
         started = time.perf_counter()
+        removes = list(removes)
+        if self.index_defs:
+            self.posting_heads = self._advance_postings(
+                self.posting_heads,
+                self._changed_entries(self.head.root_digest, puts, removes))
         new_root, delta = self.index.write_counted(
             self.head.root_digest, puts, list(removes))
         count = self.head._record_count
@@ -206,6 +404,16 @@ class ShardEngine:
     def scan(self, root: Optional[Digest]) -> List[Tuple[bytes, bytes]]:
         """Materialize every record under ``root`` in ascending key order."""
         return list(self.index.snapshot(root).items())
+
+    def scan_range(self, root: Optional[Digest], start: Optional[bytes],
+                   stop: Optional[bytes]) -> List[Tuple[bytes, bytes]]:
+        """Materialize records with ``start <= key < stop`` under ``root``.
+
+        Pruned by the index where the structure allows it (the ranged
+        trees descend only subtrees overlapping the window); the query
+        layer uses this on posting-tree roots for lookups and ranges.
+        """
+        return list(self.index.iterate_range(root, start, stop))
 
     def count_at(self, root: Optional[Digest]) -> int:
         """Number of records under ``root``."""
@@ -248,6 +456,7 @@ class ShardEngine:
         """
         roots = set(protected_roots)
         roots.add(self.head.root_digest)
+        roots.update(self.posting_heads.values())
         live = reachable_digests(self.index, roots)
         delta = GarbageCollector(self.backing).collect(live)
         if self.cache is not None:
@@ -425,9 +634,43 @@ class ThreadShardHandle:
         """Name of the index structure this shard runs."""
         return self.engine.describe()
 
-    def reset_head(self, root: Optional[Digest]) -> None:
+    def reset_head(self, root: Optional[Digest],
+                   posting_roots: Optional[Dict[str, Optional[Digest]]] = None) -> None:
         """Reset the working head (and history) at ``root``."""
-        self.engine.reset_head(root)
+        self.engine.reset_head(root, posting_roots)
+
+    def register_index(self, definition: IndexDefinition) -> Optional[Digest]:
+        """Register a secondary index (caller holds the lock)."""
+        return self.engine.register_index(definition)
+
+    def posting_heads_state(self) -> Dict[str, Optional[Digest]]:
+        """Posting roots of the working head (caller holds the lock)."""
+        return self.engine.posting_heads_state()
+
+    def postings_for(
+        self,
+        primary_root: Optional[Digest],
+        base_primary: Optional[Digest] = None,
+        base_postings: Optional[Dict[str, Optional[Digest]]] = None,
+    ) -> Dict[str, Optional[Digest]]:
+        """Diff-driven posting roots for an already-built primary root."""
+        return self.engine.postings_for(primary_root, base_primary, base_postings)
+
+    def write_at_indexed(
+        self,
+        root: Optional[Digest],
+        puts: Dict[bytes, bytes],
+        removes: Iterable[bytes],
+        base_postings: Optional[Dict[str, Optional[Digest]]],
+    ) -> Tuple[Optional[Digest], Dict[str, Optional[Digest]],
+               List[Tuple[bytes, Optional[bytes], Optional[bytes]]]]:
+        """Branch-commit write plus posting maintenance (caller holds the lock)."""
+        return self.engine.write_at_indexed(root, puts, removes, base_postings)
+
+    def scan_range(self, root: Optional[Digest], start: Optional[bytes],
+                   stop: Optional[bytes]) -> List[Tuple[bytes, bytes]]:
+        """Range-scan ``root`` (lock-free; roots are immutable)."""
+        return self.engine.scan_range(root, start, stop)
 
     def head_root(self) -> Optional[Digest]:
         """Root digest of the working head (caller holds the lock)."""
@@ -449,9 +692,10 @@ class ThreadShardHandle:
         """Bulk-ingest a routed batch (caller holds the lock)."""
         self.engine.load_batch(puts, removes)
 
-    def set_head(self, root: Optional[Digest]) -> None:
+    def set_head(self, root: Optional[Digest],
+                 posting_roots: Optional[Dict[str, Optional[Digest]]] = None) -> None:
         """Advance the working head to ``root`` (caller holds the lock)."""
-        self.engine.set_head(root)
+        self.engine.set_head(root, posting_roots)
 
     def write_at(self, root: Optional[Digest], puts: Dict[bytes, bytes],
                  removes: Iterable[bytes]) -> Optional[Digest]:

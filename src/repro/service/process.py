@@ -226,9 +226,49 @@ class ProcessShardHandle:
         """Name of the index structure this shard runs."""
         return self.call("describe")
 
-    def reset_head(self, root: Optional[Digest]) -> None:
+    def reset_head(self, root: Optional[Digest],
+                   posting_roots: Optional[Dict[str, Optional[Digest]]] = None) -> None:
         """Reset the worker's working head (and history) at ``root``."""
-        self.call("reset_head", root)
+        self.call("reset_head", root, posting_roots)
+
+    def register_index(self, definition) -> Optional[Digest]:
+        """Register a secondary index in the worker (definition is pickled)."""
+        return self.call("register_index", definition)
+
+    def posting_heads_state(self) -> Dict[str, Optional[Digest]]:
+        """Posting roots of the worker's working head."""
+        return self.call("posting_heads_state")
+
+    def postings_for(
+        self,
+        primary_root: Optional[Digest],
+        base_primary: Optional[Digest] = None,
+        base_postings: Optional[Dict[str, Optional[Digest]]] = None,
+    ) -> Dict[str, Optional[Digest]]:
+        """Diff-driven posting roots for an already-built primary root."""
+        return self.call("postings_for", primary_root, base_primary, base_postings)
+
+    def write_at_indexed(
+        self,
+        root: Optional[Digest],
+        puts: Dict[bytes, bytes],
+        removes: Iterable[bytes],
+        base_postings: Optional[Dict[str, Optional[Digest]]],
+    ) -> Tuple[Optional[Digest], Dict[str, Optional[Digest]],
+               List[Tuple[bytes, Optional[bytes], Optional[bytes]]]]:
+        """Branch-commit write plus posting maintenance, in the worker.
+
+        The third element is the worker-computed ``(key, old, new)``
+        delta — it rides back over the pipe so the parent can feed the
+        service's per-commit change log without re-reading the shard.
+        """
+        return self.call("write_at_indexed", root, puts, list(removes),
+                         base_postings)
+
+    def scan_range(self, root: Optional[Digest], start: Optional[bytes],
+                   stop: Optional[bytes]) -> List[Tuple[bytes, bytes]]:
+        """Range-scan ``root`` in the worker (pipe lock only)."""
+        return self.call("scan_range", root, start, stop)
 
     def head_root(self) -> Optional[Digest]:
         """Root digest of the worker's working head."""
@@ -250,9 +290,10 @@ class ProcessShardHandle:
         """Bulk-ingest a routed batch in the worker."""
         self.call("load_batch", puts, list(removes))
 
-    def set_head(self, root: Optional[Digest]) -> None:
+    def set_head(self, root: Optional[Digest],
+                 posting_roots: Optional[Dict[str, Optional[Digest]]] = None) -> None:
         """Advance the worker's working head to ``root``."""
-        self.call("set_head", root)
+        self.call("set_head", root, posting_roots)
 
     def write_at(self, root: Optional[Digest], puts: Dict[bytes, bytes],
                  removes: Iterable[bytes]) -> Optional[Digest]:
@@ -397,6 +438,15 @@ class RemoteShardView:
     def items(self) -> Iterator[Tuple[bytes, bytes]]:
         """Iterate ``(key, value)`` records in ascending key order."""
         return iter(self._handle.call("scan", self.root_digest))
+
+    def items_range(self, start: Optional[bytes] = None,
+                    stop: Optional[bytes] = None) -> Iterator[Tuple[bytes, bytes]]:
+        """Iterate records with ``start <= key < stop``, keys ascending.
+
+        The range is pruned worker-side (the engine's ``scan_range``), so
+        only the matching records cross the pipe.
+        """
+        return iter(self._handle.call("scan_range", self.root_digest, start, stop))
 
     def keys(self) -> Iterator[bytes]:
         """Iterate keys in ascending order."""

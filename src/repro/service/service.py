@@ -68,6 +68,7 @@ import json
 import os
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -77,6 +78,12 @@ from repro.core.interfaces import IndexSnapshot, KeyLike, SIRIIndex, ValueLike, 
 from repro.core.metrics import CacheCounters, ContentionCounters, GCCounters
 from repro.core.version import UnknownBranchError, VersionGraph
 from repro.hashing.digest import Digest, default_hash_function
+from repro.query.definition import (
+    IndexDefinition,
+    decode_posting_key,
+    lookup_range,
+    posting_range,
+)
 from repro.service.batcher import ShardWriteBatcher
 from repro.service.engine import ShardEngine, ShardMetrics, ThreadShardHandle
 from repro.service.process import ProcessShardBackend
@@ -121,6 +128,13 @@ class ServiceCommit:
         two for a merge commit).  Together with ``branch`` this is enough
         to rebuild the commit DAG — and therefore merge bases — from the
         journal alone.
+    index_roots:
+        Per-secondary-index posting-tree roots at commit time, as a
+        name-sorted tuple of ``(index_name, per-shard root tuple)`` pairs
+        (a tuple, not a dict, so the dataclass stays hashable).  Empty
+        when no secondary index is registered — and then absent from the
+        journal line and the commit digest, keeping pre-index journals
+        and digests byte-identical.
     """
 
     version: int
@@ -130,6 +144,7 @@ class ServiceCommit:
     timestamp: float = 0.0
     branch: str = "main"
     parents: Tuple[int, ...] = ()
+    index_roots: Tuple[Tuple[str, Tuple[Optional[Digest], ...]], ...] = ()
 
     def short_id(self) -> str:
         """Truncated hex of the service-level digest (for logs)."""
@@ -138,6 +153,14 @@ class ServiceCommit:
     def is_merge(self) -> bool:
         """Whether this commit joined two branch histories."""
         return len(self.parents) > 1
+
+    def index_root_map(self) -> Dict[str, Tuple[Optional[Digest], ...]]:
+        """The commit's posting roots as ``{index name: per-shard roots}``."""
+        return dict(self.index_roots)
+
+    def shard_postings(self, shard_id: int) -> Dict[str, Optional[Digest]]:
+        """Posting roots of every index on one shard (``{name: root}``)."""
+        return {name: roots[shard_id] for name, roots in self.index_roots}
 
 
 @dataclass
@@ -230,6 +253,17 @@ class ServiceSnapshot:
     def items(self) -> Iterator[Tuple[bytes, bytes]]:
         """Iterate ``(key, value)`` pairs of all shards in ascending key order."""
         return heapq.merge(*(snap.items() for snap in self.shards))
+
+    def items_range(self, start: Optional[bytes] = None,
+                    stop: Optional[bytes] = None) -> Iterator[Tuple[bytes, bytes]]:
+        """Iterate pairs with ``start <= key < stop``, keys ascending.
+
+        ``start`` inclusive, ``stop`` exclusive, ``None`` = open end —
+        the :meth:`~repro.core.interfaces.SIRIIndex.iterate_range`
+        contract.  Each shard prunes its own tree to the bounds, so the
+        cost scales with the range size, not the dataset.
+        """
+        return heapq.merge(*(snap.items_range(start, stop) for snap in self.shards))
 
     def keys(self) -> Iterator[bytes]:
         """Iterate all keys across shards in ascending order."""
@@ -344,6 +378,12 @@ class VersionedKVService:
 
     MANIFEST_NAME = "MANIFEST.jsonl"
 
+    #: Change-log retention: entries are kept for this many recent commits.
+    FEED_LOG_COMMITS = 128
+    #: Commits whose delta exceeds this many entries (bulk loads) are not
+    #: captured — feeds fall back to the structural diff for them.
+    FEED_LOG_MAX_ENTRIES = 10_000
+
     def __init__(
         self,
         index_factory: IndexFactory,
@@ -423,6 +463,18 @@ class VersionedKVService:
         #: Store-less index instance used only to parse child digests out
         #: of node bytes during sync (built lazily by child_digests()).
         self._parser_index: Optional[SIRIIndex] = None
+        #: Registered secondary indexes (definitions are code, so a fresh
+        #: process must re-register them after constructing the service;
+        #: commits made while an index is registered journal its posting
+        #: roots and stay queryable either way).
+        self._index_definitions: Dict[str, IndexDefinition] = {}
+        #: Per-commit change log: version -> key-sorted DiffEntry tuple,
+        #: captured for free from the indexed write path (the engine
+        #: computes the delta for posting maintenance anyway).  A bounded
+        #: cache, not a source of truth: feeds consult it first and fall
+        #: back to the structural diff for evicted, bulk or foreign
+        #: commits — both produce the identical entry list.
+        self._feed_log: "OrderedDict[int, Tuple[DiffEntry, ...]]" = OrderedDict()
         self.open()
 
     # -- lifecycle ---------------------------------------------------------
@@ -529,10 +581,17 @@ class VersionedKVService:
         self._branch_heads = {}
         for commit in self._commits:
             self._register_commit(commit)
+        # Re-install registered index definitions into the (fresh) shard
+        # engines *before* the head reset, so reset_head can adopt the
+        # head commit's journalled posting roots (or rebuild missing ones).
+        for definition in self._index_definitions.values():
+            for shard in self._shards:
+                with shard:
+                    shard.register_index(definition)
         head = self._branch_heads.get(self.default_branch)
         if head is not None:
             for shard, root in zip(self._shards, head.roots):
-                shard.reset_head(root)
+                shard.reset_head(root, head.shard_postings(shard.shard_id))
         self._opened = True
 
     def close(self) -> None:
@@ -563,7 +622,7 @@ class VersionedKVService:
             return
         try:
             with self._commit_lock:
-                heads = self._atomic_cut()
+                heads, index_roots = self._atomic_cut(collect_postings=True)
                 roots = tuple(head.root_digest for head in heads)
                 committed = self._branch_heads.get(self.default_branch)
                 if committed is not None:
@@ -571,7 +630,7 @@ class VersionedKVService:
                 else:
                     dirty = any(root is not None for root in roots)
                 if dirty:
-                    self._record_commit(roots, "close()")
+                    self._record_commit(roots, "close()", index_roots=index_roots)
         except ShardExecutionError:
             # A dead shard worker cannot contribute to the final cut;
             # never journal a partial one — fall through to teardown and
@@ -670,6 +729,12 @@ class VersionedKVService:
                 parents = (branch_tips[branch],)
             else:
                 parents = ()
+            index_roots = tuple(
+                (name, tuple(
+                    Digest.from_hex(root) if root is not None else None
+                    for root in posting_roots))
+                for name, posting_roots in sorted(
+                    (entry.get("indexes") or {}).items()))
             commit = ServiceCommit(
                 version=int(entry["version"]),
                 roots=roots,
@@ -678,8 +743,9 @@ class VersionedKVService:
                 timestamp=float(entry.get("timestamp", 0.0)),
                 branch=branch,
                 parents=parents,
+                index_roots=index_roots,
             )
-        except (ValueError, KeyError, TypeError) as exc:
+        except (ValueError, KeyError, TypeError, AttributeError) as exc:
             raise CorruptNodeError(
                 None, f"corrupt manifest entry at {path}:{lineno}: {exc}"
             ) from None
@@ -693,6 +759,13 @@ class VersionedKVService:
                 None,
                 f"manifest {path}:{lineno} records {len(commit.roots)} "
                 f"shard roots but the service has {self.router.num_shards}")
+        for name, posting_roots in commit.index_roots:
+            if len(posting_roots) != self.router.num_shards:
+                raise CorruptNodeError(
+                    None,
+                    f"manifest {path}:{lineno} records {len(posting_roots)} "
+                    f"posting roots for index {name!r} but the service has "
+                    f"{self.router.num_shards} shards")
         if any(parent >= commit.version or parent < 0 for parent in commit.parents):
             raise CorruptNodeError(
                 None,
@@ -760,6 +833,14 @@ class VersionedKVService:
             "branch": commit.branch,
             "parents": list(commit.parents),
         }
+        if commit.index_roots:
+            # Written only when secondary indexes are registered, so
+            # journals of index-free services stay byte-identical to the
+            # previous format (and old readers would simply ignore it).
+            entry["indexes"] = {
+                name: [root.hex if root is not None else None for root in roots]
+                for name, roots in commit.index_roots
+            }
         path = self._manifest_path()
         creating = not os.path.exists(path)
         with open(path, "a", encoding="utf-8") as handle:
@@ -981,12 +1062,18 @@ class VersionedKVService:
     def record_count(self) -> int:
         """Total records across all shards (flushes pending writes first)."""
         self._require_open()
-        return sum(len(head) for head in self._atomic_cut())
+        heads, _ = self._atomic_cut()
+        return sum(len(head) for head in heads)
 
     # -- versioning --------------------------------------------------------
 
-    def _atomic_cut(self) -> List:
-        """Flush every shard and return one consistent cross-shard head list.
+    def _atomic_cut(self, collect_postings: bool = False) -> Tuple[List, Tuple]:
+        """Flush every shard and return one consistent cross-shard cut.
+
+        Returns ``(heads, index_roots)``: the per-shard head snapshots
+        plus — when ``collect_postings`` is set and secondary indexes are
+        registered — the posting roots of every index in the
+        :attr:`ServiceCommit.index_roots` shape (``()`` otherwise).
 
         Acquires every shard lock (in ascending shard-id order — writers
         only ever hold one shard lock, so this cannot deadlock), drains
@@ -1028,10 +1115,28 @@ class VersionedKVService:
                         failure = exc
             if failure is not None:
                 raise failure
-            return heads
+            if collect_postings and self._index_definitions:
+                return heads, self._collect_index_roots_locked()
+            return heads, ()
         finally:
             for shard in reversed(acquired):
                 shard.__exit__()
+
+    def _collect_index_roots_locked(
+            self) -> Tuple[Tuple[str, Tuple[Optional[Digest], ...]], ...]:
+        """Posting roots of every registered index (shard locks held).
+
+        Returns the name-sorted ``ServiceCommit.index_roots`` shape; the
+        engines keep their posting heads in lock-step with their primary
+        working heads, so reading them after a flush yields the postings
+        of exactly the cut being committed.
+        """
+        if not self._index_definitions:
+            return ()
+        per_shard = [shard.posting_heads_state() for shard in self._shards]
+        return tuple(
+            (name, tuple(states.get(name) for states in per_shard))
+            for name in sorted(self._index_definitions))
 
     def _resolve_commit(self, version: Union[int, ServiceCommit]) -> ServiceCommit:
         if isinstance(version, ServiceCommit):
@@ -1068,17 +1173,21 @@ class VersionedKVService:
         """
         self._require_open()
         with self._commit_lock:
-            heads = self._atomic_cut()
+            heads, index_roots = self._atomic_cut(collect_postings=True)
             roots = tuple(head.root_digest for head in heads)
-            return self._record_commit(roots, message)
+            return self._record_commit(roots, message, index_roots=index_roots)
 
     def _record_commit(self, roots: Tuple[Optional[Digest], ...], message: str,
                        branch: Optional[str] = None,
-                       parents: Optional[Sequence[int]] = None) -> ServiceCommit:
+                       parents: Optional[Sequence[int]] = None,
+                       index_roots: Tuple[Tuple[str, Tuple[Optional[Digest], ...]], ...] = ()) -> ServiceCommit:
         """Journal one commit over an already-captured cut (commit lock held).
 
         ``branch`` defaults to the service's default branch; ``parents``
         defaults to that branch's current head (the linear-history case).
+        ``index_roots`` (the :attr:`ServiceCommit.index_roots` shape) is
+        mixed into the commit digest only when non-empty, so services
+        without secondary indexes keep their historical digests.
         """
         if branch is None:
             branch = self.default_branch
@@ -1090,7 +1199,15 @@ class VersionedKVService:
             if parent not in self._graph_ids:
                 raise InvalidParameterError(
                     f"unknown parent commit version: {parent}")
+        index_roots = tuple(sorted(index_roots))
         parts = [root.raw if root is not None else b"\x00" for root in roots]
+        for name, posting_roots in index_roots:
+            # Postings are a pure function of primary content, so two
+            # replicas with the same content *and the same registered
+            # indexes* still agree on the commit digest.
+            parts.append(name.encode("ascii"))
+            parts.extend(root.raw if root is not None else b"\x00"
+                         for root in posting_roots)
         digest = self._hash.hash_many(parts)
         commit = ServiceCommit(
             version=len(self._commits),
@@ -1100,6 +1217,7 @@ class VersionedKVService:
             timestamp=time.time(),
             branch=branch,
             parents=parents,
+            index_roots=index_roots,
         )
         if self.directory is not None:
             self._append_manifest(commit)
@@ -1167,7 +1285,8 @@ class VersionedKVService:
 
     def commit_roots(self, branch: str,
                      roots: Sequence[Optional[Digest]], message: str = "",
-                     parents: Optional[Sequence[int]] = None) -> ServiceCommit:
+                     parents: Optional[Sequence[int]] = None,
+                     index_roots: Optional[Tuple] = None) -> ServiceCommit:
         """Record already-built shard roots as the new head of ``branch``.
 
         This is the repository layer's commit primitive: branch writers
@@ -1181,14 +1300,22 @@ class VersionedKVService:
         head); a fork passes the source head, a merge passes both heads.
         Every shard store is flushed before the journal append, preserving
         the invariant that a manifest entry implies its nodes are durable.
+
+        ``index_roots`` carries pre-computed posting roots (the
+        :attr:`ServiceCommit.index_roots` shape); with the default
+        ``None`` they are resolved automatically — inherited from the
+        base commit when the primary roots are unchanged (forks), else
+        recomputed diff-driven from the base commit's postings.
         """
         self._require_open()
         with self._commit_lock:
-            return self._commit_roots_locked(branch, roots, message, parents)
+            return self._commit_roots_locked(branch, roots, message, parents,
+                                             index_roots=index_roots)
 
     def _commit_roots_locked(self, branch: str, roots: Sequence[Optional[Digest]],
                              message: str,
-                             parents: Optional[Sequence[int]]) -> ServiceCommit:
+                             parents: Optional[Sequence[int]],
+                             index_roots: Optional[Tuple] = None) -> ServiceCommit:
         roots = tuple(roots)
         if len(roots) != self.router.num_shards:
             raise InvalidParameterError(
@@ -1198,7 +1325,8 @@ class VersionedKVService:
             for shard in self._shards:
                 shard.__enter__()
                 acquired.append(shard)
-            return self._commit_roots_shards_held(branch, roots, message, parents)
+            return self._commit_roots_shards_held(branch, roots, message, parents,
+                                                  index_roots=index_roots)
         finally:
             for shard in reversed(acquired):
                 shard.__exit__()
@@ -1223,7 +1351,8 @@ class VersionedKVService:
             return parents
         implicit = self._record_commit(
             working, "flat-API writes (implicit commit)",
-            branch=self.default_branch, parents=None)
+            branch=self.default_branch, parents=None,
+            index_roots=self._collect_index_roots_locked())
         if parents is None:
             return None  # _record_commit defaults to the branch head (= implicit)
         parents = list(parents)
@@ -1238,7 +1367,8 @@ class VersionedKVService:
     def _commit_roots_shards_held(self, branch: str,
                                   roots: Tuple[Optional[Digest], ...],
                                   message: str,
-                                  parents: Optional[Sequence[int]]) -> ServiceCommit:
+                                  parents: Optional[Sequence[int]],
+                                  index_roots: Optional[Tuple] = None) -> ServiceCommit:
         """Journal ``roots`` with every shard lock (and the commit lock) held."""
         # Durability barrier (the prepare phase for branch commits):
         # branch writers fed these roots' nodes through the shard stores'
@@ -1248,14 +1378,54 @@ class VersionedKVService:
             shard.store_flush()
         if branch == self.default_branch:
             parents = self._preserve_working_heads_locked(parents)
-        commit = self._record_commit(roots, message, branch=branch, parents=parents)
+        if index_roots is None:
+            index_roots = self._resolve_index_roots_shards_held(
+                branch, roots, parents)
+        commit = self._record_commit(roots, message, branch=branch,
+                                     parents=parents, index_roots=index_roots)
         if branch == self.default_branch:
             # Keep the flat API's working heads in step with their
             # branch: pending buffered writes stay buffered and apply
             # on top of the new head at the next flush.
             for shard, root in zip(self._shards, roots):
-                shard.set_head(root)
+                shard.set_head(root, commit.shard_postings(shard.shard_id))
         return commit
+
+    def _resolve_index_roots_shards_held(
+            self, branch: str, roots: Tuple[Optional[Digest], ...],
+            parents: Optional[Sequence[int]]) -> Tuple:
+        """Posting roots for a roots-only commit (shard locks held).
+
+        Base = the first parent (or the branch head).  When the primary
+        roots are unchanged from the base — a fork — its posting roots
+        are inherited outright.  Otherwise each shard recomputes its
+        postings diff-driven from the base (structural diff of primary
+        roots → extractor on just the changed records), so the cost is
+        proportional to the divergence, not the dataset; shards whose
+        base predates index registration bulk-build from content.
+        """
+        if not self._index_definitions:
+            return ()
+        base: Optional[ServiceCommit] = None
+        if parents:
+            base = self._commits[parents[0]]
+        else:
+            base = self._branch_heads.get(branch)
+        if base is not None and base.roots == roots:
+            base_map = base.index_root_map()
+            if all(name in base_map for name in self._index_definitions):
+                return base.index_roots
+        per_shard: List[Dict[str, Optional[Digest]]] = []
+        for shard in self._shards:
+            shard_id = shard.shard_id
+            base_primary = base.roots[shard_id] if base is not None else None
+            base_postings = (base.shard_postings(shard_id)
+                             if base is not None else None)
+            per_shard.append(shard.postings_for(
+                roots[shard_id], base_primary, base_postings))
+        return tuple(
+            (name, tuple(postings.get(name) for postings in per_shard))
+            for name in sorted(self._index_definitions))
 
     def commit_update(self, branch: str,
                       base_roots: Sequence[Optional[Digest]],
@@ -1288,14 +1458,56 @@ class VersionedKVService:
             if branch == self.default_branch:
                 return self._commit_update_default_locked(
                     puts_by_shard, removes_by_shard, message, parents)
+            # Base commit for incremental posting maintenance: internal
+            # callers always pass the first parent's roots as base_roots.
+            base: Optional[ServiceCommit] = None
+            if self._index_definitions:
+                if parents:
+                    base = self._commits[parents[0]]
+                else:
+                    base = self._branch_heads.get(branch)
             new_roots: List[Optional[Digest]] = []
+            postings_by_shard: List[Dict[str, Optional[Digest]]] = []
+            changed_by_shard: List[List] = []
             for shard, root, puts, removes in zip(
                     self._shards, base_roots, puts_by_shard, removes_by_shard):
+                base_postings = (base.shard_postings(shard.shard_id)
+                                 if base is not None else None)
+                changed: List = []
                 if puts or removes:
                     with shard:
-                        root = shard.write_at(root, puts, list(removes))
+                        if self._index_definitions:
+                            root, postings, changed = shard.write_at_indexed(
+                                root, puts, list(removes), base_postings)
+                        else:
+                            root = shard.write_at(root, puts, list(removes))
+                            postings = {}
+                elif self._index_definitions:
+                    # Untouched shard: postings carry over from the base
+                    # (diff of identical primary roots is empty; missing
+                    # names bulk-build from content).
+                    with shard:
+                        postings = shard.postings_for(root, root, base_postings)
+                else:
+                    postings = {}
                 new_roots.append(root)
-            return self._commit_roots_locked(branch, new_roots, message, parents)
+                postings_by_shard.append(postings)
+                changed_by_shard.append(changed)
+            index_roots: Tuple = ()
+            if self._index_definitions:
+                index_roots = tuple(
+                    (name, tuple(p.get(name) for p in postings_by_shard))
+                    for name in sorted(self._index_definitions))
+            commit = self._commit_roots_locked(branch, new_roots, message,
+                                               parents, index_roots=index_roots)
+            # Capture the change log only when the delta was computed
+            # against the commit's actual first parent (internal callers
+            # always arrange this; anything else falls back to the diff).
+            expected = (base.roots if base is not None
+                        else (None,) * self.router.num_shards)
+            if self._index_definitions and base_roots == expected:
+                self._record_feed_entries(commit.version, changed_by_shard)
+            return commit
 
     def _commit_update_default_locked(
             self, puts_by_shard: Sequence[Dict[bytes, bytes]],
@@ -1317,17 +1529,161 @@ class VersionedKVService:
             # those same heads as the implicit parent commit before the
             # main record, so both states reach the journal in order.
             new_roots: List[Optional[Digest]] = []
+            postings_by_shard: List[Dict[str, Optional[Digest]]] = []
+            changed_by_shard: List[List] = []
             for shard, puts, removes in zip(
                     self._shards, puts_by_shard, removes_by_shard):
                 root = shard.head_root()
+                postings = (shard.posting_heads_state()
+                            if self._index_definitions else {})
+                changed: List = []
                 if puts or removes:
-                    root = shard.write_at(root, puts, list(removes))
+                    if self._index_definitions:
+                        root, postings, changed = shard.write_at_indexed(
+                            root, puts, list(removes), postings)
+                    else:
+                        root = shard.write_at(root, puts, list(removes))
                 new_roots.append(root)
-            return self._commit_roots_shards_held(
-                self.default_branch, tuple(new_roots), message, parents)
+                postings_by_shard.append(postings)
+                changed_by_shard.append(changed)
+            index_roots: Tuple = ()
+            if self._index_definitions:
+                index_roots = tuple(
+                    (name, tuple(p.get(name) for p in postings_by_shard))
+                    for name in sorted(self._index_definitions))
+            commit = self._commit_roots_shards_held(
+                self.default_branch, tuple(new_roots), message, parents,
+                index_roots=index_roots)
+            if self._index_definitions:
+                self._record_feed_entries(commit.version, changed_by_shard)
+            return commit
         finally:
             for shard in reversed(acquired):
                 shard.__exit__()
+
+    # -- secondary indexes (the query layer's primitives) --------------------
+
+    def register_index(self, definition: IndexDefinition) -> None:
+        """Register a secondary index and materialize its posting trees.
+
+        Every shard engine builds the index's posting tree for its
+        current working head (a bulk build over existing content) and
+        maintains it incrementally from then on: each flushed batch
+        advances the postings from exactly the changed records, and
+        every subsequent commit journals the posting roots next to the
+        primary roots — so the index recovers, forks, merges and
+        garbage-collects with the commits it belongs to.
+
+        Definitions are code: a fresh process must re-register its
+        indexes after constructing the service (commits journalled while
+        the index was registered remain queryable through their recorded
+        roots either way).  Registering a name twice raises
+        :class:`~repro.core.errors.InvalidParameterError`.
+        """
+        self._require_open()
+        with self._commit_lock:
+            if definition.name in self._index_definitions:
+                raise InvalidParameterError(
+                    f"index {definition.name!r} is already registered")
+            for shard in self._shards:
+                with shard:
+                    self._flush_shard_locked(shard)
+                    shard.register_index(definition)
+            self._index_definitions[definition.name] = definition
+
+    def index_definitions(self) -> Dict[str, IndexDefinition]:
+        """The currently registered secondary indexes, by name."""
+        return dict(self._index_definitions)
+
+    def has_index(self, name: str) -> bool:
+        """Whether a secondary index named ``name`` is registered."""
+        return name in self._index_definitions
+
+    def _record_feed_entries(self, version: int,
+                             changed_by_shard: Sequence[Sequence[Tuple]]) -> None:
+        """Capture a commit's change log from its per-shard write deltas.
+
+        Called (commit lock held) right after the commit is journalled.
+        The per-shard ``(key, old, new)`` lists are each key-sorted and
+        keys never cross shards, so a heap merge yields exactly the
+        key-ordered entry list the structural first-parent diff would
+        produce.  Deltas larger than :attr:`FEED_LOG_MAX_ENTRIES` (bulk
+        loads) are not kept, and only the newest
+        :attr:`FEED_LOG_COMMITS` commits are retained — evicted commits
+        simply fall back to the diff.
+        """
+        total = sum(len(changed) for changed in changed_by_shard)
+        if total > self.FEED_LOG_MAX_ENTRIES:
+            return
+        merged = tuple(DiffEntry(key, old, new) for key, old, new
+                       in heapq.merge(*changed_by_shard))
+        self._feed_log[version] = merged
+        while len(self._feed_log) > self.FEED_LOG_COMMITS:
+            self._feed_log.popitem(last=False)
+
+    def feed_entries(self, version: int) -> Optional[Tuple[DiffEntry, ...]]:
+        """The captured change log of commit ``version``, if still held.
+
+        ``None`` means "not captured" (evicted, bulk-loaded, journalled
+        before any index existed, or imported from a peer) — the caller
+        computes the structural first-parent diff instead, which yields
+        the identical entry list.
+        """
+        return self._feed_log.get(version)
+
+    def _check_posting_roots(self, posting_roots: Sequence[Optional[Digest]]) -> Tuple[Optional[Digest], ...]:
+        posting_roots = tuple(posting_roots)
+        if len(posting_roots) != self.router.num_shards:
+            raise InvalidParameterError(
+                f"expected {self.router.num_shards} posting roots, "
+                f"got {len(posting_roots)}")
+        return posting_roots
+
+    def index_lookup(self, posting_roots: Sequence[Optional[Digest]],
+                     index_key: bytes) -> List[Tuple[bytes, bytes]]:
+        """``(primary_key, value)`` pairs filed under ``index_key``.
+
+        ``posting_roots`` is one index's per-shard root tuple (from a
+        commit's :attr:`ServiceCommit.index_roots`).  Each shard answers
+        with a pruned range scan over its posting tree — lock-free, since
+        the roots are immutable — and the union is returned sorted.
+        Postings are covering (they store the record value), so the
+        answer costs one contiguous scan proportional to its size; the
+        primary tree is never touched.
+        """
+        self._require_open()
+        posting_roots = self._check_posting_roots(posting_roots)
+        start, stop = lookup_range(index_key)
+        # Every posting key in [start, stop) begins with the escaped
+        # index key plus its terminator; the primary key is the tail.
+        prefix_length = len(start)
+        pairs: List[Tuple[bytes, bytes]] = []
+        for shard, root in zip(self._shards, posting_roots):
+            for posting_key, value in shard.scan_range(root, start, stop):
+                pairs.append((posting_key[prefix_length:], value))
+        pairs.sort()
+        return pairs
+
+    def index_range(self, posting_roots: Sequence[Optional[Digest]],
+                    lo: Optional[bytes],
+                    hi: Optional[bytes]) -> List[Tuple[bytes, bytes, bytes]]:
+        """``(index_key, primary_key, value)`` triples with ``lo <= index_key < hi``.
+
+        ``None`` bounds are open ends, matching the
+        :meth:`~repro.core.interfaces.SIRIIndex.iterate_range` contract.
+        The merged result is sorted by ``(index_key, primary_key)``;
+        values come from the covering postings themselves.
+        """
+        self._require_open()
+        posting_roots = self._check_posting_roots(posting_roots)
+        start, stop = posting_range(lo, hi)
+        triples: List[Tuple[bytes, bytes, bytes]] = []
+        for shard, root in zip(self._shards, posting_roots):
+            for posting_key, value in shard.scan_range(root, start, stop):
+                index_key, primary_key = decode_posting_key(posting_key)
+                triples.append((index_key, primary_key, value))
+        triples.sort()
+        return triples
 
     # -- replication (node transfer by structural frontier) -----------------
 
@@ -1524,6 +1880,14 @@ class VersionedKVService:
             retained = self.retained_commits()
             protected = [commit.roots for commit in retained]
             protected.extend(commit.roots for commit in self._branch_heads.values())
+            # Posting trees live or die with their commits: protect the
+            # per-index root tuples of every commit whose primary roots
+            # are protected (the engine adds its own working posting
+            # heads during collect()).
+            for commit in retained:
+                protected.extend(roots for _, roots in commit.index_roots)
+            for commit in self._branch_heads.values():
+                protected.extend(roots for _, roots in commit.index_roots)
             with self._pin_lock:
                 protected.extend(self._pinned_roots.values())
             for shard in self._shards:
@@ -1548,7 +1912,8 @@ class VersionedKVService:
         """
         self._require_open()
         if version is None:
-            return ServiceSnapshot(self._atomic_cut(), commit=None)
+            heads, _ = self._atomic_cut()
+            return ServiceSnapshot(heads, commit=None)
         commit = self._resolve_commit(version)
         snaps = [shard.view(root) for shard, root in zip(self._shards, commit.roots)]
         return ServiceSnapshot(snaps, commit=commit)

@@ -13,7 +13,19 @@ statistics and edit dynamics:
   truncated geometric-like distribution with the paper's mean;
 * an edit stream where each version modifies a subset of pages and adds a
   few new ones, so consecutive versions overlap heavily (which is what the
-  storage experiments exercise).
+  storage experiments exercise);
+* optional **revision metadata** for the query-layer experiments: the
+  annotated dataset prepends ``author|timestamp|`` to each abstract, with
+  a long-tailed author distribution (a few prolific editors dominate, so
+  by-author secondary lookups are skewed) and timestamps that advance
+  with the version number (so by-time-bucket queries cluster).  The
+  module-level :func:`extract_author` / :func:`extract_time_bucket`
+  extractors parse that header and are picklable, so they can drive
+  :class:`repro.query.definition.IndexDefinition` on the process backend.
+
+The annotated surface is additive: ``initial_dataset`` /
+``version_stream`` / ``read_keys`` draw from the same RNG streams as
+before and stay byte-identical for a given seed.
 """
 
 from __future__ import annotations
@@ -28,6 +40,44 @@ _WORDS = (
     "history branch merge commit abstract article page reference study "
     "model theory result evaluation performance experiment measure ratio"
 ).split()
+
+#: Size of the synthetic editor pool for annotated revisions.
+AUTHOR_COUNT = 64
+
+#: Timestamp origin of the annotated edit stream (an arbitrary epoch).
+EPOCH = 1_600_000_000
+
+#: Seconds covered by one :func:`extract_time_bucket` bucket.
+TIME_BUCKET_SECONDS = 86_400
+
+
+def extract_author(value: bytes) -> List[bytes]:
+    """Index extractor: the author of an annotated revision value.
+
+    Returns ``[author]`` for values carrying the ``author|timestamp|``
+    header and ``[]`` for anything else (plain abstracts never contain
+    ``|``), so the extractor is safe to register over mixed data.
+    Module-level by design: extractors must be picklable to cross the
+    process-backend boundary.
+    """
+    parts = value.split(b"|", 2)
+    if len(parts) == 3 and parts[0] and parts[1].isdigit():
+        return [parts[0]]
+    return []
+
+
+def extract_time_bucket(value: bytes) -> List[bytes]:
+    """Index extractor: the day bucket of an annotated revision value.
+
+    Buckets are zero-padded ASCII day numbers, so their lexicographic
+    order equals chronological order and time-range queries map directly
+    onto index range scans.  Non-annotated values yield ``[]``.
+    """
+    parts = value.split(b"|", 2)
+    if len(parts) == 3 and parts[0] and parts[1].isdigit():
+        bucket = int(parts[1]) // TIME_BUCKET_SECONDS
+        return [b"%010d" % bucket]
+    return []
 
 
 @dataclass
@@ -105,26 +155,79 @@ class WikiDatasetGenerator:
             self._keys = [self._make_key(i) for i in range(self.page_count)]
         return self._keys
 
+    # -- revision metadata (annotated surface; separate RNG streams) ---------
+
+    def _make_author(self, index: int, revision: int) -> bytes:
+        """The editor of one revision, drawn from a long-tailed pool.
+
+        A Pareto draw concentrates most revisions on a few author ids —
+        the skew that makes by-author secondary-index lookups interesting
+        — while the derived per-(seed, index, revision) RNG keeps the
+        assignment deterministic and independent of every other stream.
+        """
+        rng = random.Random((self.seed << 24) ^ (index << 10) ^ revision)
+        rank = int(rng.paretovariate(1.1)) % AUTHOR_COUNT
+        return b"author_%03d" % rank
+
+    def _make_timestamp(self, index: int, revision: int) -> int:
+        """The edit time of one revision: advances with the version number.
+
+        Each version covers roughly half a day with per-edit jitter, so
+        revisions of the same version cluster into the same
+        :func:`extract_time_bucket` day buckets.
+        """
+        rng = random.Random((self.seed << 28) ^ (index << 14) ^ revision)
+        return EPOCH + revision * 43_200 + rng.randrange(43_200)
+
+    def annotated_value(self, index: int, revision: int = 0) -> bytes:
+        """An abstract value carrying the ``author|timestamp|`` header.
+
+        The abstract part is byte-identical to :meth:`_make_value` for
+        the same ``(index, revision)``, so annotated and plain datasets
+        share edit dynamics and value-length statistics (plus a small
+        fixed-size header).
+        """
+        author = self._make_author(index, revision)
+        timestamp = self._make_timestamp(index, revision)
+        return author + b"|" + b"%d" % timestamp + b"|" + self._make_value(index, revision)
+
     # -- dataset and version stream -----------------------------------------------
 
     def initial_dataset(self) -> Dict[bytes, bytes]:
         """The initial version (all pages at revision 0)."""
         return {key: self._make_value(i) for i, key in enumerate(self.keys)}
 
-    def version_stream(self) -> Iterator[WikiVersion]:
-        """Per-version change sets (edits of existing pages + new pages)."""
+    def initial_annotated_dataset(self) -> Dict[bytes, bytes]:
+        """The initial version with revision-metadata headers on every value."""
+        return {key: self.annotated_value(i) for i, key in enumerate(self.keys)}
+
+    def _stream(self, make_value) -> Iterator[WikiVersion]:
+        """Shared edit-stream generator; ``make_value(index, revision)``.
+
+        The edit *selection* RNG consumes the same call sequence
+        regardless of the value maker, so the plain and annotated streams
+        edit exactly the same pages in the same versions.
+        """
         rng = random.Random(self.seed + 1)
         next_new = self.page_count
         for number in range(1, self.versions + 1):
             changes: Dict[bytes, bytes] = {}
             edited = rng.sample(range(self.page_count), min(self.edits_per_version, self.page_count))
             for index in edited:
-                changes[self.keys[index]] = self._make_value(index, revision=number)
+                changes[self.keys[index]] = make_value(index, number)
             for _ in range(self.new_pages_per_version):
                 key = self._make_key(next_new)
-                changes[key] = self._make_value(next_new, revision=number)
+                changes[key] = make_value(next_new, number)
                 next_new += 1
             yield WikiVersion(number=number, changes=changes)
+
+    def version_stream(self) -> Iterator[WikiVersion]:
+        """Per-version change sets (edits of existing pages + new pages)."""
+        return self._stream(lambda index, number: self._make_value(index, revision=number))
+
+    def annotated_version_stream(self) -> Iterator[WikiVersion]:
+        """The same edit stream with annotated values (same pages edited)."""
+        return self._stream(self.annotated_value)
 
     def read_keys(self, count: int, seed_offset: int = 2) -> List[bytes]:
         """Uniformly selected keys for the read workload."""

@@ -1,0 +1,283 @@
+"""Behavioural tests for secondary indexes across the repository surface.
+
+Covers the index lifecycle the query layer promises: registration and
+incremental maintenance at commit time, staged-buffer overlays, reads on
+forks and merges, proofs anchored to committed posting roots, and crash
+recovery restoring journalled index roots — on both shard backends.
+"""
+
+import os
+
+import pytest
+
+from repro.api import Repository
+from repro.core.errors import InvalidParameterError
+from repro.query import IndexDefinition
+
+pytestmark = pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning")
+
+
+def extract_color(value):
+    """Module-level extractor (picklable for the process backend)."""
+    parts = value.split(b":", 1)
+    return [parts[0]] if len(parts) == 2 else []
+
+
+def extract_tags(value):
+    """Multi-key extractor: every comma-separated tag after the colon."""
+    parts = value.split(b":", 1)
+    if len(parts) != 2 or not parts[1]:
+        return []
+    return [tag for tag in parts[1].split(b",") if tag]
+
+
+BACKENDS = ["thread", "process"]
+
+
+def open_repo(backend, directory=None, num_shards=2):
+    return Repository.open(directory, num_shards=num_shards, backend=backend)
+
+
+def brute_force_triples(branch, definition):
+    """The oracle: every (index_key, primary_key, value) from a full scan."""
+    triples = []
+    for key, value in branch.scan():
+        for index_key in definition.keys_for(value):
+            triples.append((index_key, key, value))
+    triples.sort()
+    return triples
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+class TestLifecycle:
+    def test_lookup_and_range_after_commits(self, backend):
+        with open_repo(backend) as repo:
+            color = repo.register_index("color", extract_color)
+            branch = repo.default_branch
+            branch.put(b"p1", b"red:a")
+            branch.put(b"p2", b"blue:b")
+            branch.put(b"p3", b"red:c")
+            branch.commit("seed")
+            assert branch.lookup(color, b"red") == [
+                (b"p1", b"red:a"), (b"p3", b"red:c")]
+            assert branch.lookup(color, b"blue") == [(b"p2", b"blue:b")]
+            assert branch.lookup(color, b"green") == []
+            assert branch.range(color) == brute_force_triples(branch, color)
+            # lo inclusive, hi exclusive over index keys
+            assert branch.range(color, b"blue", b"red") == [
+                (b"blue", b"p2", b"blue:b")]
+
+    def test_update_moves_postings(self, backend):
+        with open_repo(backend) as repo:
+            color = repo.register_index("color", extract_color)
+            branch = repo.default_branch
+            branch.put(b"p1", b"red:a")
+            branch.commit("v0")
+            branch.put(b"p1", b"blue:a")
+            branch.commit("v1")
+            assert branch.lookup(color, b"red") == []
+            assert branch.lookup(color, b"blue") == [(b"p1", b"blue:a")]
+
+    def test_remove_clears_postings(self, backend):
+        with open_repo(backend) as repo:
+            color = repo.register_index("color", extract_color)
+            branch = repo.default_branch
+            branch.put(b"p1", b"red:a")
+            branch.commit("v0")
+            branch.remove(b"p1")
+            branch.commit("v1")
+            assert branch.lookup(color, b"red") == []
+            assert branch.range(color) == []
+
+    def test_multi_key_extractor(self, backend):
+        with open_repo(backend) as repo:
+            tags = repo.register_index(IndexDefinition("tags", extract_tags))
+            branch = repo.default_branch
+            branch.put(b"p1", b"x:alpha,beta")
+            branch.put(b"p2", b"x:beta")
+            branch.commit("seed")
+            assert branch.lookup(tags, b"alpha") == [(b"p1", b"x:alpha,beta")]
+            assert [pk for _, pk, _ in branch.range(tags, b"beta", b"beta\x00")] \
+                == [b"p1", b"p2"]
+
+    def test_registration_backfills_existing_data(self, backend):
+        with open_repo(backend) as repo:
+            branch = repo.default_branch
+            branch.put(b"p1", b"red:a")
+            branch.commit("before registration")
+            color = repo.register_index("color", extract_color)
+            branch.put(b"p2", b"red:b")
+            branch.commit("after registration")
+            assert branch.lookup(color, b"red") == [
+                (b"p1", b"red:a"), (b"p2", b"red:b")]
+
+    def test_duplicate_registration_rejected(self, backend):
+        with open_repo(backend) as repo:
+            repo.register_index("color", extract_color)
+            with pytest.raises(InvalidParameterError):
+                repo.register_index("color", extract_color)
+
+    def test_unknown_index_rejected(self, backend):
+        with open_repo(backend) as repo:
+            branch = repo.default_branch
+            with pytest.raises(InvalidParameterError):
+                branch.lookup("nope", b"red")
+
+
+class TestStagedOverlay:
+    def test_staged_put_visible_before_commit(self, backend):
+        with open_repo(backend) as repo:
+            color = repo.register_index("color", extract_color)
+            branch = repo.default_branch
+            branch.put(b"p1", b"red:a")
+            assert branch.lookup(color, b"red") == [(b"p1", b"red:a")]
+            branch.commit("seed")
+            assert branch.lookup(color, b"red") == [(b"p1", b"red:a")]
+
+    def test_staged_overwrite_hides_committed_posting(self, backend):
+        with open_repo(backend) as repo:
+            color = repo.register_index("color", extract_color)
+            branch = repo.default_branch
+            branch.put(b"p1", b"red:a")
+            branch.commit("seed")
+            branch.put(b"p1", b"blue:a")
+            assert branch.lookup(color, b"red") == []
+            assert branch.lookup(color, b"blue") == [(b"p1", b"blue:a")]
+            branch.discard()
+            assert branch.lookup(color, b"red") == [(b"p1", b"red:a")]
+
+    def test_staged_remove_hides_committed_posting(self, backend):
+        with open_repo(backend) as repo:
+            color = repo.register_index("color", extract_color)
+            branch = repo.default_branch
+            branch.put(b"p1", b"red:a")
+            branch.commit("seed")
+            branch.remove(b"p1")
+            assert branch.lookup(color, b"red") == []
+
+    def test_transaction_overlay_is_isolated(self, backend):
+        with open_repo(backend) as repo:
+            color = repo.register_index("color", extract_color)
+            branch = repo.default_branch
+            branch.put(b"p1", b"red:a")
+            branch.commit("seed")
+            txn = branch.transaction("move")
+            txn.put(b"p1", b"blue:a")
+            assert txn.lookup(color, b"red") == []
+            assert txn.lookup(color, b"blue") == [(b"p1", b"blue:a")]
+            # the branch itself still answers from the committed state
+            assert branch.lookup(color, b"red") == [(b"p1", b"red:a")]
+            txn.abort()
+
+
+class TestForkMerge:
+    def test_fork_inherits_postings(self, backend):
+        with open_repo(backend) as repo:
+            color = repo.register_index("color", extract_color)
+            branch = repo.default_branch
+            branch.put(b"p1", b"red:a")
+            branch.commit("seed")
+            fork = branch.fork("feature")
+            assert fork.lookup(color, b"red") == [(b"p1", b"red:a")]
+            fork.put(b"p2", b"red:b")
+            fork.commit("fork adds")
+            assert fork.lookup(color, b"red") == [
+                (b"p1", b"red:a"), (b"p2", b"red:b")]
+            # main unaffected
+            assert branch.lookup(color, b"red") == [(b"p1", b"red:a")]
+
+    def test_merge_combines_postings(self, backend):
+        with open_repo(backend) as repo:
+            color = repo.register_index("color", extract_color)
+            branch = repo.default_branch
+            branch.put(b"p1", b"red:a")
+            branch.commit("seed")
+            fork = branch.fork("feature")
+            fork.put(b"p2", b"blue:b")
+            fork.commit("theirs")
+            branch.put(b"p3", b"red:c")
+            branch.commit("ours")
+            branch.merge(fork, "merge")
+            assert branch.lookup(color, b"red") == [
+                (b"p1", b"red:a"), (b"p3", b"red:c")]
+            assert branch.lookup(color, b"blue") == [(b"p2", b"blue:b")]
+            assert branch.range(color) == brute_force_triples(branch, color)
+
+
+class TestVersionedReadsAndProofs:
+    def test_old_commit_roots_still_answer(self, backend):
+        with open_repo(backend) as repo:
+            color = repo.register_index("color", extract_color)
+            branch = repo.default_branch
+            branch.put(b"p1", b"red:a")
+            branch.commit("v0")
+            old_head = branch.head
+            branch.put(b"p1", b"blue:a")
+            branch.commit("v1")
+            service = repo.service
+            old_roots = dict(old_head.index_roots)["color"]
+            # covering postings: the old roots answer with the old value
+            assert service.index_lookup(old_roots, b"red") == [(b"p1", b"red:a")]
+            new_roots = dict(branch.head.index_roots)["color"]
+            assert service.index_lookup(new_roots, b"red") == []
+
+    def test_prove_posting_verifies_against_posting_root(self, backend):
+        with open_repo(backend) as repo:
+            color = repo.register_index("color", extract_color)
+            branch = repo.default_branch
+            branch.put(b"p1", b"red:a")
+            branch.commit("v0")
+            proof = branch.prove_posting(color, b"red", b"p1")
+            roots = branch.head.index_root_map()["color"]
+            shard_id = repo.service.shard_of(b"p1")
+            assert proof.verify(roots[shard_id])
+            assert proof.is_membership_proof
+
+    def test_prove_posting_absence(self, backend):
+        with open_repo(backend) as repo:
+            color = repo.register_index("color", extract_color)
+            branch = repo.default_branch
+            branch.put(b"p1", b"red:a")
+            branch.commit("v0")
+            proof = branch.prove_posting(color, b"green", b"p1")
+            assert not proof.is_membership_proof
+
+
+class TestDurability:
+    def test_crash_recovery_restores_posting_roots(self, backend, tmp_path):
+        directory = os.path.join(str(tmp_path), "db")
+        with open_repo(backend, directory) as repo:
+            color = repo.register_index("color", extract_color)
+            branch = repo.default_branch
+            branch.put(b"p1", b"red:a")
+            branch.put(b"p2", b"blue:b")
+            branch.commit("seed")
+            expected = branch.range(color)
+        # reopen: journalled index roots must come back verbatim after the
+        # index is re-registered (definitions are code, roots are state)
+        with open_repo(backend, directory) as repo:
+            color = repo.register_index("color", extract_color)
+            branch = repo.default_branch
+            assert branch.range(color) == expected
+            assert branch.range(color) == brute_force_triples(branch, color)
+            # and maintenance continues from the recovered roots
+            branch.put(b"p3", b"red:c")
+            branch.commit("after recovery")
+            assert branch.lookup(color, b"red") == [
+                (b"p1", b"red:a"), (b"p3", b"red:c")]
+
+    def test_pre_index_journal_lines_replay(self, backend, tmp_path):
+        directory = os.path.join(str(tmp_path), "db")
+        with open_repo(backend, directory) as repo:
+            branch = repo.default_branch
+            branch.put(b"p1", b"red:a")
+            branch.commit("no indexes yet")
+            assert branch.head.index_roots == ()
+        with open_repo(backend, directory) as repo:
+            branch = repo.default_branch
+            assert branch.head.index_roots == ()
+            assert branch.get(b"p1") == b"red:a"
