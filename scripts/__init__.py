@@ -1,0 +1,7 @@
+"""Repository tooling: CI gate scripts and the repro-lint framework.
+
+Making ``scripts/`` a package lets the lint framework run as
+``python -m scripts.lint`` from the repository root while the individual
+gate scripts (``check_docs.py``, ``check_api.py``, ``check_lint.py``,
+``run_stress.py``) stay directly executable.
+"""

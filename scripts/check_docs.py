@@ -37,6 +37,7 @@ MARKDOWN_FILES = [
     "docs/SERVER.md",
     "docs/SYNC.md",
     "docs/QUERY.md",
+    "docs/LINT.md",
     "docs/PAPER_MAP.md",
     "benchmarks/README.md",
 ]

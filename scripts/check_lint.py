@@ -1,0 +1,20 @@
+#!/usr/bin/env python3
+"""CI gate wrapper for repro-lint (see ``docs/LINT.md``).
+
+Run from anywhere::
+
+    python scripts/check_lint.py [--json] [--explain RULE] ...
+
+Equivalent to ``python -m scripts.lint`` from the repository root; exits
+non-zero on any non-baselined, non-suppressed finding.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from scripts.lint import main  # noqa: E402  (path bootstrap must run first)
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,37 @@
+"""repro-lint: an AST-based invariant checker for this repository.
+
+The architecture documents (``docs/ARCHITECTURE.md`` §§3–10) promise a set
+of invariants — deterministic byte-identical roots, a strict import layer
+order, a picklable process-backend boundary, fsync-before-visibility
+durability — that previously lived only in prose.  This package machine-
+checks them: a plugin-based rule registry (:mod:`scripts.lint.rules`), a
+small framework (:mod:`scripts.lint.framework`) handling suppressions and
+the grandfathered-findings baseline, and a CLI (:mod:`scripts.lint.cli`)
+that gates CI.  ``docs/LINT.md`` documents every rule.
+"""
+
+from scripts.lint.cli import main
+from scripts.lint.framework import (
+    Finding,
+    LintResult,
+    Project,
+    Rule,
+    RULES,
+    all_rules,
+    load_rules,
+    register,
+    run_rules,
+)
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Project",
+    "Rule",
+    "RULES",
+    "all_rules",
+    "load_rules",
+    "main",
+    "register",
+    "run_rules",
+]

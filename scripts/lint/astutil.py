@@ -1,0 +1,128 @@
+"""Shared AST helpers for repro-lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call's callee, if statically nameable."""
+    return dotted_name(node.func)
+
+
+def module_name_for(path: str) -> Optional[str]:
+    """Importable module name for a ``src/...`` repo-relative path."""
+    if not path.startswith("src/") or not path.endswith(".py"):
+        return None
+    parts = path[len("src/"):-len(".py")].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def top_package(module: str, root: str = "repro") -> Optional[str]:
+    """``repro.core`` for ``repro.core.errors``; ``repro`` for the root."""
+    parts = module.split(".")
+    if parts[0] != root:
+        return None
+    if len(parts) == 1:
+        return root
+    return ".".join(parts[:2])
+
+
+def _is_type_checking_test(test: ast.AST) -> bool:
+    name = dotted_name(test)
+    return name in ("TYPE_CHECKING", "typing.TYPE_CHECKING")
+
+
+def iter_eager_imports(
+        tree: ast.Module, module: str,
+        is_package: bool = False) -> Iterator[Tuple[str, int, Tuple[str, ...]]]:
+    """(imported module, line, from-aliases) for module-scope imports.
+
+    Imports inside function bodies are deliberate lazy edges (they cannot
+    participate in an import-time cycle) and imports under
+    ``if TYPE_CHECKING:`` never execute, so both are excluded.  Relative
+    imports are resolved against ``module`` (``is_package`` is True when
+    the file is an ``__init__.py``, which shifts the anchor by one level).
+    The third element carries the names of a ``from X import a, b`` —
+    callers use it to resolve ``from pkg import submodule`` to the
+    submodule rather than the package.
+    """
+
+    def walk(stmts) -> Iterator[Tuple[str, int, Tuple[str, ...]]]:
+        for stmt in stmts:
+            if isinstance(stmt, FUNCTION_NODES):
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                yield from walk(stmt.body)
+                continue
+            if isinstance(stmt, ast.If):
+                if not _is_type_checking_test(stmt.test):
+                    yield from walk(stmt.body)
+                yield from walk(stmt.orelse)
+                continue
+            if isinstance(stmt, ast.Try):
+                yield from walk(stmt.body)
+                for handler in stmt.handlers:
+                    yield from walk(handler.body)
+                yield from walk(stmt.orelse)
+                yield from walk(stmt.finalbody)
+                continue
+            if isinstance(stmt, (ast.With, ast.For, ast.While)):
+                yield from walk(stmt.body)
+                if hasattr(stmt, "orelse"):
+                    yield from walk(stmt.orelse)
+                continue
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    yield alias.name, stmt.lineno, ()
+            elif isinstance(stmt, ast.ImportFrom):
+                if stmt.level:
+                    parts = module.split(".")
+                    # level 1 is the current package: drop the module's own
+                    # basename unless the file *is* the package __init__.
+                    drop = stmt.level if not is_package else stmt.level - 1
+                    parts = parts[:len(parts) - drop] if drop else parts
+                    prefix = ".".join(parts)
+                    target = f"{prefix}.{stmt.module}" if stmt.module else prefix
+                else:
+                    target = stmt.module or ""
+                if target:
+                    yield (target, stmt.lineno,
+                           tuple(alias.name for alias in stmt.names))
+
+    yield from walk(tree.body)
+
+
+def iter_functions(tree: ast.Module) -> Iterator[ast.AST]:
+    """Every (sync and async) function definition in ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, FUNCTION_NODES):
+            yield node
+
+
+def walk_without_nested_functions(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` over a function body that stops at nested function defs."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(child, FUNCTION_NODES + (ast.Lambda,)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))

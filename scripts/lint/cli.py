@@ -1,0 +1,120 @@
+"""Command-line entry point for repro-lint.
+
+Run from the repository root::
+
+    python scripts/check_lint.py            # human output, gate exit code
+    python -m scripts.lint --json           # machine-readable findings
+    python -m scripts.lint --explain L2-determinism
+    python -m scripts.lint --list-rules
+    python -m scripts.lint --update-baseline   # grandfather current findings
+
+Exit status is 0 when every finding is suppressed (with a reason) or
+baselined, 1 otherwise.  Stale baseline entries — recorded findings that
+no longer occur — also fail the gate so the baseline can only shrink.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import textwrap
+from typing import List, Optional, Sequence
+
+from scripts.lint.framework import (
+    DEFAULT_BASELINE,
+    DEFAULT_ROOTS,
+    REPO_ROOT,
+    Finding,
+    Project,
+    all_rules,
+    load_baseline,
+    run_rules,
+    save_baseline,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant checker for the repro codebase.")
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="repository root to lint (default: this repo)")
+    parser.add_argument("--roots", nargs="*", default=list(DEFAULT_ROOTS),
+                        help="top-level directories to scan (default: src tests)")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline file (default: <root>/{DEFAULT_BASELINE})")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit findings as a JSON list")
+    parser.add_argument("--explain", metavar="RULE",
+                        help="print a rule's invariant and rationale, then exit")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules, then exit")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write current findings to the baseline file")
+    return parser
+
+
+def _explain(rule_id: str) -> int:
+    for rule in all_rules():
+        if rule.rule_id == rule_id:
+            print(f"{rule.rule_id}: {rule.title}\n")
+            print(textwrap.dedent(rule.rationale).strip())
+            print("\nSuppress a deliberate violation with\n"
+                  f"    # repro-lint: disable={rule.rule_id} — <reason>\n"
+                  "on the offending line (or the comment line above it).")
+            return 0
+    print(f"unknown rule {rule_id!r}; --list-rules shows the registry",
+          file=sys.stderr)
+    return 2
+
+
+def _render_human(result) -> None:
+    for finding in result.findings:
+        print(finding.render())
+    for entry in result.stale_baseline:
+        print(f"{entry.get('path')}:{entry.get('line')}: [baseline] stale "
+              f"entry for {entry.get('rule')} no longer occurs; remove it")
+    counts = (f"{len(result.findings)} finding(s), "
+              f"{len(result.suppressed)} suppressed, "
+              f"{len(result.baselined)} baselined, "
+              f"{len(result.stale_baseline)} stale baseline entr(ies)")
+    if result.ok:
+        print(f"repro-lint passed: {counts}")
+    else:
+        print(f"repro-lint FAILED: {counts}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the linter; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id:24s} {rule.title}")
+        return 0
+    if args.explain:
+        return _explain(args.explain)
+
+    baseline_path = args.baseline or os.path.join(args.root, DEFAULT_BASELINE)
+    project = Project.from_tree(args.root, roots=args.roots)
+    if args.update_baseline:
+        result = run_rules(project, baseline=())
+        save_baseline(baseline_path, result.findings)
+        print(f"baseline updated: {len(result.findings)} finding(s) "
+              f"written to {baseline_path}")
+        return 0
+
+    result = run_rules(project, baseline=load_baseline(baseline_path))
+    if args.as_json:
+        payload = {
+            "findings": [finding.key() for finding in result.findings],
+            "suppressed": [finding.key() for finding in result.suppressed],
+            "baselined": [finding.key() for finding in result.baselined],
+            "stale_baseline": list(result.stale_baseline),
+            "ok": result.ok,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        _render_human(result)
+    return 0 if result.ok else 1

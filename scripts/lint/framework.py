@@ -1,0 +1,340 @@
+"""Core machinery of repro-lint: findings, suppressions, baseline, runner.
+
+The framework is deliberately small and dependency-free.  A lint run is:
+
+1. Collect the python files of the repository (or an in-memory mapping of
+   path -> source, which is how the fixture tests drive single rules).
+2. Parse each file once into an :mod:`ast` tree and scan its comments for
+   ``# repro-lint: disable=<rule-id> — <reason>`` suppressions.
+3. Hand the whole :class:`Project` to every registered :class:`Rule`;
+   rules yield :class:`Finding` objects anchored to a file and line.
+4. Drop findings covered by a suppression on the same (or the preceding
+   comment-only) line, then drop findings recorded in the checked-in
+   baseline file.  Suppressions that covered nothing and baseline entries
+   that matched nothing are themselves reported, so neither mechanism can
+   silently rot.
+
+Rules register themselves with :func:`register`; the plugin modules under
+``scripts/lint/rules/`` are imported on demand by :func:`load_rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import importlib
+import io
+import json
+import os
+import pkgutil
+import re
+import tokenize
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Type
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+#: Directories (relative to the repo root) linted by default.  Rules narrow
+#: their own scope further — e.g. the layering rule only looks at
+#: ``src/repro``, the test-naming rule only at ``tests``.
+DEFAULT_ROOTS = ("src", "tests")
+
+#: Default location of the grandfathered-findings baseline.
+DEFAULT_BASELINE = os.path.join("scripts", "lint", "baseline.json")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a file and line."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def key(self) -> Dict[str, object]:
+        """The JSON-serializable identity used for baseline matching."""
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "message": self.message}
+
+    def render(self) -> str:
+        """Human-readable one-line form."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_.,-]+)"
+    r"(?:\s*(?:—|–|--|-)\s*(?P<reason>\S.*))?")
+
+
+@dataclasses.dataclass
+class Suppression:
+    """A parsed ``# repro-lint: disable=...`` comment."""
+
+    path: str
+    line: int
+    rules: Tuple[str, ...]
+    reason: Optional[str]
+    comment_only: bool
+    used: bool = False
+
+    def covers(self, finding: Finding) -> bool:
+        """True when this suppression applies to ``finding``.
+
+        A suppression on a code line covers findings on that line; a
+        suppression on a comment-only line covers the next line.
+        """
+        if finding.rule not in self.rules and "all" not in self.rules:
+            return False
+        target = self.line + 1 if self.comment_only else self.line
+        return finding.line == target
+
+
+class SourceFile:
+    """One parsed python source file plus its suppression comments."""
+
+    def __init__(self, path: str, text: str):
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        self.syntax_error: Optional[SyntaxError] = None
+        try:
+            self.tree: Optional[ast.Module] = ast.parse(text, filename=path)
+        except SyntaxError as exc:
+            self.tree = None
+            self.syntax_error = exc
+        self.suppressions: List[Suppression] = []
+        # Scan actual COMMENT tokens, not raw lines: suppression markers
+        # quoted inside string literals (lint-fixture test sources) must
+        # not register as live suppressions.
+        for lineno, comment in self._comment_tokens(text):
+            match = _SUPPRESS_RE.search(comment)
+            if match is None:
+                continue
+            rules = tuple(part.strip() for part in match.group(1).split(",")
+                          if part.strip())
+            line = self.lines[lineno - 1] if lineno <= len(self.lines) else ""
+            comment_only = line.strip().startswith("#")
+            self.suppressions.append(Suppression(
+                path=path, line=lineno, rules=rules,
+                reason=match.group("reason"), comment_only=comment_only))
+
+    @staticmethod
+    def _comment_tokens(text: str) -> Iterator[Tuple[int, str]]:
+        readline = io.StringIO(text).readline
+        try:
+            for tok in tokenize.generate_tokens(readline):
+                if tok.type == tokenize.COMMENT:
+                    yield tok.start[0], tok.string
+        except (tokenize.TokenError, SyntaxError):
+            # Untokenizable files already surface as E0-parse findings.
+            return
+
+    def suppression_for(self, finding: Finding) -> Optional[Suppression]:
+        """The first suppression covering ``finding``, if any."""
+        for suppression in self.suppressions:
+            if suppression.covers(finding):
+                return suppression
+        return None
+
+
+class Project:
+    """The set of source files a lint run sees.
+
+    ``files`` maps repo-relative posix paths (``src/repro/core/errors.py``)
+    to :class:`SourceFile` objects.  Tests build projects from in-memory
+    mappings; the CLI builds them by walking the repository.
+    """
+
+    def __init__(self, files: Mapping[str, SourceFile]):
+        self.files: Dict[str, SourceFile] = dict(files)
+
+    @classmethod
+    def from_sources(cls, sources: Mapping[str, str]) -> "Project":
+        """Build a project from ``{path: source_text}`` (fixture entry point)."""
+        return cls({path: SourceFile(path, text)
+                    for path, text in sources.items()})
+
+    @classmethod
+    def from_tree(cls, root: str,
+                  roots: Sequence[str] = DEFAULT_ROOTS) -> "Project":
+        """Build a project by walking ``root/<roots>`` for ``*.py`` files."""
+        files: Dict[str, SourceFile] = {}
+        for sub in roots:
+            base = os.path.join(root, sub)
+            if not os.path.isdir(base):
+                continue
+            for dirpath, dirnames, filenames in os.walk(base):
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                for filename in sorted(filenames):
+                    if not filename.endswith(".py"):
+                        continue
+                    full = os.path.join(dirpath, filename)
+                    rel = os.path.relpath(full, root).replace(os.sep, "/")
+                    with open(full, encoding="utf-8") as handle:
+                        files[rel] = SourceFile(rel, handle.read())
+        return cls(files)
+
+    def iter_files(self, prefix: str = "") -> Iterator[SourceFile]:
+        """All files whose path starts with ``prefix``, sorted by path."""
+        for path in sorted(self.files):
+            if path.startswith(prefix):
+                yield self.files[path]
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable identifier used in output, suppressions and the baseline.
+    title:
+        One-line summary shown by ``--list-rules``.
+    rationale:
+        Multi-paragraph explanation shown by ``--explain <rule-id>``: the
+        invariant, why it holds, and the doc section it encodes.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        """Yield findings for ``project``."""
+        raise NotImplementedError
+
+    def finding(self, path: str, line: int, message: str) -> Finding:
+        """Convenience constructor stamping this rule's id."""
+        return Finding(path=path, line=line, rule=self.rule_id, message=message)
+
+
+#: The global rule registry: rule_id -> Rule subclass.
+RULES: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (plugin hook)."""
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    if cls.rule_id in RULES and RULES[cls.rule_id] is not cls:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    RULES[cls.rule_id] = cls
+    return cls
+
+
+def load_rules() -> Dict[str, Type[Rule]]:
+    """Import every module under ``scripts.lint.rules`` and return the registry."""
+    from scripts.lint import rules as rules_pkg
+
+    for info in pkgutil.iter_modules(rules_pkg.__path__):
+        importlib.import_module(f"{rules_pkg.__name__}.{info.name}")
+    return RULES
+
+
+def all_rules() -> List[Rule]:
+    """Instantiate every registered rule, sorted by id."""
+    load_rules()
+    return [RULES[rule_id]() for rule_id in sorted(RULES)]
+
+
+# -- baseline --------------------------------------------------------------
+
+
+def load_baseline(path: str) -> List[Dict[str, object]]:
+    """Read the baseline file; a missing file is an empty baseline."""
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, list):
+        raise ValueError(f"baseline {path}: expected a JSON list")
+    return data
+
+
+def save_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Write ``findings`` as the new grandfathered baseline."""
+    entries = [finding.key() for finding in sorted(findings)]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(entries, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# -- runner ----------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class LintResult:
+    """Everything a lint run produced, pre-filtering included."""
+
+    findings: List[Finding]
+    suppressed: List[Finding]
+    baselined: List[Finding]
+    stale_baseline: List[Dict[str, object]]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing fails the gate (stale baseline entries do)."""
+        return not self.findings and not self.stale_baseline
+
+
+def run_rules(project: Project, rules: Optional[Sequence[Rule]] = None,
+              baseline: Sequence[Mapping[str, object]] = ()) -> LintResult:
+    """Run ``rules`` over ``project`` and apply suppression + baseline filters."""
+    if rules is None:
+        rules = all_rules()
+    raw: List[Finding] = []
+    for source in project.iter_files():
+        if source.syntax_error is not None:
+            raw.append(Finding(
+                path=source.path, line=source.syntax_error.lineno or 1,
+                rule="E0-parse",
+                message=f"file does not parse: {source.syntax_error.msg}"))
+    for rule in rules:
+        raw.extend(rule.check(project))
+
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in sorted(set(raw)):
+        source = project.files.get(finding.path)
+        suppression = source.suppression_for(finding) if source else None
+        if suppression is not None:
+            if suppression.reason:
+                suppression.used = True
+                suppressed.append(finding)
+                continue
+            findings.append(Finding(
+                path=finding.path, line=suppression.line,
+                rule="E1-suppression",
+                message=(f"suppression of {finding.rule} carries no reason "
+                         "(write `# repro-lint: disable=<rule> — <why>`)")))
+            suppression.used = True
+            continue
+        findings.append(finding)
+
+    # Unused suppressions are findings too: a suppression whose violation
+    # has been fixed must be deleted, or it would silently mask the next
+    # regression on that line.
+    for source in project.iter_files():
+        for suppression in source.suppressions:
+            if not suppression.used:
+                findings.append(Finding(
+                    path=source.path, line=suppression.line,
+                    rule="E1-suppression",
+                    message=("suppression matches no finding "
+                             f"(rules: {', '.join(suppression.rules)}); "
+                             "delete it")))
+
+    baselined: List[Finding] = []
+    remaining: List[Finding] = []
+    baseline_pool = [dict(entry) for entry in baseline]
+    for finding in findings:
+        key = finding.key()
+        if key in baseline_pool:
+            baseline_pool.remove(key)
+            baselined.append(finding)
+        else:
+            remaining.append(finding)
+    return LintResult(findings=sorted(remaining), suppressed=suppressed,
+                      baselined=baselined, stale_baseline=baseline_pool)

@@ -1,0 +1,8 @@
+"""Rule plugins for repro-lint.
+
+Every module in this package defines one or more :class:`scripts.lint.Rule`
+subclasses decorated with :func:`scripts.lint.register`.  The framework's
+:func:`scripts.lint.load_rules` imports all of them via ``pkgutil``, so
+adding a rule is: drop a module here, decorate the class, document it in
+``docs/LINT.md``.
+"""

@@ -1,0 +1,82 @@
+"""L3: no blocking calls inside ``async def`` bodies.
+
+The wire server runs one asyncio event loop that must never block: every
+blocking repository call is handed to a dispatch thread pool via
+``run_in_executor``.  A synchronous sleep, socket, subprocess or queue
+wait inside a coroutine stalls *every* connection at once — the class of
+bug that turns one slow consumer into a dead server.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from scripts.lint.astutil import call_name, walk_without_nested_functions
+from scripts.lint.framework import Finding, Project, Rule, register
+
+#: Calls that block the calling thread and therefore the event loop.
+BLOCKING_CALLS = {
+    "time.sleep": "use `await asyncio.sleep(...)`",
+    "os.system": "run it in the dispatch pool via run_in_executor",
+    "subprocess.run": "run it in the dispatch pool via run_in_executor",
+    "subprocess.call": "run it in the dispatch pool via run_in_executor",
+    "subprocess.check_call": "run it in the dispatch pool via run_in_executor",
+    "subprocess.check_output": "run it in the dispatch pool via run_in_executor",
+    "subprocess.Popen": "run it in the dispatch pool via run_in_executor",
+    "socket.create_connection": "use asyncio streams",
+    "socket.socket": "use asyncio streams",
+    "open": "do file I/O in the dispatch pool via run_in_executor",
+}
+
+#: Attribute calls that block: `<future>.result()`, `<queue>.get()` with
+#: no event-loop integration.  Matched by attribute name on any receiver,
+#: so keep this list to names that have no non-blocking homonym in the
+#: server code.
+BLOCKING_ATTR_CALLS = {
+    "result": "await the future instead of .result()",
+}
+
+
+@register
+class AsyncBlockingRule(Rule):
+    """Blocking calls are banned inside coroutine bodies in server code."""
+
+    rule_id = "L3-async-blocking"
+    title = "no blocking calls inside async def (server event loop)"
+    rationale = """
+    Encodes the threading model of docs/ARCHITECTURE.md §7: the asyncio
+    event loop "does nothing blocking" — it reads chunks, splits frames
+    and routes requests onto bounded queues, while every blocking
+    repository call runs on the dispatch thread pool.  A time.sleep, a
+    sync socket, a subprocess wait or a Future.result() inside an
+    `async def` freezes all connections served by the loop and is exactly
+    the failure mode the backpressure suite guards against dynamically;
+    this rule catches it statically.  Nested synchronous `def`s inside a
+    coroutine are exempt (they run on the pool, not the loop).
+    """
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.iter_files("src/"):
+            if source.tree is None:
+                continue
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.AsyncFunctionDef):
+                    continue
+                for child in walk_without_nested_functions(node):
+                    if not isinstance(child, ast.Call):
+                        continue
+                    name = call_name(child)
+                    if name in BLOCKING_CALLS:
+                        yield self.finding(
+                            source.path, child.lineno,
+                            f"blocking call {name}() inside async def "
+                            f"{node.name}; {BLOCKING_CALLS[name]}")
+                        continue
+                    if isinstance(child.func, ast.Attribute):
+                        attr = child.func.attr
+                        if attr in BLOCKING_ATTR_CALLS:
+                            yield self.finding(
+                                source.path, child.lineno,
+                                f"blocking call .{attr}() inside async def "
+                                f"{node.name}; {BLOCKING_ATTR_CALLS[attr]}")

@@ -1,0 +1,58 @@
+"""L7: no mutable default arguments anywhere in ``src/``.
+
+A ``def f(x=[])`` default is evaluated once and shared by every call — a
+classic source of cross-request state leaking between service calls.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from scripts.lint.astutil import FUNCTION_NODES, call_name
+from scripts.lint.framework import Finding, Project, Rule, register
+
+MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray", "defaultdict",
+                        "collections.defaultdict", "Counter",
+                        "collections.Counter", "deque", "collections.deque"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and call_name(node) in MUTABLE_CONSTRUCTORS:
+        return True
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """Mutable default arguments are banned in library code."""
+
+    rule_id = "L7-mutable-default"
+    title = "no mutable default arguments in src/"
+    rationale = """
+    A mutable default (`def f(x=[])`, `def f(x={})`, `def f(x=set())`) is
+    created once at definition time and shared across calls; in a
+    long-lived sharded service that is cross-request — and potentially
+    cross-shard — state leakage.  Use `None` and materialize inside the
+    function.  Immutable defaults (tuples, frozensets, numbers, strings)
+    are fine and are the codebase convention (`removes: Iterable = ()`).
+    """
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.iter_files("src/"):
+            if source.tree is None:
+                continue
+            for node in ast.walk(source.tree):
+                if not isinstance(node, FUNCTION_NODES):
+                    continue
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None]
+                for default in defaults:
+                    if _is_mutable_default(default):
+                        yield self.finding(
+                            source.path, default.lineno,
+                            f"mutable default argument in {node.name}(); "
+                            "use None and materialize inside the function")

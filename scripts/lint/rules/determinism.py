@@ -1,0 +1,149 @@
+"""L2: code that feeds node bytes must be deterministic.
+
+The history-independence property of the paper (same record set => same
+root digest, regardless of insertion order or the process that computed
+it) rests on every byte that reaches a hash function being a pure
+function of logical content.  Iterating a ``set`` of strings or bytes is
+hash-randomized *across processes*; wall-clock time, ``os.urandom``,
+unseeded ``random`` and CPython object ids differ between runs by
+construction.  None of them may appear in the serialization-reachable
+modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from scripts.lint.astutil import call_name, walk_without_nested_functions
+from scripts.lint.framework import Finding, Project, Rule, register
+
+#: The modules whose code is reachable from node serialization: the hash
+#: and encoding leaves, every index structure (node formats + traversal),
+#: proof assembly, and the posting-key codec of the query layer.  This is
+#: the static approximation of "any function reachable from node
+#: serialization" — extend it when new code starts emitting node bytes.
+DETERMINISTIC_PATHS: Tuple[str, ...] = (
+    "src/repro/hashing/",
+    "src/repro/encoding/",
+    "src/repro/indexes/",
+    "src/repro/core/proof.py",
+    "src/repro/query/definition.py",
+)
+
+#: Calls that are nondeterministic across runs or processes.
+FORBIDDEN_CALLS = {
+    "time.time": "wall-clock time",
+    "time.time_ns": "wall-clock time",
+    "time.monotonic": "process-relative time",
+    "time.perf_counter": "process-relative time",
+    "datetime.now": "wall-clock time",
+    "datetime.utcnow": "wall-clock time",
+    "datetime.datetime.now": "wall-clock time",
+    "datetime.datetime.utcnow": "wall-clock time",
+    "os.urandom": "OS entropy",
+    "uuid.uuid1": "host/time-derived UUID",
+    "uuid.uuid4": "random UUID",
+    "random.random": "unseeded global RNG",
+    "random.randint": "unseeded global RNG",
+    "random.randrange": "unseeded global RNG",
+    "random.choice": "unseeded global RNG",
+    "random.shuffle": "unseeded global RNG",
+    "random.sample": "unseeded global RNG",
+    "random.getrandbits": "unseeded global RNG",
+    "id": "CPython object identity",
+    "hash": "process-randomized str/bytes hashing",
+}
+
+#: Callees for which a set argument is order-insensitive, hence fine.
+ORDER_INSENSITIVE_CALLEES = {
+    "sorted", "len", "min", "max", "sum", "any", "all", "bool",
+    "set", "frozenset",
+}
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        # An argument-less set() is empty: it has no iteration order.
+        return (call_name(node) in ("set", "frozenset")
+                and bool(node.args))
+    return False
+
+
+@register
+class DeterminismRule(Rule):
+    """No nondeterministic inputs in serialization-reachable modules."""
+
+    rule_id = "L2-determinism"
+    title = "serialization-reachable code must be deterministic"
+    rationale = """
+    Encodes the byte-identical-roots invariant of docs/ARCHITECTURE.md §1
+    (structural invariance / history independence): equal logical content
+    must serialize to equal bytes on every machine, every process, every
+    run.  PR 2's differential harness caught an MBT history-independence
+    bug at test time; this rule catches the *ingredients* of such bugs at
+    lint time: set iteration feeding bytes (str/bytes hashing — hence set
+    order — is randomized per process), wall-clock or monotonic time,
+    OS entropy, unseeded global random, CPython `id()` and builtin
+    `hash()`.  Scope: hashing/, encoding/, indexes/, core/proof.py and
+    the posting-key codec (DETERMINISTIC_PATHS in determinism.py).
+    Wrapping the set in `sorted(...)` restores determinism and is the
+    standard fix.
+    """
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.iter_files():
+            if source.tree is None:
+                continue
+            if not any(source.path.startswith(p) or source.path == p
+                       for p in DETERMINISTIC_PATHS):
+                continue
+            # `hash(...)` inside a __hash__ method feeds process-local
+            # dict/set keying, never node bytes: exempt those calls.
+            hash_dunder_calls = set()
+            for node in ast.walk(source.tree):
+                if (isinstance(node, ast.FunctionDef)
+                        and node.name == "__hash__"):
+                    for child in ast.walk(node):
+                        if isinstance(child, ast.Call):
+                            hash_dunder_calls.add(id(child))
+            for node in ast.walk(source.tree):
+                yield from self._check_node(source.path, node,
+                                            hash_dunder_calls)
+
+    def _check_node(self, path: str, node: ast.AST,
+                    hash_dunder_calls) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name in FORBIDDEN_CALLS:
+                if name == "hash" and id(node) in hash_dunder_calls:
+                    return
+                yield self.finding(
+                    path, node.lineno,
+                    f"call to {name}() ({FORBIDDEN_CALLS[name]}) in a "
+                    "serialization-reachable module breaks byte-identical "
+                    "roots")
+            elif name not in ORDER_INSENSITIVE_CALLEES:
+                for arg in node.args:
+                    if _is_set_expression(arg):
+                        yield self.finding(
+                            path, arg.lineno,
+                            "set expression passed to an order-sensitive "
+                            f"callee {name or '<expr>'}(); set iteration "
+                            "order is process-randomized — wrap it in "
+                            "sorted(...)")
+        elif isinstance(node, ast.For) and _is_set_expression(node.iter):
+            yield self.finding(
+                path, node.lineno,
+                "iteration over a set expression; set order is "
+                "process-randomized — iterate sorted(...) instead")
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                               ast.DictComp)):
+            for gen in node.generators:
+                if _is_set_expression(gen.iter):
+                    yield self.finding(
+                        path, gen.iter.lineno,
+                        "comprehension over a set expression; set order is "
+                        "process-randomized — iterate sorted(...) instead")

@@ -1,0 +1,125 @@
+"""L6: flush + fsync before anything becomes visible or renamed.
+
+The storage engine's crash contract (docs/STORAGE.md, ARCHITECTURE.md §4)
+is fsync-before-visibility: bytes are durable *before* the rename/journal
+line that makes them reachable.  Statically: in the durability-critical
+files, an ``os.rename``/``os.replace`` must be preceded in the same
+function by an fsync-family call, and a journal append (a ``.write`` on a
+handle opened in append mode) must be followed by ``flush`` and an
+fsync-family call before the function returns.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from scripts.lint.astutil import FUNCTION_NODES, call_name, walk_without_nested_functions
+from scripts.lint.framework import Finding, Project, Rule, register
+
+#: Where the rule applies: the storage engine plus the service module that
+#: owns the MANIFEST commit journal.
+DURABILITY_PATHS = ("src/repro/storage/", "src/repro/service/service.py")
+
+#: Calls that make bytes durable.  Methods with "fsync" in the name cover
+#: the engine's helpers (_fsync_file, _fsync_directory, fsync_directory).
+def _is_fsync_call(node: ast.Call) -> bool:
+    name = call_name(node)
+    if name in ("os.fsync", "fsync_directory"):
+        return True
+    if isinstance(node.func, ast.Attribute) and "fsync" in node.func.attr.lower():
+        return True
+    return False
+
+
+def _is_flush_call(node: ast.Call) -> bool:
+    if isinstance(node.func, ast.Attribute) and node.func.attr == "flush":
+        return True
+    # The engine's _fsync_file() helpers flush before syncing.
+    return _is_fsync_call(node)
+
+
+def _append_mode_handles(func: ast.AST) -> List[ast.withitem]:
+    """with-items that open a file in append mode inside ``func``."""
+    items = []
+    for node in walk_without_nested_functions(func):
+        if not isinstance(node, ast.With):
+            continue
+        for item in node.items:
+            call = item.context_expr
+            if not isinstance(call, ast.Call) or call_name(call) != "open":
+                continue
+            mode: Optional[ast.AST] = None
+            if len(call.args) >= 2:
+                mode = call.args[1]
+            for kw in call.keywords:
+                if kw.arg == "mode":
+                    mode = kw.value
+            if (isinstance(mode, ast.Constant) and isinstance(mode.value, str)
+                    and "a" in mode.value):
+                items.append(item)
+    return items
+
+
+@register
+class DurabilityOrderRule(Rule):
+    """Rename-into-place and journal appends must flush+fsync correctly."""
+
+    rule_id = "L6-durability-order"
+    title = "fsync before rename; flush+fsync after journal appends"
+    rationale = """
+    Encodes the fsync-before-visibility ordering of docs/STORAGE.md and
+    ARCHITECTURE.md §4/§8: a commit is the single journal append, and
+    nothing referenced by a journal line (or exposed by renaming a file
+    into place) may still be sitting in a volatile page cache.  Breaking
+    the order does not fail any test on a healthy machine — it only loses
+    data on power failure, which is why it must be caught statically.
+    Two checks inside storage/ and service/service.py: (a) a call to
+    os.rename/os.replace must have an fsync-family call earlier in the
+    same function (the renamed content was made durable first); (b) a
+    .write() on a handle opened with mode "a..." (journal append) must be
+    followed, later in the same function, by .flush() and an fsync-family
+    call (os.fsync, fsync_directory, *_fsync_* helpers).
+    """
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.iter_files():
+            if source.tree is None:
+                continue
+            if not any(source.path.startswith(p) or source.path == p
+                       for p in DURABILITY_PATHS):
+                continue
+            for func in ast.walk(source.tree):
+                if not isinstance(func, FUNCTION_NODES):
+                    continue
+                yield from self._check_function(source.path, func)
+
+    def _check_function(self, path: str, func: ast.AST) -> Iterator[Finding]:
+        calls = [node for node in walk_without_nested_functions(func)
+                 if isinstance(node, ast.Call)]
+        fsync_lines = [c.lineno for c in calls if _is_fsync_call(c)]
+        flush_lines = [c.lineno for c in calls if _is_flush_call(c)]
+
+        for call in calls:
+            if call_name(call) in ("os.rename", "os.replace"):
+                if not any(line < call.lineno for line in fsync_lines):
+                    yield self.finding(
+                        path, call.lineno,
+                        f"{call_name(call)}() without a preceding fsync in "
+                        "the same function: the renamed bytes may not be "
+                        "durable when they become visible")
+
+        if _append_mode_handles(func):
+            writes = [c for c in calls
+                      if isinstance(c.func, ast.Attribute)
+                      and c.func.attr == "write"]
+            for write in writes:
+                flushed = any(line >= write.lineno for line in flush_lines)
+                synced = any(line >= write.lineno for line in fsync_lines)
+                if not (flushed and synced):
+                    missing = "flush+fsync" if not flushed else "fsync"
+                    yield self.finding(
+                        path, write.lineno,
+                        f"append-mode journal write without {missing} later "
+                        "in the same function: a crash can lose the "
+                        "journal line after callers saw it succeed")

@@ -1,0 +1,80 @@
+"""L5: no bare excepts; broad handlers must re-raise or be justified.
+
+A silently-swallowed ``Exception`` turns an invariant violation into a
+wrong answer three layers later.  The repository policy: handlers catch
+the narrowest type that models the failure (usually one of the
+``repro.core.errors`` types); a handler broad enough to catch
+``Exception``/``BaseException`` must visibly re-raise (possibly after
+converting to a library error type), or carry a suppression comment
+stating why swallowing is correct at that site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from scripts.lint.astutil import dotted_name, walk_without_nested_functions
+from scripts.lint.framework import Finding, Project, Rule, register
+
+BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _handler_types(handler: ast.ExceptHandler):
+    if handler.type is None:
+        return None
+    if isinstance(handler.type, ast.Tuple):
+        return [dotted_name(elt) for elt in handler.type.elts]
+    return [dotted_name(handler.type)]
+
+
+def _contains_raise(handler: ast.ExceptHandler) -> bool:
+    for node in handler.body:
+        for child in [node, *walk_without_nested_functions(node)]:
+            if isinstance(child, ast.Raise):
+                return True
+    return False
+
+
+@register
+class ExceptionPolicyRule(Rule):
+    """Bare excepts are banned; broad handlers must re-raise or justify."""
+
+    rule_id = "L5-exception-policy"
+    title = "no bare except; except Exception must re-raise or justify"
+    rationale = """
+    Encodes the error-surface discipline of the library: failures travel
+    as typed repro.core.errors exceptions so every layer can react to
+    exactly the failure modes it understands (ShardExecutionError never
+    yields partial results, ProtocolError answers-then-closes, ...).
+    A bare `except:` additionally swallows KeyboardInterrupt/SystemExit
+    and is always wrong — catch BaseException explicitly if that is
+    really meant.  An `except Exception`/`except BaseException` handler
+    is accepted when its body contains a `raise` (re-raise or conversion
+    to a library type); deliberate swallow-sites — worker loops that
+    convert errors to frames, threads that park the exception for the
+    caller — carry a suppression with the justification, which doubles
+    as documentation.
+    """
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.iter_files("src/"):
+            if source.tree is None:
+                continue
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                types = _handler_types(node)
+                if types is None:
+                    yield self.finding(
+                        source.path, node.lineno,
+                        "bare `except:`; catch a specific type (or "
+                        "BaseException explicitly, re-raising)")
+                    continue
+                broad = [t for t in types if t in BROAD_NAMES]
+                if broad and not _contains_raise(node):
+                    yield self.finding(
+                        source.path, node.lineno,
+                        f"`except {broad[0]}` swallows the error: narrow it "
+                        "to a repro.core.errors type, re-raise, or add a "
+                        "justified suppression")

@@ -1,0 +1,212 @@
+"""L1: the import layer order of ``docs/ARCHITECTURE.md`` is acyclic and downward.
+
+The architecture stacks the packages of ``src/repro`` in strict layers
+(leaf utilities at the bottom, applications at the top).  A module may
+import (eagerly, at module scope) only from its own layer or layers
+below; the module-level eager-import graph must additionally be free of
+cycles.  Function-scope imports are deliberate lazy edges (they cannot
+deadlock the import system) and ``if TYPE_CHECKING:`` imports never
+execute, so both are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Tuple
+
+from scripts.lint.astutil import iter_eager_imports, module_name_for, top_package
+from scripts.lint.framework import Finding, Project, Rule, register
+
+#: The layer rank of every package under ``repro``: an eager import from a
+#: package of rank r may only target packages of rank <= r.  Mirrors the
+#: diagram in docs/ARCHITECTURE.md (leaves at 0, applications on top) —
+#: update both together.
+LAYER_RANKS: Dict[str, int] = {
+    "repro.hashing": 0,
+    "repro.encoding": 0,
+    "repro.core": 1,
+    "repro.analysis": 1,
+    "repro.storage": 2,
+    "repro.query": 2,
+    "repro.indexes": 3,
+    "repro.service": 4,
+    "repro.api": 5,
+    "repro.server": 6,
+    "repro.sync": 6,
+    "repro.forkbase": 6,
+    "repro.blockchain": 6,
+    "repro.workloads": 6,
+    # The root package is the facade re-exporting the public surface; it
+    # sits above everything.
+    "repro": 7,
+}
+
+
+def _edges_for(project: Project):
+    """(src_module, dst_module, path, line) eager edges inside repro."""
+    modules = {}
+    for source in project.iter_files("src/repro"):
+        module = module_name_for(source.path)
+        if module is None or source.tree is None:
+            continue
+        modules[module] = source
+    for module, source in sorted(modules.items()):
+        is_package = source.path.endswith("__init__.py")
+        for target, line, aliases in iter_eager_imports(source.tree, module,
+                                                        is_package=is_package):
+            if not target.startswith("repro"):
+                continue
+            # `from repro.server import protocol` binds the *submodule*
+            # repro.server.protocol — edge to the submodule, not the
+            # package (parent __init__ execution is an artifact of any
+            # dotted import and would make every package cyclic).
+            targets = []
+            submodule_aliases = [a for a in aliases
+                                 if f"{target}.{a}" in modules]
+            if aliases and submodule_aliases and target in modules:
+                targets.extend(f"{target}.{a}" for a in submodule_aliases)
+                if len(submodule_aliases) < len(aliases):
+                    targets.append(target)
+            else:
+                targets.append(target)
+            for resolved in targets:
+                # `from repro.storage.store import NodeStore` names the
+                # module repro.storage.store; resolve unknown paths up to
+                # the deepest known module.
+                while resolved not in modules and "." in resolved:
+                    resolved = resolved.rsplit(".", 1)[0]
+                if resolved not in modules:
+                    continue
+                yield module, resolved, source.path, line
+
+
+@register
+class ImportLayeringRule(Rule):
+    """Upward eager imports between layered packages are violations."""
+
+    rule_id = "L1-layering"
+    title = "strict import layer order over src/repro (no upward imports)"
+    rationale = """
+    Encodes the layer diagram of docs/ARCHITECTURE.md: hashing/encoding at
+    the bottom, then core/analysis, storage/query, indexes, service, api,
+    and the application packages (server, sync, forkbase, blockchain,
+    workloads) on top, with the root `repro` facade above everything.
+
+    A lower layer eagerly importing a higher one couples the node-format
+    and durability substrate to policy code, and is one import away from
+    an import-time cycle (PR 8's api<->sync coupling is only safe because
+    both sides defer their imports to call time).  The graph is derived
+    from actual module-scope import statements; function-scope and
+    TYPE_CHECKING imports are exempt because they cannot participate in
+    import-time initialization.
+    """
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for src, dst, path, line in _edges_for(project):
+            src_pkg, dst_pkg = top_package(src), top_package(dst)
+            if src_pkg is None or dst_pkg is None or src_pkg == dst_pkg:
+                continue
+            src_rank = LAYER_RANKS.get(src_pkg)
+            dst_rank = LAYER_RANKS.get(dst_pkg)
+            if src_rank is None:
+                yield self.finding(path, line,
+                                   f"package {src_pkg} has no layer rank; "
+                                   "add it to LAYER_RANKS in layering.py")
+                continue
+            if dst_rank is None:
+                yield self.finding(path, line,
+                                   f"package {dst_pkg} has no layer rank; "
+                                   "add it to LAYER_RANKS in layering.py")
+                continue
+            if dst_rank > src_rank:
+                yield self.finding(
+                    path, line,
+                    f"upward import: {src} (layer {src_rank}, {src_pkg}) "
+                    f"eagerly imports {dst} (layer {dst_rank}, {dst_pkg}); "
+                    "defer it to call time or move the shared code down")
+
+
+@register
+class ImportCycleRule(Rule):
+    """The module-level eager-import graph must be acyclic."""
+
+    rule_id = "L1-cycles"
+    title = "no eager import cycles between repro modules"
+    rationale = """
+    A cycle in the module-scope import graph makes initialization order
+    depend on which module happens to be imported first — the classic
+    partially-initialized-module trap.  The repository convention is that
+    any back-edge (e.g. repro.api.repository -> repro.sync.session for
+    Repository.sync) is deferred to function scope; this rule keeps the
+    eager graph a DAG so that convention cannot erode.
+    """
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        graph: Dict[str, List[Tuple[str, str, int]]] = {}
+        for src, dst, path, line in _edges_for(project):
+            graph.setdefault(src, []).append((dst, path, line))
+            graph.setdefault(dst, [])
+
+        # Iterative Tarjan SCC.
+        index: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Dict[str, bool] = {}
+        stack: List[str] = []
+        counter = [0]
+        sccs: List[List[str]] = []
+
+        def strongconnect(root: str) -> None:
+            work = [(root, iter(graph[root]))]
+            index[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack[root] = True
+            while work:
+                node, edges = work[-1]
+                advanced = False
+                for dst, _path, _line in edges:
+                    if dst not in index:
+                        index[dst] = lowlink[dst] = counter[0]
+                        counter[0] += 1
+                        stack.append(dst)
+                        on_stack[dst] = True
+                        work.append((dst, iter(graph[dst])))
+                        advanced = True
+                        break
+                    if on_stack.get(dst):
+                        lowlink[node] = min(lowlink[node], index[dst])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        component.append(member)
+                        if member == node:
+                            break
+                    sccs.append(component)
+
+        for node in sorted(graph):
+            if node not in index:
+                strongconnect(node)
+
+        for component in sccs:
+            members = sorted(component)
+            is_cycle = len(members) > 1 or any(
+                dst == members[0] for dst, _p, _l in graph[members[0]])
+            if not is_cycle:
+                continue
+            member_set = set(members)
+            for src in members:
+                for dst, path, line in graph[src]:
+                    if dst in member_set:
+                        yield self.finding(
+                            path, line,
+                            f"eager import cycle: {' <-> '.join(members)} "
+                            f"(edge {src} -> {dst}); defer one edge to "
+                            "function scope")

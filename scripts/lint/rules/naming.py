@@ -1,0 +1,164 @@
+"""N1/N2: unique test basenames and ``__all__`` consistency.
+
+Two conventions that previously had to be retrofitted by hand: pytest
+imports test modules by basename, so two ``test_differential.py`` files
+in different directories shadow each other (PR 9 had to rename one); and
+a stale ``__all__`` silently breaks ``from repro import *`` and the API
+surface snapshot.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterator, List, Set
+
+from scripts.lint.framework import Finding, Project, Rule, register
+
+
+@register
+class UniqueTestBasenameRule(Rule):
+    """Every ``test_*.py`` under tests/ has a repository-unique basename."""
+
+    rule_id = "N1-test-basename"
+    title = "test module basenames are unique across tests/"
+    rationale = """
+    pytest (in rootdir import mode without per-directory __init__.py
+    packages) imports test modules under their basename: two files named
+    test_differential.py in different directories collide in sys.modules
+    and one silently shadows the other — tests stop running without
+    failing.  PR 9 hit exactly this and renamed tests/query's module by
+    hand; this rule makes the convention mechanical.  Prefix the module
+    with its subsystem (test_query_differential.py) to fix a collision.
+    """
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        by_basename: Dict[str, List[str]] = {}
+        for source in project.iter_files("tests/"):
+            basename = os.path.basename(source.path)
+            if basename.startswith("test_") and basename.endswith(".py"):
+                by_basename.setdefault(basename, []).append(source.path)
+        for basename, paths in sorted(by_basename.items()):
+            if len(paths) < 2:
+                continue
+            for path in paths:
+                others = ", ".join(p for p in paths if p != path)
+                yield self.finding(
+                    path, 1,
+                    f"test basename {basename} collides with {others}; "
+                    "pytest imports by basename — rename with a subsystem "
+                    "prefix")
+
+
+def _module_level_bindings(tree: ast.Module) -> Set[str]:
+    """Names bound at module scope (walking into if/try blocks)."""
+    names: Set[str] = set()
+
+    def bind_target(target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                bind_target(elt)
+        elif isinstance(target, ast.Starred):
+            bind_target(target.value)
+
+    def walk(stmts) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                names.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    bind_target(target)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                bind_target(stmt.target)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    names.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        names.add("*")
+                    else:
+                        names.add(alias.asname or alias.name)
+            elif isinstance(stmt, ast.If):
+                walk(stmt.body)
+                walk(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                walk(stmt.body)
+                for handler in stmt.handlers:
+                    walk(handler.body)
+                walk(stmt.orelse)
+                walk(stmt.finalbody)
+            elif isinstance(stmt, (ast.With, ast.For, ast.While)):
+                if isinstance(stmt, ast.For):
+                    bind_target(stmt.target)
+                walk(stmt.body)
+
+    walk(tree.body)
+    return names
+
+
+def _all_assignment(tree: ast.Module):
+    """The module's ``__all__`` assignment node, if any."""
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return stmt
+        elif (isinstance(stmt, ast.AugAssign)
+              and isinstance(stmt.target, ast.Name)
+              and stmt.target.id == "__all__"):
+            return stmt
+    return None
+
+
+@register
+class AllConsistencyRule(Rule):
+    """``__all__`` entries resolve; public packages declare ``__all__``."""
+
+    rule_id = "N2-all-exports"
+    title = "__all__ names resolve and public packages define __all__"
+    rationale = """
+    `__all__` is the export contract: scripts/check_api.py snapshots it
+    into docs/api_surface.txt, and `from repro import *` follows it at
+    runtime.  A name listed in __all__ but never bound in the module
+    raises AttributeError only when a consumer finally touches it; a
+    public package without __all__ makes the API surface implicit.  Two
+    checks over src/: every string in a literal __all__ must be bound at
+    module scope (dynamic __all__ built by concatenation is skipped —
+    it cannot be resolved statically), and every package __init__.py
+    under src/repro must assign __all__.  Names provided dynamically
+    (e.g. via PEP 562 module __getattr__) count as bound when the module
+    defines __getattr__.
+    """
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.iter_files("src/"):
+            if source.tree is None:
+                continue
+            assignment = _all_assignment(source.tree)
+            is_package = source.path.endswith("__init__.py")
+            if assignment is None:
+                if is_package and source.path.startswith("src/repro/"):
+                    yield self.finding(
+                        source.path, 1,
+                        "public package defines no __all__; declare the "
+                        "export list explicitly")
+                continue
+            value = getattr(assignment, "value", None)
+            if not isinstance(value, (ast.List, ast.Tuple)):
+                continue  # dynamic __all__: not statically resolvable
+            exported = [elt for elt in value.elts
+                        if isinstance(elt, ast.Constant)
+                        and isinstance(elt.value, str)]
+            bound = _module_level_bindings(source.tree)
+            if "*" in bound or "__getattr__" in bound:
+                continue  # star-import or PEP 562: names bound dynamically
+            for elt in exported:
+                if elt.value not in bound:
+                    yield self.finding(
+                        source.path, elt.lineno,
+                        f"__all__ lists {elt.value!r} but the module never "
+                        "binds it")

@@ -1,0 +1,141 @@
+"""L4: only picklable values may cross the process-backend pipe.
+
+``ProcessShardBackend`` ships ``(method, args)`` command tuples to forked
+shard workers over pickled duplex pipes.  Lambdas, closures (functions
+defined inside another function), locks and open file objects either do
+not pickle at all or pickle into something meaningless in the worker
+process.  The engine boundary was designed so only plain values cross
+(docs/ARCHITECTURE.md §8); this rule keeps it that way.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from scripts.lint.astutil import FUNCTION_NODES, call_name, walk_without_nested_functions
+from scripts.lint.framework import Finding, Project, Rule, register
+
+#: Files containing the pipe boundary, and the callee attribute names that
+#: put a value on the wire there.
+BOUNDARY_FILES: Tuple[str, ...] = ("src/repro/service/process.py",)
+BOUNDARY_CALL_ATTRS: Set[str] = {"send", "_send", "call"}
+
+#: Constructors whose instances cannot (meaningfully) cross a pickle pipe.
+UNPICKLABLE_CONSTRUCTORS = {
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore", "threading.Event",
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore", "Event",
+    "open",
+}
+
+#: The engine class whose handle-command methods define the boundary
+#: contract: returns must be plain values too.
+ENGINE_FILE = "src/repro/service/engine.py"
+ENGINE_CLASS = "ShardEngine"
+
+
+def _unpicklable_parts(node: ast.AST,
+                       local_defs: Set[str]) -> Iterator[Tuple[int, str]]:
+    """(line, description) for unpicklable sub-expressions of ``node``."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        expr = stack.pop()
+        if isinstance(expr, ast.Lambda):
+            yield expr.lineno, "a lambda (unpicklable)"
+            continue
+        if isinstance(expr, ast.Call):
+            name = call_name(expr)
+            if name in UNPICKLABLE_CONSTRUCTORS:
+                kind = "an open file object" if name == "open" else "a lock/sync primitive"
+                yield expr.lineno, f"{name}() — {kind} (unpicklable)"
+            stack.extend(ast.iter_child_nodes(expr))
+            continue
+        if isinstance(expr, ast.Name) and expr.id in local_defs:
+            yield expr.lineno, (f"nested function {expr.id!r} — a closure "
+                                "(unpicklable)")
+            continue
+        stack.extend(ast.iter_child_nodes(expr))
+
+
+@register
+class PickleBoundaryRule(Rule):
+    """Lambdas, locks, files and closures must not cross the worker pipe."""
+
+    rule_id = "L4-pickle-boundary"
+    title = "only plain picklable values cross the process-shard pipe"
+    rationale = """
+    Encodes the boundary contract of docs/ARCHITECTURE.md §8: ShardEngine
+    is "no locks, no transport, only picklable values at the method
+    boundary", and ProcessShardBackend ships (method, args) tuples over a
+    pickled pipe.  A lambda or a function defined inside another function
+    fails to pickle outright; a lock or file object pickles into a
+    different (useless) object in the worker, turning a synchronization
+    or durability assumption silently false.  The rule inspects every
+    argument expression reaching the pipe-send callees (`.send`, `._send`,
+    `.call` in service/process.py) plus return statements of ShardEngine
+    methods, and flags lambdas, nested-function references, lock/event
+    constructors and open() calls.
+    """
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for source in project.iter_files():
+            if source.tree is None:
+                continue
+            if source.path in BOUNDARY_FILES:
+                yield from self._check_boundary_file(source)
+            if source.path == ENGINE_FILE:
+                yield from self._check_engine_returns(source)
+
+    def _check_boundary_file(self, source) -> Iterator[Finding]:
+        # Map each function to the names of functions nested inside it
+        # (references to those are closures once they cross the pipe).
+        for func in ast.walk(source.tree):
+            if not isinstance(func, FUNCTION_NODES):
+                continue
+            local_defs = {child.name for child in ast.walk(func)
+                          if isinstance(child, FUNCTION_NODES)
+                          and child is not func}
+            for child in walk_without_nested_functions(func):
+                if not isinstance(child, ast.Call):
+                    continue
+                if not isinstance(child.func, ast.Attribute):
+                    continue
+                if child.func.attr not in BOUNDARY_CALL_ATTRS:
+                    continue
+                for arg in list(child.args) + [kw.value for kw in child.keywords]:
+                    for line, description in _unpicklable_parts(arg, local_defs):
+                        yield self.finding(
+                            source.path, line,
+                            f"{description} is passed into pipe boundary "
+                            f".{child.func.attr}(); only plain values may "
+                            "cross the process-shard pipe")
+
+    def _check_engine_returns(self, source) -> Iterator[Finding]:
+        engine = next((node for node in ast.walk(source.tree)
+                       if isinstance(node, ast.ClassDef)
+                       and node.name == ENGINE_CLASS), None)
+        if engine is None:
+            return
+        for method in engine.body:
+            if not isinstance(method, FUNCTION_NODES):
+                continue
+            if method.name.startswith("_"):
+                continue
+            for default in list(method.args.defaults) + [
+                    d for d in method.args.kw_defaults if d is not None]:
+                for line, description in _unpicklable_parts(default, set()):
+                    yield self.finding(
+                        source.path, line,
+                        f"{description} as a default of ShardEngine."
+                        f"{method.name}(); handle-command arguments must "
+                        "be plain picklable values")
+            for child in walk_without_nested_functions(method):
+                if isinstance(child, ast.Return) and child.value is not None:
+                    for line, description in _unpicklable_parts(
+                            child.value, set()):
+                        yield self.finding(
+                            source.path, line,
+                            f"{description} returned from ShardEngine."
+                            f"{method.name}(); handle-command returns must "
+                            "be plain picklable values")

@@ -23,9 +23,12 @@ Two diff strategies are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.errors import MergeConflictError
+
+if TYPE_CHECKING:
+    from repro.core.interfaces import IndexSnapshot
 
 
 @dataclass
@@ -86,7 +89,7 @@ class DiffResult:
 class MergeResult:
     """The outcome of merging two snapshots."""
 
-    snapshot: object
+    snapshot: "IndexSnapshot"
     merged_keys: List[bytes] = field(default_factory=list)
     conflicts_resolved: List[bytes] = field(default_factory=list)
 
@@ -121,7 +124,7 @@ def _merge_ordered_streams(
             right = next(right_iter, sentinel)
 
 
-def diff_snapshots(left, right) -> DiffResult:
+def diff_snapshots(left: "IndexSnapshot", right: "IndexSnapshot") -> DiffResult:
     """Diff two snapshots of the same index class.
 
     If both snapshots have the same root digest they are — by the
@@ -150,7 +153,7 @@ def diff_snapshots(left, right) -> DiffResult:
     return result
 
 
-def diff_by_lookup(left, right) -> DiffResult:
+def diff_by_lookup(left: "IndexSnapshot", right: "IndexSnapshot") -> DiffResult:
     """The naive diff of the paper's complexity analysis: per-key lookups.
 
     Iterates the union of both key sets and looks each key up in both
@@ -173,7 +176,11 @@ def diff_by_lookup(left, right) -> DiffResult:
 Resolver = Callable[[bytes, bytes, bytes], bytes]
 
 
-def merge_snapshots(base, other, resolver: Optional[Resolver] = None) -> "object":
+def merge_snapshots(
+    base: "IndexSnapshot",
+    other: "IndexSnapshot",
+    resolver: Optional[Resolver] = None,
+) -> "IndexSnapshot":
     """Two-way merge: combine all records of ``base`` and ``other``.
 
     Keys present in only one version are taken as-is.  Keys present in
@@ -210,7 +217,12 @@ def merge_snapshots(base, other, resolver: Optional[Resolver] = None) -> "object
     return merged
 
 
-def three_way_merge(base, ours, theirs, resolver: Optional[Resolver] = None):
+def three_way_merge(
+    base: "IndexSnapshot",
+    ours: "IndexSnapshot",
+    theirs: "IndexSnapshot",
+    resolver: Optional[Resolver] = None,
+) -> MergeResult:
     """Three-way merge with a common ancestor (collaborative branching).
 
     A key conflicts only when *both* branches changed it relative to

@@ -9,6 +9,11 @@ failed proof verification).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterable, Tuple, Type
+
+if TYPE_CHECKING:
+    from repro.hashing.digest import Digest
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -22,7 +27,7 @@ class NodeNotFoundError(ReproError, KeyError):
     collected).
     """
 
-    def __init__(self, digest, message: str = ""):
+    def __init__(self, digest: "Digest", message: str = ""):
         self.digest = digest
         detail = message or f"node {digest!r} not found in store"
         super().__init__(detail)
@@ -36,7 +41,7 @@ class CorruptNodeError(ReproError):
     verification) and surfaces as this exception.
     """
 
-    def __init__(self, digest, message: str = ""):
+    def __init__(self, digest: "Digest", message: str = ""):
         self.digest = digest
         detail = message or f"node {digest!r} failed integrity verification"
         super().__init__(detail)
@@ -45,7 +50,7 @@ class CorruptNodeError(ReproError):
 class KeyNotFoundError(ReproError, KeyError):
     """A lookup key is not present in the index snapshot."""
 
-    def __init__(self, key, message: str = ""):
+    def __init__(self, key: bytes, message: str = ""):
         self.key = key
         detail = message or f"key {key!r} not found"
         super().__init__(detail)
@@ -60,7 +65,7 @@ class MergeConflictError(ReproError):
     retry.
     """
 
-    def __init__(self, conflicts, message: str = ""):
+    def __init__(self, conflicts: Iterable[bytes], message: str = ""):
         self.conflicts = list(conflicts)
         detail = message or f"merge conflict on {len(self.conflicts)} key(s)"
         super().__init__(detail)
@@ -95,7 +100,7 @@ class ShardExecutionError(ReproError):
             f"shard {shard_id} failed during {operation}: {cause!r}"
         )
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Type["ShardExecutionError"], Tuple[int, str, BaseException]]:
         # The informative constructor takes (shard_id, operation, cause),
         # not the formatted message in ``args`` — spell the reconstruction
         # out so the error survives a pickled trip through a command pipe.
@@ -184,7 +189,7 @@ class TransactionConflictError(ReproError):
     re-read them and retry.
     """
 
-    def __init__(self, keys, message: str = ""):
+    def __init__(self, keys: Iterable[bytes], message: str = ""):
         self.keys = list(keys)
         detail = message or (
             f"transaction conflicts with a concurrent commit on "
@@ -223,7 +228,7 @@ class SyncIntegrityError(SyncError):
     cannot poison the local store.
     """
 
-    def __init__(self, digest, message: str = ""):
+    def __init__(self, digest: "Digest", message: str = ""):
         self.digest = digest
         detail = message or (
             f"sync peer sent bytes that do not hash to claimed digest "

@@ -22,12 +22,17 @@ API boundary so examples stay readable.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.errors import ImmutableWriteError, KeyNotFoundError
 from repro.core.proof import MerkleProof
 from repro.hashing.digest import Digest
-from repro.storage.store import NodeStore
+
+if TYPE_CHECKING:
+    # Annotation-only: an eager import here would point the bottom layer
+    # at the storage engine above it (see docs/LINT.md, rule L1-layering).
+    from repro.core.diff import DiffResult, Resolver
+    from repro.storage.store import NodeStore
 
 KeyLike = Union[bytes, bytearray, str, int]
 ValueLike = Union[bytes, bytearray, str, int]
@@ -319,7 +324,7 @@ class IndexSnapshot:
         root = self.root.short() if self.root is not None else "empty"
         return f"IndexSnapshot({self.index.name}, root={root})"
 
-    def __setitem__(self, key, value) -> None:
+    def __setitem__(self, key: KeyLike, value: ValueLike) -> None:
         raise ImmutableWriteError(
             "snapshots are immutable; use put()/update() which return a new snapshot"
         )
@@ -388,13 +393,14 @@ class IndexSnapshot:
         """Produce a Merkle proof for ``key`` against this version's root."""
         return self.index.prove(self.root, coerce_key(key))
 
-    def diff(self, other: "IndexSnapshot"):
+    def diff(self, other: "IndexSnapshot") -> "DiffResult":
         """Differences between this snapshot and ``other`` (see :mod:`repro.core.diff`)."""
         from repro.core.diff import diff_snapshots
 
         return diff_snapshots(self, other)
 
-    def merge(self, other: "IndexSnapshot", resolver=None) -> "IndexSnapshot":
+    def merge(self, other: "IndexSnapshot",
+              resolver: Optional["Resolver"] = None) -> "IndexSnapshot":
         """Merge ``other`` into this snapshot (see :mod:`repro.core.diff`)."""
         from repro.core.diff import merge_snapshots
 

@@ -23,9 +23,16 @@ uniformly to every index type (and to the ablation variants).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Protocol, Sequence, Set, Tuple
 
 from repro.hashing.digest import Digest
+
+
+class _CountingCache(Protocol):
+    """What :meth:`CacheCounters.from_cache` needs from a caching store."""
+
+    cache_hits: int
+    cache_misses: int
 
 
 @dataclass
@@ -177,7 +184,7 @@ class CacheCounters:
         return CacheCounters(hits=self.hits + other.hits, misses=self.misses + other.misses)
 
     @classmethod
-    def from_cache(cls, cache) -> "CacheCounters":
+    def from_cache(cls, cache: _CountingCache) -> "CacheCounters":
         """Snapshot the counters of a ``CachingNodeStore``-like object."""
         return cls(hits=cache.cache_hits, misses=cache.cache_misses)
 

@@ -20,7 +20,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.core.interfaces import SIRIIndex
+
+#: Zero-argument callable returning a fresh index over a fresh store.
+IndexFactory = Callable[[], "SIRIIndex"]
 
 
 @dataclass
@@ -44,7 +50,7 @@ class SIRIPropertyReport:
         )
 
 
-def check_structurally_invariant(index_factory, items: Sequence[Tuple[bytes, bytes]],
+def check_structurally_invariant(index_factory: IndexFactory, items: Sequence[Tuple[bytes, bytes]],
                                  permutations: int = 3, seed: int = 7,
                                  batch_size: int = 16) -> bool:
     """Insert the same items in several random orders; roots must coincide.
@@ -68,7 +74,7 @@ def check_structurally_invariant(index_factory, items: Sequence[Tuple[bytes, byt
     return True
 
 
-def check_recursively_identical(index_factory, items: Sequence[Tuple[bytes, bytes]],
+def check_recursively_identical(index_factory: IndexFactory, items: Sequence[Tuple[bytes, bytes]],
                                 extra: Tuple[bytes, bytes]) -> Tuple[bool, Dict[str, float]]:
     """Check |P(I) ∩ P(I')| ≥ |P(I) − P(I')| for I = I' + one record."""
     index = index_factory()
@@ -88,7 +94,7 @@ def check_recursively_identical(index_factory, items: Sequence[Tuple[bytes, byte
     return shared >= different, details
 
 
-def check_universally_reusable(index_factory, items: Sequence[Tuple[bytes, bytes]],
+def check_universally_reusable(index_factory: IndexFactory, items: Sequence[Tuple[bytes, bytes]],
                                extra_items: Sequence[Tuple[bytes, bytes]]) -> bool:
     """Check that a larger instance reuses at least one page of a smaller one."""
     index = index_factory()
@@ -101,7 +107,7 @@ def check_universally_reusable(index_factory, items: Sequence[Tuple[bytes, bytes
     return bool(small.node_digests() & larger.node_digests())
 
 
-def check_siri_properties(index_factory, items: Sequence[Tuple[bytes, bytes]],
+def check_siri_properties(index_factory: IndexFactory, items: Sequence[Tuple[bytes, bytes]],
                           extra_items: Optional[Sequence[Tuple[bytes, bytes]]] = None,
                           permutations: int = 3, seed: int = 7) -> SIRIPropertyReport:
     """Run all three empirical SIRI property checks on one index class.

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import ReproError
 from repro.hashing.digest import Digest, default_hash_function
@@ -79,7 +79,7 @@ class VersionGraph:
 
     DEFAULT_BRANCH = "master"
 
-    def __init__(self, clock=time.time):
+    def __init__(self, clock: Callable[[], float] = time.time):
         self._commits: Dict[Digest, Commit] = {}
         self._branches: Dict[str, Digest] = {}
         self._clock = clock

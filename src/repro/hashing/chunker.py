@@ -272,7 +272,8 @@ class FixedSizeChunker:
         return chunks
 
 
-def chunk_items(items: Iterable[bytes], chunker: Optional[ContentDefinedChunker] = None):
+def chunk_items(items: Iterable[bytes],
+                chunker: Optional[ContentDefinedChunker] = None) -> List[Chunk]:
     """Chunk ``items`` with ``chunker`` (default content-defined chunker)."""
     chunker = chunker or ContentDefinedChunker()
     return chunker.chunk(list(items))

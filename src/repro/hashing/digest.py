@@ -19,7 +19,7 @@ digest and a single stored copy).
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 
 class Digest:
@@ -102,7 +102,7 @@ class HashFunction:
         # Validate eagerly so misconfiguration fails at construction time.
         self._new()
 
-    def _new(self):
+    def _new(self) -> "hashlib._Hash":
         if self.digest_size_override is not None and self.name.startswith("blake2"):
             return hashlib.new(self.name, digest_size=self.digest_size_override)
         return hashlib.new(self.name)
@@ -118,7 +118,7 @@ class HashFunction:
         h.update(data)
         return Digest(h.digest())
 
-    def hash_many(self, parts) -> Digest:
+    def hash_many(self, parts: Iterable[bytes]) -> Digest:
         """Digest the concatenation of several byte strings.
 
         This is the primitive used to roll up children hashes into a

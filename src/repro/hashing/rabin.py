@@ -19,7 +19,7 @@ Both expose the same :class:`RollingHash` interface: ``reset``, ``update``
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 
 class RollingHash:
@@ -93,14 +93,14 @@ class RabinFingerprint(RollingHash):
             value ^= poly << (value.bit_length() - degree - 1)
         return value
 
-    def _build_shift_table(self):
+    def _build_shift_table(self) -> List[int]:
         """Precompute ``byte * x^degree mod poly`` for every byte value."""
         table = []
         for byte in range(256):
             table.append(self._mod(byte << self.degree))
         return table
 
-    def _build_pop_table(self):
+    def _build_pop_table(self) -> List[int]:
         """Precompute the contribution of a byte leaving the window."""
         # A byte that entered the window w-1 rolls ago has been multiplied
         # by x^(8*(w-1)); to evict it we subtract (xor) that contribution.

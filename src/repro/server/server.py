@@ -371,6 +371,7 @@ class RepositoryServer:
                 try:
                     response = await loop.run_in_executor(
                         self._dispatch, self._execute, request)
+                # repro-lint: disable=L5-exception-policy — any operation error must become an error frame; the connection and the queue's only worker survive (docs/SERVER.md error table)
                 except Exception as exc:  # operation failed, connection lives
                     response = Response(
                         status=Status.ERROR, op=request.op,
@@ -408,6 +409,7 @@ class RepositoryServer:
                 request_id=response.request_id,
                 error_code="response_too_large",
                 error_message=str(exc))
+        # repro-lint: disable=L5-exception-policy — a send failure must never kill the queue's only worker (PR 6 review fix); it is counted in ServerMetrics.send_errors instead
         except Exception:
             self.metrics.record_send_error()
             return
@@ -415,6 +417,7 @@ class RepositoryServer:
             await connection.send(fallback)
         except asyncio.CancelledError:
             raise
+        # repro-lint: disable=L5-exception-policy — best-effort fallback frame on an already-failing connection; the error was already counted and the worker must survive
         except Exception:
             pass
 
@@ -628,6 +631,7 @@ class ServerThread:
         try:
             try:
                 loop.run_until_complete(self.server.start())
+            # repro-lint: disable=L5-exception-policy — parked for the caller: ServerThread.start() re-raises this on the starting thread
             except BaseException as exc:
                 self._startup_error = exc
                 return

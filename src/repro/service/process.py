@@ -71,6 +71,7 @@ def _picklable_exception(exc: BaseException) -> BaseException:
     try:
         pickle.loads(pickle.dumps(exc))
         return exc
+    # repro-lint: disable=L5-exception-policy — pickle round-trip guard: user __reduce__ hooks can raise anything; the fallback RuntimeError still crosses the pipe
     except Exception:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
@@ -120,6 +121,7 @@ def shard_worker_main(conn, engine_builder: Callable[[], ShardEngine]) -> None:
                 result = engine.store_flush()
             else:
                 result = getattr(engine, method)(*args)
+        # repro-lint: disable=L5-exception-policy — worker loop: the error is shipped to the parent over the pipe and re-raised there with its original type
         except BaseException as exc:  # engine errors travel to the caller
             try:
                 conn.send(("error", _picklable_exception(exc)))

@@ -1103,6 +1103,7 @@ class VersionedKVService:
                     puts, removes = self.batcher.take(shard.shard_id)
                     shard.flush_begin(puts, removes)
                     staged.append(shard)
+                # repro-lint: disable=L5-exception-policy — two-phase cut: the first failure is parked, remaining prepares are abandoned, and `raise failure` below re-raises it before any journal append
                 except BaseException as exc:
                     failure = exc
                     break
@@ -1110,6 +1111,7 @@ class VersionedKVService:
             for shard in staged:
                 try:
                     heads.append(shard.flush_finish())
+                # repro-lint: disable=L5-exception-policy — every staged shard must be collected so no worker is left mid-prepare; the first failure is re-raised by `raise failure` below
                 except BaseException as exc:
                     if failure is None:
                         failure = exc

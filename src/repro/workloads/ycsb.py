@@ -336,6 +336,7 @@ class YCSBServiceDriver:
                         service.put(operation.key, operation.value)
                     else:
                         service.get(operation.key)
+            # repro-lint: disable=L5-exception-policy — client-thread body: the exception is appended to `failures` and re-raised on the caller's thread after join()
             except BaseException as exc:  # re-raised on the caller's thread
                 with failure_lock:
                     failures.append(exc)
@@ -406,6 +407,7 @@ def _remote_worker(config: YCSBConfig, host: str, port: int, worker_index: int,
                     remote.get(operation.key)
                 latencies.append(time.perf_counter() - began)
             elapsed = time.perf_counter() - start
+    # repro-lint: disable=L5-exception-policy — worker-process body: repr(exc) travels over the result queue and the parent raises RuntimeError naming this worker
     except BaseException as exc:  # surfaced by the parent as RuntimeError
         result_queue.put((worker_index, None, repr(exc)))
         return

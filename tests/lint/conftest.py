@@ -1,0 +1,13 @@
+"""Make ``scripts.lint`` importable for the lint test suite.
+
+The library tests run with ``PYTHONPATH=src``; the lint framework lives
+under ``scripts/`` at the repository root, so the root goes on sys.path
+here.
+"""
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+if REPO_ROOT not in sys.path:
+    sys.path.insert(0, REPO_ROOT)

@@ -1,0 +1,168 @@
+"""Framework mechanics: suppressions, baseline, registry, CLI plumbing."""
+
+import json
+import os
+
+import pytest
+
+from scripts.lint import Project, all_rules, main, run_rules
+from scripts.lint.framework import Finding, load_baseline, save_baseline
+from scripts.lint.rules.defaults import MutableDefaultRule
+
+MODULE_DOC = '"""fixture."""\n'
+
+
+def _project(sources):
+    return Project.from_sources(sources)
+
+
+def _run(sources, rules=None, baseline=()):
+    return run_rules(_project(sources), rules=rules, baseline=baseline)
+
+
+def _bad_default(path="src/repro/service/fixture.py"):
+    return {path: MODULE_DOC + "def f(x=[]):\n    return x\n"}
+
+
+class TestSuppressions:
+    def test_same_line_suppression_with_reason_is_honored(self):
+        sources = {
+            "src/repro/service/fixture.py": MODULE_DOC +
+            "def f(x=[]):  # repro-lint: disable=L7-mutable-default — fixture\n"
+            "    return x\n"}
+        result = _run(sources, rules=[MutableDefaultRule()])
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].rule == "L7-mutable-default"
+
+    def test_comment_line_above_covers_next_line(self):
+        sources = {
+            "src/repro/service/fixture.py": MODULE_DOC +
+            "# repro-lint: disable=L7-mutable-default — fixture reason\n"
+            "def f(x=[]):\n"
+            "    return x\n"}
+        result = _run(sources, rules=[MutableDefaultRule()])
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+    def test_suppression_without_reason_is_itself_a_finding(self):
+        sources = {
+            "src/repro/service/fixture.py": MODULE_DOC +
+            "def f(x=[]):  # repro-lint: disable=L7-mutable-default\n"
+            "    return x\n"}
+        result = _run(sources, rules=[MutableDefaultRule()])
+        assert [f.rule for f in result.findings] == ["E1-suppression"]
+        assert "no reason" in result.findings[0].message
+
+    def test_suppression_for_other_rule_does_not_cover(self):
+        sources = {
+            "src/repro/service/fixture.py": MODULE_DOC +
+            "def f(x=[]):  # repro-lint: disable=L5-exception-policy — nope\n"
+            "    return x\n"}
+        result = _run(sources, rules=[MutableDefaultRule()])
+        rules = sorted(f.rule for f in result.findings)
+        # The L7 finding survives and the unmatched suppression is flagged.
+        assert rules == ["E1-suppression", "L7-mutable-default"]
+
+    def test_unused_suppression_is_reported(self):
+        sources = {
+            "src/repro/service/fixture.py": MODULE_DOC +
+            "def f(x=1):  # repro-lint: disable=L7-mutable-default — stale\n"
+            "    return x\n"}
+        result = _run(sources, rules=[MutableDefaultRule()])
+        assert [f.rule for f in result.findings] == ["E1-suppression"]
+        assert "matches no finding" in result.findings[0].message
+
+
+class TestBaseline:
+    def test_baselined_finding_passes_the_gate(self):
+        sources = _bad_default()
+        raw = _run(sources, rules=[MutableDefaultRule()])
+        assert len(raw.findings) == 1
+        baseline = [raw.findings[0].key()]
+        result = _run(sources, rules=[MutableDefaultRule()], baseline=baseline)
+        assert result.ok
+        assert len(result.baselined) == 1
+
+    def test_stale_baseline_entry_fails_the_gate(self):
+        clean = {"src/repro/service/fixture.py": MODULE_DOC + "X = 1\n"}
+        stale = [{"rule": "L7-mutable-default",
+                  "path": "src/repro/service/fixture.py",
+                  "line": 2, "message": "gone"}]
+        result = _run(clean, rules=[MutableDefaultRule()], baseline=stale)
+        assert not result.ok
+        assert result.stale_baseline == stale
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        findings = [Finding(path="src/x.py", line=3,
+                            rule="L7-mutable-default", message="m")]
+        save_baseline(path, findings)
+        assert load_baseline(path) == [findings[0].key()]
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "nope.json")) == []
+
+
+class TestRegistry:
+    def test_all_documented_rules_are_registered(self):
+        ids = {rule.rule_id for rule in all_rules()}
+        expected = {
+            "L1-layering", "L1-cycles", "L2-determinism",
+            "L3-async-blocking", "L4-pickle-boundary",
+            "L5-exception-policy", "L6-durability-order",
+            "L7-mutable-default", "N1-test-basename", "N2-all-exports",
+        }
+        assert expected <= ids
+
+    def test_every_rule_has_title_and_rationale(self):
+        for rule in all_rules():
+            assert rule.title, rule.rule_id
+            assert rule.rationale.strip(), rule.rule_id
+
+
+class TestParseErrors:
+    def test_unparseable_file_is_a_finding(self):
+        sources = {"src/repro/service/fixture.py": "def broken(:\n"}
+        result = _run(sources, rules=[])
+        assert [f.rule for f in result.findings] == ["E0-parse"]
+
+
+class TestCli:
+    def _write_tree(self, root, source):
+        pkg = root / "src" / "repro" / "service"
+        pkg.mkdir(parents=True)
+        (pkg / "fixture.py").write_text(source)
+
+    def test_cli_gate_update_baseline_and_pass(self, tmp_path, capsys):
+        self._write_tree(tmp_path, MODULE_DOC + "def f(x=[]):\n    return x\n")
+        baseline = str(tmp_path / "baseline.json")
+        argv = ["--root", str(tmp_path), "--baseline", baseline]
+        assert main(argv) == 1
+        assert main(argv + ["--update-baseline"]) == 0
+        assert main(argv) == 0
+        entries = load_baseline(baseline)
+        assert [e["rule"] for e in entries] == ["L7-mutable-default"]
+        capsys.readouterr()
+
+    def test_cli_json_output(self, tmp_path, capsys):
+        self._write_tree(tmp_path, MODULE_DOC + "def f(x=[]):\n    return x\n")
+        argv = ["--root", str(tmp_path),
+                "--baseline", str(tmp_path / "b.json"), "--json"]
+        assert main(argv) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["findings"][0]["rule"] == "L7-mutable-default"
+
+    def test_cli_explain_and_list_rules(self, capsys):
+        assert main(["--explain", "L2-determinism"]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+        assert "disable=L2-determinism" in out
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "L6-durability-order" in out
+
+    def test_cli_explain_unknown_rule(self, capsys):
+        assert main(["--explain", "L99-nope"]) == 2
+        capsys.readouterr()

@@ -1,0 +1,41 @@
+"""Meta-test: the checked-in tree itself passes repro-lint.
+
+This is the same gate CI runs via ``python scripts/check_lint.py``; having
+it in the tier-1 suite means a violation introduced alongside a feature
+fails the feature's own test run, not just the separate lint job.
+"""
+
+import json
+import os
+
+from scripts.lint import Project, all_rules, run_rules
+from scripts.lint.framework import DEFAULT_BASELINE, load_baseline
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def test_live_tree_is_lint_clean():
+    project = Project.from_tree(REPO_ROOT)
+    baseline = load_baseline(os.path.join(REPO_ROOT, DEFAULT_BASELINE))
+    result = run_rules(project, rules=all_rules(), baseline=baseline)
+    rendered = "\n".join(f.render() for f in result.findings)
+    assert result.findings == [], f"live tree has lint findings:\n{rendered}"
+    assert result.stale_baseline == [], (
+        f"stale baseline entries: {result.stale_baseline}")
+
+
+def test_baseline_is_empty_at_merge():
+    # The issue requires grandfathered findings to be burned down before
+    # merge: the shipped baseline must be an empty list.
+    path = os.path.join(REPO_ROOT, DEFAULT_BASELINE)
+    with open(path, "r", encoding="utf-8") as handle:
+        assert json.load(handle) == []
+
+
+def test_every_live_suppression_carries_a_reason():
+    project = Project.from_tree(REPO_ROOT)
+    for source in project.files.values():
+        for suppression in source.suppressions:
+            assert suppression.reason, (
+                f"{source.path}:{suppression.line} suppression for "
+                f"{sorted(suppression.rules)} has no reason")
